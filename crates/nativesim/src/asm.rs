@@ -1,0 +1,396 @@
+//! Label-based assembler and image builder.
+//!
+//! The assembler produces a [`Unit`], so hand-built
+//! programs and rewritten binaries share one layout/encode path.
+
+use crate::insn::Insn;
+use crate::reg::{AluOp, Cc, Mem, Operand, Reg};
+use crate::rewrite::{ImmFix, Item, Unit};
+use crate::{Image, SimError};
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Emits instructions into a text section.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    /// `labels[l]` = item index, once bound.
+    labels: Vec<Option<usize>>,
+    /// Direct-branch fixups: `(item, label)`.
+    branch_fixups: Vec<(usize, Label)>,
+    /// Address-immediate fixups.
+    imm_fixups: Vec<(usize, ImmUse)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ImmUse {
+    Abs(Label),
+    Diff(Label, Label),
+}
+
+impl Assembler {
+    /// A fresh assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Emits a raw instruction with no link-time references.
+    pub fn insn(&mut self, insn: Insn) {
+        self.items.push(Item::plain(insn));
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    // ---- moves -----------------------------------------------------
+
+    /// `mov reg, reg`.
+    pub fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.insn(Insn::Mov(Operand::Reg(dst), Operand::Reg(src)));
+    }
+
+    /// `mov reg, $imm`.
+    pub fn mov_ri(&mut self, dst: Reg, imm: i32) {
+        self.insn(Insn::Mov(Operand::Reg(dst), Operand::Imm(imm)));
+    }
+
+    /// `mov reg, mem`.
+    pub fn mov_rm(&mut self, dst: Reg, src: Mem) {
+        self.insn(Insn::Mov(Operand::Reg(dst), Operand::Mem(src)));
+    }
+
+    /// `mov mem, reg`.
+    pub fn mov_mr(&mut self, dst: Mem, src: Reg) {
+        self.insn(Insn::Mov(Operand::Mem(dst), Operand::Reg(src)));
+    }
+
+    /// `mov mem, $imm`.
+    pub fn mov_mi(&mut self, dst: Mem, imm: i32) {
+        self.insn(Insn::Mov(Operand::Mem(dst), Operand::Imm(imm)));
+    }
+
+    /// `mov reg, $addr_of(label)` — materialize a code address.
+    pub fn mov_r_label(&mut self, dst: Reg, label: Label) {
+        self.imm_fixups.push((self.items.len(), ImmUse::Abs(label)));
+        self.insn(Insn::Mov(Operand::Reg(dst), Operand::Imm(0)));
+    }
+
+    /// `lea reg, mem`.
+    pub fn lea(&mut self, dst: Reg, mem: Mem) {
+        self.insn(Insn::Lea(dst, mem));
+    }
+
+    /// `lea reg, label` — materialize a code address via `lea`.
+    pub fn lea_label(&mut self, dst: Reg, label: Label) {
+        self.imm_fixups.push((self.items.len(), ImmUse::Abs(label)));
+        self.insn(Insn::Lea(dst, Mem::abs(0)));
+    }
+
+    // ---- arithmetic ------------------------------------------------
+
+    /// `op reg, reg`.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Reg, src: Reg) {
+        self.insn(Insn::Alu(op, Operand::Reg(dst), Operand::Reg(src)));
+    }
+
+    /// `op reg, $imm`.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Reg, imm: i32) {
+        self.insn(Insn::Alu(op, Operand::Reg(dst), Operand::Imm(imm)));
+    }
+
+    /// `op reg, mem`.
+    pub fn alu_rm(&mut self, op: AluOp, dst: Reg, src: Mem) {
+        self.insn(Insn::Alu(op, Operand::Reg(dst), Operand::Mem(src)));
+    }
+
+    /// `op mem, reg`.
+    pub fn alu_mr(&mut self, op: AluOp, dst: Mem, src: Reg) {
+        self.insn(Insn::Alu(op, Operand::Mem(dst), Operand::Reg(src)));
+    }
+
+    /// `op mem, $imm`.
+    pub fn alu_mi(&mut self, op: AluOp, dst: Mem, imm: i32) {
+        self.insn(Insn::Alu(op, Operand::Mem(dst), Operand::Imm(imm)));
+    }
+
+    /// `add disp(base), $(addr(a) - addr(b))` — the branch-function
+    /// return-address adjustment, with the displacement between two
+    /// labels as the immediate.
+    pub fn alu_label_diff(&mut self, base: Reg, disp: i32, a: Label, b: Label) {
+        self.imm_fixups
+            .push((self.items.len(), ImmUse::Diff(a, b)));
+        self.insn(Insn::Alu(
+            AluOp::Add,
+            Operand::Mem(Mem::base_disp(base, disp)),
+            Operand::Imm(0),
+        ));
+    }
+
+    /// `cmp a, b`.
+    pub fn cmp(&mut self, a: Operand, b: Operand) {
+        self.insn(Insn::Cmp(a, b));
+    }
+
+    /// `test a, b`.
+    pub fn test(&mut self, a: Operand, b: Operand) {
+        self.insn(Insn::Test(a, b));
+    }
+
+    // ---- control flow ----------------------------------------------
+
+    /// `jmp label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.branch_fixups.push((self.items.len(), label));
+        self.insn(Insn::Jmp(0));
+    }
+
+    /// `jcc label`.
+    pub fn jcc(&mut self, cc: Cc, label: Label) {
+        self.branch_fixups.push((self.items.len(), label));
+        self.insn(Insn::Jcc(cc, 0));
+    }
+
+    /// `call label`.
+    pub fn call(&mut self, label: Label) {
+        self.branch_fixups.push((self.items.len(), label));
+        self.insn(Insn::Call(0));
+    }
+
+    /// `jmp *operand`.
+    pub fn jmp_ind(&mut self, op: Operand) {
+        self.insn(Insn::JmpInd(op));
+    }
+
+    /// `call *operand`.
+    pub fn call_ind(&mut self, op: Operand) {
+        self.insn(Insn::CallInd(op));
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.insn(Insn::Ret);
+    }
+
+    // ---- stack, I/O, misc -------------------------------------------
+
+    /// `push operand`.
+    pub fn push(&mut self, op: Operand) {
+        self.insn(Insn::Push(op));
+    }
+
+    /// `pop reg`.
+    pub fn pop(&mut self, r: Reg) {
+        self.insn(Insn::Pop(r));
+    }
+
+    /// `pushf`.
+    pub fn pushf(&mut self) {
+        self.insn(Insn::Pushf);
+    }
+
+    /// `popf`.
+    pub fn popf(&mut self) {
+        self.insn(Insn::Popf);
+    }
+
+    /// `out operand`.
+    pub fn out(&mut self, op: Operand) {
+        self.insn(Insn::Out(op));
+    }
+
+    /// `in reg`.
+    pub fn in_(&mut self, r: Reg) {
+        self.insn(Insn::In(r));
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.insn(Insn::Nop);
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) {
+        self.insn(Insn::Halt);
+    }
+
+    fn resolve(&self, label: Label) -> Result<usize, SimError> {
+        self.labels[label.0].ok_or(SimError::UnboundLabel)
+    }
+
+    /// Resolves all fixups into items.
+    fn into_items(self) -> Result<Vec<Item>, SimError> {
+        let mut items = self.items.clone();
+        for &(idx, label) in &self.branch_fixups {
+            items[idx].target = Some(self.resolve(label)?);
+        }
+        for &(idx, use_) in &self.imm_fixups {
+            items[idx].imm_fix = match use_ {
+                ImmUse::Abs(l) => ImmFix::AbsAddr(self.resolve(l)?),
+                ImmUse::Diff(a, b) => ImmFix::DiffAddr(self.resolve(a)?, self.resolve(b)?),
+            };
+        }
+        Ok(items)
+    }
+}
+
+/// Builds a complete [`Image`]: one text assembler plus a data section.
+#[derive(Debug, Default)]
+pub struct ImageBuilder {
+    asm: Assembler,
+    data: Vec<u8>,
+}
+
+impl ImageBuilder {
+    /// A fresh builder. Execution will start at the first emitted
+    /// instruction.
+    pub fn new() -> ImageBuilder {
+        ImageBuilder::default()
+    }
+
+    /// The text-section assembler.
+    pub fn text(&mut self) -> &mut Assembler {
+        &mut self.asm
+    }
+
+    /// Appends raw bytes to the data section, returning their absolute
+    /// address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u32 {
+        let addr = crate::image::DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends a little-endian u32 to the data section, returning its
+    /// absolute address.
+    pub fn data_u32(&mut self, v: u32) -> u32 {
+        self.data_bytes(&v.to_le_bytes())
+    }
+
+    /// Reserves `n` zeroed data bytes, returning their absolute address.
+    pub fn data_zeroed(&mut self, n: usize) -> u32 {
+        let addr = crate::image::DATA_BASE + self.data.len() as u32;
+        self.data.resize(self.data.len() + n, 0);
+        addr
+    }
+
+    /// Finishes into a rewritable [`Unit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn finish_unit(self) -> Result<Unit, SimError> {
+        let items = self.asm.into_items()?;
+        Ok(Unit {
+            items,
+            data: self.data,
+            text_base: crate::image::TEXT_BASE,
+            data_base: crate::image::DATA_BASE,
+            entry_index: 0,
+        })
+    }
+
+    /// Finishes into an encoded, validated [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnboundLabel`] or any layout error from
+    /// [`Unit::encode`].
+    pub fn finish(self) -> Result<Image, SimError> {
+        self.finish_unit()?.encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Machine;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let fwd = a.label();
+        a.jmp(fwd);
+        a.out(Operand::Imm(0)); // skipped
+        a.bind(fwd);
+        a.out(Operand::Imm(1));
+        a.halt();
+        let img = b.finish().unwrap();
+        let out = Machine::load(&img).run(100).unwrap();
+        assert_eq!(out.output, vec![1]);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let l = a.label();
+        a.jmp(l);
+        assert_eq!(b.finish().unwrap_err(), SimError::UnboundLabel);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+
+    #[test]
+    fn data_addresses_are_sequential() {
+        let mut b = ImageBuilder::new();
+        let first = b.data_u32(7);
+        let second = b.data_bytes(&[1, 2, 3]);
+        let third = b.data_zeroed(5);
+        assert_eq!(first, crate::image::DATA_BASE);
+        assert_eq!(second, crate::image::DATA_BASE + 4);
+        assert_eq!(third, crate::image::DATA_BASE + 7);
+    }
+
+    #[test]
+    fn mov_r_label_materializes_code_address() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let dest = a.label();
+        a.mov_r_label(Reg::Eax, dest);
+        a.jmp_ind(Operand::Reg(Reg::Eax));
+        a.out(Operand::Imm(0));
+        a.bind(dest);
+        a.out(Operand::Imm(9));
+        a.halt();
+        let img = b.finish().unwrap();
+        let out = Machine::load(&img).run(100).unwrap();
+        assert_eq!(out.output, vec![9]);
+    }
+}

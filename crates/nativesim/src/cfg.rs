@@ -1,0 +1,413 @@
+//! Control-flow graphs and dominators over a rewriting [`Unit`].
+//!
+//! Section 4.3 of the paper picks tamper-proofing candidates among
+//! unconditional branches ℓ such that *begin dominates ℓ*: the branch
+//! function (entered at `begin`) must have initialized ℓ's indirect
+//! target cell before ℓ can possibly execute. This module provides the
+//! static side of that check: block-level CFG construction and the
+//! classic iterative dominator computation (Cooper–Harvey–Kennedy).
+//!
+//! Indirect control transfers have statically unknown targets. If a unit
+//! contains any *indirect jump*, dominance claims would be unsound, and
+//! [`Cfg::build`] reports it via [`Cfg::has_indirect_jumps`] so callers
+//! can fall back to dynamic validation (as the embedder does). Indirect
+//! *calls* are treated like direct calls — control returns to the next
+//! instruction — which matches the simulator's semantics for any callee
+//! that returns normally.
+
+use crate::insn::Insn;
+use crate::rewrite::Unit;
+
+/// A basic block over unit items: the half-open item range
+/// `start..end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first item.
+    pub start: usize,
+    /// One past the last item.
+    pub end: usize,
+    /// Successor blocks.
+    pub succs: Vec<usize>,
+    /// Predecessor blocks.
+    pub preds: Vec<usize>,
+}
+
+/// The control-flow graph of a unit's text section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    /// Blocks in ascending `start` order; block 0 contains the entry.
+    pub blocks: Vec<Block>,
+    /// `block_of[item]` = containing block.
+    pub block_of: Vec<usize>,
+    /// Whether the unit contains indirect jumps (targets unknown; see
+    /// module docs).
+    has_indirect_jumps: bool,
+    /// Index of the entry block.
+    pub entry_block: usize,
+}
+
+impl Cfg {
+    /// Builds the CFG of a unit.
+    pub fn build(unit: &Unit) -> Cfg {
+        let n = unit.items.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                has_indirect_jumps: false,
+                entry_block: 0,
+            };
+        }
+        let mut is_leader = vec![false; n];
+        is_leader[unit.entry_index] = true;
+        is_leader[0] = true;
+        let mut has_indirect_jumps = false;
+        for (k, item) in unit.items.iter().enumerate() {
+            if let Some(t) = item.target {
+                is_leader[t] = true;
+            }
+            let ends_block = matches!(
+                item.insn,
+                Insn::Jmp(_)
+                    | Insn::Jcc(..)
+                    | Insn::JmpInd(_)
+                    | Insn::Ret
+                    | Insn::Halt
+            );
+            if matches!(item.insn, Insn::JmpInd(_)) {
+                has_indirect_jumps = true;
+            }
+            if ends_block && k + 1 < n {
+                is_leader[k + 1] = true;
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&k| is_leader[k]).collect();
+        let mut block_of = vec![0usize; n];
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            for k in start..end {
+                block_of[k] = b;
+            }
+            blocks.push(Block {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let item = &unit.items[last];
+            let mut succs = Vec::new();
+            match item.insn {
+                Insn::Ret | Insn::Halt | Insn::JmpInd(_) => {}
+                Insn::Jmp(_) => {
+                    if let Some(t) = item.target {
+                        succs.push(block_of[t]);
+                    }
+                }
+                Insn::Jcc(..) => {
+                    if let Some(t) = item.target {
+                        succs.push(block_of[t]);
+                    }
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    }
+                }
+                // Calls (direct or indirect) fall through on return.
+                _ => {
+                    if last + 1 < n {
+                        succs.push(block_of[last + 1]);
+                    }
+                }
+            }
+            succs.sort_unstable();
+            succs.dedup();
+            blocks[b].succs = succs.clone();
+            for s in succs {
+                blocks[s].preds.push(b);
+            }
+        }
+        Cfg {
+            entry_block: block_of[unit.entry_index],
+            blocks,
+            block_of,
+            has_indirect_jumps,
+        }
+    }
+
+    /// Whether the unit contains indirect jumps, making dominance claims
+    /// unsound.
+    pub fn has_indirect_jumps(&self) -> bool {
+        self.has_indirect_jumps
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the unit had no items.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Immediate dominators, `idom[b]` for every block (entry's idom is
+    /// itself; unreachable blocks get `None`). Cooper–Harvey–Kennedy
+    /// iterative algorithm over a reverse-postorder.
+    pub fn immediate_dominators(&self) -> Vec<Option<usize>> {
+        let n = self.blocks.len();
+        let mut idom: Vec<Option<usize>> = vec![None; n];
+        if n == 0 {
+            return idom;
+        }
+        // Reverse postorder from the entry.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in-progress, 2 done
+        let mut stack = vec![(self.entry_block, 0usize)];
+        state[self.entry_block] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < self.blocks[b].succs.len() {
+                let s = self.blocks[b].succs[*next];
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now reverse postorder
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_number[b] = i;
+        }
+        idom[self.entry_block] = Some(self.entry_block);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                if b == self.entry_block {
+                    continue;
+                }
+                let mut new_idom: Option<usize> = None;
+                for &p in &self.blocks[b].preds {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_number, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Whether block `a` dominates block `b` (every path from the entry
+    /// to `b` passes through `a`). Unreachable `b` is dominated by
+    /// nothing (returns `false` unless `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block index is out of range.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let idom = self.immediate_dominators();
+        let mut cur = b;
+        loop {
+            match idom[cur] {
+                None => return false,
+                Some(d) if d == cur => return false, // reached the entry
+                Some(d) if d == a => return true,
+                Some(d) => cur = d,
+            }
+        }
+    }
+
+    /// Item-level dominance: does the instruction at item index `a`
+    /// dominate the one at `b`? Uses block dominance plus intra-block
+    /// ordering. Returns `false` whenever the unit contains indirect
+    /// jumps (the analysis would be unsound).
+    pub fn item_dominates(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.has_indirect_jumps {
+            return false;
+        }
+        let (ba, bb) = (self.block_of[a], self.block_of[b]);
+        if ba == bb {
+            return a <= b;
+        }
+        self.dominates(ba, bb)
+    }
+}
+
+fn intersect(
+    idom: &[Option<usize>],
+    rpo_number: &[usize],
+    mut a: usize,
+    mut b: usize,
+) -> usize {
+    while a != b {
+        while rpo_number[a] > rpo_number[b] {
+            a = idom[a].expect("processed block has an idom");
+        }
+        while rpo_number[b] > rpo_number[a] {
+            b = idom[b].expect("processed block has an idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ImageBuilder;
+    use crate::reg::{Cc, Operand, Reg};
+
+    /// Diamond: entry -> (left | right) -> join -> exit.
+    fn diamond_unit() -> Unit {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let left = a.label();
+        let join = a.label();
+        a.cmp(Operand::Reg(Reg::Eax), Operand::Imm(0)); // B0
+        a.jcc(Cc::E, left);
+        a.out(Operand::Imm(1)); // B1 (right)
+        a.jmp(join);
+        a.bind(left);
+        a.out(Operand::Imm(2)); // B2 (left)
+        a.bind(join);
+        a.out(Operand::Imm(3)); // B3 (join; left falls through)
+        a.halt();
+        crate::rewrite::Unit::from_image(&b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn diamond_blocks_and_dominators() {
+        let unit = diamond_unit();
+        let cfg = Cfg::build(&unit);
+        assert_eq!(cfg.len(), 4);
+        assert!(!cfg.has_indirect_jumps());
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[0], Some(0));
+        assert_eq!(idom[1], Some(0));
+        assert_eq!(idom[2], Some(0));
+        assert_eq!(idom[3], Some(0), "join is dominated only by the entry");
+        assert!(cfg.dominates(0, 3));
+        assert!(!cfg.dominates(1, 3));
+        assert!(!cfg.dominates(2, 3));
+        assert!(cfg.dominates(0, 0));
+    }
+
+    #[test]
+    fn item_dominance_within_and_across_blocks() {
+        let unit = diamond_unit();
+        let cfg = Cfg::build(&unit);
+        // Item 0 (cmp) dominates everything reachable.
+        for k in 0..unit.items.len() {
+            assert!(cfg.item_dominates(0, k), "entry dominates item {k}");
+        }
+        // Within block 0: cmp (0) dominates jcc (1), not vice versa.
+        assert!(cfg.item_dominates(0, 1));
+        assert!(!cfg.item_dominates(1, 0));
+        // The right-arm out (item 2) does not dominate the join (item 6).
+        assert!(!cfg.item_dominates(2, 6));
+    }
+
+    #[test]
+    fn straight_line_chain_of_dominators() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let next = a.label();
+        a.out(Operand::Imm(1));
+        a.jmp(next);
+        a.bind(next);
+        a.out(Operand::Imm(2));
+        a.halt();
+        let unit = crate::rewrite::Unit::from_image(&b.finish().unwrap()).unwrap();
+        let cfg = Cfg::build(&unit);
+        assert_eq!(cfg.len(), 2);
+        assert!(cfg.dominates(0, 1));
+        assert!(!cfg.dominates(1, 0));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_dominators() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let over = a.label();
+        a.jmp(over);
+        a.out(Operand::Imm(9)); // dead block
+        a.bind(over);
+        a.halt();
+        let unit = crate::rewrite::Unit::from_image(&b.finish().unwrap()).unwrap();
+        let cfg = Cfg::build(&unit);
+        let idom = cfg.immediate_dominators();
+        // The dead block (index 1) is unreachable.
+        assert_eq!(idom[1], None);
+        assert!(!cfg.dominates(0, 1));
+        assert!(cfg.dominates(1, 1), "reflexive even when unreachable");
+    }
+
+    #[test]
+    fn loops_keep_header_dominating_body() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let top = a.label();
+        let done = a.label();
+        a.mov_ri(Reg::Ecx, 5); // B0
+        a.bind(top); // B1 header
+        a.cmp(Operand::Reg(Reg::Ecx), Operand::Imm(0));
+        a.jcc(Cc::Le, done);
+        a.alu_ri(crate::reg::AluOp::Sub, Reg::Ecx, 1); // B2 body
+        a.jmp(top);
+        a.bind(done); // B3
+        a.halt();
+        let unit = crate::rewrite::Unit::from_image(&b.finish().unwrap()).unwrap();
+        let cfg = Cfg::build(&unit);
+        // items: mov(0) cmp(1) jcc(2) sub(3) jmp(4) halt(5)
+        let header = cfg.block_of[1];
+        let body = cfg.block_of[3];
+        let exit = cfg.block_of[5];
+        assert!(cfg.dominates(header, body));
+        assert!(cfg.dominates(header, exit));
+        assert!(!cfg.dominates(body, exit));
+    }
+
+    #[test]
+    fn indirect_jumps_disable_item_dominance() {
+        let mut b = ImageBuilder::new();
+        let cell = b.data_u32(0);
+        let a = b.text();
+        a.mov_ri(Reg::Eax, 1);
+        a.jmp_ind(Operand::Mem(crate::reg::Mem::abs(cell)));
+        a.out(Operand::Imm(1));
+        a.halt();
+        let unit = crate::rewrite::Unit::from_image(&b.finish().unwrap()).unwrap();
+        let cfg = Cfg::build(&unit);
+        assert!(cfg.has_indirect_jumps());
+        assert!(!cfg.item_dominates(0, 2), "unsound claims are refused");
+        assert!(cfg.item_dominates(0, 0), "same item is still fine");
+    }
+
+    #[test]
+    fn empty_unit() {
+        let cfg = Cfg::build(&Unit::new());
+        assert!(cfg.is_empty());
+        assert!(cfg.immediate_dominators().is_empty());
+    }
+}

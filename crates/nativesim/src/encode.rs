@@ -1,0 +1,382 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! The encoding is deliberately variable-length (1–13 bytes): address
+//! arithmetic — forward/backward call sites encoding watermark bits,
+//! no-op insertion shifting everything downstream — is the whole point of
+//! the native scheme.
+
+use crate::insn::{opcode, Insn};
+use crate::reg::{AluOp, Cc, Mem, Operand, Reg};
+use crate::SimError;
+
+/// Encodes one instruction, appending to `out`.
+pub fn encode(insn: &Insn, out: &mut Vec<u8>) {
+    let start = out.len();
+    match insn {
+        Insn::Nop => out.push(opcode::NOP),
+        Insn::Halt => out.push(opcode::HALT),
+        Insn::Ret => out.push(opcode::RET),
+        Insn::Pushf => out.push(opcode::PUSHF),
+        Insn::Popf => out.push(opcode::POPF),
+        Insn::Mov(d, s) => {
+            out.push(opcode::MOV);
+            encode_operand(d, out);
+            encode_operand(s, out);
+        }
+        Insn::Lea(r, m) => {
+            out.push(opcode::LEA);
+            out.push(r.to_byte());
+            encode_mem(m, out);
+        }
+        Insn::Alu(op, d, s) => {
+            out.push(opcode::ALU);
+            out.push(*op as u8);
+            encode_operand(d, out);
+            encode_operand(s, out);
+        }
+        Insn::Cmp(a, b) => {
+            out.push(opcode::CMP);
+            encode_operand(a, out);
+            encode_operand(b, out);
+        }
+        Insn::Test(a, b) => {
+            out.push(opcode::TEST);
+            encode_operand(a, out);
+            encode_operand(b, out);
+        }
+        Insn::Jmp(d) => {
+            out.push(opcode::JMP);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::Jcc(cc, d) => {
+            out.push(opcode::JCC);
+            out.push(*cc as u8);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::Call(d) => {
+            out.push(opcode::CALL);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Insn::JmpInd(op) => {
+            out.push(opcode::JMP_IND);
+            encode_operand(op, out);
+        }
+        Insn::CallInd(op) => {
+            out.push(opcode::CALL_IND);
+            encode_operand(op, out);
+        }
+        Insn::Push(op) => {
+            out.push(opcode::PUSH);
+            encode_operand(op, out);
+        }
+        Insn::Pop(r) => {
+            out.push(opcode::POP);
+            out.push(r.to_byte());
+        }
+        Insn::Out(op) => {
+            out.push(opcode::OUT);
+            encode_operand(op, out);
+        }
+        Insn::In(r) => {
+            out.push(opcode::IN);
+            out.push(r.to_byte());
+        }
+    }
+    debug_assert_eq!(out.len() - start, insn.len(), "length model out of sync");
+}
+
+const TAG_REG: u8 = 0;
+const TAG_IMM: u8 = 1;
+const TAG_MEM: u8 = 2;
+
+fn encode_operand(op: &Operand, out: &mut Vec<u8>) {
+    match op {
+        Operand::Reg(r) => {
+            out.push(TAG_REG);
+            out.push(r.to_byte());
+        }
+        Operand::Imm(v) => {
+            out.push(TAG_IMM);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Operand::Mem(m) => {
+            out.push(TAG_MEM);
+            encode_mem(m, out);
+        }
+    }
+}
+
+fn encode_mem(m: &Mem, out: &mut Vec<u8>) {
+    // flags: bit0 = has base, bit1 = has index, bits 2-3 = log2(scale)
+    let mut flags = 0u8;
+    if m.base.is_some() {
+        flags |= 1;
+    }
+    if let Some((_, scale)) = m.index {
+        flags |= 2;
+        flags |= (scale.trailing_zeros() as u8) << 2;
+    }
+    out.push(flags);
+    if let Some(b) = m.base {
+        out.push(b.to_byte());
+    }
+    if let Some((i, _)) = m.index {
+        out.push(i.to_byte());
+    }
+    out.extend_from_slice(&m.disp.to_le_bytes());
+}
+
+/// A decoding cursor over raw bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base_addr: u32,
+}
+
+impl Cursor<'_> {
+    fn fault(&self) -> SimError {
+        SimError::MemFault {
+            addr: self.base_addr.wrapping_add(self.pos as u32),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, SimError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.fault())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i32(&mut self) -> Result<i32, SimError> {
+        let end = self.pos + 4;
+        let slice = self.bytes.get(self.pos..end).ok_or_else(|| self.fault())?;
+        self.pos = end;
+        Ok(i32::from_le_bytes(slice.try_into().expect("4-byte slice")))
+    }
+
+    fn reg(&mut self) -> Result<Reg, SimError> {
+        let b = self.u8()?;
+        Reg::from_byte(b).ok_or(SimError::BadOpcode {
+            addr: self.base_addr.wrapping_add(self.pos as u32 - 1),
+            byte: b,
+        })
+    }
+
+    fn mem(&mut self) -> Result<Mem, SimError> {
+        let flags = self.u8()?;
+        let base = if flags & 1 != 0 {
+            Some(self.reg()?)
+        } else {
+            None
+        };
+        let index = if flags & 2 != 0 {
+            let r = self.reg()?;
+            Some((r, 1u8 << ((flags >> 2) & 3)))
+        } else {
+            None
+        };
+        let disp = self.i32()?;
+        Ok(Mem { base, index, disp })
+    }
+
+    fn operand(&mut self) -> Result<Operand, SimError> {
+        let tag = self.u8()?;
+        match tag {
+            TAG_REG => Ok(Operand::Reg(self.reg()?)),
+            TAG_IMM => Ok(Operand::Imm(self.i32()?)),
+            TAG_MEM => Ok(Operand::Mem(self.mem()?)),
+            other => Err(SimError::BadOpcode {
+                addr: self.base_addr.wrapping_add(self.pos as u32 - 1),
+                byte: other,
+            }),
+        }
+    }
+}
+
+/// Decodes the instruction starting at `bytes[0]`, returning it and its
+/// encoded length. `addr` is the address of `bytes[0]`, used only for
+/// error reporting.
+///
+/// # Errors
+///
+/// [`SimError::BadOpcode`] on an unknown opcode or malformed operand;
+/// [`SimError::MemFault`] if the encoding is truncated.
+pub fn decode(bytes: &[u8], addr: u32) -> Result<(Insn, usize), SimError> {
+    let mut c = Cursor {
+        bytes,
+        pos: 0,
+        base_addr: addr,
+    };
+    let op = c.u8()?;
+    let insn = match op {
+        opcode::NOP => Insn::Nop,
+        opcode::HALT => Insn::Halt,
+        opcode::RET => Insn::Ret,
+        opcode::PUSHF => Insn::Pushf,
+        opcode::POPF => Insn::Popf,
+        opcode::MOV => Insn::Mov(c.operand()?, c.operand()?),
+        opcode::LEA => Insn::Lea(c.reg()?, c.mem()?),
+        opcode::ALU => {
+            let ob = c.u8()?;
+            let alu = AluOp::from_byte(ob).ok_or(SimError::BadOpcode { addr, byte: ob })?;
+            Insn::Alu(alu, c.operand()?, c.operand()?)
+        }
+        opcode::CMP => Insn::Cmp(c.operand()?, c.operand()?),
+        opcode::TEST => Insn::Test(c.operand()?, c.operand()?),
+        opcode::JMP => Insn::Jmp(c.i32()?),
+        opcode::JCC => {
+            let cb = c.u8()?;
+            let cc = Cc::from_byte(cb).ok_or(SimError::BadOpcode { addr, byte: cb })?;
+            Insn::Jcc(cc, c.i32()?)
+        }
+        opcode::CALL => Insn::Call(c.i32()?),
+        opcode::JMP_IND => Insn::JmpInd(c.operand()?),
+        opcode::CALL_IND => Insn::CallInd(c.operand()?),
+        opcode::PUSH => Insn::Push(c.operand()?),
+        opcode::POP => Insn::Pop(c.reg()?),
+        opcode::OUT => Insn::Out(c.operand()?),
+        opcode::IN => Insn::In(c.reg()?),
+        byte => return Err(SimError::BadOpcode { addr, byte }),
+    };
+    Ok((insn, c.pos))
+}
+
+/// Disassembles an entire byte region into `(address, instruction)`
+/// pairs.
+///
+/// # Errors
+///
+/// Propagates decode failures (the region must contain only code).
+pub fn disassemble_all(bytes: &[u8], base: u32) -> Result<Vec<(u32, Insn)>, SimError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let addr = base + pos as u32;
+        let (insn, len) = decode(&bytes[pos..], addr)?;
+        out.push((addr, insn));
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instruction_shapes() -> Vec<Insn> {
+        use Operand::*;
+        vec![
+            Insn::Nop,
+            Insn::Halt,
+            Insn::Ret,
+            Insn::Pushf,
+            Insn::Popf,
+            Insn::Mov(Reg(crate::reg::Reg::Eax), Imm(-7)),
+            Insn::Mov(
+                Mem(crate::reg::Mem::base_disp(crate::reg::Reg::Esp, 16)),
+                Reg(crate::reg::Reg::Edx),
+            ),
+            Insn::Mov(
+                Reg(crate::reg::Reg::Ecx),
+                Mem(crate::reg::Mem::indexed(0x80d2bb0, crate::reg::Reg::Edx, 2)),
+            ),
+            Insn::Lea(
+                crate::reg::Reg::Eax,
+                crate::reg::Mem::base_disp(crate::reg::Reg::Edx, 0x80c3c08u32 as i32),
+            ),
+            Insn::Alu(AluOp::Xor, Reg(crate::reg::Reg::Eax), Reg(crate::reg::Reg::Ecx)),
+            Insn::Alu(AluOp::Imul, Reg(crate::reg::Reg::Eax), Imm(12)),
+            Insn::Alu(
+                AluOp::Add,
+                Mem(crate::reg::Mem::abs(0x1234)),
+                Imm(1),
+            ),
+            Insn::Cmp(Reg(crate::reg::Reg::Eax), Imm(0)),
+            Insn::Test(Reg(crate::reg::Reg::Ebx), Reg(crate::reg::Reg::Ebx)),
+            Insn::Jmp(-1234),
+            Insn::Jcc(Cc::Le, 99),
+            Insn::Call(0x7FFF_0000),
+            Insn::JmpInd(Mem(crate::reg::Mem::abs(0x2000))),
+            Insn::CallInd(Reg(crate::reg::Reg::Esi)),
+            Insn::Push(Imm(42)),
+            Insn::Push(Reg(crate::reg::Reg::Ebp)),
+            Insn::Pop(crate::reg::Reg::Edi),
+            Insn::Out(Reg(crate::reg::Reg::Eax)),
+            Insn::In(crate::reg::Reg::Eax),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_every_shape() {
+        for insn in all_instruction_shapes() {
+            let mut bytes = Vec::new();
+            encode(&insn, &mut bytes);
+            assert_eq!(bytes.len(), insn.len(), "length model for {insn}");
+            let (decoded, len) = decode(&bytes, 0x8048000).unwrap();
+            assert_eq!(decoded, insn);
+            assert_eq!(len, bytes.len());
+        }
+    }
+
+    #[test]
+    fn stream_disassembly_round_trips() {
+        let insns = all_instruction_shapes();
+        let mut bytes = Vec::new();
+        for i in &insns {
+            encode(i, &mut bytes);
+        }
+        let listing = disassemble_all(&bytes, 0x8048000).unwrap();
+        assert_eq!(listing.len(), insns.len());
+        assert_eq!(listing[0].0, 0x8048000);
+        for ((_, got), want) in listing.iter().zip(&insns) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(
+            decode(&[0xFF], 0x1000),
+            Err(SimError::BadOpcode {
+                addr: 0x1000,
+                byte: 0xFF
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_encoding_faults() {
+        let mut bytes = Vec::new();
+        encode(&Insn::Call(12345), &mut bytes);
+        bytes.truncate(3);
+        assert!(matches!(
+            decode(&bytes, 0x1000),
+            Err(SimError::MemFault { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_register_byte_rejected() {
+        // mov with reg tag then invalid register 9
+        let bytes = [opcode::MOV, TAG_REG, 9];
+        assert!(matches!(
+            decode(&bytes, 0),
+            Err(SimError::BadOpcode { byte: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn scale_encodings_round_trip() {
+        for scale in [1u8, 2, 4, 8] {
+            let m = Mem {
+                base: Some(Reg::Ebx),
+                index: Some((Reg::Ecx, scale)),
+                disp: -8,
+            };
+            let insn = Insn::Lea(Reg::Eax, m);
+            let mut bytes = Vec::new();
+            encode(&insn, &mut bytes);
+            let (decoded, _) = decode(&bytes, 0).unwrap();
+            assert_eq!(decoded, insn);
+        }
+    }
+}

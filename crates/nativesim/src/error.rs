@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the assembler, decoder, CPU, or rewriter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An undecodable byte sequence was fetched or disassembled.
+    BadOpcode {
+        /// Address of the offending byte.
+        addr: u32,
+        /// The byte that failed to decode.
+        byte: u8,
+    },
+    /// A memory access touched an unmapped address or crossed a segment.
+    MemFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// A write targeted the read-only text section at runtime.
+    TextWrite {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The CPU executed its full instruction budget without halting.
+    BudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// `ret` executed with the stack pointer outside the stack segment.
+    StackFault {
+        /// Stack-pointer value at the fault.
+        esp: u32,
+    },
+    /// An assembler label was referenced but never bound.
+    UnboundLabel,
+    /// The rewriter found a direct branch whose target is not an
+    /// instruction boundary.
+    BadBranchTarget {
+        /// Address of the branch instruction.
+        from: u32,
+        /// The non-boundary target.
+        target: u32,
+    },
+    /// A destination operand was an immediate.
+    BadDestination {
+        /// Address of the offending instruction.
+        addr: u32,
+    },
+    /// The image layout is invalid (overlapping sections, empty text…).
+    BadImage {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadOpcode { addr, byte } => {
+                write!(f, "undecodable opcode {byte:#04x} at {addr:#010x}")
+            }
+            SimError::MemFault { addr } => write!(f, "memory fault at {addr:#010x}"),
+            SimError::TextWrite { addr } => {
+                write!(f, "write to read-only text at {addr:#010x}")
+            }
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+            SimError::StackFault { esp } => {
+                write!(f, "stack fault with esp = {esp:#010x}")
+            }
+            SimError::UnboundLabel => write!(f, "assembler label never bound"),
+            SimError::BadBranchTarget { from, target } => write!(
+                f,
+                "branch at {from:#010x} targets non-instruction address {target:#010x}"
+            ),
+            SimError::BadDestination { addr } => {
+                write!(f, "immediate used as destination at {addr:#010x}")
+            }
+            SimError::BadImage { reason } => write!(f, "bad image: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}

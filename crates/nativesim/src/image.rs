@@ -1,0 +1,115 @@
+//! Executable images: text + data sections at fixed virtual addresses.
+//!
+//! Layout follows the convention of IA-32 Linux executables: text at a
+//! low fixed base, data at a *fixed* higher base (so that growing the
+//! text section during rewriting never moves data — exactly the situation
+//! a link-time rewriter like PLTO maintains), and the stack far above
+//! both.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Base virtual address of the text section.
+pub const TEXT_BASE: u32 = 0x0804_8000;
+/// Base virtual address of the data section (fixed; text may grow up to
+/// here).
+pub const DATA_BASE: u32 = 0x0A00_0000;
+/// Top of the stack (exclusive); the stack grows downward.
+pub const STACK_TOP: u32 = 0x0C00_0000;
+/// Size of the stack segment in bytes.
+pub const STACK_SIZE: u32 = 1 << 20;
+
+/// A loaded executable: encoded text, initialized data, entry address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Base address of `text`.
+    pub text_base: u32,
+    /// Encoded instructions.
+    pub text: Vec<u8>,
+    /// Base address of `data`.
+    pub data_base: u32,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Address of the first instruction to execute.
+    pub entry: u32,
+}
+
+impl Image {
+    /// Validates section layout.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadImage`] if the text is empty, sections overlap, or
+    /// the entry is outside the text section.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |reason: String| Err(SimError::BadImage { reason });
+        if self.text.is_empty() {
+            return bad("empty text section".into());
+        }
+        let text_end = self.text_base as u64 + self.text.len() as u64;
+        if text_end > self.data_base as u64 {
+            return bad(format!(
+                "text section ({} bytes) overlaps data base {:#010x}",
+                self.text.len(),
+                self.data_base
+            ));
+        }
+        let data_end = self.data_base as u64 + self.data.len() as u64;
+        if data_end > (STACK_TOP - STACK_SIZE) as u64 {
+            return bad("data section overlaps stack".into());
+        }
+        if (self.entry as u64) < self.text_base as u64 || self.entry as u64 >= text_end {
+            return bad(format!("entry {:#010x} outside text", self.entry));
+        }
+        Ok(())
+    }
+
+    /// Total image size in bytes (text + data) — the quantity Figure 9(a)
+    /// reports the relative growth of.
+    pub fn size(&self) -> usize {
+        self.text.len() + self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> Image {
+        Image {
+            text_base: TEXT_BASE,
+            text: vec![0x01], // halt
+            data_base: DATA_BASE,
+            data: vec![],
+            entry: TEXT_BASE,
+        }
+    }
+
+    #[test]
+    fn minimal_image_validates() {
+        minimal().validate().unwrap();
+        assert_eq!(minimal().size(), 1);
+    }
+
+    #[test]
+    fn empty_text_rejected() {
+        let mut img = minimal();
+        img.text.clear();
+        assert!(matches!(img.validate(), Err(SimError::BadImage { .. })));
+    }
+
+    #[test]
+    fn oversized_text_rejected() {
+        let mut img = minimal();
+        img.text = vec![0; (DATA_BASE - TEXT_BASE + 1) as usize];
+        assert!(matches!(img.validate(), Err(SimError::BadImage { .. })));
+    }
+
+    #[test]
+    fn entry_outside_text_rejected() {
+        let mut img = minimal();
+        img.entry = DATA_BASE;
+        assert!(matches!(img.validate(), Err(SimError::BadImage { .. })));
+    }
+}

@@ -1,0 +1,225 @@
+//! The instruction set and its encoded lengths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::reg::{AluOp, Cc, Mem, Operand, Reg};
+
+/// One machine instruction. Relative displacements (`Jmp`, `Jcc`, `Call`)
+/// are measured from the address of the *next* instruction, as on IA-32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Insn {
+    /// No operation (1 byte, like IA-32 `nop`).
+    Nop,
+    /// Stop the machine.
+    Halt,
+    /// `mov dst, src`.
+    Mov(Operand, Operand),
+    /// `lea reg, mem` — compute the effective address without loading.
+    Lea(Reg, Mem),
+    /// Two-operand ALU operation `op dst, src` (sets flags).
+    Alu(AluOp, Operand, Operand),
+    /// Compare: compute `a - b`, set flags, discard the result.
+    Cmp(Operand, Operand),
+    /// Test: compute `a & b`, set flags, discard the result.
+    Test(Operand, Operand),
+    /// Direct relative jump (5 bytes, same size as `Call`).
+    Jmp(i32),
+    /// Conditional relative jump.
+    Jcc(Cc, i32),
+    /// Direct relative call: pushes the return address (5 bytes).
+    Call(i32),
+    /// Indirect jump through a register or memory cell.
+    JmpInd(Operand),
+    /// Indirect call through a register or memory cell.
+    CallInd(Operand),
+    /// Return: pop the return address and jump to it.
+    Ret,
+    /// Push a value.
+    Push(Operand),
+    /// Pop into a register.
+    Pop(Reg),
+    /// Push the flags word.
+    Pushf,
+    /// Pop the flags word.
+    Popf,
+    /// Write a value to the output port (stand-in for a write syscall).
+    Out(Operand),
+    /// Read the next input value into a register (0 once exhausted).
+    In(Reg),
+}
+
+/// Opcode bytes (first byte of every encoding).
+pub mod opcode {
+    /// `nop`
+    pub const NOP: u8 = 0x00;
+    /// `halt`
+    pub const HALT: u8 = 0x01;
+    /// `ret`
+    pub const RET: u8 = 0x02;
+    /// `pushf`
+    pub const PUSHF: u8 = 0x03;
+    /// `popf`
+    pub const POPF: u8 = 0x04;
+    /// `mov`
+    pub const MOV: u8 = 0x10;
+    /// `lea`
+    pub const LEA: u8 = 0x11;
+    /// `alu`
+    pub const ALU: u8 = 0x12;
+    /// `cmp`
+    pub const CMP: u8 = 0x13;
+    /// `test`
+    pub const TEST: u8 = 0x14;
+    /// `jmp rel32`
+    pub const JMP: u8 = 0x20;
+    /// `jcc rel32`
+    pub const JCC: u8 = 0x21;
+    /// `call rel32`
+    pub const CALL: u8 = 0x22;
+    /// `jmp *operand`
+    pub const JMP_IND: u8 = 0x23;
+    /// `call *operand`
+    pub const CALL_IND: u8 = 0x24;
+    /// `push`
+    pub const PUSH: u8 = 0x30;
+    /// `pop`
+    pub const POP: u8 = 0x31;
+    /// `out`
+    pub const OUT: u8 = 0x40;
+    /// `in`
+    pub const IN: u8 = 0x41;
+}
+
+/// Encoded size of an operand: tag byte plus payload.
+pub fn operand_len(op: &Operand) -> usize {
+    1 + match op {
+        Operand::Reg(_) => 1,
+        Operand::Imm(_) => 4,
+        Operand::Mem(m) => mem_len(m),
+    }
+}
+
+/// Encoded size of a memory reference payload.
+pub fn mem_len(m: &Mem) -> usize {
+    1 + usize::from(m.base.is_some()) + usize::from(m.index.is_some()) + 4
+}
+
+impl Insn {
+    /// Encoded length in bytes. Direct `jmp` and `call` are both exactly
+    /// 5 bytes — the paper's bypass attack overwrites one with the other
+    /// "of exactly the same size".
+    pub fn len(&self) -> usize {
+        match self {
+            Insn::Nop | Insn::Halt | Insn::Ret | Insn::Pushf | Insn::Popf => 1,
+            Insn::Mov(d, s) => 1 + operand_len(d) + operand_len(s),
+            Insn::Lea(_, m) => 1 + 1 + mem_len(m),
+            Insn::Alu(_, d, s) => 1 + 1 + operand_len(d) + operand_len(s),
+            Insn::Cmp(a, b) | Insn::Test(a, b) => 1 + operand_len(a) + operand_len(b),
+            Insn::Jmp(_) | Insn::Call(_) => 5,
+            Insn::Jcc(..) => 6,
+            Insn::JmpInd(op) | Insn::CallInd(op) | Insn::Push(op) | Insn::Out(op) => {
+                1 + operand_len(op)
+            }
+            Insn::Pop(_) | Insn::In(_) => 2,
+        }
+    }
+
+    /// Whether this instruction never falls through to its successor.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jmp(_) | Insn::JmpInd(_) | Insn::Ret | Insn::Halt
+        )
+    }
+
+    /// Whether this is any control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jmp(_)
+                | Insn::Jcc(..)
+                | Insn::Call(_)
+                | Insn::JmpInd(_)
+                | Insn::CallInd(_)
+                | Insn::Ret
+        )
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::Nop => f.write_str("nop"),
+            Insn::Halt => f.write_str("halt"),
+            Insn::Mov(d, s) => write!(f, "mov {d}, {s}"),
+            Insn::Lea(r, m) => write!(f, "lea {r}, {m}"),
+            Insn::Alu(op, d, s) => write!(f, "{op} {d}, {s}"),
+            Insn::Cmp(a, b) => write!(f, "cmp {a}, {b}"),
+            Insn::Test(a, b) => write!(f, "test {a}, {b}"),
+            Insn::Jmp(d) => write!(f, "jmp {d:+}"),
+            Insn::Jcc(cc, d) => write!(f, "j{cc} {d:+}"),
+            Insn::Call(d) => write!(f, "call {d:+}"),
+            Insn::JmpInd(op) => write!(f, "jmp *{op}"),
+            Insn::CallInd(op) => write!(f, "call *{op}"),
+            Insn::Ret => f.write_str("ret"),
+            Insn::Push(op) => write!(f, "push {op}"),
+            Insn::Pop(r) => write!(f, "pop {r}"),
+            Insn::Pushf => f.write_str("pushf"),
+            Insn::Popf => f.write_str("popf"),
+            Insn::Out(op) => write!(f, "out {op}"),
+            Insn::In(r) => write!(f, "in {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_and_jmp_are_same_size() {
+        assert_eq!(Insn::Call(0).len(), 5);
+        assert_eq!(Insn::Jmp(0).len(), 5);
+        assert_eq!(Insn::Jcc(Cc::E, 0).len(), 6);
+        assert_eq!(Insn::Nop.len(), 1);
+        assert_eq!(Insn::Ret.len(), 1);
+    }
+
+    #[test]
+    fn operand_lengths_vary() {
+        assert_eq!(operand_len(&Operand::Reg(Reg::Eax)), 2);
+        assert_eq!(operand_len(&Operand::Imm(7)), 5);
+        assert_eq!(operand_len(&Operand::Mem(Mem::abs(0x1000))), 6);
+        assert_eq!(
+            operand_len(&Operand::Mem(Mem::base_disp(Reg::Esp, 16))),
+            7
+        );
+        assert_eq!(
+            operand_len(&Operand::Mem(Mem::indexed(0x1000, Reg::Edx, 4))),
+            7
+        );
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Insn::Jmp(0).is_terminator());
+        assert!(Insn::Ret.is_terminator());
+        assert!(Insn::Halt.is_terminator());
+        assert!(Insn::JmpInd(Operand::Reg(Reg::Eax)).is_terminator());
+        assert!(!Insn::Call(0).is_terminator());
+        assert!(!Insn::Jcc(Cc::E, 0).is_terminator());
+        assert!(Insn::Call(0).is_control());
+        assert!(!Insn::Nop.is_control());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Insn::Alu(
+            AluOp::Xor,
+            Operand::Reg(Reg::Eax),
+            Operand::Mem(Mem::indexed(0x80c3c04, Reg::Eax, 1)),
+        );
+        assert_eq!(i.to_string(), "xor %eax, 0x80c3c04(,%eax,1)");
+    }
+}

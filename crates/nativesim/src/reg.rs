@@ -1,0 +1,334 @@
+//! Registers, condition codes, ALU operators, and operands.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight general-purpose 32-bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator.
+    Eax = 0,
+    /// Counter.
+    Ecx = 1,
+    /// Data.
+    Edx = 2,
+    /// Base.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Decodes a register from its encoding byte.
+    pub fn from_byte(b: u8) -> Option<Reg> {
+        Reg::ALL.get(b as usize).copied()
+    }
+
+    /// The encoding byte.
+    pub fn to_byte(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Reg::Eax => "%eax",
+            Reg::Ecx => "%ecx",
+            Reg::Edx => "%edx",
+            Reg::Ebx => "%ebx",
+            Reg::Esp => "%esp",
+            Reg::Ebp => "%ebp",
+            Reg::Esi => "%esi",
+            Reg::Edi => "%edi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Condition codes for `jcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cc {
+    /// Equal (ZF).
+    E = 0,
+    /// Not equal (!ZF).
+    Ne = 1,
+    /// Signed less (SF ≠ OF).
+    L = 2,
+    /// Signed less-or-equal (ZF or SF ≠ OF).
+    Le = 3,
+    /// Signed greater (!ZF and SF = OF).
+    G = 4,
+    /// Signed greater-or-equal (SF = OF).
+    Ge = 5,
+    /// Unsigned below (CF).
+    B = 6,
+    /// Unsigned above-or-equal (!CF).
+    Ae = 7,
+}
+
+impl Cc {
+    /// Decodes a condition code from its byte.
+    pub fn from_byte(b: u8) -> Option<Cc> {
+        [Cc::E, Cc::Ne, Cc::L, Cc::Le, Cc::G, Cc::Ge, Cc::B, Cc::Ae]
+            .get(b as usize)
+            .copied()
+    }
+
+    /// The condition with taken/not-taken roles exchanged.
+    pub fn negate(self) -> Cc {
+        match self {
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::L => Cc::Ge,
+            Cc::Le => Cc::G,
+            Cc::G => Cc::Le,
+            Cc::Ge => Cc::L,
+            Cc::B => Cc::Ae,
+            Cc::Ae => Cc::B,
+        }
+    }
+}
+
+impl fmt::Display for Cc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::L => "l",
+            Cc::Le => "le",
+            Cc::G => "g",
+            Cc::Ge => "ge",
+            Cc::B => "b",
+            Cc::Ae => "ae",
+        };
+        f.write_str(s)
+    }
+}
+
+/// ALU operators for the two-operand `alu` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add = 0,
+    /// Wrapping subtraction.
+    Sub = 1,
+    /// Bitwise and.
+    And = 2,
+    /// Bitwise or.
+    Or = 3,
+    /// Bitwise xor.
+    Xor = 4,
+    /// Logical shift left.
+    Shl = 5,
+    /// Logical shift right.
+    Shr = 6,
+    /// Arithmetic shift right.
+    Sar = 7,
+    /// Wrapping signed multiplication.
+    Imul = 8,
+}
+
+impl AluOp {
+    /// Decodes an operator from its byte.
+    pub fn from_byte(b: u8) -> Option<AluOp> {
+        [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Sar,
+            AluOp::Imul,
+        ]
+        .get(b as usize)
+        .copied()
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Imul => "imul",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory reference: `disp(base, index, scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mem {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional `(index register, scale ∈ {1,2,4,8})`.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// Absolute address `disp`.
+    pub fn abs(disp: u32) -> Mem {
+        Mem {
+            base: None,
+            index: None,
+            disp: disp as i32,
+        }
+    }
+
+    /// `disp(base)`.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `disp(, index, scale)` — table indexing from an absolute base.
+    pub fn indexed(disp: u32, index: Reg, scale: u8) -> Mem {
+        debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
+        Mem {
+            base: None,
+            index: Some((index, scale)),
+            disp: disp as i32,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}(", self.disp)?;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+        }
+        if let Some((i, s)) = self.index {
+            write!(f, ",{i},{s}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate (source positions only).
+    Imm(i32),
+    /// A memory reference.
+    Mem(Mem),
+}
+
+impl Operand {
+    /// Whether this operand can be written.
+    pub fn is_writable(&self) -> bool {
+        !matches!(self, Operand::Imm(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v:#x}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_byte_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_byte(r.to_byte()), Some(r));
+        }
+        assert_eq!(Reg::from_byte(8), None);
+    }
+
+    #[test]
+    fn cc_negation_is_involutive() {
+        for b in 0..8u8 {
+            let cc = Cc::from_byte(b).unwrap();
+            assert_eq!(cc.negate().negate(), cc);
+            assert_ne!(cc.negate(), cc);
+        }
+        assert_eq!(Cc::from_byte(8), None);
+    }
+
+    #[test]
+    fn aluop_round_trip() {
+        for b in 0..9u8 {
+            let op = AluOp::from_byte(b).unwrap();
+            assert_eq!(op as u8, b);
+        }
+        assert_eq!(AluOp::from_byte(9), None);
+    }
+
+    #[test]
+    fn operand_writability() {
+        assert!(Operand::Reg(Reg::Eax).is_writable());
+        assert!(Operand::Mem(Mem::abs(0x1000)).is_writable());
+        assert!(!Operand::Imm(5).is_writable());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::Eax.to_string(), "%eax");
+        assert_eq!(Operand::Imm(16).to_string(), "$0x10");
+        let m = Mem::indexed(0x80d2bb0, Reg::Edx, 2);
+        assert_eq!(m.to_string(), "0x80d2bb0(,%edx,2)");
+    }
+}

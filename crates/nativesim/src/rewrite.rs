@@ -1,0 +1,383 @@
+//! A link-time-style rewriting unit (the PLTO analogue).
+//!
+//! A [`Unit`] is a fully disassembled text section whose direct branch
+//! targets have been lifted to *item indices*, plus the data section.
+//! Inserting or replacing instructions re-lays-out the text and re-links
+//! every direct `jmp`/`jcc`/`call` — exactly what a binary rewriter can
+//! do. What it *cannot* do, just like a real rewriter, is fix absolute
+//! code addresses hidden inside data (the branch function's XOR tables)
+//! or address-valued immediates it cannot prove are code pointers: those
+//! are represented by [`ImmFix::None`] after [`Unit::from_image`], and
+//! the tamper-proofing of Section 4.3 exploits precisely this gap.
+
+use std::collections::HashMap;
+
+use crate::encode::{disassemble_all, encode};
+use crate::image::{Image, DATA_BASE, TEXT_BASE};
+use crate::insn::Insn;
+use crate::reg::Operand;
+use crate::SimError;
+
+/// A deferred address-valued immediate, resolved at encode time.
+///
+/// Only the assembler creates non-`None` fixes; a unit lifted from an
+/// existing image has no way to recover them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImmFix {
+    /// The immediate is an ordinary constant; leave it alone.
+    None,
+    /// Write the final address of item `i` into the instruction's
+    /// address slot.
+    AbsAddr(usize),
+    /// Write `addr(a) - addr(b)` into the instruction's address slot.
+    DiffAddr(usize, usize),
+}
+
+/// One instruction in a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// The instruction. For direct branches the encoded displacement is
+    /// recomputed from `target` at encode time.
+    pub insn: Insn,
+    /// Item index this direct branch targets (`Some` exactly for `Jmp`,
+    /// `Jcc`, `Call`).
+    pub target: Option<usize>,
+    /// Deferred address-valued immediate, if any.
+    pub imm_fix: ImmFix,
+}
+
+impl Item {
+    /// A plain item with no link-time references.
+    pub fn plain(insn: Insn) -> Item {
+        Item {
+            insn,
+            target: None,
+            imm_fix: ImmFix::None,
+        }
+    }
+}
+
+/// A rewritable program: disassembled text plus raw data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// Instructions in layout order.
+    pub items: Vec<Item>,
+    /// The data section (absolute addresses inside are *not* modeled —
+    /// that is the attack surface).
+    pub data: Vec<u8>,
+    /// Base address of the text section.
+    pub text_base: u32,
+    /// Base address of the data section (fixed; never moves when text
+    /// grows).
+    pub data_base: u32,
+    /// Index of the entry instruction.
+    pub entry_index: usize,
+}
+
+impl Unit {
+    /// An empty unit at the standard bases.
+    pub fn new() -> Unit {
+        Unit {
+            items: Vec::new(),
+            data: Vec::new(),
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            entry_index: 0,
+        }
+    }
+
+    /// Lifts an image into a rewritable unit: full linear disassembly,
+    /// then direct-branch displacements become item indices.
+    ///
+    /// # Errors
+    ///
+    /// * decode errors from malformed text;
+    /// * [`SimError::BadBranchTarget`] if a direct branch targets a
+    ///   non-instruction address;
+    /// * [`SimError::BadImage`] if the entry is not an instruction start.
+    pub fn from_image(image: &Image) -> Result<Unit, SimError> {
+        let listing = disassemble_all(&image.text, image.text_base)?;
+        let addr_to_index: HashMap<u32, usize> = listing
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, _))| (addr, i))
+            .collect();
+        let mut items = Vec::with_capacity(listing.len());
+        for (k, &(addr, insn)) in listing.iter().enumerate() {
+            let next_addr = listing
+                .get(k + 1)
+                .map(|&(a, _)| a)
+                .unwrap_or(image.text_base + image.text.len() as u32);
+            let target = match insn {
+                Insn::Jmp(d) | Insn::Call(d) | Insn::Jcc(_, d) => {
+                    let t = next_addr.wrapping_add(d as u32);
+                    Some(*addr_to_index.get(&t).ok_or(SimError::BadBranchTarget {
+                        from: addr,
+                        target: t,
+                    })?)
+                }
+                _ => None,
+            };
+            items.push(Item {
+                insn,
+                target,
+                imm_fix: ImmFix::None,
+            });
+        }
+        let entry_index = *addr_to_index
+            .get(&image.entry)
+            .ok_or(SimError::BadImage {
+                reason: format!("entry {:#010x} is not an instruction start", image.entry),
+            })?;
+        Ok(Unit {
+            items,
+            data: image.data.clone(),
+            text_base: image.text_base,
+            data_base: image.data_base,
+            entry_index,
+        })
+    }
+
+    /// Final address of every item under the current layout.
+    pub fn addresses(&self) -> Vec<u32> {
+        let mut addrs = Vec::with_capacity(self.items.len());
+        let mut addr = self.text_base;
+        for item in &self.items {
+            addrs.push(addr);
+            addr += item.insn.len() as u32;
+        }
+        addrs
+    }
+
+    /// Inserts an item before position `at`. Direct-branch targets and
+    /// fixups pointing at or beyond `at` shift by one, so existing jumps
+    /// keep pointing at the instruction they pointed at (the inserted
+    /// item is *skipped* by control flow into `at` — a rewriter inserting
+    /// a no-op "between" instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > items.len()`.
+    pub fn insert(&mut self, at: usize, item: Item) {
+        assert!(at <= self.items.len(), "insertion point out of range");
+        let shift = |t: usize| if t >= at { t + 1 } else { t };
+        for existing in &mut self.items {
+            if let Some(t) = existing.target.as_mut() {
+                *t = shift(*t);
+            }
+            existing.imm_fix = match existing.imm_fix {
+                ImmFix::None => ImmFix::None,
+                ImmFix::AbsAddr(i) => ImmFix::AbsAddr(shift(i)),
+                ImmFix::DiffAddr(a, b) => ImmFix::DiffAddr(shift(a), shift(b)),
+            };
+        }
+        // The inserted item's own references are taken as final indices
+        // (post-insertion); the caller computes them against the
+        // post-insertion layout.
+        if self.entry_index >= at {
+            self.entry_index += 1;
+        }
+        self.items.insert(at, item);
+    }
+
+    /// Appends an item at the end of the text, returning its index.
+    pub fn push(&mut self, item: Item) -> usize {
+        self.items.push(item);
+        self.items.len() - 1
+    }
+
+    /// Appends raw bytes to the data section, returning their absolute
+    /// address.
+    pub fn push_data(&mut self, bytes: &[u8]) -> u32 {
+        let addr = self.data_base + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends a little-endian u32 to the data section, returning its
+    /// absolute address.
+    pub fn push_data_u32(&mut self, v: u32) -> u32 {
+        self.push_data(&v.to_le_bytes())
+    }
+
+    /// Encodes the unit back into an executable image, recomputing every
+    /// direct-branch displacement and resolving address fixups.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadImage`] for layout violations (e.g. text grown past
+    /// the data base).
+    pub fn encode(&self) -> Result<Image, SimError> {
+        let addrs = self.addresses();
+        let text_end = self
+            .text_base
+            .wrapping_add(self.items.iter().map(|i| i.insn.len() as u32).sum::<u32>());
+        let mut text = Vec::new();
+        for (k, item) in self.items.iter().enumerate() {
+            let mut insn = item.insn;
+            if let Some(t) = item.target {
+                let next = addrs.get(k + 1).copied().unwrap_or(text_end);
+                let disp = addrs[t].wrapping_sub(next) as i32;
+                match &mut insn {
+                    Insn::Jmp(d) | Insn::Call(d) | Insn::Jcc(_, d) => *d = disp,
+                    other => {
+                        return Err(SimError::BadImage {
+                            reason: format!("target set on non-branch {other}"),
+                        })
+                    }
+                }
+            }
+            match item.imm_fix {
+                ImmFix::None => {}
+                ImmFix::AbsAddr(i) => set_addr_slot(&mut insn, addrs[i])?,
+                ImmFix::DiffAddr(a, b) => {
+                    set_addr_slot(&mut insn, addrs[a].wrapping_sub(addrs[b]))?
+                }
+            }
+            encode(&insn, &mut text);
+        }
+        let image = Image {
+            text_base: self.text_base,
+            text,
+            data_base: self.data_base,
+            data: self.data.clone(),
+            entry: addrs.get(self.entry_index).copied().ok_or_else(|| {
+                SimError::BadImage {
+                    reason: "entry index out of range".into(),
+                }
+            })?,
+        };
+        image.validate()?;
+        Ok(image)
+    }
+}
+
+impl Default for Unit {
+    fn default() -> Self {
+        Unit::new()
+    }
+}
+
+/// Writes an address-valued constant into the instruction's address slot
+/// (the immediate source operand, or the displacement of a `lea`).
+fn set_addr_slot(insn: &mut Insn, value: u32) -> Result<(), SimError> {
+    let slot: Option<&mut i32> = match insn {
+        Insn::Mov(_, Operand::Imm(v))
+        | Insn::Alu(_, _, Operand::Imm(v))
+        | Insn::Cmp(_, Operand::Imm(v))
+        | Insn::Push(Operand::Imm(v))
+        | Insn::Out(Operand::Imm(v)) => Some(v),
+        Insn::Lea(_, m) => Some(&mut m.disp),
+        _ => None,
+    };
+    match slot {
+        Some(s) => {
+            *s = value as i32;
+            Ok(())
+        }
+        None => Err(SimError::BadImage {
+            reason: format!("no address slot in {insn}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ImageBuilder;
+    use crate::cpu::Machine;
+    use crate::reg::{AluOp, Cc, Operand, Reg};
+
+    fn looping_image() -> Image {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let top = a.label();
+        a.mov_ri(Reg::Ecx, 3);
+        a.bind(top);
+        a.out(Operand::Reg(Reg::Ecx));
+        a.alu_ri(AluOp::Sub, Reg::Ecx, 1);
+        a.cmp(Operand::Reg(Reg::Ecx), Operand::Imm(0));
+        a.jcc(Cc::G, top);
+        a.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lift_encode_round_trip_is_identity() {
+        let img = looping_image();
+        let unit = Unit::from_image(&img).unwrap();
+        let re = unit.encode().unwrap();
+        assert_eq!(re, img);
+    }
+
+    #[test]
+    fn nop_insertion_preserves_direct_control_flow() {
+        let img = looping_image();
+        let mut unit = Unit::from_image(&img).unwrap();
+        // Insert no-ops before every original instruction.
+        let n = unit.items.len();
+        for k in (0..n).rev() {
+            unit.insert(k, Item::plain(Insn::Nop));
+        }
+        let re = unit.encode().unwrap();
+        assert_ne!(re.text.len(), img.text.len());
+        let out = Machine::load(&re).run(10_000).unwrap();
+        assert_eq!(out.output, vec![3, 2, 1], "plain program survives no-ops");
+    }
+
+    #[test]
+    fn addresses_shift_after_insertion() {
+        let img = looping_image();
+        let mut unit = Unit::from_image(&img).unwrap();
+        let before = unit.addresses();
+        unit.insert(1, Item::plain(Insn::Nop));
+        let after = unit.addresses();
+        assert_eq!(before[0], after[0]);
+        assert_eq!(after[2], before[1] + 1, "everything after the nop shifts");
+    }
+
+    #[test]
+    fn branch_into_middle_of_instruction_rejected() {
+        // Build an image whose jmp lands inside an instruction encoding.
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        a.mov_ri(Reg::Eax, 1); // 7 bytes
+        a.halt();
+        let mut img = b.finish().unwrap();
+        // Append a jmp whose displacement targets text_base + 3.
+        let jmp_addr = img.text_base + img.text.len() as u32;
+        let disp = (img.text_base + 3).wrapping_sub(jmp_addr + 5) as i32;
+        crate::encode::encode(&Insn::Jmp(disp), &mut img.text);
+        assert!(matches!(
+            Unit::from_image(&img),
+            Err(SimError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn data_section_is_copied_verbatim() {
+        let mut b = ImageBuilder::new();
+        b.data_u32(0xDEAD_BEEF);
+        let a = b.text();
+        a.halt();
+        let img = b.finish().unwrap();
+        let mut unit = Unit::from_image(&img).unwrap();
+        let addr = unit.push_data_u32(0x1234_5678);
+        assert_eq!(addr, img.data_base + 4);
+        let re = unit.encode().unwrap();
+        assert_eq!(re.data.len(), 8);
+        assert_eq!(&re.data[..4], &0xDEAD_BEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn entry_index_tracks_insertions() {
+        let img = looping_image();
+        let mut unit = Unit::from_image(&img).unwrap();
+        unit.insert(0, Item::plain(Insn::Nop));
+        assert_eq!(unit.entry_index, 1);
+        let re = unit.encode().unwrap();
+        // Entry skips the inserted nop; program still works.
+        let out = Machine::load(&re).run(10_000).unwrap();
+        assert_eq!(out.output, vec![3, 2, 1]);
+    }
+}

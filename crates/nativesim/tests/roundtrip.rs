@@ -1,0 +1,144 @@
+//! Property tests on the binary encoding and the rewriting unit:
+//! arbitrary instructions round-trip through encode/decode, and lifted
+//! units re-encode to the identical image.
+
+use proptest::prelude::*;
+
+use nativesim::encode::{decode, disassemble_all, encode};
+use nativesim::insn::Insn;
+use nativesim::reg::{AluOp, Cc, Mem, Operand, Reg};
+use nativesim::rewrite::Unit;
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|b| Reg::from_byte(b).expect("0..8 are registers"))
+}
+
+fn cc_strategy() -> impl Strategy<Value = Cc> {
+    (0u8..8).prop_map(|b| Cc::from_byte(b).expect("0..8 are condition codes"))
+}
+
+fn alu_strategy() -> impl Strategy<Value = AluOp> {
+    (0u8..9).prop_map(|b| AluOp::from_byte(b).expect("0..9 are ALU ops"))
+}
+
+fn mem_strategy() -> impl Strategy<Value = Mem> {
+    (
+        proptest::option::of(reg_strategy()),
+        proptest::option::of((reg_strategy(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy().prop_map(Operand::Reg),
+        any::<i32>().prop_map(Operand::Imm),
+        mem_strategy().prop_map(Operand::Mem),
+    ]
+}
+
+fn writable_operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy().prop_map(Operand::Reg),
+        mem_strategy().prop_map(Operand::Mem),
+    ]
+}
+
+fn insn_strategy() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        Just(Insn::Halt),
+        Just(Insn::Ret),
+        Just(Insn::Pushf),
+        Just(Insn::Popf),
+        (writable_operand_strategy(), operand_strategy()).prop_map(|(d, s)| Insn::Mov(d, s)),
+        (reg_strategy(), mem_strategy()).prop_map(|(r, m)| Insn::Lea(r, m)),
+        (alu_strategy(), writable_operand_strategy(), operand_strategy())
+            .prop_map(|(op, d, s)| Insn::Alu(op, d, s)),
+        (operand_strategy(), operand_strategy()).prop_map(|(a, b)| Insn::Cmp(a, b)),
+        (operand_strategy(), operand_strategy()).prop_map(|(a, b)| Insn::Test(a, b)),
+        any::<i32>().prop_map(Insn::Jmp),
+        (cc_strategy(), any::<i32>()).prop_map(|(cc, d)| Insn::Jcc(cc, d)),
+        any::<i32>().prop_map(Insn::Call),
+        operand_strategy().prop_map(Insn::JmpInd),
+        operand_strategy().prop_map(Insn::CallInd),
+        operand_strategy().prop_map(Insn::Push),
+        reg_strategy().prop_map(Insn::Pop),
+        operand_strategy().prop_map(Insn::Out),
+        reg_strategy().prop_map(Insn::In),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_identity(insn in insn_strategy()) {
+        let mut bytes = Vec::new();
+        encode(&insn, &mut bytes);
+        prop_assert_eq!(bytes.len(), insn.len(), "length model agrees");
+        let (decoded, len) = decode(&bytes, 0x8048000).expect("decodes");
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn stream_decoding_is_self_synchronizing_from_starts(
+        insns in proptest::collection::vec(insn_strategy(), 1..40)
+    ) {
+        let mut bytes = Vec::new();
+        for i in &insns {
+            encode(i, &mut bytes);
+        }
+        let listing = disassemble_all(&bytes, 0x8048000).expect("stream decodes");
+        prop_assert_eq!(listing.len(), insns.len());
+        for ((_, got), want) in listing.iter().zip(&insns) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_not_panic(
+        insns in proptest::collection::vec(insn_strategy(), 1..10),
+        cut in any::<prop::sample::Index>()
+    ) {
+        let mut bytes = Vec::new();
+        for i in &insns {
+            encode(i, &mut bytes);
+        }
+        let cut = cut.index(bytes.len());
+        // Any prefix either decodes as some instruction stream or
+        // reports an error; never panics.
+        let _ = disassemble_all(&bytes[..cut], 0x8048000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lift → encode is the identity on any image assembled from
+    /// *position-independent* instructions (no direct branches: their
+    /// displacements are relinked, everything else must be copied
+    /// verbatim).
+    #[test]
+    fn unit_lift_encode_identity(
+        insns in proptest::collection::vec(
+            insn_strategy().prop_filter("no direct branches", |i| {
+                !matches!(i, Insn::Jmp(_) | Insn::Jcc(..) | Insn::Call(_))
+            }),
+            1..30
+        )
+    ) {
+        let mut b = nativesim::asm::ImageBuilder::new();
+        let a = b.text();
+        for i in &insns {
+            a.insn(*i);
+        }
+        a.halt();
+        let image = b.finish().expect("builds");
+        let unit = Unit::from_image(&image).expect("lifts");
+        let re = unit.encode().expect("re-encodes");
+        prop_assert_eq!(re, image);
+    }
+}

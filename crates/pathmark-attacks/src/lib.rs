@@ -1,0 +1,23 @@
+//! Semantics-preserving attacks against path-based watermarks.
+//!
+//! The paper evaluates its watermarks against two attack families
+//! (Section 5):
+//!
+//! * [`java`] — distortive bytecode transformations in the spirit of
+//!   SandMark's attack library (Section 5.1.2): random branch insertion
+//!   (the headline attack of Figures 8(c,d)), no-op insertion,
+//!   branch-sense inversion, basic-block reordering and splitting, block
+//!   copying, and the "class encryption" attack that denies
+//!   instrumentation access to the bytecode.
+//! * [`native`] — binary-rewriting attacks on marked executables
+//!   (Section 5.2.2): no-op insertion, branch-sense inversion, double
+//!   watermarking, bypassing the branch function with same-size jumps,
+//!   and rerouting branch-function calls through thunks.
+//!
+//! Every attack here preserves the semantics of *unmarked* programs;
+//! what happens to *marked* programs (the watermark dies, or the
+//! tamper-proofing kills the program) is exactly what the resilience
+//! experiments measure.
+
+pub mod java;
+pub mod native;

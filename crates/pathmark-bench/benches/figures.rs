@@ -1,0 +1,10 @@
+//! Quick-mode regeneration of every figure and table of the paper's
+//! evaluation (the full series live in `EXPERIMENTS.md`; run the
+//! `fig5`/`fig8`/`fig9`/`tables` binaries without `--quick` for those).
+fn main() {
+    println!("=== Figure 5 (quick) ===\n{}", pathmark_bench::fig5::run(true));
+    println!("=== Figure 8 (quick) ===\n{}", pathmark_bench::fig8::run(true));
+    println!("=== Figure 9 (quick) ===\n{}", pathmark_bench::fig9::run(true));
+    println!("=== Attack matrices (quick) ===\n{}", pathmark_bench::tables::run(true));
+    println!("=== Ablations (quick) ===\n{}", pathmark_bench::ablations::run(true));
+}

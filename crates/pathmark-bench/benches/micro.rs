@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the system's primitives: the cipher,
+//! the perfect hash, big-integer CRT recombination, trace decoding,
+//! embedding, recognition, and native extraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pathmark_core::bitstring::BitString;
+use pathmark_core::java::{embed, recognize, JavaConfig};
+use pathmark_core::key::{Watermark, WatermarkKey};
+use pathmark_core::native::{embed_native, extract, ExtractionSpec, NativeConfig, TracerKind};
+use pathmark_crypto::{DisplacementHash, Prng, Xtea};
+use pathmark_math::bigint::BigUint;
+use pathmark_math::crt::combine_statements;
+use pathmark_math::enumeration::PairEnumeration;
+use pathmark_math::primes::generate_primes;
+use stackvm::interp::Vm;
+use stackvm::trace::TraceConfig;
+
+fn bench_crypto(c: &mut Criterion) {
+    let cipher = Xtea::from_seed(1);
+    c.bench_function("xtea_encrypt_block", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = cipher.encrypt(black_box(x));
+            x
+        })
+    });
+    let keys: Vec<u32> = (0..513u32).map(|i| 0x0804_8000 + i * 11).collect();
+    c.bench_function("phf_build_513_keys", |b| {
+        b.iter(|| DisplacementHash::build(black_box(&keys), 7).unwrap())
+    });
+    let hash = DisplacementHash::build(&keys, 7).unwrap();
+    c.bench_function("phf_eval", |b| {
+        b.iter(|| hash.eval(black_box(0x0804_9000)))
+    });
+}
+
+fn bench_math(c: &mut Criterion) {
+    let primes = generate_primes(1, 24, 35);
+    let e = PairEnumeration::new(&primes).unwrap();
+    let mut rng = Prng::from_seed(2);
+    let mut bytes = vec![0u8; 96];
+    rng.fill_bytes(&mut bytes);
+    let mut w = BigUint::from_bytes_le(&bytes);
+    while w >= e.watermark_bound() {
+        w = &w >> 1;
+    }
+    c.bench_function("split_768bit_watermark", |b| {
+        b.iter(|| e.split(black_box(&w)))
+    });
+    let pieces = e.split(&w);
+    c.bench_function("gcrt_recombine_595_pieces", |b| {
+        b.iter(|| combine_statements(black_box(&pieces), &primes).unwrap())
+    });
+}
+
+fn small_program() -> stackvm::Program {
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+    use stackvm::insn::Cond;
+    let mut pb = ProgramBuilder::new();
+    let mut f = FunctionBuilder::new("main", 0, 2);
+    let head = f.new_label();
+    let out = f.new_label();
+    f.push(0).store(0);
+    f.bind(head);
+    f.load(0).push(25).if_cmp(Cond::Ge, out);
+    f.load(0).load(1).add().store(1);
+    f.iinc(0, 1).goto(head);
+    f.bind(out);
+    f.load(1).print().ret_void();
+    let main = pb.add_function(f.finish().unwrap());
+    pb.finish(main).unwrap()
+}
+
+fn bench_java(c: &mut Criterion) {
+    let program = small_program();
+    let key = WatermarkKey::new(3, vec![1]);
+    let config = JavaConfig::for_watermark_bits(128).with_pieces(20);
+    let watermark = Watermark::random_for(&config, &key);
+    c.bench_function("java_embed_128bit_20pieces", |b| {
+        b.iter(|| embed(black_box(&program), &watermark, &key, &config).unwrap())
+    });
+    let marked = embed(&program, &watermark, &key, &config).unwrap().program;
+    c.bench_function("java_recognize_128bit", |b| {
+        b.iter(|| recognize(black_box(&marked), &key, &config).unwrap())
+    });
+    c.bench_function("trace_and_decode_bitstring", |b| {
+        b.iter(|| {
+            let outcome = Vm::new(&marked)
+                .with_input(vec![1])
+                .with_trace(TraceConfig::branches_only())
+                .run()
+                .unwrap();
+            BitString::from_trace(black_box(&outcome.trace))
+        })
+    });
+}
+
+fn bench_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native");
+    group.sample_size(10);
+    let w = pathmark_workloads::native::by_name("mcf").unwrap();
+    let key = WatermarkKey::new(4, w.training_input.iter().map(|&v| v as i64).collect());
+    let config = NativeConfig {
+        training_inputs: vec![],
+        ..NativeConfig::default()
+    };
+    let mut rng = Prng::from_seed(5);
+    let watermark = Watermark::random(64, &mut rng);
+    group.bench_function("embed_64bit_into_mcf", |b| {
+        b.iter_batched(
+            || w.image.clone(),
+            |image| embed_native(&image, &watermark.to_bits(), &key, &config).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config).unwrap();
+    group.bench_function("extract_64bit_smart_tracer", |b| {
+        b.iter(|| {
+            extract(
+                black_box(&mark.image),
+                &key.native_input(),
+                ExtractionSpec {
+                    begin: mark.begin,
+                    end: mark.end,
+                },
+                TracerKind::Smart,
+                200_000_000,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_math, bench_java, bench_native);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the ablation studies.
+//! `cargo run --release -p pathmark-bench --bin ablations`
+fn main() {
+    print!("{}", pathmark_bench::ablations::run(std::env::args().any(|a| a == "--quick")));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5. `cargo run --release -p pathmark-bench --bin fig5`
+fn main() {
+    print!("{}", pathmark_bench::fig5::run(std::env::args().any(|a| a == "--quick")));
+}

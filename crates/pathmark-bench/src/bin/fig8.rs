@@ -1,0 +1,4 @@
+//! Regenerates Figure 8(a-d). `cargo run --release -p pathmark-bench --bin fig8`
+fn main() {
+    print!("{}", pathmark_bench::fig8::run(std::env::args().any(|a| a == "--quick")));
+}

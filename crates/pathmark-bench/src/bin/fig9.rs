@@ -1,0 +1,4 @@
+//! Regenerates Figure 9(a,b). `cargo run --release -p pathmark-bench --bin fig9`
+fn main() {
+    print!("{}", pathmark_bench::fig9::run(std::env::args().any(|a| a == "--quick")));
+}

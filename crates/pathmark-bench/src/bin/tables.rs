@@ -1,0 +1,5 @@
+//! Regenerates the Section 5.1.2 / 5.2.2 attack matrices.
+//! `cargo run --release -p pathmark-bench --bin tables`
+fn main() {
+    print!("{}", pathmark_bench::tables::run(std::env::args().any(|a| a == "--quick")));
+}

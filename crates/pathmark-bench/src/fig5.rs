@@ -1,0 +1,142 @@
+//! Figure 5: number of watermark pieces recovered intact versus the
+//! probability of successful watermark recovery, for a 768-bit `W` —
+//! empirical Monte-Carlo curve against the paper's analytic
+//! approximation (equation (1)).
+
+use pathmark_crypto::Prng;
+use pathmark_math::bigint::BigUint;
+use pathmark_math::crt::combine_statements;
+use pathmark_math::enumeration::PairEnumeration;
+use pathmark_math::primes::generate_primes;
+use pathmark_math::recovery::{
+    deletion_probability, empirical_success_probability, success_probability,
+};
+use std::fmt::Write as _;
+
+/// One point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Watermark pieces left intact.
+    pub intact: usize,
+    /// Monte-Carlo success probability.
+    pub empirical: f64,
+    /// Equation (1).
+    pub analytic: f64,
+}
+
+/// Computes the curve. 768-bit `W` needs 35 24-bit primes (n = 35
+/// nodes, C(35,2) = 595 pieces).
+pub fn compute(quick: bool) -> Vec<Point> {
+    let n = 35;
+    let pairs = n * (n - 1) / 2;
+    let trials = if quick { 200 } else { 2000 };
+    let step = pairs / if quick { 10 } else { 40 };
+    let mut rng = Prng::from_seed(0xF165);
+    let mut points = Vec::new();
+    for intact in (0..=pairs).step_by(step.max(1)) {
+        let q = deletion_probability(n, intact);
+        points.push(Point {
+            intact,
+            empirical: empirical_success_probability(n, intact, trials, || rng.next_u64()),
+            analytic: success_probability(n, q),
+        });
+    }
+    points
+}
+
+/// End-to-end spot check: split an actual 768-bit watermark, keep a
+/// random subset of statements, recombine with the Generalized CRT, and
+/// confirm full recovery exactly when all primes stay covered.
+pub fn spot_check_full_pipeline(intact: usize) -> (bool, bool) {
+    let primes = generate_primes(0x768, 24, 35);
+    let enumeration = PairEnumeration::new(&primes).expect("config is valid");
+    let mut rng = Prng::from_seed(0x5EED ^ intact as u64);
+    let mut bytes = vec![0u8; 96];
+    rng.fill_bytes(&mut bytes);
+    let mut w = BigUint::from_bytes_le(&bytes);
+    while w >= enumeration.watermark_bound() {
+        w = &w >> 1;
+    }
+    let mut pieces = enumeration.split(&w);
+    rng.shuffle(&mut pieces);
+    pieces.truncate(intact);
+    let covered = (0..primes.len())
+        .all(|i| pieces.iter().any(|s| s.i == i || s.j == i));
+    let recovered = combine_statements(&pieces, &primes)
+        .map(|(value, _)| value == w)
+        .unwrap_or(false);
+    (covered, recovered)
+}
+
+/// Renders the figure as a table.
+pub fn run(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5: pieces intact vs probability of recovering a 768-bit W"
+    );
+    let _ = writeln!(out, "(35 primes, 595 possible pieces)\n");
+    let _ = writeln!(out, "{:>8} {:>11} {:>10}", "intact", "empirical", "eq.(1)");
+    for p in compute(quick) {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>11.3} {:>10.3}",
+            p.intact, p.empirical, p.analytic
+        );
+    }
+    // Full-pipeline spot checks at a low, a middling, and a high count.
+    let _ = writeln!(out, "\nGeneralized-CRT spot checks (cover ⇔ recover):");
+    for intact in [20usize, 120, 595] {
+        let (covered, recovered) = spot_check_full_pipeline(intact);
+        let _ = writeln!(
+            out,
+            "  {intact:>4} pieces: primes covered = {covered}, W recovered = {recovered}"
+        );
+        assert!(!covered || recovered, "coverage must guarantee recovery");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_sigmoid_from_zero_to_one() {
+        let points = compute(true);
+        assert!(points.first().unwrap().empirical < 0.05);
+        assert!(points.last().unwrap().empirical > 0.95);
+        assert!(points.first().unwrap().analytic < 0.05);
+        assert!(points.last().unwrap().analytic > 0.95);
+    }
+
+    #[test]
+    fn empirical_tracks_analytic() {
+        // The paper's figure shows the two curves agreeing closely.
+        for p in compute(true) {
+            assert!(
+                (p.empirical - p.analytic).abs() < 0.12,
+                "divergence at {}: {} vs {}",
+                p.intact,
+                p.empirical,
+                p.analytic
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_spot_checks_agree() {
+        // Coverage guarantees recovery (the converse can fail to fail:
+        // a nearly-full modulus may still exceed W by luck).
+        for intact in [10usize, 60, 200, 595] {
+            let (covered, recovered) = spot_check_full_pipeline(intact);
+            assert!(!covered || recovered, "covered but not recovered at {intact}");
+        }
+        // With very few pieces, coverage of all 35 primes is impossible.
+        let (covered, _) = spot_check_full_pipeline(5);
+        assert!(!covered);
+        // With all pieces, recovery is certain.
+        let (covered, recovered) = spot_check_full_pipeline(595);
+        assert!(covered && recovered);
+    }
+}

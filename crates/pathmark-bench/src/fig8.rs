@@ -1,0 +1,323 @@
+//! Figure 8: bytecode watermarking cost and resilience.
+//!
+//! * (a) runtime slowdown versus number of pieces inserted, for the
+//!   CaffeineMark-like and Jess-like workloads;
+//! * (b) size increase versus number of pieces;
+//! * (c) survivable random branch insertion versus number of pieces,
+//!   for 128/256/512-bit watermarks;
+//! * (d) slowdown caused by the branch-insertion *attack* versus the
+//!   fraction of branches added.
+//!
+//! Cost is measured in executed interpreter instructions (deterministic;
+//! stands in for the paper's wall-clock — see `DESIGN.md`).
+
+use pathmark_attacks::java as attacks;
+use pathmark_core::java::{embed, recognize, CodegenPolicy, JavaConfig};
+use pathmark_core::key::Watermark;
+use pathmark_workloads::java as workloads;
+use stackvm::interp::Vm;
+use stackvm::Program;
+use std::fmt::Write as _;
+
+use crate::setup;
+
+fn instructions_of(program: &Program, input: &[i64]) -> u64 {
+    Vm::new(program)
+        .with_input(input.to_vec())
+        .with_budget(2_000_000_000)
+        .run()
+        .expect("workload runs")
+        .instructions
+}
+
+struct Workload {
+    name: &'static str,
+    program: Program,
+    input: Vec<i64>,
+}
+
+fn both_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "caffeinemark",
+            program: workloads::caffeinemark(),
+            input: vec![setup::CAFFEINE_INPUT],
+        },
+        Workload {
+            name: "jess",
+            program: workloads::jess_like(),
+            input: vec![setup::JESS_INPUT],
+        },
+    ]
+}
+
+/// One cost measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CostPoint {
+    /// Number of pieces inserted.
+    pub pieces: usize,
+    /// Slowdown fraction (0.1 = 10% slower).
+    pub slowdown: f64,
+    /// Bytes added by embedding.
+    pub bytes_added: usize,
+}
+
+/// Figures 8(a) and 8(b): sweep the piece count, measuring slowdown and
+/// size growth for both workloads with a 512-bit watermark.
+pub fn cost_sweep(quick: bool) -> Vec<(&'static str, Vec<CostPoint>)> {
+    let piece_counts: Vec<usize> = if quick {
+        vec![0, 50, 150, 300]
+    } else {
+        vec![0, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500]
+    };
+    let mut results = Vec::new();
+    for w in both_workloads() {
+        let key = setup::key(w.input.clone());
+        let baseline = instructions_of(&w.program, &w.input);
+        let base_bytes = w.program.byte_size();
+        let mut points = Vec::new();
+        for &pieces in &piece_counts {
+            // The loop generator, whose per-piece cost Figure 8(b)
+            // characterizes (the codegen trade-off is Ablation 3).
+            let config = JavaConfig::for_watermark_bits(512)
+                .with_pieces(pieces)
+                .with_codegen(CodegenPolicy::LoopOnly);
+            let watermark = Watermark::random_for(&config, &key);
+            let marked = embed(&w.program, &watermark, &key, &config).expect("embeds");
+            let cost = instructions_of(&marked.program, &w.input);
+            points.push(CostPoint {
+                pieces,
+                slowdown: cost as f64 / baseline as f64 - 1.0,
+                bytes_added: marked.program.byte_size() - base_bytes,
+            });
+        }
+        results.push((w.name, points));
+    }
+    results
+}
+
+/// One resilience measurement for Figure 8(c).
+#[derive(Debug, Clone, Copy)]
+pub struct SurvivalPoint {
+    /// Watermark width in bits.
+    pub wm_bits: usize,
+    /// Number of pieces inserted.
+    pub pieces: usize,
+    /// Largest surviving branch-insertion rate (fraction of the
+    /// program's existing conditional branches added as bogus branches).
+    pub survivable: f64,
+}
+
+/// Figure 8(c): for each watermark size and piece count, the largest
+/// branch-insertion rate after which recognition still recovers `W`.
+pub fn survival_sweep(quick: bool) -> Vec<SurvivalPoint> {
+    let wm_sizes: &[usize] = if quick { &[128, 512] } else { &[128, 256, 512] };
+    let piece_counts: Vec<usize> = if quick {
+        vec![100, 300, 500]
+    } else {
+        vec![50, 100, 200, 300, 400, 500]
+    };
+    let rates: Vec<f64> = if quick {
+        vec![0.25, 0.5, 1.0, 1.5]
+    } else {
+        vec![0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0]
+    };
+    // The Jess-like workload (the paper's Figure 8(c) is program-
+    // agnostic; Jess keeps the attacked traces tractable).
+    let program = workloads::jess_like();
+    let input = vec![setup::JESS_INPUT / 10];
+    let key = setup::key(input.clone());
+    let mut out = Vec::new();
+    for &bits in wm_sizes {
+        for &pieces in &piece_counts {
+            let config = JavaConfig::for_watermark_bits(bits).with_pieces(pieces);
+            let watermark = Watermark::random_for(&config, &key);
+            let marked = embed(&program, &watermark, &key, &config).expect("embeds");
+            let branches = marked.program.conditional_branch_count();
+            let mut survivable = 0.0;
+            for &rate in &rates {
+                let mut attacked = marked.program.clone();
+                attacks::insert_random_branches(
+                    &mut attacked,
+                    (branches as f64 * rate) as usize,
+                    0xA77 ^ bits as u64 ^ pieces as u64,
+                );
+                let survived = recognize(&attacked, &key, &config)
+                    .map(|r| r.watermark.as_ref() == Some(watermark.value()))
+                    .unwrap_or(false);
+                if survived {
+                    survivable = rate;
+                } else {
+                    break;
+                }
+            }
+            out.push(SurvivalPoint {
+                wm_bits: bits,
+                pieces,
+                survivable,
+            });
+        }
+    }
+    out
+}
+
+/// Figure 8(d): cost of the branch-insertion *attack* itself — slowdown
+/// versus the fraction of branches added, on both workloads.
+pub fn attack_cost_sweep(quick: bool) -> Vec<(&'static str, Vec<(f64, f64)>)> {
+    let rates: Vec<f64> = if quick {
+        vec![0.5, 1.5, 3.0]
+    } else {
+        vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+    };
+    // Random insertion points give this attack high variance on small
+    // programs; average several seeds per rate, as one would average
+    // benchmark trials.
+    let seeds: &[u64] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let mut results = Vec::new();
+    for w in both_workloads() {
+        let baseline = instructions_of(&w.program, &w.input);
+        let branches = w.program.conditional_branch_count();
+        let mut points = Vec::new();
+        for &rate in &rates {
+            let mut total = 0.0;
+            for &seed in seeds {
+                let mut attacked = w.program.clone();
+                attacks::insert_random_branches(
+                    &mut attacked,
+                    (branches as f64 * rate) as usize,
+                    0xD0 ^ seed,
+                );
+                let cost = instructions_of(&attacked, &w.input);
+                total += cost as f64 / baseline as f64 - 1.0;
+            }
+            points.push((rate, total / seeds.len() as f64));
+        }
+        results.push((w.name, points));
+    }
+    results
+}
+
+/// Renders Figures 8(a) through 8(d).
+pub fn run(quick: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8(a,b): bytecode watermarking cost (512-bit watermark)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>12} {:>12}",
+        "program", "pieces", "slowdown", "bytes added"
+    );
+    for (name, points) in cost_sweep(quick) {
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>11.1}% {:>12}",
+                name,
+                p.pieces,
+                p.slowdown * 100.0,
+                p.bytes_added
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nFigure 8(c): survivable random branch insertion (jess workload)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>7} {:>22}",
+        "wm bits", "pieces", "survivable insertion"
+    );
+    for p in survival_sweep(quick) {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>7} {:>21.0}%",
+            p.wm_bits,
+            p.pieces,
+            p.survivable * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nFigure 8(d): slowdown caused by the branch-insertion attack\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>15} {:>10}",
+        "program", "branch increase", "slowdown"
+    );
+    for (name, points) in attack_cost_sweep(quick) {
+        for (rate, slowdown) in points {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>14.0}% {:>9.1}%",
+                name,
+                rate * 100.0,
+                slowdown * 100.0
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_cost_is_roughly_linear_in_pieces_and_app_independent() {
+        // Figure 8(b)'s claims: fixed-ish cost plus a linear per-piece
+        // cost, independent of application size.
+        let sweep = cost_sweep(true);
+        for (name, points) in &sweep {
+            let p50 = points.iter().find(|p| p.pieces == 50).unwrap();
+            let p300 = points.iter().find(|p| p.pieces == 300).unwrap();
+            let per_piece_a = p50.bytes_added as f64 / 50.0;
+            let per_piece_b = p300.bytes_added as f64 / 300.0;
+            assert!(
+                (per_piece_a / per_piece_b - 1.0).abs() < 0.5,
+                "{name}: per-piece cost must be roughly constant ({per_piece_a:.0} vs {per_piece_b:.0})"
+            );
+        }
+        // Application independence: per-piece byte costs within 2x
+        // across programs.
+        let a = sweep[0].1.last().unwrap().bytes_added as f64;
+        let b = sweep[1].1.last().unwrap().bytes_added as f64;
+        assert!(a / b < 2.0 && b / a < 2.0, "app-independent size cost");
+    }
+
+    #[test]
+    fn jess_stays_fast_caffeine_does_not() {
+        // Figure 8(a)'s headline contrast.
+        let sweep = cost_sweep(true);
+        let caffeine = &sweep[0];
+        let jess = &sweep[1];
+        assert_eq!(caffeine.0, "caffeinemark");
+        let caffeine_max = caffeine
+            .1
+            .iter()
+            .map(|p| p.slowdown)
+            .fold(0.0f64, f64::max);
+        let jess_max = jess.1.iter().map(|p| p.slowdown).fold(0.0f64, f64::max);
+        assert!(
+            jess_max < 0.15,
+            "jess slowdown stays small, got {jess_max:.2}"
+        );
+        assert!(
+            caffeine_max > jess_max * 2.0,
+            "caffeinemark degrades much faster ({caffeine_max:.2} vs {jess_max:.2})"
+        );
+    }
+
+    #[test]
+    fn attack_slowdown_grows_with_rate() {
+        for (name, points) in attack_cost_sweep(true) {
+            assert!(
+                points.last().unwrap().1 > points.first().unwrap().1,
+                "{name}: more branches, more slowdown"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 9: native watermarking cost across the ten SPECint-like
+//! programs, for 128/256/512-bit watermarks.
+//!
+//! * (a) relative increase in total size (text + data);
+//! * (b) runtime slowdown on the reference input (executed-instruction
+//!   ratio; deterministic stand-in for wall-clock).
+
+use pathmark_core::key::{Watermark, WatermarkKey};
+use pathmark_core::native::{embed_native, NativeConfig};
+use pathmark_crypto::Prng;
+use pathmark_workloads::native as workloads;
+use nativesim::cpu::Machine;
+use nativesim::Image;
+use std::fmt::Write as _;
+
+const BUDGET: u64 = 2_000_000_000;
+
+/// One program × watermark-size measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeCost {
+    /// Program name.
+    pub program: &'static str,
+    /// Watermark width in bits.
+    pub wm_bits: usize,
+    /// Relative size increase (0.1 = +10%).
+    pub size_increase: f64,
+    /// Relative slowdown on the reference input.
+    pub slowdown: f64,
+}
+
+fn instructions_of(image: &Image, input: &[u32]) -> u64 {
+    Machine::load(image)
+        .with_input(input.to_vec())
+        .run(BUDGET)
+        .expect("program runs")
+        .instructions
+}
+
+/// Runs the full sweep. `quick` restricts to three programs and one
+/// watermark size.
+pub fn compute(quick: bool) -> Vec<NativeCost> {
+    let wm_sizes: &[usize] = if quick { &[128] } else { &[128, 256, 512] };
+    let mut programs = workloads::all();
+    if quick {
+        programs.truncate(3);
+    }
+    let mut out = Vec::new();
+    for w in &programs {
+        let key = WatermarkKey::new(
+            0x9_2004,
+            w.training_input.iter().map(|&v| v as i64).collect(),
+        );
+        let config = NativeConfig {
+            training_inputs: vec![w.reference_input.clone()],
+            ..NativeConfig::default()
+        };
+        let baseline = instructions_of(&w.image, &w.reference_input);
+        for &bits in wm_sizes {
+            let mut rng = Prng::from_seed(bits as u64);
+            let watermark = Watermark::random(bits, &mut rng);
+            let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config)
+                .unwrap_or_else(|e| panic!("{} {bits}: {e}", w.name));
+            let marked_cost = instructions_of(&mark.image, &w.reference_input);
+            out.push(NativeCost {
+                program: w.name,
+                wm_bits: bits,
+                size_increase: mark.size_after as f64 / mark.size_before as f64 - 1.0,
+                slowdown: marked_cost as f64 / baseline as f64 - 1.0,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figures 9(a) and 9(b) as one table plus means.
+pub fn run(quick: bool) -> String {
+    let costs = compute(quick);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 9(a,b): native watermarking cost per program\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>14} {:>10}",
+        "program", "wm bits", "size increase", "slowdown"
+    );
+    for c in &costs {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>13.1}% {:>9.2}%",
+            c.program,
+            c.wm_bits,
+            c.size_increase * 100.0,
+            c.slowdown * 100.0
+        );
+    }
+    // Means per watermark size (the paper reports 10.8%–11.4% size and
+    // −0.65%–0.85% time).
+    let mut sizes: Vec<usize> = costs.iter().map(|c| c.wm_bits).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let _ = writeln!(out);
+    for bits in sizes {
+        let of_size: Vec<&NativeCost> = costs.iter().filter(|c| c.wm_bits == bits).collect();
+        let mean_size =
+            of_size.iter().map(|c| c.size_increase).sum::<f64>() / of_size.len() as f64;
+        let mean_slow = of_size.iter().map(|c| c.slowdown).sum::<f64>() / of_size.len() as f64;
+        let _ = writeln!(
+            out,
+            "mean ({bits}-bit): size {:+.1}%, time {:+.2}%",
+            mean_size * 100.0,
+            mean_slow * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_match_the_papers_shape() {
+        // Quick sweep: modest size growth, near-zero slowdown.
+        for c in compute(true) {
+            assert!(
+                (0.0..0.35).contains(&c.size_increase),
+                "{}: size increase {:.1}% out of band",
+                c.program,
+                c.size_increase * 100.0
+            );
+            assert!(
+                (-0.02..0.08).contains(&c.slowdown),
+                "{}: slowdown {:.2}% out of band",
+                c.program,
+                c.slowdown * 100.0
+            );
+        }
+    }
+}

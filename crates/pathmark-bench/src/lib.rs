@@ -1,0 +1,39 @@
+//! Experiment harness for the paper's evaluation (Section 5).
+//!
+//! One module per figure/table of the paper. Each experiment exposes
+//! `run(quick) -> String`: `quick = true` shrinks grids and trial counts
+//! for CI-speed smoke runs (`cargo bench` drives that mode through the
+//! `figures` bench target); `quick = false` produces the full series
+//! recorded in `EXPERIMENTS.md` (`cargo run --release -p pathmark-bench
+//! --bin fig8`, etc.).
+//!
+//! Mapping to the paper:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fig5`] | Fig. 5 — pieces intact vs. P(recover 768-bit W) |
+//! | [`fig8`] | Fig. 8(a–d) — bytecode cost and branch-insertion resilience |
+//! | [`fig9`] | Fig. 9(a,b) — native size and time cost per SPEC-like program |
+//! | [`tables`] | Sec. 5.1.2 / 5.2.2 attack matrices |
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+
+/// Standard secret inputs used across experiments (kept here so every
+/// figure uses the same keys and is reproducible).
+pub mod setup {
+    use pathmark_core::key::WatermarkKey;
+
+    /// Secret input for the CaffeineMark-like workload.
+    pub const CAFFEINE_INPUT: i64 = 40;
+    /// Secret input (hot-loop iterations) for the Jess-like workload.
+    pub const JESS_INPUT: i64 = 20_000;
+
+    /// The experiment key for a given workload input.
+    pub fn key(input: Vec<i64>) -> WatermarkKey {
+        WatermarkKey::new(0x50_41_54_48_4D_41_52_4B_u64 ^ 0x2004, input)
+    }
+}

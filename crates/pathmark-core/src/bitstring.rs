@@ -1,0 +1,193 @@
+//! The trace bit-string of Section 3.1.
+//!
+//! > "For each conditional branch instruction *i* that occurs in the
+//! > trace, we find its first occurrence, and find the block *j* that
+//! > immediately follows that occurrence in the trace. Then we decode the
+//! > trace into a string of bits by scanning the trace from beginning to
+//! > end and writing down a 0 whenever a conditional branch is
+//! > immediately followed by the same instruction by which it was first
+//! > followed, and a 1 otherwise."
+//!
+//! The resulting string is invariant under code reordering, branch-sense
+//! inversion, and insertion/deletion of non-branch instructions; adding
+//! or removing branches has only local effect — the properties the
+//! paper's resilience argument rests on.
+
+use std::collections::HashMap;
+
+use stackvm::trace::{Site, Trace};
+
+/// The decoded bit-string of a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitString {
+    bits: Vec<bool>,
+}
+
+impl BitString {
+    /// Decodes a trace (its dynamic conditional-branch sequence) into
+    /// bits by the first-followed-by rule.
+    pub fn from_trace(trace: &Trace) -> BitString {
+        let mut first_follow: HashMap<Site, usize> = HashMap::new();
+        let mut bits = Vec::new();
+        for (site, next) in trace.branch_sequence() {
+            match first_follow.get(&site) {
+                None => {
+                    first_follow.insert(site, next);
+                    bits.push(false); // first occurrence: followed by its own reference
+                }
+                Some(&reference) => bits.push(next != reference),
+            }
+        }
+        BitString { bits }
+    }
+
+    /// Builds a bit-string directly from bits (tests and experiments).
+    pub fn from_bits(bits: Vec<bool>) -> BitString {
+        BitString { bits }
+    }
+
+    /// The bits, in trace order.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The 64-bit word starting at `offset`, first bit least
+    /// significant; `None` past the end.
+    pub fn window_u64(&self, offset: usize) -> Option<u64> {
+        if offset + 64 > self.bits.len() {
+            return None;
+        }
+        let mut w = 0u64;
+        for (k, &b) in self.bits[offset..offset + 64].iter().enumerate() {
+            if b {
+                w |= 1u64 << k;
+            }
+        }
+        Some(w)
+    }
+
+    /// Iterates over every sliding 64-bit window `B_0 = b_0…b_63`,
+    /// `B_1 = b_1…b_64`, … (Section 3.3, step one of recognition).
+    pub fn windows(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.bits.len().saturating_sub(63)).filter_map(|off| self.window_u64(off))
+    }
+}
+
+impl std::fmt::Display for BitString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackvm::program::FuncId;
+    use stackvm::trace::TraceEvent;
+
+    fn branch(func: u32, pc: usize, next: usize) -> TraceEvent {
+        TraceEvent::Branch {
+            site: Site {
+                func: FuncId(func),
+                pc,
+            },
+            next,
+        }
+    }
+
+    #[test]
+    fn first_occurrence_is_zero() {
+        let t = Trace {
+            events: vec![branch(0, 5, 10)],
+        };
+        let bs = BitString::from_trace(&t);
+        assert_eq!(bs.bits(), &[false]);
+    }
+
+    #[test]
+    fn deviation_from_reference_is_one() {
+        let t = Trace {
+            events: vec![
+                branch(0, 5, 10), // reference: next = 10
+                branch(0, 5, 10), // same -> 0
+                branch(0, 5, 6),  // different -> 1
+                branch(0, 5, 10), // same -> 0
+            ],
+        };
+        let bs = BitString::from_trace(&t);
+        assert_eq!(bs.to_string(), "0010");
+    }
+
+    #[test]
+    fn branches_are_tracked_per_site() {
+        let t = Trace {
+            events: vec![
+                branch(0, 5, 10),
+                branch(1, 5, 99), // same pc, different function: own reference
+                branch(0, 5, 99), // differs from ITS reference (10) -> 1
+                branch(1, 5, 99), // matches its reference -> 0
+            ],
+        };
+        let bs = BitString::from_trace(&t);
+        assert_eq!(bs.to_string(), "0010");
+    }
+
+    #[test]
+    fn branch_sense_inversion_invariance() {
+        // The defining property: if an attacker negates the predicate and
+        // swaps the targets, the *following block* per occurrence is
+        // unchanged, so the bit-string is unchanged. Simulate by keeping
+        // the next-block sequence identical.
+        let original = Trace {
+            events: vec![branch(0, 5, 10), branch(0, 5, 6), branch(0, 5, 10)],
+        };
+        // After inversion the branch instruction still sits at pc 5 and
+        // the executed successor blocks are the same blocks.
+        let inverted = original.clone();
+        assert_eq!(
+            BitString::from_trace(&original),
+            BitString::from_trace(&inverted)
+        );
+    }
+
+    #[test]
+    fn windows_slide_one_bit() {
+        let mut bits = vec![false; 70];
+        bits[0] = true; // window 0 = 1, window 1 = 0
+        bits[65] = true; // appears in windows 2..=6
+        let bs = BitString::from_bits(bits);
+        let ws: Vec<u64> = bs.windows().collect();
+        assert_eq!(ws.len(), 70 - 63);
+        assert_eq!(ws[0], 1);
+        assert_eq!(ws[1], 0);
+        assert_eq!(ws[2], 1u64 << 63);
+        assert_eq!(bs.window_u64(7), None);
+    }
+
+    #[test]
+    fn short_strings_have_no_windows() {
+        let bs = BitString::from_bits(vec![true; 63]);
+        assert_eq!(bs.windows().count(), 0);
+        assert!(!bs.is_empty());
+        assert_eq!(bs.len(), 63);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let bs = BitString::from_bits(vec![false, true, true, false]);
+        assert_eq!(bs.to_string(), "0110");
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by embedding, recognition, or extraction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WatermarkError {
+    /// The program failed while being traced (before any watermarking).
+    TraceFailed(stackvm::VmError),
+    /// A number-theoretic step failed (bad prime configuration, …).
+    Math(pathmark_math::MathError),
+    /// The native simulator failed.
+    Sim(nativesim::SimError),
+    /// Perfect-hash construction failed.
+    Phf(pathmark_crypto::phf::PhfError),
+    /// The watermark value is too large for the configured prime set.
+    WatermarkTooLarge {
+        /// Bits in the supplied watermark.
+        got_bits: usize,
+        /// Bits representable by the prime product.
+        max_bits: usize,
+    },
+    /// The traced program offered no usable insertion points.
+    NoInsertionPoint,
+    /// Not enough legal call-site slots to thread the native watermark.
+    InsufficientSlots {
+        /// Bits that still needed placing when slots ran out.
+        remaining_bits: usize,
+    },
+    /// The native program has no suitable `begin -> end` edge (an
+    /// unconditional jump executed exactly once on the secret input).
+    NoAnchorEdge,
+    /// Extraction could not identify a branch function in the trace.
+    NoBranchFunction,
+    /// Extraction saw the begin address but execution never reached the
+    /// end address.
+    EndNotReached,
+}
+
+impl fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatermarkError::TraceFailed(e) => write!(f, "tracing failed: {e}"),
+            WatermarkError::Math(e) => write!(f, "number-theoretic failure: {e}"),
+            WatermarkError::Sim(e) => write!(f, "simulator failure: {e}"),
+            WatermarkError::Phf(e) => write!(f, "perfect hash construction failed: {e}"),
+            WatermarkError::WatermarkTooLarge { got_bits, max_bits } => write!(
+                f,
+                "watermark of {got_bits} bits exceeds the {max_bits}-bit prime product"
+            ),
+            WatermarkError::NoInsertionPoint => {
+                write!(f, "trace contains no usable insertion point")
+            }
+            WatermarkError::InsufficientSlots { remaining_bits } => write!(
+                f,
+                "ran out of legal call-site slots with {remaining_bits} bits unplaced"
+            ),
+            WatermarkError::NoAnchorEdge => {
+                write!(f, "no unconditional jump executed exactly once on the key input")
+            }
+            WatermarkError::NoBranchFunction => {
+                write!(f, "no branch function observed in the extraction trace")
+            }
+            WatermarkError::EndNotReached => {
+                write!(f, "execution reached begin but never end during extraction")
+            }
+        }
+    }
+}
+
+impl Error for WatermarkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WatermarkError::TraceFailed(e) => Some(e),
+            WatermarkError::Math(e) => Some(e),
+            WatermarkError::Sim(e) => Some(e),
+            WatermarkError::Phf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stackvm::VmError> for WatermarkError {
+    fn from(e: stackvm::VmError) -> Self {
+        WatermarkError::TraceFailed(e)
+    }
+}
+
+impl From<pathmark_math::MathError> for WatermarkError {
+    fn from(e: pathmark_math::MathError) -> Self {
+        WatermarkError::Math(e)
+    }
+}
+
+impl From<nativesim::SimError> for WatermarkError {
+    fn from(e: nativesim::SimError) -> Self {
+        WatermarkError::Sim(e)
+    }
+}
+
+impl From<pathmark_crypto::phf::PhfError> for WatermarkError {
+    fn from(e: pathmark_crypto::phf::PhfError) -> Self {
+        WatermarkError::Phf(e)
+    }
+}

@@ -1,0 +1,521 @@
+//! The embedding phase (Section 3.2).
+//!
+//! The watermark `W` is split into statements `W ≡ x (mod p_i·p_j)`
+//! (step A of Figure 3), each statement is enumerated into a 64-bit
+//! integer and encrypted with the key's block cipher (step B), and for
+//! each resulting piece a code snippet is inserted (step C) whose
+//! dynamic conditional-branch behavior on the secret input spells the
+//! piece's 64 bits *contiguously* into the trace bit-string.
+//!
+//! Two code generators are provided:
+//!
+//! * **loop codegen** (Section 3.2.1): a fresh loop whose single inner
+//!   conditional succeeds/fails in the pattern of the piece bits. Loop
+//!   control uses `switch` — which is not a conditional branch and so
+//!   contributes no bits — keeping the piece contiguous in the window.
+//! * **condition codegen** (Section 3.2.2): a straight-line run of 64
+//!   predicates over *existing program variables*, chosen from the trace
+//!   snapshots so that the first execution primes the decoder and the
+//!   second spells the piece.
+//!
+//! Pieces are placed at trace-visited block entries chosen randomly with
+//! probability inversely proportional to the block's execution frequency
+//! ("code is less likely to be inserted in program hotspots").
+
+use pathmark_crypto::Prng;
+use pathmark_math::crt::Statement;
+use pathmark_math::enumeration::PairEnumeration;
+use stackvm::edit::{insert_snippet, reserve_locals};
+use stackvm::insn::{BinOp, Cond, Insn};
+use stackvm::trace::{Site, Trace, TraceConfig};
+use stackvm::Program;
+
+use super::{trace_program, CodegenPolicy, JavaConfig};
+use crate::key::{Watermark, WatermarkKey};
+use crate::WatermarkError;
+
+/// How one piece was inserted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PieceRecord {
+    /// The statement this piece encodes.
+    pub statement: Statement,
+    /// The block (in the *original* program) it was inserted at.
+    pub site: Site,
+    /// Which generator produced the code.
+    pub used_condition_codegen: bool,
+}
+
+/// Everything the embedder did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbedReport {
+    /// One record per inserted piece.
+    pub pieces: Vec<PieceRecord>,
+    /// Emulated byte size before embedding.
+    pub bytes_before: usize,
+    /// Emulated byte size after embedding.
+    pub bytes_after: usize,
+}
+
+/// A watermarked program plus its embedding report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkedProgram {
+    /// The watermarked program.
+    pub program: Program,
+    /// What was embedded where.
+    pub report: EmbedReport,
+}
+
+/// Embeds `watermark` into `program` under `key`.
+///
+/// # Errors
+///
+/// * [`WatermarkError::TraceFailed`] if the program cannot be traced on
+///   the secret input;
+/// * [`WatermarkError::WatermarkTooLarge`] if `W ≥ Π p_k`;
+/// * [`WatermarkError::NoInsertionPoint`] if the trace visited no
+///   blocks;
+/// * [`WatermarkError::Math`] for prime-configuration errors.
+pub fn embed(
+    program: &Program,
+    watermark: &Watermark,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+) -> Result<MarkedProgram, WatermarkError> {
+    let trace = trace_program(program, key, config, TraceConfig::full())?;
+    let primes = config.primes(key);
+    let enumeration = PairEnumeration::new(&primes)?;
+    let bound = enumeration.watermark_bound();
+    if watermark.value() >= &bound {
+        return Err(WatermarkError::WatermarkTooLarge {
+            got_bits: watermark.value().bits(),
+            max_bits: bound.bits() - 1,
+        });
+    }
+    let cipher = key.cipher();
+    let mut rng = key.prng();
+
+    // Step A: split into all distinct statements, shuffled; cycle to the
+    // requested redundancy.
+    let mut statements = enumeration.split(watermark.value());
+    rng.shuffle(&mut statements);
+    let pieces: Vec<Statement> = statements
+        .iter()
+        .cycle()
+        .take(config.num_pieces)
+        .copied()
+        .collect();
+
+    // Candidate insertion points: visited blocks, weighted by 1/freq.
+    // Condition codegen (Section 3.2.2) additionally needs "locations
+    // that are executed multiple times on the secret input sequence",
+    // so keep a second pool restricted to multi-visit blocks.
+    let visited = trace.visited_blocks();
+    if visited.is_empty() && !pieces.is_empty() {
+        return Err(WatermarkError::NoInsertionPoint);
+    }
+    let weights: Vec<f64> = visited.iter().map(|&(_, c)| 1.0 / c as f64).collect();
+    // Multi-visit yet still infrequent (the hotspot-avoidance policy
+    // applies to both generators).
+    let multi_weights: Vec<f64> = visited
+        .iter()
+        .map(|&(_, c)| if (2..=16).contains(&c) { 1.0 / c as f64 } else { 0.0 })
+        .collect();
+
+    // Plan all insertions against the ORIGINAL program, then apply them
+    // per function in descending pc order so earlier splices do not
+    // invalidate later pcs.
+    let mut marked = program.clone();
+    let mut plans: Vec<(Site, Vec<Insn>, bool)> = Vec::new();
+    let mut records = Vec::new();
+    for statement in pieces {
+        // Step B: enumerate + encrypt into one 64-bit block.
+        let encoded = enumeration
+            .encode(&statement)
+            .expect("split statements always encode");
+        let block = cipher.encrypt(encoded);
+
+        let want_condition = match config.codegen {
+            CodegenPolicy::LoopOnly => false,
+            CodegenPolicy::PreferCondition => true,
+            CodegenPolicy::Mixed => rng.chance(0.5),
+        };
+        let pool = if want_condition {
+            &multi_weights
+        } else {
+            &weights
+        };
+        let choice = rng
+            .weighted_index(pool)
+            .or_else(|| rng.weighted_index(&weights))
+            .expect("visited set is non-empty");
+        let (site, _count) = visited[choice];
+
+        let func = marked.function_mut(site.func);
+        let snippet = if want_condition {
+            condition_snippet(func, &trace, site, block, &mut rng)
+        } else {
+            None
+        };
+        let (snippet, used_condition) = match snippet {
+            Some(s) => (s, true),
+            None => {
+                let locals = reserve_locals(func, 4);
+                (
+                    loop_snippet(block, locals, pick_live_local(func, &mut rng), &mut rng),
+                    false,
+                )
+            }
+        };
+        plans.push((site, snippet, used_condition));
+        records.push(PieceRecord {
+            statement,
+            site,
+            used_condition_codegen: used_condition,
+        });
+    }
+    // Apply: descending pc within each function keeps original pcs valid.
+    plans.sort_by(|a, b| (b.0.func, b.0.pc).cmp(&(a.0.func, a.0.pc)));
+    for (site, snippet, _) in plans {
+        insert_snippet(marked.function_mut(site.func), site.pc, snippet);
+    }
+    stackvm::verify::verify(&marked)?;
+
+    Ok(MarkedProgram {
+        report: EmbedReport {
+            pieces: records,
+            bytes_before: program.byte_size(),
+            bytes_after: marked.byte_size(),
+        },
+        program: marked,
+    })
+}
+
+/// Picks an existing local to play the "live variable" in the opaquely
+/// false guard (falls back to local 0 of the snippet scratch area).
+fn pick_live_local(func: &stackvm::Function, rng: &mut Prng) -> u16 {
+    if func.num_locals == 0 {
+        0
+    } else {
+        rng.index(func.num_locals as usize) as u16
+    }
+}
+
+/// Section 3.2.1 loop code generation.
+///
+/// Generates (with `x, i, t, j` fresh locals starting at `scratch`):
+///
+/// ```text
+/// x = <block>; i = 0; j = 0;
+/// head: switch i { 0 => t = 0, _ => t = (x >>> (i-1)) & 1 }
+///       if (t != 0) j++;            // the piece-spelling branch
+///       i++;
+///       switch i { 65 => done, _ => head }
+/// done: if (OPAQUELY_FALSE(x)) live += j;
+/// ```
+///
+/// The inner `if` executes 65 times: once to prime the decoder's
+/// first-followed-by reference (iteration 0 always falls through) and 64
+/// times spelling the block bits. Both pieces of loop control are
+/// `switch` instructions, which the bit-string decoder ignores, so the
+/// 64 bits land contiguously in the trace.
+fn loop_snippet(block: u64, scratch: u16, live_local: u16, rng: &mut Prng) -> Vec<Insn> {
+    let (x, i, t, j) = (scratch, scratch + 1, scratch + 2, scratch + 3);
+    let mut code = vec![
+        Insn::Const(block as i64),
+        Insn::Store(x),
+        Insn::Const(0),
+        Insn::Store(i),
+        Insn::Const(0),
+        Insn::Store(j),
+    ];
+    let head = code.len(); // 6
+    code.push(Insn::Load(i)); // 6
+    let switch_at = code.len(); // 7; patched below
+    code.push(Insn::Nop);
+    let zero_case = code.len(); // 8
+    code.push(Insn::Const(0)); // 8
+    code.push(Insn::Store(t)); // 9
+    let goto_test_at = code.len(); // 10; patched below
+    code.push(Insn::Nop);
+    let extract = code.len(); // 11
+    code.push(Insn::Load(x));
+    code.push(Insn::Load(i));
+    code.push(Insn::Const(1));
+    code.push(Insn::Bin(BinOp::Sub));
+    code.push(Insn::Bin(BinOp::UShr));
+    code.push(Insn::Const(1));
+    code.push(Insn::Bin(BinOp::And));
+    code.push(Insn::Store(t));
+    let test = code.len(); // 19
+    code[switch_at] = Insn::Switch {
+        cases: vec![(0, zero_case)],
+        default: extract,
+    };
+    code[goto_test_at] = Insn::Goto(test);
+    code.push(Insn::Load(t)); // 19
+    let if_at = code.len(); // 20
+    code.push(Insn::Nop); // placeholder for If
+    let goto_cont_at = code.len(); // 21
+    code.push(Insn::Nop); // placeholder for Goto
+    let taken = code.len(); // 22
+    code.push(Insn::Iinc(j, 1));
+    let cont = code.len(); // 23
+    code[if_at] = Insn::If(Cond::Ne, taken);
+    code[goto_cont_at] = Insn::Goto(cont);
+    code.push(Insn::Iinc(i, 1));
+    code.push(Insn::Load(i));
+    let exit_switch_at = code.len();
+    code.push(Insn::Nop);
+    let done = code.len();
+    code[exit_switch_at] = Insn::Switch {
+        cases: vec![(65, done)],
+        default: head,
+    };
+    // Opaque tail: if (false) live += j.
+    let predicate = super::OpaquePredicate::choose(rng);
+    let body = vec![
+        Insn::Load(live_local),
+        Insn::Load(j),
+        Insn::Bin(BinOp::Add),
+        Insn::Store(live_local),
+    ];
+    let tail = predicate.guard(x, body);
+    // Rebase the tail's relative targets onto the snippet.
+    let base = code.len();
+    for mut insn in tail {
+        insn.map_targets(|t| t + base);
+        code.push(insn);
+    }
+    code
+}
+
+/// Section 3.2.2 condition code generation.
+///
+/// Requires the site to have been visited at least twice on the secret
+/// input; bits of value 1 additionally require some local variable to
+/// differ between the first two visits. Returns `None` when the site
+/// cannot host the piece (the caller falls back to loop codegen).
+fn condition_snippet(
+    func: &mut stackvm::Function,
+    trace: &Trace,
+    site: Site,
+    block: u64,
+    rng: &mut Prng,
+) -> Option<Vec<Insn>> {
+    let snaps = trace.snapshots_at(site);
+    if snaps.len() < 2 {
+        return None;
+    }
+    let (v1, _) = snaps[0];
+    let (v2, _) = snaps[1];
+    // Locals whose value changes between the first two visits can encode
+    // a 1; any local can encode a 0.
+    let changing: Vec<usize> = (0..v1.len().min(v2.len()))
+        .filter(|&l| v1[l] != v2[l])
+        .collect();
+    if changing.is_empty() || v1.is_empty() {
+        return None;
+    }
+    let t = reserve_locals(func, 1);
+    let live = pick_live_local(func, rng);
+    let mut code = vec![Insn::Const(0), Insn::Store(t)];
+    for k in 0..64 {
+        let bit = block >> k & 1 == 1;
+        let (local, constant, cond) = if bit {
+            // True at visit 1, false at visit 2: the branch direction
+            // flips, decoding as 1.
+            let l = changing[rng.index(changing.len())];
+            (l, v1[l], Cond::Eq)
+        } else {
+            // Same truth value at both visits, decoding as 0.
+            let l = rng.index(v1.len());
+            if v1[l] == v2[l] {
+                (l, v1[l], Cond::Eq)
+            } else {
+                // A constant different from both values keeps `!=` true
+                // at both visits.
+                let mut c = v1[l] ^ v2[l] ^ (rng.next_u64() as i64 | 1);
+                while c == v1[l] || c == v2[l] {
+                    c = c.wrapping_add(1);
+                }
+                (l, c, Cond::Ne)
+            }
+        };
+        code.push(Insn::Load(local as u16));
+        code.push(Insn::Const(constant));
+        let if_at = code.len();
+        code.push(Insn::Nop);
+        let goto_at = code.len();
+        code.push(Insn::Nop);
+        let taken = code.len();
+        code.push(Insn::Iinc(t, 1));
+        let cont = code.len();
+        code[if_at] = Insn::IfCmp(cond, taken);
+        code[goto_at] = Insn::Goto(cont);
+    }
+    // Opaque tail keeps `t` live.
+    let predicate = super::OpaquePredicate::choose(rng);
+    let body = vec![
+        Insn::Load(live),
+        Insn::Load(t),
+        Insn::Bin(BinOp::Add),
+        Insn::Store(live),
+    ];
+    let tail = predicate.guard(t, body);
+    let base = code.len();
+    for mut insn in tail {
+        insn.map_targets(|tt| tt + base);
+        code.push(insn);
+    }
+    Some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstring::BitString;
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+    use stackvm::interp::Vm;
+
+    fn looping_program() -> Program {
+        // Visits its loop head 11 times with a changing counter local.
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        let head = f.new_label();
+        let out = f.new_label();
+        f.push(0).store(0);
+        f.bind(head);
+        f.load(0).push(10).if_cmp(Cond::Ge, out);
+        f.load(0).load(1).add().store(1);
+        f.iinc(0, 1).goto(head);
+        f.bind(out);
+        f.load(1).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        pb.finish(main).unwrap()
+    }
+
+    fn key() -> WatermarkKey {
+        WatermarkKey::new(0xABCDEF, vec![5, 6, 7])
+    }
+
+    #[test]
+    fn loop_snippet_spells_the_block() {
+        // Insert one loop snippet into a trivial program and check that
+        // the trace bit-string contains the block bits contiguously.
+        let block = 0xDEAD_BEEF_1234_5678u64;
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 4);
+        f.push(1).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        let mut program = pb.finish(main).unwrap();
+        let mut rng = Prng::from_seed(1);
+        let snippet = loop_snippet(block, 0, 0, &mut rng);
+        insert_snippet(program.function_mut(main), 0, snippet);
+        stackvm::verify::verify(&program).unwrap();
+        let out = Vm::new(&program)
+            .with_trace(TraceConfig::branches_only())
+            .run()
+            .unwrap();
+        assert_eq!(out.output, vec![1], "snippet must not change semantics");
+        let bits = BitString::from_trace(&out.trace);
+        // Expected: primer 0, then the 64 block bits, then the opaque
+        // guard's single 0.
+        let window = bits.window_u64(1).expect("at least 65 bits");
+        assert_eq!(window, block);
+        assert!(!bits.bits()[0], "primer bit is 0");
+    }
+
+    #[test]
+    fn loop_snippet_repeats_on_every_visit() {
+        let block = 0x0F0F_0F0F_0F0F_0F0Fu64;
+        let mut program = looping_program();
+        let mut rng = Prng::from_seed(2);
+        // The loop head block of `main` starts at pc 2 (after the two
+        // init instructions); reserve scratch locals first.
+        let scratch = reserve_locals(program.function_mut(stackvm::FuncId(0)), 4);
+        let snippet = loop_snippet(block, scratch, 0, &mut rng);
+        insert_snippet(program.function_mut(stackvm::FuncId(0)), 2, snippet);
+        stackvm::verify::verify(&program).unwrap();
+        let out = Vm::new(&program)
+            .with_trace(TraceConfig::branches_only())
+            .run()
+            .unwrap();
+        let bits = BitString::from_trace(&out.trace);
+        // The head is visited 11 times; each visit spells the block.
+        let windows: Vec<u64> = bits.windows().collect();
+        let hits = windows.iter().filter(|&&w| w == block).count();
+        assert!(hits >= 11, "expected >= 11 copies, got {hits}");
+    }
+
+    #[test]
+    fn embed_preserves_semantics_and_grows_code() {
+        let program = looping_program();
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        assert_eq!(marked.report.pieces.len(), 12);
+        assert!(marked.report.bytes_after > marked.report.bytes_before);
+        let orig = Vm::new(&program).with_input(key().input).run().unwrap();
+        let new = Vm::new(&marked.program)
+            .with_input(key().input)
+            .run()
+            .unwrap();
+        assert_eq!(orig.output, new.output);
+        // And on a DIFFERENT input too (semantics preserved everywhere).
+        let orig2 = Vm::new(&program).with_input(vec![9, 9]).run().unwrap();
+        let new2 = Vm::new(&marked.program)
+            .with_input(vec![9, 9])
+            .run()
+            .unwrap();
+        assert_eq!(orig2.output, new2.output);
+    }
+
+    #[test]
+    fn embed_rejects_oversized_watermark() {
+        let program = looping_program();
+        let config = JavaConfig::for_watermark_bits(64);
+        // A watermark far wider than the prime product.
+        let wide = Watermark::from_value(
+            &pathmark_math::bigint::BigUint::one() << 300,
+            300,
+        );
+        assert!(matches!(
+            embed(&program, &wide, &key(), &config),
+            Err(WatermarkError::WatermarkTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_codegen_is_used_when_possible() {
+        let program = looping_program();
+        let config = JavaConfig::for_watermark_bits(64)
+            .with_pieces(20)
+            .with_codegen(CodegenPolicy::PreferCondition);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        assert!(
+            marked
+                .report
+                .pieces
+                .iter()
+                .any(|p| p.used_condition_codegen),
+            "at least one piece should use condition codegen"
+        );
+        // Semantics preserved.
+        let orig = Vm::new(&program).with_input(key().input).run().unwrap();
+        let new = Vm::new(&marked.program)
+            .with_input(key().input)
+            .run()
+            .unwrap();
+        assert_eq!(orig.output, new.output);
+    }
+
+    #[test]
+    fn zero_pieces_is_identity_modulo_clone() {
+        let program = looping_program();
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(0);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        assert_eq!(marked.program, program);
+    }
+}

@@ -1,0 +1,160 @@
+//! Path-based watermarking for stack bytecode (the paper's Section 3,
+//! implemented in SandMark for Java).
+//!
+//! Three phases:
+//!
+//! 1. **Tracing** ([`trace_program`]) — run the program on the secret
+//!    input, recording executed blocks, dynamic branches, and variable
+//!    snapshots.
+//! 2. **Embedding** ([`embed`]) — split the watermark into redundant
+//!    CRT statements, encrypt each into a 64-bit block, and insert
+//!    branch code (loop or condition generated) that spells the block
+//!    into the trace bit-string at trace-frequency-weighted cold spots.
+//! 3. **Recognition** ([`recognize`]) — re-trace, decode the bit-string,
+//!    decrypt every sliding 64-bit window, and recombine a consistent
+//!    statement subset by vote filtering, the G/H consistency graphs, and
+//!    the Generalized Chinese Remainder Theorem.
+
+mod embed;
+mod opaque;
+mod recognize;
+
+pub use embed::{embed, EmbedReport, MarkedProgram};
+pub use opaque::OpaquePredicate;
+pub use recognize::{recognize, recognize_bits, Recognition};
+
+use pathmark_math::primes::primes_needed;
+use stackvm::interp::Vm;
+use stackvm::trace::{Trace, TraceConfig};
+use stackvm::Program;
+
+use crate::key::WatermarkKey;
+use crate::WatermarkError;
+
+/// How inserted watermark code is generated (Section 3.2.1 vs 3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodegenPolicy {
+    /// Always generate self-contained loops (Section 3.2.1).
+    LoopOnly,
+    /// Prefer condition code built from traced variable values when the
+    /// chosen site supports it (visited at least twice with a varying
+    /// local), falling back to loops (Section 3.2.2).
+    PreferCondition,
+    /// Mix the two generators pseudo-randomly ("several methods of
+    /// generating code should be available" — Section 3.2).
+    Mixed,
+}
+
+/// Configuration of the bytecode watermarking scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavaConfig {
+    /// Nominal watermark width in bits (128/256/512 in the paper's
+    /// experiments; up to 768 in Figure 5).
+    pub watermark_bits: usize,
+    /// Width of each prime `p_k`. Smaller primes shrink the enumeration
+    /// range, which makes random 64-bit windows less likely to decode as
+    /// plausible statements.
+    pub prime_bits: u32,
+    /// Number of primes `r` (the prime product must exceed `2^watermark_bits`).
+    pub num_primes: usize,
+    /// Number of watermark pieces to insert. May exceed the `r(r-1)/2`
+    /// distinct statements: extra pieces repeat statements, adding
+    /// redundancy (Section 3.2: "we make the pieces redundant").
+    pub num_pieces: usize,
+    /// Code-generation policy.
+    pub codegen: CodegenPolicy,
+    /// Instruction budget for tracing runs.
+    pub trace_budget: u64,
+    /// Run the `W mod p_i` voting prefilter during recognition
+    /// (Section 3.3: "empirically observed to greatly improve the
+    /// average-case running time … negligible effect on the probability
+    /// of success"). Disable only for ablation studies.
+    pub vote_prefilter: bool,
+}
+
+impl JavaConfig {
+    /// A sound default configuration for a watermark of `bits` bits:
+    /// 24-bit primes, one piece per prime pair.
+    pub fn for_watermark_bits(bits: usize) -> JavaConfig {
+        let prime_bits = 24;
+        let num_primes = primes_needed(bits, prime_bits);
+        JavaConfig {
+            watermark_bits: bits,
+            prime_bits,
+            num_primes,
+            num_pieces: num_primes * (num_primes - 1) / 2,
+            codegen: CodegenPolicy::Mixed,
+            trace_budget: stackvm::interp::DEFAULT_BUDGET,
+            vote_prefilter: true,
+        }
+    }
+
+    /// Overrides the piece count (the x-axis of Figure 8).
+    pub fn with_pieces(mut self, pieces: usize) -> JavaConfig {
+        self.num_pieces = pieces;
+        self
+    }
+
+    /// Overrides the code-generation policy.
+    pub fn with_codegen(mut self, policy: CodegenPolicy) -> JavaConfig {
+        self.codegen = policy;
+        self
+    }
+
+    /// The prime set for a key under this configuration.
+    pub fn primes(&self, key: &WatermarkKey) -> Vec<u64> {
+        key.primes(self.prime_bits, self.num_primes)
+    }
+}
+
+/// Runs the tracing phase: executes `program` on the key's secret input
+/// with the given recording configuration.
+///
+/// # Errors
+///
+/// [`WatermarkError::TraceFailed`] if the program faults or exceeds the
+/// budget.
+pub fn trace_program(
+    program: &Program,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    what: TraceConfig,
+) -> Result<Trace, WatermarkError> {
+    let outcome = Vm::new(program)
+        .with_input(key.input.clone())
+        .with_budget(config.trace_budget)
+        .with_trace(what)
+        .run()?;
+    Ok(outcome.trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_supports_its_watermark_width() {
+        use pathmark_math::bigint::BigUint;
+        for bits in [64usize, 128, 256, 512, 768] {
+            let c = JavaConfig::for_watermark_bits(bits);
+            let key = WatermarkKey::new(1, vec![]);
+            let primes = c.primes(&key);
+            let product = primes
+                .iter()
+                .fold(BigUint::one(), |acc, &p| &acc * &BigUint::from(p));
+            assert!(product.bits() > bits, "prime product covers {bits} bits");
+            // And the enumeration must fit one cipher block.
+            pathmark_math::enumeration::PairEnumeration::new(&primes)
+                .expect("enumeration fits 64 bits");
+        }
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = JavaConfig::for_watermark_bits(128)
+            .with_pieces(99)
+            .with_codegen(CodegenPolicy::LoopOnly);
+        assert_eq!(c.num_pieces, 99);
+        assert_eq!(c.codegen, CodegenPolicy::LoopOnly);
+    }
+}

@@ -1,0 +1,159 @@
+//! Opaquely false predicates (the SandMark Opaque Predicate Library).
+//!
+//! Section 3.2.1: inserted watermark code is guarded by an *opaquely
+//! false* predicate — an expression that always evaluates to false but is
+//! hard to prove false statically — followed by an assignment to a live
+//! variable, so that an optimizer cannot remove the watermark code as
+//! dead. This module provides a small library of such predicates over an
+//! arbitrary integer value.
+
+use pathmark_crypto::Prng;
+use stackvm::insn::{BinOp, Cond, Insn};
+
+/// An always-false predicate shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpaquePredicate {
+    /// `x·(x−1) % 2 != 0` — the product of consecutive integers is
+    /// always even (the example in the paper).
+    ConsecutiveProductOdd,
+    /// `(x·x) % 4 == 2` — squares are ≡ 0 or 1 (mod 4), never 2.
+    SquareMod4Is2,
+    /// `((x & 0xFFFF)²) % 7 == 3` — 3 is not a quadratic residue modulo
+    /// 7 (the mask keeps the square exact under 64-bit wraparound, where
+    /// the residue argument would otherwise not survive).
+    SquareMod7Is3,
+}
+
+impl OpaquePredicate {
+    /// All library members.
+    pub const ALL: [OpaquePredicate; 3] = [
+        OpaquePredicate::ConsecutiveProductOdd,
+        OpaquePredicate::SquareMod4Is2,
+        OpaquePredicate::SquareMod7Is3,
+    ];
+
+    /// Picks a predicate pseudo-randomly.
+    pub fn choose(rng: &mut Prng) -> OpaquePredicate {
+        Self::ALL[rng.index(Self::ALL.len())]
+    }
+
+    /// Evaluates the predicate on a concrete value (always false; used
+    /// by tests to prove the library sound).
+    pub fn eval(self, x: i64) -> bool {
+        match self {
+            OpaquePredicate::ConsecutiveProductOdd => {
+                x.wrapping_mul(x.wrapping_sub(1)).wrapping_rem(2) != 0
+            }
+            OpaquePredicate::SquareMod4Is2 => x.wrapping_mul(x).wrapping_rem(4) == 2,
+            OpaquePredicate::SquareMod7Is3 => {
+                let m = x & 0xFFFF;
+                m * m % 7 == 3
+            }
+        }
+    }
+
+    /// Emits `if (P(local x)) { body }` with relative targets
+    /// (`snippet_len`-style, suitable for splicing). The body never
+    /// executes; it typically assigns to a live variable to defeat
+    /// dead-code elimination.
+    pub fn guard(self, x_local: u16, body: Vec<Insn>) -> Vec<Insn> {
+        let mut code = Vec::new();
+        match self {
+            OpaquePredicate::ConsecutiveProductOdd => {
+                // x * (x - 1) % 2 != 0
+                code.push(Insn::Load(x_local));
+                code.push(Insn::Load(x_local));
+                code.push(Insn::Const(1));
+                code.push(Insn::Bin(BinOp::Sub));
+                code.push(Insn::Bin(BinOp::Mul));
+                code.push(Insn::Const(2));
+                code.push(Insn::Bin(BinOp::Rem));
+                // if (top != 0) -> body; else skip past body
+                let body_start = code.len() + 2;
+                let body_end = body_start + body.len();
+                code.push(Insn::If(Cond::Ne, body_start));
+                code.push(Insn::Goto(body_end));
+            }
+            OpaquePredicate::SquareMod4Is2 | OpaquePredicate::SquareMod7Is3 => {
+                let (modulus, residue) = if self == OpaquePredicate::SquareMod4Is2 {
+                    (4, 2)
+                } else {
+                    (7, 3)
+                };
+                // x * x % m == r  — compare via subtraction against 0 so
+                // the shape differs from the first predicate. The mod-7
+                // variant masks its operand to keep the square exact.
+                code.push(Insn::Load(x_local));
+                if self == OpaquePredicate::SquareMod7Is3 {
+                    code.push(Insn::Const(0xFFFF));
+                    code.push(Insn::Bin(BinOp::And));
+                    code.push(Insn::Dup);
+                } else {
+                    code.push(Insn::Load(x_local));
+                }
+                code.push(Insn::Bin(BinOp::Mul));
+                code.push(Insn::Const(modulus));
+                code.push(Insn::Bin(BinOp::Rem));
+                code.push(Insn::Const(residue));
+                code.push(Insn::Bin(BinOp::Sub));
+                let body_start = code.len() + 2;
+                let body_end = body_start + body.len();
+                code.push(Insn::If(Cond::Eq, body_start));
+                code.push(Insn::Goto(body_end));
+            }
+        }
+        code.extend(body);
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_are_false_on_a_wide_range() {
+        for p in OpaquePredicate::ALL {
+            for x in -10_000i64..10_000 {
+                assert!(!p.eval(x), "{p:?} true at {x}");
+            }
+            for x in [i64::MIN, i64::MIN + 1, i64::MAX, i64::MAX - 1, 1 << 40] {
+                assert!(!p.eval(x), "{p:?} true at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn guard_never_executes_body() {
+        use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+        use stackvm::edit::insert_snippet;
+        use stackvm::interp::Vm;
+
+        for p in OpaquePredicate::ALL {
+            for x_value in [-37i64, 0, 1, 999_999] {
+                let mut pb = ProgramBuilder::new();
+                let mut f = FunctionBuilder::new("main", 0, 1);
+                f.push(x_value).store(0);
+                f.push(1).print().ret_void();
+                let main = pb.add_function(f.finish().unwrap());
+                let mut program = pb.finish(main).unwrap();
+                // Insert the guard just before the print (pc 2).
+                let guard = p.guard(0, vec![Insn::Const(666), Insn::Print]);
+                insert_snippet(program.function_mut(main), 2, guard);
+                stackvm::verify::verify(&program).expect("guarded program verifies");
+                let out = Vm::new(&program).run().expect("runs");
+                assert_eq!(out.output, vec![1], "{p:?} body leaked at x={x_value}");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_covers_the_library() {
+        let mut rng = Prng::from_seed(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(OpaquePredicate::choose(&mut rng));
+        }
+        assert_eq!(seen.len(), OpaquePredicate::ALL.len());
+    }
+}

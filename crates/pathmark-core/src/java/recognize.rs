@@ -1,0 +1,366 @@
+//! The recognition phase (Section 3.3, Figure 4).
+//!
+//! The marked program is re-traced on the secret input; the trace
+//! bit-string is split into sliding 64-bit windows `B_0 = b_0…b_63`,
+//! `B_1 = b_1…b_64`, …; every window is decrypted and un-enumerated into
+//! a candidate statement `W ≡ x (mod p_i·p_j)` (garbage windows fail to
+//! decode and are dropped). Candidates then pass through:
+//!
+//! 1. **voting** — for each prime `p_i`, if one residue's vote count
+//!    strictly exceeds twice the runner-up's, statements contradicting
+//!    the winner are discarded;
+//! 2. the **consistency graphs** `G` (inconsistent pairs) and `H`
+//!    (pairs agreeing mod some shared prime): repeatedly take the
+//!    highest-H-degree unprocessed vertex as presumed-true and delete its
+//!    `G`-neighbors, until `G` is edge-free;
+//! 3. **Generalized CRT** recombination of the surviving statements.
+//!
+//! Recognition succeeds when the survivors pin down `W mod p_i` for
+//! every prime.
+
+use std::collections::HashMap;
+
+use pathmark_math::bigint::BigUint;
+use pathmark_math::crt::{combine_statements, Statement};
+use pathmark_math::enumeration::PairEnumeration;
+use stackvm::trace::TraceConfig;
+use stackvm::Program;
+
+use super::{trace_program, JavaConfig};
+use crate::bitstring::BitString;
+use crate::key::WatermarkKey;
+use crate::WatermarkError;
+
+/// Cap on distinct candidate statements fed to the quadratic graph
+/// stage; candidates are kept by descending multiplicity.
+const MAX_GRAPH_VERTICES: usize = 3000;
+
+/// Cap on one statement's weight in the `W mod p_i` vote. Long runs of
+/// identical trace bits (e.g. a hot never-taken attack branch emitting
+/// thousands of 0s) repeat one window — and hence one garbage statement
+/// — at enormous multiplicity; uncapped, that single decoding could
+/// out-vote the true residue.
+const MAX_VOTE_WEIGHT: u64 = 8;
+
+/// The outcome of recognition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recognition {
+    /// The recovered watermark, if every prime residue was pinned down.
+    pub watermark: Option<BigUint>,
+    /// The recovered value modulo [`Recognition::modulus`] (meaningful
+    /// even on partial recovery).
+    pub partial: BigUint,
+    /// Product of the primes covered by the surviving statements.
+    pub modulus: BigUint,
+    /// Number of primes whose residue was recovered.
+    pub primes_covered: usize,
+    /// Total primes in the configuration.
+    pub primes_total: usize,
+    /// Distinct candidate statements decoded from the trace.
+    pub candidates: usize,
+    /// Candidates surviving the vote filter.
+    pub after_vote: usize,
+    /// Statements surviving the consistency-graph stage.
+    pub survivors: usize,
+}
+
+/// Runs recognition on a (possibly attacked) program.
+///
+/// # Errors
+///
+/// * [`WatermarkError::TraceFailed`] if the program faults on the secret
+///   input (e.g. after a destructive attack);
+/// * [`WatermarkError::Math`] for prime-configuration errors.
+pub fn recognize(
+    program: &Program,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+) -> Result<Recognition, WatermarkError> {
+    let trace = trace_program(program, key, config, TraceConfig::branches_only())?;
+    let bits = BitString::from_trace(&trace);
+    recognize_bits(&bits, key, config)
+}
+
+/// Recognition from an already-decoded bit-string (used by experiments
+/// that model attacks as direct bit perturbations).
+///
+/// # Errors
+///
+/// [`WatermarkError::Math`] for prime-configuration errors.
+pub fn recognize_bits(
+    bits: &BitString,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+) -> Result<Recognition, WatermarkError> {
+    let primes = config.primes(key);
+    let enumeration = PairEnumeration::new(&primes)?;
+    let cipher = key.cipher();
+
+    // Decrypt every sliding window; collect decodable statements with
+    // multiplicity. Degenerate all-zero/all-one windows are skipped: a
+    // constant 64-bit run cannot be watermark ciphertext except with
+    // probability 2^-63, but arises constantly from monotone branches.
+    let mut counts: HashMap<Statement, u64> = HashMap::new();
+    for window in bits.windows() {
+        if window == 0 || window == u64::MAX {
+            continue;
+        }
+        let decrypted = cipher.decrypt(window);
+        if let Ok(statement) = enumeration.decode(decrypted) {
+            *counts.entry(statement).or_insert(0) += 1;
+        }
+    }
+    let candidates = counts.len();
+
+    // --- Vote on W mod p_i for each prime (clear winner = more than
+    // twice the second place). Skipped entirely when the configuration
+    // disables the prefilter (ablation studies).
+    let mut winners: Vec<Option<u64>> = vec![None; primes.len()];
+    for (idx, &p) in primes.iter().enumerate().filter(|_| config.vote_prefilter) {
+        let mut tally: HashMap<u64, u64> = HashMap::new();
+        for (s, &c) in &counts {
+            if let Some(r) = s.residue_mod_prime(idx, &primes) {
+                *tally.entry(r).or_insert(0) += c.min(MAX_VOTE_WEIGHT);
+            }
+        }
+        let mut best: Option<(u64, u64)> = None;
+        let mut second = 0u64;
+        for (&r, &c) in &tally {
+            match best {
+                None => best = Some((r, c)),
+                Some((_, bc)) if c > bc => {
+                    second = bc;
+                    best = Some((r, c));
+                }
+                Some(_) => second = second.max(c),
+            }
+        }
+        if let Some((r, c)) = best {
+            if c > 2 * second {
+                winners[idx] = Some(r);
+            }
+        }
+        let _ = p;
+    }
+    let mut filtered: Vec<(Statement, u64)> = counts
+        .into_iter()
+        .filter(|(s, _)| {
+            [s.i, s.j].iter().all(|&idx| match winners[idx] {
+                Some(w) => s
+                    .residue_mod_prime(idx, &primes)
+                    .expect("statement mentions idx")
+                    == w,
+                None => true,
+            })
+        })
+        .collect();
+    let after_vote = filtered.len();
+
+    // Deterministic order; cap the quadratic stage.
+    filtered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    filtered.truncate(MAX_GRAPH_VERTICES);
+
+    // --- Consistency graphs G (inconsistent) and H (agree mod a shared
+    // prime).
+    let statements: Vec<Statement> = filtered.iter().map(|&(s, _)| s).collect();
+    let n = statements.len();
+    let mut g: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut h_degree: Vec<usize> = vec![0; n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if statements[a].inconsistent_with(&statements[b], &primes) {
+                g[a].push(b);
+                g[b].push(a);
+            } else if statements[a].agrees_with(&statements[b], &primes) {
+                h_degree[a] += 1;
+                h_degree[b] += 1;
+            }
+        }
+    }
+    let mut alive = vec![true; n];
+    let mut in_u = vec![false; n];
+    let g_has_edges = |alive: &[bool], g: &[Vec<usize>]| {
+        alive
+            .iter()
+            .enumerate()
+            .any(|(v, &a)| a && g[v].iter().any(|&w| alive[w]))
+    };
+    while g_has_edges(&alive, &g) {
+        // Highest H-degree vertex not yet processed.
+        let pick = (0..n)
+            .filter(|&v| alive[v] && !in_u[v])
+            .max_by_key(|&v| (h_degree[v], std::cmp::Reverse(v)));
+        match pick {
+            Some(v) => {
+                in_u[v] = true;
+                for &w in &g[v] {
+                    alive[w] = false;
+                }
+            }
+            None => {
+                // Degenerate: every remaining vertex processed but edges
+                // remain (possible under heavy noise). Drop the lowest-
+                // H-degree endpoint of some remaining edge.
+                let (a, b) = alive
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &al)| al)
+                    .flat_map(|(v, _)| {
+                        g[v].iter()
+                            .filter(|&&w| alive[w])
+                            .map(move |&w| (v, w))
+                    })
+                    .next()
+                    .expect("g_has_edges implies an edge exists");
+                let drop = if h_degree[a] <= h_degree[b] { a } else { b };
+                alive[drop] = false;
+            }
+        }
+    }
+    let survivors: Vec<Statement> = (0..n)
+        .filter(|&v| alive[v])
+        .map(|v| statements[v])
+        .collect();
+
+    // --- Generalized CRT recombination.
+    let (partial, modulus) = if survivors.is_empty() || primes.len() < 2 {
+        (BigUint::zero(), BigUint::one())
+    } else {
+        combine_statements(&survivors, &primes)?
+    };
+    let covered: Vec<bool> = (0..primes.len())
+        .map(|idx| survivors.iter().any(|s| s.i == idx || s.j == idx))
+        .collect();
+    let primes_covered = covered.iter().filter(|&&c| c).count();
+    let watermark = (primes_covered == primes.len()).then(|| partial.clone());
+
+    Ok(Recognition {
+        watermark,
+        partial,
+        modulus,
+        primes_covered,
+        primes_total: primes.len(),
+        candidates,
+        after_vote,
+        survivors: survivors.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::java::{embed, CodegenPolicy};
+    use crate::key::Watermark;
+    use pathmark_crypto::Prng;
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+    use stackvm::insn::Cond;
+
+    fn host_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        let head = f.new_label();
+        let out = f.new_label();
+        f.push(0).store(0);
+        f.bind(head);
+        f.load(0).push(8).if_cmp(Cond::Ge, out);
+        f.load(0).load(1).add().store(1);
+        f.iinc(0, 1).goto(head);
+        f.bind(out);
+        f.load(1).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        pb.finish(main).unwrap()
+    }
+
+    fn key() -> WatermarkKey {
+        WatermarkKey::new(0x5EC2E7, vec![3, 1, 4])
+    }
+
+    #[test]
+    fn embed_then_recognize_round_trip() {
+        for (bits, pieces) in [(64usize, 10usize), (128, 30), (256, 60)] {
+            let config = JavaConfig::for_watermark_bits(bits).with_pieces(pieces);
+            let watermark = Watermark::random_for(&config, &key());
+            let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+            let rec = recognize(&marked.program, &key(), &config).unwrap();
+            assert_eq!(
+                rec.watermark.as_ref(),
+                Some(watermark.value()),
+                "{bits}-bit watermark with {pieces} pieces"
+            );
+            assert_eq!(rec.primes_covered, rec.primes_total);
+        }
+    }
+
+    #[test]
+    fn recognition_round_trip_all_codegens() {
+        for policy in [
+            CodegenPolicy::LoopOnly,
+            CodegenPolicy::PreferCondition,
+            CodegenPolicy::Mixed,
+        ] {
+            let config = JavaConfig::for_watermark_bits(64)
+                .with_pieces(15)
+                .with_codegen(policy);
+            let watermark = Watermark::random_for(&config, &key());
+            let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+            let rec = recognize(&marked.program, &key(), &config).unwrap();
+            assert_eq!(rec.watermark.as_ref(), Some(watermark.value()), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn unmarked_program_recognizes_nothing() {
+        let config = JavaConfig::for_watermark_bits(64);
+        let rec = recognize(&host_program(), &key(), &config).unwrap();
+        assert_eq!(rec.watermark, None);
+        assert_eq!(rec.survivors, 0);
+    }
+
+    #[test]
+    fn wrong_key_recognizes_nothing() {
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+        // Different numeric secret: different primes, cipher, and trace
+        // input.
+        let wrong = WatermarkKey::new(0xBAD_5EED, vec![3, 1, 4]);
+        let rec = recognize(&marked.program, &wrong, &config).unwrap();
+        assert_eq!(rec.watermark, None, "wrong key must not recover the mark");
+    }
+
+    #[test]
+    fn survives_random_bit_noise_between_pieces() {
+        // Corrupt the trace bits with scattered noise bursts; redundancy
+        // should still recover the mark. This models the branch-insertion
+        // attack's effect directly at the bit level.
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(24);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+        let trace = super::super::trace_program(
+            &marked.program,
+            &key(),
+            &config,
+            TraceConfig::branches_only(),
+        )
+        .unwrap();
+        let mut bits: Vec<bool> = BitString::from_trace(&trace).bits().to_vec();
+        // Flip 2% of bits pseudo-randomly.
+        let mut rng = Prng::from_seed(77);
+        let flips = bits.len() / 50;
+        for _ in 0..flips {
+            let i = rng.index(bits.len());
+            bits[i] = !bits[i];
+        }
+        let rec = recognize_bits(&BitString::from_bits(bits), &key(), &config).unwrap();
+        assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+    }
+
+    #[test]
+    fn empty_bitstring_yields_empty_recognition() {
+        let config = JavaConfig::for_watermark_bits(64);
+        let rec = recognize_bits(&BitString::from_bits(vec![]), &key(), &config).unwrap();
+        assert_eq!(rec.candidates, 0);
+        assert_eq!(rec.watermark, None);
+        assert_eq!(rec.modulus, BigUint::one());
+    }
+}

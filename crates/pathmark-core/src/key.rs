@@ -1,0 +1,164 @@
+//! Watermark keys and values.
+
+use pathmark_crypto::{Prng, Xtea};
+use pathmark_math::bigint::BigUint;
+use pathmark_math::primes::generate_primes;
+
+/// The secret watermarking key.
+///
+/// The key has two halves, mirroring the paper:
+///
+/// * a **secret input sequence** `I = I_0, I_1, …` on which the program
+///   is executed during tracing, embedding and recognition ("the only
+///   restriction is that the trace be reproducible", Section 3.1);
+/// * a **numeric secret** from which the prime set, the block-cipher
+///   key, the perfect-hash seed and every embedding-time random choice
+///   are derived deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatermarkKey {
+    /// The numeric secret.
+    pub seed: u64,
+    /// The secret input sequence for bytecode programs.
+    pub input: Vec<i64>,
+}
+
+impl WatermarkKey {
+    /// Creates a key.
+    pub fn new(seed: u64, input: Vec<i64>) -> Self {
+        WatermarkKey { seed, input }
+    }
+
+    /// The secret input as 32-bit values, for native programs.
+    pub fn native_input(&self) -> Vec<u32> {
+        self.input.iter().map(|&v| v as u32).collect()
+    }
+
+    /// The block cipher derived from this key (Section 3.2 step 2).
+    pub fn cipher(&self) -> Xtea {
+        Xtea::from_seed(self.seed ^ 0x5445_4120_4b45_59)
+    }
+
+    /// A deterministic PRNG for embedding-time choices.
+    pub fn prng(&self) -> Prng {
+        Prng::from_seed(self.seed ^ 0x454d_4245_4444)
+    }
+
+    /// The prime set `p_1, …, p_r` for a given configuration.
+    pub fn primes(&self, prime_bits: u32, count: usize) -> Vec<u64> {
+        generate_primes(self.seed ^ 0x5052_494d_4553, prime_bits, count)
+    }
+}
+
+/// A watermark value: the integer `W` identifying one distributed copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watermark {
+    value: BigUint,
+    bits: usize,
+}
+
+impl Watermark {
+    /// Wraps an explicit value, recording its nominal bit width.
+    pub fn from_value(value: BigUint, bits: usize) -> Self {
+        Watermark { value, bits }
+    }
+
+    /// Draws a uniformly random watermark of `bits` bits (top bit set),
+    /// from the given generator.
+    pub fn random(bits: usize, rng: &mut Prng) -> Self {
+        assert!(bits > 0, "watermark must have at least one bit");
+        let mut bytes = vec![0u8; bits.div_ceil(8)];
+        rng.fill_bytes(&mut bytes);
+        let mut value = BigUint::from_bytes_le(&bytes);
+        // Trim to exactly `bits` bits and force the top bit.
+        let excess = value.bits().saturating_sub(bits);
+        if excess > 0 {
+            value = &value >> excess;
+        }
+        value.set_bit(bits - 1);
+        Watermark { value, bits }
+    }
+
+    /// Draws a random watermark sized for a Java configuration, seeded
+    /// from the key (so examples and tests are reproducible).
+    pub fn random_for(config: &crate::java::JavaConfig, key: &WatermarkKey) -> Self {
+        let mut rng = Prng::from_seed(key.seed ^ 0x574d);
+        Watermark::random(config.watermark_bits, &mut rng)
+    }
+
+    /// The integer value `W`.
+    pub fn value(&self) -> &BigUint {
+        &self.value
+    }
+
+    /// The nominal bit width (128, 256, 512 … in the paper's
+    /// experiments).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The watermark as a little-endian-first bit vector of exactly
+    /// [`Self::bits`] bits — the form the native scheme embeds.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.bits).map(|i| self.value.bit(i)).collect()
+    }
+
+    /// Reassembles a watermark from the bit vector produced by
+    /// [`Self::to_bits`] (and by native extraction).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut value = BigUint::zero();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                value.set_bit(i);
+            }
+        }
+        Watermark {
+            value,
+            bits: bits.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_derivations_are_deterministic() {
+        let a = WatermarkKey::new(7, vec![1, 2]);
+        let b = WatermarkKey::new(7, vec![1, 2]);
+        assert_eq!(a.cipher(), b.cipher());
+        assert_eq!(a.primes(20, 5), b.primes(20, 5));
+        let c = WatermarkKey::new(8, vec![1, 2]);
+        assert_ne!(a.primes(20, 5), c.primes(20, 5));
+        assert_eq!(a.native_input(), vec![1u32, 2]);
+    }
+
+    #[test]
+    fn random_watermark_has_exact_width() {
+        let mut rng = Prng::from_seed(3);
+        for bits in [1usize, 8, 64, 128, 512, 768] {
+            let w = Watermark::random(bits, &mut rng);
+            assert_eq!(w.value().bits(), bits, "width {bits}");
+            assert_eq!(w.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn bit_vector_round_trip() {
+        let mut rng = Prng::from_seed(4);
+        let w = Watermark::random(100, &mut rng);
+        let bits = w.to_bits();
+        assert_eq!(bits.len(), 100);
+        let back = Watermark::from_bits(&bits);
+        assert_eq!(back.value(), w.value());
+        assert_eq!(back.bits(), 100);
+    }
+
+    #[test]
+    fn from_bits_preserves_leading_zero_width() {
+        let bits = vec![true, false, false, false]; // value 1, width 4
+        let w = Watermark::from_bits(&bits);
+        assert_eq!(w.bits(), 4);
+        assert_eq!(w.value(), &BigUint::from(1u64));
+    }
+}

@@ -1,0 +1,398 @@
+//! Branch-function synthesis (Sections 4.1 and 4.3).
+//!
+//! The branch function is emitted as a chain of helper functions
+//! `f → f1 → f2` with randomized stack-frame sizes, so the original
+//! return address sits at a known depth and no function visibly
+//! modifies *its own* return address (the stealth argument of
+//! Section 4.1). The last helper, `f2`:
+//!
+//! 1. saves registers and flags (compare the paper's Figure 7);
+//! 2. reads the original return address `a` from deep in the stack;
+//! 3. computes the perfect hash
+//!    `h = ((a·MUL1) >> S1) ^ disp[(a·MUL2) >> S2] & MASK`;
+//! 4. xors `T[h]` into the stored return address, turning it into the
+//!    real target `b = T[h] ^ a`;
+//! 5. (tamper-proofing) reads the record `R[h] = (cell, val)` and, once,
+//!    xors `val` into `*cell` — initializing the target cell of some
+//!    indirect jump elsewhere in the program — then zeroes the record;
+//! 6. restores registers and returns: the unwinding `ret`s deliver
+//!    control to `b`.
+//!
+//! Hash parameters and table base addresses are not known until final
+//! layout, so the code is emitted with placeholder constants and patched
+//! by [`patch_branch_function`] once addresses are fixed.
+
+use nativesim::insn::Insn;
+use nativesim::reg::{AluOp, Cc, Mem, Operand, Reg};
+use nativesim::rewrite::{Item, Unit};
+
+/// Where the synthesized branch function lives and which instructions
+/// hold patchable constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchFnLayout {
+    /// Item index of `f` — the entry every watermark call targets.
+    pub f_entry: usize,
+    /// Depth (bytes above `esp` after `f2`'s saves) of the original
+    /// return address.
+    pub ret_slot_depth: i32,
+    /// Whether the tamper-proofing block was emitted.
+    pub tamperproof: bool,
+    mul1_at: usize,
+    shift1_at: usize,
+    mul2_at: usize,
+    shift2_at: usize,
+    disp_load_at: usize,
+    mask_at: usize,
+    t_load_at: usize,
+    r_lea_at: Option<usize>,
+}
+
+/// Hash parameters and table addresses to patch into the emitted code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchFnParams {
+    /// First multiplier of the displacement hash.
+    pub mul1: u32,
+    /// First shift.
+    pub shift1: u32,
+    /// Second (bucket) multiplier.
+    pub mul2: u32,
+    /// Second shift.
+    pub shift2: u32,
+    /// Slot mask (table length − 1).
+    pub table_mask: u32,
+    /// Absolute address of the displacement array (u32 entries).
+    pub disp_base: u32,
+    /// Absolute address of the XOR table `T` (u32 entries).
+    pub t_base: u32,
+    /// Absolute address of the tamper-record table `R` (8-byte entries).
+    pub r_base: u32,
+}
+
+/// Appends `f`, `f1`, `f2` to the unit's text with placeholder
+/// constants. `frames = (K_f, K_f1)` are the helper frame paddings in
+/// bytes (multiples of 4, chosen randomly per embedding).
+pub fn append_branch_function(
+    unit: &mut Unit,
+    frames: (i32, i32),
+    tamperproof: bool,
+) -> BranchFnLayout {
+    let (k_f, k_f1) = frames;
+    debug_assert!(k_f >= 0 && k_f % 4 == 0 && k_f1 >= 0 && k_f1 % 4 == 0);
+    let ret_slot_depth = 24 + k_f + k_f1;
+
+    // f: sub esp, K_f; call f1; add esp, K_f; ret
+    let f_entry = unit.push(Item::plain(Insn::Alu(
+        AluOp::Sub,
+        Operand::Reg(Reg::Esp),
+        Operand::Imm(k_f),
+    )));
+    let call_f1_at = unit.push(Item::plain(Insn::Call(0)));
+    unit.push(Item::plain(Insn::Alu(
+        AluOp::Add,
+        Operand::Reg(Reg::Esp),
+        Operand::Imm(k_f),
+    )));
+    unit.push(Item::plain(Insn::Ret));
+
+    // f1: sub esp, K_f1; call f2; add esp, K_f1; ret
+    let f1_entry = unit.push(Item::plain(Insn::Alu(
+        AluOp::Sub,
+        Operand::Reg(Reg::Esp),
+        Operand::Imm(k_f1),
+    )));
+    let call_f2_at = unit.push(Item::plain(Insn::Call(0)));
+    unit.push(Item::plain(Insn::Alu(
+        AluOp::Add,
+        Operand::Reg(Reg::Esp),
+        Operand::Imm(k_f1),
+    )));
+    unit.push(Item::plain(Insn::Ret));
+    unit.items[call_f1_at].target = Some(f1_entry);
+
+    // f2: the worker.
+    let f2_entry = unit.push(Item::plain(Insn::Pushf));
+    unit.items[call_f2_at].target = Some(f2_entry);
+    unit.push(Item::plain(Insn::Push(Operand::Reg(Reg::Edx))));
+    unit.push(Item::plain(Insn::Push(Operand::Reg(Reg::Ecx))));
+    unit.push(Item::plain(Insn::Push(Operand::Reg(Reg::Eax))));
+    let ret_slot = Mem::base_disp(Reg::Esp, ret_slot_depth);
+    unit.push(Item::plain(Insn::Mov(
+        Operand::Reg(Reg::Edx),
+        Operand::Mem(ret_slot),
+    )));
+    unit.push(Item::plain(Insn::Mov(
+        Operand::Reg(Reg::Eax),
+        Operand::Reg(Reg::Edx),
+    )));
+    let mul1_at = unit.push(Item::plain(Insn::Alu(
+        AluOp::Imul,
+        Operand::Reg(Reg::Eax),
+        Operand::Imm(0),
+    )));
+    let shift1_at = unit.push(Item::plain(Insn::Alu(
+        AluOp::Shr,
+        Operand::Reg(Reg::Eax),
+        Operand::Imm(0),
+    )));
+    unit.push(Item::plain(Insn::Mov(
+        Operand::Reg(Reg::Ecx),
+        Operand::Reg(Reg::Edx),
+    )));
+    let mul2_at = unit.push(Item::plain(Insn::Alu(
+        AluOp::Imul,
+        Operand::Reg(Reg::Ecx),
+        Operand::Imm(0),
+    )));
+    let shift2_at = unit.push(Item::plain(Insn::Alu(
+        AluOp::Shr,
+        Operand::Reg(Reg::Ecx),
+        Operand::Imm(0),
+    )));
+    let disp_load_at = unit.push(Item::plain(Insn::Mov(
+        Operand::Reg(Reg::Ecx),
+        Operand::Mem(Mem::indexed(0, Reg::Ecx, 4)),
+    )));
+    unit.push(Item::plain(Insn::Alu(
+        AluOp::Xor,
+        Operand::Reg(Reg::Eax),
+        Operand::Reg(Reg::Ecx),
+    )));
+    let mask_at = unit.push(Item::plain(Insn::Alu(
+        AluOp::And,
+        Operand::Reg(Reg::Eax),
+        Operand::Imm(0),
+    )));
+    let t_load_at = unit.push(Item::plain(Insn::Mov(
+        Operand::Reg(Reg::Ecx),
+        Operand::Mem(Mem::indexed(0, Reg::Eax, 4)),
+    )));
+    unit.push(Item::plain(Insn::Alu(
+        AluOp::Xor,
+        Operand::Reg(Reg::Ecx),
+        Operand::Reg(Reg::Edx),
+    )));
+    unit.push(Item::plain(Insn::Mov(
+        Operand::Mem(ret_slot),
+        Operand::Reg(Reg::Ecx),
+    )));
+
+    let r_lea_at = if tamperproof {
+        // lea ecx, R[eax*8]; edx = *ecx (cell); if cell != 0:
+        //   eax = *(ecx+4); *edx ^= eax; *ecx = 0
+        let r_lea_at = unit.push(Item::plain(Insn::Lea(
+            Reg::Ecx,
+            Mem::indexed(0, Reg::Eax, 8),
+        )));
+        unit.push(Item::plain(Insn::Mov(
+            Operand::Reg(Reg::Edx),
+            Operand::Mem(Mem::base_disp(Reg::Ecx, 0)),
+        )));
+        unit.push(Item::plain(Insn::Cmp(
+            Operand::Reg(Reg::Edx),
+            Operand::Imm(0),
+        )));
+        let je_at = unit.push(Item {
+            insn: Insn::Jcc(Cc::E, 0),
+            target: None, // patched to `cleanup` below
+            imm_fix: nativesim::rewrite::ImmFix::None,
+        });
+        unit.push(Item::plain(Insn::Mov(
+            Operand::Reg(Reg::Eax),
+            Operand::Mem(Mem::base_disp(Reg::Ecx, 4)),
+        )));
+        unit.push(Item::plain(Insn::Alu(
+            AluOp::Xor,
+            Operand::Mem(Mem::base_disp(Reg::Edx, 0)),
+            Operand::Reg(Reg::Eax),
+        )));
+        unit.push(Item::plain(Insn::Mov(
+            Operand::Mem(Mem::base_disp(Reg::Ecx, 0)),
+            Operand::Imm(0),
+        )));
+        let cleanup = unit.items.len();
+        unit.items[je_at].target = Some(cleanup);
+        Some(r_lea_at)
+    } else {
+        None
+    };
+
+    // cleanup: restore and return.
+    unit.push(Item::plain(Insn::Pop(Reg::Eax)));
+    unit.push(Item::plain(Insn::Pop(Reg::Ecx)));
+    unit.push(Item::plain(Insn::Pop(Reg::Edx)));
+    unit.push(Item::plain(Insn::Popf));
+    unit.push(Item::plain(Insn::Ret));
+
+    BranchFnLayout {
+        f_entry,
+        ret_slot_depth,
+        tamperproof,
+        mul1_at,
+        shift1_at,
+        mul2_at,
+        shift2_at,
+        disp_load_at,
+        mask_at,
+        t_load_at,
+        r_lea_at,
+    }
+}
+
+/// Patches the final hash parameters and table addresses into the
+/// emitted code. Instruction lengths are unaffected (immediates and
+/// displacements are fixed-width), so layout stays valid.
+///
+/// # Panics
+///
+/// Panics if the layout does not refer to the instructions
+/// [`append_branch_function`] emitted (internal misuse).
+pub fn patch_branch_function(unit: &mut Unit, layout: &BranchFnLayout, params: &BranchFnParams) {
+    set_imm(unit, layout.mul1_at, params.mul1 as i32);
+    set_imm(unit, layout.shift1_at, params.shift1 as i32);
+    set_imm(unit, layout.mul2_at, params.mul2 as i32);
+    set_imm(unit, layout.shift2_at, params.shift2 as i32);
+    set_imm(unit, layout.mask_at, params.table_mask as i32);
+    set_mem_disp(unit, layout.disp_load_at, params.disp_base);
+    set_mem_disp(unit, layout.t_load_at, params.t_base);
+    if let Some(at) = layout.r_lea_at {
+        set_mem_disp(unit, at, params.r_base);
+    }
+}
+
+fn set_imm(unit: &mut Unit, at: usize, value: i32) {
+    match &mut unit.items[at].insn {
+        Insn::Alu(_, _, Operand::Imm(v)) => *v = value,
+        other => panic!("expected ALU-with-immediate at {at}, found {other}"),
+    }
+}
+
+fn set_mem_disp(unit: &mut Unit, at: usize, base: u32) {
+    match &mut unit.items[at].insn {
+        Insn::Mov(_, Operand::Mem(m)) | Insn::Lea(_, m) => m.disp = base as i32,
+        other => panic!("expected memory-operand instruction at {at}, found {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nativesim::asm::ImageBuilder;
+    use nativesim::cpu::Machine;
+    use pathmark_crypto::DisplacementHash;
+
+    /// End-to-end micro-test: a single branch-function call routed
+    /// through a real perfect hash and XOR table.
+    #[test]
+    fn branch_function_routes_one_call() {
+        // Program: call-site at known address jumps via f to `good`.
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        a.nop(); // entry
+        a.insn(Insn::Call(0)); // placeholder; becomes the marked call
+        a.out(Operand::Imm(13)); // "bad": reached only if f misroutes
+        a.halt();
+        a.out(Operand::Imm(7)); // "good"
+        a.halt();
+        let mut unit = b.finish_unit().unwrap();
+        let call_index = 1;
+        let good_index = 4; // items: nop, call, out(13), halt, out(7), halt
+        let layout = append_branch_function(&mut unit, (8, 4), false);
+        unit.items[call_index].target = Some(layout.f_entry);
+
+        let addrs = unit.addresses();
+        let key = addrs[call_index] + 5; // return address = hash input
+        let hash = DisplacementHash::build(&[key], 42).unwrap();
+        let (mul1, shift1, mul2, shift2, mask) = hash.params();
+
+        // Tables in data.
+        let disp_base = unit.data_base + unit.data.len() as u32;
+        for &d in hash.displacements() {
+            unit.push_data_u32(d);
+        }
+        let t_base = unit.data_base + unit.data.len() as u32;
+        let mut t = vec![0x5555_AAAAu32; hash.table_len()];
+        t[hash.eval(key)] = key ^ addrs[good_index];
+        for v in &t {
+            unit.push_data_u32(*v);
+        }
+        patch_branch_function(
+            &mut unit,
+            &layout,
+            &BranchFnParams {
+                mul1,
+                shift1,
+                mul2,
+                shift2,
+                table_mask: mask,
+                disp_base,
+                t_base,
+                r_base: 0,
+            },
+        );
+        let image = unit.encode().unwrap();
+        let out = Machine::load(&image).run(10_000).unwrap();
+        assert_eq!(out.output, vec![7], "branch function must reach `good`");
+    }
+
+    #[test]
+    fn tamperproof_record_applies_once_and_zeroes() {
+        // One call whose record initializes a cell; the program then
+        // jumps indirectly through the cell.
+        let mut b = ImageBuilder::new();
+        let cell = b.data_u32(0xBAAD_F00D); // junk until the branch fn fixes it
+        let a = b.text();
+        a.nop();
+        a.insn(Insn::Call(0));
+        // landing: jump through the (now fixed) cell
+        a.jmp_ind(Operand::Mem(Mem::abs(cell)));
+        a.out(Operand::Imm(66)); // skipped
+        a.halt();
+        a.out(Operand::Imm(1)); // true target of the indirect jump
+        a.halt();
+        let mut unit = b.finish_unit().unwrap();
+        let call_index = 1;
+        let landing_index = 2;
+        let true_target_index = 5;
+        let layout = append_branch_function(&mut unit, (0, 0), true);
+        unit.items[call_index].target = Some(layout.f_entry);
+
+        let addrs = unit.addresses();
+        let key = addrs[call_index] + 5;
+        let hash = DisplacementHash::build(&[key], 9).unwrap();
+        let (mul1, shift1, mul2, shift2, mask) = hash.params();
+        let disp_base = unit.data_base + unit.data.len() as u32;
+        for &d in hash.displacements() {
+            unit.push_data_u32(d);
+        }
+        let t_base = unit.data_base + unit.data.len() as u32;
+        let mut t = vec![0u32; hash.table_len()];
+        t[hash.eval(key)] = key ^ addrs[landing_index];
+        for v in &t {
+            unit.push_data_u32(*v);
+        }
+        let r_base = unit.data_base + unit.data.len() as u32;
+        let mut r = vec![(0u32, 0u32); hash.table_len()];
+        r[hash.eval(key)] = (cell, 0xBAAD_F00D ^ addrs[true_target_index]);
+        for (c, v) in &r {
+            unit.push_data_u32(*c);
+            unit.push_data_u32(*v);
+        }
+        patch_branch_function(
+            &mut unit,
+            &layout,
+            &BranchFnParams {
+                mul1,
+                shift1,
+                mul2,
+                shift2,
+                table_mask: mask,
+                disp_base,
+                t_base,
+                r_base,
+            },
+        );
+        let image = unit.encode().unwrap();
+        let out = Machine::load(&image).run(10_000).unwrap();
+        assert_eq!(out.output, vec![1], "cell must be fixed before the jump");
+    }
+}

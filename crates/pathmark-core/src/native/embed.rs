@@ -1,0 +1,554 @@
+//! Native watermark embedding (Section 4.2.2 and 4.3).
+
+use pathmark_crypto::DisplacementHash;
+use nativesim::insn::Insn;
+use nativesim::reg::{Mem, Operand};
+use nativesim::rewrite::{Item, Unit};
+use nativesim::Image;
+
+use super::branch_fn::{append_branch_function, patch_branch_function, BranchFnParams};
+use super::profile::{profile_image, Profile};
+use crate::key::WatermarkKey;
+use crate::WatermarkError;
+
+/// Configuration of the native watermarking scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeConfig {
+    /// Emit the tamper-proofing of Section 4.3 (indirect-jump lock-down
+    /// cells updated by the branch function).
+    pub tamperproof: bool,
+    /// Upper bound on tamper-proofed branches ("when embedding a k-bit
+    /// watermark we attempt to find up to k candidate branches").
+    pub max_tamper_cells: usize,
+    /// Additional inputs the marked program must keep working on
+    /// (PLTO's SPEC *training* inputs); used to validate that every
+    /// tamper-proofed branch first executes after the anchor edge.
+    pub training_inputs: Vec<Vec<u32>>,
+    /// Route up to this many *non-watermark* unconditional jumps through
+    /// the branch function as decoys — Section 4.2.1: "the branch
+    /// function implementing the watermark can also be used to
+    /// obfuscate other control transfers, elsewhere in the program,
+    /// that have nothing to do with the watermark itself" [Linn &
+    /// Debray, CCS 2003]. Decoys make the watermark call sites
+    /// statistically inconspicuous among ordinary obfuscated jumps.
+    pub decoy_jumps: usize,
+    /// Instruction budget for profiling runs.
+    pub budget: u64,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            tamperproof: true,
+            max_tamper_cells: usize::MAX,
+            training_inputs: Vec::new(),
+            decoy_jumps: 0,
+            budget: 50_000_000,
+        }
+    }
+}
+
+/// The result of native embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NativeMark {
+    /// The watermarked executable.
+    pub image: Image,
+    /// Address of the first watermark call (`a_0`) — the `begin` of the
+    /// extraction bracket.
+    pub begin: u32,
+    /// Address execution reaches after the chain — the `end` of the
+    /// extraction bracket.
+    pub end: u32,
+    /// Addresses of all `k+1` watermark calls, in chain order.
+    pub call_sites: Vec<u32>,
+    /// Entry address of the branch function.
+    pub branch_fn: u32,
+    /// How many indirect-jump cells the tamper-proofing guards.
+    pub tamper_cells: usize,
+    /// How many decoy jumps were routed through the branch function.
+    pub decoys: usize,
+    /// Image size before embedding.
+    pub size_before: usize,
+    /// Image size after embedding.
+    pub size_after: usize,
+}
+
+/// Embeds a bit-string into a native image as a branch-function call
+/// chain.
+///
+/// # Errors
+///
+/// * [`WatermarkError::Sim`] if profiling or re-encoding fails;
+/// * [`WatermarkError::NoAnchorEdge`] if no direct unconditional jump
+///   executes on the secret input (and every training input);
+/// * [`WatermarkError::InsufficientSlots`] if the text has too few legal
+///   call positions to thread the chain;
+/// * [`WatermarkError::Phf`] if perfect-hash construction fails.
+pub fn embed_native(
+    image: &Image,
+    bits: &[bool],
+    key: &WatermarkKey,
+    config: &NativeConfig,
+) -> Result<NativeMark, WatermarkError> {
+    let mut unit = Unit::from_image(image)?;
+    let secret_profile = profile_image(image, &key.native_input(), config.budget)?;
+    let mut training_profiles = Vec::new();
+    for input in &config.training_inputs {
+        training_profiles.push(profile_image(image, input, config.budget)?);
+    }
+    let mut rng = key.prng();
+
+    // --- Anchor: a direct unconditional jump executed on the secret
+    // input (prefer exactly once, as early as possible) and on every
+    // training input.
+    let addrs = unit.addresses();
+    let anchor = {
+        // A position is a legal call slot when the previous instruction
+        // cannot fall through into it.
+        let has_backward_slot = |idx: usize| {
+            (1..=idx).rev().any(|p| unit.items[p - 1].insn.is_terminator())
+        };
+        let has_forward_slot = |idx: usize| {
+            ((idx + 2)..=unit.items.len())
+                .any(|p| unit.items[p - 1].insn.is_terminator())
+        };
+        let mut candidates: Vec<(u64, u64, usize)> = Vec::new(); // (count, first, index)
+        for (idx, item) in unit.items.iter().enumerate() {
+            if !matches!(item.insn, Insn::Jmp(_)) {
+                continue;
+            }
+            let count = secret_profile.count(addrs[idx]);
+            if count == 0 {
+                continue;
+            }
+            if training_profiles.iter().any(|p| p.count(addrs[idx]) == 0) {
+                continue;
+            }
+            // The chain must be able to hop both directions from here.
+            if !bits.is_empty() && (!has_backward_slot(idx) || !has_forward_slot(idx)) {
+                continue;
+            }
+            let first = secret_profile.first(addrs[idx]).expect("count > 0");
+            candidates.push((count, first, idx));
+        }
+        candidates.sort_unstable();
+        candidates
+            .first()
+            .map(|&(_, _, idx)| idx)
+            .ok_or(WatermarkError::NoAnchorEdge)?
+    };
+    let end_index = unit.items[anchor]
+        .target
+        .expect("direct jmp has a target");
+    let anchor_first_step = secret_profile
+        .first(addrs[anchor])
+        .expect("anchor executes");
+
+    // --- Tamper-proofing candidates: direct jumps ℓ such that the
+    // anchor dominates ℓ. The dominance requirement of Section 4.3 is
+    // checked *statically* where sound (no pre-existing indirect jumps)
+    // and *dynamically* against every profiled input regardless (PLTO
+    // validated against the SPEC training inputs the same way).
+    let cfg = nativesim::cfg::Cfg::build(&unit);
+    let static_dominance_usable = !cfg.has_indirect_jumps();
+    let mut tamper: Vec<(usize, usize)> = Vec::new(); // (jmp index, true target index)
+    if config.tamperproof {
+        // Rank key: (0 if statically proven dominated, 1 otherwise;
+        // execution count; index). Static proof is best-effort — the
+        // CFG is intraprocedural, so an anchor inside a callee cannot
+        // statically dominate caller-side branches even though it
+        // dynamically precedes them; those fall back to the dynamic
+        // first-execution validation below.
+        let mut ranked: Vec<(u8, u64, usize)> = Vec::new();
+        for (idx, item) in unit.items.iter().enumerate() {
+            if idx == anchor || !matches!(item.insn, Insn::Jmp(_)) {
+                continue;
+            }
+            let addr = addrs[idx];
+            let after_anchor_on = |p: &Profile, anchor_first: Option<u64>| match (
+                p.first(addr),
+                anchor_first,
+            ) {
+                (None, _) => true, // never executes on this input
+                (Some(f), Some(af)) => f > af,
+                (Some(_), None) => false, // executes but anchor never ran
+            };
+            if !after_anchor_on(&secret_profile, Some(anchor_first_step)) {
+                continue;
+            }
+            if !training_profiles
+                .iter()
+                .all(|p| after_anchor_on(p, p.first(addrs[anchor])))
+            {
+                continue;
+            }
+            // "a branch is considered to be a candidate if it occurs in
+            // an infrequently executed portion of the code and is not
+            // part of a loop" — approximated by a small dynamic count on
+            // every profiled input.
+            let count = secret_profile.count(addr);
+            if count > 4 || training_profiles.iter().any(|p| p.count(addr) > 4) {
+                continue;
+            }
+            let statically_proven =
+                static_dominance_usable && cfg.item_dominates(anchor, idx);
+            ranked.push((u8::from(!statically_proven), count, idx));
+        }
+        ranked.sort_unstable();
+        let max = config.max_tamper_cells.min(bits.len());
+        for &(_, _, idx) in ranked.iter().take(max) {
+            let target = unit.items[idx].target.expect("direct jmp has a target");
+            tamper.push((idx, target));
+        }
+    }
+
+    // --- Replace the anchor jmp with the first watermark call a_0, then
+    // thread a_1 … a_k through legal positions, scanning forward for a
+    // 1-bit and backward for a 0-bit.
+    unit.items[anchor] = Item::plain(Insn::Call(0)); // target patched to f later
+    let mut chain: Vec<usize> = vec![anchor];
+    let mut end_index = end_index;
+    let mut tamper = tamper;
+    let mut cur = anchor;
+    for (bit_no, &bit) in bits.iter().enumerate() {
+        let legal = |unit: &Unit, p: usize| -> bool {
+            p > 0 && p <= unit.items.len() && unit.items[p - 1].insn.is_terminator()
+        };
+        let found = if bit {
+            // Forward: smallest legal position strictly after cur.
+            ((cur + 2)..=unit.items.len()).find(|&p| legal(&unit, p))
+        } else {
+            // Backward: largest legal position at or before cur.
+            (1..=cur).rev().find(|&p| legal(&unit, p))
+        };
+        let Some(p) = found else {
+            return Err(WatermarkError::InsufficientSlots {
+                remaining_bits: bits.len() - bit_no,
+            });
+        };
+        unit.insert(p, Item::plain(Insn::Call(0)));
+        // Account for the shift the insertion caused.
+        for c in &mut chain {
+            if *c >= p {
+                *c += 1;
+            }
+        }
+        if end_index >= p {
+            end_index += 1;
+        }
+        for (j, t) in &mut tamper {
+            if *j >= p {
+                *j += 1;
+            }
+            if *t >= p {
+                *t += 1;
+            }
+        }
+        if cur >= p {
+            cur += 1;
+        }
+        debug_assert!(if bit { p > cur } else { p <= cur });
+        chain.push(p);
+        cur = p;
+    }
+
+    // --- Convert tamper candidates to indirect jumps through junk-
+    // initialized data cells, one per chain call (first `tamper.len()`
+    // calls carry a record).
+    let mut cells: Vec<(u32, usize, u32)> = Vec::new(); // (cell addr, target idx, junk)
+    for &(jmp_idx, target_idx) in &tamper {
+        let junk = rng.next_u32() | 1;
+        let cell = unit.push_data_u32(junk);
+        unit.items[jmp_idx] = Item::plain(Insn::JmpInd(Operand::Mem(Mem::abs(cell))));
+        cells.push((cell, target_idx, junk));
+    }
+
+    // --- Decoy obfuscation (Section 4.2.1): route additional ordinary
+    // jumps through the branch function so watermark call sites hide in
+    // a crowd. The chain's landing site is excluded so decoy hops can
+    // never splice onto the watermark chain in a trace.
+    let mut decoys: Vec<(usize, usize)> = Vec::new(); // (item idx, target idx)
+    for idx in 0..unit.items.len() {
+        if decoys.len() >= config.decoy_jumps {
+            break;
+        }
+        if idx == end_index || !matches!(unit.items[idx].insn, Insn::Jmp(_)) {
+            continue;
+        }
+        let target = unit.items[idx].target.expect("direct jmp has a target");
+        decoys.push((idx, target));
+    }
+    for &(idx, _) in &decoys {
+        unit.items[idx] = Item::plain(Insn::Call(0)); // target = f, set below
+    }
+
+    // --- Branch function, with randomized helper frame sizes.
+    let frames = (
+        (rng.index(8) as i32) * 4,
+        (rng.index(8) as i32) * 4,
+    );
+    let layout = append_branch_function(&mut unit, frames, config.tamperproof);
+    for &c in &chain {
+        unit.items[c].target = Some(layout.f_entry);
+    }
+    for &(idx, _) in &decoys {
+        unit.items[idx].target = Some(layout.f_entry);
+    }
+
+    // --- Final layout; build the perfect hash over the return
+    // addresses (watermark chain and decoys alike).
+    let final_addrs = unit.addresses();
+    let mut keys: Vec<u32> = chain.iter().map(|&c| final_addrs[c] + 5).collect();
+    keys.extend(decoys.iter().map(|&(idx, _)| final_addrs[idx] + 5));
+    let hash = DisplacementHash::build(&keys, key.seed ^ 0x9A5F)?;
+    let (mul1, shift1, mul2, shift2, table_mask) = hash.params();
+
+    // Targets: a_i -> a_{i+1}, a_k -> end.
+    let mut t_table: Vec<u32> = (0..hash.table_len()).map(|_| rng.next_u32()).collect();
+    let mut r_table: Vec<(u32, u32)> = vec![(0, 0); hash.table_len()];
+    for (i, &c) in chain.iter().enumerate() {
+        let b = if i + 1 < chain.len() {
+            final_addrs[chain[i + 1]]
+        } else {
+            final_addrs[end_index]
+        };
+        let slot = hash.eval(keys[i]);
+        t_table[slot] = keys[i] ^ b;
+        if let Some(&(cell, target_idx, junk)) = cells.get(i) {
+            r_table[slot] = (cell, junk ^ final_addrs[target_idx]);
+        }
+        let _ = c;
+    }
+    for (i, &(idx, target_idx)) in decoys.iter().enumerate() {
+        let k = keys[chain.len() + i];
+        t_table[hash.eval(k)] = k ^ final_addrs[target_idx];
+        let _ = idx;
+    }
+
+    // --- Write the tables into data and patch the branch function.
+    let disp_base = unit.data_base + unit.data.len() as u32;
+    for &d in hash.displacements() {
+        unit.push_data_u32(d);
+    }
+    let t_base = unit.data_base + unit.data.len() as u32;
+    for &t in &t_table {
+        unit.push_data_u32(t);
+    }
+    let r_base = unit.data_base + unit.data.len() as u32;
+    if config.tamperproof {
+        for &(c, v) in &r_table {
+            unit.push_data_u32(c);
+            unit.push_data_u32(v);
+        }
+    }
+    patch_branch_function(
+        &mut unit,
+        &layout,
+        &BranchFnParams {
+            mul1,
+            shift1,
+            mul2,
+            shift2,
+            table_mask,
+            disp_base,
+            t_base,
+            r_base,
+        },
+    );
+
+    let marked = unit.encode()?;
+    Ok(NativeMark {
+        begin: final_addrs[chain[0]],
+        end: final_addrs[end_index],
+        call_sites: chain.iter().map(|&c| final_addrs[c]).collect(),
+        branch_fn: final_addrs[layout.f_entry],
+        tamper_cells: cells.len(),
+        decoys: decoys.len(),
+        size_before: image.size(),
+        size_after: marked.size(),
+        image: marked,
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nativesim::asm::ImageBuilder;
+    use nativesim::cpu::Machine;
+    use nativesim::reg::{AluOp, Cc, Reg};
+
+    /// A small program with several functions, a cold tail, and direct
+    /// jumps — enough structure to host a chain.
+    pub(crate) fn host_image() -> Image {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let start = a.label();
+        let cold = a.label();
+        let fin = a.label();
+        let helper = a.label();
+        // Entry jumps over a block of dead helper-like filler (these
+        // provide backward call slots, like the function boundaries of a
+        // real binary).
+        a.in_(Reg::Eax);
+        a.mov_rr(Reg::Ebx, Reg::Eax);
+        a.jmp(start); // first executed jmp, but has no backward slots
+        for _ in 0..48 {
+            a.nop();
+            a.ret();
+        }
+        a.bind(start);
+        // loop: sum 0..input
+        let top = a.label();
+        let done = a.label();
+        a.mov_ri(Reg::Ecx, 0);
+        a.mov_ri(Reg::Edx, 0);
+        a.bind(top);
+        a.cmp(Operand::Reg(Reg::Ecx), Operand::Reg(Reg::Eax));
+        a.jcc(Cc::Ge, done);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::Add, Reg::Ecx, 1);
+        a.jmp(top);
+        a.bind(done);
+        a.call(helper);
+        a.jmp(cold); // anchor: executes once, slots on both sides
+        a.bind(cold);
+        a.out(Operand::Reg(Reg::Edx));
+        a.jmp(fin); // cold tamper candidate
+        // more filler with terminators (forward slots)
+        for _ in 0..48 {
+            a.nop();
+            a.ret();
+        }
+        a.bind(fin);
+        a.halt();
+        a.bind(helper);
+        a.alu_ri(AluOp::Add, Reg::Edx, 1000);
+        a.ret();
+        b.finish().unwrap()
+    }
+
+    fn key() -> WatermarkKey {
+        WatermarkKey::new(0xFACE, vec![5])
+    }
+
+    #[test]
+    fn embedding_preserves_program_behavior() {
+        let image = host_image();
+        let baseline = Machine::load(&image)
+            .with_input(vec![5])
+            .run(100_000)
+            .unwrap();
+        let bits = vec![true, false, true, true, false, false, true, false];
+        let mark = embed_native(&image, &bits, &key(), &NativeConfig::default()).unwrap();
+        let marked_out = Machine::load(&mark.image)
+            .with_input(vec![5])
+            .run(100_000)
+            .unwrap();
+        assert_eq!(baseline.output, marked_out.output);
+        assert!(mark.size_after > mark.size_before);
+        assert_eq!(mark.call_sites.len(), bits.len() + 1);
+    }
+
+    #[test]
+    fn call_site_ordering_encodes_the_bits() {
+        let image = host_image();
+        let bits = vec![true, true, false, true, false];
+        let mark = embed_native(&image, &bits, &key(), &NativeConfig::default()).unwrap();
+        for (i, &bit) in bits.iter().enumerate() {
+            let forward = mark.call_sites[i + 1] > mark.call_sites[i];
+            assert_eq!(forward, bit, "hop {i}");
+        }
+    }
+
+    #[test]
+    fn works_without_tamperproofing() {
+        let image = host_image();
+        let config = NativeConfig {
+            tamperproof: false,
+            ..NativeConfig::default()
+        };
+        let bits = vec![false, true, true];
+        let mark = embed_native(&image, &bits, &key(), &config).unwrap();
+        assert_eq!(mark.tamper_cells, 0);
+        let out = Machine::load(&mark.image)
+            .with_input(vec![3])
+            .run(100_000)
+            .unwrap();
+        let baseline = Machine::load(&image)
+            .with_input(vec![3])
+            .run(100_000)
+            .unwrap();
+        assert_eq!(out.output, baseline.output);
+    }
+
+    #[test]
+    fn tamperproofing_converts_cold_jumps() {
+        let image = host_image();
+        let bits = vec![true, false];
+        let mark = embed_native(&image, &bits, &key(), &NativeConfig::default()).unwrap();
+        assert!(mark.tamper_cells >= 1, "the cold jmp should be locked down");
+        // Behavior still intact on the secret input.
+        let out = Machine::load(&mark.image)
+            .with_input(vec![5])
+            .run(100_000)
+            .unwrap();
+        let baseline = Machine::load(&image)
+            .with_input(vec![5])
+            .run(100_000)
+            .unwrap();
+        assert_eq!(out.output, baseline.output);
+    }
+
+    #[test]
+    fn training_inputs_keep_working() {
+        let image = host_image();
+        let config = NativeConfig {
+            training_inputs: vec![vec![0], vec![9], vec![20]],
+            ..NativeConfig::default()
+        };
+        let bits = vec![true, false, true, false, true, false, true, false];
+        let mark = embed_native(&image, &bits, &key(), &config).unwrap();
+        for input in [vec![0u32], vec![9], vec![20], vec![5]] {
+            let baseline = Machine::load(&image)
+                .with_input(input.clone())
+                .run(100_000)
+                .unwrap();
+            let out = Machine::load(&mark.image)
+                .with_input(input.clone())
+                .run(100_000)
+                .unwrap();
+            assert_eq!(out.output, baseline.output, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn image_without_jumps_has_no_anchor() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        a.out(Operand::Imm(1));
+        a.halt();
+        let image = b.finish().unwrap();
+        assert!(matches!(
+            embed_native(&image, &[true], &key(), &NativeConfig::default()),
+            Err(WatermarkError::NoAnchorEdge)
+        ));
+    }
+
+    #[test]
+    fn wider_watermarks_thread_through() {
+        let image = host_image();
+        let mut rng = pathmark_crypto::Prng::from_seed(31);
+        let bits: Vec<bool> = (0..64).map(|_| rng.chance(0.5)).collect();
+        let mark = embed_native(&image, &bits, &key(), &NativeConfig::default()).unwrap();
+        assert_eq!(mark.call_sites.len(), 65);
+        let out = Machine::load(&mark.image)
+            .with_input(vec![5])
+            .run(1_000_000)
+            .unwrap();
+        let baseline = Machine::load(&image)
+            .with_input(vec![5])
+            .run(100_000)
+            .unwrap();
+        assert_eq!(out.output, baseline.output);
+    }
+}

@@ -1,0 +1,29 @@
+//! Branch-function watermarking for native executables (Section 4).
+//!
+//! The native realization replaces unconditional jumps with calls to a
+//! **branch function** — a function that computes its real return target
+//! by hashing its return address through a perfect hash into an XOR
+//! table. A watermark of `k` bits is embedded as a chain of `k+1` such
+//! calls threaded through the text section, where each *forward* hop
+//! (`addr(a_{i+1}) > addr(a_i)`) encodes a 1 and each *backward* hop a 0
+//! (Section 4.2). The branch function also carries the tamper-proofing
+//! of Section 4.3: each call incrementally fills in the target cells of
+//! indirect jumps elsewhere in the program, so removing or displacing
+//! the watermark machinery breaks the program.
+//!
+//! * [`profile_image`] — single-step execution profiles (PLTO profiled
+//!   SPEC training runs the same way).
+//! * [`embed_native`] — the embedder.
+//! * [`extract`] — watermark extraction with the paper's two tracers:
+//!   the *simple* tracer (defeated by call-rerouting) and the *smart*
+//!   tracer that tracks the branch function's hash input (Section 5.2.2,
+//!   attack 5).
+
+mod branch_fn;
+mod embed;
+mod extract;
+mod profile;
+
+pub use embed::{embed_native, NativeConfig, NativeMark};
+pub use extract::{extract, extract_auto, ExtractionSpec, TracerKind};
+pub use profile::{profile_image, Profile};

@@ -1,0 +1,111 @@
+//! Execution profiles of native images.
+//!
+//! The embedder needs to know, per instruction address: how often it
+//! executes and *when it first executes* — the anchor edge must run on
+//! the secret input, insertion prefers cold code, and tamper-proofed
+//! indirect jumps must first execute only after the branch-function
+//! chain has initialized their target cells (the paper's "begin
+//! dominates ℓ" condition, which we check dynamically against every
+//! input of interest, just as PLTO validated against the SPEC training
+//! inputs).
+
+use std::collections::HashMap;
+
+use nativesim::cpu::Machine;
+use nativesim::Image;
+
+use crate::WatermarkError;
+
+/// A per-address execution profile of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// How many times each instruction address executed.
+    pub counts: HashMap<u32, u64>,
+    /// The step index at which each address first executed.
+    pub first_step: HashMap<u32, u64>,
+    /// Total instructions executed.
+    pub total: u64,
+}
+
+impl Profile {
+    /// Execution count of an address (0 if never executed).
+    pub fn count(&self, addr: u32) -> u64 {
+        self.counts.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// First execution step of an address, if it ever executed.
+    pub fn first(&self, addr: u32) -> Option<u64> {
+        self.first_step.get(&addr).copied()
+    }
+}
+
+/// Single-steps `image` on `input`, recording the profile.
+///
+/// # Errors
+///
+/// [`WatermarkError::Sim`] if the program faults or exhausts `budget`.
+pub fn profile_image(
+    image: &Image,
+    input: &[u32],
+    budget: u64,
+) -> Result<Profile, WatermarkError> {
+    let mut machine = Machine::load(image).with_input(input.to_vec());
+    let mut profile = Profile::default();
+    for step_index in 0..budget {
+        let step = machine.step()?;
+        *profile.counts.entry(step.pc).or_insert(0) += 1;
+        profile.first_step.entry(step.pc).or_insert(step_index);
+        profile.total += 1;
+        if step.halted {
+            return Ok(profile);
+        }
+    }
+    Err(WatermarkError::Sim(nativesim::SimError::BudgetExhausted {
+        budget,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nativesim::asm::ImageBuilder;
+    use nativesim::reg::{AluOp, Cc, Operand, Reg};
+
+    #[test]
+    fn counts_and_first_steps() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let top = a.label();
+        a.mov_ri(Reg::Ecx, 4); // step 0
+        a.bind(top);
+        a.alu_ri(AluOp::Sub, Reg::Ecx, 1); // 4 times
+        a.cmp(Operand::Reg(Reg::Ecx), Operand::Imm(0));
+        a.jcc(Cc::G, top);
+        a.halt();
+        let img = b.finish().unwrap();
+        let p = profile_image(&img, &[], 1000).unwrap();
+        let base = img.text_base;
+        assert_eq!(p.count(base), 1);
+        assert_eq!(p.first(base), Some(0));
+        // The loop body address (after the 8-byte mov) ran 4 times.
+        assert_eq!(p.count(base + 8), 4);
+        assert_eq!(p.first(base + 8), Some(1));
+        assert_eq!(p.count(0xDEAD), 0);
+        assert_eq!(p.first(0xDEAD), None);
+        assert_eq!(p.total, 1 + 4 * 3 + 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut b = ImageBuilder::new();
+        let a = b.text();
+        let top = a.label();
+        a.bind(top);
+        a.jmp(top);
+        let img = b.finish().unwrap();
+        assert!(matches!(
+            profile_image(&img, &[], 50),
+            Err(WatermarkError::Sim(_))
+        ));
+    }
+}

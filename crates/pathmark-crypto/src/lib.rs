@@ -1,0 +1,29 @@
+//! Cryptographic substrate for dynamic path-based software watermarking.
+//!
+//! Three primitives from the paper, implemented from scratch (no
+//! cryptography crate is available offline, and none is needed — the
+//! watermarking protocol only requires a keyed 64-bit permutation, a
+//! reproducible random stream, and an O(1) perfect hash):
+//!
+//! * [`xtea`] — the XTEA block cipher. Section 3.2 step 2 passes every
+//!   watermark piece through a 64-bit block cipher so that corrupted trace
+//!   windows decrypt to uniformly random values, which the recognition
+//!   algorithm can then reject statistically.
+//! * [`prng`] — a deterministic, seedable xoshiro256** generator. Both
+//!   embedding (random insertion points, random watermark values in
+//!   benches) and the Monte-Carlo experiments need reproducible
+//!   randomness derived from the watermark key.
+//! * [`phf`] — displacement-based perfect hashing. Section 4.1 uses a
+//!   perfect hash `h: {a_1, …, a_n} → {1, …, n}` inside the branch
+//!   function to map return addresses to their XOR-table entries; the
+//!   evaluation form chosen here (`multiply / shift / displace / mask`)
+//!   is exactly what the simulated branch-function machine code computes
+//!   (compare the paper's Figure 7).
+
+pub mod phf;
+pub mod prng;
+pub mod xtea;
+
+pub use phf::DisplacementHash;
+pub use prng::Prng;
+pub use xtea::Xtea;

@@ -1,0 +1,324 @@
+//! Displacement-based perfect hashing over 32-bit keys.
+//!
+//! Section 4.1 of the paper: the branch function maps each call-site
+//! return address `a_i` through a perfect hash `h` into a table `T` with
+//! `T[h(a_i)] = a_i ⊕ b_i`. The paper cites FKS \[12\]; we implement the
+//! closely related *hash-and-displace* construction (the shape visible in
+//! the paper's Figure 7 disassembly: a multiply, shifts, a displacement-
+//! table load, an xor), because its evaluation is a handful of
+//! straight-line 32-bit ALU operations that the simulated branch function
+//! executes literally:
+//!
+//! ```text
+//! h(x) = ( (x·MUL1) >> SHIFT1 ) ^ disp[ (x·MUL2) >> SHIFT2 ]   &  MASK
+//! ```
+//!
+//! All arithmetic is wrapping `u32` — the word size of the simulated
+//! machine — so the in-Rust evaluator and the machine-code evaluator
+//! agree bit-for-bit.
+
+use crate::prng::Prng;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a perfect hash cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PhfError {
+    /// The key set contained a duplicate, which no injective map allows.
+    DuplicateKey {
+        /// The duplicated key.
+        key: u32,
+    },
+    /// Construction failed after exhausting its retry budget (extremely
+    /// unlikely for sane load factors; indicates adversarial keys).
+    RetriesExhausted,
+}
+
+impl fmt::Display for PhfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhfError::DuplicateKey { key } => {
+                write!(f, "duplicate key {key:#x} in perfect hash input")
+            }
+            PhfError::RetriesExhausted => {
+                write!(f, "perfect hash construction exhausted retries")
+            }
+        }
+    }
+}
+
+impl Error for PhfError {}
+
+/// A perfect hash over a fixed 32-bit key set, evaluable with six ALU
+/// operations.
+///
+/// Slot indices are in `0..table_len()`; the table is at most 4× the key
+/// count. Unlisted keys hash to arbitrary slots (exactly as in the paper,
+/// where only watermark call sites ever enter the branch function).
+///
+/// # Example
+///
+/// ```
+/// use pathmark_crypto::DisplacementHash;
+///
+/// let keys = [0x0804_9000u32, 0x0804_9234, 0x0804_A020, 0x0804_B456];
+/// let h = DisplacementHash::build(&keys, 99)?;
+/// let mut slots: Vec<usize> = keys.iter().map(|&k| h.eval(k)).collect();
+/// slots.sort_unstable();
+/// slots.dedup();
+/// assert_eq!(slots.len(), keys.len(), "h is injective on the keys");
+/// # Ok::<(), pathmark_crypto::phf::PhfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisplacementHash {
+    mul1: u32,
+    shift1: u32,
+    mul2: u32,
+    shift2: u32,
+    table_mask: u32,
+    disp: Vec<u32>,
+}
+
+impl DisplacementHash {
+    /// Builds a perfect hash for `keys`, seeded from `seed` so that
+    /// construction is deterministic per watermark key.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhfError::DuplicateKey`] if `keys` contains duplicates.
+    /// * [`PhfError::RetriesExhausted`] if no parameter choice works
+    ///   within the retry budget.
+    pub fn build(keys: &[u32], seed: u64) -> Result<Self, PhfError> {
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(PhfError::DuplicateKey { key: w[0] });
+        }
+        if keys.is_empty() {
+            return Ok(DisplacementHash {
+                mul1: 1,
+                shift1: 0,
+                mul2: 1,
+                shift2: 31,
+                table_mask: 0,
+                disp: vec![0, 0],
+            });
+        }
+        let mut rng = Prng::from_seed(seed ^ 0x5DEE_CE66_D1CE_4E5B);
+        // Table of 2n..4n slots and n..2n displacement buckets keep the
+        // greedy search fast and reliable.
+        let table_len = (keys.len() * 2).next_power_of_two().max(2);
+        let bucket_count = keys.len().next_power_of_two().max(2);
+        for _attempt in 0..256 {
+            let mul1 = rng.next_u32() | 1;
+            let mul2 = rng.next_u32() | 1;
+            // Take hash bits from the top of the 32-bit product.
+            let shift1 = 32 - (table_len.trailing_zeros() + 4).min(31);
+            let shift2 = 32 - bucket_count.trailing_zeros();
+            let candidate = Self::try_build(
+                keys,
+                mul1,
+                shift1,
+                mul2,
+                shift2,
+                table_len,
+                bucket_count,
+                &mut rng,
+            );
+            if let Some(h) = candidate {
+                return Ok(h);
+            }
+        }
+        Err(PhfError::RetriesExhausted)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_build(
+        keys: &[u32],
+        mul1: u32,
+        shift1: u32,
+        mul2: u32,
+        shift2: u32,
+        table_len: usize,
+        bucket_count: usize,
+        rng: &mut Prng,
+    ) -> Option<DisplacementHash> {
+        let table_mask = (table_len - 1) as u32;
+        // Bucket keys by their displacement index.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); bucket_count];
+        for &k in keys {
+            buckets[(k.wrapping_mul(mul2) >> shift2) as usize].push(k);
+        }
+        // Largest buckets first: they are the hardest to place.
+        let mut order: Vec<usize> = (0..bucket_count).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(buckets[b].len()));
+        let mut occupied = vec![false; table_len];
+        let mut disp = vec![0u32; bucket_count];
+        for &b in &order {
+            let bucket = &buckets[b];
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut placed = false;
+            'displacement: for trial in 0..(table_len as u32 * 16) {
+                let d = if trial < table_len as u32 * 4 {
+                    trial
+                } else {
+                    rng.next_u32()
+                };
+                let mut slots = Vec::with_capacity(bucket.len());
+                for &k in bucket {
+                    let slot = (((k.wrapping_mul(mul1) >> shift1) ^ d) & table_mask) as usize;
+                    if occupied[slot] || slots.contains(&slot) {
+                        continue 'displacement;
+                    }
+                    slots.push(slot);
+                }
+                for &s in &slots {
+                    occupied[s] = true;
+                }
+                disp[b] = d;
+                placed = true;
+                break;
+            }
+            if !placed {
+                return None;
+            }
+        }
+        Some(DisplacementHash {
+            mul1,
+            shift1,
+            mul2,
+            shift2,
+            table_mask,
+            disp,
+        })
+    }
+
+    /// Evaluates the hash. Injective on the construction key set; an
+    /// arbitrary slot for anything else.
+    pub fn eval(&self, key: u32) -> usize {
+        let bucket = (key.wrapping_mul(self.mul2) >> self.shift2) as usize;
+        let d = self.disp[bucket];
+        (((key.wrapping_mul(self.mul1) >> self.shift1) ^ d) & self.table_mask) as usize
+    }
+
+    /// Number of slots in the target table (a power of two).
+    pub fn table_len(&self) -> usize {
+        self.table_mask as usize + 1
+    }
+
+    /// The evaluation parameters `(mul1, shift1, mul2, shift2,
+    /// table_mask)` — everything the simulated branch-function machine
+    /// code needs, alongside [`Self::displacements`].
+    pub fn params(&self) -> (u32, u32, u32, u32, u32) {
+        (
+            self.mul1,
+            self.shift1,
+            self.mul2,
+            self.shift2,
+            self.table_mask,
+        )
+    }
+
+    /// The displacement array (length is a power of two).
+    pub fn displacements(&self) -> &[u32] {
+        &self.disp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_perfect(keys: &[u32], h: &DisplacementHash) {
+        let mut slots: Vec<usize> = keys.iter().map(|&k| h.eval(k)).collect();
+        slots.sort_unstable();
+        let before = slots.len();
+        slots.dedup();
+        assert_eq!(slots.len(), before, "hash collides on its key set");
+        assert!(slots.iter().all(|&s| s < h.table_len()));
+    }
+
+    #[test]
+    fn small_key_sets() {
+        for n in [1usize, 2, 3, 5, 8, 16] {
+            let keys: Vec<u32> = (0..n as u32).map(|i| 0x0804_8000 + i * 7).collect();
+            let h = DisplacementHash::build(&keys, 42).unwrap();
+            assert_perfect(&keys, &h);
+        }
+    }
+
+    #[test]
+    fn empty_key_set() {
+        let h = DisplacementHash::build(&[], 1).unwrap();
+        // eval on anything is in range.
+        assert!(h.eval(123) <= h.table_mask as usize);
+    }
+
+    #[test]
+    fn dense_address_like_keys() {
+        // Consecutive instruction addresses — the real workload shape.
+        let keys: Vec<u32> = (0..512u32).map(|i| 0x0804_8000 + i * 5).collect();
+        let h = DisplacementHash::build(&keys, 7).unwrap();
+        assert_perfect(&keys, &h);
+        assert!(h.table_len() <= 2048);
+    }
+
+    #[test]
+    fn adversarial_clustered_keys() {
+        let mut keys: Vec<u32> = (0..64u32).map(|i| i << 24).collect();
+        keys.extend((0..64u32).map(|i| 0xFFFF_0000 + i));
+        let h = DisplacementHash::build(&keys, 3).unwrap();
+        assert_perfect(&keys, &h);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert_eq!(
+            DisplacementHash::build(&[5, 9, 5], 1),
+            Err(PhfError::DuplicateKey { key: 5 })
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let keys: Vec<u32> = (0..100u32).map(|i| 1000 + i * 13).collect();
+        let a = DisplacementHash::build(&keys, 11).unwrap();
+        let b = DisplacementHash::build(&keys, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn params_reconstruct_eval() {
+        // The simulated machine code recomputes eval from params() and
+        // displacements(); verify that recomputation matches.
+        let keys: Vec<u32> = (0..50u32).map(|i| 0x400000 + i * 9).collect();
+        let h = DisplacementHash::build(&keys, 2).unwrap();
+        let (mul1, shift1, mul2, shift2, mask) = h.params();
+        for &k in &keys {
+            let bucket = (k.wrapping_mul(mul2) >> shift2) as usize;
+            let manual =
+                (((k.wrapping_mul(mul1) >> shift1) ^ h.displacements()[bucket]) & mask) as usize;
+            assert_eq!(manual, h.eval(k));
+        }
+    }
+
+    #[test]
+    fn larger_key_sets_build() {
+        let keys: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E37) + 3).collect();
+        let h = DisplacementHash::build(&keys, 5).unwrap();
+        assert_perfect(&keys, &h);
+    }
+
+    #[test]
+    fn many_seeds_build_for_typical_watermark_sizes() {
+        // 129 call sites = a 128-bit watermark chain.
+        for seed in 0..20u64 {
+            let keys: Vec<u32> = (0..129u32).map(|i| 0x0804_8000 + i * 11 + (i * i) % 7).collect();
+            let h = DisplacementHash::build(&keys, seed).unwrap();
+            assert_perfect(&keys, &h);
+        }
+    }
+}

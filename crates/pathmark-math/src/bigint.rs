@@ -1,0 +1,990 @@
+//! Arbitrary-precision integers.
+//!
+//! The watermark value `W` in the paper ranges up to 768 bits (Figure 5),
+//! while all per-piece arithmetic fits in 64 bits. This module provides the
+//! minimal big-integer tool-chest the recombination algorithm needs:
+//! magnitude arithmetic ([`BigUint`]), signed arithmetic and the extended
+//! Euclidean algorithm ([`BigInt`]), and decimal/byte conversions.
+//!
+//! The representation is a little-endian `Vec<u64>` of limbs with the
+//! invariant that the most significant limb is non-zero (zero is the empty
+//! vector). Schoolbook algorithms are used throughout: operand sizes in
+//! this system never exceed a few dozen limbs, where asymptotically faster
+//! algorithms do not pay off.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::MathError;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::bigint::BigUint;
+///
+/// let a = BigUint::from(2u64).pow(100);
+/// let b = &a + &BigUint::from(1u64);
+/// assert_eq!(b.to_string(), "1267650600228229401496703205377");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Constructs a value from little-endian limbs, normalizing trailing
+    /// zero limbs away.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrows the little-endian limb slice.
+    pub fn as_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs a value from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut limb = [0u8; 8];
+            limb[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(limb));
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes the value as little-endian bytes without trailing zeros
+    /// (zero serializes as an empty vector).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self
+            .limbs
+            .iter()
+            .flat_map(|limb| limb.to_le_bytes())
+            .collect();
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Number of significant bits (zero has zero bits).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => self.limbs.len() * 64 - hi.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian; bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to one, growing the limb vector as necessary.
+    pub fn set_bit(&mut self, i: usize) {
+        let (limb, off) = (i / 64, i % 64);
+        if self.limbs.len() <= limb {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << off;
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Raises the value to the power `exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Divides by `other`, returning `(quotient, remainder)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DivisionByZero`] if `other` is zero.
+    pub fn divrem(&self, other: &BigUint) -> Result<(BigUint, BigUint), MathError> {
+        if other.is_zero() {
+            return Err(MathError::DivisionByZero);
+        }
+        if let Some(d) = other.to_u64() {
+            let (q, r) = self.divrem_u64(d)?;
+            return Ok((q, BigUint::from(r)));
+        }
+        match self.cmp(other) {
+            Ordering::Less => return Ok((BigUint::zero(), self.clone())),
+            Ordering::Equal => return Ok((BigUint::one(), BigUint::zero())),
+            Ordering::Greater => {}
+        }
+        // Binary long division: adequate for the limb counts in this
+        // system (watermarks are at most ~a dozen limbs).
+        let mut quotient = BigUint::zero();
+        let mut rem = BigUint::zero();
+        for i in (0..self.bits()).rev() {
+            rem.shl_assign_1();
+            if self.bit(i) {
+                rem.limbs.first_mut().map(|l| *l |= 1).unwrap_or_else(|| {
+                    rem.limbs.push(1);
+                });
+            }
+            if rem >= *other {
+                rem -= other;
+                quotient.set_bit(i);
+            }
+        }
+        Ok((quotient, rem))
+    }
+
+    /// Divides by a single 64-bit limb, returning `(quotient, remainder)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DivisionByZero`] if `d` is zero.
+    pub fn divrem_u64(&self, d: u64) -> Result<(BigUint, u64), MathError> {
+        if d == 0 {
+            return Err(MathError::DivisionByZero);
+        }
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let acc = rem << 64 | limb as u128;
+            quotient[i] = (acc / d as u128) as u64;
+            rem = acc % d as u128;
+        }
+        Ok((BigUint::from_limbs(quotient), rem as u64))
+    }
+
+    /// Computes `self mod d` for a 64-bit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DivisionByZero`] if `d` is zero.
+    pub fn rem_u64(&self, d: u64) -> Result<u64, MathError> {
+        if d == 0 {
+            return Err(MathError::DivisionByZero);
+        }
+        let mut rem: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % d as u128;
+        }
+        Ok(rem as u64)
+    }
+
+    /// Greatest common divisor by the binary-free Euclid algorithm.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a
+                .divrem(&b)
+                .expect("divrem by non-zero cannot fail")
+                .1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// In-place left shift by one bit.
+    fn shl_assign_1(&mut self) {
+        let mut carry = 0u64;
+        for limb in &mut self.limbs {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = false;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (v, b1) = limb.overflowing_sub(rhs);
+            let (v, b2) = v.overflowing_sub(borrow as u64);
+            *limb = v;
+            borrow = b1 || b2;
+        }
+        debug_assert!(!borrow);
+        Some(BigUint::from_limbs(limbs))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        Self::from(v as u64)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = long.limbs.clone();
+        let mut carry = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
+            let (v, c1) = limb.overflowing_add(rhs_limb);
+            let (v, c2) = v.overflowing_add(carry);
+            *limb = v;
+            carry = (c1 || c2) as u64;
+            if carry == 0 && i >= short.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`BigUint::checked_sub`] to handle that
+    /// case.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let acc = limbs[i + j] as u128 + a as u128 * b as u128 + carry;
+                limbs[i + j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let acc = limbs[k] as u128 + carry;
+                limbs[k] = acc as u64;
+                carry = acc >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero; use [`BigUint::divrem`] to handle that case.
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).expect("remainder by zero").1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                limbs.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, shift: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut limbs: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            for i in 0..limbs.len() {
+                limbs[i] >>= bit_shift;
+                if let Some(&next) = limbs.get(i + 1) {
+                    limbs[i] |= next << (64 - bit_shift);
+                }
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Sum for BigUint {
+    fn sum<I: Iterator<Item = BigUint>>(iter: I) -> BigUint {
+        iter.fold(BigUint::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off base-10^19 digits (the largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut value = self.clone();
+        while !value.is_zero() {
+            let (q, r) = value.divrem_u64(CHUNK).expect("CHUNK is non-zero");
+            chunks.push(r);
+            value = q;
+        }
+        let mut s = chunks.pop().expect("non-zero value has digits").to_string();
+        for chunk in chunks.into_iter().rev() {
+            s.push_str(&format!("{chunk:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for &limb in self.limbs.iter().rev() {
+            if first {
+                write!(f, "{limb:x}")?;
+                first = false;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError;
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid decimal digit in big integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigUintError);
+        }
+        let ten = BigUint::from(10u64);
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(10).ok_or(ParseBigUintError)?;
+            acc = &(&acc * &ten) + &BigUint::from(digit as u64);
+        }
+        Ok(acc)
+    }
+}
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero or positive.
+    NonNegative,
+}
+
+/// An arbitrary-precision signed integer (sign–magnitude).
+///
+/// Used by the extended Euclidean algorithm during generalized CRT
+/// recombination, where Bézout coefficients may be negative.
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::bigint::BigInt;
+///
+/// let a = BigInt::from(-5i64);
+/// let b = BigInt::from(7i64);
+/// assert_eq!((&a + &b), BigInt::from(2i64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::NonNegative,
+            magnitude: BigUint::zero(),
+        }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::NonNegative,
+            magnitude: BigUint::one(),
+        }
+    }
+
+    /// Constructs a signed integer from a sign and magnitude
+    /// (normalizing `-0` to `+0`).
+    pub fn from_parts(sign: Sign, magnitude: BigUint) -> Self {
+        if magnitude.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, magnitude }
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Borrows the magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// Consumes the value, returning its magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.magnitude
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        match self.sign {
+            _ if self.is_zero() => BigInt::zero(),
+            Sign::Negative => BigInt::from_parts(Sign::NonNegative, self.magnitude.clone()),
+            Sign::NonNegative => BigInt::from_parts(Sign::Negative, self.magnitude.clone()),
+        }
+    }
+
+    /// Reduces the value into the canonical residue range `[0, modulus)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DivisionByZero`] if `modulus` is zero.
+    pub fn rem_euclid(&self, modulus: &BigUint) -> Result<BigUint, MathError> {
+        let r = self.magnitude.divrem(modulus)?.1;
+        Ok(match self.sign {
+            Sign::NonNegative => r,
+            Sign::Negative if r.is_zero() => r,
+            Sign::Negative => modulus - &r,
+        })
+    }
+}
+
+impl From<&BigUint> for BigInt {
+    fn from(v: &BigUint) -> Self {
+        BigInt::from_parts(Sign::NonNegative, v.clone())
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(v: BigUint) -> Self {
+        BigInt::from_parts(Sign::NonNegative, v)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::from_parts(Sign::Negative, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_parts(Sign::NonNegative, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (a, b) if a == b => BigInt::from_parts(a, &self.magnitude + &rhs.magnitude),
+            _ => {
+                // Differing signs: subtract the smaller magnitude.
+                if self.magnitude >= rhs.magnitude {
+                    BigInt::from_parts(self.sign, &self.magnitude - &rhs.magnitude)
+                } else {
+                    BigInt::from_parts(rhs.sign, &rhs.magnitude - &self.magnitude)
+                }
+            }
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &rhs.neg()
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign {
+            Sign::NonNegative
+        } else {
+            Sign::Negative
+        };
+        BigInt::from_parts(sign, &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.magnitude)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+/// Extended Euclidean algorithm: returns `(g, x, y)` with
+/// `a·x + b·y = g = gcd(a, b)`.
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::bigint::{ext_gcd, BigInt, BigUint};
+///
+/// let (g, x, y) = ext_gcd(&BigUint::from(240u64), &BigUint::from(46u64));
+/// assert_eq!(g, BigUint::from(2u64));
+/// let check = &(&BigInt::from(240i64) * &x) + &(&BigInt::from(46i64) * &y);
+/// assert_eq!(check, BigInt::from(2i64));
+/// ```
+pub fn ext_gcd(a: &BigUint, b: &BigUint) -> (BigUint, BigInt, BigInt) {
+    let (mut old_r, mut r) = (BigInt::from(a), BigInt::from(b));
+    let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+    let (mut old_t, mut t) = (BigInt::zero(), BigInt::one());
+    while !r.is_zero() {
+        let q = old_r
+            .magnitude
+            .divrem(&r.magnitude)
+            .expect("loop guard keeps r non-zero")
+            .0;
+        let q = BigInt::from_parts(
+            if old_r.sign == r.sign {
+                Sign::NonNegative
+            } else {
+                Sign::Negative
+            },
+            q,
+        );
+        let next_r = &old_r - &(&q * &r);
+        let next_s = &old_s - &(&q * &s);
+        let next_t = &old_t - &(&q * &t);
+        old_r = std::mem::replace(&mut r, next_r);
+        old_s = std::mem::replace(&mut s, next_s);
+        old_t = std::mem::replace(&mut t, next_t);
+    }
+    (old_r.magnitude, old_s, old_t)
+}
+
+/// Modular inverse of `a` modulo `m`.
+///
+/// # Errors
+///
+/// Returns [`MathError::NoInverse`] if `gcd(a, m) != 1`.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Result<BigUint, MathError> {
+    let (g, x, _) = ext_gcd(a, m);
+    if !g.is_one() {
+        return Err(MathError::NoInverse);
+    }
+    x.rem_euclid(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(&big(0) + &big(5), big(5));
+        assert_eq!(&big(5) * &BigUint::one(), big(5));
+        assert_eq!(&big(5) * &BigUint::zero(), BigUint::zero());
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u64::MAX as u128);
+        let b = BigUint::one();
+        assert_eq!(&a + &b, big(1u128 << 64));
+    }
+
+    #[test]
+    fn sub_with_borrow_across_limbs() {
+        let a = big(1u128 << 64);
+        let b = BigUint::one();
+        assert_eq!(&a - &b, big(u64::MAX as u128));
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(big(3).checked_sub(&big(4)), None);
+        assert_eq!(big(4).checked_sub(&big(4)), Some(BigUint::zero()));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xDEAD_BEEF_u128;
+        let b = 0xFEED_FACE_CAFE_u128;
+        assert_eq!(&big(a) * &big(b), big(a * b));
+    }
+
+    #[test]
+    fn mul_large_carries() {
+        let a = big(u128::MAX);
+        let sq = &a * &a;
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let expected = &(&(&BigUint::one() << 256) - &(&BigUint::one() << 129)) + &BigUint::one();
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn divrem_round_trip() {
+        let n = &big(u128::MAX) * &big(12345);
+        let d = big(987654321);
+        let (q, r) = n.divrem(&d).unwrap();
+        assert!(r < d);
+        assert_eq!(&(&q * &d) + &r, n);
+    }
+
+    #[test]
+    fn divrem_by_zero_errors() {
+        assert_eq!(
+            big(5).divrem(&BigUint::zero()),
+            Err(MathError::DivisionByZero)
+        );
+        assert_eq!(big(5).divrem_u64(0), Err(MathError::DivisionByZero));
+        assert_eq!(big(5).rem_u64(0), Err(MathError::DivisionByZero));
+    }
+
+    #[test]
+    fn rem_u64_matches_divrem() {
+        let n = BigUint::from_str("123456789012345678901234567890123456789").unwrap();
+        for d in [1u64, 2, 97, 1 << 32, u64::MAX] {
+            assert_eq!(n.rem_u64(d).unwrap(), n.divrem_u64(d).unwrap().1);
+        }
+    }
+
+    #[test]
+    fn shifts_round_trip() {
+        let n = BigUint::from_str("987654321987654321987654321").unwrap();
+        for s in [0usize, 1, 63, 64, 65, 130] {
+            assert_eq!(&(&n << s) >> s, n);
+        }
+    }
+
+    #[test]
+    fn bits_and_bit_access() {
+        let n = &BigUint::one() << 100;
+        assert_eq!(n.bits(), 101);
+        assert!(n.bit(100));
+        assert!(!n.bit(99));
+        assert!(!n.bit(101));
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let s = "340282366920938463463374607431768211456"; // 2^128
+        let n = BigUint::from_str(s).unwrap();
+        assert_eq!(n.to_string(), s);
+        assert_eq!(n, &BigUint::one() << 128);
+        assert_eq!(BigUint::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BigUint::from_str("").is_err());
+        assert!(BigUint::from_str("12a4").is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = BigUint::from_str("123456789012345678901234567890").unwrap();
+        assert_eq!(BigUint::from_bytes_le(&n.to_bytes_le()), n);
+        assert_eq!(BigUint::from_bytes_le(&[]), BigUint::zero());
+        assert!(BigUint::zero().to_bytes_le().is_empty());
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", big(0xdeadbeef)), "deadbeef");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+        let n = &BigUint::one() << 64;
+        assert_eq!(format!("{n:x}"), "10000000000000000");
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(7).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+        assert_eq!(big(3).pow(40), big(12157665459056928801u128));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(48).gcd(&big(18)), big(6));
+        assert_eq!(big(0).gcd(&big(7)), big(7));
+        assert_eq!(big(7).gcd(&big(0)), big(7));
+        let a = &big(982451653) * &big(57885161);
+        let b = &big(982451653) * &big(37);
+        assert_eq!(a.gcd(&b), big(982451653));
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity() {
+        let a = BigUint::from_str("123456789123456789").unwrap();
+        let b = BigUint::from_str("987654321987654").unwrap();
+        let (g, x, y) = ext_gcd(&a, &b);
+        assert_eq!(a.gcd(&b), g);
+        let lhs = &(&BigInt::from(&a) * &x) + &(&BigInt::from(&b) * &y);
+        assert_eq!(lhs, BigInt::from(g));
+    }
+
+    #[test]
+    fn mod_inverse_works_and_fails() {
+        let inv = mod_inverse(&big(3), &big(7)).unwrap();
+        assert_eq!(inv, big(5)); // 3·5 = 15 ≡ 1 (mod 7)
+        assert_eq!(mod_inverse(&big(6), &big(9)), Err(MathError::NoInverse));
+    }
+
+    #[test]
+    fn bigint_signed_arithmetic() {
+        let a = BigInt::from(-15i64);
+        let b = BigInt::from(9i64);
+        assert_eq!(&a + &b, BigInt::from(-6i64));
+        assert_eq!(&a - &b, BigInt::from(-24i64));
+        assert_eq!(&a * &b, BigInt::from(-135i64));
+        assert_eq!(a.neg(), BigInt::from(15i64));
+        assert_eq!(BigInt::zero().neg(), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_rem_euclid_is_canonical() {
+        let m = big(7);
+        assert_eq!(BigInt::from(-15i64).rem_euclid(&m).unwrap(), big(6));
+        assert_eq!(BigInt::from(15i64).rem_euclid(&m).unwrap(), big(1));
+        assert_eq!(BigInt::from(-14i64).rem_euclid(&m).unwrap(), big(0));
+    }
+
+    #[test]
+    fn ordering_by_length_then_lex() {
+        assert!(big(u64::MAX as u128 + 1) > big(u64::MAX as u128));
+        assert!(big(5) < big(6));
+        assert_eq!(big(5).cmp(&big(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: BigUint = (1u64..=100).map(BigUint::from).sum();
+        assert_eq!(total, big(5050));
+    }
+}

@@ -1,0 +1,341 @@
+//! (Generalized) Chinese remaindering over watermark statements.
+//!
+//! The embedding phase (Section 3.2, Figure 3) splits the watermark `W`
+//! into statements of the form `W ≡ x_k (mod p_{i_k}·p_{j_k})`. The
+//! recognition phase (Section 3.3, Figure 4) recombines a *consistent*
+//! subset of recovered statements with the Generalized Chinese Remainder
+//! Theorem: moduli `p_i·p_j` are not pairwise coprime (they share primes),
+//! so combination must check agreement on shared factors.
+
+use crate::bigint::{ext_gcd, BigInt, BigUint};
+use crate::MathError;
+
+/// One watermark piece: the claim `W ≡ x (mod primes[i]·primes[j])`.
+///
+/// Indices refer to positions in the shared prime set `p_1, …, p_r`
+/// (0-based here). The invariant `i < j` is maintained by all constructors
+/// in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Statement {
+    /// Index of the first prime of the pair.
+    pub i: usize,
+    /// Index of the second prime of the pair (`i < j`).
+    pub j: usize,
+    /// The residue, `0 <= x < primes[i]·primes[j]`.
+    pub x: u64,
+}
+
+impl Statement {
+    /// The modulus `primes[i]·primes[j]` of this statement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range for `primes`.
+    pub fn modulus(&self, primes: &[u64]) -> u64 {
+        primes[self.i]
+            .checked_mul(primes[self.j])
+            .expect("pair products are validated to fit u64")
+    }
+
+    /// The residue this statement implies for `W mod primes[k]`, if the
+    /// statement involves prime `k`.
+    pub fn residue_mod_prime(&self, k: usize, primes: &[u64]) -> Option<u64> {
+        (self.i == k || self.j == k).then(|| self.x % primes[k])
+    }
+
+    /// Whether two statements are *inconsistent*: they share a prime on
+    /// whose residue they disagree. (Edges of graph `G` in Section 3.3.)
+    pub fn inconsistent_with(&self, other: &Statement, primes: &[u64]) -> bool {
+        for k in [self.i, self.j] {
+            if let (Some(a), Some(b)) = (
+                self.residue_mod_prime(k, primes),
+                other.residue_mod_prime(k, primes),
+            ) {
+                if a != b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether two statements *agree mod some shared prime* — consistent
+    /// because the `x`s agree mod `p_k`, not merely by CRT over disjoint
+    /// primes. (Edges of graph `H` in Section 3.3.)
+    pub fn agrees_with(&self, other: &Statement, primes: &[u64]) -> bool {
+        for k in [self.i, self.j] {
+            if let (Some(a), Some(b)) = (
+                self.residue_mod_prime(k, primes),
+                other.residue_mod_prime(k, primes),
+            ) {
+                if a == b {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Combines two congruences `x ≡ a (mod m)` and `x ≡ b (mod n)` with
+/// possibly non-coprime moduli, returning `(residue, lcm(m, n))`.
+///
+/// # Errors
+///
+/// * [`MathError::DivisionByZero`] if either modulus is zero.
+/// * [`MathError::InconsistentSystem`] if `a ≢ b (mod gcd(m, n))`.
+pub fn combine_pair(
+    a: &BigUint,
+    m: &BigUint,
+    b: &BigUint,
+    n: &BigUint,
+) -> Result<(BigUint, BigUint), MathError> {
+    if m.is_zero() || n.is_zero() {
+        return Err(MathError::DivisionByZero);
+    }
+    let (g, s, _) = ext_gcd(m, n);
+    // Consistency: g must divide (b - a).
+    let (hi, lo, flipped) = if b >= a { (b, a, false) } else { (a, b, true) };
+    let diff = hi - lo;
+    let (diff_over_g, rem) = diff.divrem(&g)?;
+    if !rem.is_zero() {
+        return Err(MathError::InconsistentSystem);
+    }
+    let lcm = &m.divrem(&g)?.0 * n;
+    // x = a + m·t with t = s·(b-a)/g  (mod n/g), since m·s ≡ g (mod n).
+    let n_over_g = n.divrem(&g)?.0;
+    if n_over_g.is_one() {
+        // n divides m: the first congruence subsumes the second.
+        return Ok((a.divrem(&lcm)?.1, lcm));
+    }
+    let diff_int = if flipped {
+        BigInt::from(diff_over_g).neg()
+    } else {
+        BigInt::from(diff_over_g)
+    };
+    let t = (&s * &diff_int).rem_euclid(&n_over_g)?;
+    let x = &(a % &lcm) + &(&(m * &t) % &lcm);
+    Ok((x.divrem(&lcm)?.1, lcm))
+}
+
+/// Combines a system of congruences `(residue, modulus)` by the
+/// Generalized CRT (step D of Figure 4).
+///
+/// # Errors
+///
+/// * [`MathError::InconsistentSystem`] if the system has no solution.
+/// * [`MathError::DivisionByZero`] if any modulus is zero.
+///
+/// An empty system yields `(0, 1)`.
+pub fn combine_system(
+    congruences: &[(BigUint, BigUint)],
+) -> Result<(BigUint, BigUint), MathError> {
+    let mut acc = (BigUint::zero(), BigUint::one());
+    for (b, n) in congruences {
+        acc = combine_pair(&acc.0, &acc.1, b, n)?;
+    }
+    Ok(acc)
+}
+
+/// Recombines watermark statements over the prime set into
+/// `(W mod M, M)` where `M` is the product of all primes mentioned.
+///
+/// This is the full step D of Figure 4: the statements must already be
+/// mutually consistent (the recognition algorithm guarantees this).
+///
+/// # Errors
+///
+/// * [`MathError::InconsistentSystem`] if the statements conflict.
+/// * [`MathError::TooFewPrimes`] if `primes.len() < 2`.
+pub fn combine_statements(
+    statements: &[Statement],
+    primes: &[u64],
+) -> Result<(BigUint, BigUint), MathError> {
+    if primes.len() < 2 {
+        return Err(MathError::TooFewPrimes { got: primes.len() });
+    }
+    let congruences: Vec<(BigUint, BigUint)> = statements
+        .iter()
+        .map(|s| {
+            (
+                BigUint::from(s.x),
+                BigUint::from(s.modulus(primes)),
+            )
+        })
+        .collect();
+    combine_system(&congruences)
+}
+
+/// Builds the statement `W ≡ x (mod p_i·p_j)` for a watermark value.
+///
+/// # Panics
+///
+/// Panics if `i >= j` or either index is out of range.
+pub fn statement_for_pair(w: &BigUint, i: usize, j: usize, primes: &[u64]) -> Statement {
+    assert!(i < j && j < primes.len(), "invalid prime pair ({i}, {j})");
+    let m = primes[i]
+        .checked_mul(primes[j])
+        .expect("pair products are validated to fit u64");
+    let x = w.rem_u64(m).expect("pair modulus is non-zero");
+    Statement { i, j, x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn paper_figure_3_and_4_example() {
+        // W = 17, p = {2, 3, 5}: statements are 5 mod 6, 7 mod 10, 2 mod 15.
+        let primes = [2u64, 3, 5];
+        let w = big(17);
+        let s01 = statement_for_pair(&w, 0, 1, &primes);
+        let s02 = statement_for_pair(&w, 0, 2, &primes);
+        let s12 = statement_for_pair(&w, 1, 2, &primes);
+        assert_eq!(s01, Statement { i: 0, j: 1, x: 5 });
+        assert_eq!(s02, Statement { i: 0, j: 2, x: 7 });
+        assert_eq!(s12, Statement { i: 1, j: 2, x: 2 });
+        let (value, modulus) = combine_statements(&[s01, s02, s12], &primes).unwrap();
+        assert_eq!(value, big(17));
+        assert_eq!(modulus, big(30));
+    }
+
+    #[test]
+    fn two_statements_suffice_when_they_cover_all_primes() {
+        // As in Figure 4: 5 mod 6 and 7 mod 10 cover p1, p2, p3 — wait, they
+        // cover {2,3} and {2,5}: all three primes, so W mod 30 is determined.
+        let primes = [2u64, 3, 5];
+        let stmts = [
+            Statement { i: 0, j: 1, x: 5 },
+            Statement { i: 0, j: 2, x: 7 },
+        ];
+        let (value, modulus) = combine_statements(&stmts, &primes).unwrap();
+        assert_eq!(value, big(17));
+        assert_eq!(modulus, big(30));
+    }
+
+    #[test]
+    fn inconsistent_statements_error() {
+        let primes = [2u64, 3, 5];
+        let stmts = [
+            Statement { i: 0, j: 1, x: 5 }, // W odd
+            Statement { i: 0, j: 2, x: 4 }, // W even — conflict mod 2
+        ];
+        assert_eq!(
+            combine_statements(&stmts, &primes),
+            Err(MathError::InconsistentSystem)
+        );
+    }
+
+    #[test]
+    fn inconsistency_predicate_matches_paper_graph_g() {
+        let primes = [2u64, 3, 5];
+        let s_a = Statement { i: 0, j: 1, x: 5 }; // 17 mod 6
+        let s_b = Statement { i: 0, j: 2, x: 4 }; // even residue
+        let s_c = Statement { i: 1, j: 2, x: 2 }; // 17 mod 15
+        assert!(s_a.inconsistent_with(&s_b, &primes)); // conflict mod p1 = 2
+        assert!(!s_a.inconsistent_with(&s_c, &primes)); // both derive from W = 17
+        assert!(s_b.inconsistent_with(&s_c, &primes)); // conflict mod p3 = 5 (4 vs 2)
+        // Inconsistency is symmetric.
+        assert!(s_b.inconsistent_with(&s_a, &primes));
+    }
+
+    #[test]
+    fn agreement_predicate_matches_paper_graph_h() {
+        let primes = [2u64, 3, 5];
+        let s_a = Statement { i: 0, j: 1, x: 5 };
+        let s_c = Statement { i: 1, j: 2, x: 2 };
+        // share p2=3: 5 mod 3 = 2, 2 mod 3 = 2 — agree.
+        assert!(s_a.agrees_with(&s_c, &primes));
+        // disjoint prime pairs never "agree mod a prime".
+        let primes4 = [2u64, 3, 5, 7];
+        let s_d = Statement { i: 2, j: 3, x: 17 % 35 };
+        assert!(!s_a.agrees_with(&s_d, &primes4));
+        assert!(!s_a.inconsistent_with(&s_d, &primes4));
+    }
+
+    #[test]
+    fn combine_pair_non_coprime_consistent() {
+        // x ≡ 5 (mod 6), x ≡ 11 (mod 15): gcd 3, 5 ≡ 11 ≡ 2 (mod 3) — OK.
+        // Solutions: 11, 41, 71 … mod lcm=30 → 11.
+        let (x, m) = combine_pair(&big(5), &big(6), &big(11), &big(15)).unwrap();
+        assert_eq!(m, big(30));
+        assert_eq!(x, big(11));
+    }
+
+    #[test]
+    fn combine_pair_subsumed_modulus() {
+        // x ≡ 7 (mod 12), x ≡ 1 (mod 3): consistent; lcm is 12.
+        let (x, m) = combine_pair(&big(7), &big(12), &big(1), &big(3)).unwrap();
+        assert_eq!((x, m), (big(7), big(12)));
+    }
+
+    #[test]
+    fn combine_pair_flipped_difference() {
+        // Larger residue first, to exercise the sign handling.
+        let (x, m) = combine_pair(&big(11), &big(15), &big(5), &big(6)).unwrap();
+        assert_eq!((x, m), (big(11), big(30)));
+    }
+
+    #[test]
+    fn combine_system_empty_is_identity() {
+        let (x, m) = combine_system(&[]).unwrap();
+        assert_eq!((x, m), (BigUint::zero(), BigUint::one()));
+    }
+
+    #[test]
+    fn combine_zero_modulus_errors() {
+        assert_eq!(
+            combine_pair(&big(1), &BigUint::zero(), &big(0), &big(3)),
+            Err(MathError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn large_watermark_round_trip() {
+        use crate::primes::generate_primes;
+        let primes = generate_primes(99, 27, 12);
+        // Build a ~300-bit watermark from fixed bytes.
+        let w = BigUint::from_bytes_le(&[0xAB; 38]);
+        let mut stmts = Vec::new();
+        for i in 0..primes.len() {
+            for j in (i + 1)..primes.len() {
+                stmts.push(statement_for_pair(&w, i, j, &primes));
+            }
+        }
+        let (value, modulus) = combine_statements(&stmts, &primes).unwrap();
+        assert!(w < modulus, "watermark must be below the prime product");
+        assert_eq!(value, w);
+    }
+
+    #[test]
+    fn partial_statement_subset_recovers_partial_modulus() {
+        use crate::primes::generate_primes;
+        let primes = generate_primes(5, 20, 6);
+        let w = BigUint::from(0xDEAD_BEEF_CAFEu64);
+        // A spanning set of pairs touching all primes: (0,1),(2,3),(4,5).
+        let stmts = [
+            statement_for_pair(&w, 0, 1, &primes),
+            statement_for_pair(&w, 2, 3, &primes),
+            statement_for_pair(&w, 4, 5, &primes),
+        ];
+        let (value, modulus) = combine_statements(&stmts, &primes).unwrap();
+        let product: BigUint = primes
+            .iter()
+            .fold(BigUint::one(), |acc, &p| &acc * &BigUint::from(p));
+        assert_eq!(modulus, product);
+        assert_eq!(value, w.divrem(&modulus).unwrap().1);
+    }
+
+    #[test]
+    fn too_few_primes_rejected() {
+        assert_eq!(
+            combine_statements(&[], &[7]),
+            Err(MathError::TooFewPrimes { got: 1 })
+        );
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the number-theoretic routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// Division or reduction by zero was requested.
+    DivisionByZero,
+    /// A set of congruences was mutually inconsistent and cannot be
+    /// combined by the (generalized) Chinese Remainder Theorem.
+    InconsistentCongruences {
+        /// Residue of the first offending congruence.
+        a: u64,
+        /// Modulus of the first offending congruence.
+        m: u64,
+        /// Residue of the second offending congruence.
+        b: u64,
+        /// Modulus of the second offending congruence.
+        n: u64,
+    },
+    /// A system of big-integer congruences was mutually inconsistent.
+    InconsistentSystem,
+    /// The supplied moduli were not pairwise relatively prime where the
+    /// algorithm requires them to be.
+    NotCoprime {
+        /// First offending modulus.
+        m: u64,
+        /// Second offending modulus.
+        n: u64,
+    },
+    /// Fewer than two primes were supplied, so no pair `p_i·p_j` exists.
+    TooFewPrimes {
+        /// Number of primes supplied.
+        got: usize,
+    },
+    /// The enumeration range `Σ p_i·p_j` does not fit in 64 bits, so
+    /// statements cannot be packed into one cipher block.
+    EnumerationOverflow,
+    /// A value was outside the domain of the enumeration scheme.
+    InvalidEncoding {
+        /// The value that failed to decode.
+        value: u64,
+    },
+    /// A modular inverse does not exist.
+    NoInverse,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DivisionByZero => write!(f, "division by zero"),
+            MathError::InconsistentCongruences { a, m, b, n } => write!(
+                f,
+                "congruences W = {a} (mod {m}) and W = {b} (mod {n}) are inconsistent"
+            ),
+            MathError::InconsistentSystem => {
+                write!(f, "system of congruences is inconsistent")
+            }
+            MathError::NotCoprime { m, n } => {
+                write!(f, "moduli {m} and {n} are not relatively prime")
+            }
+            MathError::TooFewPrimes { got } => {
+                write!(f, "need at least 2 primes to form pairs, got {got}")
+            }
+            MathError::EnumerationOverflow => {
+                write!(f, "sum of pairwise prime products overflows 64 bits")
+            }
+            MathError::InvalidEncoding { value } => {
+                write!(f, "value {value} is outside the enumeration range")
+            }
+            MathError::NoInverse => write!(f, "modular inverse does not exist"),
+        }
+    }
+}
+
+impl Error for MathError {}

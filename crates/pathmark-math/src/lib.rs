@@ -1,0 +1,56 @@
+//! Number-theoretic substrate for dynamic path-based software watermarking.
+//!
+//! This crate implements the mathematical machinery of Collberg et al.,
+//! *Dynamic Path-Based Software Watermarking* (PLDI 2004), Section 3:
+//!
+//! * [`bigint`] — arbitrary-precision integers ([`bigint::BigUint`],
+//!   [`bigint::BigInt`]), built from scratch because watermarks range up to
+//!   768 bits (Figure 5 of the paper) and no big-integer crate is available
+//!   offline.
+//! * [`primes`] — deterministic Miller–Rabin primality testing and
+//!   key-derived generation of the pairwise relatively prime set
+//!   `p_1, …, p_r` used to split the watermark.
+//! * [`crt`] — Chinese remaindering, including the *Generalized* CRT over
+//!   non-coprime moduli used to recombine watermark pieces (Figure 4).
+//! * [`enumeration`] — the bijection between statements
+//!   `W ≡ x (mod p_i·p_j)` and 64-bit integers (step B of Figure 3), sized
+//!   so every statement fits in one 64-bit cipher block.
+//! * [`recovery`] — the analytic success-probability model of equation (1)
+//!   and a Monte-Carlo counterpart (Figure 5).
+//!
+//! # Example
+//!
+//! Splitting and recombining the watermark `W = 17` with
+//! `p = {2, 3, 5}`, exactly as in Figures 3 and 4 of the paper:
+//!
+//! ```
+//! use pathmark_math::bigint::BigUint;
+//! use pathmark_math::crt::Statement;
+//! use pathmark_math::enumeration::PairEnumeration;
+//!
+//! let primes = vec![2u64, 3, 5];
+//! let enumeration = PairEnumeration::new(&primes)?;
+//! let w = BigUint::from(17u64);
+//! let pieces = enumeration.split(&w);
+//! // W mod p1*p2 = 17 mod 6 = 5, mod p1*p3 = 17 mod 10 = 7,
+//! // mod p2*p3 = 17 mod 15 = 2 — the exact values of Figure 3.
+//! assert_eq!(pieces, vec![
+//!     Statement { i: 0, j: 1, x: 5 },
+//!     Statement { i: 0, j: 2, x: 7 },
+//!     Statement { i: 1, j: 2, x: 2 },
+//! ]);
+//! let (recovered, modulus) = pathmark_math::crt::combine_statements(&pieces, &primes)?;
+//! assert_eq!(recovered, w);
+//! assert_eq!(modulus, BigUint::from(30u64));
+//! # Ok::<(), pathmark_math::MathError>(())
+//! ```
+
+pub mod bigint;
+pub mod crt;
+pub mod enumeration;
+pub mod primes;
+pub mod recovery;
+
+mod error;
+
+pub use error::MathError;

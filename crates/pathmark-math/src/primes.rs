@@ -1,0 +1,254 @@
+//! Primality testing and generation of the watermark prime set.
+//!
+//! Section 3.2 of the paper splits the watermark `W` into statements
+//! `W ≡ x (mod p_i·p_j)` over pairwise relatively prime `p_1, …, p_r`.
+//! Both embedder and recognizer must derive the *same* set, so generation
+//! is a deterministic function of the watermark key.
+
+
+/// Deterministic Miller–Rabin primality test for `u64`.
+///
+/// Uses the witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// which is known to be exact for all 64-bit integers.
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::primes::is_prime;
+///
+/// assert!(is_prime(2));
+/// assert!(is_prime(1_000_000_007));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Modular multiplication `a·b mod m` without overflow.
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `a^e mod m`.
+pub fn mod_pow(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mod_mul(acc, a, m);
+        }
+        a = mod_mul(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Greatest common divisor of two machine integers.
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// SplitMix64 step, used to derive candidate primes from the key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically generates `count` distinct primes of exactly
+/// `bits` bits from `seed` (the watermark key).
+///
+/// Both the embedder and the recognizer call this with the same key and
+/// obtain the same `p_1, …, p_r`, as the protocol requires (the scheme is
+/// *blind*: only the key and the watermarked program are available at
+/// recognition time).
+///
+/// # Panics
+///
+/// Panics if `bits` is not in `2..=31` — the enumeration scheme requires
+/// every pairwise product `p_i·p_j` and their sum to fit in 64 bits, which
+/// caps usable primes at 31 bits (see
+/// [`PairEnumeration`](crate::enumeration::PairEnumeration)).
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::primes::{generate_primes, is_prime};
+///
+/// let ps = generate_primes(0xC0FFEE, 27, 10);
+/// assert_eq!(ps.len(), 10);
+/// assert!(ps.iter().all(|&p| is_prime(p)));
+/// assert!(ps.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn generate_primes(seed: u64, bits: u32, count: usize) -> Vec<u64> {
+    assert!(
+        (2..=31).contains(&bits),
+        "prime size must be 2..=31 bits, got {bits}"
+    );
+    let lo = 1u64 << (bits - 1);
+    let hi = (1u64 << bits) - 1;
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let mut primes = Vec::with_capacity(count);
+    while primes.len() < count {
+        let mut candidate = lo + splitmix64(&mut state) % (hi - lo + 1);
+        candidate |= 1; // odd
+        // Walk upward (wrapping within the band) until prime.
+        loop {
+            if candidate > hi {
+                candidate = lo | 1;
+            }
+            if is_prime(candidate) && !primes.contains(&candidate) {
+                primes.push(candidate);
+                break;
+            }
+            candidate += 2;
+        }
+    }
+    primes.sort_unstable();
+    primes
+}
+
+/// The number of `bits`-bit primes needed so the product `Π p_k` exceeds
+/// `2^watermark_bits`, i.e. so a watermark of that width is reconstructible
+/// (`W < Π p_k`, Section 3.2 step 1).
+pub fn primes_needed(watermark_bits: usize, prime_bits: u32) -> usize {
+    // Each prime contributes at least `prime_bits - 1` bits to the product.
+    watermark_bits / (prime_bits as usize - 1) + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let known = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43];
+        for n in 0..45u64 {
+            assert_eq!(is_prime(n), known.contains(&n), "misclassified {n}");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(n), "{n} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn large_primes_accepted() {
+        for n in [
+            2_147_483_647u64,          // 2^31 - 1 (Mersenne)
+            67_280_421_310_721,        // factor of 2^128 + 1
+            18_446_744_073_709_551_557, // largest u64 prime
+        ] {
+            assert!(is_prime(n), "{n} is prime");
+        }
+        assert!(!is_prime(18_446_744_073_709_551_615)); // u64::MAX = 3·5·17·257·…
+    }
+
+    #[test]
+    fn mod_pow_fermat() {
+        // Fermat: a^(p-1) ≡ 1 (mod p)
+        let p = 1_000_000_007u64;
+        for a in [2u64, 3, 99999] {
+            assert_eq!(mod_pow(a, p - 1, p), 1);
+        }
+        assert_eq!(mod_pow(5, 3, 1), 0);
+    }
+
+    #[test]
+    fn mod_mul_no_overflow() {
+        let m = u64::MAX - 58; // large prime
+        assert_eq!(mod_mul(m - 1, m - 1, m), 1); // (-1)·(-1) = 1
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_primes(42, 27, 8);
+        let b = generate_primes(42, 27, 8);
+        assert_eq!(a, b);
+        let c = generate_primes(43, 27, 8);
+        assert_ne!(a, c, "different keys should give different prime sets");
+    }
+
+    #[test]
+    fn generated_primes_have_exact_width_and_distinct() {
+        let ps = generate_primes(7, 20, 12);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!(64 - p.leading_zeros(), 20, "{p} is not 20 bits");
+        }
+        let mut dedup = ps.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ps.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "prime size must be")]
+    fn oversized_prime_request_panics() {
+        generate_primes(1, 32, 1);
+    }
+
+    #[test]
+    fn primes_needed_covers_watermark() {
+        use crate::bigint::BigUint;
+        for (wm_bits, prime_bits) in [(128usize, 27u32), (256, 27), (512, 27), (768, 27)] {
+            let r = primes_needed(wm_bits, prime_bits);
+            let ps = generate_primes(1, prime_bits, r);
+            let product: BigUint = ps
+                .iter()
+                .fold(BigUint::one(), |acc, &p| &acc * &BigUint::from(p));
+            assert!(
+                product.bits() > wm_bits,
+                "product of {r} {prime_bits}-bit primes must exceed 2^{wm_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_u64_basic() {
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(0, 5), 5);
+        assert_eq!(gcd_u64(17, 13), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! The watermark-recovery probability model of Section 3.3, equation (1).
+//!
+//! Model each prime `p_i` as a node and each statement
+//! `W ≡ x (mod p_i·p_j)` as an edge between `p_i` and `p_j`. Attacks
+//! delete edges independently with probability `q`. `W` is reconstructible
+//! iff every node retains at least one incident edge (every prime residue
+//! `W mod p_i` is still pinned down). The paper approximates the success
+//! probability by inclusion–exclusion over isolated-node sets:
+//!
+//! ```text
+//! P(n, q) = Σ_{j=0}^{n} (-1)^j C(n, j) q^{ j(n-j) + C(j,2) }
+//! ```
+//!
+//! (the exponent counts the edges that must all be deleted for a fixed set
+//! of `j` nodes to be isolated: `j(n-j)` to the outside plus `C(j,2)`
+//! inside). This module evaluates the formula and provides the Monte-Carlo
+//! counterpart used for the empirical curve of Figure 5.
+
+/// Analytic probability that every one of `n` nodes of the complete graph
+/// `K_n` keeps at least one incident edge when edges are deleted
+/// independently with probability `q` — the paper's equation (1).
+///
+/// # Panics
+///
+/// Panics if `q` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use pathmark_math::recovery::success_probability;
+///
+/// assert_eq!(success_probability(5, 0.0), 1.0);
+/// assert_eq!(success_probability(5, 1.0), 0.0);
+/// let p = success_probability(10, 0.5);
+/// assert!(p > 0.97 && p < 1.0);
+/// ```
+pub fn success_probability(n: usize, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    if n == 0 {
+        return 1.0;
+    }
+    if n == 1 {
+        // A single node has no edges; define success as 0 unless q = 0
+        // never applies — with one prime there are no pairs at all.
+        return if q == 0.0 { 1.0 } else { 0.0 };
+    }
+    let mut sum = 0.0f64;
+    let mut binom = 1.0f64; // C(n, j), updated incrementally
+    for j in 0..=n {
+        let exponent = (j * (n - j) + j * j.saturating_sub(1) / 2) as f64;
+        let term = binom * q.powf(exponent);
+        if j % 2 == 0 {
+            sum += term;
+        } else {
+            sum -= term;
+        }
+        binom = binom * (n - j) as f64 / (j + 1) as f64;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+/// Converts "number of statements left intact" (the x-axis of Figure 5)
+/// into the equivalent edge-deletion probability `q` for `n` primes.
+///
+/// With `C(n,2)` total pieces and `intact` surviving, `q = 1 - intact/C(n,2)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `intact` exceeds the pair count.
+pub fn deletion_probability(n: usize, intact: usize) -> f64 {
+    assert!(n >= 2, "need at least two primes");
+    let pairs = n * (n - 1) / 2;
+    assert!(intact <= pairs, "cannot keep more pieces than exist");
+    1.0 - intact as f64 / pairs as f64
+}
+
+/// One Monte-Carlo trial: keep exactly `intact` random edges of `K_n` and
+/// report whether every node is still covered.
+///
+/// `rng` supplies raw 64-bit randomness (any keyed generator works; the
+/// benches use the crate-local PRNG so runs are reproducible).
+pub fn trial_all_covered(n: usize, intact: usize, mut rng: impl FnMut() -> u64) -> bool {
+    let mut edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    // Partial Fisher–Yates: select `intact` edges uniformly.
+    let total = edges.len();
+    let keep = intact.min(total);
+    for k in 0..keep {
+        let pick = k + (rng() % (total - k) as u64) as usize;
+        edges.swap(k, pick);
+    }
+    let mut covered = vec![false; n];
+    for &(i, j) in &edges[..keep] {
+        covered[i] = true;
+        covered[j] = true;
+    }
+    covered.iter().all(|&c| c)
+}
+
+/// Monte-Carlo estimate of the probability that `intact` surviving pieces
+/// cover all `n` primes — the empirical curve of Figure 5.
+pub fn empirical_success_probability(
+    n: usize,
+    intact: usize,
+    trials: usize,
+    mut rng: impl FnMut() -> u64,
+) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    let successes = (0..trials)
+        .filter(|_| trial_all_covered(n, intact, &mut rng))
+        .count();
+    successes as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut s = seed.max(1);
+        move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        }
+    }
+
+    #[test]
+    fn boundary_probabilities() {
+        for n in [2usize, 5, 10, 25] {
+            assert!((success_probability(n, 0.0) - 1.0).abs() < 1e-12);
+            assert!(success_probability(n, 1.0).abs() < 1e-12);
+        }
+        assert_eq!(success_probability(0, 0.5), 1.0);
+        assert_eq!(success_probability(1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn two_nodes_closed_form() {
+        // K_2 has one edge; success iff it survives: P = 1 - q.
+        for q in [0.0, 0.25, 0.5, 0.9] {
+            assert!((success_probability(2, q) - (1.0 - q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_nodes_closed_form() {
+        // K_3: success = no isolated vertex. By inclusion–exclusion:
+        // P = 1 - 3q^2 + 2q^3 (the j=3 term has exponent 3).
+        for q in [0.1f64, 0.3, 0.7] {
+            let expected = 1.0 - 3.0 * q.powi(2) + 2.0 * q.powi(3);
+            assert!((success_probability(3, q) - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let mut last = 1.0;
+        for step in 0..=10 {
+            let q = step as f64 / 10.0;
+            let p = success_probability(12, q);
+            assert!(p <= last + 1e-9, "P must not increase with q");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn empirical_matches_analytic_for_small_graphs() {
+        // The analytic formula treats edge deletions as independent; the
+        // empirical trial keeps a fixed count. For K_6 with 9 of 15 edges
+        // the two agree to a few percent — the comparison Figure 5 makes.
+        let n = 6;
+        let intact = 9;
+        let q = deletion_probability(n, intact);
+        let analytic = success_probability(n, q);
+        let empirical = empirical_success_probability(n, intact, 4000, xorshift(7));
+        assert!(
+            (analytic - empirical).abs() < 0.06,
+            "analytic {analytic} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn trial_extremes() {
+        // All edges kept: always covered. Zero edges: never covered (n>=2).
+        assert!(trial_all_covered(5, 10, xorshift(1)));
+        assert!(!trial_all_covered(5, 0, xorshift(1)));
+        // One edge covers both nodes of K_2.
+        assert!(trial_all_covered(2, 1, xorshift(1)));
+    }
+
+    #[test]
+    fn deletion_probability_endpoints() {
+        assert_eq!(deletion_probability(5, 10), 0.0);
+        assert_eq!(deletion_probability(5, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot keep more pieces")]
+    fn deletion_probability_rejects_excess() {
+        deletion_probability(4, 7);
+    }
+
+    #[test]
+    fn empirical_zero_trials_is_zero() {
+        assert_eq!(empirical_success_probability(4, 3, 0, xorshift(2)), 0.0);
+    }
+}

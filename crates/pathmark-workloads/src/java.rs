@@ -1,0 +1,479 @@
+//! Bytecode workloads: the CaffeineMark-like micro-suite and the
+//! Jess-like interpreter.
+
+use pathmark_crypto::Prng;
+use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+use stackvm::insn::{BinOp, Cond};
+use stackvm::{FuncId, Program};
+
+/// A named bytecode workload with a reasonable secret-input sequence.
+#[derive(Debug, Clone)]
+pub struct JavaWorkload {
+    /// Display name.
+    pub name: &'static str,
+    /// The program.
+    pub program: Program,
+    /// A secret input that exercises the program thoroughly while
+    /// keeping traces tractable.
+    pub secret_input: Vec<i64>,
+}
+
+/// Both bytecode workloads, in the order the paper reports them.
+pub fn all() -> Vec<JavaWorkload> {
+    vec![
+        JavaWorkload {
+            name: "caffeinemark",
+            program: caffeinemark(),
+            secret_input: vec![12],
+        },
+        JavaWorkload {
+            name: "jess",
+            program: jess_like(),
+            secret_input: vec![40],
+        },
+    ]
+}
+
+/// The CaffeineMark-like suite: six small kernels (sieve, loop, logic,
+/// array/"string", recursive method, fixed-point arithmetic), all hot —
+/// "a high percentage of the instructions … are executed frequently".
+pub fn caffeinemark() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let sieve = pb.add_function(build_sieve());
+    let loop_k = pb.add_function(build_loop_kernel());
+    let logic = pb.add_function(build_logic_kernel());
+    let array = pb.add_function(build_array_kernel());
+    let fib = build_fib(&mut pb);
+    let sqrt = pb.add_function(build_fixed_sqrt());
+    let calibrate = pb.add_function(build_calibrate());
+
+    let mut main = FunctionBuilder::new("main", 0, 1);
+    let ok = main.new_label();
+    main.read_input().store(0);
+    main.load(0).if_zero(Cond::Gt, ok);
+    main.push(12).store(0);
+    main.bind(ok);
+    // One-time self-calibration pass (the real CaffeineMark runs a
+    // setup/calibration phase before its timed kernels).
+    main.load(0).call(calibrate).pop();
+    main.load(0).push(8).mul().call(sieve).print();
+    main.load(0).push(4).mul().call(loop_k).print();
+    main.load(0).push(16).mul().call(logic).print();
+    main.load(0).push(4).mul().call(array).print();
+    main.load(0).push(8).rem().push(10).add().call(fib).print();
+    main.load(0).call(sqrt).print();
+    main.ret_void();
+    let main_id = pb.add_function(main.finish().expect("main builds"));
+    pb.finish(main_id).expect("caffeinemark verifies")
+}
+
+fn build_sieve() -> stackvm::Function {
+    // sieve(n): count of primes below n, by Eratosthenes over an array.
+    let mut f = FunctionBuilder::new("sieve", 1, 4); // arr=1 i=2 j=3 count=4
+    let ret0 = f.new_label();
+    let outer = f.new_label();
+    let inner = f.new_label();
+    let next = f.new_label();
+    let done = f.new_label();
+    f.load(0).push(2).if_cmp(Cond::Lt, ret0);
+    f.load(0).new_array().store(1);
+    f.push(0).store(4);
+    f.push(2).store(2);
+    f.bind(outer);
+    f.load(2).load(0).if_cmp(Cond::Ge, done);
+    f.load(1).load(2).aload().if_zero(Cond::Ne, next);
+    f.iinc(4, 1);
+    f.load(2).load(2).add().store(3);
+    f.bind(inner);
+    f.load(3).load(0).if_cmp(Cond::Ge, next);
+    f.load(1).load(3).push(1).astore();
+    f.load(3).load(2).add().store(3);
+    f.goto(inner);
+    f.bind(next);
+    f.iinc(2, 1).goto(outer);
+    f.bind(done);
+    f.load(4).ret();
+    f.bind(ret0);
+    f.push(0).ret();
+    f.finish().expect("sieve builds")
+}
+
+fn build_loop_kernel() -> stackvm::Function {
+    // loop(n): nested-loop arithmetic, Σ_{i<n} Σ_{j<i} (i·j & 7).
+    let mut f = FunctionBuilder::new("loop_kernel", 1, 3); // i=1 j=2 acc=3
+    let outer = f.new_label();
+    let inner = f.new_label();
+    let nexti = f.new_label();
+    let done = f.new_label();
+    f.push(0).store(3);
+    f.push(0).store(1);
+    f.bind(outer);
+    f.load(1).load(0).if_cmp(Cond::Ge, done);
+    f.push(0).store(2);
+    f.bind(inner);
+    f.load(2).load(1).if_cmp(Cond::Ge, nexti);
+    f.load(3).load(1).load(2).mul().push(7).bin(BinOp::And).add().store(3);
+    f.iinc(2, 1).goto(inner);
+    f.bind(nexti);
+    f.iinc(1, 1).goto(outer);
+    f.bind(done);
+    f.load(3).ret();
+    f.finish().expect("loop kernel builds")
+}
+
+fn build_logic_kernel() -> stackvm::Function {
+    // logic(n): xorshift-flavored bit twiddling with a data-dependent
+    // branch.
+    let mut f = FunctionBuilder::new("logic_kernel", 1, 3); // x=1 c=2 i=3
+    let top = f.new_label();
+    let even = f.new_label();
+    let done = f.new_label();
+    f.push(0x2F).store(1);
+    f.push(0).store(2);
+    f.push(0).store(3);
+    f.bind(top);
+    f.load(3).load(0).if_cmp(Cond::Ge, done);
+    f.load(1).push(1).bin(BinOp::Shl);
+    f.load(1).push(3).bin(BinOp::Shr);
+    f.bin(BinOp::Xor).push(0xFFFF).bin(BinOp::And).store(1);
+    f.load(1).push(1).bin(BinOp::And).if_zero(Cond::Eq, even);
+    f.iinc(2, 1);
+    f.bind(even);
+    f.iinc(3, 1).goto(top);
+    f.bind(done);
+    f.load(2).ret();
+    f.finish().expect("logic kernel builds")
+}
+
+fn build_array_kernel() -> stackvm::Function {
+    // array(n): fill, reverse in place, weighted checksum — the
+    // "string" kernel analogue (strings are char arrays).
+    let mut f = FunctionBuilder::new("array_kernel", 1, 5); // arr=1 i=2 acc=3 tmp=4
+    let ret0 = f.new_label();
+    let fill = f.new_label();
+    let rev = f.new_label();
+    let sum_top = f.new_label();
+    let sum_done = f.new_label();
+    let rev_done = f.new_label();
+    let fill_done = f.new_label();
+    f.load(0).if_zero(Cond::Le, ret0);
+    f.load(0).new_array().store(1);
+    f.push(0).store(2);
+    f.bind(fill);
+    f.load(2).load(0).if_cmp(Cond::Ge, fill_done);
+    f.load(1).load(2);
+    f.load(2).push(31).mul().push(7).add().push(127).bin(BinOp::And);
+    f.astore();
+    f.iinc(2, 1).goto(fill);
+    f.bind(fill_done);
+    f.push(0).store(2);
+    f.bind(rev);
+    f.load(2).load(0).push(2).div().if_cmp(Cond::Ge, rev_done);
+    // tmp = arr[i]
+    f.load(1).load(2).aload().store(4);
+    // arr[i] = arr[n-1-i]
+    f.load(1).load(2);
+    f.load(1).load(0).push(1).sub().load(2).sub().aload();
+    f.astore();
+    // arr[n-1-i] = tmp
+    f.load(1).load(0).push(1).sub().load(2).sub().load(4).astore();
+    f.iinc(2, 1).goto(rev);
+    f.bind(rev_done);
+    f.push(0).store(3);
+    f.push(0).store(2);
+    f.bind(sum_top);
+    f.load(2).load(0).if_cmp(Cond::Ge, sum_done);
+    f.load(3).load(1).load(2).aload().load(2).push(1).add().mul().add().store(3);
+    f.iinc(2, 1).goto(sum_top);
+    f.bind(sum_done);
+    f.load(3).ret();
+    f.bind(ret0);
+    f.push(0).ret();
+    f.finish().expect("array kernel builds")
+}
+
+fn build_fib(pb: &mut ProgramBuilder) -> FuncId {
+    // fib(n): the call-heavy "method" kernel.
+    let id = pb.declare_function("fib");
+    let mut f = FunctionBuilder::new("fib", 1, 0);
+    let base = f.new_label();
+    f.load(0).push(2).if_cmp(Cond::Lt, base);
+    f.load(0).push(1).sub().call(id);
+    f.load(0).push(2).sub().call(id);
+    f.add().ret();
+    f.bind(base);
+    f.load(0).ret();
+    pb.set_function(id, f.finish().expect("fib builds"));
+    id
+}
+
+fn build_calibrate() -> stackvm::Function {
+    // A once-executed straight-line ladder of ~120 small conditional
+    // blocks: the benchmark's setup phase, and incidentally the kind of
+    // cold-but-visited code real programs are full of.
+    let mut f = FunctionBuilder::new("calibrate", 1, 1);
+    f.push(0).store(1);
+    for k in 0..120i64 {
+        let skip = f.new_label();
+        let cond = match k % 3 {
+            0 => Cond::Gt,
+            1 => Cond::Ne,
+            _ => Cond::Le,
+        };
+        f.load(0).push(k % 17).if_cmp(cond, skip);
+        f.load(1).push(k * 3 + 1).add().store(1);
+        f.bind(skip);
+    }
+    f.load(1).ret();
+    f.finish().expect("calibrate builds")
+}
+
+fn build_fixed_sqrt() -> stackvm::Function {
+    // sqrt(n): Newton iterations in fixed point — the "float" kernel
+    // analogue (this VM is integer-only, like early embedded JVMs).
+    let mut f = FunctionBuilder::new("fixed_sqrt", 1, 3); // v=1 x=2 i=3
+    let ret0 = f.new_label();
+    let top = f.new_label();
+    let done = f.new_label();
+    f.load(0).if_zero(Cond::Le, ret0);
+    f.load(0).push(1000).mul().push(1).add().store(1);
+    f.load(1).store(2);
+    f.push(0).store(3);
+    f.bind(top);
+    f.load(3).push(16).if_cmp(Cond::Ge, done);
+    f.load(2).load(1).load(2).div().add().push(2).div().store(2);
+    f.iinc(3, 1).goto(top);
+    f.bind(done);
+    f.load(2).ret();
+    f.bind(ret0);
+    f.push(0).ret();
+    f.finish().expect("sqrt builds")
+}
+
+/// Number of "rule" functions in the Jess-like workload.
+pub const JESS_RULES: usize = 64;
+/// Number of cold utility functions in the Jess-like workload.
+pub const JESS_UTILS: usize = 200;
+
+/// The Jess-like workload: a rule-engine-shaped program that is much
+/// larger than the micro-suite and whose code is mostly *cold* — every
+/// rule and utility runs once during initialization, and only eight
+/// rules run in the hot loop. This reproduces the property Figure 8
+/// turns on: the frequency-weighted embedder finds plenty of cold
+/// insertion sites, so watermarking barely slows the program down.
+pub fn jess_like() -> Program {
+    let mut rng = Prng::from_seed(0x4A45_5353); // "JESS"
+    let mut pb = ProgramBuilder::new();
+    let acc = pb.add_static("acc");
+
+    let mut rules = Vec::with_capacity(JESS_RULES);
+    for k in 0..JESS_RULES {
+        rules.push(pb.add_function(build_rule(&format!("rule_{k}"), 70, &mut rng)));
+    }
+    let mut utils = Vec::with_capacity(JESS_UTILS);
+    for k in 0..JESS_UTILS {
+        utils.push(pb.add_function(build_rule(&format!("util_{k}"), 44, &mut rng)));
+    }
+
+    // init: run every rule and utility once (rule "compilation").
+    let mut init = FunctionBuilder::new("init", 0, 0);
+    for (k, &fid) in rules.iter().chain(utils.iter()).enumerate() {
+        init.get_static(acc);
+        init.push(k as i64 * 17 + 3);
+        init.call(fid);
+        init.add();
+        init.put_static(acc);
+    }
+    init.ret_void();
+    let init_id = pb.add_function(init.finish().expect("init builds"));
+
+    // main: hot loop over eight of the rules.
+    let mut main = FunctionBuilder::new("main", 0, 3); // i=0 iters=1 h=2
+    let ok = main.new_label();
+    let loop_top = main.new_label();
+    let loop_done = main.new_label();
+    main.read_input().store(1);
+    main.load(1).if_zero(Cond::Gt, ok);
+    main.push(40).store(1);
+    main.bind(ok);
+    main.call(init_id);
+    main.push(0).store(0);
+    main.bind(loop_top);
+    main.load(0).load(1).if_cmp(Cond::Ge, loop_done);
+    main.load(0).push(40503).mul().push(7).bin(BinOp::And).store(2);
+    let case_labels: Vec<_> = (0..8).map(|_| main.new_label()).collect();
+    let dispatch_done = main.new_label();
+    let cases: Vec<(i64, stackvm::builder::Label)> = case_labels
+        .iter()
+        .enumerate()
+        .map(|(k, &l)| (k as i64, l))
+        .collect();
+    main.load(2);
+    main.switch(&cases, dispatch_done);
+    for (k, &l) in case_labels.iter().enumerate() {
+        main.bind(l);
+        main.get_static(acc);
+        main.load(0);
+        main.call(rules[k * 7 % JESS_RULES]);
+        main.bin(BinOp::Xor);
+        main.put_static(acc);
+        main.goto(dispatch_done);
+    }
+    main.bind(dispatch_done);
+    main.iinc(0, 1).goto(loop_top);
+    main.bind(loop_done);
+    main.get_static(acc).print().ret_void();
+    let main_id = pb.add_function(main.finish().expect("main builds"));
+    pb.finish(main_id).expect("jess-like verifies")
+}
+
+/// Generates one rule/utility body: a pseudo-random straight-line
+/// computation over the argument with occasional data-dependent skips.
+fn build_rule(name: &str, ops: usize, rng: &mut Prng) -> stackvm::Function {
+    let mut f = FunctionBuilder::new(name, 1, 1); // t=1
+    f.load(0).store(1);
+    for _ in 0..ops {
+        let c = rng.range(1 << 12) as i64 + 1;
+        match rng.index(6) {
+            0 => {
+                f.load(1).push(c).add().store(1);
+            }
+            1 => {
+                f.load(1).push(c).mul().store(1);
+            }
+            2 => {
+                f.load(1).push(c).bin(BinOp::Xor).store(1);
+            }
+            3 => {
+                f.load(1).push(c).sub().store(1);
+            }
+            4 => {
+                f.load(1).push(c | 1).bin(BinOp::Or).push(0xFFFF_FF).bin(BinOp::And).store(1);
+            }
+            _ => {
+                // if (t < c) t += c' — a cold data-dependent branch.
+                let skip = f.new_label();
+                let c2 = rng.range(1 << 10) as i64;
+                f.load(1).push(c).if_cmp(Cond::Ge, skip);
+                f.load(1).push(c2).add().store(1);
+                f.bind(skip);
+            }
+        }
+    }
+    f.load(1).ret();
+    f.finish().expect("rule builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackvm::interp::Vm;
+    use stackvm::trace::TraceConfig;
+
+    #[test]
+    fn caffeinemark_runs_and_is_deterministic() {
+        let p = caffeinemark();
+        let a = Vm::new(&p).with_input(vec![12]).run().unwrap();
+        let b = Vm::new(&p).with_input(vec![12]).run().unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output.len(), 6, "six kernels print one value each");
+        // Sanity: sieve(96) counts primes below 96 = 24.
+        assert_eq!(a.output[0], 24);
+        // fib(12 % 8 + 10) = fib(14) = 377.
+        assert_eq!(a.output[4], 377);
+    }
+
+    #[test]
+    fn caffeinemark_defaults_on_empty_input() {
+        let p = caffeinemark();
+        let out = Vm::new(&p).run().unwrap();
+        assert_eq!(out.output.len(), 6);
+    }
+
+    #[test]
+    fn caffeinemark_is_hot() {
+        // Most visited blocks should have high visit counts: the
+        // property that makes watermark insertion expensive here.
+        let p = caffeinemark();
+        let out = Vm::new(&p)
+            .with_input(vec![12])
+            .with_trace(TraceConfig::full())
+            .run()
+            .unwrap();
+        let freq = out.trace.block_frequencies();
+        let hot_visits: u64 = freq.values().filter(|&&c| c >= 16).sum();
+        let cold_visits: u64 = freq.values().filter(|&&c| c < 16).sum();
+        assert!(
+            hot_visits > cold_visits * 20,
+            "execution is dominated by hot blocks: {hot_visits} vs {cold_visits}"
+        );
+    }
+
+    #[test]
+    fn jess_runs_and_is_deterministic() {
+        let p = jess_like();
+        let a = Vm::new(&p).with_input(vec![40]).run().unwrap();
+        let b = Vm::new(&p).with_input(vec![40]).run().unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output.len(), 1);
+    }
+
+    #[test]
+    fn jess_is_much_larger_and_colder_than_caffeinemark() {
+        let caffeine = caffeinemark();
+        let jess = jess_like();
+        assert!(
+            jess.byte_size() > caffeine.byte_size() * 10,
+            "jess {} vs caffeine {}",
+            jess.byte_size(),
+            caffeine.byte_size()
+        );
+        let out = Vm::new(&jess)
+            .with_input(vec![40])
+            .with_trace(TraceConfig::full())
+            .run()
+            .unwrap();
+        let freq = out.trace.block_frequencies();
+        let cold = freq.values().filter(|&&c| c <= 2).count();
+        assert!(
+            cold * 2 > freq.len(),
+            "most visited blocks are cold: {cold}/{}",
+            freq.len()
+        );
+    }
+
+    #[test]
+    fn workload_list_is_complete() {
+        let ws = all();
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            let out = Vm::new(&w.program)
+                .with_input(w.secret_input.clone())
+                .run()
+                .unwrap();
+            assert!(!out.output.is_empty(), "{} produces output", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_accept_watermarks() {
+        use pathmark_core::java::{embed, JavaConfig};
+        use pathmark_core::key::{Watermark, WatermarkKey};
+        for w in all() {
+            let key = WatermarkKey::new(0x1234, w.secret_input.clone());
+            let config = JavaConfig::for_watermark_bits(128).with_pieces(10);
+            let watermark = Watermark::random_for(&config, &key);
+            let marked = embed(&w.program, &watermark, &key, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let orig = Vm::new(&w.program)
+                .with_input(w.secret_input.clone())
+                .run()
+                .unwrap();
+            let new = Vm::new(&marked.program)
+                .with_input(w.secret_input.clone())
+                .run()
+                .unwrap();
+            assert_eq!(orig.output, new.output, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark workloads for the path-based watermarking experiments.
+//!
+//! The paper evaluates on:
+//!
+//! * **CaffeineMark** — a tiny (~9 KB) micro-benchmark suite in which "a
+//!   high percentage of the instructions are executed frequently";
+//! * **Jess** — a ~300 KB rule-engine interpreter with "a lower
+//!   percentage of frequently executed code";
+//! * **SPECint-2000** — ten programs (`eon` and `perl` were omitted by
+//!   the authors) for the native experiments.
+//!
+//! None of those artifacts can be run on this substrate, so [`java`]
+//! and [`native`] provide synthetic stand-ins with the *properties the
+//! experiments actually exercise*: the contrast between hot/small and
+//! cold/large bytecode for Figure 8, and a spread of native program
+//! sizes, loop structures, and cold regions for Figure 9 (see
+//! `DESIGN.md` for the substitution rationale).
+
+pub mod java;
+pub mod native;

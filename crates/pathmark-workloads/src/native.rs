@@ -1,0 +1,603 @@
+//! Ten SPECint-2000-like native programs.
+//!
+//! The paper's native experiments run ten SPECint benchmarks (`eon` and
+//! `perl` omitted). Real SPEC sources and inputs are unavailable here,
+//! so each program is a synthetic stand-in that mirrors the *shape* that
+//! matters to Figure 9: a distinctive hot kernel (compression loop,
+//! board search, graph relaxation, token scanning, …), an initialization
+//! pass over a data segment, cold once-executed control flow (anchor and
+//! tamper-proofing candidates), and a large cold code region standing in
+//! for the rest of a real binary's functions. Program text and data
+//! sizes are spread over roughly an order of magnitude, as in SPEC.
+//!
+//! Every program reads one input value `n` (the iteration count): the
+//! *training* input is small, the *reference* input large — the same
+//! profile-then-measure protocol the paper uses.
+
+use nativesim::asm::{Assembler, ImageBuilder, Label};
+use nativesim::reg::Operand::{Imm, Reg as R};
+use nativesim::reg::{AluOp, Cc, Mem, Reg};
+use nativesim::Image;
+use pathmark_crypto::Prng;
+
+/// A named native workload with its training and reference inputs.
+#[derive(Debug, Clone)]
+pub struct NativeWorkload {
+    /// SPEC-like display name.
+    pub name: &'static str,
+    /// The executable image.
+    pub image: Image,
+    /// Small profiling input (the paper's SPEC *training* input).
+    pub training_input: Vec<u32>,
+    /// Large measurement input (the paper's SPEC *reference* input).
+    pub reference_input: Vec<u32>,
+}
+
+struct Spec {
+    name: &'static str,
+    cold_before: usize,
+    cold_after: usize,
+    /// log2 of the number of u32 words in the data segment.
+    data_log2: u32,
+    training_n: u32,
+    reference_n: u32,
+    kernel: fn(&mut Assembler, u32, u32),
+}
+
+const SPECS: &[Spec] = &[
+    Spec { name: "bzip2", cold_before: 300, cold_after: 600, data_log2: 15, training_n: 60, reference_n: 1500, kernel: kernel_bzip2 },
+    Spec { name: "crafty", cold_before: 900, cold_after: 1700, data_log2: 13, training_n: 40, reference_n: 800, kernel: kernel_crafty },
+    Spec { name: "gap", cold_before: 500, cold_after: 900, data_log2: 14, training_n: 60, reference_n: 1500, kernel: kernel_gap },
+    Spec { name: "gcc", cold_before: 1500, cold_after: 3000, data_log2: 14, training_n: 50, reference_n: 1000, kernel: kernel_gcc },
+    Spec { name: "gzip", cold_before: 250, cold_after: 450, data_log2: 15, training_n: 60, reference_n: 1500, kernel: kernel_gzip },
+    Spec { name: "mcf", cold_before: 140, cold_after: 420, data_log2: 16, training_n: 50, reference_n: 1200, kernel: kernel_mcf },
+    Spec { name: "parser", cold_before: 550, cold_after: 1000, data_log2: 13, training_n: 60, reference_n: 1500, kernel: kernel_parser },
+    Spec { name: "twolf", cold_before: 400, cold_after: 700, data_log2: 14, training_n: 50, reference_n: 1200, kernel: kernel_twolf },
+    Spec { name: "vortex", cold_before: 900, cold_after: 1700, data_log2: 15, training_n: 50, reference_n: 1000, kernel: kernel_vortex },
+    Spec { name: "vpr", cold_before: 300, cold_after: 550, data_log2: 13, training_n: 60, reference_n: 1500, kernel: kernel_vpr },
+];
+
+/// All ten workloads, in the order the paper's figures list them.
+pub fn all() -> Vec<NativeWorkload> {
+    SPECS.iter().map(build_workload).collect()
+}
+
+/// Builds one workload by name (`"bzip2"`, `"gcc"`, …).
+pub fn by_name(name: &str) -> Option<NativeWorkload> {
+    SPECS.iter().find(|s| s.name == name).map(build_workload)
+}
+
+fn build_workload(spec: &Spec) -> NativeWorkload {
+    NativeWorkload {
+        name: spec.name,
+        image: build_image(spec),
+        training_input: vec![spec.training_n],
+        reference_input: vec![spec.reference_n],
+    }
+}
+
+/// The shared program skeleton (see module docs).
+fn build_image(spec: &Spec) -> Image {
+    let mut rng = Prng::from_seed(0x5AEC ^ spec.name.len() as u64 ^ (spec.data_log2 as u64) << 8);
+    let data_words: u32 = 1 << spec.data_log2;
+    let mut b = ImageBuilder::new();
+    let data_base = b.data_zeroed(data_words as usize * 4);
+    let a = b.text();
+
+    let main = a.label();
+    let work = a.label();
+    let loop_top = a.label();
+    let loop_end = a.label();
+    let epilogue = a.label();
+    let fin = a.label();
+    let kernel = a.label();
+    let init = a.label();
+
+    // entry
+    a.in_(Reg::Eax);
+    a.jmp(main);
+    emit_cold_library(a, spec.cold_before, &mut rng);
+
+    // the hot kernel (argument in eax, accumulates into edi) — placed
+    // mid-text, like any other function of a real binary
+    a.bind(kernel);
+    (spec.kernel)(a, data_base, data_words);
+
+    // init: two phases with once-executed section-transition jumps
+    // (real initialization code is full of such edges; they are also
+    // what a *second* watermarking pass would pick as its anchor).
+    a.bind(init);
+    let init_top = a.label();
+    let init_phase2 = a.label();
+    let fold_top = a.label();
+    let fold_done = a.label();
+    let init_done = a.label();
+    // phase 1: data[k] = (k·40503 >> 3) & 0xFFFF
+    a.mov_ri(Reg::Eax, 0);
+    a.bind(init_top);
+    a.cmp(R(Reg::Eax), Imm(data_words as i32));
+    a.jcc(Cc::Ge, init_phase2);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    a.alu_ri(AluOp::Imul, Reg::Ebx, 40503);
+    a.alu_ri(AluOp::Shr, Reg::Ebx, 3);
+    a.alu_ri(AluOp::And, Reg::Ebx, 0xFFFF);
+    a.mov_mr(Mem::indexed(data_base, Reg::Eax, 4), Reg::Ebx);
+    a.alu_ri(AluOp::Add, Reg::Eax, 1);
+    a.jmp(init_top);
+    a.bind(init_phase2);
+    a.jmp(fold_top); // once-executed phase transition
+    // phase 2: fold the first 64 cells into data[0]
+    a.bind(fold_top);
+    a.mov_ri(Reg::Eax, 1);
+    a.mov_ri(Reg::Ebx, 0);
+    let fold_loop = a.label();
+    a.bind(fold_loop);
+    a.cmp(R(Reg::Eax), Imm(64));
+    a.jcc(Cc::Ge, fold_done);
+    a.alu_rm(AluOp::Xor, Reg::Ebx, Mem::indexed(data_base, Reg::Eax, 4));
+    a.alu_ri(AluOp::Add, Reg::Eax, 1);
+    a.jmp(fold_loop);
+    a.bind(fold_done);
+    a.mov_mr(Mem::abs(data_base), Reg::Ebx);
+    a.jmp(init_done); // once-executed phase transition
+    a.bind(init_done);
+    a.ret();
+
+    a.bind(main);
+    a.mov_rr(Reg::Esi, Reg::Eax);
+    a.mov_ri(Reg::Edi, 0);
+    a.call(init);
+    a.jmp(work); // anchor edge: executed once, slots on both sides
+    a.bind(work);
+    a.mov_ri(Reg::Ecx, 0);
+    a.bind(loop_top);
+    a.cmp(R(Reg::Ecx), R(Reg::Esi));
+    a.jcc(Cc::Ge, loop_end);
+    a.push(R(Reg::Ecx));
+    a.mov_rr(Reg::Eax, Reg::Ecx);
+    a.call(kernel);
+    a.pop(Reg::Ecx);
+    a.alu_ri(AluOp::Add, Reg::Ecx, 1);
+    a.jmp(loop_top);
+    a.bind(loop_end);
+    a.jmp(epilogue); // cold, once: tamper-proofing candidate
+    a.bind(epilogue);
+    a.out(R(Reg::Edi));
+    a.jmp(fin); // cold, once: tamper-proofing candidate
+    emit_cold_library(a, spec.cold_after, &mut rng);
+    a.bind(fin);
+    a.halt();
+
+    b.finish().expect("workload image builds")
+}
+
+/// Emits `count` small never-executed functions — the cold bulk of a
+/// real binary, and the supply of legal call-slot positions the
+/// embedder threads its chain through.
+fn emit_cold_library(a: &mut Assembler, count: usize, rng: &mut Prng) {
+    const SCRATCH: [Reg; 4] = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx];
+    for _ in 0..count {
+        let body = 2 + rng.index(5);
+        for _ in 0..body {
+            let r = SCRATCH[rng.index(4)];
+            match rng.index(4) {
+                0 => a.mov_ri(r, rng.next_u32() as i32),
+                1 => a.alu_ri(AluOp::Add, r, rng.range(1 << 16) as i32),
+                2 => a.alu_ri(AluOp::Xor, r, rng.next_u32() as i32),
+                _ => a.alu_rr(AluOp::Sub, r, SCRATCH[rng.index(4)]),
+            }
+        }
+        a.ret();
+    }
+}
+
+/// Shared helper: a bounded inner loop `for k in 0..limit` with the body
+/// emitted by `body(asm, k_reg)`.
+fn inner_loop(a: &mut Assembler, k: Reg, limit: i32, body: impl FnOnce(&mut Assembler, Label)) {
+    let top = a.label();
+    let done = a.label();
+    a.mov_ri(k, 0);
+    a.bind(top);
+    a.cmp(R(k), Imm(limit));
+    a.jcc(Cc::Ge, done);
+    body(a, done);
+    a.alu_ri(AluOp::Add, k, 1);
+    a.jmp(top);
+    a.bind(done);
+    a.ret();
+}
+
+/// bzip2: run-length scanning over a sliding 64-word window.
+fn kernel_bzip2(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 37);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax); // base
+    a.mov_ri(Reg::Eax, -1); // prev sentinel
+    inner_loop(a, Reg::Ecx, 64, |a, _done| {
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+        let diff = a.label();
+        a.cmp(R(Reg::Edx), R(Reg::Eax));
+        a.jcc(Cc::Ne, diff);
+        a.alu_ri(AluOp::Add, Reg::Edi, 1);
+        a.bind(diff);
+        a.mov_rr(Reg::Eax, Reg::Edx);
+    });
+}
+
+/// gzip: rolling-hash match finding.
+fn kernel_gzip(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 101);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    a.mov_ri(Reg::Eax, 0); // hash
+    inner_loop(a, Reg::Ecx, 48, |a, _| {
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_ri(AluOp::Imul, Reg::Eax, 31);
+        a.alu_rr(AluOp::Add, Reg::Eax, Reg::Edx);
+        a.alu_ri(AluOp::And, Reg::Eax, 0x00FF_FFFF);
+        let nomatch = a.label();
+        a.test(R(Reg::Eax), Imm(0xFFF));
+        a.jcc(Cc::Ne, nomatch);
+        a.alu_ri(AluOp::Add, Reg::Edi, 3); // "match found"
+        a.bind(nomatch);
+    });
+}
+
+/// crafty: 8×8 board scan with nested loops and attack counting.
+fn kernel_crafty(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::And, Reg::Eax, mask & !63);
+    a.mov_rr(Reg::Ebx, Reg::Eax); // board base
+    let rank_top = a.label();
+    let rank_done = a.label();
+    a.mov_ri(Reg::Eax, 0); // rank
+    a.bind(rank_top);
+    a.cmp(R(Reg::Eax), Imm(8));
+    a.jcc(Cc::Ge, rank_done);
+    {
+        // file loop in ecx; square value in edx
+        let file_top = a.label();
+        let file_done = a.label();
+        a.mov_ri(Reg::Ecx, 0);
+        a.bind(file_top);
+        a.cmp(R(Reg::Ecx), Imm(8));
+        a.jcc(Cc::Ge, file_done);
+        a.mov_rr(Reg::Edx, Reg::Eax);
+        a.alu_ri(AluOp::Shl, Reg::Edx, 3);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ebx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+        let empty = a.label();
+        a.test(R(Reg::Edx), Imm(7));
+        a.jcc(Cc::E, empty);
+        a.alu_ri(AluOp::And, Reg::Edx, 15);
+        a.alu_rr(AluOp::Add, Reg::Edi, Reg::Edx);
+        a.bind(empty);
+        a.alu_ri(AluOp::Add, Reg::Ecx, 1);
+        a.jmp(file_top);
+        a.bind(file_done);
+    }
+    a.alu_ri(AluOp::Add, Reg::Eax, 1);
+    a.jmp(rank_top);
+    a.bind(rank_done);
+    a.ret();
+}
+
+/// gap: modular arithmetic chains (computer-algebra flavored).
+fn kernel_gap(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    a.alu_ri(AluOp::And, Reg::Ebx, mask);
+    a.mov_ri(Reg::Eax, 3); // t
+    inner_loop(a, Reg::Ecx, 32, |a, _| {
+        // t = (t*t + data[(base+k) & mask]) mod 65521   (mod via mask-free
+        // folding: t - (t >> 16)·65521 approximated with shifts + and)
+        a.alu_rr(AluOp::Imul, Reg::Eax, Reg::Eax);
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_rr(AluOp::Add, Reg::Eax, Reg::Edx);
+        a.alu_ri(AluOp::And, Reg::Eax, 0xFFFF);
+        let skip = a.label();
+        a.cmp(R(Reg::Eax), Imm(0xFFF1));
+        a.jcc(Cc::B, skip);
+        a.alu_ri(AluOp::Sub, Reg::Eax, 0xFFF1);
+        a.bind(skip);
+        a.alu_rr(AluOp::Add, Reg::Edi, Reg::Eax);
+        a.alu_ri(AluOp::And, Reg::Edi, 0x0FFF_FFFF);
+    });
+}
+
+/// gcc: three sequential "passes" over an IR window (analysis,
+/// transform, emit) — the biggest text section of the suite.
+fn kernel_gcc(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 53);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    // pass 1: count "pseudo-ops" with a data-dependent predicate
+    let p1 = a.label();
+    let p1_done = a.label();
+    a.mov_ri(Reg::Ecx, 0);
+    a.bind(p1);
+    a.cmp(R(Reg::Ecx), Imm(24));
+    a.jcc(Cc::Ge, p1_done);
+    a.mov_rr(Reg::Edx, Reg::Ebx);
+    a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+    a.alu_ri(AluOp::And, Reg::Edx, mask);
+    a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+    let not_op = a.label();
+    a.test(R(Reg::Edx), Imm(3));
+    a.jcc(Cc::Ne, not_op);
+    a.alu_ri(AluOp::Add, Reg::Edi, 1);
+    a.bind(not_op);
+    a.alu_ri(AluOp::Add, Reg::Ecx, 1);
+    a.jmp(p1);
+    a.bind(p1_done);
+    // pass 2: "transform" — rewrite cells (store back)
+    let p2 = a.label();
+    let p2_done = a.label();
+    a.mov_ri(Reg::Ecx, 0);
+    a.bind(p2);
+    a.cmp(R(Reg::Ecx), Imm(24));
+    a.jcc(Cc::Ge, p2_done);
+    a.mov_rr(Reg::Edx, Reg::Ebx);
+    a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+    a.alu_ri(AluOp::And, Reg::Edx, mask);
+    a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+    a.alu_ri(AluOp::Xor, Reg::Eax, 0x55);
+    a.alu_ri(AluOp::And, Reg::Eax, 0xFFFF);
+    a.mov_mr(Mem::indexed(data, Reg::Edx, 4), Reg::Eax);
+    a.alu_ri(AluOp::Add, Reg::Ecx, 1);
+    a.jmp(p2);
+    a.bind(p2_done);
+    // pass 3: "emit" — checksum
+    inner_loop(a, Reg::Ecx, 24, |a, _| {
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Edx, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_rr(AluOp::Xor, Reg::Edi, Reg::Edx);
+    });
+}
+
+/// mcf: network-simplex-flavored relaxation with data writes.
+fn kernel_mcf(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 2246822519u32 as i32);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    inner_loop(a, Reg::Ecx, 40, |a, _| {
+        // u = data[(base+k) & mask]; v_idx = (base + k*7 + 1) & mask
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4)); // u
+        a.alu_ri(AluOp::Add, Reg::Eax, 13); // u + w
+        a.mov_rr(Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::Imul, Reg::Edx, 7);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ebx);
+        a.alu_ri(AluOp::Add, Reg::Edx, 1);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        // if u + w < data[v]: data[v] = u + w (relax), edi++
+        let no_relax = a.label();
+        a.cmp(R(Reg::Eax), Operand_mem(data, Reg::Edx));
+        a.jcc(Cc::Ae, no_relax);
+        a.mov_mr(Mem::indexed(data, Reg::Edx, 4), Reg::Eax);
+        a.alu_ri(AluOp::Add, Reg::Edi, 1);
+        a.bind(no_relax);
+    });
+}
+
+/// parser: token classification over a text window.
+fn kernel_parser(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 17);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    inner_loop(a, Reg::Ecx, 56, |a, _| {
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_ri(AluOp::And, Reg::Eax, 7); // token class
+        // chained classification: word / number / punctuation / other
+        let is_num = a.label();
+        let is_punct = a.label();
+        let classified = a.label();
+        a.cmp(R(Reg::Eax), Imm(3));
+        a.jcc(Cc::L, is_num);
+        a.cmp(R(Reg::Eax), Imm(6));
+        a.jcc(Cc::L, is_punct);
+        a.alu_ri(AluOp::Add, Reg::Edi, 5); // "word"
+        a.jmp(classified);
+        a.bind(is_num);
+        a.alu_ri(AluOp::Add, Reg::Edi, 1);
+        a.jmp(classified);
+        a.bind(is_punct);
+        a.alu_ri(AluOp::Add, Reg::Edi, 2);
+        a.bind(classified);
+    });
+}
+
+/// twolf: simulated-annealing-style accept/reject with cell swaps.
+fn kernel_twolf(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 69069);
+    a.alu_ri(AluOp::Add, Reg::Eax, 1);
+    a.mov_rr(Reg::Ebx, Reg::Eax); // rng state
+    inner_loop(a, Reg::Ecx, 36, |a, _| {
+        a.alu_ri(AluOp::Imul, Reg::Ebx, 1664525);
+        a.alu_ri(AluOp::Add, Reg::Ebx, 1013904223u32 as i32);
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_ri(AluOp::Shr, Reg::Edx, 16);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        let reject = a.label();
+        a.test(R(Reg::Ebx), Imm(0x6000)); // "temperature" gate
+        a.jcc(Cc::Ne, reject);
+        // accept: swap-ish update data[x] ^= x
+        a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_rr(AluOp::Xor, Reg::Eax, Reg::Edx);
+        a.alu_ri(AluOp::And, Reg::Eax, 0xFFFF);
+        a.mov_mr(Mem::indexed(data, Reg::Edx, 4), Reg::Eax);
+        a.alu_ri(AluOp::Add, Reg::Edi, 1);
+        a.bind(reject);
+    });
+}
+
+/// vortex: object-database insert / probe over a hash region.
+fn kernel_vortex(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.mov_rr(Reg::Ebx, Reg::Eax); // key seed
+    inner_loop(a, Reg::Ecx, 28, |a, _| {
+        // key = (seed*2654435761 + k*97) & mask
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_ri(AluOp::Imul, Reg::Edx, 40503);
+        a.mov_rr(Reg::Eax, Reg::Ecx);
+        a.alu_ri(AluOp::Imul, Reg::Eax, 97);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Eax);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        // probe up to 2 slots for a zero cell
+        let occupied = a.label();
+        let stored = a.label();
+        a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+        a.test(R(Reg::Eax), Imm(1));
+        a.jcc(Cc::Ne, occupied);
+        a.mov_mr(Mem::indexed(data, Reg::Edx, 4), Reg::Ecx);
+        a.alu_ri(AluOp::Add, Reg::Edi, 2);
+        a.jmp(stored);
+        a.bind(occupied);
+        a.alu_rr(AluOp::Add, Reg::Edi, Reg::Eax);
+        a.alu_ri(AluOp::And, Reg::Edi, 0x0FFF_FFFF);
+        a.bind(stored);
+    });
+}
+
+/// vpr: placement-cost evaluation (sum of absolute coordinate deltas).
+fn kernel_vpr(a: &mut Assembler, data: u32, words: u32) {
+    let mask = (words - 1) as i32;
+    a.alu_ri(AluOp::Imul, Reg::Eax, 193);
+    a.alu_ri(AluOp::And, Reg::Eax, mask);
+    a.mov_rr(Reg::Ebx, Reg::Eax);
+    inner_loop(a, Reg::Ecx, 44, |a, _| {
+        a.mov_rr(Reg::Edx, Reg::Ebx);
+        a.alu_rr(AluOp::Add, Reg::Edx, Reg::Ecx);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.mov_rm(Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+        a.alu_ri(AluOp::Add, Reg::Edx, 9);
+        a.alu_ri(AluOp::And, Reg::Edx, mask);
+        a.alu_rm(AluOp::Sub, Reg::Eax, Mem::indexed(data, Reg::Edx, 4));
+        // |delta|
+        let positive = a.label();
+        a.cmp(R(Reg::Eax), Imm(0));
+        a.jcc(Cc::Ge, positive);
+        a.alu_ri(AluOp::Xor, Reg::Eax, -1);
+        a.alu_ri(AluOp::Add, Reg::Eax, 1);
+        a.bind(positive);
+        a.alu_rr(AluOp::Add, Reg::Edi, Reg::Eax);
+        a.alu_ri(AluOp::And, Reg::Edi, 0x0FFF_FFFF);
+    });
+}
+
+/// Convenience: a memory operand `data[reg*4]`.
+#[allow(non_snake_case)]
+fn Operand_mem(data: u32, reg: Reg) -> nativesim::reg::Operand {
+    nativesim::reg::Operand::Mem(Mem::indexed(data, reg, 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nativesim::cpu::Machine;
+
+    fn run(image: &Image, input: Vec<u32>) -> nativesim::cpu::Outcome {
+        Machine::load(image)
+            .with_input(input)
+            .run(200_000_000)
+            .expect("workload runs")
+    }
+
+    #[test]
+    fn all_ten_workloads_run_on_both_inputs() {
+        let ws = all();
+        assert_eq!(ws.len(), 10);
+        for w in &ws {
+            let t = run(&w.image, w.training_input.clone());
+            let r = run(&w.image, w.reference_input.clone());
+            assert_eq!(t.output.len(), 1, "{}", w.name);
+            assert_eq!(r.output.len(), 1, "{}", w.name);
+            assert!(
+                r.instructions > t.instructions * 2,
+                "{}: reference ({}) must dwarf training ({})",
+                w.name,
+                r.instructions,
+                t.instructions
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in all() {
+            let a = run(&w.image, w.reference_input.clone());
+            let b = run(&w.image, w.reference_input.clone());
+            assert_eq!(a.output, b.output, "{}", w.name);
+            assert_eq!(a.instructions, b.instructions, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn sizes_span_an_order_of_magnitude() {
+        let sizes: Vec<(usize, &str)> = all()
+            .iter()
+            .map(|w| (w.image.size(), w.name))
+            .collect();
+        let min = sizes.iter().min().unwrap().0;
+        let max = sizes.iter().max().unwrap().0;
+        assert!(max > min * 3, "sizes {sizes:?}");
+        assert!(min > 20_000, "even the smallest image is nontrivial");
+    }
+
+    #[test]
+    fn by_name_finds_programs() {
+        assert!(by_name("gcc").is_some());
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("eon").is_none(), "eon was omitted, as in the paper");
+    }
+
+    #[test]
+    fn workloads_accept_native_watermarks() {
+        use pathmark_core::key::WatermarkKey;
+        use pathmark_core::native::{embed_native, NativeConfig};
+        for w in [by_name("mcf").unwrap(), by_name("parser").unwrap()] {
+            let key = WatermarkKey::new(
+                0xFEED,
+                w.training_input.iter().map(|&v| v as i64).collect(),
+            );
+            let config = NativeConfig {
+                training_inputs: vec![w.reference_input.clone()],
+                ..NativeConfig::default()
+            };
+            let mut rng = Prng::from_seed(1);
+            let bits: Vec<bool> = (0..128).map(|_| rng.chance(0.5)).collect();
+            let mark = embed_native(&w.image, &bits, &key, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            // Marked program must behave identically on both inputs.
+            for input in [w.training_input.clone(), w.reference_input.clone()] {
+                let orig = run(&w.image, input.clone());
+                let marked = run(&mark.image, input.clone());
+                assert_eq!(orig.output, marked.output, "{}", w.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! `pathmark` — command-line driver for path-based watermarking.
+//!
+//! Programs are stored in the `stackvm` binary codec (`.pmvm`). The
+//! secret key is a `--seed` integer plus a comma-separated `--input`
+//! sequence; keep both secret.
+//!
+//! ```text
+//! pathmark demo --out demo.pmvm          write a sample program
+//! pathmark embed --program P --out Q --seed S --input I --bits B [--pieces N] [--watermark HEX]
+//! pathmark recognize --program Q --seed S --input I --bits B
+//! pathmark run --program P [--input I]   execute and print output
+//! pathmark attack --program Q --out R --kind K [--count N] [--seed S]
+//! pathmark disasm --program P            disassembly listing
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use pathmark::attacks::java as attacks;
+use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::math::bigint::BigUint;
+use pathmark::vm::interp::Vm;
+use pathmark::vm::Program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `pathmark help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("no command given".into());
+    };
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        "demo" => cmd_demo(&opts),
+        "embed" => cmd_embed(&opts),
+        "recognize" => cmd_recognize(&opts),
+        "run" => cmd_run(&opts),
+        "attack" => cmd_attack(&opts),
+        "disasm" => cmd_disasm(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+pathmark — dynamic path-based software watermarking (PLDI 2004)
+
+commands:
+  demo      --out FILE                      write a sample program
+  embed     --program FILE --out FILE --seed N --input A,B,… --bits N
+            [--pieces N] [--watermark HEX]  embed a fingerprint
+  recognize --program FILE --seed N --input A,B,… --bits N [--pieces N]
+  run       --program FILE [--input A,B,…]  execute, print output
+  attack    --program FILE --out FILE --kind KIND [--count N] [--seed N]
+            KIND: branches | nops | invert | reorder | split | diversify
+  disasm    --program FILE                  print a listing";
+
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected an option, found `{key}`"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("option --{name} needs a value"))?;
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+fn required<'o>(opts: &'o HashMap<String, String>, name: &str) -> Result<&'o str, String> {
+    opts.get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse_u64(opts: &HashMap<String, String>, name: &str) -> Result<u64, String> {
+    required(opts, name)?
+        .parse()
+        .map_err(|e| format!("--{name}: {e}"))
+}
+
+fn parse_usize_or(opts: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+    }
+}
+
+fn parse_input(opts: &HashMap<String, String>) -> Result<Vec<i64>, String> {
+    match opts.get("input") {
+        None => Ok(Vec::new()),
+        Some(s) if s.is_empty() => Ok(Vec::new()),
+        Some(s) => s
+            .split(',')
+            .map(|v| v.trim().parse().map_err(|e| format!("--input: {e}")))
+            .collect(),
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let program =
+        pathmark::vm::codec::decode_program(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    pathmark::vm::verify::verify(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn save_program(path: &str, program: &Program) -> Result<(), String> {
+    std::fs::write(path, pathmark::vm::codec::encode_program(program))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_hex(s: &str) -> Result<BigUint, String> {
+    let mut value = BigUint::zero();
+    for c in s.chars() {
+        let digit = c.to_digit(16).ok_or_else(|| format!("bad hex digit `{c}`"))?;
+        value = &(&value << 4) + &BigUint::from(digit as u64);
+    }
+    Ok(value)
+}
+
+fn key_and_config(opts: &HashMap<String, String>) -> Result<(WatermarkKey, JavaConfig), String> {
+    let seed = parse_u64(opts, "seed")?;
+    let input = parse_input(opts)?;
+    let bits: usize = required(opts, "bits")?
+        .parse()
+        .map_err(|e| format!("--bits: {e}"))?;
+    let config = JavaConfig::for_watermark_bits(bits);
+    let pieces = parse_usize_or(opts, "pieces", config.num_pieces)?;
+    Ok((WatermarkKey::new(seed, input), config.with_pieces(pieces)))
+}
+
+fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = required(opts, "out")?;
+    let program = pathmark::workloads::java::caffeinemark();
+    save_program(out, &program)?;
+    println!(
+        "wrote {out}: {} functions, {} bytes of bytecode",
+        program.functions.len(),
+        program.byte_size()
+    );
+    println!("try: pathmark embed --program {out} --out marked.pmvm --seed 7 --input 12 --bits 128");
+    Ok(())
+}
+
+fn cmd_embed(opts: &HashMap<String, String>) -> Result<(), String> {
+    let program = load_program(required(opts, "program")?)?;
+    let out = required(opts, "out")?;
+    let (key, config) = key_and_config(opts)?;
+    let watermark = match opts.get("watermark") {
+        Some(hex) => Watermark::from_value(parse_hex(hex)?, config.watermark_bits),
+        None => Watermark::random_for(&config, &key),
+    };
+    let marked = embed(&program, &watermark, &key, &config).map_err(|e| e.to_string())?;
+    save_program(out, &marked.program)?;
+    println!("embedded W = {:x} ({} bits)", watermark.value(), watermark.bits());
+    println!(
+        "{} pieces, {} -> {} bytes (+{:.1}%)",
+        marked.report.pieces.len(),
+        marked.report.bytes_before,
+        marked.report.bytes_after,
+        100.0 * (marked.report.bytes_after as f64 / marked.report.bytes_before as f64 - 1.0),
+    );
+    Ok(())
+}
+
+fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), String> {
+    let program = load_program(required(opts, "program")?)?;
+    let (key, config) = key_and_config(opts)?;
+    let rec = recognize(&program, &key, &config).map_err(|e| e.to_string())?;
+    println!(
+        "candidates: {}, after vote: {}, survivors: {}, primes covered: {}/{}",
+        rec.candidates, rec.after_vote, rec.survivors, rec.primes_covered, rec.primes_total
+    );
+    match rec.watermark {
+        Some(w) => {
+            println!("recovered W = {w:x}");
+            Ok(())
+        }
+        None => Err("no watermark recovered".into()),
+    }
+}
+
+fn cmd_run(opts: &HashMap<String, String>) -> Result<(), String> {
+    let program = load_program(required(opts, "program")?)?;
+    let input = parse_input(opts)?;
+    let outcome = Vm::new(&program)
+        .with_input(input)
+        .run()
+        .map_err(|e| e.to_string())?;
+    for v in &outcome.output {
+        println!("{v}");
+    }
+    eprintln!("({} instructions)", outcome.instructions);
+    Ok(())
+}
+
+fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
+    let mut program = load_program(required(opts, "program")?)?;
+    let out = required(opts, "out")?;
+    let kind = required(opts, "kind")?;
+    let count = parse_usize_or(opts, "count", 100)?;
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    match kind {
+        "branches" => attacks::insert_random_branches(&mut program, count, seed),
+        "nops" => attacks::insert_nops(&mut program, count, seed),
+        "invert" => attacks::invert_branch_senses(&mut program, 1.0, seed),
+        "reorder" => attacks::reorder_blocks(&mut program, seed),
+        "split" => attacks::split_blocks(&mut program, count, seed),
+        "diversify" => attacks::diversify(&mut program, seed),
+        other => return Err(format!("unknown attack kind `{other}`")),
+    }
+    pathmark::vm::verify::verify(&program).map_err(|e| e.to_string())?;
+    save_program(out, &program)?;
+    println!("applied `{kind}`; wrote {out}");
+    Ok(())
+}
+
+fn cmd_disasm(opts: &HashMap<String, String>) -> Result<(), String> {
+    let program = load_program(required(opts, "program")?)?;
+    print!("{}", pathmark::vm::pretty::disassemble(&program));
+    Ok(())
+}

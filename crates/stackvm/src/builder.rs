@@ -1,0 +1,427 @@
+//! Fluent construction of functions and programs with symbolic labels.
+//!
+//! The watermark embedder, the attack suite, and the workload programs
+//! all synthesize bytecode; a label-based builder keeps branch targets
+//! symbolic until [`FunctionBuilder::finish`] patches them to instruction
+//! indices.
+
+use crate::insn::{BinOp, Cond, Insn};
+use crate::program::{FuncId, Function, Program, StaticId};
+use crate::VmError;
+
+/// A forward-referenceable label within one function under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builds one [`Function`] instruction-by-instruction.
+///
+/// All emit methods return `&mut Self` for chaining. See the
+/// [crate-level example](crate) for a complete program.
+#[derive(Debug, Clone)]
+pub struct FunctionBuilder {
+    name: String,
+    num_params: u16,
+    num_locals: u16,
+    returns_value: bool,
+    code: Vec<Insn>,
+    /// `labels[l]` = Some(instruction index) once bound.
+    labels: Vec<Option<usize>>,
+    /// `(instruction index, label)` pairs to patch at finish.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `num_params` parameters and
+    /// `extra_locals` additional local slots.
+    pub fn new(name: impl Into<String>, num_params: u16, extra_locals: u16) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            num_params,
+            num_locals: num_params + extra_locals,
+            returns_value: false,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Declares that the function returns a value. `ret()` implies this;
+    /// call it explicitly only for functions whose returns are emitted
+    /// through raw instructions.
+    pub fn returns_value(&mut self) -> &mut Self {
+        self.returns_value = true;
+        self
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice in `{}`",
+            self.name
+        );
+        self.labels[label.0] = Some(self.code.len());
+        self
+    }
+
+    /// Current instruction index (where the next instruction lands).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Emits a raw instruction. Branch instructions emitted this way must
+    /// carry final numeric targets; prefer the labeled helpers.
+    pub fn raw(&mut self, insn: Insn) -> &mut Self {
+        self.code.push(insn);
+        self
+    }
+
+    /// Pushes a constant.
+    pub fn push(&mut self, v: i64) -> &mut Self {
+        self.raw(Insn::Const(v))
+    }
+
+    /// Loads local `n`.
+    pub fn load(&mut self, n: u16) -> &mut Self {
+        self.raw(Insn::Load(n))
+    }
+
+    /// Stores into local `n`.
+    pub fn store(&mut self, n: u16) -> &mut Self {
+        self.raw(Insn::Store(n))
+    }
+
+    /// Adds `delta` to local `n`.
+    pub fn iinc(&mut self, n: u16, delta: i32) -> &mut Self {
+        self.raw(Insn::Iinc(n, delta))
+    }
+
+    /// Emits a binary operation.
+    pub fn bin(&mut self, op: BinOp) -> &mut Self {
+        self.raw(Insn::Bin(op))
+    }
+
+    /// Shorthand binary ops.
+    pub fn add(&mut self) -> &mut Self {
+        self.bin(BinOp::Add)
+    }
+    /// Emits a subtraction.
+    pub fn sub(&mut self) -> &mut Self {
+        self.bin(BinOp::Sub)
+    }
+    /// Emits a multiplication.
+    pub fn mul(&mut self) -> &mut Self {
+        self.bin(BinOp::Mul)
+    }
+    /// Emits a division.
+    pub fn div(&mut self) -> &mut Self {
+        self.bin(BinOp::Div)
+    }
+    /// Emits a remainder.
+    pub fn rem(&mut self) -> &mut Self {
+        self.bin(BinOp::Rem)
+    }
+
+    /// Reads a static field.
+    pub fn get_static(&mut self, s: StaticId) -> &mut Self {
+        self.raw(Insn::GetStatic(s.0))
+    }
+
+    /// Writes a static field.
+    pub fn put_static(&mut self, s: StaticId) -> &mut Self {
+        self.raw(Insn::PutStatic(s.0))
+    }
+
+    /// Unconditional branch to a label.
+    pub fn goto(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.raw(Insn::Goto(usize::MAX))
+    }
+
+    /// Branch to `label` if the popped value satisfies `cond` vs zero.
+    pub fn if_zero(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.raw(Insn::If(cond, usize::MAX))
+    }
+
+    /// Branch to `label` if the popped pair satisfies `cond`.
+    pub fn if_cmp(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.raw(Insn::IfCmp(cond, usize::MAX))
+    }
+
+    /// Emits a switch over `(value, label)` cases with a default label.
+    pub fn switch(&mut self, cases: &[(i64, Label)], default: Label) -> &mut Self {
+        let at = self.code.len();
+        // Targets are patched via a placeholder encoding: store each
+        // label id and patch by position at finish-time.
+        for (_, l) in cases {
+            self.fixups.push((at, *l));
+        }
+        self.fixups.push((at, default));
+        self.raw(Insn::Switch {
+            cases: cases.iter().map(|&(v, _)| (v, usize::MAX)).collect(),
+            default: usize::MAX,
+        })
+    }
+
+    /// Calls a function by id.
+    pub fn call(&mut self, f: FuncId) -> &mut Self {
+        self.raw(Insn::Call(f.0))
+    }
+
+    /// Returns with the top-of-stack value.
+    pub fn ret(&mut self) -> &mut Self {
+        self.returns_value = true;
+        self.raw(Insn::Return(true))
+    }
+
+    /// Returns without a value.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.raw(Insn::Return(false))
+    }
+
+    /// Pops and prints the top of stack.
+    pub fn print(&mut self) -> &mut Self {
+        self.raw(Insn::Print)
+    }
+
+    /// Emits array allocation.
+    pub fn new_array(&mut self) -> &mut Self {
+        self.raw(Insn::NewArray)
+    }
+    /// Emits an array load.
+    pub fn aload(&mut self) -> &mut Self {
+        self.raw(Insn::ALoad)
+    }
+    /// Emits an array store.
+    pub fn astore(&mut self) -> &mut Self {
+        self.raw(Insn::AStore)
+    }
+    /// Emits an array-length query.
+    pub fn array_len(&mut self) -> &mut Self {
+        self.raw(Insn::ArrayLen)
+    }
+    /// Emits a stack duplication.
+    pub fn dup(&mut self) -> &mut Self {
+        self.raw(Insn::Dup)
+    }
+    /// Emits a stack pop.
+    pub fn pop(&mut self) -> &mut Self {
+        self.raw(Insn::Pop)
+    }
+    /// Reads the next value of the program input sequence.
+    pub fn read_input(&mut self) -> &mut Self {
+        self.raw(Insn::ReadInput)
+    }
+
+    /// Finalizes the function, patching all label references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn finish(mut self) -> Result<Function, VmError> {
+        // Resolve fixups in emission order. Switch instructions consumed
+        // several fixups at the same index; replay them positionally.
+        let mut by_index: std::collections::BTreeMap<usize, Vec<Label>> =
+            std::collections::BTreeMap::new();
+        for (at, label) in self.fixups.drain(..) {
+            by_index.entry(at).or_default().push(label);
+        }
+        for (at, labels) in by_index {
+            let mut resolved = Vec::with_capacity(labels.len());
+            for l in labels {
+                match self.labels[l.0] {
+                    Some(target) => resolved.push(target),
+                    None => {
+                        return Err(VmError::UnboundLabel {
+                            func_name: self.name,
+                        })
+                    }
+                }
+            }
+            match &mut self.code[at] {
+                Insn::Goto(t) | Insn::If(_, t) | Insn::IfCmp(_, t) => *t = resolved[0],
+                Insn::Switch { cases, default } => {
+                    for (k, (_, t)) in cases.iter_mut().enumerate() {
+                        *t = resolved[k];
+                    }
+                    *default = *resolved.last().expect("switch emits >= 1 fixup");
+                }
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(Function {
+            name: self.name,
+            num_params: self.num_params,
+            num_locals: self.num_locals,
+            returns_value: self.returns_value,
+            code: self.code,
+        })
+    }
+}
+
+/// Accumulates functions and static fields into a [`Program`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Function>,
+    statics: Vec<String>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a finished function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Reserves a function slot before its body exists (for mutual
+    /// recursion); fill it later with [`Self::set_function`].
+    pub fn declare_function(&mut self, name: impl Into<String>) -> FuncId {
+        self.functions.push(Function {
+            name: name.into(),
+            num_params: 0,
+            num_locals: 0,
+            returns_value: false,
+            code: vec![Insn::Return(false)],
+        });
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Replaces a declared function's body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not handed out by this builder.
+    pub fn set_function(&mut self, id: FuncId, f: Function) {
+        self.functions[id.0 as usize] = f;
+    }
+
+    /// Declares a static field, returning its id.
+    pub fn add_static(&mut self, name: impl Into<String>) -> StaticId {
+        self.statics.push(name.into());
+        StaticId(self.statics.len() as u32 - 1)
+    }
+
+    /// Finalizes the program and verifies it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError::Verify`] if the assembled program is
+    /// structurally invalid.
+    pub fn finish(self, entry: FuncId) -> Result<Program, VmError> {
+        let program = Program {
+            functions: self.functions,
+            statics: self.statics,
+            entry,
+        };
+        crate::verify::verify(&program)?;
+        Ok(program)
+    }
+
+    /// Finalizes without verification (used by tests that construct
+    /// deliberately broken programs).
+    pub fn finish_unverified(self, entry: FuncId) -> Program {
+        Program {
+            functions: self.functions,
+            statics: self.statics,
+            entry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn;
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut f = FunctionBuilder::new("t", 0, 1);
+        let top = f.new_label();
+        let out = f.new_label();
+        f.bind(top);
+        f.load(0).push(3).if_cmp(Cond::Ge, out);
+        f.iinc(0, 1).goto(top);
+        f.bind(out);
+        f.ret_void();
+        let func = f.finish().unwrap();
+        assert_eq!(func.code[2], Insn::IfCmp(Cond::Ge, 5));
+        assert_eq!(func.code[4], Insn::Goto(0));
+    }
+
+    #[test]
+    fn switch_targets_patch_in_order() {
+        let mut f = FunctionBuilder::new("s", 1, 0);
+        let a = f.new_label();
+        let b = f.new_label();
+        let d = f.new_label();
+        f.load(0);
+        f.switch(&[(10, a), (20, b)], d);
+        f.bind(a);
+        f.push(1).print().ret_void();
+        f.bind(b);
+        f.push(2).print().ret_void();
+        f.bind(d);
+        f.push(3).print().ret_void();
+        let func = f.finish().unwrap();
+        match &func.code[1] {
+            Insn::Switch { cases, default } => {
+                assert_eq!(cases, &vec![(10, 2), (20, 5)]);
+                assert_eq!(*default, 8);
+            }
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut f = FunctionBuilder::new("u", 0, 0);
+        let l = f.new_label();
+        f.goto(l);
+        assert!(matches!(f.finish(), Err(VmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut f = FunctionBuilder::new("d", 0, 0);
+        let l = f.new_label();
+        f.bind(l);
+        f.bind(l);
+    }
+
+    #[test]
+    fn declare_then_set_supports_recursion() {
+        let mut p = ProgramBuilder::new();
+        let id = p.declare_function("self_call");
+        let mut f = FunctionBuilder::new("self_call", 1, 0);
+        let base = f.new_label();
+        f.load(0).if_zero(Cond::Le, base);
+        f.load(0).push(1).sub().call(id);
+        f.bind(base);
+        f.ret_void();
+        p.set_function(id, f.finish().unwrap());
+        let mut main = FunctionBuilder::new("main", 0, 0);
+        main.push(3).call(id).ret_void();
+        let main_id = p.add_function(main.finish().unwrap());
+        let program = p.finish(main_id).unwrap();
+        assert_eq!(program.functions.len(), 2);
+    }
+}

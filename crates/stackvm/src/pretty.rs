@@ -1,0 +1,140 @@
+//! Human-readable disassembly of programs and functions.
+
+use std::fmt::Write as _;
+
+use crate::insn::Insn;
+use crate::program::{Function, Program};
+
+/// Renders one function as an indented listing with block markers.
+pub fn disassemble_function(func: &Function) -> String {
+    let cfg = crate::cfg::Cfg::build(func);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {}(params={}, locals={}){}:",
+        func.name,
+        func.num_params,
+        func.num_locals,
+        if func.returns_value { " -> value" } else { "" }
+    );
+    for (pc, insn) in func.code.iter().enumerate() {
+        if pc < cfg.is_leader.len() && cfg.is_leader[pc] {
+            let _ = writeln!(out, "  B{}:", cfg.block_of[pc]);
+        }
+        let _ = writeln!(out, "    {pc:4}: {}", render(insn));
+    }
+    out
+}
+
+/// Renders a whole program.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.statics.is_empty() {
+        let _ = writeln!(out, "statics: {}", program.statics.join(", "));
+    }
+    for (id, func) in program.iter_functions() {
+        let marker = if id == program.entry { " (entry)" } else { "" };
+        let _ = writeln!(out, "; {id}{marker}");
+        out.push_str(&disassemble_function(func));
+        out.push('\n');
+    }
+    out
+}
+
+fn render(insn: &Insn) -> String {
+    match insn {
+        Insn::Const(v) => format!("const {v}"),
+        Insn::Load(n) => format!("load {n}"),
+        Insn::Store(n) => format!("store {n}"),
+        Insn::Iinc(n, d) => format!("iinc {n}, {d}"),
+        Insn::Bin(op) => op.to_string(),
+        Insn::Neg => "neg".into(),
+        Insn::Dup => "dup".into(),
+        Insn::Pop => "pop".into(),
+        Insn::Swap => "swap".into(),
+        Insn::GetStatic(s) => format!("getstatic {s}"),
+        Insn::PutStatic(s) => format!("putstatic {s}"),
+        Insn::NewArray => "newarray".into(),
+        Insn::ALoad => "aload".into(),
+        Insn::AStore => "astore".into(),
+        Insn::ArrayLen => "arraylen".into(),
+        Insn::Goto(t) => format!("goto -> {t}"),
+        Insn::If(c, t) => format!("if{c} -> {t}"),
+        Insn::IfCmp(c, t) => format!("ifcmp{c} -> {t}"),
+        Insn::Switch { cases, default } => {
+            let cs: Vec<String> = cases.iter().map(|(v, t)| format!("{v} -> {t}")).collect();
+            format!("switch [{}] default -> {default}", cs.join(", "))
+        }
+        Insn::Call(f) => format!("call fn#{f}"),
+        Insn::Return(true) => "return value".into(),
+        Insn::Return(false) => "return".into(),
+        Insn::Print => "print".into(),
+        Insn::ReadInput => "readinput".into(),
+        Insn::Nop => "nop".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::insn::Cond;
+
+    #[test]
+    fn listing_contains_blocks_and_mnemonics() {
+        let mut pb = ProgramBuilder::new();
+        pb.add_static("counter");
+        let mut f = FunctionBuilder::new("main", 0, 1);
+        let out = f.new_label();
+        f.load(0).if_zero(Cond::Ne, out);
+        f.push(3).print();
+        f.bind(out);
+        f.ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        let p = pb.finish(main).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("statics: counter"));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("B0:"));
+        assert!(text.contains("ifne ->"));
+        assert!(text.contains("(entry)"));
+    }
+
+    #[test]
+    fn every_mnemonic_renders_nonempty() {
+        use crate::insn::BinOp;
+        let all = vec![
+            Insn::Const(1),
+            Insn::Load(0),
+            Insn::Store(0),
+            Insn::Iinc(0, -1),
+            Insn::Bin(BinOp::UShr),
+            Insn::Neg,
+            Insn::Dup,
+            Insn::Pop,
+            Insn::Swap,
+            Insn::GetStatic(0),
+            Insn::PutStatic(0),
+            Insn::NewArray,
+            Insn::ALoad,
+            Insn::AStore,
+            Insn::ArrayLen,
+            Insn::Goto(0),
+            Insn::If(Cond::Lt, 0),
+            Insn::IfCmp(Cond::Ge, 0),
+            Insn::Switch {
+                cases: vec![(1, 0)],
+                default: 0,
+            },
+            Insn::Call(0),
+            Insn::Return(true),
+            Insn::Return(false),
+            Insn::Print,
+            Insn::ReadInput,
+            Insn::Nop,
+        ];
+        for insn in all {
+            assert!(!render(&insn).is_empty());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Program, function, and static-field models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::insn::Insn;
+
+/// Identifier of a function within a [`Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Identifier of a static field within a [`Program`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct StaticId(pub u32);
+
+/// A single function: a flat instruction vector plus frame metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Human-readable name (diagnostics and disassembly only).
+    pub name: String,
+    /// Number of parameters; the first `num_params` locals are
+    /// initialized from the arguments.
+    pub num_params: u16,
+    /// Total number of local-variable slots (≥ `num_params`).
+    pub num_locals: u16,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// The code.
+    pub code: Vec<Insn>,
+}
+
+impl Function {
+    /// Size of the function in *emulated bytecode bytes*, the unit
+    /// Figure 8(b) measures. Modeled on JVM encoding sizes: most opcodes
+    /// are 1–3 bytes; switches pay per case.
+    pub fn byte_size(&self) -> usize {
+        self.code.iter().map(encoded_size).sum()
+    }
+}
+
+/// Emulated JVM-style encoded size of one instruction, in bytes.
+pub fn encoded_size(insn: &Insn) -> usize {
+    match insn {
+        Insn::Nop | Insn::Dup | Insn::Pop | Insn::Swap | Insn::Neg => 1,
+        Insn::Bin(_) | Insn::Return(_) | Insn::Print => 1,
+        Insn::NewArray | Insn::ALoad | Insn::AStore | Insn::ArrayLen => 1,
+        Insn::Load(n) | Insn::Store(n) => {
+            if *n < 4 {
+                1
+            } else {
+                2
+            }
+        }
+        Insn::Iinc(..) => 3,
+        Insn::Const(v) => match *v {
+            -1..=5 => 1,
+            -128..=127 => 2,
+            -32768..=32767 => 3,
+            _ => 3, // ldc of a constant-pool entry
+        },
+        Insn::GetStatic(_) | Insn::PutStatic(_) | Insn::Call(_) | Insn::ReadInput => 3,
+        Insn::Goto(_) | Insn::If(..) | Insn::IfCmp(..) => 3,
+        Insn::Switch { cases, .. } => 12 + 8 * cases.len(),
+    }
+}
+
+/// A complete program: functions, static fields, and an entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions; [`FuncId`] indexes into this vector.
+    pub functions: Vec<Function>,
+    /// Names of static fields; [`StaticId`] indexes into this vector.
+    pub statics: Vec<String>,
+    /// The function executed by [`crate::interp::Vm::run`].
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Looks up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (program construction goes
+    /// through [`crate::builder::ProgramBuilder`], which hands out only
+    /// valid ids).
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable function lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Finds a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn iter_functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Total emulated size in bytes (sum of [`Function::byte_size`]) —
+    /// the "program size" axis of Figure 8(b).
+    pub fn byte_size(&self) -> usize {
+        self.functions.iter().map(Function::byte_size).sum()
+    }
+
+    /// Total number of instructions across all functions.
+    pub fn insn_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Total number of static conditional-branch instructions — the
+    /// denominator of the "branch increase" axis in Figures 8(c,d).
+    pub fn conditional_branch_count(&self) -> usize {
+        self.functions
+            .iter()
+            .flat_map(|f| &f.code)
+            .filter(|i| i.is_conditional_branch())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{BinOp, Cond};
+
+    fn sample_function() -> Function {
+        Function {
+            name: "f".into(),
+            num_params: 1,
+            num_locals: 2,
+            returns_value: true,
+            code: vec![
+                Insn::Load(0),
+                Insn::Const(3),
+                Insn::Bin(BinOp::Add),
+                Insn::Return(true),
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_size_models_jvm_encoding() {
+        let f = sample_function();
+        // load_0 (1) + iconst_3 (1) + iadd (1) + ireturn (1)
+        assert_eq!(f.byte_size(), 4);
+        assert_eq!(encoded_size(&Insn::Const(1000)), 3);
+        assert_eq!(encoded_size(&Insn::Const(100)), 2);
+        assert_eq!(encoded_size(&Insn::Load(9)), 2);
+        assert_eq!(
+            encoded_size(&Insn::Switch {
+                cases: vec![(0, 0), (1, 1)],
+                default: 2
+            }),
+            12 + 16
+        );
+    }
+
+    #[test]
+    fn program_queries() {
+        let p = Program {
+            functions: vec![sample_function()],
+            statics: vec!["g".into()],
+            entry: FuncId(0),
+        };
+        assert_eq!(p.insn_count(), 4);
+        assert_eq!(p.conditional_branch_count(), 0);
+        assert_eq!(p.function_by_name("f").unwrap().0, FuncId(0));
+        assert!(p.function_by_name("missing").is_none());
+        assert_eq!(p.byte_size(), 4);
+    }
+
+    #[test]
+    fn conditional_branch_count_sees_only_if_forms() {
+        let mut f = sample_function();
+        f.code.insert(0, Insn::If(Cond::Eq, 1));
+        f.code.insert(0, Insn::Goto(1));
+        f.code.insert(
+            0,
+            Insn::Switch {
+                cases: vec![],
+                default: 1,
+            },
+        );
+        let p = Program {
+            functions: vec![f],
+            statics: vec![],
+            entry: FuncId(0),
+        };
+        assert_eq!(p.conditional_branch_count(), 1);
+    }
+
+}

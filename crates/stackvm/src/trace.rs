@@ -1,0 +1,266 @@
+//! Execution traces — the raw material of path-based watermarking.
+//!
+//! Section 3.1 of the paper: "we instrument the input program to write to
+//! a file the sequence of basic blocks it executes. At each trace point we
+//! also store the value of every local variable and every static … field."
+//! A [`Trace`] holds exactly that, plus one record per dynamic conditional
+//! branch with the identity of the block that followed it (which is what
+//! the bit-string decoder consumes).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::program::FuncId;
+
+/// A dynamic program point: a function and an instruction index in it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Site {
+    /// The containing function.
+    pub func: FuncId,
+    /// Instruction index within the function.
+    pub pc: usize,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A basic block (identified by its leader) began executing.
+    EnterBlock {
+        /// The block's leader.
+        site: Site,
+    },
+    /// A conditional branch executed; `next` is the leader of the block
+    /// control went to (target or fall-through).
+    Branch {
+        /// The branch instruction.
+        site: Site,
+        /// Leader pc of the block that followed, in the same function.
+        next: usize,
+    },
+    /// Variable values observed at a block entry (recorded only when
+    /// snapshotting is enabled; used by the condition code generator).
+    Snapshot {
+        /// The block's leader.
+        site: Site,
+        /// Local-variable values, index-aligned with the function frame.
+        locals: Vec<i64>,
+        /// Static-field values, index-aligned with `Program::statics`.
+        statics: Vec<i64>,
+    },
+}
+
+/// What the interpreter records while running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record [`TraceEvent::EnterBlock`] events.
+    pub blocks: bool,
+    /// Record [`TraceEvent::Branch`] events.
+    pub branches: bool,
+    /// Record [`TraceEvent::Snapshot`] events at block entries.
+    pub snapshots: bool,
+    /// At most this many snapshots are kept *per block* (0 = unlimited).
+    /// The condition code generator only ever inspects the first two
+    /// visits, so a small cap keeps embedding-phase traces of hot
+    /// programs from ballooning.
+    pub snapshot_limit: u32,
+}
+
+impl TraceConfig {
+    /// Records nothing (plain execution).
+    pub fn off() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Records everything the embedder needs, with snapshots capped at
+    /// four visits per block.
+    pub fn full() -> Self {
+        TraceConfig {
+            blocks: true,
+            branches: true,
+            snapshots: true,
+            snapshot_limit: 4,
+        }
+    }
+
+    /// Records only dynamic branches — the recognition-phase
+    /// configuration (cheap, and all the decoder needs).
+    pub fn branches_only() -> Self {
+        TraceConfig {
+            blocks: false,
+            branches: true,
+            snapshots: false,
+            snapshot_limit: 0,
+        }
+    }
+
+    /// Whether any recording is enabled.
+    pub fn any(&self) -> bool {
+        self.blocks || self.branches || self.snapshots
+    }
+}
+
+/// The recorded execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over `(branch site, following leader)` pairs in order —
+    /// the sequence the bit-string is decoded from.
+    pub fn branch_sequence(&self) -> impl Iterator<Item = (Site, usize)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Branch { site, next } => Some((*site, *next)),
+            _ => None,
+        })
+    }
+
+    /// How often each basic block was entered. The embedder weights
+    /// insertion points inversely by these frequencies ("code is less
+    /// likely to be inserted in program hotspots", Section 3.2).
+    pub fn block_frequencies(&self) -> HashMap<Site, u64> {
+        let mut freq = HashMap::new();
+        for e in &self.events {
+            if let TraceEvent::EnterBlock { site } = e {
+                *freq.entry(*site).or_insert(0) += 1;
+            }
+        }
+        freq
+    }
+
+    /// All snapshots taken at a given block leader, in execution order.
+    /// The condition code generator compares the first visit's values
+    /// with later visits' (Section 3.2.2).
+    pub fn snapshots_at(&self, site: Site) -> Vec<(&[i64], &[i64])> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Snapshot {
+                    site: s,
+                    locals,
+                    statics,
+                } if *s == site => Some((locals.as_slice(), statics.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Distinct block leaders that appear in the trace with their visit
+    /// counts, sorted by site. (Deterministic iteration order for the
+    /// embedder's weighted choice.)
+    pub fn visited_blocks(&self) -> Vec<(Site, u64)> {
+        let mut v: Vec<(Site, u64)> = self.block_frequencies().into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of dynamic conditional-branch executions.
+    pub fn dynamic_branch_count(&self) -> usize {
+        self.branch_sequence().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(f: u32, pc: usize) -> Site {
+        Site {
+            func: FuncId(f),
+            pc,
+        }
+    }
+
+    #[test]
+    fn branch_sequence_filters_and_orders() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::EnterBlock { site: site(0, 0) },
+                TraceEvent::Branch {
+                    site: site(0, 2),
+                    next: 3,
+                },
+                TraceEvent::EnterBlock { site: site(0, 3) },
+                TraceEvent::Branch {
+                    site: site(0, 2),
+                    next: 7,
+                },
+            ],
+        };
+        let seq: Vec<_> = t.branch_sequence().collect();
+        assert_eq!(seq, vec![(site(0, 2), 3), (site(0, 2), 7)]);
+        assert_eq!(t.dynamic_branch_count(), 2);
+    }
+
+    #[test]
+    fn frequencies_count_reentries() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::EnterBlock { site: site(0, 0) },
+                TraceEvent::EnterBlock { site: site(0, 4) },
+                TraceEvent::EnterBlock { site: site(0, 0) },
+            ],
+        };
+        let freq = t.block_frequencies();
+        assert_eq!(freq[&site(0, 0)], 2);
+        assert_eq!(freq[&site(0, 4)], 1);
+        assert_eq!(
+            t.visited_blocks(),
+            vec![(site(0, 0), 2), (site(0, 4), 1)]
+        );
+    }
+
+    #[test]
+    fn snapshots_at_filters_by_site() {
+        let t = Trace {
+            events: vec![
+                TraceEvent::Snapshot {
+                    site: site(0, 0),
+                    locals: vec![1, 2],
+                    statics: vec![9],
+                },
+                TraceEvent::Snapshot {
+                    site: site(0, 5),
+                    locals: vec![3],
+                    statics: vec![9],
+                },
+                TraceEvent::Snapshot {
+                    site: site(0, 0),
+                    locals: vec![4, 5],
+                    statics: vec![8],
+                },
+            ],
+        };
+        let snaps = t.snapshots_at(site(0, 0));
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, &[1, 2]);
+        assert_eq!(snaps[1].0, &[4, 5]);
+        assert_eq!(snaps[1].1, &[8]);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(!TraceConfig::off().any());
+        assert!(TraceConfig::full().snapshots);
+        let r = TraceConfig::branches_only();
+        assert!(r.branches && !r.blocks && !r.snapshots && r.any());
+    }
+}

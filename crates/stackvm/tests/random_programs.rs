@@ -1,0 +1,141 @@
+//! Property tests over randomly generated (but well-formed by
+//! construction) programs: verification, execution, codec round-trips,
+//! and editing invariants.
+
+use proptest::prelude::*;
+
+use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+use stackvm::insn::{BinOp, Cond, Insn};
+use stackvm::interp::Vm;
+use stackvm::Program;
+
+/// A small deterministic generator state (verification-friendly: all
+/// branches are forward, so every generated program terminates).
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Generates a random straight-line-with-forward-branches program:
+/// several leaf functions plus a main that calls them.
+fn generate(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let mut pb = ProgramBuilder::new();
+    let statics = (0..1 + g.below(3))
+        .map(|i| pb.add_static(format!("s{i}")))
+        .collect::<Vec<_>>();
+
+    let nfuncs = 1 + g.below(4) as usize;
+    let mut funcs: Vec<(stackvm::FuncId, u16)> = Vec::new();
+    for fi in 0..nfuncs {
+        let params = g.below(3) as u16;
+        let mut f = FunctionBuilder::new(format!("f{fi}"), params, 3);
+        let locals = params + 3;
+        // Random forward-branching body.
+        let segments = 2 + g.below(6);
+        for _ in 0..segments {
+            // A little arithmetic on random locals.
+            let a = (g.below(locals as u64)) as u16;
+            let b = (g.below(locals as u64)) as u16;
+            let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
+            let op = ops[g.below(ops.len() as u64) as usize];
+            f.load(a).load(b).bin(op).store(a);
+            // Sometimes touch a static.
+            if g.below(3) == 0 {
+                let s = statics[g.below(statics.len() as u64) as usize];
+                f.get_static(s).push(g.next() as i32 as i64).add().put_static(s);
+            }
+            // A forward conditional skip.
+            if g.below(2) == 0 {
+                let skip = f.new_label();
+                let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge];
+                let c = conds[g.below(4) as usize];
+                f.load(a).push(g.below(16) as i64).if_cmp(c, skip);
+                f.iinc(b, 1);
+                f.bind(skip);
+            }
+        }
+        f.load((g.below(locals as u64)) as u16).ret();
+        let id = pb.add_function(f.finish().expect("generated function builds"));
+        funcs.push((id, params));
+    }
+    // main calls each function with constants and prints the results.
+    let mut main = FunctionBuilder::new("main", 0, 1);
+    for &(id, params) in &funcs {
+        for p in 0..params {
+            main.push((p as i64 + 1) * (g.below(9) as i64 + 1));
+        }
+        main.call(id).print();
+    }
+    main.ret_void();
+    let main_id = pb.add_function(main.finish().expect("generated main builds"));
+    pb.finish(main_id).expect("generated program verifies")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_verify_and_terminate(seed in any::<u64>()) {
+        let p = generate(seed);
+        stackvm::verify::verify(&p).expect("verifies");
+        let out = Vm::new(&p).with_budget(5_000_000).run().expect("terminates");
+        // Deterministic re-run.
+        let out2 = Vm::new(&p).with_budget(5_000_000).run().expect("terminates");
+        prop_assert_eq!(out.output, out2.output);
+        prop_assert_eq!(out.instructions, out2.instructions);
+    }
+
+    #[test]
+    fn codec_round_trips_generated_programs(seed in any::<u64>()) {
+        let p = generate(seed);
+        let bytes = stackvm::codec::encode_program(&p);
+        let q = stackvm::codec::decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(&p, &q);
+        // And the decoded program behaves identically.
+        let a = Vm::new(&p).with_budget(5_000_000).run().expect("runs");
+        let b = Vm::new(&q).with_budget(5_000_000).run().expect("runs");
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn nop_splices_never_change_behavior(seed in any::<u64>(), positions in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let p = generate(seed);
+        let baseline = Vm::new(&p).with_budget(5_000_000).run().expect("runs").output;
+        let mut edited = p.clone();
+        for (k, &pos) in positions.iter().enumerate() {
+            let fidx = (pos as usize) % edited.functions.len();
+            let func = &mut edited.functions[fidx];
+            let at = (pos as usize / 7 + k) % (func.code.len() + 1);
+            stackvm::edit::insert_snippet(func, at, vec![Insn::Nop]);
+        }
+        stackvm::verify::verify(&edited).expect("edited program verifies");
+        let out = Vm::new(&edited).with_budget(5_000_000).run().expect("runs");
+        prop_assert_eq!(out.output, baseline);
+    }
+
+    #[test]
+    fn disassembly_never_panics(seed in any::<u64>()) {
+        let p = generate(seed);
+        let text = stackvm::pretty::disassemble(&p);
+        prop_assert!(text.contains("fn main"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Branch-function watermarking of a native executable, with
+//! tamper-proofing (the paper's Section 4).
+//!
+//! Embeds a 64-bit watermark into the `parser`-like SPEC stand-in,
+//! extracts it with the single-stepping tracer, and then demonstrates
+//! the Section 5.2.2 attack matrix live:
+//!
+//! * inserting a single no-op breaks the program (lock-down),
+//! * bypassing the branch function breaks the program (its side
+//!   effects were load-bearing),
+//! * rerouting the calls defeats the *simple* tracer but not the
+//!   *smart* one.
+//!
+//! Run with: `cargo run --release --example native_tamperproof`
+
+use pathmark::attacks::native as attacks;
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::core::native::{
+    embed_native, extract, ExtractionSpec, NativeConfig, TracerKind,
+};
+use pathmark::crypto::Prng;
+use pathmark::sim::cpu::Machine;
+
+const BUDGET: u64 = 100_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = pathmark::workloads::native::by_name("parser").expect("parser exists");
+    let key = WatermarkKey::new(0x7A3B_11, vec![60]);
+    let config = NativeConfig {
+        training_inputs: vec![workload.reference_input.clone()],
+        ..NativeConfig::default()
+    };
+    let mut rng = Prng::from_seed(0xF1);
+    let watermark = Watermark::random(64, &mut rng);
+    let bits = watermark.to_bits();
+
+    println!("== Embedding a 64-bit watermark into `{}` ==", workload.name);
+    let mark = embed_native(&workload.image, &bits, &key, &config)?;
+    println!(
+        "  size {} -> {} bytes (+{:.1}%), {} call sites, {} lock-down cells",
+        mark.size_before,
+        mark.size_after,
+        100.0 * (mark.size_after as f64 / mark.size_before as f64 - 1.0),
+        mark.call_sites.len(),
+        mark.tamper_cells,
+    );
+    let spec = ExtractionSpec {
+        begin: mark.begin,
+        end: mark.end,
+    };
+
+    // The marked binary still works.
+    let baseline = Machine::load(&workload.image)
+        .with_input(workload.reference_input.clone())
+        .run(BUDGET)?;
+    let marked_run = Machine::load(&mark.image)
+        .with_input(workload.reference_input.clone())
+        .run(BUDGET)?;
+    assert_eq!(baseline.output, marked_run.output);
+    println!(
+        "  reference run OK, slowdown {:+.2}%",
+        100.0 * (marked_run.instructions as f64 / baseline.instructions as f64 - 1.0)
+    );
+
+    // Extraction.
+    let extracted = extract(
+        &mark.image,
+        &key.native_input(),
+        spec,
+        TracerKind::Smart,
+        BUDGET,
+    )?;
+    let recovered = Watermark::from_bits(&extracted);
+    println!("  extracted  W = {:x}", recovered.value());
+    assert_eq!(recovered.value(), watermark.value());
+
+    // ---- Attacks ---------------------------------------------------
+    println!("\n== Attack: insert one no-op ==");
+    let nopped = attacks::insert_nops(&mark.image, 1, 3)?;
+    report_broken(&nopped, &workload.reference_input, &baseline.output);
+
+    println!("\n== Attack: bypass the branch function with same-size jumps ==");
+    let hops = attacks::discover_hops(&mark.image, &key.native_input(), BUDGET)?;
+    println!("  attacker observed {} hops by tracing", hops.len());
+    let bypassed = attacks::bypass_branch_function(&mark.image, &hops)?;
+    report_broken(&bypassed, &workload.reference_input, &baseline.output);
+
+    println!("\n== Attack: reroute calls through thunks ==");
+    let call_sites: Vec<u32> = hops.iter().map(|h| h.call_site).collect();
+    let rerouted = attacks::reroute_calls(&mark.image, &call_sites)?;
+    let rerouted_run = Machine::load(&rerouted)
+        .with_input(workload.reference_input.clone())
+        .run(BUDGET)?;
+    assert_eq!(rerouted_run.output, baseline.output);
+    println!("  rerouted binary still works (hash inputs unchanged)");
+    let simple = extract(
+        &rerouted,
+        &key.native_input(),
+        spec,
+        TracerKind::Simple,
+        BUDGET,
+    );
+    let simple_ok = matches!(&simple, Ok(bits) if *bits == watermark.to_bits());
+    println!(
+        "  simple tracer: {}",
+        if simple_ok { "recovered (?!)" } else { "DEFEATED" }
+    );
+    let smart = extract(
+        &rerouted,
+        &key.native_input(),
+        spec,
+        TracerKind::Smart,
+        BUDGET,
+    )?;
+    assert_eq!(Watermark::from_bits(&smart).value(), watermark.value());
+    println!("  smart tracer:  recovered W = {:x}", Watermark::from_bits(&smart).value());
+    Ok(())
+}
+
+fn report_broken(image: &pathmark::sim::Image, input: &[u32], expected: &[u32]) {
+    match Machine::load(image).with_input(input.to_vec()).run(BUDGET) {
+        Err(e) => println!("  program BROKE: {e}"),
+        Ok(out) if out.output != expected => {
+            println!("  program produced WRONG OUTPUT ({:?})", out.output)
+        }
+        Ok(_) => println!("  program survived (unexpected!)"),
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the features that go beyond the paper's
+//! evaluation: automatic-framing extraction, decoy obfuscation,
+//! diversification, the baseline schemes, and the method-level attacks.
+
+use pathmark::attacks::java as jattacks;
+use pathmark::core::baseline::davidson_myhrvold as dm;
+use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::core::native::{embed_native, extract_auto, NativeConfig};
+use pathmark::crypto::Prng;
+use pathmark::math::bigint::BigUint;
+use pathmark::sim::cpu::Machine;
+use pathmark::vm::interp::Vm;
+use pathmark::workloads::{java as jworkloads, native as nworkloads};
+
+const BUDGET: u64 = 400_000_000;
+
+#[test]
+fn auto_framing_extracts_from_real_workloads() {
+    // No begin/end bracket supplied: the tracer must find the chain.
+    for name in ["gzip", "vortex"] {
+        let w = nworkloads::by_name(name).expect("workload exists");
+        let key = WatermarkKey::new(
+            0xAF_2004,
+            w.training_input.iter().map(|&v| v as i64).collect(),
+        );
+        let config = NativeConfig {
+            training_inputs: vec![w.reference_input.clone()],
+            ..NativeConfig::default()
+        };
+        let mut rng = Prng::from_seed(0xAF);
+        let watermark = Watermark::random(96, &mut rng);
+        let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (bits, spec) = extract_auto(&mark.image, &key.native_input(), BUDGET)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(Watermark::from_bits(&bits).value(), watermark.value(), "{name}");
+        assert_eq!(spec.begin, mark.begin, "{name}: begin discovered");
+        assert_eq!(spec.end, mark.end, "{name}: end discovered");
+    }
+}
+
+#[test]
+fn decoys_coexist_with_tamperproofing_on_workloads() {
+    let w = nworkloads::by_name("gap").expect("gap exists");
+    let key = WatermarkKey::new(
+        0xDE_C0,
+        w.training_input.iter().map(|&v| v as i64).collect(),
+    );
+    let config = NativeConfig {
+        decoy_jumps: 3,
+        training_inputs: vec![w.reference_input.clone()],
+        ..NativeConfig::default()
+    };
+    let mut rng = Prng::from_seed(0xDC);
+    let watermark = Watermark::random(48, &mut rng);
+    let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config).unwrap();
+    assert!(mark.decoys > 0, "decoys installed");
+    assert!(mark.tamper_cells > 0, "lock-down still active");
+    // Reference behavior intact.
+    let baseline = Machine::load(&w.image)
+        .with_input(w.reference_input.clone())
+        .run(BUDGET)
+        .unwrap();
+    let marked = Machine::load(&mark.image)
+        .with_input(w.reference_input.clone())
+        .run(BUDGET)
+        .unwrap();
+    assert_eq!(baseline.output, marked.output);
+    // Auto-framing still finds the real chain among decoy hops.
+    let (bits, _) = extract_auto(&mark.image, &key.native_input(), BUDGET).unwrap();
+    assert_eq!(Watermark::from_bits(&bits).value(), watermark.value());
+}
+
+#[test]
+fn diversified_population_still_fingerprints() {
+    // The full collusion-defense pipeline: diversify per licensee, then
+    // embed a distinct fingerprint; both marks recover, and the copies
+    // differ almost everywhere.
+    let product = jworkloads::caffeinemark();
+    let key = WatermarkKey::new(0xD1F, vec![9]);
+    let config = JavaConfig::for_watermark_bits(128).with_pieces(30);
+    let mut rng = Prng::from_seed(0xD1F0);
+
+    let mut copies = Vec::new();
+    for seed in [11u64, 22] {
+        let mut diversified = product.clone();
+        jattacks::diversify(&mut diversified, seed);
+        let fingerprint = Watermark::random(128, &mut rng);
+        let marked = embed(&diversified, &fingerprint, &key, &config).unwrap();
+        copies.push((fingerprint, marked.program));
+    }
+    let expected = Vm::new(&product).with_input(vec![9]).run().unwrap().output;
+    for (fingerprint, program) in &copies {
+        assert_eq!(
+            Vm::new(program).with_input(vec![9]).run().unwrap().output,
+            expected
+        );
+        let rec = recognize(program, &key, &config).unwrap();
+        assert_eq!(rec.watermark.as_ref(), Some(fingerprint.value()));
+    }
+    assert!(
+        jattacks::diversity(&copies[0].1, &copies[1].1) > 0.9,
+        "a colluding diff sees differences everywhere"
+    );
+}
+
+#[test]
+fn method_level_attacks_do_not_kill_the_path_mark() {
+    let product = jworkloads::jess_like();
+    let key = WatermarkKey::new(0x3E26E, vec![300]);
+    let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
+    let watermark = Watermark::random_for(&config, &key);
+    let marked = embed(&product, &watermark, &key, &config).unwrap();
+    let expected = Vm::new(&product).with_input(vec![300]).run().unwrap().output;
+
+    let mut attacked = marked.program.clone();
+    assert!(jattacks::merge_methods(&mut attacked, 5).is_some());
+    jattacks::split_method(&mut attacked, 6);
+    pathmark::vm::verify::verify(&attacked).unwrap();
+    assert_eq!(
+        Vm::new(&attacked).with_input(vec![300]).run().unwrap().output,
+        expected
+    );
+    let rec = recognize(&attacked, &key, &config).unwrap();
+    assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+}
+
+#[test]
+fn block_order_baseline_round_trips_on_a_workload_function() {
+    let program = jworkloads::caffeinemark();
+    let (func, blocks) = dm::best_function(&program).expect("a usable function");
+    let capacity = dm::capacity(blocks);
+    assert!(capacity > BigUint::from(100u64));
+    let w = BigUint::from(73u64);
+    let mut marked = program.clone();
+    dm::embed(&mut marked, func, &w).unwrap();
+    // Behavior intact on several inputs.
+    for input in [vec![], vec![6], vec![13]] {
+        assert_eq!(
+            Vm::new(&program).with_input(input.clone()).run().unwrap().output,
+            Vm::new(&marked).with_input(input).run().unwrap().output
+        );
+    }
+    assert_eq!(dm::recognize(&program, &marked, func), Some(w));
+}

@@ -1,0 +1,300 @@
+//! End-to-end integration tests for the native branch-function pipeline:
+//! the Section 5.2.2 attack matrix, across the SPECint-like workloads.
+
+use pathmark::attacks::native as attacks;
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::core::native::{
+    embed_native, extract, ExtractionSpec, NativeConfig, NativeMark, TracerKind,
+};
+use pathmark::crypto::Prng;
+use pathmark::sim::cpu::Machine;
+use pathmark::sim::Image;
+use pathmark::workloads::native as workloads;
+
+const BUDGET: u64 = 200_000_000;
+
+struct Setup {
+    workload: workloads::NativeWorkload,
+    key: WatermarkKey,
+    watermark: Watermark,
+    mark: NativeMark,
+    spec: ExtractionSpec,
+    baseline: Vec<u32>,
+}
+
+fn setup(name: &str, bits: usize, seed: u64) -> Setup {
+    let workload = workloads::by_name(name).expect("workload exists");
+    let key = WatermarkKey::new(
+        seed,
+        workload.training_input.iter().map(|&v| v as i64).collect(),
+    );
+    let config = NativeConfig {
+        training_inputs: vec![workload.reference_input.clone()],
+        ..NativeConfig::default()
+    };
+    let mut rng = Prng::from_seed(seed ^ 0x77);
+    let watermark = Watermark::random(bits, &mut rng);
+    let mark = embed_native(&workload.image, &watermark.to_bits(), &key, &config)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let spec = ExtractionSpec {
+        begin: mark.begin,
+        end: mark.end,
+    };
+    let baseline = Machine::load(&workload.image)
+        .with_input(workload.reference_input.clone())
+        .run(BUDGET)
+        .expect("baseline runs")
+        .output;
+    Setup {
+        workload,
+        key,
+        watermark,
+        mark,
+        spec,
+        baseline,
+    }
+}
+
+fn runs_correctly(image: &Image, input: &[u32], expected: &[u32]) -> bool {
+    Machine::load(image)
+        .with_input(input.to_vec())
+        .run(BUDGET)
+        .map(|o| o.output == expected)
+        .unwrap_or(false)
+}
+
+#[test]
+fn every_workload_round_trips_a_128_bit_mark() {
+    for w in workloads::all() {
+        let s = setup(w.name, 128, 0xAB0 + w.name.len() as u64);
+        assert!(
+            runs_correctly(&s.mark.image, &s.workload.reference_input, &s.baseline),
+            "{}: marked binary must work",
+            w.name
+        );
+        let bits = extract(
+            &s.mark.image,
+            &s.key.native_input(),
+            s.spec,
+            TracerKind::Smart,
+            BUDGET,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(
+            Watermark::from_bits(&bits).value(),
+            s.watermark.value(),
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn paper_watermark_sizes_round_trip() {
+    for bits in [128usize, 256, 512] {
+        let s = setup("gcc", bits, 0xBEE + bits as u64);
+        let extracted = extract(
+            &s.mark.image,
+            &s.key.native_input(),
+            s.spec,
+            TracerKind::Simple,
+            BUDGET,
+        )
+        .unwrap();
+        assert_eq!(Watermark::from_bits(&extracted).value(), s.watermark.value());
+        assert_eq!(s.mark.call_sites.len(), bits + 1);
+    }
+}
+
+#[test]
+fn attack_noop_insertion_breaks_marked_binaries() {
+    // Section 5.2.2 attack 1: "Every one of our test programs breaks
+    // when even a single no-op is added to a watermarked binary."
+    let s = setup("twolf", 64, 1);
+    let attacked = attacks::insert_nops(&s.mark.image, 1, 5).expect("rewrite succeeds");
+    assert!(
+        !runs_correctly(&attacked, &s.workload.reference_input, &s.baseline),
+        "one no-op must break the lock-down"
+    );
+    // Control: the same attack on the unmarked binary is harmless.
+    let control = attacks::insert_nops(&s.workload.image, 50, 5).unwrap();
+    assert!(runs_correctly(
+        &control,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+}
+
+#[test]
+fn attack_branch_inversion_breaks_marked_binaries() {
+    // Section 5.2.2 attack 2.
+    let s = setup("gap", 64, 2);
+    let attacked = attacks::invert_branch_senses(&s.mark.image, 5).expect("rewrite succeeds");
+    assert!(!runs_correctly(
+        &attacked,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+    let control = attacks::invert_branch_senses(&s.workload.image, 5).unwrap();
+    assert!(runs_correctly(
+        &control,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+}
+
+#[test]
+fn attack_double_watermarking_breaks_marked_binaries() {
+    // Section 5.2.2 attack 3: re-watermarking moves text addresses.
+    let s = setup("vpr", 32, 3);
+    let attacker_key = WatermarkKey::new(
+        0xE711_1D,
+        s.workload
+            .training_input
+            .iter()
+            .map(|&v| v as i64)
+            .collect(),
+    );
+    let mut rng = Prng::from_seed(33);
+    let bits2: Vec<bool> = (0..32).map(|_| rng.chance(0.5)).collect();
+    let config = NativeConfig::default();
+    let attacked = attacks::double_watermark(&s.mark.image, &bits2, &attacker_key, &config)
+        .expect("second embedding succeeds mechanically");
+    assert!(!runs_correctly(
+        &attacked,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+}
+
+#[test]
+fn attack_bypass_breaks_marked_binaries() {
+    // Section 5.2.2 attack 4: replacing calls with same-size jumps
+    // realizes the control flow but skips the lock-down updates.
+    let s = setup("bzip2", 64, 4);
+    let hops = attacks::discover_hops(&s.mark.image, &s.key.native_input(), BUDGET).unwrap();
+    assert_eq!(hops.len(), 65);
+    let attacked = attacks::bypass_branch_function(&s.mark.image, &hops).unwrap();
+    assert!(!runs_correctly(
+        &attacked,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+}
+
+#[test]
+fn attack_rerouting_defeats_simple_but_not_smart_tracer() {
+    // Section 5.2.2 attack 5.
+    let s = setup("vortex", 64, 6);
+    let hops = attacks::discover_hops(&s.mark.image, &s.key.native_input(), BUDGET).unwrap();
+    let sites: Vec<u32> = hops.iter().map(|h| h.call_site).collect();
+    let attacked = attacks::reroute_calls(&s.mark.image, &sites).unwrap();
+    // The rerouted program still works: hash inputs are intact.
+    assert!(runs_correctly(
+        &attacked,
+        &s.workload.reference_input,
+        &s.baseline
+    ));
+    // Simple tracer: wrong bits or outright failure.
+    let simple = extract(
+        &attacked,
+        &s.key.native_input(),
+        s.spec,
+        TracerKind::Simple,
+        BUDGET,
+    );
+    let simple_recovers =
+        matches!(&simple, Ok(bits) if Watermark::from_bits(bits).value() == s.watermark.value());
+    assert!(!simple_recovers, "rerouting must defeat the simple tracer");
+    // Smart tracer recovers.
+    let smart = extract(
+        &attacked,
+        &s.key.native_input(),
+        s.spec,
+        TracerKind::Smart,
+        BUDGET,
+    )
+    .expect("smart tracer still extracts");
+    assert_eq!(Watermark::from_bits(&smart).value(), s.watermark.value());
+}
+
+#[test]
+fn tamperproofing_disabled_makes_noops_survivable_for_the_program() {
+    // Without Section 4.3's lock-down, no-op insertion yields a working
+    // program whose addresses all moved — the watermark dies but the
+    // binary lives, showing exactly what tamper-proofing adds.
+    let w = workloads::by_name("mcf").unwrap();
+    let key = WatermarkKey::new(7, w.training_input.iter().map(|&v| v as i64).collect());
+    let config = NativeConfig {
+        tamperproof: false,
+        training_inputs: vec![w.reference_input.clone()],
+        ..NativeConfig::default()
+    };
+    let mut rng = Prng::from_seed(70);
+    let watermark = Watermark::random(32, &mut rng);
+    let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config).unwrap();
+    let baseline = Machine::load(&w.image)
+        .with_input(w.reference_input.clone())
+        .run(BUDGET)
+        .unwrap()
+        .output;
+
+    // Insert a no-op at the very start of the text, shifting EVERY
+    // address: the XOR table's absolute addresses go stale even without
+    // tamper-proofing, so the program breaks or misroutes (a random
+    // insertion point, by contrast, can land harmlessly past the chain
+    // — tamper-proofing is what removes that luck, see
+    // `attack_noop_insertion_breaks_marked_binaries`).
+    let mut unit = pathmark::sim::rewrite::Unit::from_image(&mark.image).unwrap();
+    unit.insert(
+        0,
+        pathmark::sim::rewrite::Item::plain(pathmark::sim::insn::Insn::Nop),
+    );
+    let attacked = unit.encode().unwrap();
+    let still_fine = runs_correctly(&attacked, &w.reference_input, &baseline);
+    let bits = extract(
+        &attacked,
+        &key.native_input(),
+        ExtractionSpec {
+            begin: mark.begin + 1, // everything shifted by the 1-byte nop
+            end: mark.end + 1,
+        },
+        TracerKind::Smart,
+        BUDGET,
+    );
+    let recovered =
+        matches!(&bits, Ok(b) if Watermark::from_bits(b).value() == watermark.value());
+    assert!(
+        !(still_fine && recovered),
+        "a global 1-byte shift cannot leave both program and mark intact"
+    );
+}
+
+#[test]
+fn size_and_time_costs_are_modest() {
+    // Figure 9's qualitative claims: size grows by a few percent to
+    // ~20%, slowdown stays within a few percent.
+    let s = setup("gcc", 512, 8);
+    let growth = s.mark.size_after as f64 / s.mark.size_before as f64 - 1.0;
+    assert!(
+        (0.0..0.35).contains(&growth),
+        "size growth {:.1}% out of range",
+        growth * 100.0
+    );
+    let base = Machine::load(&s.workload.image)
+        .with_input(s.workload.reference_input.clone())
+        .run(BUDGET)
+        .unwrap()
+        .instructions;
+    let marked = Machine::load(&s.mark.image)
+        .with_input(s.workload.reference_input.clone())
+        .run(BUDGET)
+        .unwrap()
+        .instructions;
+    let slowdown = marked as f64 / base as f64 - 1.0;
+    assert!(
+        (-0.02..0.10).contains(&slowdown),
+        "slowdown {:.2}% out of range",
+        slowdown * 100.0
+    );
+}

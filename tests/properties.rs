@@ -1,0 +1,203 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! watermarking protocol rests on.
+
+use proptest::prelude::*;
+
+use pathmark::core::bitstring::BitString;
+use pathmark::core::java::{embed, recognize_bits, JavaConfig};
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::crypto::{DisplacementHash, Prng, Xtea};
+use pathmark::math::bigint::{ext_gcd, BigInt, BigUint};
+use pathmark::math::crt::combine_statements;
+use pathmark::math::enumeration::PairEnumeration;
+use pathmark::math::primes::generate_primes;
+use pathmark::vm::builder::{FunctionBuilder, ProgramBuilder};
+use pathmark::vm::insn::Cond;
+use pathmark::vm::interp::Vm;
+use pathmark::vm::trace::TraceConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- bignum vs u128 oracle -------------------------------------
+
+    #[test]
+    fn bigint_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = &BigUint::from(a) + &BigUint::from(b);
+        prop_assert_eq!(sum, BigUint::from(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn bigint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = &BigUint::from(a) * &BigUint::from(b);
+        prop_assert_eq!(prod, BigUint::from(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn bigint_divrem_matches_u128(a in any::<u128>(), b in 1u64..) {
+        let (q, r) = BigUint::from(a).divrem(&BigUint::from(b)).unwrap();
+        prop_assert_eq!(q, BigUint::from(a / b as u128));
+        prop_assert_eq!(r, BigUint::from(a % b as u128));
+    }
+
+    #[test]
+    fn bigint_parse_display_round_trip(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let n = BigUint::from_limbs(limbs);
+        let s = n.to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), n);
+    }
+
+    #[test]
+    fn ext_gcd_bezout(a in 1u64.., b in 1u64..) {
+        let (g, x, y) = ext_gcd(&BigUint::from(a), &BigUint::from(b));
+        let lhs = &(&BigInt::from(BigUint::from(a)) * &x)
+            + &(&BigInt::from(BigUint::from(b)) * &y);
+        prop_assert_eq!(lhs, BigInt::from(g));
+    }
+
+    // ---- cipher / hash ----------------------------------------------
+
+    #[test]
+    fn xtea_round_trips(key in any::<u128>(), block in any::<u64>()) {
+        let cipher = Xtea::from_u128(key);
+        prop_assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
+    }
+
+    #[test]
+    fn phf_is_injective_on_its_keys(
+        seed in any::<u64>(),
+        keys in proptest::collection::hash_set(any::<u32>(), 1..200),
+    ) {
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let h = DisplacementHash::build(&keys, seed).unwrap();
+        let mut slots: Vec<usize> = keys.iter().map(|&k| h.eval(k)).collect();
+        slots.sort_unstable();
+        let n = slots.len();
+        slots.dedup();
+        prop_assert_eq!(slots.len(), n);
+    }
+
+    // ---- CRT / enumeration ------------------------------------------
+
+    #[test]
+    fn watermark_splits_recombine(seed in any::<u64>(), wm_bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let primes = generate_primes(seed, 24, 12);
+        let e = PairEnumeration::new(&primes).unwrap();
+        let w = BigUint::from_bytes_le(&wm_bytes);
+        prop_assume!(w < e.watermark_bound());
+        let pieces = e.split(&w);
+        let (value, _) = combine_statements(&pieces, &primes).unwrap();
+        prop_assert_eq!(value, w);
+    }
+
+    #[test]
+    fn enumeration_decode_encode_identity(seed in any::<u64>(), raw in any::<u64>()) {
+        let primes = generate_primes(seed, 22, 8);
+        let e = PairEnumeration::new(&primes).unwrap();
+        if let Ok(statement) = e.decode(raw % e.range()) {
+            prop_assert_eq!(e.encode(&statement).unwrap(), raw % e.range());
+        }
+    }
+
+    // ---- recognition robustness -------------------------------------
+
+    #[test]
+    fn recognition_never_hallucinates_from_noise(seed in any::<u64>(), len in 100usize..4000) {
+        // Pure random bit-strings must not produce a full recovery.
+        let key = WatermarkKey::new(seed, vec![]);
+        let config = JavaConfig::for_watermark_bits(128);
+        let mut rng = Prng::from_seed(seed ^ 1);
+        let bits: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
+        let rec = recognize_bits(&BitString::from_bits(bits), &key, &config).unwrap();
+        prop_assert!(rec.watermark.is_none(), "recovered from pure noise");
+    }
+}
+
+// ---- heavier, lower-case-count properties ---------------------------
+
+fn loopy_program(iters: i64) -> pathmark::vm::Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = FunctionBuilder::new("main", 0, 2);
+    let head = f.new_label();
+    let out = f.new_label();
+    f.push(0).store(0);
+    f.bind(head);
+    f.load(0).push(iters).if_cmp(Cond::Ge, out);
+    f.load(0).load(1).add().store(1);
+    f.iinc(0, 1).goto(head);
+    f.bind(out);
+    f.load(1).print().ret_void();
+    let main = pb.add_function(f.finish().unwrap());
+    pb.finish(main).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn embed_recognize_round_trip_random_keys(seed in any::<u64>(), pieces in 6usize..40) {
+        let program = loopy_program(9);
+        let key = WatermarkKey::new(seed, vec![1, 2, 3]);
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(pieces);
+        let watermark = Watermark::random_for(&config, &key);
+        let marked = embed(&program, &watermark, &key, &config).unwrap();
+        // Semantics.
+        let orig = Vm::new(&program).with_input(vec![1, 2, 3]).run().unwrap();
+        let new = Vm::new(&marked.program).with_input(vec![1, 2, 3]).run().unwrap();
+        prop_assert_eq!(orig.output, new.output);
+        // Recognition.
+        let rec = pathmark::core::java::recognize(&marked.program, &key, &config).unwrap();
+        prop_assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+    }
+
+    #[test]
+    fn attacked_programs_always_verify_and_run(seed in any::<u64>()) {
+        use pathmark::attacks::java as attacks;
+        let mut program = loopy_program(7);
+        let baseline = Vm::new(&program).run().unwrap().output;
+        attacks::insert_random_branches(&mut program, 15, seed);
+        attacks::invert_branch_senses(&mut program, 0.6, seed ^ 1);
+        attacks::reorder_blocks(&mut program, seed ^ 2);
+        attacks::split_blocks(&mut program, 8, seed ^ 3);
+        attacks::insert_nops(&mut program, 20, seed ^ 4);
+        pathmark::vm::verify::verify(&program).unwrap();
+        prop_assert_eq!(Vm::new(&program).run().unwrap().output, baseline);
+    }
+
+    #[test]
+    fn bitstring_is_invariant_under_nop_and_inversion_attacks(seed in any::<u64>()) {
+        use pathmark::attacks::java as attacks;
+        let program = loopy_program(9);
+        let trace_of = |p: &pathmark::vm::Program| {
+            Vm::new(p)
+                .with_trace(TraceConfig::branches_only())
+                .run()
+                .unwrap()
+                .trace
+        };
+        let before = BitString::from_trace(&trace_of(&program));
+        let mut attacked = program.clone();
+        attacks::insert_nops(&mut attacked, 30, seed);
+        attacks::invert_branch_senses(&mut attacked, 1.0, seed ^ 9);
+        attacks::reorder_blocks(&mut attacked, seed ^ 5);
+        let after = BitString::from_trace(&trace_of(&attacked));
+        // The defining invariance of the Section 3.1 decoding rule.
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn native_rewriter_preserves_plain_program_behavior(seed in any::<u64>(), nops in 1usize..40) {
+        use pathmark::attacks::native as attacks;
+        let w = pathmark::workloads::native::by_name("vpr").unwrap();
+        let attacked = attacks::insert_nops(&w.image, nops, seed).unwrap();
+        let base = pathmark::sim::cpu::Machine::load(&w.image)
+            .with_input(w.training_input.clone())
+            .run(50_000_000)
+            .unwrap();
+        let got = pathmark::sim::cpu::Machine::load(&attacked)
+            .with_input(w.training_input.clone())
+            .run(50_000_000)
+            .unwrap();
+        prop_assert_eq!(base.output, got.output);
+    }
+}
