@@ -1,0 +1,162 @@
+//! Compact binary serialization of executable images.
+//!
+//! A self-contained byte codec in the same style as `stackvm::codec`
+//! (no external format crates): magic, little-endian fixed-width
+//! integers, length-prefixed sections.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::image::Image;
+
+const MAGIC: &[u8; 4] = b"PMIM";
+
+/// Error decoding a serialized image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "image decode failed at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Serializes an image to bytes.
+pub fn encode_image(image: &Image) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    write_u32(&mut out, image.text_base);
+    write_u32(&mut out, image.text.len() as u32);
+    out.extend_from_slice(&image.text);
+    write_u32(&mut out, image.data_base);
+    write_u32(&mut out, image.data.len() as u32);
+    out.extend_from_slice(&image.data);
+    write_u32(&mut out, image.entry);
+    out
+}
+
+/// Deserializes an image from bytes (structure only; call
+/// [`Image::validate`] afterwards for layout checks).
+///
+/// # Errors
+///
+/// [`DecodeError`] on truncation or a bad magic.
+pub fn decode_image(bytes: &[u8]) -> Result<Image, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(r.err("bad magic"));
+    }
+    let text_base = r.u32()?;
+    let text_len = r.u32()? as usize;
+    let text = r.take(text_len)?.to_vec();
+    let data_base = r.u32()?;
+    let data_len = r.u32()? as usize;
+    let data = r.take(data_len)?.to_vec();
+    let entry = r.u32()?;
+    Ok(Image {
+        text_base,
+        text,
+        data_base,
+        data,
+        entry,
+    })
+}
+
+fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, reason: &'static str) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("truncated input"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{DATA_BASE, TEXT_BASE};
+
+    fn sample() -> Image {
+        Image {
+            text_base: TEXT_BASE,
+            text: vec![0x90, 0x01, 0x02, 0xFF],
+            data_base: DATA_BASE,
+            data: vec![1, 2, 3],
+            entry: TEXT_BASE + 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_image() {
+        let image = sample();
+        let bytes = encode_image(&image);
+        assert_eq!(decode_image(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn empty_sections_round_trip() {
+        let image = Image {
+            text_base: TEXT_BASE,
+            text: vec![],
+            data_base: DATA_BASE,
+            data: vec![],
+            entry: TEXT_BASE,
+        };
+        assert_eq!(decode_image(&encode_image(&image)).unwrap(), image);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            decode_image(b"NOPE"),
+            Err(DecodeError {
+                offset: 4,
+                reason: "bad magic"
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_image(&sample());
+        for cut in [0usize, 3, 7, 11, bytes.len() - 1] {
+            assert!(decode_image(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

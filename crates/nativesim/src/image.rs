@@ -6,7 +6,6 @@
 //! a link-time rewriter like PLTO maintains), and the stack far above
 //! both.
 
-use serde::{Deserialize, Serialize};
 
 use crate::SimError;
 
@@ -21,7 +20,7 @@ pub const STACK_TOP: u32 = 0x0C00_0000;
 pub const STACK_SIZE: u32 = 1 << 20;
 
 /// A loaded executable: encoded text, initialized data, entry address.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Image {
     /// Base address of `text`.
     pub text_base: u32,

@@ -1,13 +1,12 @@
 //! The instruction set and its encoded lengths.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::reg::{AluOp, Cc, Mem, Operand, Reg};
 
 /// One machine instruction. Relative displacements (`Jmp`, `Jcc`, `Call`)
 /// are measured from the address of the *next* instruction, as on IA-32.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Insn {
     /// No operation (1 byte, like IA-32 `nop`).
     Nop,

@@ -1,10 +1,9 @@
 //! Registers, condition codes, ALU operators, and operands.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The eight general-purpose 32-bit registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Reg {
     /// Accumulator.
@@ -66,7 +65,7 @@ impl fmt::Display for Reg {
 }
 
 /// Condition codes for `jcc`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Cc {
     /// Equal (ZF).
@@ -127,7 +126,7 @@ impl fmt::Display for Cc {
 }
 
 /// ALU operators for the two-operand `alu` instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum AluOp {
     /// Wrapping addition.
@@ -187,7 +186,7 @@ impl fmt::Display for AluOp {
 }
 
 /// A memory reference: `disp(base, index, scale)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mem {
     /// Optional base register.
     pub base: Option<Reg>,
@@ -241,7 +240,7 @@ impl fmt::Display for Mem {
 }
 
 /// An instruction operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A register.
     Reg(Reg),

@@ -1,135 +1,175 @@
-//! Property tests on the binary encoding and the rewriting unit:
-//! arbitrary instructions round-trip through encode/decode, and lifted
-//! units re-encode to the identical image.
-
-use proptest::prelude::*;
+//! Randomized-property tests on the binary encoding and the rewriting
+//! unit: generated instructions round-trip through encode/decode, and
+//! lifted units re-encode to the identical image. Randomness comes from
+//! a hand-rolled deterministic xorshift generator, so every run tests
+//! the identical case set (no external property-testing crates).
 
 use nativesim::encode::{decode, disassemble_all, encode};
 use nativesim::insn::Insn;
 use nativesim::reg::{AluOp, Cc, Mem, Operand, Reg};
 use nativesim::rewrite::Unit;
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..8).prop_map(|b| Reg::from_byte(b).expect("0..8 are registers"))
+/// Deterministic xorshift generator (same recurrence as the stackvm
+/// random-program tests).
+struct Gen {
+    state: u64,
 }
 
-fn cc_strategy() -> impl Strategy<Value = Cc> {
-    (0u8..8).prop_map(|b| Cc::from_byte(b).expect("0..8 are condition codes"))
-}
-
-fn alu_strategy() -> impl Strategy<Value = AluOp> {
-    (0u8..9).prop_map(|b| AluOp::from_byte(b).expect("0..9 are ALU ops"))
-}
-
-fn mem_strategy() -> impl Strategy<Value = Mem> {
-    (
-        proptest::option::of(reg_strategy()),
-        proptest::option::of((reg_strategy(), prop_oneof![Just(1u8), Just(2), Just(4), Just(8)])),
-        any::<i32>(),
-    )
-        .prop_map(|(base, index, disp)| Mem { base, index, disp })
-}
-
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy().prop_map(Operand::Reg),
-        any::<i32>().prop_map(Operand::Imm),
-        mem_strategy().prop_map(Operand::Mem),
-    ]
-}
-
-fn writable_operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        reg_strategy().prop_map(Operand::Reg),
-        mem_strategy().prop_map(Operand::Mem),
-    ]
-}
-
-fn insn_strategy() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        Just(Insn::Nop),
-        Just(Insn::Halt),
-        Just(Insn::Ret),
-        Just(Insn::Pushf),
-        Just(Insn::Popf),
-        (writable_operand_strategy(), operand_strategy()).prop_map(|(d, s)| Insn::Mov(d, s)),
-        (reg_strategy(), mem_strategy()).prop_map(|(r, m)| Insn::Lea(r, m)),
-        (alu_strategy(), writable_operand_strategy(), operand_strategy())
-            .prop_map(|(op, d, s)| Insn::Alu(op, d, s)),
-        (operand_strategy(), operand_strategy()).prop_map(|(a, b)| Insn::Cmp(a, b)),
-        (operand_strategy(), operand_strategy()).prop_map(|(a, b)| Insn::Test(a, b)),
-        any::<i32>().prop_map(Insn::Jmp),
-        (cc_strategy(), any::<i32>()).prop_map(|(cc, d)| Insn::Jcc(cc, d)),
-        any::<i32>().prop_map(Insn::Call),
-        operand_strategy().prop_map(Insn::JmpInd),
-        operand_strategy().prop_map(Insn::CallInd),
-        operand_strategy().prop_map(Insn::Push),
-        reg_strategy().prop_map(Insn::Pop),
-        operand_strategy().prop_map(Insn::Out),
-        reg_strategy().prop_map(Insn::In),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn encode_decode_identity(insn in insn_strategy()) {
-        let mut bytes = Vec::new();
-        encode(&insn, &mut bytes);
-        prop_assert_eq!(bytes.len(), insn.len(), "length model agrees");
-        let (decoded, len) = decode(&bytes, 0x8048000).expect("decodes");
-        prop_assert_eq!(decoded, insn);
-        prop_assert_eq!(len, bytes.len());
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
-    #[test]
-    fn stream_decoding_is_self_synchronizing_from_starts(
-        insns in proptest::collection::vec(insn_strategy(), 1..40)
-    ) {
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn i32(&mut self) -> i32 {
+        self.next() as i32
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::from_byte(self.below(8) as u8).expect("0..8 are registers")
+    }
+
+    fn cc(&mut self) -> Cc {
+        Cc::from_byte(self.below(8) as u8).expect("0..8 are condition codes")
+    }
+
+    fn alu(&mut self) -> AluOp {
+        AluOp::from_byte(self.below(9) as u8).expect("0..9 are ALU ops")
+    }
+
+    fn mem(&mut self) -> Mem {
+        let base = (self.below(2) == 0).then(|| self.reg());
+        let index = (self.below(2) == 0).then(|| {
+            let r = self.reg();
+            let scale = [1u8, 2, 4, 8][self.below(4) as usize];
+            (r, scale)
+        });
+        Mem {
+            base,
+            index,
+            disp: self.i32(),
+        }
+    }
+
+    fn operand(&mut self) -> Operand {
+        match self.below(3) {
+            0 => Operand::Reg(self.reg()),
+            1 => Operand::Imm(self.i32()),
+            _ => Operand::Mem(self.mem()),
+        }
+    }
+
+    fn writable_operand(&mut self) -> Operand {
+        match self.below(2) {
+            0 => Operand::Reg(self.reg()),
+            _ => Operand::Mem(self.mem()),
+        }
+    }
+
+    fn insn(&mut self) -> Insn {
+        match self.below(19) {
+            0 => Insn::Nop,
+            1 => Insn::Halt,
+            2 => Insn::Ret,
+            3 => Insn::Pushf,
+            4 => Insn::Popf,
+            5 => Insn::Mov(self.writable_operand(), self.operand()),
+            6 => Insn::Lea(self.reg(), self.mem()),
+            7 => Insn::Alu(self.alu(), self.writable_operand(), self.operand()),
+            8 => Insn::Cmp(self.operand(), self.operand()),
+            9 => Insn::Test(self.operand(), self.operand()),
+            10 => Insn::Jmp(self.i32()),
+            11 => Insn::Jcc(self.cc(), self.i32()),
+            12 => Insn::Call(self.i32()),
+            13 => Insn::JmpInd(self.operand()),
+            14 => Insn::CallInd(self.operand()),
+            15 => Insn::Push(self.operand()),
+            16 => Insn::Pop(self.reg()),
+            17 => Insn::Out(self.operand()),
+            _ => Insn::In(self.reg()),
+        }
+    }
+
+    fn position_independent_insn(&mut self) -> Insn {
+        loop {
+            let i = self.insn();
+            if !matches!(i, Insn::Jmp(_) | Insn::Jcc(..) | Insn::Call(_)) {
+                return i;
+            }
+        }
+    }
+}
+
+#[test]
+fn encode_decode_identity() {
+    let mut g = Gen::new(1);
+    for case in 0..256 {
+        let insn = g.insn();
+        let mut bytes = Vec::new();
+        encode(&insn, &mut bytes);
+        assert_eq!(bytes.len(), insn.len(), "case {case}: length model agrees");
+        let (decoded, len) = decode(&bytes, 0x8048000).expect("decodes");
+        assert_eq!(decoded, insn, "case {case}");
+        assert_eq!(len, bytes.len(), "case {case}");
+    }
+}
+
+#[test]
+fn stream_decoding_is_self_synchronizing_from_starts() {
+    let mut g = Gen::new(2);
+    for case in 0..64 {
+        let insns: Vec<Insn> = (0..1 + g.below(39)).map(|_| g.insn()).collect();
         let mut bytes = Vec::new();
         for i in &insns {
             encode(i, &mut bytes);
         }
         let listing = disassemble_all(&bytes, 0x8048000).expect("stream decodes");
-        prop_assert_eq!(listing.len(), insns.len());
+        assert_eq!(listing.len(), insns.len(), "case {case}");
         for ((_, got), want) in listing.iter().zip(&insns) {
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn truncated_streams_error_not_panic(
-        insns in proptest::collection::vec(insn_strategy(), 1..10),
-        cut in any::<prop::sample::Index>()
-    ) {
+#[test]
+fn truncated_streams_error_not_panic() {
+    let mut g = Gen::new(3);
+    for _ in 0..256 {
+        let insns: Vec<Insn> = (0..1 + g.below(9)).map(|_| g.insn()).collect();
         let mut bytes = Vec::new();
         for i in &insns {
             encode(i, &mut bytes);
         }
-        let cut = cut.index(bytes.len());
+        let cut = g.below(bytes.len() as u64) as usize;
         // Any prefix either decodes as some instruction stream or
         // reports an error; never panics.
         let _ = disassemble_all(&bytes[..cut], 0x8048000);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lift → encode is the identity on any image assembled from
-    /// *position-independent* instructions (no direct branches: their
-    /// displacements are relinked, everything else must be copied
-    /// verbatim).
-    #[test]
-    fn unit_lift_encode_identity(
-        insns in proptest::collection::vec(
-            insn_strategy().prop_filter("no direct branches", |i| {
-                !matches!(i, Insn::Jmp(_) | Insn::Jcc(..) | Insn::Call(_))
-            }),
-            1..30
-        )
-    ) {
+/// Lift → encode is the identity on any image assembled from
+/// *position-independent* instructions (no direct branches: their
+/// displacements are relinked, everything else must be copied
+/// verbatim).
+#[test]
+fn unit_lift_encode_identity() {
+    let mut g = Gen::new(4);
+    for case in 0..64 {
+        let insns: Vec<Insn> = (0..1 + g.below(29))
+            .map(|_| g.position_independent_insn())
+            .collect();
         let mut b = nativesim::asm::ImageBuilder::new();
         let a = b.text();
         for i in &insns {
@@ -139,6 +179,6 @@ proptest! {
         let image = b.finish().expect("builds");
         let unit = Unit::from_image(&image).expect("lifts");
         let re = unit.encode().expect("re-encodes");
-        prop_assert_eq!(re, image);
+        assert_eq!(re, image, "case {case}");
     }
 }

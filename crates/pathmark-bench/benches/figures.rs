@@ -7,4 +7,5 @@ fn main() {
     println!("=== Figure 9 (quick) ===\n{}", pathmark_bench::fig9::run(true));
     println!("=== Attack matrices (quick) ===\n{}", pathmark_bench::tables::run(true));
     println!("=== Ablations (quick) ===\n{}", pathmark_bench::ablations::run(true));
+    println!("=== Fleet throughput (quick) ===\n{}", pathmark_bench::fleet::run(true));
 }

@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of the system's primitives: the cipher,
-//! the perfect hash, big-integer CRT recombination, trace decoding,
-//! embedding, recognition, and native extraction.
+//! Micro-benchmarks of the system's primitives: the cipher, the perfect
+//! hash, big-integer CRT recombination, trace decoding, embedding,
+//! recognition, and native extraction.
+//!
+//! Uses a small hand-rolled timing harness (median of several timed
+//! batches over `std::time::Instant`) so the workspace stays free of
+//! external benchmarking crates. Run with `cargo bench --bench micro`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use pathmark_core::bitstring::BitString;
 use pathmark_core::java::{embed, recognize, JavaConfig};
@@ -17,26 +21,58 @@ use pathmark_math::primes::generate_primes;
 use stackvm::interp::Vm;
 use stackvm::trace::TraceConfig;
 
-fn bench_crypto(c: &mut Criterion) {
-    let cipher = Xtea::from_seed(1);
-    c.bench_function("xtea_encrypt_block", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
-            x = cipher.encrypt(black_box(x));
-            x
+/// Times `f`, auto-scaling the iteration count until one batch takes at
+/// least ~20 ms, and reports the median per-iteration time of 5 batches.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 20 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / iters as f64
         })
-    });
-    let keys: Vec<u32> = (0..513u32).map(|i| 0x0804_8000 + i * 11).collect();
-    c.bench_function("phf_build_513_keys", |b| {
-        b.iter(|| DisplacementHash::build(black_box(&keys), 7).unwrap())
-    });
-    let hash = DisplacementHash::build(&keys, 7).unwrap();
-    c.bench_function("phf_eval", |b| {
-        b.iter(|| hash.eval(black_box(0x0804_9000)))
-    });
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let (value, unit) = if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else if median >= 1e-6 {
+        (median * 1e6, "µs")
+    } else {
+        (median * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters/batch)");
 }
 
-fn bench_math(c: &mut Criterion) {
+fn bench_crypto() {
+    let cipher = Xtea::from_seed(1);
+    let mut x = 0u64;
+    bench("xtea_encrypt_block", || {
+        x = cipher.encrypt(black_box(x));
+        x
+    });
+    let keys: Vec<u32> = (0..513u32).map(|i| 0x0804_8000 + i * 11).collect();
+    bench("phf_build_513_keys", || {
+        DisplacementHash::build(black_box(&keys), 7).unwrap()
+    });
+    let hash = DisplacementHash::build(&keys, 7).unwrap();
+    bench("phf_eval", || hash.eval(black_box(0x0804_9000)));
+}
+
+fn bench_math() {
     let primes = generate_primes(1, 24, 35);
     let e = PairEnumeration::new(&primes).unwrap();
     let mut rng = Prng::from_seed(2);
@@ -46,12 +82,10 @@ fn bench_math(c: &mut Criterion) {
     while w >= e.watermark_bound() {
         w = &w >> 1;
     }
-    c.bench_function("split_768bit_watermark", |b| {
-        b.iter(|| e.split(black_box(&w)))
-    });
+    bench("split_768bit_watermark", || e.split(black_box(&w)));
     let pieces = e.split(&w);
-    c.bench_function("gcrt_recombine_595_pieces", |b| {
-        b.iter(|| combine_statements(black_box(&pieces), &primes).unwrap())
+    bench("gcrt_recombine_595_pieces", || {
+        combine_statements(black_box(&pieces), &primes).unwrap()
     });
 }
 
@@ -73,33 +107,29 @@ fn small_program() -> stackvm::Program {
     pb.finish(main).unwrap()
 }
 
-fn bench_java(c: &mut Criterion) {
+fn bench_java() {
     let program = small_program();
     let key = WatermarkKey::new(3, vec![1]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(20);
     let watermark = Watermark::random_for(&config, &key);
-    c.bench_function("java_embed_128bit_20pieces", |b| {
-        b.iter(|| embed(black_box(&program), &watermark, &key, &config).unwrap())
+    bench("java_embed_128bit_20pieces", || {
+        embed(black_box(&program), &watermark, &key, &config).unwrap()
     });
     let marked = embed(&program, &watermark, &key, &config).unwrap().program;
-    c.bench_function("java_recognize_128bit", |b| {
-        b.iter(|| recognize(black_box(&marked), &key, &config).unwrap())
+    bench("java_recognize_128bit", || {
+        recognize(black_box(&marked), &key, &config).unwrap()
     });
-    c.bench_function("trace_and_decode_bitstring", |b| {
-        b.iter(|| {
-            let outcome = Vm::new(&marked)
-                .with_input(vec![1])
-                .with_trace(TraceConfig::branches_only())
-                .run()
-                .unwrap();
-            BitString::from_trace(black_box(&outcome.trace))
-        })
+    bench("trace_and_decode_bitstring", || {
+        let outcome = Vm::new(&marked)
+            .with_input(vec![1])
+            .with_trace(TraceConfig::branches_only())
+            .run()
+            .unwrap();
+        BitString::from_trace(black_box(&outcome.trace))
     });
 }
 
-fn bench_native(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native");
-    group.sample_size(10);
+fn bench_native() {
     let w = pathmark_workloads::native::by_name("mcf").unwrap();
     let key = WatermarkKey::new(4, w.training_input.iter().map(|&v| v as i64).collect());
     let config = NativeConfig {
@@ -108,31 +138,28 @@ fn bench_native(c: &mut Criterion) {
     };
     let mut rng = Prng::from_seed(5);
     let watermark = Watermark::random(64, &mut rng);
-    group.bench_function("embed_64bit_into_mcf", |b| {
-        b.iter_batched(
-            || w.image.clone(),
-            |image| embed_native(&image, &watermark.to_bits(), &key, &config).unwrap(),
-            BatchSize::LargeInput,
-        )
+    bench("embed_64bit_into_mcf", || {
+        embed_native(&w.image, &watermark.to_bits(), &key, &config).unwrap()
     });
     let mark = embed_native(&w.image, &watermark.to_bits(), &key, &config).unwrap();
-    group.bench_function("extract_64bit_smart_tracer", |b| {
-        b.iter(|| {
-            extract(
-                black_box(&mark.image),
-                &key.native_input(),
-                ExtractionSpec {
-                    begin: mark.begin,
-                    end: mark.end,
-                },
-                TracerKind::Smart,
-                200_000_000,
-            )
-            .unwrap()
-        })
+    bench("extract_64bit_smart_tracer", || {
+        extract(
+            black_box(&mark.image),
+            &key.native_input(),
+            ExtractionSpec {
+                begin: mark.begin,
+                end: mark.end,
+            },
+            TracerKind::Smart,
+            200_000_000,
+        )
+        .unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_math, bench_java, bench_native);
-criterion_main!(benches);
+fn main() {
+    bench_crypto();
+    bench_math();
+    bench_java();
+    bench_native();
+}

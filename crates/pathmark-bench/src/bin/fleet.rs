@@ -1,0 +1,5 @@
+//! Regenerates the batch-fingerprinting throughput table.
+//! `cargo run --release -p pathmark-bench --bin fleet`
+fn main() {
+    print!("{}", pathmark_bench::fleet::run(std::env::args().any(|a| a == "--quick")));
+}

@@ -1,0 +1,148 @@
+//! Batch-fingerprinting throughput: serial embed/recognize loops versus
+//! the `pathmark-fleet` engine at several worker counts.
+//!
+//! This is the evaluation for the paper's *fingerprinting* deployment
+//! model (Section 2): a distributor embeds a distinct watermark into
+//! every copy. The serial baseline calls `embed`/`recognize` once per
+//! copy — re-tracing the host every time — while the fleet engine
+//! traces once (shared trace cache) and spreads the per-copy work over
+//! a worker pool.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pathmark_core::java::{embed, recognize, JavaConfig};
+use pathmark_fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark_fleet::cache::TraceCache;
+use pathmark_fleet::manifest::EmbedJobSpec;
+use pathmark_fleet::pool::WorkerPool;
+use pathmark_workloads::java as workloads;
+
+use crate::setup;
+
+/// One row of the throughput table.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// `serial` or `fleet`.
+    pub mode: &'static str,
+    /// Worker threads (1 for the serial baseline).
+    pub workers: usize,
+    /// Wall-clock time for the whole batch, in milliseconds.
+    pub millis: f64,
+    /// Copies processed per second.
+    pub copies_per_sec: f64,
+}
+
+/// Measures embed and recognize throughput over `copies` copies of the
+/// CaffeineMark-like workload; returns (embed rows, recognize rows).
+pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<Throughput>) {
+    let program = workloads::caffeinemark();
+    let key = setup::key(vec![setup::CAFFEINE_INPUT]);
+    let config = JavaConfig::for_watermark_bits(128).with_pieces(30);
+    let jobs: Vec<EmbedJobSpec> = (0..copies)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect();
+
+    // --- Embedding: serial loop (one trace per copy) …
+    let mut embed_rows = Vec::new();
+    let started = Instant::now();
+    let mut serial_marked = Vec::with_capacity(copies);
+    for spec in &jobs {
+        let job_key = spec.effective_key(&key);
+        let watermark = spec.watermark(&key, &config).expect("derived watermark");
+        let marked = embed(&program, &watermark, &job_key, &config).expect("embeds");
+        serial_marked.push(marked.program);
+    }
+    embed_rows.push(row("serial", 1, copies, started.elapsed()));
+
+    // … versus the fleet engine (one shared trace, K workers).
+    for &workers in worker_counts {
+        let pool = WorkerPool::new(workers);
+        let cache = TraceCache::new();
+        let started = Instant::now();
+        let outcomes =
+            embed_batch(&program, &key, &config, &jobs, &pool, &cache).expect("host traces");
+        assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
+        embed_rows.push(row("fleet", workers, copies, started.elapsed()));
+    }
+
+    // --- Recognition: serial loop versus per-copy parallel batch.
+    let rec_jobs: Vec<RecognizeJob> = jobs
+        .iter()
+        .zip(&serial_marked)
+        .map(|(spec, marked)| RecognizeJob {
+            job_id: spec.job_id.clone(),
+            program: marked.clone(),
+            expected_hex: None,
+            seed: spec.effective_seed(key.seed),
+        })
+        .collect();
+    let mut rec_rows = Vec::new();
+    let started = Instant::now();
+    for job in &rec_jobs {
+        let job_key = pathmark_core::key::WatermarkKey::new(job.seed, key.input.clone());
+        let rec = recognize(&job.program, &job_key, &config).expect("recognizes");
+        assert!(rec.watermark.is_some());
+    }
+    rec_rows.push(row("serial", 1, copies, started.elapsed()));
+    for &workers in worker_counts {
+        let pool = WorkerPool::new(workers);
+        let started = Instant::now();
+        let outcomes = recognize_batch(&rec_jobs, &key, &config, &pool);
+        assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
+        rec_rows.push(row("fleet", workers, copies, started.elapsed()));
+    }
+    (embed_rows, rec_rows)
+}
+
+fn row(mode: &'static str, workers: usize, copies: usize, elapsed: std::time::Duration) -> Throughput {
+    let millis = elapsed.as_secs_f64() * 1e3;
+    Throughput {
+        mode,
+        workers,
+        millis,
+        copies_per_sec: copies as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Renders the batch-throughput table.
+pub fn run(quick: bool) -> String {
+    let copies = if quick { 8 } else { 64 };
+    let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let (embed_rows, rec_rows) = measure(copies, worker_counts);
+
+    let mut out = String::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(
+        out,
+        "batch fingerprinting throughput — CaffeineMark-like, 128-bit W, {copies} copies, {cores} core(s)"
+    );
+    let _ = writeln!(
+        out,
+        "(single-worker fleet gains come from the shared trace cache; worker\n\
+         scaling additionally needs cores)"
+    );
+    for (title, rows) in [("embed", &embed_rows), ("recognize", &rec_rows)] {
+        let baseline = rows[0].millis;
+        let _ = writeln!(out, "\n{title}:");
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>12} {:>12} {:>9}",
+            "mode", "workers", "wall ms", "copies/s", "speedup"
+        );
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>12.1} {:>12.1} {:>8.2}x",
+                r.mode,
+                r.workers,
+                r.millis,
+                r.copies_per_sec,
+                baseline / r.millis
+            );
+        }
+    }
+    out
+}

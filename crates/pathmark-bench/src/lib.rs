@@ -15,11 +15,13 @@
 //! | [`fig8`] | Fig. 8(a–d) — bytecode cost and branch-insertion resilience |
 //! | [`fig9`] | Fig. 9(a,b) — native size and time cost per SPEC-like program |
 //! | [`tables`] | Sec. 5.1.2 / 5.2.2 attack matrices |
+//! | [`fleet`] | batch fingerprinting throughput (Section 2's deployment model) |
 
 pub mod ablations;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod tables;
 
 /// Standard secret inputs used across experiments (kept here so every

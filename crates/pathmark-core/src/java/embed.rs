@@ -82,6 +82,31 @@ pub fn embed(
     config: &JavaConfig,
 ) -> Result<MarkedProgram, WatermarkError> {
     let trace = trace_program(program, key, config, TraceConfig::full())?;
+    embed_with_trace(program, watermark, key, config, &trace)
+}
+
+/// Embeds `watermark` into `program` using a precomputed full trace of
+/// the *unmarked* program on the key's secret input.
+///
+/// This is the batch-fingerprinting entry point: tracing is the only
+/// embedding step that executes the program, so a fleet embedding N
+/// distinct watermarks into the same program can run
+/// [`trace_program`] once (with [`TraceConfig::full`]) and share the
+/// immutable trace across all N jobs. `embed` is exactly
+/// `embed_with_trace(program, …, &trace_program(program, …)?)`, so the
+/// two paths produce byte-identical marked programs.
+///
+/// # Errors
+///
+/// Same as [`embed`], minus the tracing failure (the caller already
+/// traced).
+pub fn embed_with_trace(
+    program: &Program,
+    watermark: &Watermark,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    trace: &Trace,
+) -> Result<MarkedProgram, WatermarkError> {
     let primes = config.primes(key);
     let enumeration = PairEnumeration::new(&primes)?;
     let bound = enumeration.watermark_bound();
@@ -152,7 +177,7 @@ pub fn embed(
 
         let func = marked.function_mut(site.func);
         let snippet = if want_condition {
-            condition_snippet(func, &trace, site, block, &mut rng)
+            condition_snippet(func, trace, site, block, &mut rng)
         } else {
             None
         };

@@ -19,9 +19,11 @@ mod embed;
 mod opaque;
 mod recognize;
 
-pub use embed::{embed, EmbedReport, MarkedProgram};
+pub use embed::{embed, embed_with_trace, EmbedReport, MarkedProgram};
 pub use opaque::OpaquePredicate;
-pub use recognize::{recognize, recognize_bits, Recognition};
+pub use recognize::{
+    recognize, recognize_bits, recognize_from_candidates, window_candidates, Recognition,
+};
 
 use pathmark_math::primes::primes_needed;
 use stackvm::interp::Vm;

@@ -92,16 +92,44 @@ pub fn recognize_bits(
     key: &WatermarkKey,
     config: &JavaConfig,
 ) -> Result<Recognition, WatermarkError> {
+    let counts = window_candidates(bits, key, config, 0, usize::MAX)?;
+    recognize_from_candidates(counts, key, config)
+}
+
+/// Step one of recognition, restricted to the sliding windows whose
+/// *start offsets* fall in `[start, end)`: decrypt each window and
+/// collect the decodable candidate statements with multiplicity.
+///
+/// Degenerate all-zero/all-one windows are skipped: a constant 64-bit
+/// run cannot be watermark ciphertext except with probability `2^-63`,
+/// but arises constantly from monotone branches.
+///
+/// Sharded recognition splits the full offset range into disjoint
+/// chunks, scans them in parallel, and merges the returned maps by
+/// summing multiplicities; because window `i` depends only on bits
+/// `i..i+64`, the merged map is identical to a single scan of
+/// `[0, len)`, so feeding it to [`recognize_from_candidates`] is
+/// bit-identical to the serial [`recognize_bits`].
+///
+/// # Errors
+///
+/// [`WatermarkError::Math`] for prime-configuration errors.
+pub fn window_candidates(
+    bits: &BitString,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    start: usize,
+    end: usize,
+) -> Result<HashMap<Statement, u64>, WatermarkError> {
     let primes = config.primes(key);
     let enumeration = PairEnumeration::new(&primes)?;
     let cipher = key.cipher();
 
-    // Decrypt every sliding window; collect decodable statements with
-    // multiplicity. Degenerate all-zero/all-one windows are skipped: a
-    // constant 64-bit run cannot be watermark ciphertext except with
-    // probability 2^-63, but arises constantly from monotone branches.
+    let num_windows = bits.len().saturating_sub(63);
+    let end = end.min(num_windows);
     let mut counts: HashMap<Statement, u64> = HashMap::new();
-    for window in bits.windows() {
+    for offset in start..end {
+        let window = bits.window_u64(offset).expect("offset < num_windows");
         if window == 0 || window == u64::MAX {
             continue;
         }
@@ -110,6 +138,24 @@ pub fn recognize_bits(
             *counts.entry(statement).or_insert(0) += 1;
         }
     }
+    Ok(counts)
+}
+
+/// Steps two onward of recognition, from an already-collected candidate
+/// multiset (see [`window_candidates`]): the `W mod p_i` vote
+/// prefilter, the G/H consistency graphs, and Generalized CRT
+/// recombination. Entirely deterministic in `counts`' *contents* (map
+/// iteration order never leaks into the result).
+///
+/// # Errors
+///
+/// [`WatermarkError::Math`] for prime-configuration errors.
+pub fn recognize_from_candidates(
+    counts: HashMap<Statement, u64>,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+) -> Result<Recognition, WatermarkError> {
+    let primes = config.primes(key);
     let candidates = counts.len();
 
     // --- Vote on W mod p_i for each prime (clear winner = more than

@@ -1,0 +1,317 @@
+//! The batch engine: embed or recognize a whole manifest of copies on
+//! the worker pool.
+//!
+//! **Embedding** a batch traces the host program *once* (through the
+//! [`crate::cache::TraceCache`]) and shares the immutable trace across
+//! all N jobs via `Arc`; each job then runs
+//! [`pathmark_core::java::embed_with_trace`] with its own per-copy key
+//! and watermark. **Recognition** of a batch parallelizes across copies:
+//! each copy is re-traced and recognized independently (the per-copy
+//! work is already one job; sharded recognition — [`crate::shard`] — is
+//! for splitting a *single* large copy instead).
+//!
+//! Per-job failures (bad manifest hex, embedding errors, panics) are
+//! captured in the job's [`JobReport`] and never abort the rest of the
+//! batch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pathmark_core::java::{embed_with_trace, recognize, JavaConfig, Recognition};
+use pathmark_core::key::WatermarkKey;
+use pathmark_core::WatermarkError;
+use stackvm::trace::TraceConfig;
+use stackvm::Program;
+
+use crate::cache::TraceCache;
+use crate::manifest::{to_hex, EmbedJobSpec, JobReport, JobStatus};
+use crate::pool::WorkerPool;
+
+/// The result of one embed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbedOutcome {
+    /// The job's report line.
+    pub report: JobReport,
+    /// The marked copy, when the job succeeded.
+    pub marked: Option<Program>,
+}
+
+/// One copy to recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecognizeJob {
+    /// Identifies the copy in the report.
+    pub job_id: String,
+    /// The (possibly attacked) copy.
+    pub program: Program,
+    /// The watermark the copy is supposed to carry, if known: recovering
+    /// a different value is reported as [`JobStatus::Mismatch`].
+    pub expected_hex: Option<String>,
+    /// The copy's numeric secret (from the embed report).
+    pub seed: u64,
+}
+
+/// The result of one recognize job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecognizeOutcome {
+    /// The job's report line. `watermark_hex` holds the *recovered*
+    /// value when recognition pinned one down, else the expected value.
+    pub report: JobReport,
+    /// Full recognition detail, when the copy traced successfully.
+    pub recognition: Option<Recognition>,
+}
+
+/// Embeds every manifest job into `program` on the pool, tracing the
+/// host at most once via `cache`.
+///
+/// Per-job failures (unparseable `watermark_hex`, embedding errors,
+/// panics) become [`JobStatus::Failed`] reports; the other jobs are
+/// unaffected. Outcomes are returned in manifest order.
+///
+/// # Errors
+///
+/// [`WatermarkError::TraceFailed`] if the *host* program cannot be
+/// traced on the key's secret input — then no job can run at all.
+pub fn embed_batch(
+    program: &Program,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    jobs: &[EmbedJobSpec],
+    pool: &WorkerPool,
+    cache: &TraceCache,
+) -> Result<Vec<EmbedOutcome>, WatermarkError> {
+    // The one traced run every job shares. The trace depends on the
+    // secret input, which all per-copy keys inherit from the batch key.
+    let trace = cache.get_or_trace(program, key, config, TraceConfig::full())?;
+
+    let host = Arc::new(program.clone());
+    let base = Arc::new(key.clone());
+    let job_config = Arc::new(config.clone());
+    let results = pool.run_all(jobs.to_vec(), move |_, spec: EmbedJobSpec| {
+        let started = Instant::now();
+        let job_key = spec.effective_key(&base);
+        let (status, watermark_hex, marked) = match spec.watermark(&base, &job_config) {
+            Err(why) => (JobStatus::Failed(why), String::new(), None),
+            Ok(watermark) => {
+                let hex = to_hex(watermark.value());
+                match embed_with_trace(&host, &watermark, &job_key, &job_config, &trace) {
+                    Ok(m) => (JobStatus::Ok, hex, Some(m.program)),
+                    Err(e) => (JobStatus::Failed(e.to_string()), hex, None),
+                }
+            }
+        };
+        EmbedOutcome {
+            report: JobReport {
+                job_id: spec.job_id,
+                watermark_hex,
+                seed: job_key.seed,
+                status,
+                wall_ms: started.elapsed().as_millis() as u64,
+            },
+            marked,
+        }
+    });
+
+    Ok(results
+        .into_iter()
+        .zip(jobs)
+        .map(|(result, spec)| {
+            result.unwrap_or_else(|panic| EmbedOutcome {
+                report: JobReport {
+                    job_id: spec.job_id.clone(),
+                    watermark_hex: spec.watermark_hex.clone().unwrap_or_default(),
+                    seed: spec.effective_seed(key.seed),
+                    status: JobStatus::Failed(panic.to_string()),
+                    wall_ms: 0,
+                },
+                marked: None,
+            })
+        })
+        .collect())
+}
+
+/// Recognizes every copy on the pool, in job order.
+///
+/// Each copy is traced and recognized under its own key (the batch
+/// key's secret input plus the copy's seed). A copy that fails to trace
+/// — e.g. after a destructive attack — or panics is reported as
+/// [`JobStatus::Failed`] without affecting the rest.
+pub fn recognize_batch(
+    jobs: &[RecognizeJob],
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    pool: &WorkerPool,
+) -> Vec<RecognizeOutcome> {
+    let base = Arc::new(key.clone());
+    let job_config = Arc::new(config.clone());
+    let results = pool.run_all(jobs.to_vec(), move |_, job: RecognizeJob| {
+        let started = Instant::now();
+        let job_key = WatermarkKey::new(job.seed, base.input.clone());
+        let (status, watermark_hex, recognition) =
+            match recognize(&job.program, &job_key, &job_config) {
+                Err(e) => (
+                    JobStatus::Failed(e.to_string()),
+                    job.expected_hex.clone().unwrap_or_default(),
+                    None,
+                ),
+                Ok(rec) => {
+                    let outcome = match (&rec.watermark, &job.expected_hex) {
+                        (None, _) => (
+                            JobStatus::NotFound,
+                            job.expected_hex.clone().unwrap_or_default(),
+                        ),
+                        (Some(w), None) => (JobStatus::Ok, to_hex(w)),
+                        (Some(w), Some(expected)) => {
+                            let hex = to_hex(w);
+                            if &hex == expected {
+                                (JobStatus::Ok, hex)
+                            } else {
+                                (JobStatus::Mismatch, hex)
+                            }
+                        }
+                    };
+                    (outcome.0, outcome.1, Some(rec))
+                }
+            };
+        RecognizeOutcome {
+            report: JobReport {
+                job_id: job.job_id,
+                watermark_hex,
+                seed: job_key.seed,
+                status,
+                wall_ms: started.elapsed().as_millis() as u64,
+            },
+            recognition,
+        }
+    });
+
+    results
+        .into_iter()
+        .zip(jobs)
+        .map(|(result, job)| {
+            result.unwrap_or_else(|panic| RecognizeOutcome {
+                report: JobReport {
+                    job_id: job.job_id.clone(),
+                    watermark_hex: job.expected_hex.clone().unwrap_or_default(),
+                    seed: job.seed,
+                    status: JobStatus::Failed(panic.to_string()),
+                    wall_ms: 0,
+                },
+                recognition: None,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+    use stackvm::insn::Cond;
+
+    fn host_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        let head = f.new_label();
+        let out = f.new_label();
+        f.push(0).store(0);
+        f.bind(head);
+        f.load(0).push(8).if_cmp(Cond::Ge, out);
+        f.load(0).load(1).add().store(1);
+        f.iinc(0, 1).goto(head);
+        f.bind(out);
+        f.load(1).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        pb.finish(main).unwrap()
+    }
+
+    fn key() -> WatermarkKey {
+        WatermarkKey::new(0xF1EE7, vec![3, 1, 4])
+    }
+
+    fn config() -> JavaConfig {
+        JavaConfig::for_watermark_bits(64).with_pieces(12)
+    }
+
+    #[test]
+    fn batch_embeds_distinct_recognizable_copies() {
+        let pool = WorkerPool::new(4);
+        let cache = TraceCache::new();
+        let jobs: Vec<EmbedJobSpec> = (0..6)
+            .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+            .collect();
+        let outcomes =
+            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
+        assert_eq!(cache.stats().misses, 1, "one trace for the whole batch");
+
+        // Each copy carries its own watermark and program bytes.
+        let mut hexes: Vec<&str> =
+            outcomes.iter().map(|o| o.report.watermark_hex.as_str()).collect();
+        hexes.sort_unstable();
+        hexes.dedup();
+        assert_eq!(hexes.len(), 6, "all watermarks distinct");
+
+        let rec_jobs: Vec<RecognizeJob> = outcomes
+            .iter()
+            .map(|o| RecognizeJob {
+                job_id: o.report.job_id.clone(),
+                program: o.marked.clone().unwrap(),
+                expected_hex: Some(o.report.watermark_hex.clone()),
+                seed: o.report.seed,
+            })
+            .collect();
+        let recognized = recognize_batch(&rec_jobs, &key(), &config(), &pool);
+        assert!(recognized.iter().all(|o| o.report.status.is_ok()));
+        assert!(recognized
+            .iter()
+            .zip(&rec_jobs)
+            .all(|(o, j)| Some(&o.report.watermark_hex) == j.expected_hex.as_ref()));
+    }
+
+    #[test]
+    fn one_bad_job_does_not_poison_the_batch() {
+        let pool = WorkerPool::new(3);
+        let cache = TraceCache::new();
+        let mut jobs: Vec<EmbedJobSpec> = (0..5)
+            .map(|i| EmbedJobSpec::new(format!("copy-{i}")))
+            .collect();
+        // Unparseable watermark hex: this job fails, the others succeed.
+        jobs[2].watermark_hex = Some("not-hex!".to_string());
+        let outcomes =
+            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 2 {
+                assert!(matches!(o.report.status, JobStatus::Failed(_)), "{:?}", o.report);
+                assert!(o.marked.is_none());
+            } else {
+                assert!(o.report.status.is_ok(), "{:?}", o.report);
+                assert!(o.marked.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_copies_report_mismatch() {
+        let pool = WorkerPool::new(2);
+        let cache = TraceCache::new();
+        let jobs: Vec<EmbedJobSpec> =
+            vec![EmbedJobSpec::new("a"), EmbedJobSpec::new("b")];
+        let outcomes =
+            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        // Claim copy `b` is copy `a`: recognition under `a`'s seed on
+        // `b`'s program must not report success.
+        let swapped = vec![RecognizeJob {
+            job_id: "a".to_string(),
+            program: outcomes[1].marked.clone().unwrap(),
+            expected_hex: Some(outcomes[0].report.watermark_hex.clone()),
+            seed: outcomes[0].report.seed,
+        }];
+        let recognized = recognize_batch(&swapped, &key(), &config(), &pool);
+        assert!(
+            !recognized[0].report.status.is_ok(),
+            "swapped copy must not verify: {:?}",
+            recognized[0].report
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! The trace cache: one traced run per (program, secret input), shared
+//! across every embed job in a batch.
+//!
+//! Tracing is the only embedding step that *executes* the program; the
+//! rest of `embed` is pure computation over the trace. A batch that
+//! fingerprints N copies of one program under one key therefore needs
+//! exactly one traced run — this cache provides it, handing each job an
+//! [`Arc<Trace>`] so the (large, immutable) trace is never cloned.
+//!
+//! The cache key is what the trace actually depends on: the program
+//! bytes, the key's secret *input* sequence (the numeric secret steers
+//! primes and ciphers, not execution), the tracing budget, and the
+//! [`TraceConfig`] flags.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pathmark_core::java::{trace_program, JavaConfig};
+use pathmark_core::key::WatermarkKey;
+use pathmark_core::WatermarkError;
+use stackvm::trace::{Trace, TraceConfig};
+use stackvm::Program;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// FNV-1a hash of the program's codec bytes.
+    program: u64,
+    input: Vec<i64>,
+    budget: u64,
+    blocks: bool,
+    branches: bool,
+    snapshots: bool,
+    snapshot_limit: u32,
+}
+
+/// Hit/miss counters of a [`TraceCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to trace.
+    pub misses: u64,
+}
+
+/// A concurrent map from (program, input, config) to a shared trace.
+#[derive(Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<CacheKey, Arc<Trace>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// Returns the trace of `program` on `key`'s secret input, tracing
+    /// at most once per distinct (program, input, budget, flags)
+    /// combination. Concurrent callers racing on a cold entry may trace
+    /// redundantly; the first insertion wins and all callers share it.
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
+    /// the budget.
+    pub fn get_or_trace(
+        &self,
+        program: &Program,
+        key: &WatermarkKey,
+        config: &JavaConfig,
+        what: TraceConfig,
+    ) -> Result<Arc<Trace>, WatermarkError> {
+        let cache_key = CacheKey {
+            program: fnv1a(&stackvm::codec::encode_program(program)),
+            input: key.input.clone(),
+            budget: config.trace_budget,
+            blocks: what.blocks,
+            branches: what.branches,
+            snapshots: what.snapshots,
+            snapshot_limit: what.snapshot_limit,
+        };
+        if let Some(trace) = self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .get(&cache_key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(trace);
+        }
+        // Trace outside the lock so a long run does not stall the pool.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(trace_program(program, key, config, what)?);
+        let mut entries = self.entries.lock().expect("cache lock");
+        Ok(Arc::clone(entries.entry(cache_key).or_insert(trace)))
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FNV-1a over a byte string: deterministic (unlike `DefaultHasher`)
+/// and dependency-free. Also used by the manifest layer to derive
+/// per-job seeds from job ids.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+
+    fn tiny_program(value: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 1);
+        f.push(value).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = TraceCache::new();
+        let program = tiny_program(1);
+        let key = WatermarkKey::new(7, vec![]);
+        let config = JavaConfig::for_watermark_bits(64);
+        let a = cache
+            .get_or_trace(&program, &key, &config, TraceConfig::full())
+            .unwrap();
+        let b = cache
+            .get_or_trace(&program, &key, &config, TraceConfig::full())
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same shared trace");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn numeric_secret_does_not_split_the_cache() {
+        // Two keys with the same input but different numeric secrets
+        // execute identically, so they share one trace.
+        let cache = TraceCache::new();
+        let program = tiny_program(2);
+        let config = JavaConfig::for_watermark_bits(64);
+        let a = cache
+            .get_or_trace(
+                &program,
+                &WatermarkKey::new(1, vec![5]),
+                &config,
+                TraceConfig::full(),
+            )
+            .unwrap();
+        let b = cache
+            .get_or_trace(
+                &program,
+                &WatermarkKey::new(2, vec![5]),
+                &config,
+                TraceConfig::full(),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn different_programs_and_inputs_miss() {
+        let cache = TraceCache::new();
+        let config = JavaConfig::for_watermark_bits(64);
+        let key = WatermarkKey::new(1, vec![]);
+        cache
+            .get_or_trace(&tiny_program(1), &key, &config, TraceConfig::full())
+            .unwrap();
+        cache
+            .get_or_trace(&tiny_program(2), &key, &config, TraceConfig::full())
+            .unwrap();
+        cache
+            .get_or_trace(
+                &tiny_program(1),
+                &WatermarkKey::new(1, vec![9]),
+                &config,
+                TraceConfig::branches_only(),
+            )
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        assert_eq!(cache.len(), 3);
+    }
+}

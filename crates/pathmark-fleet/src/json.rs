@@ -1,0 +1,301 @@
+//! A minimal JSONL codec for flat objects of string and unsigned-integer
+//! fields — just enough for the batch manifest/report format, written in
+//! the workspace's hand-rolled codec idiom (cf. `stackvm::codec`): no
+//! external dependencies, and decode errors carry the byte offset.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A scalar field value: manifests and reports only ever hold strings
+/// and unsigned integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative JSON integer.
+    Num(u64),
+}
+
+impl Scalar {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            Scalar::Num(_) => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Scalar::Str(_) => None,
+            Scalar::Num(n) => Some(*n),
+        }
+    }
+}
+
+/// A malformed JSON line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset within the line where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serializes one flat object as a single JSON line (no trailing
+/// newline). Field order is preserved.
+pub fn write_object(fields: &[(&str, Scalar)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, name);
+        out.push(':');
+        match value {
+            Scalar::Str(s) => write_string(&mut out, s),
+            Scalar::Num(n) => out.push_str(&n.to_string()),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one flat JSON object (a manifest or report line).
+///
+/// # Errors
+///
+/// [`JsonError`] (with the byte offset) on malformed input, nesting,
+/// duplicate fields, or non-scalar values.
+pub fn parse_object(line: &str) -> Result<HashMap<String, Scalar>, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let fields = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after object"));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, reason: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn object(&mut self) -> Result<HashMap<String, Scalar>, JsonError> {
+        self.skip_ws();
+        self.expect(b'{', "expected `{`")?;
+        let mut fields = HashMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after field name")?;
+            self.skip_ws();
+            let value = self.scalar()?;
+            if fields.insert(name, value).is_some() {
+                return Err(self.err("duplicate field"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b'0'..=b'9') => Ok(Scalar::Num(self.number()?)),
+            Some(b'{' | b'[') => Err(self.err("nested values are not supported")),
+            _ => Err(self.err("expected a string or unsigned integer")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse().map_err(|_| JsonError {
+            offset: start,
+            reason: "integer out of range",
+        })
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one (possibly multi-byte) character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_strings_and_numbers() {
+        let line = write_object(&[
+            ("job_id", Scalar::Str("copy-001".into())),
+            ("seed", Scalar::Num(u64::MAX)),
+            ("status", Scalar::Str("failed: bad \"quote\"\n".into())),
+        ]);
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields["job_id"].as_str(), Some("copy-001"));
+        assert_eq!(fields["seed"].as_u64(), Some(u64::MAX));
+        assert_eq!(fields["status"].as_str(), Some("failed: bad \"quote\"\n"));
+    }
+
+    #[test]
+    fn parses_whitespace_and_empty_objects() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let fields = parse_object(" { \"a\" : 1 , \"b\" : \"x\" } ").unwrap();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields["a"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_offsets() {
+        for (line, offset) in [
+            ("", 0usize),
+            ("{\"a\":1", 6),
+            ("{\"a\":1}x", 7),
+            ("{\"a\":[1]}", 5),
+            ("{\"a\":-1}", 5),
+            ("{\"a\":1,\"a\":2}", 12),
+            ("{\"a\":18446744073709551616}", 5),
+        ] {
+            let err = parse_object(line).unwrap_err();
+            assert_eq!(err.offset, offset, "line {line:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let line = write_object(&[("x", Scalar::Str("\u{1}".into()))]);
+        assert_eq!(line, "{\"x\":\"\\u0001\"}");
+        let fields = parse_object(&line).unwrap();
+        assert_eq!(fields["x"].as_str(), Some("\u{1}"));
+    }
+
+    #[test]
+    fn unicode_escapes_and_raw_unicode_parse() {
+        let fields = parse_object("{\"x\":\"caf\\u00e9 — ok\"}").unwrap();
+        assert_eq!(fields["x"].as_str(), Some("café — ok"));
+    }
+}

@@ -1,0 +1,88 @@
+//! `pathmark-fleet` — parallel batch fingerprinting & recognition.
+//!
+//! The paper's stated deployment model is *fingerprinting*: embed a
+//! **distinct** watermark `W_i` into each distributed copy so that a
+//! leaked copy identifies the leaker (Section 2). At distribution scale
+//! that means embedding and recognizing thousands of copies per run, not
+//! one CLI invocation at a time. This crate is that batch layer, built
+//! entirely on `std` (no external dependencies):
+//!
+//! * [`pool`] — a hand-rolled worker pool (`std::thread` plus a
+//!   `Mutex`/`Condvar` job queue) with graceful shutdown and per-job
+//!   panic isolation: one poisoned job must not kill the batch.
+//! * [`cache`] — a trace cache that runs
+//!   [`pathmark_core::java::trace_program`] once per (program, secret
+//!   input) and shares the immutable trace across all N embed jobs via
+//!   [`std::sync::Arc`]. Tracing is the only embedding step that
+//!   executes the program, so this turns N traced runs into one.
+//! * [`shard`] — sharded recognition: the traced bit-string is split
+//!   into overlapping 64-bit-window chunks scanned in parallel; the
+//!   candidate multisets are merged before voting and GCRT
+//!   recombination, producing output bit-identical to the serial
+//!   recognizer.
+//! * [`manifest`] — the JSONL batch manifest/report format
+//!   (`job_id`, `watermark_hex`, `seed`, `status`, `wall_ms`), written
+//!   with the workspace's hand-rolled codec idioms ([`json`]).
+//! * [`batch`] — the engine tying the above together: batch embed and
+//!   batch recognize over a manifest.
+//!
+//! # Example
+//!
+//! ```
+//! use pathmark_core::java::JavaConfig;
+//! use pathmark_core::key::WatermarkKey;
+//! use pathmark_fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+//! use pathmark_fleet::cache::TraceCache;
+//! use pathmark_fleet::manifest::EmbedJobSpec;
+//! use pathmark_fleet::pool::WorkerPool;
+//! use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+//! use stackvm::insn::Cond;
+//!
+//! // A toy host program with a loop (so the trace has cold spots).
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = FunctionBuilder::new("main", 0, 2);
+//! let head = f.new_label();
+//! let out = f.new_label();
+//! f.push(0).store(0);
+//! f.bind(head);
+//! f.load(0).push(8).if_cmp(Cond::Ge, out);
+//! f.load(0).load(1).add().store(1);
+//! f.iinc(0, 1).goto(head);
+//! f.bind(out);
+//! f.load(1).print().ret_void();
+//! let main = pb.add_function(f.finish()?);
+//! let program = pb.finish(main)?;
+//!
+//! let key = WatermarkKey::new(0xF1EE7, vec![3, 1, 4]);
+//! let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+//! let pool = WorkerPool::new(4);
+//! let cache = TraceCache::new();
+//!
+//! // Four copies, each with its own derived watermark.
+//! let jobs: Vec<EmbedJobSpec> = (0..4)
+//!     .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+//!     .collect();
+//! let embedded = embed_batch(&program, &key, &config, &jobs, &pool, &cache)?;
+//! assert!(embedded.iter().all(|o| o.marked.is_some()));
+//!
+//! // Recognize every copy and check it recovers its own W_i.
+//! let rec_jobs: Vec<RecognizeJob> = embedded
+//!     .iter()
+//!     .map(|o| RecognizeJob {
+//!         job_id: o.report.job_id.clone(),
+//!         program: o.marked.clone().unwrap(),
+//!         expected_hex: Some(o.report.watermark_hex.clone()),
+//!         seed: o.report.seed,
+//!     })
+//!     .collect();
+//! let recognized = recognize_batch(&rec_jobs, &key, &config, &pool);
+//! assert!(recognized.iter().all(|o| o.report.status.is_ok()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod json;
+pub mod manifest;
+pub mod pool;
+pub mod shard;

@@ -1,0 +1,381 @@
+//! The JSONL batch manifest and report format.
+//!
+//! A **manifest** drives a batch: one JSON object per line, each naming
+//! one copy to fingerprint. Blank lines and `#` comments are skipped.
+//!
+//! ```text
+//! # 64-copy distribution run
+//! {"job_id":"copy-000"}
+//! {"job_id":"copy-001","seed":1234}
+//! {"job_id":"copy-002","watermark_hex":"8f3a9c"}
+//! ```
+//!
+//! Fields other than `job_id` are optional:
+//!
+//! * `seed` — the per-copy numeric secret. Defaults to
+//!   `base_seed XOR fnv1a(job_id)`, so every copy gets a distinct,
+//!   reproducible key derived from the batch key.
+//! * `watermark_hex` — the copy's watermark `W_i` in hex. Defaults to a
+//!   watermark drawn deterministically from the per-copy seed.
+//!
+//! A **report** is the output side: one line per job with the resolved
+//! `watermark_hex` and `seed`, a `status`, and the job's wall-clock
+//! time. Report lines are a superset of manifest lines, so a report can
+//! be fed back in as the manifest of a recognition run.
+
+use std::fmt;
+
+use pathmark_core::java::JavaConfig;
+use pathmark_core::key::{Watermark, WatermarkKey};
+use pathmark_crypto::Prng;
+use pathmark_math::bigint::BigUint;
+
+use crate::cache::fnv1a;
+use crate::json::{parse_object, write_object, Scalar};
+
+/// One manifest line: a copy to fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbedJobSpec {
+    /// Identifies the copy (and names its output file).
+    pub job_id: String,
+    /// Explicit watermark `W_i` in lowercase hex, if pinned.
+    pub watermark_hex: Option<String>,
+    /// Explicit per-copy numeric secret, if pinned.
+    pub seed: Option<u64>,
+}
+
+impl EmbedJobSpec {
+    /// A spec with derived seed and watermark.
+    pub fn new(job_id: impl Into<String>) -> EmbedJobSpec {
+        EmbedJobSpec {
+            job_id: job_id.into(),
+            watermark_hex: None,
+            seed: None,
+        }
+    }
+
+    /// The copy's numeric secret: the explicit `seed` field, or a
+    /// distinct reproducible value derived from the batch seed and the
+    /// job id.
+    pub fn effective_seed(&self, base_seed: u64) -> u64 {
+        self.seed
+            .unwrap_or_else(|| base_seed ^ fnv1a(self.job_id.as_bytes()))
+    }
+
+    /// The copy's full key under the batch key: per-copy numeric secret,
+    /// shared secret input (so all copies trace identically).
+    pub fn effective_key(&self, base: &WatermarkKey) -> WatermarkKey {
+        WatermarkKey::new(self.effective_seed(base.seed), base.input.clone())
+    }
+
+    /// Resolves the copy's watermark `W_i`: the explicit hex value, or a
+    /// watermark drawn deterministically from the per-copy seed.
+    ///
+    /// # Errors
+    ///
+    /// A message if `watermark_hex` is present but not valid hex.
+    pub fn watermark(
+        &self,
+        base: &WatermarkKey,
+        config: &JavaConfig,
+    ) -> Result<Watermark, String> {
+        match &self.watermark_hex {
+            Some(hex) => Ok(Watermark::from_value(
+                parse_hex(hex)?,
+                config.watermark_bits,
+            )),
+            None => {
+                let mut rng = Prng::from_seed(self.effective_seed(base.seed) ^ 0x57_4d46);
+                Ok(Watermark::random(config.watermark_bits, &mut rng))
+            }
+        }
+    }
+}
+
+/// A job's terminal state in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Embedded, or recognized with the expected watermark.
+    Ok,
+    /// The job failed; the payload says why (including panics).
+    Failed(String),
+    /// Recognition could not pin down a watermark.
+    NotFound,
+    /// Recognition recovered a watermark, but not the expected one.
+    Mismatch,
+}
+
+impl JobStatus {
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+
+    fn render(&self) -> String {
+        match self {
+            JobStatus::Ok => "ok".to_string(),
+            JobStatus::Failed(why) => format!("failed: {why}"),
+            JobStatus::NotFound => "not-found".to_string(),
+            JobStatus::Mismatch => "mismatch".to_string(),
+        }
+    }
+
+    fn parse(text: &str) -> JobStatus {
+        match text {
+            "ok" => JobStatus::Ok,
+            "not-found" => JobStatus::NotFound,
+            "mismatch" => JobStatus::Mismatch,
+            other => JobStatus::Failed(
+                other
+                    .strip_prefix("failed: ")
+                    .unwrap_or(other)
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One report line: a job's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// The copy's id, echoed from the manifest.
+    pub job_id: String,
+    /// The resolved watermark `W_i` in lowercase hex.
+    pub watermark_hex: String,
+    /// The resolved per-copy numeric secret.
+    pub seed: u64,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Wall-clock duration of the job in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl JobReport {
+    /// Serializes the report as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        write_object(&[
+            ("job_id", Scalar::Str(self.job_id.clone())),
+            ("watermark_hex", Scalar::Str(self.watermark_hex.clone())),
+            ("seed", Scalar::Num(self.seed)),
+            ("status", Scalar::Str(self.status.render())),
+            ("wall_ms", Scalar::Num(self.wall_ms)),
+        ])
+    }
+}
+
+/// Parses a manifest: one JSON object per line, `#` comments and blank
+/// lines skipped. Report lines parse too (their extra fields are
+/// accepted), so a previous embed report can drive a recognition run.
+///
+/// # Errors
+///
+/// A `line N: …` message naming the first malformed line.
+pub fn parse_manifest(text: &str) -> Result<Vec<EmbedJobSpec>, String> {
+    let mut specs = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields =
+            parse_object(line).map_err(|e| format!("line {}: {e}", number + 1))?;
+        let field_str = |name: &str| -> Result<Option<String>, String> {
+            match fields.get(name) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| format!("line {}: `{name}` must be a string", number + 1)),
+            }
+        };
+        let job_id = field_str("job_id")?
+            .ok_or_else(|| format!("line {}: missing `job_id`", number + 1))?;
+        let seed = match fields.get("seed") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| format!("line {}: `seed` must be an integer", number + 1))?,
+            ),
+        };
+        specs.push(EmbedJobSpec {
+            job_id,
+            watermark_hex: field_str("watermark_hex")?,
+            seed,
+        });
+    }
+    Ok(specs)
+}
+
+/// Parses a report produced by [`JobReport::to_line`] lines.
+///
+/// # Errors
+///
+/// A `line N: …` message naming the first malformed line.
+pub fn parse_report(text: &str) -> Result<Vec<JobReport>, String> {
+    let mut reports = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields =
+            parse_object(line).map_err(|e| format!("line {}: {e}", number + 1))?;
+        let str_field = |name: &str| -> Result<String, String> {
+            fields
+                .get(name)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: missing string `{name}`", number + 1))
+        };
+        let num_field = |name: &str| -> Result<u64, String> {
+            fields
+                .get(name)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("line {}: missing integer `{name}`", number + 1))
+        };
+        reports.push(JobReport {
+            job_id: str_field("job_id")?,
+            watermark_hex: str_field("watermark_hex")?,
+            seed: num_field("seed")?,
+            status: JobStatus::parse(&str_field("status")?),
+            wall_ms: num_field("wall_ms")?,
+        });
+    }
+    Ok(reports)
+}
+
+/// Formats a watermark value as lowercase hex (the manifest encoding).
+pub fn to_hex(value: &BigUint) -> String {
+    format!("{value:x}")
+}
+
+/// Parses the manifest hex encoding back into a value.
+///
+/// # Errors
+///
+/// A message naming the offending character, or empty input.
+pub fn parse_hex(s: &str) -> Result<BigUint, String> {
+    if s.is_empty() {
+        return Err("empty hex value".to_string());
+    }
+    let mut value = BigUint::zero();
+    for c in s.chars() {
+        let digit = c
+            .to_digit(16)
+            .ok_or_else(|| format!("bad hex digit `{c}`"))?;
+        value = &(&value << 4) + &BigUint::from(digit as u64);
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip_with_comments() {
+        let text = "\n# header comment\n{\"job_id\":\"a\"}\n  \n\
+                    {\"job_id\":\"b\",\"seed\":42}\n\
+                    {\"job_id\":\"c\",\"watermark_hex\":\"deadbeef\",\"seed\":7}\n";
+        let specs = parse_manifest(text).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0], EmbedJobSpec::new("a"));
+        assert_eq!(specs[1].seed, Some(42));
+        assert_eq!(specs[2].watermark_hex.as_deref(), Some("deadbeef"));
+    }
+
+    #[test]
+    fn manifest_errors_name_the_line() {
+        let err = parse_manifest("{\"job_id\":\"a\"}\n{\"seed\":1}\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = parse_manifest("{\"job_id\":7}").unwrap_err();
+        assert!(err.contains("must be a string"), "{err}");
+    }
+
+    #[test]
+    fn report_lines_round_trip_and_parse_as_manifest() {
+        let report = JobReport {
+            job_id: "copy-003".to_string(),
+            watermark_hex: "8f3a".to_string(),
+            seed: 1234,
+            status: JobStatus::Failed("trace budget exceeded".to_string()),
+            wall_ms: 17,
+        };
+        let line = report.to_line();
+        let parsed = parse_report(&line).unwrap();
+        assert_eq!(parsed, vec![report.clone()]);
+        // The same line works as a manifest: the copy keeps its identity.
+        let specs = parse_manifest(&line).unwrap();
+        assert_eq!(specs[0].job_id, "copy-003");
+        assert_eq!(specs[0].watermark_hex.as_deref(), Some("8f3a"));
+        assert_eq!(specs[0].seed, Some(1234));
+    }
+
+    #[test]
+    fn statuses_round_trip() {
+        for status in [
+            JobStatus::Ok,
+            JobStatus::NotFound,
+            JobStatus::Mismatch,
+            JobStatus::Failed("why: because".to_string()),
+        ] {
+            assert_eq!(JobStatus::parse(&status.render()), status);
+        }
+        assert!(JobStatus::Ok.is_ok());
+        assert!(!JobStatus::NotFound.is_ok());
+    }
+
+    #[test]
+    fn derived_seeds_and_watermarks_are_distinct_and_reproducible() {
+        let base = WatermarkKey::new(0xF1EE7, vec![1, 2]);
+        let config = JavaConfig::for_watermark_bits(64);
+        let a = EmbedJobSpec::new("copy-000");
+        let b = EmbedJobSpec::new("copy-001");
+        assert_ne!(a.effective_seed(base.seed), b.effective_seed(base.seed));
+        assert_eq!(a.effective_seed(base.seed), a.effective_seed(base.seed));
+        let wa = a.watermark(&base, &config).unwrap();
+        let wb = b.watermark(&base, &config).unwrap();
+        assert_ne!(wa.value(), wb.value());
+        assert_eq!(
+            a.watermark(&base, &config).unwrap().value(),
+            wa.value(),
+            "derivation is deterministic"
+        );
+        // Keys share the secret input but not the numeric secret.
+        let ka = a.effective_key(&base);
+        assert_eq!(ka.input, base.input);
+        assert_ne!(ka.seed, base.seed);
+    }
+
+    #[test]
+    fn explicit_watermark_hex_wins() {
+        let base = WatermarkKey::new(1, vec![]);
+        let config = JavaConfig::for_watermark_bits(64);
+        let spec = EmbedJobSpec {
+            job_id: "x".to_string(),
+            watermark_hex: Some("ff00".to_string()),
+            seed: None,
+        };
+        let w = spec.watermark(&base, &config).unwrap();
+        assert_eq!(to_hex(w.value()), "ff00");
+        let bad = EmbedJobSpec {
+            watermark_hex: Some("xyz".to_string()),
+            ..spec
+        };
+        assert!(bad.watermark(&base, &config).is_err());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        for text in ["0", "1", "deadbeef", "8f3a9c0012"] {
+            assert_eq!(to_hex(&parse_hex(text).unwrap()), text);
+        }
+        assert!(parse_hex("").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! A hand-rolled worker pool: `std::thread` workers pulling boxed jobs
+//! from a `Mutex`/`Condvar` queue.
+//!
+//! Two properties the batch engine depends on:
+//!
+//! * **panic isolation** — every job runs under
+//!   [`std::panic::catch_unwind`]; a poisoned job reports a
+//!   [`JobPanic`] and the worker moves on to the next job, so one bad
+//!   copy never kills the batch;
+//! * **graceful shutdown** — dropping the pool flags the queue, wakes
+//!   every worker, and joins them; already-queued jobs finish first.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job that escaped with a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, if it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+/// A fixed-size pool of worker threads.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pathmark-fleet-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one fire-and-forget job.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.ready.notify_one();
+    }
+
+    /// Runs `f` over every input on the pool and returns the results in
+    /// input order. A job that panics yields `Err(JobPanic)` in its slot
+    /// while every other job completes normally.
+    pub fn run_all<T, R, F>(&self, inputs: Vec<T>, f: F) -> Vec<Result<R, JobPanic>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        let n = inputs.len();
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, Result<R, JobPanic>)>();
+        for (index, input) in inputs.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(index, input)))
+                    .map_err(|payload| JobPanic {
+                        message: panic_message(&*payload),
+                    });
+                // The receiver hanging up just means the caller stopped
+                // listening; nothing useful to do with the error.
+                let _ = tx.send((index, result));
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<Result<R, JobPanic>>> = (0..n).map(|_| None).collect();
+        for (index, result) in rx.iter().take(n) {
+            results[index] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every job reported"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("queue lock");
+            }
+        };
+        // Belt and braces: `run_all` already catches panics inside the
+        // job closure, but a raw `execute` job must not kill the worker
+        // either.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_in_input_order() {
+        let pool = WorkerPool::new(4);
+        let results = pool.run_all((0..100).collect(), |_, v: i32| v * 2);
+        let got: Vec<i32> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes() {
+        let pool = WorkerPool::new(0); // clamped to 1
+        assert_eq!(pool.workers(), 1);
+        let results = pool.run_all(vec![1, 2, 3], |_, v: i32| v + 1);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let pool = WorkerPool::new(3);
+        let results = pool.run_all((0..16).collect(), |_, v: i32| {
+            if v == 7 {
+                panic!("job {v} is poisoned");
+            }
+            v
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.message.contains("poisoned"), "{err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_finishes_queued_execute_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins the workers after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn pool_survives_panics_in_execute_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            pool.execute(|| panic!("raw poisoned job"));
+            let counter2 = Arc::clone(&counter);
+            pool.execute(move || {
+                counter2.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Sharded recognition: scan the sliding 64-bit windows of the trace
+//! bit-string in parallel.
+//!
+//! Window `i` depends only on bits `i..i+64`, and everything downstream
+//! of the window scan (voting, the consistency graphs, Generalized CRT)
+//! consumes an *unordered multiset* of candidate statements. So the scan
+//! parallelizes embarrassingly: partition the window **start offsets**
+//! into disjoint contiguous ranges, run
+//! [`pathmark_core::java::window_candidates`] on each range on the
+//! worker pool, and merge the returned multiplicity maps by summing.
+//! The merged map equals a serial scan of the full range, making
+//! [`recognize_sharded`] bit-identical to
+//! [`pathmark_core::java::recognize_bits`] by construction — a property
+//! the integration tests assert on every pipeline fixture.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pathmark_core::bitstring::BitString;
+use pathmark_core::java::{
+    recognize_from_candidates, trace_program, window_candidates, JavaConfig, Recognition,
+};
+use pathmark_core::key::WatermarkKey;
+use pathmark_core::WatermarkError;
+use pathmark_math::crt::Statement;
+use stackvm::trace::TraceConfig;
+use stackvm::Program;
+
+use crate::pool::WorkerPool;
+
+/// Recognition over an already-decoded bit-string, with the window scan
+/// split into `shards` parallel chunks. Output is bit-identical to
+/// [`pathmark_core::java::recognize_bits`] for every shard count.
+///
+/// # Errors
+///
+/// [`WatermarkError::Math`] for prime-configuration errors.
+///
+/// # Panics
+///
+/// Propagates a panic from a shard worker (the scan is pure, so this
+/// indicates a bug, not a data condition).
+pub fn recognize_sharded(
+    bits: &BitString,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    shards: usize,
+    pool: &WorkerPool,
+) -> Result<Recognition, WatermarkError> {
+    let num_windows = bits.len().saturating_sub(63);
+    let shards = shards.clamp(1, num_windows.max(1));
+    let chunk = num_windows.div_ceil(shards).max(1);
+    let ranges: Vec<(usize, usize)> = (0..shards)
+        .map(|s| (s * chunk, ((s + 1) * chunk).min(num_windows)))
+        .filter(|&(start, end)| start < end)
+        .collect();
+
+    let bits = Arc::new(bits.clone());
+    let job_key = Arc::new(key.clone());
+    let job_config = Arc::new(config.clone());
+    let scanned = pool.run_all(ranges, move |_, (start, end)| {
+        window_candidates(&bits, &job_key, &job_config, start, end)
+    });
+
+    let mut merged: HashMap<Statement, u64> = HashMap::new();
+    for result in scanned {
+        let counts =
+            result.unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))?;
+        for (statement, count) in counts {
+            *merged.entry(statement).or_insert(0) += count;
+        }
+    }
+    recognize_from_candidates(merged, key, config)
+}
+
+/// Traces a (possibly attacked) program on the secret input and runs
+/// [`recognize_sharded`] on its bit-string — the parallel counterpart of
+/// [`pathmark_core::java::recognize`].
+///
+/// # Errors
+///
+/// * [`WatermarkError::TraceFailed`] if the program faults on the secret
+///   input;
+/// * [`WatermarkError::Math`] for prime-configuration errors.
+pub fn recognize_program_sharded(
+    program: &Program,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+    shards: usize,
+    pool: &WorkerPool,
+) -> Result<Recognition, WatermarkError> {
+    let trace = trace_program(program, key, config, TraceConfig::branches_only())?;
+    let bits = BitString::from_trace(&trace);
+    recognize_sharded(&bits, key, config, shards, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathmark_core::java::{embed, recognize_bits};
+    use pathmark_core::key::Watermark;
+    use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+    use stackvm::insn::Cond;
+
+    fn host_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        let head = f.new_label();
+        let out = f.new_label();
+        f.push(0).store(0);
+        f.bind(head);
+        f.load(0).push(8).if_cmp(Cond::Ge, out);
+        f.load(0).load(1).add().store(1);
+        f.iinc(0, 1).goto(head);
+        f.bind(out);
+        f.load(1).print().ret_void();
+        let main = pb.add_function(f.finish().unwrap());
+        pb.finish(main).unwrap()
+    }
+
+    #[test]
+    fn sharded_matches_serial_for_all_shard_counts() {
+        let key = WatermarkKey::new(0x5EC2E7, vec![3, 1, 4]);
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        let watermark = Watermark::random_for(&config, &key);
+        let marked = embed(&host_program(), &watermark, &key, &config).unwrap();
+        let trace =
+            trace_program(&marked.program, &key, &config, TraceConfig::branches_only()).unwrap();
+        let bits = BitString::from_trace(&trace);
+        let serial = recognize_bits(&bits, &key, &config).unwrap();
+        assert_eq!(serial.watermark.as_ref(), Some(watermark.value()));
+
+        let pool = WorkerPool::new(4);
+        for shards in [1usize, 2, 3, 7, 64, 10_000] {
+            let sharded = recognize_sharded(&bits, &key, &config, shards, &pool).unwrap();
+            assert_eq!(sharded, serial, "{shards} shards");
+        }
+        let via_program =
+            recognize_program_sharded(&marked.program, &key, &config, 4, &pool).unwrap();
+        assert_eq!(via_program, serial);
+    }
+
+    #[test]
+    fn degenerate_bitstrings_are_handled() {
+        let key = WatermarkKey::new(9, vec![]);
+        let config = JavaConfig::for_watermark_bits(64);
+        let pool = WorkerPool::new(2);
+        for len in [0usize, 10, 63, 64, 65] {
+            let bits = BitString::from_bits(vec![true; len]);
+            let serial = recognize_bits(&bits, &key, &config).unwrap();
+            let sharded = recognize_sharded(&bits, &key, &config, 8, &pool).unwrap();
+            assert_eq!(sharded, serial, "length {len}");
+        }
+    }
+}

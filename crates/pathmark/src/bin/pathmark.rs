@@ -11,7 +11,12 @@
 //! pathmark run --program P [--input I]   execute and print output
 //! pathmark attack --program Q --out R --kind K [--count N] [--seed S]
 //! pathmark disasm --program P            disassembly listing
+//! pathmark fleet embed --program P --manifest M --out-dir D --workers K --seed S --input I --bits B
+//! pathmark fleet recognize --dir D --manifest M --workers K --seed S --input I --bits B
 //! ```
+//!
+//! Exit codes: `0` success, `1` usage or processing error, `2`
+//! recognition ran but did not recover the expected watermark.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -19,39 +24,63 @@ use std::process::ExitCode;
 use pathmark::attacks::java as attacks;
 use pathmark::core::java::{embed, recognize, JavaConfig};
 use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark::fleet::cache::TraceCache;
+use pathmark::fleet::manifest::{parse_manifest, to_hex};
+use pathmark::fleet::pool::WorkerPool;
 use pathmark::math::bigint::BigUint;
 use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
+
+/// Why the CLI failed — split so recognition misses get their own exit
+/// code, distinguishable from bad invocations in scripts.
+enum CliError {
+    /// Bad flags, unreadable files, or a processing failure: exit 1.
+    Usage(String),
+    /// Recognition completed but the watermark was not recovered (the
+    /// machine-readable `RESULT` line is already printed): exit 2.
+    NotFound,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("run `pathmark help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(1)
         }
+        Err(CliError::NotFound) => ExitCode::from(2),
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("no command given".into());
+        return Err(CliError::Usage("no command given".into()));
     };
+    if command == "fleet" {
+        return cmd_fleet(&args[1..]);
+    }
     let opts = parse_options(&args[1..])?;
     match command.as_str() {
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             Ok(())
         }
-        "demo" => cmd_demo(&opts),
-        "embed" => cmd_embed(&opts),
+        "demo" => cmd_demo(&opts).map_err(CliError::from),
+        "embed" => cmd_embed(&opts).map_err(CliError::from),
         "recognize" => cmd_recognize(&opts),
-        "run" => cmd_run(&opts),
-        "attack" => cmd_attack(&opts),
-        "disasm" => cmd_disasm(&opts),
-        other => Err(format!("unknown command `{other}`")),
+        "run" => cmd_run(&opts).map_err(CliError::from),
+        "attack" => cmd_attack(&opts).map_err(CliError::from),
+        "disasm" => cmd_disasm(&opts).map_err(CliError::from),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -66,7 +95,20 @@ commands:
   run       --program FILE [--input A,B,…]  execute, print output
   attack    --program FILE --out FILE --kind KIND [--count N] [--seed N]
             KIND: branches | nops | invert | reorder | split | diversify
-  disasm    --program FILE                  print a listing";
+  disasm    --program FILE                  print a listing
+  fleet embed     --program FILE --manifest FILE --out-dir DIR --seed N
+                  --input A,B,… --bits N [--pieces N] [--workers K]
+                  fingerprint one copy per manifest line (JSONL); writes
+                  DIR/<job_id>.pmvm per copy plus DIR/report.jsonl
+  fleet recognize --dir DIR --manifest FILE --seed N --input A,B,…
+                  --bits N [--pieces N] [--workers K]
+                  recognize every copy against its manifest entry; the
+                  embed report doubles as the manifest
+
+exit codes:
+  0  success
+  1  usage or processing error
+  2  recognition did not recover the (expected) watermark";
 
 fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -180,20 +222,28 @@ fn cmd_embed(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let program = load_program(required(opts, "program")?)?;
     let (key, config) = key_and_config(opts)?;
     let rec = recognize(&program, &key, &config).map_err(|e| e.to_string())?;
-    println!(
+    eprintln!(
         "candidates: {}, after vote: {}, survivors: {}, primes covered: {}/{}",
         rec.candidates, rec.after_vote, rec.survivors, rec.primes_covered, rec.primes_total
     );
+    // One machine-readable line on stdout either way; the exit code
+    // (0 vs 2) carries the verdict for scripts.
     match rec.watermark {
         Some(w) => {
-            println!("recovered W = {w:x}");
+            println!("RESULT found watermark_hex={w:x}");
             Ok(())
         }
-        None => Err("no watermark recovered".into()),
+        None => {
+            println!(
+                "RESULT not-found primes_covered={}/{}",
+                rec.primes_covered, rec.primes_total
+            );
+            Err(CliError::NotFound)
+        }
     }
 }
 
@@ -239,5 +289,124 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_disasm(opts: &HashMap<String, String>) -> Result<(), String> {
     let program = load_program(required(opts, "program")?)?;
     print!("{}", pathmark::vm::pretty::disassemble(&program));
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage(
+            "fleet needs a subcommand: embed | recognize".into(),
+        ));
+    };
+    let opts = parse_options(&args[1..])?;
+    match sub.as_str() {
+        "embed" => cmd_fleet_embed(&opts),
+        "recognize" => cmd_fleet_recognize(&opts),
+        other => Err(CliError::Usage(format!("unknown fleet subcommand `{other}`"))),
+    }
+}
+
+fn parse_workers(opts: &HashMap<String, String>) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    parse_usize_or(opts, "workers", default)
+}
+
+fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let program = load_program(required(opts, "program")?)?;
+    let manifest_path = required(opts, "manifest")?;
+    let out_dir = required(opts, "out-dir")?;
+    let workers = parse_workers(opts)?;
+    let (key, config) = key_and_config(opts)?;
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("{manifest_path}: {e}"))?;
+    let jobs = parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    if jobs.is_empty() {
+        return Err(CliError::Usage(format!("{manifest_path}: no jobs")));
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+
+    let pool = WorkerPool::new(workers);
+    let cache = TraceCache::new();
+    let started = std::time::Instant::now();
+    let outcomes = embed_batch(&program, &key, &config, &jobs, &pool, &cache)
+        .map_err(|e| e.to_string())?;
+
+    let mut report = String::new();
+    let mut failed = 0usize;
+    for outcome in &outcomes {
+        if let Some(marked) = &outcome.marked {
+            save_program(&format!("{out_dir}/{}.pmvm", outcome.report.job_id), marked)?;
+        } else {
+            failed += 1;
+        }
+        report.push_str(&outcome.report.to_line());
+        report.push('\n');
+    }
+    let report_path = format!("{out_dir}/report.jsonl");
+    std::fs::write(&report_path, &report).map_err(|e| format!("{report_path}: {e}"))?;
+    eprintln!(
+        "embedded {}/{} copies in {} ms with {workers} workers; report: {report_path}",
+        outcomes.len() - failed,
+        outcomes.len(),
+        started.elapsed().as_millis(),
+    );
+    if failed > 0 {
+        return Err(CliError::Usage(format!(
+            "{failed} of {} embed jobs failed (see {report_path})",
+            outcomes.len()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let dir = required(opts, "dir")?;
+    let manifest_path = required(opts, "manifest")?;
+    let workers = parse_workers(opts)?;
+    let (key, config) = key_and_config(opts)?;
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| format!("{manifest_path}: {e}"))?;
+    let specs = parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
+    if specs.is_empty() {
+        return Err(CliError::Usage(format!("{manifest_path}: no jobs")));
+    }
+
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        let program = load_program(&format!("{dir}/{}.pmvm", spec.job_id))?;
+        // The expected watermark is resolved exactly as `fleet embed`
+        // resolved it, so a plain manifest works as well as a report.
+        let expected = match &spec.watermark_hex {
+            Some(hex) => hex.clone(),
+            None => to_hex(spec.watermark(&key, &config)?.value()),
+        };
+        jobs.push(RecognizeJob {
+            job_id: spec.job_id.clone(),
+            program,
+            expected_hex: Some(expected),
+            seed: spec.effective_seed(key.seed),
+        });
+    }
+
+    let pool = WorkerPool::new(workers);
+    let started = std::time::Instant::now();
+    let outcomes = recognize_batch(&jobs, &key, &config, &pool);
+    let mut recovered = 0usize;
+    for outcome in &outcomes {
+        println!("{}", outcome.report.to_line());
+        if outcome.report.status.is_ok() {
+            recovered += 1;
+        }
+    }
+    eprintln!(
+        "recognized {recovered}/{} copies in {} ms with {workers} workers",
+        outcomes.len(),
+        started.elapsed().as_millis(),
+    );
+    if recovered < outcomes.len() {
+        return Err(CliError::NotFound);
+    }
     Ok(())
 }

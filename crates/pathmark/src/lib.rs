@@ -19,6 +19,7 @@
 //! | [`sim`] | the IA-32-like native simulator substrate |
 //! | [`attacks`] | the distortive / rewriting attack suite (Section 5) |
 //! | [`workloads`] | CaffeineMark-, Jess- and SPECint-like programs |
+//! | [`fleet`] | parallel batch fingerprinting & recognition engine |
 //!
 //! # Example
 //!
@@ -43,6 +44,7 @@
 pub use pathmark_attacks as attacks;
 pub use pathmark_core as core;
 pub use pathmark_crypto as crypto;
+pub use pathmark_fleet as fleet;
 pub use pathmark_math as math;
 pub use pathmark_workloads as workloads;
 

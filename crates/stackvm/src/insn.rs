@@ -4,11 +4,10 @@
 //! function (the JVM uses byte offsets; instruction indices are equivalent
 //! for every algorithm in this system and make editing fix-ups simpler).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison condition for conditional branches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Equal.
     Eq,
@@ -66,7 +65,7 @@ impl fmt::Display for Cond {
 }
 
 /// Binary arithmetic/logic operators (operate on the top two stack slots).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -112,7 +111,7 @@ impl fmt::Display for BinOp {
 }
 
 /// One bytecode instruction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Insn {
     /// Push a constant.
     Const(i64),

@@ -1,14 +1,11 @@
 //! Program, function, and static-field models.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::insn::Insn;
 
 /// Identifier of a function within a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FuncId(pub u32);
 
 impl fmt::Display for FuncId {
@@ -18,13 +15,11 @@ impl fmt::Display for FuncId {
 }
 
 /// Identifier of a static field within a [`Program`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StaticId(pub u32);
 
 /// A single function: a flat instruction vector plus frame metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Function {
     /// Human-readable name (diagnostics and disassembly only).
     pub name: String,
@@ -75,7 +70,7 @@ pub fn encoded_size(insn: &Insn) -> usize {
 }
 
 /// A complete program: functions, static fields, and an entry point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// All functions; [`FuncId`] indexes into this vector.
     pub functions: Vec<Function>,

@@ -7,15 +7,12 @@
 //! branch with the identity of the block that followed it (which is what
 //! the bit-string decoder consumes).
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 use crate::program::FuncId;
 
 /// A dynamic program point: a function and an instruction index in it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Site {
     /// The containing function.
     pub func: FuncId,
@@ -24,7 +21,7 @@ pub struct Site {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A basic block (identified by its leader) began executing.
     EnterBlock {
@@ -52,7 +49,7 @@ pub enum TraceEvent {
 }
 
 /// What the interpreter records while running.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceConfig {
     /// Record [`TraceEvent::EnterBlock`] events.
     pub blocks: bool,
@@ -102,7 +99,7 @@ impl TraceConfig {
 }
 
 /// The recorded execution trace.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Events in execution order.
     pub events: Vec<TraceEvent>,

@@ -1,8 +1,8 @@
-//! Property tests over randomly generated (but well-formed by
+//! Randomized-property tests over generated (but well-formed by
 //! construction) programs: verification, execution, codec round-trips,
-//! and editing invariants.
-
-use proptest::prelude::*;
+//! and editing invariants. Randomness comes from the same hand-rolled
+//! deterministic generator that builds the programs, so every run tests
+//! the identical case set (no external property-testing crates).
 
 use stackvm::builder::{FunctionBuilder, ProgramBuilder};
 use stackvm::insn::{BinOp, Cond, Insn};
@@ -90,38 +90,49 @@ fn generate(seed: u64) -> Program {
     pb.finish(main_id).expect("generated program verifies")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
 
-    #[test]
-    fn generated_programs_verify_and_terminate(seed in any::<u64>()) {
+const CASES: u64 = 48;
+
+#[test]
+fn generated_programs_verify_and_terminate() {
+    for seed in 0..CASES {
+        let seed = Gen::new(seed).next();
         let p = generate(seed);
         stackvm::verify::verify(&p).expect("verifies");
         let out = Vm::new(&p).with_budget(5_000_000).run().expect("terminates");
         // Deterministic re-run.
         let out2 = Vm::new(&p).with_budget(5_000_000).run().expect("terminates");
-        prop_assert_eq!(out.output, out2.output);
-        prop_assert_eq!(out.instructions, out2.instructions);
+        assert_eq!(out.output, out2.output, "seed {seed}");
+        assert_eq!(out.instructions, out2.instructions, "seed {seed}");
     }
+}
 
-    #[test]
-    fn codec_round_trips_generated_programs(seed in any::<u64>()) {
+#[test]
+fn codec_round_trips_generated_programs() {
+    for seed in 0..CASES {
+        let seed = Gen::new(seed ^ 0xC0DEC).next();
         let p = generate(seed);
         let bytes = stackvm::codec::encode_program(&p);
         let q = stackvm::codec::decode_program(&bytes).expect("decodes");
-        prop_assert_eq!(&p, &q);
+        assert_eq!(p, q, "seed {seed}");
         // And the decoded program behaves identically.
         let a = Vm::new(&p).with_budget(5_000_000).run().expect("runs");
         let b = Vm::new(&q).with_budget(5_000_000).run().expect("runs");
-        prop_assert_eq!(a.output, b.output);
+        assert_eq!(a.output, b.output, "seed {seed}");
     }
+}
 
-    #[test]
-    fn nop_splices_never_change_behavior(seed in any::<u64>(), positions in proptest::collection::vec(any::<u64>(), 1..20)) {
+#[test]
+fn nop_splices_never_change_behavior() {
+    for seed in 0..CASES {
+        let seed = Gen::new(seed ^ 0x5EED).next();
         let p = generate(seed);
         let baseline = Vm::new(&p).with_budget(5_000_000).run().expect("runs").output;
         let mut edited = p.clone();
-        for (k, &pos) in positions.iter().enumerate() {
+        let mut g = Gen::new(seed ^ 0x1);
+        let splices = 1 + g.below(19) as usize;
+        for k in 0..splices {
+            let pos = g.next();
             let fidx = (pos as usize) % edited.functions.len();
             let func = &mut edited.functions[fidx];
             let at = (pos as usize / 7 + k) % (func.code.len() + 1);
@@ -129,13 +140,16 @@ proptest! {
         }
         stackvm::verify::verify(&edited).expect("edited program verifies");
         let out = Vm::new(&edited).with_budget(5_000_000).run().expect("runs");
-        prop_assert_eq!(out.output, baseline);
+        assert_eq!(out.output, baseline, "seed {seed}");
     }
+}
 
-    #[test]
-    fn disassembly_never_panics(seed in any::<u64>()) {
+#[test]
+fn disassembly_never_panics() {
+    for seed in 0..CASES {
+        let seed = Gen::new(seed ^ 0xD15A).next();
         let p = generate(seed);
         let text = stackvm::pretty::disassemble(&p);
-        prop_assert!(text.contains("fn main"));
+        assert!(text.contains("fn main"), "seed {seed}");
     }
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# CI gate: the tier-1 build/test pass plus a fleet smoke run through the
+# CLI (16 copies embedded and recognized end to end). Offline-safe: the
+# workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> fleet smoke: 16-copy embed/recognize round trip"
+BIN=target/release/pathmark
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+"$BIN" demo --out "$SMOKE/demo.pmvm"
+i=0
+while [ "$i" -lt 16 ]; do
+    printf '{"job_id":"copy-%03d"}\n' "$i"
+    i=$((i + 1))
+done > "$SMOKE/manifest.jsonl"
+
+"$BIN" fleet embed --program "$SMOKE/demo.pmvm" \
+    --manifest "$SMOKE/manifest.jsonl" --out-dir "$SMOKE/copies" \
+    --workers 4 --seed 7 --input 12 --bits 128
+
+count=$(ls "$SMOKE/copies"/*.pmvm | wc -l)
+[ "$count" -eq 16 ] || { echo "expected 16 copies, got $count" >&2; exit 1; }
+
+"$BIN" fleet recognize --dir "$SMOKE/copies" \
+    --manifest "$SMOKE/copies/report.jsonl" \
+    --workers 4 --seed 7 --input 12 --bits 128 > "$SMOKE/recognized.jsonl"
+
+ok=$(grep -c '"status":"ok"' "$SMOKE/recognized.jsonl")
+[ "$ok" -eq 16 ] || { echo "expected 16 recognized copies, got $ok" >&2; exit 1; }
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,250 @@
+//! End-to-end tests for the batch fingerprinting engine: determinism
+//! across runs and worker counts, sharded-vs-serial recognizer
+//! equivalence on the pipeline fixtures, and failure isolation.
+
+use pathmark::core::bitstring::BitString;
+use pathmark::core::java::{
+    embed, recognize_bits, trace_program, JavaConfig, Recognition,
+};
+use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark::fleet::cache::TraceCache;
+use pathmark::fleet::manifest::EmbedJobSpec;
+use pathmark::fleet::pool::WorkerPool;
+use pathmark::fleet::shard::recognize_sharded;
+use pathmark::vm::builder::{FunctionBuilder, ProgramBuilder};
+use pathmark::vm::codec::encode_program;
+use pathmark::vm::insn::Cond;
+use pathmark::vm::trace::TraceConfig;
+use pathmark::vm::Program;
+use pathmark::workloads::java as workloads;
+
+/// A small host with a loop, so batches stay fast in debug builds while
+/// the trace still has cold and hot spots.
+fn host_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = FunctionBuilder::new("main", 0, 2);
+    let head = f.new_label();
+    let out = f.new_label();
+    f.push(0).store(0);
+    f.bind(head);
+    f.load(0).push(12).if_cmp(Cond::Ge, out);
+    f.load(0).load(1).add().store(1);
+    f.iinc(0, 1).goto(head);
+    f.bind(out);
+    f.load(1).print().ret_void();
+    let main = pb.add_function(f.finish().unwrap());
+    pb.finish(main).unwrap()
+}
+
+fn batch_key() -> WatermarkKey {
+    WatermarkKey::new(0xF1EE7_CAFE, vec![3, 1, 4])
+}
+
+fn batch_config() -> JavaConfig {
+    JavaConfig::for_watermark_bits(64).with_pieces(12)
+}
+
+fn manifest(n: usize) -> Vec<EmbedJobSpec> {
+    (0..n)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect()
+}
+
+#[test]
+fn sixty_four_copies_each_recognize_to_their_own_watermark() {
+    let pool = WorkerPool::new(4);
+    let cache = TraceCache::new();
+    let jobs = manifest(64);
+    let outcomes = embed_batch(
+        &host_program(),
+        &batch_key(),
+        &batch_config(),
+        &jobs,
+        &pool,
+        &cache,
+    )
+    .unwrap();
+    assert_eq!(outcomes.len(), 64);
+    assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
+    assert_eq!(cache.stats().misses, 1, "one trace serves all 64 jobs");
+
+    // 64 distinct watermarks and 64 distinct marked programs.
+    let mut hexes: Vec<&str> = outcomes
+        .iter()
+        .map(|o| o.report.watermark_hex.as_str())
+        .collect();
+    hexes.sort_unstable();
+    hexes.dedup();
+    assert_eq!(hexes.len(), 64, "watermarks are pairwise distinct");
+    let mut bytes: Vec<Vec<u8>> = outcomes
+        .iter()
+        .map(|o| encode_program(o.marked.as_ref().unwrap()))
+        .collect();
+    bytes.sort_unstable();
+    bytes.dedup();
+    assert_eq!(bytes.len(), 64, "copies are pairwise distinct");
+
+    // Every copy recognizes back to exactly its own W_i.
+    let rec_jobs: Vec<RecognizeJob> = outcomes
+        .iter()
+        .map(|o| RecognizeJob {
+            job_id: o.report.job_id.clone(),
+            program: o.marked.clone().unwrap(),
+            expected_hex: Some(o.report.watermark_hex.clone()),
+            seed: o.report.seed,
+        })
+        .collect();
+    let recognized = recognize_batch(&rec_jobs, &batch_key(), &batch_config(), &pool);
+    for (outcome, job) in recognized.iter().zip(&rec_jobs) {
+        assert!(
+            outcome.report.status.is_ok(),
+            "{}: {:?}",
+            job.job_id,
+            outcome.report
+        );
+        assert_eq!(
+            Some(&outcome.report.watermark_hex),
+            job.expected_hex.as_ref(),
+            "{} recovers its own mark",
+            job.job_id
+        );
+    }
+}
+
+#[test]
+fn batches_are_byte_identical_across_runs_and_worker_counts() {
+    let jobs = manifest(16);
+    let mut baseline: Option<Vec<Vec<u8>>> = None;
+    for workers in [1usize, 3, 8, 8] {
+        let pool = WorkerPool::new(workers);
+        let cache = TraceCache::new();
+        let outcomes = embed_batch(
+            &host_program(),
+            &batch_key(),
+            &batch_config(),
+            &jobs,
+            &pool,
+            &cache,
+        )
+        .unwrap();
+        let bytes: Vec<Vec<u8>> = outcomes
+            .iter()
+            .map(|o| encode_program(o.marked.as_ref().unwrap()))
+            .collect();
+        match &baseline {
+            None => baseline = Some(bytes),
+            Some(expected) => {
+                assert_eq!(&bytes, expected, "{workers} workers diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_copies_match_the_serial_embedder_exactly() {
+    // A fleet copy must be byte-identical to what a lone `embed` call
+    // with the same key and watermark would have produced.
+    let pool = WorkerPool::new(4);
+    let cache = TraceCache::new();
+    let jobs = manifest(4);
+    let outcomes = embed_batch(
+        &host_program(),
+        &batch_key(),
+        &batch_config(),
+        &jobs,
+        &pool,
+        &cache,
+    )
+    .unwrap();
+    for (outcome, spec) in outcomes.iter().zip(&jobs) {
+        let job_key = spec.effective_key(&batch_key());
+        let watermark = spec.watermark(&batch_key(), &batch_config()).unwrap();
+        let serial = embed(&host_program(), &watermark, &job_key, &batch_config()).unwrap();
+        assert_eq!(
+            encode_program(outcome.marked.as_ref().unwrap()),
+            encode_program(&serial.program),
+            "{}",
+            spec.job_id
+        );
+    }
+}
+
+#[test]
+fn sharded_recognition_is_bit_identical_on_every_pipeline_fixture() {
+    let pool = WorkerPool::new(4);
+    for workload in workloads::all() {
+        let key = WatermarkKey::new(0x0123_4567_89AB, workload.secret_input.clone());
+        let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
+        let watermark = Watermark::random_for(&config, &key);
+        let marked = embed(&workload.program, &watermark, &key, &config).unwrap();
+        for program in [&workload.program, &marked.program] {
+            let trace =
+                trace_program(program, &key, &config, TraceConfig::branches_only()).unwrap();
+            let bits = BitString::from_trace(&trace);
+            let serial: Recognition = recognize_bits(&bits, &key, &config).unwrap();
+            for shards in [1usize, 5, 16] {
+                let sharded =
+                    recognize_sharded(&bits, &key, &config, shards, &pool).unwrap();
+                assert_eq!(
+                    sharded, serial,
+                    "{}: {shards} shards diverged",
+                    workload.name
+                );
+            }
+        }
+        // Sanity: the marked fixture actually recognizes.
+        let trace =
+            trace_program(&marked.program, &key, &config, TraceConfig::branches_only()).unwrap();
+        let rec = recognize_sharded(
+            &BitString::from_trace(&trace),
+            &key,
+            &config,
+            8,
+            &pool,
+        )
+        .unwrap();
+        assert_eq!(rec.watermark.as_ref(), Some(watermark.value()), "{}", workload.name);
+    }
+}
+
+#[test]
+fn one_malformed_job_fails_while_the_rest_complete() {
+    let pool = WorkerPool::new(3);
+    let cache = TraceCache::new();
+    let mut jobs = manifest(8);
+    jobs[3].watermark_hex = Some("this-is-not-hex".to_string());
+    let outcomes = embed_batch(
+        &host_program(),
+        &batch_key(),
+        &batch_config(),
+        &jobs,
+        &pool,
+        &cache,
+    )
+    .unwrap();
+    let (ok, failed): (Vec<_>, Vec<_>) =
+        outcomes.iter().partition(|o| o.report.status.is_ok());
+    assert_eq!(ok.len(), 7, "the other seven copies complete");
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].report.job_id, "copy-003");
+    assert!(failed[0].marked.is_none());
+}
+
+#[test]
+fn a_panicking_job_is_contained_by_the_pool() {
+    // Drive the pool the way the batch engine does, with one job that
+    // panics outright: the panic must surface as that job's error only.
+    let pool = WorkerPool::new(4);
+    let results = pool.run_all((0..12).collect::<Vec<usize>>(), |_, i| {
+        assert!(i != 5, "copy 5 is poisoned");
+        i * i
+    });
+    for (i, result) in results.iter().enumerate() {
+        if i == 5 {
+            assert!(result.as_ref().unwrap_err().message.contains("poisoned"));
+        } else {
+            assert_eq!(*result.as_ref().unwrap(), i * i);
+        }
+    }
+}

@@ -1,7 +1,7 @@
-//! Cross-crate property-based tests (proptest) on the invariants the
-//! watermarking protocol rests on.
-
-use proptest::prelude::*;
+//! Cross-crate randomized-property tests on the invariants the
+//! watermarking protocol rests on. Random cases are drawn from the
+//! workspace's own keyed [`Prng`], so every run tests the identical
+//! deterministic case set (no external property-testing crates).
 
 use pathmark::core::bitstring::BitString;
 use pathmark::core::java::{embed, recognize_bits, JavaConfig};
@@ -16,104 +16,154 @@ use pathmark::vm::insn::Cond;
 use pathmark::vm::interp::Vm;
 use pathmark::vm::trace::TraceConfig;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    // ---- bignum vs u128 oracle -------------------------------------
+// ---- bignum vs u128 oracle -------------------------------------------
 
-    #[test]
-    fn bigint_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bigint_add_matches_u128() {
+    let mut rng = Prng::from_seed(0xADD);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let sum = &BigUint::from(a) + &BigUint::from(b);
-        prop_assert_eq!(sum, BigUint::from(a as u128 + b as u128));
+        assert_eq!(sum, BigUint::from(a as u128 + b as u128));
     }
+}
 
-    #[test]
-    fn bigint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn bigint_mul_matches_u128() {
+    let mut rng = Prng::from_seed(0x3B1);
+    for _ in 0..CASES {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
         let prod = &BigUint::from(a) * &BigUint::from(b);
-        prop_assert_eq!(prod, BigUint::from(a as u128 * b as u128));
+        assert_eq!(prod, BigUint::from(a as u128 * b as u128));
     }
+}
 
-    #[test]
-    fn bigint_divrem_matches_u128(a in any::<u128>(), b in 1u64..) {
+#[test]
+fn bigint_divrem_matches_u128() {
+    let mut rng = Prng::from_seed(0xD1F);
+    for _ in 0..CASES {
+        let a = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let b = rng.next_u64().max(1);
         let (q, r) = BigUint::from(a).divrem(&BigUint::from(b)).unwrap();
-        prop_assert_eq!(q, BigUint::from(a / b as u128));
-        prop_assert_eq!(r, BigUint::from(a % b as u128));
+        assert_eq!(q, BigUint::from(a / b as u128));
+        assert_eq!(r, BigUint::from(a % b as u128));
     }
+}
 
-    #[test]
-    fn bigint_parse_display_round_trip(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+#[test]
+fn bigint_parse_display_round_trip() {
+    let mut rng = Prng::from_seed(0x9A55);
+    for _ in 0..CASES {
+        let limbs: Vec<u64> = (0..rng.index(6)).map(|_| rng.next_u64()).collect();
         let n = BigUint::from_limbs(limbs);
         let s = n.to_string();
-        prop_assert_eq!(s.parse::<BigUint>().unwrap(), n);
+        assert_eq!(s.parse::<BigUint>().unwrap(), n);
     }
+}
 
-    #[test]
-    fn ext_gcd_bezout(a in 1u64.., b in 1u64..) {
+#[test]
+fn ext_gcd_bezout() {
+    let mut rng = Prng::from_seed(0xBE2);
+    for _ in 0..CASES {
+        let a = rng.next_u64().max(1);
+        let b = rng.next_u64().max(1);
         let (g, x, y) = ext_gcd(&BigUint::from(a), &BigUint::from(b));
         let lhs = &(&BigInt::from(BigUint::from(a)) * &x)
             + &(&BigInt::from(BigUint::from(b)) * &y);
-        prop_assert_eq!(lhs, BigInt::from(g));
+        assert_eq!(lhs, BigInt::from(g));
     }
+}
 
-    // ---- cipher / hash ----------------------------------------------
+// ---- cipher / hash ----------------------------------------------------
 
-    #[test]
-    fn xtea_round_trips(key in any::<u128>(), block in any::<u64>()) {
+#[test]
+fn xtea_round_trips() {
+    let mut rng = Prng::from_seed(0x7EA);
+    for _ in 0..CASES {
+        let key = (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        let block = rng.next_u64();
         let cipher = Xtea::from_u128(key);
-        prop_assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
+        assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
     }
+}
 
-    #[test]
-    fn phf_is_injective_on_its_keys(
-        seed in any::<u64>(),
-        keys in proptest::collection::hash_set(any::<u32>(), 1..200),
-    ) {
-        let keys: Vec<u32> = keys.into_iter().collect();
+#[test]
+fn phf_is_injective_on_its_keys() {
+    let mut rng = Prng::from_seed(0x9F);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let mut keys: Vec<u32> = (0..1 + rng.index(199))
+            .map(|_| rng.next_u32())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
         let h = DisplacementHash::build(&keys, seed).unwrap();
         let mut slots: Vec<usize> = keys.iter().map(|&k| h.eval(k)).collect();
         slots.sort_unstable();
         let n = slots.len();
         slots.dedup();
-        prop_assert_eq!(slots.len(), n);
-    }
-
-    // ---- CRT / enumeration ------------------------------------------
-
-    #[test]
-    fn watermark_splits_recombine(seed in any::<u64>(), wm_bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
-        let primes = generate_primes(seed, 24, 12);
-        let e = PairEnumeration::new(&primes).unwrap();
-        let w = BigUint::from_bytes_le(&wm_bytes);
-        prop_assume!(w < e.watermark_bound());
-        let pieces = e.split(&w);
-        let (value, _) = combine_statements(&pieces, &primes).unwrap();
-        prop_assert_eq!(value, w);
-    }
-
-    #[test]
-    fn enumeration_decode_encode_identity(seed in any::<u64>(), raw in any::<u64>()) {
-        let primes = generate_primes(seed, 22, 8);
-        let e = PairEnumeration::new(&primes).unwrap();
-        if let Ok(statement) = e.decode(raw % e.range()) {
-            prop_assert_eq!(e.encode(&statement).unwrap(), raw % e.range());
-        }
-    }
-
-    // ---- recognition robustness -------------------------------------
-
-    #[test]
-    fn recognition_never_hallucinates_from_noise(seed in any::<u64>(), len in 100usize..4000) {
-        // Pure random bit-strings must not produce a full recovery.
-        let key = WatermarkKey::new(seed, vec![]);
-        let config = JavaConfig::for_watermark_bits(128);
-        let mut rng = Prng::from_seed(seed ^ 1);
-        let bits: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
-        let rec = recognize_bits(&BitString::from_bits(bits), &key, &config).unwrap();
-        prop_assert!(rec.watermark.is_none(), "recovered from pure noise");
+        assert_eq!(slots.len(), n);
     }
 }
 
-// ---- heavier, lower-case-count properties ---------------------------
+// ---- CRT / enumeration ------------------------------------------------
+
+#[test]
+fn watermark_splits_recombine() {
+    let mut rng = Prng::from_seed(0xC27);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let primes = generate_primes(seed, 24, 12);
+        let e = PairEnumeration::new(&primes).unwrap();
+        let mut wm_bytes = vec![0u8; 1 + rng.index(31)];
+        rng.fill_bytes(&mut wm_bytes);
+        let w = BigUint::from_bytes_le(&wm_bytes);
+        if w >= e.watermark_bound() {
+            continue;
+        }
+        let pieces = e.split(&w);
+        let (value, _) = combine_statements(&pieces, &primes).unwrap();
+        assert_eq!(value, w);
+    }
+}
+
+#[test]
+fn enumeration_decode_encode_identity() {
+    let mut rng = Prng::from_seed(0xDECE);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let raw = rng.next_u64();
+        let primes = generate_primes(seed, 22, 8);
+        let e = PairEnumeration::new(&primes).unwrap();
+        if let Ok(statement) = e.decode(raw % e.range()) {
+            assert_eq!(e.encode(&statement).unwrap(), raw % e.range());
+        }
+    }
+}
+
+// ---- recognition robustness -------------------------------------------
+
+#[test]
+fn recognition_never_hallucinates_from_noise() {
+    let mut rng = Prng::from_seed(0x9015E);
+    for _ in 0..CASES {
+        // Pure random bit-strings must not produce a full recovery.
+        let seed = rng.next_u64();
+        let len = 100 + rng.index(3900);
+        let key = WatermarkKey::new(seed, vec![]);
+        let config = JavaConfig::for_watermark_bits(128);
+        let mut bit_rng = Prng::from_seed(seed ^ 1);
+        let bits: Vec<bool> = (0..len).map(|_| bit_rng.chance(0.5)).collect();
+        let rec = recognize_bits(&BitString::from_bits(bits), &key, &config).unwrap();
+        assert!(rec.watermark.is_none(), "recovered from pure noise");
+    }
+}
+
+// ---- heavier, lower-case-count properties -----------------------------
+
+const HEAVY_CASES: usize = 12;
 
 fn loopy_program(iters: i64) -> pathmark::vm::Program {
     let mut pb = ProgramBuilder::new();
@@ -131,11 +181,12 @@ fn loopy_program(iters: i64) -> pathmark::vm::Program {
     pb.finish(main).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn embed_recognize_round_trip_random_keys(seed in any::<u64>(), pieces in 6usize..40) {
+#[test]
+fn embed_recognize_round_trip_random_keys() {
+    let mut rng = Prng::from_seed(0x22);
+    for _ in 0..HEAVY_CASES {
+        let seed = rng.next_u64();
+        let pieces = 6 + rng.index(34);
         let program = loopy_program(9);
         let key = WatermarkKey::new(seed, vec![1, 2, 3]);
         let config = JavaConfig::for_watermark_bits(64).with_pieces(pieces);
@@ -144,15 +195,19 @@ proptest! {
         // Semantics.
         let orig = Vm::new(&program).with_input(vec![1, 2, 3]).run().unwrap();
         let new = Vm::new(&marked.program).with_input(vec![1, 2, 3]).run().unwrap();
-        prop_assert_eq!(orig.output, new.output);
+        assert_eq!(orig.output, new.output);
         // Recognition.
         let rec = pathmark::core::java::recognize(&marked.program, &key, &config).unwrap();
-        prop_assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+        assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
     }
+}
 
-    #[test]
-    fn attacked_programs_always_verify_and_run(seed in any::<u64>()) {
-        use pathmark::attacks::java as attacks;
+#[test]
+fn attacked_programs_always_verify_and_run() {
+    use pathmark::attacks::java as attacks;
+    let mut rng = Prng::from_seed(0xA77);
+    for _ in 0..HEAVY_CASES {
+        let seed = rng.next_u64();
         let mut program = loopy_program(7);
         let baseline = Vm::new(&program).run().unwrap().output;
         attacks::insert_random_branches(&mut program, 15, seed);
@@ -161,12 +216,16 @@ proptest! {
         attacks::split_blocks(&mut program, 8, seed ^ 3);
         attacks::insert_nops(&mut program, 20, seed ^ 4);
         pathmark::vm::verify::verify(&program).unwrap();
-        prop_assert_eq!(Vm::new(&program).run().unwrap().output, baseline);
+        assert_eq!(Vm::new(&program).run().unwrap().output, baseline);
     }
+}
 
-    #[test]
-    fn bitstring_is_invariant_under_nop_and_inversion_attacks(seed in any::<u64>()) {
-        use pathmark::attacks::java as attacks;
+#[test]
+fn bitstring_is_invariant_under_nop_and_inversion_attacks() {
+    use pathmark::attacks::java as attacks;
+    let mut rng = Prng::from_seed(0xB175);
+    for _ in 0..HEAVY_CASES {
+        let seed = rng.next_u64();
         let program = loopy_program(9);
         let trace_of = |p: &pathmark::vm::Program| {
             Vm::new(p)
@@ -182,12 +241,17 @@ proptest! {
         attacks::reorder_blocks(&mut attacked, seed ^ 5);
         let after = BitString::from_trace(&trace_of(&attacked));
         // The defining invariance of the Section 3.1 decoding rule.
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    #[test]
-    fn native_rewriter_preserves_plain_program_behavior(seed in any::<u64>(), nops in 1usize..40) {
-        use pathmark::attacks::native as attacks;
+#[test]
+fn native_rewriter_preserves_plain_program_behavior() {
+    use pathmark::attacks::native as attacks;
+    let mut rng = Prng::from_seed(0x4A73);
+    for _ in 0..HEAVY_CASES {
+        let seed = rng.next_u64();
+        let nops = 1 + rng.index(39);
         let w = pathmark::workloads::native::by_name("vpr").unwrap();
         let attacked = attacks::insert_nops(&w.image, nops, seed).unwrap();
         let base = pathmark::sim::cpu::Machine::load(&w.image)
@@ -198,6 +262,6 @@ proptest! {
             .with_input(w.training_input.clone())
             .run(50_000_000)
             .unwrap();
-        prop_assert_eq!(base.output, got.output);
+        assert_eq!(base.output, got.output);
     }
 }
