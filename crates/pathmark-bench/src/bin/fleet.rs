@@ -1,5 +1,25 @@
-//! Regenerates the batch-fingerprinting throughput table.
-//! `cargo run --release -p pathmark-bench --bin fleet`
+//! Regenerates the batch-fingerprinting throughput table and the
+//! machine-readable `BENCH_fleet.json` next to the current directory.
+//! `cargo run --release -p pathmark-bench --bin fleet [-- --quick]`
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
 fn main() {
-    print!("{}", pathmark_bench::fleet::run(std::env::args().any(|a| a == "--quick")));
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = pathmark_bench::fleet::bench(quick);
+    print!("{}", pathmark_bench::fleet::render(&bench));
+
+    let generated_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = pathmark_bench::fleet::to_json(&bench, generated_unix);
+    let path = "BENCH_fleet.json";
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

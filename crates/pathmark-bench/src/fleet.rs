@@ -6,12 +6,17 @@
 //! every copy. The serial baseline calls `embed`/`recognize` once per
 //! copy — re-tracing the host every time — while the fleet engine
 //! traces once (shared trace cache) and spreads the per-copy work over
-//! a worker pool.
+//! a worker pool, driven through one [`Embedder`]/[`Recognizer`]
+//! session per batch.
+//!
+//! Besides the human-readable table ([`render`]), the results serialize
+//! to the machine-readable `BENCH_fleet.json` payload ([`to_json`])
+//! that the `fleet` bench binary writes for CI trend tracking.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pathmark_core::java::{embed, recognize, JavaConfig};
+use pathmark_core::java::{embed, recognize, Embedder, JavaConfig, Recognizer};
 use pathmark_fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
 use pathmark_fleet::cache::TraceCache;
 use pathmark_fleet::manifest::EmbedJobSpec;
@@ -33,17 +38,36 @@ pub struct Throughput {
     pub copies_per_sec: f64,
 }
 
+/// A complete fleet bench run: the parameters plus both row sets.
+#[derive(Debug, Clone)]
+pub struct FleetBench {
+    /// Whether the quick (CI-sized) grid was used.
+    pub quick: bool,
+    /// Copies per batch.
+    pub copies: usize,
+    /// Embedding throughput rows (serial baseline first).
+    pub embed: Vec<Throughput>,
+    /// Recognition throughput rows (serial baseline first).
+    pub recognize: Vec<Throughput>,
+}
+
 /// Measures embed and recognize throughput over `copies` copies of the
 /// CaffeineMark-like workload; returns (embed rows, recognize rows).
 pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<Throughput>) {
     let program = workloads::caffeinemark();
     let key = setup::key(vec![setup::CAFFEINE_INPUT]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(30);
+    let embedder = Embedder::builder(key.clone(), config.clone())
+        .build()
+        .expect("bench key/config are sound");
+    let recognizer = Recognizer::builder(key.clone(), config.clone())
+        .build()
+        .expect("bench key/config are sound");
     let jobs: Vec<EmbedJobSpec> = (0..copies)
         .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
         .collect();
 
-    // --- Embedding: serial loop (one trace per copy) …
+    // --- Embedding: serial loop (one trace per copy, legacy free fn) …
     let mut embed_rows = Vec::new();
     let started = Instant::now();
     let mut serial_marked = Vec::with_capacity(copies);
@@ -61,7 +85,7 @@ pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<
         let cache = TraceCache::new();
         let started = Instant::now();
         let outcomes =
-            embed_batch(&program, &key, &config, &jobs, &pool, &cache).expect("host traces");
+            embed_batch(&program, &embedder, &jobs, &pool, &cache).expect("host traces");
         assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
         embed_rows.push(row("fleet", workers, copies, started.elapsed()));
     }
@@ -88,7 +112,7 @@ pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<
     for &workers in worker_counts {
         let pool = WorkerPool::new(workers);
         let started = Instant::now();
-        let outcomes = recognize_batch(&rec_jobs, &key, &config, &pool);
+        let outcomes = recognize_batch(&rec_jobs, &recognizer, &pool);
         assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
         rec_rows.push(row("fleet", workers, copies, started.elapsed()));
     }
@@ -105,26 +129,36 @@ fn row(mode: &'static str, workers: usize, copies: usize, elapsed: std::time::Du
     }
 }
 
-/// Renders the batch-throughput table.
-pub fn run(quick: bool) -> String {
+/// Runs the bench at the standard grid for `quick`.
+pub fn bench(quick: bool) -> FleetBench {
     let copies = if quick { 8 } else { 64 };
     let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
-    let (embed_rows, rec_rows) = measure(copies, worker_counts);
+    let (embed, recognize) = measure(copies, worker_counts);
+    FleetBench {
+        quick,
+        copies,
+        embed,
+        recognize,
+    }
+}
 
+/// Renders the human-readable batch-throughput table.
+pub fn render(bench: &FleetBench) -> String {
     let mut out = String::new();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let _ = writeln!(
         out,
-        "batch fingerprinting throughput — CaffeineMark-like, 128-bit W, {copies} copies, {cores} core(s)"
+        "batch fingerprinting throughput — CaffeineMark-like, 128-bit W, {} copies, {cores} core(s)",
+        bench.copies
     );
     let _ = writeln!(
         out,
         "(single-worker fleet gains come from the shared trace cache; worker\n\
          scaling additionally needs cores)"
     );
-    for (title, rows) in [("embed", &embed_rows), ("recognize", &rec_rows)] {
+    for (title, rows) in [("embed", &bench.embed), ("recognize", &bench.recognize)] {
         let baseline = rows[0].millis;
         let _ = writeln!(out, "\n{title}:");
         let _ = writeln!(
@@ -145,4 +179,69 @@ pub fn run(quick: bool) -> String {
         }
     }
     out
+}
+
+/// Serializes a bench run as the `BENCH_fleet.json` payload (hand-rolled
+/// JSON, like everything else in the workspace). `generated_unix` is the
+/// caller's wall-clock seconds since the epoch.
+pub fn to_json(bench: &FleetBench, generated_unix: u64) -> String {
+    fn rows_json(rows: &[Throughput]) -> String {
+        let items: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"mode\":\"{}\",\"workers\":{},\"wall_ms\":{:.3},\"copies_per_sec\":{:.3}}}",
+                    r.mode, r.workers, r.millis, r.copies_per_sec
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(","))
+    }
+    format!(
+        "{{\"bench\":\"fleet\",\"quick\":{},\"copies\":{},\"generated_unix\":{},\"embed\":{},\"recognize\":{}}}\n",
+        bench.quick,
+        bench.copies,
+        generated_unix,
+        rows_json(&bench.embed),
+        rows_json(&bench.recognize),
+    )
+}
+
+/// Renders the batch-throughput table (legacy entry point).
+pub fn run(quick: bool) -> String {
+    render(&bench(quick))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_payload_is_well_formed() {
+        let bench = FleetBench {
+            quick: true,
+            copies: 8,
+            embed: vec![Throughput {
+                mode: "serial",
+                workers: 1,
+                millis: 12.5,
+                copies_per_sec: 640.0,
+            }],
+            recognize: vec![Throughput {
+                mode: "fleet",
+                workers: 4,
+                millis: 3.25,
+                copies_per_sec: 2461.5,
+            }],
+        };
+        let json = to_json(&bench, 1_700_000_000);
+        assert!(json.starts_with("{\"bench\":\"fleet\",\"quick\":true,\"copies\":8,"));
+        assert!(json.contains("\"generated_unix\":1700000000"), "{json}");
+        assert!(
+            json.contains("\"embed\":[{\"mode\":\"serial\",\"workers\":1,\"wall_ms\":12.500"),
+            "{json}"
+        );
+        assert!(json.contains("\"recognize\":[{\"mode\":\"fleet\",\"workers\":4,"), "{json}");
+        assert!(json.ends_with("}\n"), "one newline-terminated object");
+    }
 }

@@ -1,10 +1,124 @@
 use std::error::Error;
 use std::fmt;
 
+/// A configuration (or key) rejected by a validating `build()`.
+///
+/// Raised *before* any work happens — by [`crate::java::JavaConfig`]'s
+/// and [`crate::native::NativeConfig`]'s builders and by the
+/// [`crate::java::Embedder`] / [`crate::java::Recognizer`] session
+/// builders — instead of panicking or silently misbehaving deep inside
+/// embed or recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The watermark width is zero.
+    ZeroWatermarkBits,
+    /// `prime_bits` outside the workable 4..=31 range (below 4 the
+    /// prime set collapses; above 31 a pair product overflows the
+    /// 64-bit cipher block).
+    PrimeBitsOutOfRange {
+        /// The rejected width.
+        prime_bits: u32,
+    },
+    /// Fewer than two primes: no pair statements exist.
+    TooFewPrimes {
+        /// The rejected count.
+        num_primes: usize,
+    },
+    /// The prime product cannot exceed `2^watermark_bits`, so some
+    /// watermarks would silently alias.
+    PrimesDontCoverWatermark {
+        /// Configured watermark width.
+        watermark_bits: usize,
+        /// Primes configured.
+        num_primes: usize,
+        /// Primes needed at the configured `prime_bits`.
+        num_primes_needed: usize,
+    },
+    /// `Σ p_i·p_j` could overflow the 64-bit cipher block, so some
+    /// statements could not be enumerated.
+    EnumerationOverflow {
+        /// Configured prime width.
+        prime_bits: u32,
+        /// Configured prime count.
+        num_primes: usize,
+    },
+    /// More pieces than watermark bits: each piece already encodes a
+    /// full statement, so this is runaway redundancy — almost always a
+    /// swapped-argument bug.
+    TooManyPieces {
+        /// Requested piece count.
+        num_pieces: usize,
+        /// The cap (the watermark width).
+        max_pieces: usize,
+    },
+    /// A zero tracing/profiling budget: every traced run would fail.
+    ZeroTraceBudget,
+    /// The key carries no secret input, so any party can reproduce the
+    /// trace and the watermark is not secret.
+    EmptySecretInput,
+    /// Tamper-proofing was requested with a zero cell budget, which
+    /// silently produces an unprotected image.
+    ZeroTamperCells,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWatermarkBits => {
+                write!(f, "watermark width must be at least one bit")
+            }
+            ConfigError::PrimeBitsOutOfRange { prime_bits } => {
+                write!(f, "prime width {prime_bits} outside the workable 4..=31 range")
+            }
+            ConfigError::TooFewPrimes { num_primes } => {
+                write!(f, "{num_primes} primes configured, at least 2 required")
+            }
+            ConfigError::PrimesDontCoverWatermark {
+                watermark_bits,
+                num_primes,
+                num_primes_needed,
+            } => write!(
+                f,
+                "{num_primes} primes cannot cover a {watermark_bits}-bit watermark \
+                 ({num_primes_needed} needed at this prime width)"
+            ),
+            ConfigError::EnumerationOverflow {
+                prime_bits,
+                num_primes,
+            } => write!(
+                f,
+                "{num_primes} primes of {prime_bits} bits overflow the 64-bit \
+                 statement enumeration"
+            ),
+            ConfigError::TooManyPieces {
+                num_pieces,
+                max_pieces,
+            } => write!(
+                f,
+                "{num_pieces} pieces exceed the {max_pieces}-bit watermark width"
+            ),
+            ConfigError::ZeroTraceBudget => {
+                write!(f, "trace budget must be at least one instruction")
+            }
+            ConfigError::EmptySecretInput => {
+                write!(f, "the key's secret input sequence is empty")
+            }
+            ConfigError::ZeroTamperCells => {
+                write!(f, "tamper-proofing enabled with a zero cell budget")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Errors raised by embedding, recognition, or extraction.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum WatermarkError {
+    /// An invalid configuration or key was rejected up front.
+    Config(ConfigError),
     /// The program failed while being traced (before any watermarking).
     TraceFailed(stackvm::VmError),
     /// A number-theoretic step failed (bad prime configuration, …).
@@ -40,6 +154,7 @@ pub enum WatermarkError {
 impl fmt::Display for WatermarkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            WatermarkError::Config(e) => write!(f, "invalid configuration: {e}"),
             WatermarkError::TraceFailed(e) => write!(f, "tracing failed: {e}"),
             WatermarkError::Math(e) => write!(f, "number-theoretic failure: {e}"),
             WatermarkError::Sim(e) => write!(f, "simulator failure: {e}"),
@@ -71,12 +186,19 @@ impl fmt::Display for WatermarkError {
 impl Error for WatermarkError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            WatermarkError::Config(e) => Some(e),
             WatermarkError::TraceFailed(e) => Some(e),
             WatermarkError::Math(e) => Some(e),
             WatermarkError::Sim(e) => Some(e),
             WatermarkError::Phf(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ConfigError> for WatermarkError {
+    fn from(e: ConfigError) -> Self {
+        WatermarkError::Config(e)
     }
 }
 

@@ -25,12 +25,13 @@
 use pathmark_crypto::Prng;
 use pathmark_math::crt::Statement;
 use pathmark_math::enumeration::PairEnumeration;
+use pathmark_telemetry::{Counter, Stage};
 use stackvm::edit::{insert_snippet, reserve_locals};
 use stackvm::insn::{BinOp, Cond, Insn};
 use stackvm::trace::{Site, Trace, TraceConfig};
 use stackvm::Program;
 
-use super::{trace_program, CodegenPolicy, JavaConfig};
+use super::{trace_program, CodegenPolicy, Embedder, JavaConfig};
 use crate::key::{Watermark, WatermarkKey};
 use crate::WatermarkError;
 
@@ -81,8 +82,7 @@ pub fn embed(
     key: &WatermarkKey,
     config: &JavaConfig,
 ) -> Result<MarkedProgram, WatermarkError> {
-    let trace = trace_program(program, key, config, TraceConfig::full())?;
-    embed_with_trace(program, watermark, key, config, &trace)
+    Embedder::unchecked(key.clone(), config.clone()).embed(program, watermark)
 }
 
 /// Embeds `watermark` into `program` using a precomputed full trace of
@@ -107,112 +107,177 @@ pub fn embed_with_trace(
     config: &JavaConfig,
     trace: &Trace,
 ) -> Result<MarkedProgram, WatermarkError> {
-    let primes = config.primes(key);
-    let enumeration = PairEnumeration::new(&primes)?;
-    let bound = enumeration.watermark_bound();
-    if watermark.value() >= &bound {
-        return Err(WatermarkError::WatermarkTooLarge {
-            got_bits: watermark.value().bits(),
-            max_bits: bound.bits() - 1,
+    Embedder::unchecked(key.clone(), config.clone()).embed_with_trace(program, watermark, trace)
+}
+
+impl Embedder {
+    /// Runs the tracing phase on the session's secret input, recording
+    /// everything embedding needs ([`TraceConfig::full`]). Reported to
+    /// telemetry as [`Stage::Trace`].
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
+    /// the budget.
+    pub fn trace(&self, program: &Program) -> Result<Trace, WatermarkError> {
+        self.telemetry.time(Stage::Trace, || {
+            trace_program(program, &self.key, &self.config, TraceConfig::full())
+        })
+    }
+
+    /// Embeds `watermark` into `program`: trace, then
+    /// [`Embedder::embed_with_trace`].
+    ///
+    /// # Errors
+    ///
+    /// As the [`embed`] free function.
+    pub fn embed(
+        &self,
+        program: &Program,
+        watermark: &Watermark,
+    ) -> Result<MarkedProgram, WatermarkError> {
+        let trace = self.trace(program)?;
+        self.embed_with_trace(program, watermark, &trace)
+    }
+
+    /// Embeds `watermark` into `program` using a precomputed full trace
+    /// (the batch-fingerprinting entry point — see the
+    /// [`embed_with_trace`] free function for the sharing contract).
+    ///
+    /// Telemetry: one [`Stage::Split`] span for step A, one
+    /// [`Stage::Encrypt`] and one [`Stage::Codegen`] span per piece, a
+    /// [`Stage::Verify`] span for splice + verification, and a
+    /// [`Counter::PiecesEmbedded`] increment per piece.
+    ///
+    /// # Errors
+    ///
+    /// As the [`embed_with_trace`] free function.
+    pub fn embed_with_trace(
+        &self,
+        program: &Program,
+        watermark: &Watermark,
+        trace: &Trace,
+    ) -> Result<MarkedProgram, WatermarkError> {
+        let (key, config) = (&self.key, &self.config);
+        let primes = config.primes(key);
+        let enumeration = PairEnumeration::new(&primes)?;
+        let bound = enumeration.watermark_bound();
+        if watermark.value() >= &bound {
+            return Err(WatermarkError::WatermarkTooLarge {
+                got_bits: watermark.value().bits(),
+                max_bits: bound.bits() - 1,
+            });
+        }
+        let cipher = key.cipher();
+        let mut rng = key.prng();
+
+        // Step A: split into all distinct statements, shuffled; cycle to
+        // the requested redundancy.
+        let pieces: Vec<Statement> = self.telemetry.time(Stage::Split, || {
+            let mut statements = enumeration.split(watermark.value());
+            rng.shuffle(&mut statements);
+            statements
+                .iter()
+                .cycle()
+                .take(config.num_pieces)
+                .copied()
+                .collect()
         });
-    }
-    let cipher = key.cipher();
-    let mut rng = key.prng();
 
-    // Step A: split into all distinct statements, shuffled; cycle to the
-    // requested redundancy.
-    let mut statements = enumeration.split(watermark.value());
-    rng.shuffle(&mut statements);
-    let pieces: Vec<Statement> = statements
-        .iter()
-        .cycle()
-        .take(config.num_pieces)
-        .copied()
-        .collect();
+        // Candidate insertion points: visited blocks, weighted by 1/freq.
+        // Condition codegen (Section 3.2.2) additionally needs "locations
+        // that are executed multiple times on the secret input sequence",
+        // so keep a second pool restricted to multi-visit blocks.
+        let visited = trace.visited_blocks();
+        if visited.is_empty() && !pieces.is_empty() {
+            return Err(WatermarkError::NoInsertionPoint);
+        }
+        let weights: Vec<f64> = visited.iter().map(|&(_, c)| 1.0 / c as f64).collect();
+        // Multi-visit yet still infrequent (the hotspot-avoidance policy
+        // applies to both generators).
+        let multi_weights: Vec<f64> = visited
+            .iter()
+            .map(|&(_, c)| if (2..=16).contains(&c) { 1.0 / c as f64 } else { 0.0 })
+            .collect();
 
-    // Candidate insertion points: visited blocks, weighted by 1/freq.
-    // Condition codegen (Section 3.2.2) additionally needs "locations
-    // that are executed multiple times on the secret input sequence",
-    // so keep a second pool restricted to multi-visit blocks.
-    let visited = trace.visited_blocks();
-    if visited.is_empty() && !pieces.is_empty() {
-        return Err(WatermarkError::NoInsertionPoint);
-    }
-    let weights: Vec<f64> = visited.iter().map(|&(_, c)| 1.0 / c as f64).collect();
-    // Multi-visit yet still infrequent (the hotspot-avoidance policy
-    // applies to both generators).
-    let multi_weights: Vec<f64> = visited
-        .iter()
-        .map(|&(_, c)| if (2..=16).contains(&c) { 1.0 / c as f64 } else { 0.0 })
-        .collect();
+        // Plan all insertions against the ORIGINAL program, then apply
+        // them per function in descending pc order so earlier splices do
+        // not invalidate later pcs.
+        let mut marked = program.clone();
+        let mut plans: Vec<(Site, Vec<Insn>, bool)> = Vec::new();
+        let mut records = Vec::new();
+        for statement in pieces {
+            // Step B: enumerate + encrypt into one 64-bit block.
+            let block = self.telemetry.time(Stage::Encrypt, || {
+                let encoded = enumeration
+                    .encode(&statement)
+                    .expect("split statements always encode");
+                cipher.encrypt(encoded)
+            });
 
-    // Plan all insertions against the ORIGINAL program, then apply them
-    // per function in descending pc order so earlier splices do not
-    // invalidate later pcs.
-    let mut marked = program.clone();
-    let mut plans: Vec<(Site, Vec<Insn>, bool)> = Vec::new();
-    let mut records = Vec::new();
-    for statement in pieces {
-        // Step B: enumerate + encrypt into one 64-bit block.
-        let encoded = enumeration
-            .encode(&statement)
-            .expect("split statements always encode");
-        let block = cipher.encrypt(encoded);
+            let (site, snippet, used_condition) = self.telemetry.time(Stage::Codegen, || {
+                let want_condition = match config.codegen {
+                    CodegenPolicy::LoopOnly => false,
+                    CodegenPolicy::PreferCondition => true,
+                    CodegenPolicy::Mixed => rng.chance(0.5),
+                };
+                let pool = if want_condition {
+                    &multi_weights
+                } else {
+                    &weights
+                };
+                let choice = rng
+                    .weighted_index(pool)
+                    .or_else(|| rng.weighted_index(&weights))
+                    .expect("visited set is non-empty");
+                let (site, _count) = visited[choice];
 
-        let want_condition = match config.codegen {
-            CodegenPolicy::LoopOnly => false,
-            CodegenPolicy::PreferCondition => true,
-            CodegenPolicy::Mixed => rng.chance(0.5),
-        };
-        let pool = if want_condition {
-            &multi_weights
-        } else {
-            &weights
-        };
-        let choice = rng
-            .weighted_index(pool)
-            .or_else(|| rng.weighted_index(&weights))
-            .expect("visited set is non-empty");
-        let (site, _count) = visited[choice];
-
-        let func = marked.function_mut(site.func);
-        let snippet = if want_condition {
-            condition_snippet(func, trace, site, block, &mut rng)
-        } else {
-            None
-        };
-        let (snippet, used_condition) = match snippet {
-            Some(s) => (s, true),
-            None => {
-                let locals = reserve_locals(func, 4);
-                (
-                    loop_snippet(block, locals, pick_live_local(func, &mut rng), &mut rng),
-                    false,
-                )
+                let func = marked.function_mut(site.func);
+                let snippet = if want_condition {
+                    condition_snippet(func, trace, site, block, &mut rng)
+                } else {
+                    None
+                };
+                match snippet {
+                    Some(s) => (site, s, true),
+                    None => {
+                        let locals = reserve_locals(func, 4);
+                        (
+                            site,
+                            loop_snippet(block, locals, pick_live_local(func, &mut rng), &mut rng),
+                            false,
+                        )
+                    }
+                }
+            });
+            plans.push((site, snippet, used_condition));
+            records.push(PieceRecord {
+                statement,
+                site,
+                used_condition_codegen: used_condition,
+            });
+        }
+        self.telemetry
+            .count(Counter::PiecesEmbedded, records.len() as u64);
+        // Apply: descending pc within each function keeps original pcs
+        // valid.
+        self.telemetry.time(Stage::Verify, || {
+            plans.sort_by(|a, b| (b.0.func, b.0.pc).cmp(&(a.0.func, a.0.pc)));
+            for (site, snippet, _) in plans {
+                insert_snippet(marked.function_mut(site.func), site.pc, snippet);
             }
-        };
-        plans.push((site, snippet, used_condition));
-        records.push(PieceRecord {
-            statement,
-            site,
-            used_condition_codegen: used_condition,
-        });
-    }
-    // Apply: descending pc within each function keeps original pcs valid.
-    plans.sort_by(|a, b| (b.0.func, b.0.pc).cmp(&(a.0.func, a.0.pc)));
-    for (site, snippet, _) in plans {
-        insert_snippet(marked.function_mut(site.func), site.pc, snippet);
-    }
-    stackvm::verify::verify(&marked)?;
+            stackvm::verify::verify(&marked)
+        })?;
 
-    Ok(MarkedProgram {
-        report: EmbedReport {
-            pieces: records,
-            bytes_before: program.byte_size(),
-            bytes_after: marked.byte_size(),
-        },
-        program: marked,
-    })
+        Ok(MarkedProgram {
+            report: EmbedReport {
+                pieces: records,
+                bytes_before: program.byte_size(),
+                bytes_after: marked.byte_size(),
+            },
+            program: marked,
+        })
+    }
 }
 
 /// Picks an existing local to play the "live variable" in the opaquely

@@ -18,12 +18,14 @@
 mod embed;
 mod opaque;
 mod recognize;
+mod session;
 
 pub use embed::{embed, embed_with_trace, EmbedReport, MarkedProgram};
 pub use opaque::OpaquePredicate;
 pub use recognize::{
     recognize, recognize_bits, recognize_from_candidates, window_candidates, Recognition,
 };
+pub use session::{Embedder, EmbedderBuilder, Recognizer, RecognizerBuilder};
 
 use pathmark_math::primes::primes_needed;
 use stackvm::interp::Vm;
@@ -31,7 +33,7 @@ use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
 use crate::key::WatermarkKey;
-use crate::WatermarkError;
+use crate::{ConfigError, WatermarkError};
 
 /// How inserted watermark code is generated (Section 3.2.1 vs 3.2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +93,70 @@ impl JavaConfig {
         }
     }
 
+    /// Starts a validating builder seeded with the sound defaults of
+    /// [`JavaConfig::for_watermark_bits`]. Unlike the legacy
+    /// `for_watermark_bits` + `with_*` chain — which accepts anything
+    /// and lets bad configurations fail deep inside embed —
+    /// [`JavaConfigBuilder::build`] rejects incoherent settings with a
+    /// [`ConfigError`].
+    pub fn builder(watermark_bits: usize) -> JavaConfigBuilder {
+        JavaConfigBuilder {
+            config: JavaConfig::for_watermark_bits(watermark_bits.max(1)),
+            explicit_bits: watermark_bits,
+        }
+    }
+
+    /// Checks the configuration for the defects that otherwise panic or
+    /// silently misbehave deep inside embed/recognize: an uncoverable
+    /// watermark width, an enumeration that overflows the 64-bit cipher
+    /// block, runaway piece counts, a zero trace budget.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.watermark_bits == 0 {
+            return Err(ConfigError::ZeroWatermarkBits);
+        }
+        if !(4..=31).contains(&self.prime_bits) {
+            return Err(ConfigError::PrimeBitsOutOfRange {
+                prime_bits: self.prime_bits,
+            });
+        }
+        if self.num_primes < 2 {
+            return Err(ConfigError::TooFewPrimes {
+                num_primes: self.num_primes,
+            });
+        }
+        let needed = primes_needed(self.watermark_bits, self.prime_bits);
+        if self.num_primes < needed {
+            return Err(ConfigError::PrimesDontCoverWatermark {
+                watermark_bits: self.watermark_bits,
+                num_primes: self.num_primes,
+                num_primes_needed: needed,
+            });
+        }
+        // Every pair product is below 2^(2·prime_bits); the enumeration
+        // range is their sum and must fit the 64-bit cipher block.
+        let pairs = (self.num_primes * (self.num_primes - 1) / 2) as u128;
+        if pairs << (2 * self.prime_bits) > 1u128 << 64 {
+            return Err(ConfigError::EnumerationOverflow {
+                prime_bits: self.prime_bits,
+                num_primes: self.num_primes,
+            });
+        }
+        if self.num_pieces > self.watermark_bits {
+            return Err(ConfigError::TooManyPieces {
+                num_pieces: self.num_pieces,
+                max_pieces: self.watermark_bits,
+            });
+        }
+        if self.trace_budget == 0 {
+            return Err(ConfigError::ZeroTraceBudget);
+        }
+        Ok(())
+    }
+
     /// Overrides the piece count (the x-axis of Figure 8).
     pub fn with_pieces(mut self, pieces: usize) -> JavaConfig {
         self.num_pieces = pieces;
@@ -106,6 +172,68 @@ impl JavaConfig {
     /// The prime set for a key under this configuration.
     pub fn primes(&self, key: &WatermarkKey) -> Vec<u64> {
         key.primes(self.prime_bits, self.num_primes)
+    }
+}
+
+/// Validating builder for [`JavaConfig`]; see [`JavaConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct JavaConfigBuilder {
+    config: JavaConfig,
+    explicit_bits: usize,
+}
+
+impl JavaConfigBuilder {
+    /// Overrides the piece count.
+    pub fn pieces(mut self, pieces: usize) -> JavaConfigBuilder {
+        self.config.num_pieces = pieces;
+        self
+    }
+
+    /// Overrides the prime width. The prime count is re-derived so the
+    /// product still covers the watermark (an explicit
+    /// [`JavaConfigBuilder::num_primes`] call afterwards wins).
+    pub fn prime_bits(mut self, prime_bits: u32) -> JavaConfigBuilder {
+        self.config.prime_bits = prime_bits;
+        if (4..=31).contains(&prime_bits) {
+            self.config.num_primes = primes_needed(self.explicit_bits.max(1), prime_bits);
+        }
+        self
+    }
+
+    /// Overrides the prime count.
+    pub fn num_primes(mut self, num_primes: usize) -> JavaConfigBuilder {
+        self.config.num_primes = num_primes;
+        self
+    }
+
+    /// Overrides the code-generation policy.
+    pub fn codegen(mut self, policy: CodegenPolicy) -> JavaConfigBuilder {
+        self.config.codegen = policy;
+        self
+    }
+
+    /// Overrides the tracing budget.
+    pub fn trace_budget(mut self, budget: u64) -> JavaConfigBuilder {
+        self.config.trace_budget = budget;
+        self
+    }
+
+    /// Enables/disables the vote prefilter.
+    pub fn vote_prefilter(mut self, on: bool) -> JavaConfigBuilder {
+        self.config.vote_prefilter = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] [`JavaConfig::validate`] finds.
+    pub fn build(self) -> Result<JavaConfig, ConfigError> {
+        let mut config = self.config;
+        config.watermark_bits = self.explicit_bits;
+        config.validate()?;
+        Ok(config)
     }
 }
 
@@ -158,5 +286,105 @@ mod tests {
             .with_codegen(CodegenPolicy::LoopOnly);
         assert_eq!(c.num_pieces, 99);
         assert_eq!(c.codegen, CodegenPolicy::LoopOnly);
+    }
+
+    #[test]
+    fn validating_builder_accepts_sound_overrides() {
+        let c = JavaConfig::builder(128)
+            .pieces(40)
+            .prime_bits(20)
+            .codegen(CodegenPolicy::LoopOnly)
+            .trace_budget(1 << 20)
+            .vote_prefilter(false)
+            .build()
+            .unwrap();
+        assert_eq!(c.watermark_bits, 128);
+        assert_eq!(c.num_pieces, 40);
+        assert_eq!(c.prime_bits, 20);
+        assert!(c.num_primes >= primes_needed(128, 20));
+        assert_eq!(c.codegen, CodegenPolicy::LoopOnly);
+        assert_eq!(c.trace_budget, 1 << 20);
+        assert!(!c.vote_prefilter);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_zero_watermark_bits() {
+        assert_eq!(
+            JavaConfig::builder(0).build().unwrap_err(),
+            ConfigError::ZeroWatermarkBits
+        );
+    }
+
+    #[test]
+    fn builder_rejects_prime_bits_out_of_range() {
+        assert_eq!(
+            JavaConfig::builder(64).prime_bits(3).build().unwrap_err(),
+            ConfigError::PrimeBitsOutOfRange { prime_bits: 3 }
+        );
+        assert_eq!(
+            JavaConfig::builder(64).prime_bits(32).build().unwrap_err(),
+            ConfigError::PrimeBitsOutOfRange { prime_bits: 32 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_too_few_primes() {
+        assert_eq!(
+            JavaConfig::builder(16).num_primes(1).build().unwrap_err(),
+            ConfigError::TooFewPrimes { num_primes: 1 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_uncovered_watermark() {
+        let needed = primes_needed(512, 24);
+        assert_eq!(
+            JavaConfig::builder(512)
+                .num_primes(needed - 1)
+                .build()
+                .unwrap_err(),
+            ConfigError::PrimesDontCoverWatermark {
+                watermark_bits: 512,
+                num_primes: needed - 1,
+                num_primes_needed: needed,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_enumeration_overflow() {
+        // 64 primes of 31 bits: pair products alone are 62 bits and
+        // there are 2016 of them, so Σ p_i·p_j cannot fit a cipher block.
+        assert_eq!(
+            JavaConfig::builder(64)
+                .prime_bits(31)
+                .num_primes(64)
+                .build()
+                .unwrap_err(),
+            ConfigError::EnumerationOverflow {
+                prime_bits: 31,
+                num_primes: 64,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_more_pieces_than_watermark_bits() {
+        assert_eq!(
+            JavaConfig::builder(64).pieces(65).build().unwrap_err(),
+            ConfigError::TooManyPieces {
+                num_pieces: 65,
+                max_pieces: 64,
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_trace_budget() {
+        assert_eq!(
+            JavaConfig::builder(64).trace_budget(0).build().unwrap_err(),
+            ConfigError::ZeroTraceBudget
+        );
     }
 }

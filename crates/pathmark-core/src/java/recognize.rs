@@ -23,10 +23,11 @@ use std::collections::HashMap;
 use pathmark_math::bigint::BigUint;
 use pathmark_math::crt::{combine_statements, Statement};
 use pathmark_math::enumeration::PairEnumeration;
-use stackvm::trace::TraceConfig;
+use pathmark_telemetry::{Counter, Stage};
+use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
-use super::{trace_program, JavaConfig};
+use super::{trace_program, JavaConfig, Recognizer};
 use crate::bitstring::BitString;
 use crate::key::WatermarkKey;
 use crate::WatermarkError;
@@ -76,9 +77,7 @@ pub fn recognize(
     key: &WatermarkKey,
     config: &JavaConfig,
 ) -> Result<Recognition, WatermarkError> {
-    let trace = trace_program(program, key, config, TraceConfig::branches_only())?;
-    let bits = BitString::from_trace(&trace);
-    recognize_bits(&bits, key, config)
+    Recognizer::unchecked(key.clone(), config.clone()).recognize(program)
 }
 
 /// Recognition from an already-decoded bit-string (used by experiments
@@ -92,8 +91,7 @@ pub fn recognize_bits(
     key: &WatermarkKey,
     config: &JavaConfig,
 ) -> Result<Recognition, WatermarkError> {
-    let counts = window_candidates(bits, key, config, 0, usize::MAX)?;
-    recognize_from_candidates(counts, key, config)
+    Recognizer::unchecked(key.clone(), config.clone()).recognize_bits(bits)
 }
 
 /// Step one of recognition, restricted to the sliding windows whose
@@ -121,24 +119,89 @@ pub fn window_candidates(
     start: usize,
     end: usize,
 ) -> Result<HashMap<Statement, u64>, WatermarkError> {
-    let primes = config.primes(key);
-    let enumeration = PairEnumeration::new(&primes)?;
-    let cipher = key.cipher();
+    Recognizer::unchecked(key.clone(), config.clone()).window_candidates(bits, start, end)
+}
 
-    let num_windows = bits.len().saturating_sub(63);
-    let end = end.min(num_windows);
-    let mut counts: HashMap<Statement, u64> = HashMap::new();
-    for offset in start..end {
-        let window = bits.window_u64(offset).expect("offset < num_windows");
-        if window == 0 || window == u64::MAX {
-            continue;
-        }
-        let decrypted = cipher.decrypt(window);
-        if let Ok(statement) = enumeration.decode(decrypted) {
-            *counts.entry(statement).or_insert(0) += 1;
-        }
+impl Recognizer {
+    /// Runs the tracing phase on the session's secret input, recording
+    /// only what recognition needs ([`TraceConfig::branches_only`]).
+    /// Reported to telemetry as [`Stage::Trace`].
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
+    /// the budget.
+    pub fn trace(&self, program: &Program) -> Result<Trace, WatermarkError> {
+        self.telemetry.time(Stage::Trace, || {
+            trace_program(program, &self.key, &self.config, TraceConfig::branches_only())
+        })
     }
-    Ok(counts)
+
+    /// Runs recognition on a (possibly attacked) program.
+    ///
+    /// # Errors
+    ///
+    /// As the [`recognize`] free function.
+    pub fn recognize(&self, program: &Program) -> Result<Recognition, WatermarkError> {
+        let trace = self.trace(program)?;
+        let bits = BitString::from_trace(&trace);
+        self.recognize_bits(&bits)
+    }
+
+    /// Recognition from an already-decoded bit-string.
+    ///
+    /// # Errors
+    ///
+    /// As the [`recognize_bits`] free function.
+    pub fn recognize_bits(&self, bits: &BitString) -> Result<Recognition, WatermarkError> {
+        let counts = self.window_candidates(bits, 0, usize::MAX)?;
+        self.recognize_from_candidates(counts)
+    }
+
+    /// The sliding-window candidate scan (see the [`window_candidates`]
+    /// free function for the sharding contract).
+    ///
+    /// Telemetry: one [`Stage::Scan`] span for the whole range, plus
+    /// [`Counter::WindowsScanned`] (windows examined) and
+    /// [`Counter::CandidatesDecoded`] (windows that decrypted and
+    /// decoded into a plausible statement).
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::Math`] for prime-configuration errors.
+    pub fn window_candidates(
+        &self,
+        bits: &BitString,
+        start: usize,
+        end: usize,
+    ) -> Result<HashMap<Statement, u64>, WatermarkError> {
+        let primes = self.config.primes(&self.key);
+        let enumeration = PairEnumeration::new(&primes)?;
+        let cipher = self.key.cipher();
+
+        let num_windows = bits.len().saturating_sub(63);
+        let end = end.min(num_windows);
+        let start = start.min(end);
+        let counts = self.telemetry.time(Stage::Scan, || {
+            let mut counts: HashMap<Statement, u64> = HashMap::new();
+            for offset in start..end {
+                let window = bits.window_u64(offset).expect("offset < num_windows");
+                if window == 0 || window == u64::MAX {
+                    continue;
+                }
+                let decrypted = cipher.decrypt(window);
+                if let Ok(statement) = enumeration.decode(decrypted) {
+                    *counts.entry(statement).or_insert(0) += 1;
+                }
+            }
+            counts
+        });
+        self.telemetry
+            .count(Counter::WindowsScanned, (end - start) as u64);
+        self.telemetry
+            .count(Counter::CandidatesDecoded, counts.values().sum());
+        Ok(counts)
+    }
 }
 
 /// Steps two onward of recognition, from an already-collected candidate
@@ -155,141 +218,168 @@ pub fn recognize_from_candidates(
     key: &WatermarkKey,
     config: &JavaConfig,
 ) -> Result<Recognition, WatermarkError> {
-    let primes = config.primes(key);
-    let candidates = counts.len();
+    Recognizer::unchecked(key.clone(), config.clone()).recognize_from_candidates(counts)
+}
 
-    // --- Vote on W mod p_i for each prime (clear winner = more than
-    // twice the second place). Skipped entirely when the configuration
-    // disables the prefilter (ablation studies).
-    let mut winners: Vec<Option<u64>> = vec![None; primes.len()];
-    for (idx, &p) in primes.iter().enumerate().filter(|_| config.vote_prefilter) {
-        let mut tally: HashMap<u64, u64> = HashMap::new();
-        for (s, &c) in &counts {
-            if let Some(r) = s.residue_mod_prime(idx, &primes) {
-                *tally.entry(r).or_insert(0) += c.min(MAX_VOTE_WEIGHT);
-            }
-        }
-        let mut best: Option<(u64, u64)> = None;
-        let mut second = 0u64;
-        for (&r, &c) in &tally {
-            match best {
-                None => best = Some((r, c)),
-                Some((_, bc)) if c > bc => {
-                    second = bc;
-                    best = Some((r, c));
+impl Recognizer {
+    /// Steps two onward of recognition (see the
+    /// [`recognize_from_candidates`] free function for the determinism
+    /// contract).
+    ///
+    /// Telemetry: one span each for [`Stage::Vote`], [`Stage::Graph`],
+    /// and [`Stage::Crt`].
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::Math`] for prime-configuration errors.
+    pub fn recognize_from_candidates(
+        &self,
+        counts: HashMap<Statement, u64>,
+    ) -> Result<Recognition, WatermarkError> {
+        let (key, config) = (&self.key, &self.config);
+        let primes = config.primes(key);
+        let candidates = counts.len();
+
+        // --- Vote on W mod p_i for each prime (clear winner = more than
+        // twice the second place). Skipped entirely when the
+        // configuration disables the prefilter (ablation studies).
+        let mut filtered: Vec<(Statement, u64)> = self.telemetry.time(Stage::Vote, || {
+            let mut winners: Vec<Option<u64>> = vec![None; primes.len()];
+            for (idx, &p) in primes.iter().enumerate().filter(|_| config.vote_prefilter) {
+                let mut tally: HashMap<u64, u64> = HashMap::new();
+                for (s, &c) in &counts {
+                    if let Some(r) = s.residue_mod_prime(idx, &primes) {
+                        *tally.entry(r).or_insert(0) += c.min(MAX_VOTE_WEIGHT);
+                    }
                 }
-                Some(_) => second = second.max(c),
+                let mut best: Option<(u64, u64)> = None;
+                let mut second = 0u64;
+                for (&r, &c) in &tally {
+                    match best {
+                        None => best = Some((r, c)),
+                        Some((_, bc)) if c > bc => {
+                            second = bc;
+                            best = Some((r, c));
+                        }
+                        Some(_) => second = second.max(c),
+                    }
+                }
+                if let Some((r, c)) = best {
+                    if c > 2 * second {
+                        winners[idx] = Some(r);
+                    }
+                }
+                let _ = p;
             }
-        }
-        if let Some((r, c)) = best {
-            if c > 2 * second {
-                winners[idx] = Some(r);
-            }
-        }
-        let _ = p;
-    }
-    let mut filtered: Vec<(Statement, u64)> = counts
-        .into_iter()
-        .filter(|(s, _)| {
-            [s.i, s.j].iter().all(|&idx| match winners[idx] {
-                Some(w) => s
-                    .residue_mod_prime(idx, &primes)
-                    .expect("statement mentions idx")
-                    == w,
-                None => true,
-            })
-        })
-        .collect();
-    let after_vote = filtered.len();
+            counts
+                .into_iter()
+                .filter(|(s, _)| {
+                    [s.i, s.j].iter().all(|&idx| match winners[idx] {
+                        Some(w) => s
+                            .residue_mod_prime(idx, &primes)
+                            .expect("statement mentions idx")
+                            == w,
+                        None => true,
+                    })
+                })
+                .collect()
+        });
+        let after_vote = filtered.len();
 
-    // Deterministic order; cap the quadratic stage.
-    filtered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    filtered.truncate(MAX_GRAPH_VERTICES);
+        // --- Consistency graphs G (inconsistent) and H (agree mod a
+        // shared prime).
+        let survivors: Vec<Statement> = self.telemetry.time(Stage::Graph, || {
+            // Deterministic order; cap the quadratic stage.
+            filtered.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            filtered.truncate(MAX_GRAPH_VERTICES);
 
-    // --- Consistency graphs G (inconsistent) and H (agree mod a shared
-    // prime).
-    let statements: Vec<Statement> = filtered.iter().map(|&(s, _)| s).collect();
-    let n = statements.len();
-    let mut g: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut h_degree: Vec<usize> = vec![0; n];
-    for a in 0..n {
-        for b in (a + 1)..n {
-            if statements[a].inconsistent_with(&statements[b], &primes) {
-                g[a].push(b);
-                g[b].push(a);
-            } else if statements[a].agrees_with(&statements[b], &primes) {
-                h_degree[a] += 1;
-                h_degree[b] += 1;
-            }
-        }
-    }
-    let mut alive = vec![true; n];
-    let mut in_u = vec![false; n];
-    let g_has_edges = |alive: &[bool], g: &[Vec<usize>]| {
-        alive
-            .iter()
-            .enumerate()
-            .any(|(v, &a)| a && g[v].iter().any(|&w| alive[w]))
-    };
-    while g_has_edges(&alive, &g) {
-        // Highest H-degree vertex not yet processed.
-        let pick = (0..n)
-            .filter(|&v| alive[v] && !in_u[v])
-            .max_by_key(|&v| (h_degree[v], std::cmp::Reverse(v)));
-        match pick {
-            Some(v) => {
-                in_u[v] = true;
-                for &w in &g[v] {
-                    alive[w] = false;
+            let statements: Vec<Statement> = filtered.iter().map(|&(s, _)| s).collect();
+            let n = statements.len();
+            let mut g: Vec<Vec<usize>> = vec![Vec::new(); n];
+            let mut h_degree: Vec<usize> = vec![0; n];
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if statements[a].inconsistent_with(&statements[b], &primes) {
+                        g[a].push(b);
+                        g[b].push(a);
+                    } else if statements[a].agrees_with(&statements[b], &primes) {
+                        h_degree[a] += 1;
+                        h_degree[b] += 1;
+                    }
                 }
             }
-            None => {
-                // Degenerate: every remaining vertex processed but edges
-                // remain (possible under heavy noise). Drop the lowest-
-                // H-degree endpoint of some remaining edge.
-                let (a, b) = alive
+            let mut alive = vec![true; n];
+            let mut in_u = vec![false; n];
+            let g_has_edges = |alive: &[bool], g: &[Vec<usize>]| {
+                alive
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &al)| al)
-                    .flat_map(|(v, _)| {
-                        g[v].iter()
-                            .filter(|&&w| alive[w])
-                            .map(move |&w| (v, w))
-                    })
-                    .next()
-                    .expect("g_has_edges implies an edge exists");
-                let drop = if h_degree[a] <= h_degree[b] { a } else { b };
-                alive[drop] = false;
+                    .any(|(v, &a)| a && g[v].iter().any(|&w| alive[w]))
+            };
+            while g_has_edges(&alive, &g) {
+                // Highest H-degree vertex not yet processed.
+                let pick = (0..n)
+                    .filter(|&v| alive[v] && !in_u[v])
+                    .max_by_key(|&v| (h_degree[v], std::cmp::Reverse(v)));
+                match pick {
+                    Some(v) => {
+                        in_u[v] = true;
+                        for &w in &g[v] {
+                            alive[w] = false;
+                        }
+                    }
+                    None => {
+                        // Degenerate: every remaining vertex processed
+                        // but edges remain (possible under heavy noise).
+                        // Drop the lowest-H-degree endpoint of some
+                        // remaining edge.
+                        let (a, b) = alive
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &al)| al)
+                            .flat_map(|(v, _)| {
+                                g[v].iter()
+                                    .filter(|&&w| alive[w])
+                                    .map(move |&w| (v, w))
+                            })
+                            .next()
+                            .expect("g_has_edges implies an edge exists");
+                        let drop = if h_degree[a] <= h_degree[b] { a } else { b };
+                        alive[drop] = false;
+                    }
+                }
             }
-        }
+            (0..n)
+                .filter(|&v| alive[v])
+                .map(|v| statements[v])
+                .collect()
+        });
+
+        // --- Generalized CRT recombination.
+        let (partial, modulus) = self.telemetry.time(Stage::Crt, || {
+            if survivors.is_empty() || primes.len() < 2 {
+                Ok((BigUint::zero(), BigUint::one()))
+            } else {
+                combine_statements(&survivors, &primes)
+            }
+        })?;
+        let covered: Vec<bool> = (0..primes.len())
+            .map(|idx| survivors.iter().any(|s| s.i == idx || s.j == idx))
+            .collect();
+        let primes_covered = covered.iter().filter(|&&c| c).count();
+        let watermark = (primes_covered == primes.len()).then(|| partial.clone());
+
+        Ok(Recognition {
+            watermark,
+            partial,
+            modulus,
+            primes_covered,
+            primes_total: primes.len(),
+            candidates,
+            after_vote,
+            survivors: survivors.len(),
+        })
     }
-    let survivors: Vec<Statement> = (0..n)
-        .filter(|&v| alive[v])
-        .map(|v| statements[v])
-        .collect();
-
-    // --- Generalized CRT recombination.
-    let (partial, modulus) = if survivors.is_empty() || primes.len() < 2 {
-        (BigUint::zero(), BigUint::one())
-    } else {
-        combine_statements(&survivors, &primes)?
-    };
-    let covered: Vec<bool> = (0..primes.len())
-        .map(|idx| survivors.iter().any(|s| s.i == idx || s.j == idx))
-        .collect();
-    let primes_covered = covered.iter().filter(|&&c| c).count();
-    let watermark = (primes_covered == primes.len()).then(|| partial.clone());
-
-    Ok(Recognition {
-        watermark,
-        partial,
-        modulus,
-        primes_covered,
-        primes_total: primes.len(),
-        candidates,
-        after_vote,
-        survivors: survivors.len(),
-    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,229 @@
+//! Session objects: the redesigned entry point to the bytecode scheme.
+//!
+//! [`Embedder`] and [`Recognizer`] bundle what every pipeline call used
+//! to re-thread as a `(program, key, config)` tuple — the
+//! [`WatermarkKey`], the validated [`JavaConfig`], and an optional
+//! telemetry handle — behind one builder-constructed object. The fleet,
+//! the bench harness, and the CLI all go through these sessions, so the
+//! legacy free functions ([`super::embed`], [`super::recognize`], …)
+//! are now thin wrappers over a throwaway session and exist for
+//! backward compatibility.
+//!
+//! Construction validates up front (see [`ConfigError`]): a session
+//! that builds is guaranteed a coherent prime/enumeration/piece
+//! configuration and a non-empty secret input, so the failure modes
+//! that used to surface as panics deep inside embed are rejected at
+//! the API boundary.
+//!
+//! ```
+//! use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
+//! use pathmark_core::key::{Watermark, WatermarkKey};
+//! use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+//! use stackvm::insn::Cond;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = FunctionBuilder::new("main", 0, 2);
+//! let head = f.new_label();
+//! let out = f.new_label();
+//! f.push(0).store(0);
+//! f.bind(head);
+//! f.load(0).push(8).if_cmp(Cond::Ge, out);
+//! f.load(0).load(1).add().store(1);
+//! f.iinc(0, 1).goto(head);
+//! f.bind(out);
+//! f.load(1).print().ret_void();
+//! let main = pb.add_function(f.finish()?);
+//! let program = pb.finish(main)?;
+//!
+//! let key = WatermarkKey::new(0xC0FFEE, vec![5, 3]);
+//! let config = JavaConfig::builder(64).pieces(12).build()?;
+//! let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
+//! let recognizer = Recognizer::builder(key, config).build()?;
+//!
+//! let watermark = Watermark::random_for(embedder.config(), embedder.key());
+//! let marked = embedder.embed(&program, &watermark)?;
+//! let found = recognizer.recognize(&marked.program)?;
+//! assert_eq!(found.watermark.as_ref(), Some(watermark.value()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use pathmark_telemetry::Telemetry;
+
+use super::JavaConfig;
+use crate::key::WatermarkKey;
+use crate::ConfigError;
+
+/// An embedding session: one key + validated config + telemetry handle.
+///
+/// Cheap to clone and `Send + Sync`, so a batch engine can derive one
+/// per-copy session per job (see [`Embedder::with_key`]) while all of
+/// them report into one sink.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    pub(crate) key: WatermarkKey,
+    pub(crate) config: JavaConfig,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// A recognition session: the mirror image of [`Embedder`].
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    pub(crate) key: WatermarkKey,
+    pub(crate) config: JavaConfig,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Shared validation for both session builders.
+fn validate_session(key: &WatermarkKey, config: &JavaConfig) -> Result<(), ConfigError> {
+    if key.input.is_empty() {
+        return Err(ConfigError::EmptySecretInput);
+    }
+    config.validate()
+}
+
+macro_rules! session_impl {
+    ($session:ident, $builder:ident) => {
+        impl $session {
+            /// Starts building a session from a key and a configuration.
+            pub fn builder(key: WatermarkKey, config: JavaConfig) -> $builder {
+                $builder {
+                    key,
+                    config,
+                    telemetry: Telemetry::null(),
+                }
+            }
+
+            /// An unvalidated session with no telemetry — the legacy
+            /// free functions route through this so their (lenient)
+            /// behavior is unchanged.
+            pub(crate) fn unchecked(key: WatermarkKey, config: JavaConfig) -> $session {
+                $session {
+                    key,
+                    config,
+                    telemetry: Telemetry::null(),
+                }
+            }
+
+            /// The session's key.
+            pub fn key(&self) -> &WatermarkKey {
+                &self.key
+            }
+
+            /// The session's configuration.
+            pub fn config(&self) -> &JavaConfig {
+                &self.config
+            }
+
+            /// The session's telemetry handle.
+            pub fn telemetry(&self) -> &Telemetry {
+                &self.telemetry
+            }
+
+            /// Derives a session for a different key (same configuration
+            /// and telemetry sink) — the fleet uses this for per-copy
+            /// keys. No re-validation of the input: batch engines derive
+            /// per-copy keys from an already-validated base key and
+            /// never change the input sequence.
+            pub fn with_key(&self, key: WatermarkKey) -> $session {
+                $session {
+                    key,
+                    config: self.config.clone(),
+                    telemetry: self.telemetry.clone(),
+                }
+            }
+        }
+
+        /// Builder for the session; `build` validates key and config.
+        #[derive(Debug, Clone)]
+        pub struct $builder {
+            key: WatermarkKey,
+            config: JavaConfig,
+            telemetry: Telemetry,
+        }
+
+        impl $builder {
+            /// Attaches a telemetry handle (default: disabled).
+            pub fn telemetry(mut self, telemetry: Telemetry) -> $builder {
+                self.telemetry = telemetry;
+                self
+            }
+
+            /// Validates and builds the session.
+            ///
+            /// # Errors
+            ///
+            /// [`ConfigError`] for an empty secret input or any
+            /// configuration defect [`JavaConfig::validate`] rejects.
+            pub fn build(self) -> Result<$session, ConfigError> {
+                validate_session(&self.key, &self.config)?;
+                Ok($session {
+                    key: self.key,
+                    config: self.config,
+                    telemetry: self.telemetry,
+                })
+            }
+        }
+    };
+}
+
+session_impl!(Embedder, EmbedderBuilder);
+session_impl!(Recognizer, RecognizerBuilder);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> WatermarkKey {
+        WatermarkKey::new(7, vec![1, 2])
+    }
+
+    #[test]
+    fn builder_validates_key_and_config() {
+        let config = JavaConfig::for_watermark_bits(64);
+        let session = Embedder::builder(key(), config.clone()).build().unwrap();
+        assert_eq!(session.key(), &key());
+        assert_eq!(session.config(), &config);
+        assert!(!session.telemetry().enabled());
+
+        assert_eq!(
+            Embedder::builder(WatermarkKey::new(7, vec![]), config.clone())
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptySecretInput
+        );
+        assert_eq!(
+            Recognizer::builder(WatermarkKey::new(7, vec![]), config)
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptySecretInput
+        );
+    }
+
+    #[test]
+    fn with_key_keeps_config_and_telemetry() {
+        use pathmark_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let config = JavaConfig::for_watermark_bits(64);
+        let telemetry = Telemetry::new(Arc::new(MemorySink::new()));
+        let base = Recognizer::builder(key(), config.clone())
+            .telemetry(telemetry)
+            .build()
+            .unwrap();
+        let derived = base.with_key(WatermarkKey::new(99, vec![1, 2]));
+        assert_eq!(derived.key().seed, 99);
+        assert_eq!(derived.config(), &config);
+        assert!(derived.telemetry().enabled());
+    }
+
+    #[test]
+    fn unchecked_skips_validation() {
+        // The legacy free functions tolerate empty inputs; their
+        // internal constructor must too.
+        let session = Embedder::unchecked(
+            WatermarkKey::new(1, vec![]),
+            JavaConfig::for_watermark_bits(64),
+        );
+        assert!(session.key().input.is_empty());
+    }
+}

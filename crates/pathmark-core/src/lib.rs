@@ -73,4 +73,4 @@ pub mod native;
 
 mod error;
 
-pub use error::WatermarkError;
+pub use error::{ConfigError, WatermarkError};

@@ -9,7 +9,7 @@ use nativesim::Image;
 use super::branch_fn::{append_branch_function, patch_branch_function, BranchFnParams};
 use super::profile::{profile_image, Profile};
 use crate::key::WatermarkKey;
-use crate::WatermarkError;
+use crate::{ConfigError, WatermarkError};
 
 /// Configuration of the native watermarking scheme.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +45,81 @@ impl Default for NativeConfig {
             decoy_jumps: 0,
             budget: 50_000_000,
         }
+    }
+}
+
+impl NativeConfig {
+    /// Starts a validating builder seeded with [`NativeConfig::default`];
+    /// [`NativeConfigBuilder::build`] rejects incoherent settings with a
+    /// [`ConfigError`] instead of failing deep inside embed.
+    pub fn builder() -> NativeConfigBuilder {
+        NativeConfigBuilder {
+            config: NativeConfig::default(),
+        }
+    }
+
+    /// Checks the configuration for the defects that otherwise fail or
+    /// silently misbehave during embedding.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.budget == 0 {
+            return Err(ConfigError::ZeroTraceBudget);
+        }
+        if self.tamperproof && self.max_tamper_cells == 0 {
+            return Err(ConfigError::ZeroTamperCells);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`NativeConfig`]; see [`NativeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct NativeConfigBuilder {
+    config: NativeConfig,
+}
+
+impl NativeConfigBuilder {
+    /// Enables/disables the tamper-proofing of Section 4.3.
+    pub fn tamperproof(mut self, on: bool) -> NativeConfigBuilder {
+        self.config.tamperproof = on;
+        self
+    }
+
+    /// Caps the number of tamper-proofed branches.
+    pub fn max_tamper_cells(mut self, cells: usize) -> NativeConfigBuilder {
+        self.config.max_tamper_cells = cells;
+        self
+    }
+
+    /// Adds a training input the marked program must keep working on.
+    pub fn training_input(mut self, input: Vec<u32>) -> NativeConfigBuilder {
+        self.config.training_inputs.push(input);
+        self
+    }
+
+    /// Routes up to `jumps` decoy jumps through the branch function.
+    pub fn decoy_jumps(mut self, jumps: usize) -> NativeConfigBuilder {
+        self.config.decoy_jumps = jumps;
+        self
+    }
+
+    /// Overrides the profiling instruction budget.
+    pub fn budget(mut self, budget: u64) -> NativeConfigBuilder {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] [`NativeConfig::validate`] finds.
+    pub fn build(self) -> Result<NativeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -550,5 +625,49 @@ pub(crate) mod tests {
             .run(100_000)
             .unwrap();
         assert_eq!(out.output, baseline.output);
+    }
+
+    #[test]
+    fn native_builder_accepts_sound_overrides() {
+        let c = NativeConfig::builder()
+            .tamperproof(true)
+            .max_tamper_cells(4)
+            .training_input(vec![9])
+            .decoy_jumps(2)
+            .budget(1_000_000)
+            .build()
+            .unwrap();
+        assert!(c.tamperproof);
+        assert_eq!(c.max_tamper_cells, 4);
+        assert_eq!(c.training_inputs, vec![vec![9]]);
+        assert_eq!(c.decoy_jumps, 2);
+        assert_eq!(c.budget, 1_000_000);
+    }
+
+    #[test]
+    fn native_builder_rejects_zero_budget() {
+        assert_eq!(
+            NativeConfig::builder().budget(0).build().unwrap_err(),
+            ConfigError::ZeroTraceBudget
+        );
+    }
+
+    #[test]
+    fn native_builder_rejects_zero_tamper_cells() {
+        assert_eq!(
+            NativeConfig::builder()
+                .tamperproof(true)
+                .max_tamper_cells(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroTamperCells
+        );
+        // Harmless when tamper-proofing is off.
+        let c = NativeConfig::builder()
+            .tamperproof(false)
+            .max_tamper_cells(0)
+            .build()
+            .unwrap();
+        assert!(!c.tamperproof);
     }
 }

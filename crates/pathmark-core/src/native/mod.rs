@@ -24,6 +24,6 @@ mod embed;
 mod extract;
 mod profile;
 
-pub use embed::{embed_native, NativeConfig, NativeMark};
+pub use embed::{embed_native, NativeConfig, NativeConfigBuilder, NativeMark};
 pub use extract::{extract, extract_auto, ExtractionSpec, TracerKind};
 pub use profile::{profile_image, Profile};

@@ -4,11 +4,12 @@
 //! **Embedding** a batch traces the host program *once* (through the
 //! [`crate::cache::TraceCache`]) and shares the immutable trace across
 //! all N jobs via `Arc`; each job then runs
-//! [`pathmark_core::java::embed_with_trace`] with its own per-copy key
-//! and watermark. **Recognition** of a batch parallelizes across copies:
-//! each copy is re-traced and recognized independently (the per-copy
-//! work is already one job; sharded recognition — [`crate::shard`] — is
-//! for splitting a *single* large copy instead).
+//! [`Embedder::embed_with_trace`] under a per-copy session derived with
+//! [`Embedder::with_key`] (same config and telemetry sink, per-copy
+//! key). **Recognition** of a batch parallelizes across copies: each
+//! copy is re-traced and recognized independently (the per-copy work is
+//! already one job; sharded recognition — [`crate::shard`] — is for
+//! splitting a *single* large copy instead).
 //!
 //! Per-job failures (bad manifest hex, embedding errors, panics) are
 //! captured in the job's [`JobReport`] and never abort the rest of the
@@ -17,7 +18,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pathmark_core::java::{embed_with_trace, recognize, JavaConfig, Recognition};
+use pathmark_core::java::{Embedder, Recognition, Recognizer};
 use pathmark_core::key::WatermarkKey;
 use pathmark_core::WatermarkError;
 use stackvm::trace::TraceConfig;
@@ -60,6 +61,27 @@ pub struct RecognizeOutcome {
     pub recognition: Option<Recognition>,
 }
 
+impl From<&EmbedOutcome> for RecognizeJob {
+    /// The round-trip conversion: verify that a freshly embedded copy
+    /// carries the watermark its report claims.
+    ///
+    /// # Panics
+    ///
+    /// When the outcome has no marked program (the embed job failed) —
+    /// filter on [`EmbedOutcome::marked`] first.
+    fn from(outcome: &EmbedOutcome) -> RecognizeJob {
+        RecognizeJob {
+            job_id: outcome.report.job_id.clone(),
+            program: outcome
+                .marked
+                .clone()
+                .expect("embed outcome has a marked program"),
+            expected_hex: Some(outcome.report.watermark_hex.clone()),
+            seed: outcome.report.seed,
+        }
+    }
+}
+
 /// Embeds every manifest job into `program` on the pool, tracing the
 /// host at most once via `cache`.
 ///
@@ -73,37 +95,42 @@ pub struct RecognizeOutcome {
 /// traced on the key's secret input — then no job can run at all.
 pub fn embed_batch(
     program: &Program,
-    key: &WatermarkKey,
-    config: &JavaConfig,
+    session: &Embedder,
     jobs: &[EmbedJobSpec],
     pool: &WorkerPool,
     cache: &TraceCache,
 ) -> Result<Vec<EmbedOutcome>, WatermarkError> {
     // The one traced run every job shares. The trace depends on the
     // secret input, which all per-copy keys inherit from the batch key.
-    let trace = cache.get_or_trace(program, key, config, TraceConfig::full())?;
+    let trace = cache.get_or_trace(
+        program,
+        session.key(),
+        session.config(),
+        TraceConfig::full(),
+    )?;
 
     let host = Arc::new(program.clone());
-    let base = Arc::new(key.clone());
-    let job_config = Arc::new(config.clone());
+    let base = session.clone();
     let results = pool.run_all(jobs.to_vec(), move |_, spec: EmbedJobSpec| {
         let started = Instant::now();
-        let job_key = spec.effective_key(&base);
-        let (status, watermark_hex, marked) = match spec.watermark(&base, &job_config) {
-            Err(why) => (JobStatus::Failed(why), String::new(), None),
-            Ok(watermark) => {
-                let hex = to_hex(watermark.value());
-                match embed_with_trace(&host, &watermark, &job_key, &job_config, &trace) {
-                    Ok(m) => (JobStatus::Ok, hex, Some(m.program)),
-                    Err(e) => (JobStatus::Failed(e.to_string()), hex, None),
+        let job_key = spec.effective_key(base.key());
+        let job_session = base.with_key(job_key);
+        let (status, watermark_hex, marked) =
+            match spec.watermark(base.key(), base.config()) {
+                Err(why) => (JobStatus::Failed(why), String::new(), None),
+                Ok(watermark) => {
+                    let hex = to_hex(watermark.value());
+                    match job_session.embed_with_trace(&host, &watermark, &trace) {
+                        Ok(m) => (JobStatus::Ok, hex, Some(m.program)),
+                        Err(e) => (JobStatus::Failed(e.to_string()), hex, None),
+                    }
                 }
-            }
-        };
+            };
         EmbedOutcome {
             report: JobReport {
                 job_id: spec.job_id,
                 watermark_hex,
-                seed: job_key.seed,
+                seed: job_session.key().seed,
                 status,
                 wall_ms: started.elapsed().as_millis() as u64,
             },
@@ -119,7 +146,7 @@ pub fn embed_batch(
                 report: JobReport {
                     job_id: spec.job_id.clone(),
                     watermark_hex: spec.watermark_hex.clone().unwrap_or_default(),
-                    seed: spec.effective_seed(key.seed),
+                    seed: spec.effective_seed(session.key().seed),
                     status: JobStatus::Failed(panic.to_string()),
                     wall_ms: 0,
                 },
@@ -137,17 +164,16 @@ pub fn embed_batch(
 /// [`JobStatus::Failed`] without affecting the rest.
 pub fn recognize_batch(
     jobs: &[RecognizeJob],
-    key: &WatermarkKey,
-    config: &JavaConfig,
+    session: &Recognizer,
     pool: &WorkerPool,
 ) -> Vec<RecognizeOutcome> {
-    let base = Arc::new(key.clone());
-    let job_config = Arc::new(config.clone());
+    let base = session.clone();
     let results = pool.run_all(jobs.to_vec(), move |_, job: RecognizeJob| {
         let started = Instant::now();
-        let job_key = WatermarkKey::new(job.seed, base.input.clone());
+        let job_key = WatermarkKey::new(job.seed, base.key().input.clone());
+        let job_session = base.with_key(job_key);
         let (status, watermark_hex, recognition) =
-            match recognize(&job.program, &job_key, &job_config) {
+            match job_session.recognize(&job.program) {
                 Err(e) => (
                     JobStatus::Failed(e.to_string()),
                     job.expected_hex.clone().unwrap_or_default(),
@@ -176,7 +202,7 @@ pub fn recognize_batch(
             report: JobReport {
                 job_id: job.job_id,
                 watermark_hex,
-                seed: job_key.seed,
+                seed: job_session.key().seed,
                 status,
                 wall_ms: started.elapsed().as_millis() as u64,
             },
@@ -205,6 +231,7 @@ pub fn recognize_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathmark_core::java::JavaConfig;
     use stackvm::builder::{FunctionBuilder, ProgramBuilder};
     use stackvm::insn::Cond;
 
@@ -232,6 +259,14 @@ mod tests {
         JavaConfig::for_watermark_bits(64).with_pieces(12)
     }
 
+    fn embedder() -> Embedder {
+        Embedder::builder(key(), config()).build().unwrap()
+    }
+
+    fn recognizer() -> Recognizer {
+        Recognizer::builder(key(), config()).build().unwrap()
+    }
+
     #[test]
     fn batch_embeds_distinct_recognizable_copies() {
         let pool = WorkerPool::new(4);
@@ -239,8 +274,7 @@ mod tests {
         let jobs: Vec<EmbedJobSpec> = (0..6)
             .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
             .collect();
-        let outcomes =
-            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        let outcomes = embed_batch(&host_program(), &embedder(), &jobs, &pool, &cache).unwrap();
         assert_eq!(outcomes.len(), 6);
         assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
         assert_eq!(cache.stats().misses, 1, "one trace for the whole batch");
@@ -252,16 +286,8 @@ mod tests {
         hexes.dedup();
         assert_eq!(hexes.len(), 6, "all watermarks distinct");
 
-        let rec_jobs: Vec<RecognizeJob> = outcomes
-            .iter()
-            .map(|o| RecognizeJob {
-                job_id: o.report.job_id.clone(),
-                program: o.marked.clone().unwrap(),
-                expected_hex: Some(o.report.watermark_hex.clone()),
-                seed: o.report.seed,
-            })
-            .collect();
-        let recognized = recognize_batch(&rec_jobs, &key(), &config(), &pool);
+        let rec_jobs: Vec<RecognizeJob> = outcomes.iter().map(RecognizeJob::from).collect();
+        let recognized = recognize_batch(&rec_jobs, &recognizer(), &pool);
         assert!(recognized.iter().all(|o| o.report.status.is_ok()));
         assert!(recognized
             .iter()
@@ -278,8 +304,7 @@ mod tests {
             .collect();
         // Unparseable watermark hex: this job fails, the others succeed.
         jobs[2].watermark_hex = Some("not-hex!".to_string());
-        let outcomes =
-            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        let outcomes = embed_batch(&host_program(), &embedder(), &jobs, &pool, &cache).unwrap();
         for (i, o) in outcomes.iter().enumerate() {
             if i == 2 {
                 assert!(matches!(o.report.status, JobStatus::Failed(_)), "{:?}", o.report);
@@ -297,8 +322,7 @@ mod tests {
         let cache = TraceCache::new();
         let jobs: Vec<EmbedJobSpec> =
             vec![EmbedJobSpec::new("a"), EmbedJobSpec::new("b")];
-        let outcomes =
-            embed_batch(&host_program(), &key(), &config(), &jobs, &pool, &cache).unwrap();
+        let outcomes = embed_batch(&host_program(), &embedder(), &jobs, &pool, &cache).unwrap();
         // Claim copy `b` is copy `a`: recognition under `a`'s seed on
         // `b`'s program must not report success.
         let swapped = vec![RecognizeJob {
@@ -307,7 +331,7 @@ mod tests {
             expected_hex: Some(outcomes[0].report.watermark_hex.clone()),
             seed: outcomes[0].report.seed,
         }];
-        let recognized = recognize_batch(&swapped, &key(), &config(), &pool);
+        let recognized = recognize_batch(&swapped, &recognizer(), &pool);
         assert!(
             !recognized[0].report.status.is_ok(),
             "swapped copy must not verify: {:?}",

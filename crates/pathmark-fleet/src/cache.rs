@@ -19,6 +19,7 @@ use std::sync::{Arc, Mutex};
 use pathmark_core::java::{trace_program, JavaConfig};
 use pathmark_core::key::WatermarkKey;
 use pathmark_core::WatermarkError;
+use pathmark_telemetry::{Counter, Stage, Telemetry};
 use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
@@ -49,12 +50,23 @@ pub struct TraceCache {
     entries: Mutex<HashMap<CacheKey, Arc<Trace>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    telemetry: Telemetry,
 }
 
 impl TraceCache {
-    /// An empty cache.
+    /// An empty cache with telemetry disabled.
     pub fn new() -> TraceCache {
         TraceCache::default()
+    }
+
+    /// An empty cache reporting [`Counter::CacheHit`] /
+    /// [`Counter::CacheMiss`] and a [`Stage::Trace`] span per cold
+    /// trace into `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> TraceCache {
+        TraceCache {
+            telemetry,
+            ..TraceCache::default()
+        }
     }
 
     /// Returns the trace of `program` on `key`'s secret input, tracing
@@ -90,11 +102,16 @@ impl TraceCache {
             .cloned()
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.count(Counter::CacheHit, 1);
             return Ok(trace);
         }
         // Trace outside the lock so a long run does not stall the pool.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let trace = Arc::new(trace_program(program, key, config, what)?);
+        self.telemetry.count(Counter::CacheMiss, 1);
+        let trace = Arc::new(
+            self.telemetry
+                .time(Stage::Trace, || trace_program(program, key, config, what))?,
+        );
         let mut entries = self.entries.lock().expect("cache lock");
         Ok(Arc::clone(entries.entry(cache_key).or_insert(trace)))
     }
@@ -158,6 +175,25 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same shared trace");
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_and_trace_spans() {
+        use pathmark_telemetry::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let cache = TraceCache::with_telemetry(Telemetry::new(sink.clone()));
+        let program = tiny_program(3);
+        let key = WatermarkKey::new(7, vec![]);
+        let config = JavaConfig::for_watermark_bits(64);
+        for _ in 0..3 {
+            cache
+                .get_or_trace(&program, &key, &config, TraceConfig::full())
+                .unwrap();
+        }
+        assert_eq!(sink.counter(Counter::CacheMiss), 1);
+        assert_eq!(sink.counter(Counter::CacheHit), 2);
+        assert_eq!(sink.stage(Stage::Trace).count, 1, "one cold trace span");
     }
 
     #[test]

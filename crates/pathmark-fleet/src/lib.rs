@@ -26,10 +26,19 @@
 //! * [`batch`] — the engine tying the above together: batch embed and
 //!   batch recognize over a manifest.
 //!
+//! The batch engine consumes the session objects of
+//! [`pathmark_core::java`] ([`pathmark_core::java::Embedder`] /
+//! [`pathmark_core::java::Recognizer`]): one validated session per
+//! batch, from which a per-copy session is derived per job. A session
+//! built with a telemetry sink propagates it everywhere — build the
+//! pool with [`pool::WorkerPool::with_telemetry`] and the cache with
+//! [`cache::TraceCache::with_telemetry`] to also capture queue-wait /
+//! run-time spans and trace-cache hit/miss counters in the same sink.
+//!
 //! # Example
 //!
 //! ```
-//! use pathmark_core::java::JavaConfig;
+//! use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
 //! use pathmark_core::key::WatermarkKey;
 //! use pathmark_fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
 //! use pathmark_fleet::cache::TraceCache;
@@ -55,6 +64,7 @@
 //!
 //! let key = WatermarkKey::new(0xF1EE7, vec![3, 1, 4]);
 //! let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+//! let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
 //! let pool = WorkerPool::new(4);
 //! let cache = TraceCache::new();
 //!
@@ -62,20 +72,13 @@
 //! let jobs: Vec<EmbedJobSpec> = (0..4)
 //!     .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
 //!     .collect();
-//! let embedded = embed_batch(&program, &key, &config, &jobs, &pool, &cache)?;
+//! let embedded = embed_batch(&program, &embedder, &jobs, &pool, &cache)?;
 //! assert!(embedded.iter().all(|o| o.marked.is_some()));
 //!
 //! // Recognize every copy and check it recovers its own W_i.
-//! let rec_jobs: Vec<RecognizeJob> = embedded
-//!     .iter()
-//!     .map(|o| RecognizeJob {
-//!         job_id: o.report.job_id.clone(),
-//!         program: o.marked.clone().unwrap(),
-//!         expected_hex: Some(o.report.watermark_hex.clone()),
-//!         seed: o.report.seed,
-//!     })
-//!     .collect();
-//! let recognized = recognize_batch(&rec_jobs, &key, &config, &pool);
+//! let recognizer = Recognizer::builder(key, config).build()?;
+//! let rec_jobs: Vec<RecognizeJob> = embedded.iter().map(RecognizeJob::from).collect();
+//! let recognized = recognize_batch(&rec_jobs, &recognizer, &pool);
 //! assert!(recognized.iter().all(|o| o.report.status.is_ok()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -9,12 +9,21 @@
 //!   copy never kills the batch;
 //! * **graceful shutdown** — dropping the pool flags the queue, wakes
 //!   every worker, and joins them; already-queued jobs finish first.
+//!
+//! A pool built with [`WorkerPool::with_telemetry`] additionally
+//! reports, per job, the time spent waiting in the queue
+//! ([`Stage::QueueWait`]) and running ([`Stage::JobRun`]), plus a
+//! [`Counter::PoolPanic`] increment per escaped panic. The default
+//! pool carries a disabled handle and never reads the clock.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pathmark_telemetry::{Counter, Stage, Telemetry};
 
 /// A job that escaped with a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +50,7 @@ struct Queue {
 struct Shared {
     queue: Mutex<Queue>,
     ready: Condvar,
+    telemetry: Telemetry,
 }
 
 /// A fixed-size pool of worker threads.
@@ -50,14 +60,22 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns a pool of `workers` threads (at least one).
+    /// Spawns a pool of `workers` threads (at least one) with telemetry
+    /// disabled.
     pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool::with_telemetry(workers, Telemetry::null())
+    }
+
+    /// Spawns a pool whose jobs report queue-wait and run-time spans
+    /// (and panic counts) into `telemetry`.
+    pub fn with_telemetry(workers: usize, telemetry: Telemetry) -> WorkerPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            telemetry,
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -76,10 +94,27 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Enqueues one fire-and-forget job.
+    /// The pool's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Enqueues one fire-and-forget job. On a telemetry-enabled pool the
+    /// job is wrapped to report its queue wait (enqueue → dequeue) and
+    /// its run time as separate spans.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let boxed: Job = if self.shared.telemetry.enabled() {
+            let telemetry = self.shared.telemetry.clone();
+            let enqueued = Instant::now();
+            Box::new(move || {
+                telemetry.record(Stage::QueueWait, enqueued.elapsed().as_nanos() as u64);
+                telemetry.time(Stage::JobRun, job);
+            })
+        } else {
+            Box::new(job)
+        };
         let mut queue = self.shared.queue.lock().expect("queue lock");
-        queue.jobs.push_back(Box::new(job));
+        queue.jobs.push_back(boxed);
         drop(queue);
         self.shared.ready.notify_one();
     }
@@ -99,10 +134,16 @@ impl WorkerPool {
         for (index, input) in inputs.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let tx = tx.clone();
+            let telemetry = self.shared.telemetry.clone();
             self.execute(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| f(index, input)))
-                    .map_err(|payload| JobPanic {
-                        message: panic_message(&*payload),
+                    .map_err(|payload| {
+                        // Counted here, not in the worker loop: the
+                        // panic never escapes this closure.
+                        telemetry.count(Counter::PoolPanic, 1);
+                        JobPanic {
+                            message: panic_message(&*payload),
+                        }
                     });
                 // The receiver hanging up just means the caller stopped
                 // listening; nothing useful to do with the error.
@@ -151,7 +192,9 @@ fn worker_loop(shared: &Shared) {
         // Belt and braces: `run_all` already catches panics inside the
         // job closure, but a raw `execute` job must not kill the worker
         // either.
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.telemetry.count(Counter::PoolPanic, 1);
+        }
     }
 }
 
@@ -219,6 +262,30 @@ mod tests {
             // Drop joins the workers after the queue drains.
         }
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn telemetry_reports_queue_run_and_panics() {
+        use pathmark_telemetry::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let pool = WorkerPool::with_telemetry(2, Telemetry::new(sink.clone()));
+        let results = pool.run_all((0..10).collect(), |_, v: i32| {
+            if v == 3 {
+                panic!("poisoned");
+            }
+            v
+        });
+        assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
+        // Every job (panicking or not) waited in the queue and ran.
+        assert_eq!(sink.stage(Stage::QueueWait).count, 10);
+        assert_eq!(sink.stage(Stage::JobRun).count, 10);
+        assert_eq!(sink.counter(Counter::PoolPanic), 1);
+
+        // Raw execute panics are counted too (by the worker loop).
+        pool.execute(|| panic!("raw"));
+        drop(pool);
+        assert_eq!(sink.counter(Counter::PoolPanic), 2);
     }
 
     #[test]

@@ -6,31 +6,29 @@
 //! consumes an *unordered multiset* of candidate statements. So the scan
 //! parallelizes embarrassingly: partition the window **start offsets**
 //! into disjoint contiguous ranges, run
-//! [`pathmark_core::java::window_candidates`] on each range on the
-//! worker pool, and merge the returned multiplicity maps by summing.
-//! The merged map equals a serial scan of the full range, making
+//! [`Recognizer::window_candidates`] on each range on the worker pool,
+//! and merge the returned multiplicity maps by summing (reported to
+//! telemetry as [`Stage::Merge`] on a telemetry-carrying session). The
+//! merged map equals a serial scan of the full range, making
 //! [`recognize_sharded`] bit-identical to
-//! [`pathmark_core::java::recognize_bits`] by construction — a property
-//! the integration tests assert on every pipeline fixture.
+//! [`Recognizer::recognize_bits`] by construction — a property the
+//! integration tests assert on every pipeline fixture.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use pathmark_core::bitstring::BitString;
-use pathmark_core::java::{
-    recognize_from_candidates, trace_program, window_candidates, JavaConfig, Recognition,
-};
-use pathmark_core::key::WatermarkKey;
+use pathmark_core::java::{Recognition, Recognizer};
 use pathmark_core::WatermarkError;
 use pathmark_math::crt::Statement;
-use stackvm::trace::TraceConfig;
+use pathmark_telemetry::Stage;
 use stackvm::Program;
 
 use crate::pool::WorkerPool;
 
 /// Recognition over an already-decoded bit-string, with the window scan
 /// split into `shards` parallel chunks. Output is bit-identical to
-/// [`pathmark_core::java::recognize_bits`] for every shard count.
+/// [`Recognizer::recognize_bits`] for every shard count.
 ///
 /// # Errors
 ///
@@ -42,8 +40,7 @@ use crate::pool::WorkerPool;
 /// indicates a bug, not a data condition).
 pub fn recognize_sharded(
     bits: &BitString,
-    key: &WatermarkKey,
-    config: &JavaConfig,
+    session: &Recognizer,
     shards: usize,
     pool: &WorkerPool,
 ) -> Result<Recognition, WatermarkError> {
@@ -56,26 +53,28 @@ pub fn recognize_sharded(
         .collect();
 
     let bits = Arc::new(bits.clone());
-    let job_key = Arc::new(key.clone());
-    let job_config = Arc::new(config.clone());
+    let shard_session = session.clone();
     let scanned = pool.run_all(ranges, move |_, (start, end)| {
-        window_candidates(&bits, &job_key, &job_config, start, end)
+        shard_session.window_candidates(&bits, start, end)
     });
 
-    let mut merged: HashMap<Statement, u64> = HashMap::new();
-    for result in scanned {
-        let counts =
-            result.unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))?;
-        for (statement, count) in counts {
-            *merged.entry(statement).or_insert(0) += count;
+    let merged = session.telemetry().time(Stage::Merge, || {
+        let mut merged: HashMap<Statement, u64> = HashMap::new();
+        for result in scanned {
+            let counts = result
+                .unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))?;
+            for (statement, count) in counts {
+                *merged.entry(statement).or_insert(0) += count;
+            }
         }
-    }
-    recognize_from_candidates(merged, key, config)
+        Ok::<_, WatermarkError>(merged)
+    })?;
+    session.recognize_from_candidates(merged)
 }
 
 /// Traces a (possibly attacked) program on the secret input and runs
 /// [`recognize_sharded`] on its bit-string — the parallel counterpart of
-/// [`pathmark_core::java::recognize`].
+/// [`Recognizer::recognize`].
 ///
 /// # Errors
 ///
@@ -84,23 +83,23 @@ pub fn recognize_sharded(
 /// * [`WatermarkError::Math`] for prime-configuration errors.
 pub fn recognize_program_sharded(
     program: &Program,
-    key: &WatermarkKey,
-    config: &JavaConfig,
+    session: &Recognizer,
     shards: usize,
     pool: &WorkerPool,
 ) -> Result<Recognition, WatermarkError> {
-    let trace = trace_program(program, key, config, TraceConfig::branches_only())?;
+    let trace = session.trace(program)?;
     let bits = BitString::from_trace(&trace);
-    recognize_sharded(&bits, key, config, shards, pool)
+    recognize_sharded(&bits, session, shards, pool)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathmark_core::java::{embed, recognize_bits};
-    use pathmark_core::key::Watermark;
+    use pathmark_core::java::{embed, recognize_bits, trace_program, JavaConfig};
+    use pathmark_core::key::{Watermark, WatermarkKey};
     use stackvm::builder::{FunctionBuilder, ProgramBuilder};
     use stackvm::insn::Cond;
+    use stackvm::trace::TraceConfig;
 
     fn host_program() -> Program {
         let mut pb = ProgramBuilder::new();
@@ -130,25 +129,27 @@ mod tests {
         let serial = recognize_bits(&bits, &key, &config).unwrap();
         assert_eq!(serial.watermark.as_ref(), Some(watermark.value()));
 
+        let session = Recognizer::builder(key, config).build().unwrap();
         let pool = WorkerPool::new(4);
         for shards in [1usize, 2, 3, 7, 64, 10_000] {
-            let sharded = recognize_sharded(&bits, &key, &config, shards, &pool).unwrap();
+            let sharded = recognize_sharded(&bits, &session, shards, &pool).unwrap();
             assert_eq!(sharded, serial, "{shards} shards");
         }
         let via_program =
-            recognize_program_sharded(&marked.program, &key, &config, 4, &pool).unwrap();
+            recognize_program_sharded(&marked.program, &session, 4, &pool).unwrap();
         assert_eq!(via_program, serial);
     }
 
     #[test]
     fn degenerate_bitstrings_are_handled() {
-        let key = WatermarkKey::new(9, vec![]);
+        let key = WatermarkKey::new(9, vec![1]);
         let config = JavaConfig::for_watermark_bits(64);
+        let session = Recognizer::builder(key.clone(), config.clone()).build().unwrap();
         let pool = WorkerPool::new(2);
         for len in [0usize, 10, 63, 64, 65] {
             let bits = BitString::from_bits(vec![true; len]);
             let serial = recognize_bits(&bits, &key, &config).unwrap();
-            let sharded = recognize_sharded(&bits, &key, &config, 8, &pool).unwrap();
+            let sharded = recognize_sharded(&bits, &session, 8, &pool).unwrap();
             assert_eq!(sharded, serial, "length {len}");
         }
     }

@@ -15,20 +15,30 @@
 //! pathmark fleet recognize --dir D --manifest M --workers K --seed S --input I --bits B
 //! ```
 //!
+//! `embed`, `recognize` and both `fleet` subcommands additionally take
+//! `--metrics FILE [--metrics-format jsonl|summary]` to capture
+//! stage-level telemetry (trace, encrypt, codegen, scan, vote, merge,
+//! queue-wait, …) from the run; without the flag the pipeline runs with
+//! the zero-cost disabled handle.
+//!
 //! Exit codes: `0` success, `1` usage or processing error, `2`
-//! recognition ran but did not recover the expected watermark.
+//! recognition ran but did not recover the expected watermark (see
+//! [`pathmark::cli::ExitStatus`]).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use pathmark::attacks::java as attacks;
-use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::cli::ExitStatus;
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
 use pathmark::fleet::cache::TraceCache;
 use pathmark::fleet::manifest::{parse_manifest, to_hex};
 use pathmark::fleet::pool::WorkerPool;
 use pathmark::math::bigint::BigUint;
+use pathmark::telemetry::{JsonlSink, MemorySink, Telemetry};
 use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
 
@@ -50,15 +60,16 @@ impl From<String> for CliError {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+    let status = match run(&args) {
+        Ok(()) => ExitStatus::Success,
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("run `pathmark help` for usage");
-            ExitCode::from(1)
+            ExitStatus::Failure
         }
-        Err(CliError::NotFound) => ExitCode::from(2),
-    }
+        Err(CliError::NotFound) => ExitStatus::NotRecovered,
+    };
+    status.into()
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -104,6 +115,11 @@ commands:
                   --bits N [--pieces N] [--workers K]
                   recognize every copy against its manifest entry; the
                   embed report doubles as the manifest
+
+telemetry (embed, recognize, fleet embed, fleet recognize):
+  --metrics FILE                 capture stage-level spans and counters
+  --metrics-format jsonl|summary one JSON line per event (default), or
+                                 one aggregated JSON summary object
 
 exit codes:
   0  success
@@ -188,6 +204,70 @@ fn key_and_config(opts: &HashMap<String, String>) -> Result<(WatermarkKey, JavaC
     Ok((WatermarkKey::new(seed, input), config.with_pieces(pieces)))
 }
 
+/// How `--metrics` output is materialized at the end of a run.
+enum MetricsWriter {
+    /// Events stream to the file as they happen; `finish` only flushes.
+    Jsonl,
+    /// Events aggregate in memory; `finish` renders one JSON summary.
+    Summary { sink: Arc<MemorySink>, path: String },
+}
+
+/// The `--metrics FILE [--metrics-format jsonl|summary]` plumbing: a
+/// telemetry handle to thread through sessions/pools/caches, plus the
+/// writer that materializes the file when the command finishes.
+struct Metrics {
+    telemetry: Telemetry,
+    writer: Option<MetricsWriter>,
+}
+
+impl Metrics {
+    fn from_options(opts: &HashMap<String, String>) -> Result<Metrics, String> {
+        let Some(path) = opts.get("metrics") else {
+            if opts.contains_key("metrics-format") {
+                return Err("--metrics-format requires --metrics FILE".into());
+            }
+            return Ok(Metrics {
+                telemetry: Telemetry::null(),
+                writer: None,
+            });
+        };
+        match opts.get("metrics-format").map(String::as_str).unwrap_or("jsonl") {
+            "jsonl" => {
+                let sink = JsonlSink::create(path).map_err(|e| format!("{path}: {e}"))?;
+                Ok(Metrics {
+                    telemetry: Telemetry::new(Arc::new(sink)),
+                    writer: Some(MetricsWriter::Jsonl),
+                })
+            }
+            "summary" => {
+                let sink = Arc::new(MemorySink::new());
+                Ok(Metrics {
+                    telemetry: Telemetry::new(sink.clone()),
+                    writer: Some(MetricsWriter::Summary {
+                        sink,
+                        path: path.clone(),
+                    }),
+                })
+            }
+            other => Err(format!(
+                "--metrics-format: unknown format `{other}` (expected jsonl or summary)"
+            )),
+        }
+    }
+
+    /// Writes/flushes the metrics file. Call after all work (and any
+    /// worker pool holding a telemetry clone) is done.
+    fn finish(self) -> Result<(), String> {
+        self.telemetry.flush();
+        if let Some(MetricsWriter::Summary { sink, path }) = self.writer {
+            let mut json = sink.render_json();
+            json.push('\n');
+            std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 fn cmd_demo(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = required(opts, "out")?;
     let program = pathmark::workloads::java::caffeinemark();
@@ -205,11 +285,16 @@ fn cmd_embed(opts: &HashMap<String, String>) -> Result<(), String> {
     let program = load_program(required(opts, "program")?)?;
     let out = required(opts, "out")?;
     let (key, config) = key_and_config(opts)?;
+    let metrics = Metrics::from_options(opts)?;
+    let session = Embedder::builder(key, config)
+        .telemetry(metrics.telemetry.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
     let watermark = match opts.get("watermark") {
-        Some(hex) => Watermark::from_value(parse_hex(hex)?, config.watermark_bits),
-        None => Watermark::random_for(&config, &key),
+        Some(hex) => Watermark::from_value(parse_hex(hex)?, session.config().watermark_bits),
+        None => Watermark::random_for(session.config(), session.key()),
     };
-    let marked = embed(&program, &watermark, &key, &config).map_err(|e| e.to_string())?;
+    let marked = session.embed(&program, &watermark).map_err(|e| e.to_string())?;
     save_program(out, &marked.program)?;
     println!("embedded W = {:x} ({} bits)", watermark.value(), watermark.bits());
     println!(
@@ -219,31 +304,41 @@ fn cmd_embed(opts: &HashMap<String, String>) -> Result<(), String> {
         marked.report.bytes_after,
         100.0 * (marked.report.bytes_after as f64 / marked.report.bytes_before as f64 - 1.0),
     );
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let program = load_program(required(opts, "program")?)?;
     let (key, config) = key_and_config(opts)?;
-    let rec = recognize(&program, &key, &config).map_err(|e| e.to_string())?;
+    let metrics = Metrics::from_options(opts)?;
+    let session = Recognizer::builder(key, config)
+        .telemetry(metrics.telemetry.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let rec = session.recognize(&program).map_err(|e| e.to_string())?;
     eprintln!(
         "candidates: {}, after vote: {}, survivors: {}, primes covered: {}/{}",
         rec.candidates, rec.after_vote, rec.survivors, rec.primes_covered, rec.primes_total
     );
     // One machine-readable line on stdout either way; the exit code
     // (0 vs 2) carries the verdict for scripts.
-    match rec.watermark {
+    let recovered = match &rec.watermark {
         Some(w) => {
             println!("RESULT found watermark_hex={w:x}");
-            Ok(())
+            1
         }
         None => {
             println!(
                 "RESULT not-found primes_covered={}/{}",
                 rec.primes_covered, rec.primes_total
             );
-            Err(CliError::NotFound)
+            0
         }
+    };
+    metrics.finish()?;
+    match ExitStatus::for_recognition(recovered, 1) {
+        ExitStatus::Success => Ok(()),
+        _ => Err(CliError::NotFound),
     }
 }
 
@@ -327,10 +422,15 @@ fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
     }
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
 
-    let pool = WorkerPool::new(workers);
-    let cache = TraceCache::new();
+    let metrics = Metrics::from_options(opts)?;
+    let session = Embedder::builder(key, config)
+        .telemetry(metrics.telemetry.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let pool = WorkerPool::with_telemetry(workers, metrics.telemetry.clone());
+    let cache = TraceCache::with_telemetry(metrics.telemetry.clone());
     let started = std::time::Instant::now();
-    let outcomes = embed_batch(&program, &key, &config, &jobs, &pool, &cache)
+    let outcomes = embed_batch(&program, &session, &jobs, &pool, &cache)
         .map_err(|e| e.to_string())?;
 
     let mut report = String::new();
@@ -352,6 +452,10 @@ fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
         outcomes.len(),
         started.elapsed().as_millis(),
     );
+    // Joining the pool first guarantees every queued span has reached
+    // the sink before the metrics file is finalized.
+    drop(pool);
+    metrics.finish()?;
     if failed > 0 {
         return Err(CliError::Usage(format!(
             "{failed} of {} embed jobs failed (see {report_path})",
@@ -366,6 +470,11 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let manifest_path = required(opts, "manifest")?;
     let workers = parse_workers(opts)?;
     let (key, config) = key_and_config(opts)?;
+    let metrics = Metrics::from_options(opts)?;
+    let session = Recognizer::builder(key, config)
+        .telemetry(metrics.telemetry.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(manifest_path)
         .map_err(|e| format!("{manifest_path}: {e}"))?;
     let specs = parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
@@ -380,19 +489,19 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
         // resolved it, so a plain manifest works as well as a report.
         let expected = match &spec.watermark_hex {
             Some(hex) => hex.clone(),
-            None => to_hex(spec.watermark(&key, &config)?.value()),
+            None => to_hex(spec.watermark(session.key(), session.config())?.value()),
         };
         jobs.push(RecognizeJob {
             job_id: spec.job_id.clone(),
             program,
             expected_hex: Some(expected),
-            seed: spec.effective_seed(key.seed),
+            seed: spec.effective_seed(session.key().seed),
         });
     }
 
-    let pool = WorkerPool::new(workers);
+    let pool = WorkerPool::with_telemetry(workers, metrics.telemetry.clone());
     let started = std::time::Instant::now();
-    let outcomes = recognize_batch(&jobs, &key, &config, &pool);
+    let outcomes = recognize_batch(&jobs, &session, &pool);
     let mut recovered = 0usize;
     for outcome in &outcomes {
         println!("{}", outcome.report.to_line());
@@ -405,8 +514,10 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
         outcomes.len(),
         started.elapsed().as_millis(),
     );
-    if recovered < outcomes.len() {
-        return Err(CliError::NotFound);
+    drop(pool);
+    metrics.finish()?;
+    match ExitStatus::for_recognition(recovered, outcomes.len()) {
+        ExitStatus::Success => Ok(()),
+        _ => Err(CliError::NotFound),
     }
-    Ok(())
 }

@@ -1,0 +1,71 @@
+//! Shared command-line conventions.
+//!
+//! Every recognition-style entry point (`pathmark recognize`,
+//! `pathmark fleet recognize`, scripted callers of either) speaks the
+//! same three-way exit protocol; [`ExitStatus`] is that protocol as a
+//! type, so the binary and the scripts cannot drift apart.
+
+use std::process::ExitCode;
+
+/// Process exit discipline of the `pathmark` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Everything succeeded (recognition recovered every expected
+    /// watermark): exit code 0.
+    Success,
+    /// Bad flags, unreadable files, invalid configuration, or a
+    /// processing failure: exit code 1.
+    Failure,
+    /// Recognition ran to completion but did not recover the (expected)
+    /// watermark on at least one copy: exit code 2.
+    NotRecovered,
+}
+
+impl ExitStatus {
+    /// The numeric exit code.
+    pub fn code(self) -> u8 {
+        match self {
+            ExitStatus::Success => 0,
+            ExitStatus::Failure => 1,
+            ExitStatus::NotRecovered => 2,
+        }
+    }
+
+    /// The verdict for a recognition run that recovered `recovered` of
+    /// `total` expected watermarks: [`ExitStatus::Success`] only when
+    /// all were recovered.
+    pub fn for_recognition(recovered: usize, total: usize) -> ExitStatus {
+        if recovered >= total {
+            ExitStatus::Success
+        } else {
+            ExitStatus::NotRecovered
+        }
+    }
+}
+
+impl From<ExitStatus> for ExitCode {
+    fn from(status: ExitStatus) -> ExitCode {
+        ExitCode::from(status.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_the_documented_protocol() {
+        assert_eq!(ExitStatus::Success.code(), 0);
+        assert_eq!(ExitStatus::Failure.code(), 1);
+        assert_eq!(ExitStatus::NotRecovered.code(), 2);
+    }
+
+    #[test]
+    fn recognition_verdicts() {
+        assert_eq!(ExitStatus::for_recognition(1, 1), ExitStatus::Success);
+        assert_eq!(ExitStatus::for_recognition(16, 16), ExitStatus::Success);
+        assert_eq!(ExitStatus::for_recognition(0, 0), ExitStatus::Success);
+        assert_eq!(ExitStatus::for_recognition(15, 16), ExitStatus::NotRecovered);
+        assert_eq!(ExitStatus::for_recognition(0, 1), ExitStatus::NotRecovered);
+    }
+}

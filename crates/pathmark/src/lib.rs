@@ -20,6 +20,8 @@
 //! | [`attacks`] | the distortive / rewriting attack suite (Section 5) |
 //! | [`workloads`] | CaffeineMark-, Jess- and SPECint-like programs |
 //! | [`fleet`] | parallel batch fingerprinting & recognition engine |
+//! | [`telemetry`] | stage-level tracing and metrics (spans, counters, sinks) |
+//! | [`cli`] | shared command-line conventions (exit-code protocol) |
 //!
 //! # Example
 //!
@@ -46,7 +48,10 @@ pub use pathmark_core as core;
 pub use pathmark_crypto as crypto;
 pub use pathmark_fleet as fleet;
 pub use pathmark_math as math;
+pub use pathmark_telemetry as telemetry;
 pub use pathmark_workloads as workloads;
+
+pub mod cli;
 
 /// The bytecode virtual-machine substrate (re-export of `stackvm`).
 pub use stackvm as vm;

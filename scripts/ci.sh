@@ -1,18 +1,23 @@
 #!/usr/bin/env sh
 # CI gate: the tier-1 build/test pass plus a fleet smoke run through the
-# CLI (16 copies embedded and recognized end to end). Offline-safe: the
-# workspace has no external dependencies.
+# CLI (16 copies embedded and recognized end to end, with stage-level
+# metrics captured) and a quick fleet bench emitting BENCH_fleet.json.
+# Offline-safe: the workspace has no external dependencies.
 set -eu
 
 cd "$(dirname "$0")/.."
+ROOT=$(pwd)
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
+echo "==> warnings gate: pathmark-telemetry is warning-free"
+RUSTFLAGS="-D warnings" cargo build -q -p pathmark-telemetry
+
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> fleet smoke: 16-copy embed/recognize round trip"
+echo "==> fleet smoke: 16-copy embed/recognize round trip with metrics"
 BIN=target/release/pathmark
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
@@ -26,16 +31,39 @@ done > "$SMOKE/manifest.jsonl"
 
 "$BIN" fleet embed --program "$SMOKE/demo.pmvm" \
     --manifest "$SMOKE/manifest.jsonl" --out-dir "$SMOKE/copies" \
-    --workers 4 --seed 7 --input 12 --bits 128
+    --workers 4 --seed 7 --input 12 --bits 128 \
+    --metrics "$SMOKE/embed-metrics.jsonl" --metrics-format jsonl
 
 count=$(ls "$SMOKE/copies"/*.pmvm | wc -l)
 [ "$count" -eq 16 ] || { echo "expected 16 copies, got $count" >&2; exit 1; }
 
+for stage in trace encrypt codegen queue_wait job_run; do
+    grep -q "\"stage\":\"$stage\"" "$SMOKE/embed-metrics.jsonl" \
+        || { echo "embed metrics missing $stage spans" >&2; exit 1; }
+done
+grep -q '"counter":"cache_miss"' "$SMOKE/embed-metrics.jsonl" \
+    || { echo "embed metrics missing trace-cache counters" >&2; exit 1; }
+
 "$BIN" fleet recognize --dir "$SMOKE/copies" \
     --manifest "$SMOKE/copies/report.jsonl" \
-    --workers 4 --seed 7 --input 12 --bits 128 > "$SMOKE/recognized.jsonl"
+    --workers 4 --seed 7 --input 12 --bits 128 \
+    --metrics "$SMOKE/rec-metrics.json" --metrics-format summary \
+    > "$SMOKE/recognized.jsonl"
 
 ok=$(grep -c '"status":"ok"' "$SMOKE/recognized.jsonl")
 [ "$ok" -eq 16 ] || { echo "expected 16 recognized copies, got $ok" >&2; exit 1; }
+
+for stage in scan vote; do
+    grep -q "\"$stage\":{\"count\"" "$SMOKE/rec-metrics.json" \
+        || { echo "recognize metrics summary missing $stage" >&2; exit 1; }
+done
+
+echo "==> fleet bench: quick mode emits well-formed BENCH_fleet.json"
+( cd "$SMOKE" && "$ROOT/target/release/fleet" --quick > /dev/null )
+for want in '"bench":"fleet"' '"quick":true' '"generated_unix":' \
+    '"embed":[{"mode":"serial"' '"recognize":[{"mode":"serial"'; do
+    grep -qF "$want" "$SMOKE/BENCH_fleet.json" \
+        || { echo "BENCH_fleet.json missing $want" >&2; exit 1; }
+done
 
 echo "==> ci.sh: all green"

@@ -4,7 +4,7 @@
 
 use pathmark::core::bitstring::BitString;
 use pathmark::core::java::{
-    embed, recognize_bits, trace_program, JavaConfig, Recognition,
+    embed, recognize_bits, trace_program, Embedder, JavaConfig, Recognition, Recognizer,
 };
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
@@ -51,20 +51,24 @@ fn manifest(n: usize) -> Vec<EmbedJobSpec> {
         .collect()
 }
 
+fn batch_embedder() -> Embedder {
+    Embedder::builder(batch_key(), batch_config())
+        .build()
+        .expect("batch key/config are sound")
+}
+
+fn batch_recognizer() -> Recognizer {
+    Recognizer::builder(batch_key(), batch_config())
+        .build()
+        .expect("batch key/config are sound")
+}
+
 #[test]
 fn sixty_four_copies_each_recognize_to_their_own_watermark() {
     let pool = WorkerPool::new(4);
     let cache = TraceCache::new();
     let jobs = manifest(64);
-    let outcomes = embed_batch(
-        &host_program(),
-        &batch_key(),
-        &batch_config(),
-        &jobs,
-        &pool,
-        &cache,
-    )
-    .unwrap();
+    let outcomes = embed_batch(&host_program(), &batch_embedder(), &jobs, &pool, &cache).unwrap();
     assert_eq!(outcomes.len(), 64);
     assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
     assert_eq!(cache.stats().misses, 1, "one trace serves all 64 jobs");
@@ -85,17 +89,10 @@ fn sixty_four_copies_each_recognize_to_their_own_watermark() {
     bytes.dedup();
     assert_eq!(bytes.len(), 64, "copies are pairwise distinct");
 
-    // Every copy recognizes back to exactly its own W_i.
-    let rec_jobs: Vec<RecognizeJob> = outcomes
-        .iter()
-        .map(|o| RecognizeJob {
-            job_id: o.report.job_id.clone(),
-            program: o.marked.clone().unwrap(),
-            expected_hex: Some(o.report.watermark_hex.clone()),
-            seed: o.report.seed,
-        })
-        .collect();
-    let recognized = recognize_batch(&rec_jobs, &batch_key(), &batch_config(), &pool);
+    // Every copy recognizes back to exactly its own W_i; the report
+    // line converts straight into a recognize job.
+    let rec_jobs: Vec<RecognizeJob> = outcomes.iter().map(RecognizeJob::from).collect();
+    let recognized = recognize_batch(&rec_jobs, &batch_recognizer(), &pool);
     for (outcome, job) in recognized.iter().zip(&rec_jobs) {
         assert!(
             outcome.report.status.is_ok(),
@@ -119,15 +116,8 @@ fn batches_are_byte_identical_across_runs_and_worker_counts() {
     for workers in [1usize, 3, 8, 8] {
         let pool = WorkerPool::new(workers);
         let cache = TraceCache::new();
-        let outcomes = embed_batch(
-            &host_program(),
-            &batch_key(),
-            &batch_config(),
-            &jobs,
-            &pool,
-            &cache,
-        )
-        .unwrap();
+        let outcomes =
+            embed_batch(&host_program(), &batch_embedder(), &jobs, &pool, &cache).unwrap();
         let bytes: Vec<Vec<u8>> = outcomes
             .iter()
             .map(|o| encode_program(o.marked.as_ref().unwrap()))
@@ -148,15 +138,7 @@ fn batch_copies_match_the_serial_embedder_exactly() {
     let pool = WorkerPool::new(4);
     let cache = TraceCache::new();
     let jobs = manifest(4);
-    let outcomes = embed_batch(
-        &host_program(),
-        &batch_key(),
-        &batch_config(),
-        &jobs,
-        &pool,
-        &cache,
-    )
-    .unwrap();
+    let outcomes = embed_batch(&host_program(), &batch_embedder(), &jobs, &pool, &cache).unwrap();
     for (outcome, spec) in outcomes.iter().zip(&jobs) {
         let job_key = spec.effective_key(&batch_key());
         let watermark = spec.watermark(&batch_key(), &batch_config()).unwrap();
@@ -178,14 +160,14 @@ fn sharded_recognition_is_bit_identical_on_every_pipeline_fixture() {
         let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
         let watermark = Watermark::random_for(&config, &key);
         let marked = embed(&workload.program, &watermark, &key, &config).unwrap();
+        let session = Recognizer::builder(key.clone(), config.clone()).build().unwrap();
         for program in [&workload.program, &marked.program] {
             let trace =
                 trace_program(program, &key, &config, TraceConfig::branches_only()).unwrap();
             let bits = BitString::from_trace(&trace);
             let serial: Recognition = recognize_bits(&bits, &key, &config).unwrap();
             for shards in [1usize, 5, 16] {
-                let sharded =
-                    recognize_sharded(&bits, &key, &config, shards, &pool).unwrap();
+                let sharded = recognize_sharded(&bits, &session, shards, &pool).unwrap();
                 assert_eq!(
                     sharded, serial,
                     "{}: {shards} shards diverged",
@@ -196,14 +178,7 @@ fn sharded_recognition_is_bit_identical_on_every_pipeline_fixture() {
         // Sanity: the marked fixture actually recognizes.
         let trace =
             trace_program(&marked.program, &key, &config, TraceConfig::branches_only()).unwrap();
-        let rec = recognize_sharded(
-            &BitString::from_trace(&trace),
-            &key,
-            &config,
-            8,
-            &pool,
-        )
-        .unwrap();
+        let rec = recognize_sharded(&BitString::from_trace(&trace), &session, 8, &pool).unwrap();
         assert_eq!(rec.watermark.as_ref(), Some(watermark.value()), "{}", workload.name);
     }
 }
@@ -214,15 +189,7 @@ fn one_malformed_job_fails_while_the_rest_complete() {
     let cache = TraceCache::new();
     let mut jobs = manifest(8);
     jobs[3].watermark_hex = Some("this-is-not-hex".to_string());
-    let outcomes = embed_batch(
-        &host_program(),
-        &batch_key(),
-        &batch_config(),
-        &jobs,
-        &pool,
-        &cache,
-    )
-    .unwrap();
+    let outcomes = embed_batch(&host_program(), &batch_embedder(), &jobs, &pool, &cache).unwrap();
     let (ok, failed): (Vec<_>, Vec<_>) =
         outcomes.iter().partition(|o| o.report.status.is_ok());
     assert_eq!(ok.len(), 7, "the other seven copies complete");
