@@ -86,9 +86,7 @@ impl Cfg {
         let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
         for (b, &start) in starts.iter().enumerate() {
             let end = starts.get(b + 1).copied().unwrap_or(n);
-            for k in start..end {
-                block_of[k] = b;
-            }
+            block_of[start..end].fill(b);
             blocks.push(Block {
                 start,
                 end,

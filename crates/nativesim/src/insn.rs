@@ -105,9 +105,11 @@ pub fn mem_len(m: &Mem) -> usize {
 }
 
 impl Insn {
-    /// Encoded length in bytes. Direct `jmp` and `call` are both exactly
+    /// Encoded length in bytes (never zero — there is no `is_empty`
+    /// counterpart). Direct `jmp` and `call` are both exactly
     /// 5 bytes — the paper's bypass attack overwrites one with the other
     /// "of exactly the same size".
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         match self {
             Insn::Nop | Insn::Halt | Insn::Ret | Insn::Pushf | Insn::Popf => 1,

@@ -108,7 +108,7 @@ pub fn invert_branch_senses(program: &mut Program, fraction: f64, seed: u64) {
 /// entry block first), inserting explicit `goto`s where fall-through
 /// edges are broken — SandMark's statement/block reordering attack.
 pub fn reorder_blocks(program: &mut Program, seed: u64) {
-    let mut rng = Prng::from_seed(seed ^ 0x2E02_DE2);
+    let mut rng = Prng::from_seed(seed ^ 0x02E0_2DE2);
     for func in &mut program.functions {
         let cfg = Cfg::build(func);
         if cfg.len() < 3 {
@@ -167,7 +167,7 @@ pub fn split_blocks(program: &mut Program, count: usize, seed: u64) {
 /// of a function and retargets one branch edge to the copy — SandMark's
 /// block-copying attack. Returns how many copies were made.
 pub fn copy_blocks(program: &mut Program, count: usize, seed: u64) -> usize {
-    let mut rng = Prng::from_seed(seed ^ 0xC0B1_E5);
+    let mut rng = Prng::from_seed(seed ^ 0x00C0_B1E5);
     let mut made = 0;
     for _ in 0..count {
         let func_idx = rng.index(program.functions.len());

@@ -17,6 +17,9 @@ use std::fmt::Write as _;
 
 use crate::setup;
 
+/// A named in-place program transformation from the attack suite.
+type BoxedAttack = Box<dyn Fn(&mut Program)>;
+
 /// One row of the bytecode attack matrix.
 #[derive(Debug, Clone)]
 pub struct JavaRow {
@@ -45,7 +48,7 @@ pub fn java_matrix(quick: bool) -> Vec<JavaRow> {
         .expect("runs")
         .output;
 
-    let attacks: Vec<(&'static str, Box<dyn Fn(&mut Program)>)> = vec![
+    let attacks: Vec<(&'static str, BoxedAttack)> = vec![
         ("none", Box::new(|_: &mut Program| {})),
         ("no-op insertion x500", Box::new(|p: &mut Program| jattacks::insert_nops(p, 500, 1))),
         (
@@ -291,7 +294,7 @@ pub fn comparison_matrix(quick: bool) -> Vec<ComparisonRow> {
     let stern_chips = [true, false, true, true];
     stern::embed(&mut marked, stern_chips, 16);
 
-    let attacks: Vec<(&'static str, Box<dyn Fn(&mut Program)>)> = vec![
+    let attacks: Vec<(&'static str, BoxedAttack)> = vec![
         ("none", Box::new(|_: &mut Program| {})),
         (
             "no-op insertion x300",

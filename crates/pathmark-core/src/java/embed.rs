@@ -262,7 +262,7 @@ impl Embedder {
         // Apply: descending pc within each function keeps original pcs
         // valid.
         self.telemetry.time(Stage::Verify, || {
-            plans.sort_by(|a, b| (b.0.func, b.0.pc).cmp(&(a.0.func, a.0.pc)));
+            plans.sort_by_key(|p| std::cmp::Reverse((p.0.func, p.0.pc)));
             for (site, snippet, _) in plans {
                 insert_snippet(marked.function_mut(site.func), site.pc, snippet);
             }

@@ -35,7 +35,7 @@ impl WatermarkKey {
 
     /// The block cipher derived from this key (Section 3.2 step 2).
     pub fn cipher(&self) -> Xtea {
-        Xtea::from_seed(self.seed ^ 0x5445_4120_4b45_59)
+        Xtea::from_seed(self.seed ^ 0x0054_4541_204b_4559)
     }
 
     /// A deterministic PRNG for embedding-time choices.

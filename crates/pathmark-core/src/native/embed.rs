@@ -283,7 +283,6 @@ pub fn embed_native(
     unit.items[anchor] = Item::plain(Insn::Call(0)); // target patched to f later
     let mut chain: Vec<usize> = vec![anchor];
     let mut end_index = end_index;
-    let mut tamper = tamper;
     let mut cur = anchor;
     for (bit_no, &bit) in bits.iter().enumerate() {
         let legal = |unit: &Unit, p: usize| -> bool {

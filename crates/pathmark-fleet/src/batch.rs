@@ -13,10 +13,18 @@
 //!
 //! Per-job failures (bad manifest hex, embedding errors, panics) are
 //! captured in the job's [`JobReport`] and never abort the rest of the
-//! batch.
+//! batch. The `_with` entry points layer fault tolerance on top:
+//!
+//! * transient failures (panics, injected transient faults) are re-run
+//!   under [`BatchOptions::retry`], with exponential backoff;
+//! * a job that overruns [`BatchOptions::deadline`] is reported as
+//!   [`JobStatus::TimedOut`] and its worker replaced;
+//! * every settled outcome is handed to the `on_outcome` callback on
+//!   the calling thread, in completion order — the hook the crash-safe
+//!   manifest writer streams from.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pathmark_core::java::{Embedder, Recognition, Recognizer};
 use pathmark_core::key::WatermarkKey;
@@ -25,8 +33,23 @@ use stackvm::trace::TraceConfig;
 use stackvm::Program;
 
 use crate::cache::TraceCache;
+use crate::faults::FaultPlan;
 use crate::manifest::{to_hex, EmbedJobSpec, JobReport, JobStatus};
-use crate::pool::WorkerPool;
+use crate::pool::{JobFailure, RunOptions, WorkerPool};
+use crate::retry::{run_with_retry, AttemptFailure, RetryPolicy};
+
+/// Fault-tolerance knobs for one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// How many times to re-run a job after a transient failure. The
+    /// default retries nothing (one attempt per job).
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock deadline; overrunning jobs settle as
+    /// [`JobStatus::TimedOut`]. `None` (the default) never times out.
+    pub deadline: Option<Duration>,
+    /// Injected faults, for tests. Production runs leave this empty.
+    pub faults: FaultPlan,
+}
 
 /// The result of one embed job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,33 +84,55 @@ pub struct RecognizeOutcome {
     pub recognition: Option<Recognition>,
 }
 
-impl From<&EmbedOutcome> for RecognizeJob {
+/// Error converting an [`EmbedOutcome`] into a [`RecognizeJob`]: the
+/// embed job failed, so there is no marked program to recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoMarkedProgram {
+    /// The failed embed job's id.
+    pub job_id: String,
+    /// The embed job's terminal status (why there is no program).
+    pub status: JobStatus,
+}
+
+impl std::fmt::Display for NoMarkedProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "embed job `{}` produced no marked program ({})",
+            self.job_id, self.status
+        )
+    }
+}
+
+impl std::error::Error for NoMarkedProgram {}
+
+impl TryFrom<&EmbedOutcome> for RecognizeJob {
+    type Error = NoMarkedProgram;
+
     /// The round-trip conversion: verify that a freshly embedded copy
-    /// carries the watermark its report claims.
-    ///
-    /// # Panics
-    ///
-    /// When the outcome has no marked program (the embed job failed) —
-    /// filter on [`EmbedOutcome::marked`] first.
-    fn from(outcome: &EmbedOutcome) -> RecognizeJob {
-        RecognizeJob {
-            job_id: outcome.report.job_id.clone(),
-            program: outcome
-                .marked
-                .clone()
-                .expect("embed outcome has a marked program"),
-            expected_hex: Some(outcome.report.watermark_hex.clone()),
-            seed: outcome.report.seed,
+    /// carries the watermark its report claims. Fails (instead of
+    /// panicking, as an earlier `From` impl did) when the embed job
+    /// failed and left no marked program behind.
+    fn try_from(outcome: &EmbedOutcome) -> Result<RecognizeJob, NoMarkedProgram> {
+        match &outcome.marked {
+            None => Err(NoMarkedProgram {
+                job_id: outcome.report.job_id.clone(),
+                status: outcome.report.status.clone(),
+            }),
+            Some(program) => Ok(RecognizeJob {
+                job_id: outcome.report.job_id.clone(),
+                program: program.clone(),
+                expected_hex: Some(outcome.report.watermark_hex.clone()),
+                seed: outcome.report.seed,
+            }),
         }
     }
 }
 
 /// Embeds every manifest job into `program` on the pool, tracing the
-/// host at most once via `cache`.
-///
-/// Per-job failures (unparseable `watermark_hex`, embedding errors,
-/// panics) become [`JobStatus::Failed`] reports; the other jobs are
-/// unaffected. Outcomes are returned in manifest order.
+/// host at most once via `cache`. Equivalent to [`embed_batch_with`]
+/// with default options (no retries, no deadline, no faults) and no
+/// streaming callback.
 ///
 /// # Errors
 ///
@@ -100,6 +145,47 @@ pub fn embed_batch(
     pool: &WorkerPool,
     cache: &TraceCache,
 ) -> Result<Vec<EmbedOutcome>, WatermarkError> {
+    embed_batch_with(
+        program,
+        session,
+        jobs,
+        pool,
+        cache,
+        &BatchOptions::default(),
+        |_| {},
+    )
+}
+
+/// Embeds every manifest job with retries, deadlines, and fault
+/// injection per `options`, streaming each settled outcome to
+/// `on_outcome` (on the calling thread, in completion order) as well as
+/// returning all outcomes in manifest order.
+///
+/// Failure handling per job:
+///
+/// * an unparseable `watermark_hex` is permanent — reported as
+///   [`JobStatus::Failed`] after a single attempt;
+/// * typed embedding errors are permanent (the pipeline is
+///   deterministic) — reported as [`JobStatus::Failed`];
+/// * panics and injected transient faults are retried up to the
+///   policy's budget, then reported as [`JobStatus::Failed`];
+/// * a job overrunning `options.deadline` is abandoned and reported as
+///   [`JobStatus::TimedOut`] with `attempts = 0` and `wall_ms = 0` (its
+///   true cost is unknowable — the worker never came back).
+///
+/// # Errors
+///
+/// [`WatermarkError::TraceFailed`] if the *host* program cannot be
+/// traced on the key's secret input — then no job can run at all.
+pub fn embed_batch_with(
+    program: &Program,
+    session: &Embedder,
+    jobs: &[EmbedJobSpec],
+    pool: &WorkerPool,
+    cache: &TraceCache,
+    options: &BatchOptions,
+    mut on_outcome: impl FnMut(&EmbedOutcome),
+) -> Result<Vec<EmbedOutcome>, WatermarkError> {
     // The one traced run every job shares. The trace depends on the
     // secret input, which all per-copy keys inherit from the batch key.
     let trace = cache.get_or_trace(
@@ -111,71 +197,151 @@ pub fn embed_batch(
 
     let host = Arc::new(program.clone());
     let base = session.clone();
-    let results = pool.run_all(jobs.to_vec(), move |_, spec: EmbedJobSpec| {
-        let started = Instant::now();
-        let job_key = spec.effective_key(base.key());
-        let job_session = base.with_key(job_key);
-        let (status, watermark_hex, marked) =
-            match spec.watermark(base.key(), base.config()) {
-                Err(why) => (JobStatus::Failed(why), String::new(), None),
-                Ok(watermark) => {
-                    let hex = to_hex(watermark.value());
-                    match job_session.embed_with_trace(&host, &watermark, &trace) {
-                        Ok(m) => (JobStatus::Ok, hex, Some(m.program)),
-                        Err(e) => (JobStatus::Failed(e.to_string()), hex, None),
+    let policy = options.retry.clone();
+    let faults = options.faults.clone();
+    let telemetry = pool.telemetry().clone();
+    let run_options = RunOptions {
+        deadline: options.deadline,
+    };
+    let results = pool.run_all_with(
+        jobs.to_vec(),
+        move |index, spec: EmbedJobSpec| {
+            let started = Instant::now();
+            let job_key = spec.effective_key(base.key());
+            let job_session = base.with_key(job_key);
+            // The watermark is resolved once, outside the retry loop: a
+            // bad hex value is a manifest error, permanent by nature.
+            let (status, watermark_hex, marked, attempts) =
+                match spec.watermark(base.key(), base.config()) {
+                    Err(why) => (JobStatus::Failed(why), String::new(), None, 1),
+                    Ok(watermark) => {
+                        let hex = to_hex(watermark.value());
+                        let (result, attempts) =
+                            run_with_retry(&policy, &telemetry, |attempt| {
+                                faults.apply(index, attempt)?;
+                                job_session
+                                    .embed_with_trace(&host, &watermark, &trace)
+                                    .map_err(|e| AttemptFailure::from_watermark_error(&e))
+                            });
+                        match result {
+                            Ok(m) => (JobStatus::Ok, hex, Some(m.program), attempts),
+                            Err(f) => (JobStatus::Failed(f.message()), hex, None, attempts),
+                        }
                     }
-                }
-            };
-        EmbedOutcome {
-            report: JobReport {
-                job_id: spec.job_id,
-                watermark_hex,
-                seed: job_session.key().seed,
-                status,
-                wall_ms: started.elapsed().as_millis() as u64,
-            },
-            marked,
-        }
-    });
+                };
+            EmbedOutcome {
+                report: JobReport {
+                    job_id: spec.job_id,
+                    watermark_hex,
+                    seed: job_session.key().seed,
+                    status,
+                    attempts,
+                    wall_ms: started.elapsed().as_millis() as u64,
+                },
+                marked,
+            }
+        },
+        &run_options,
+        |index, result| match result {
+            Ok(outcome) => on_outcome(outcome),
+            Err(failure) => on_outcome(&failed_embed_outcome(
+                &jobs[index],
+                session.key().seed,
+                failure,
+            )),
+        },
+    );
 
     Ok(results
         .into_iter()
         .zip(jobs)
         .map(|(result, spec)| {
-            result.unwrap_or_else(|panic| EmbedOutcome {
-                report: JobReport {
-                    job_id: spec.job_id.clone(),
-                    watermark_hex: spec.watermark_hex.clone().unwrap_or_default(),
-                    seed: spec.effective_seed(session.key().seed),
-                    status: JobStatus::Failed(panic.to_string()),
-                    wall_ms: 0,
-                },
-                marked: None,
+            result.unwrap_or_else(|failure| {
+                failed_embed_outcome(spec, session.key().seed, &failure)
             })
         })
         .collect())
 }
 
-/// Recognizes every copy on the pool, in job order.
-///
-/// Each copy is traced and recognized under its own key (the batch
-/// key's secret input plus the copy's seed). A copy that fails to trace
-/// — e.g. after a destructive attack — or panics is reported as
-/// [`JobStatus::Failed`] without affecting the rest.
+/// Synthesizes the outcome of an embed job that never produced one: it
+/// panicked past the retry layer or overran its deadline. Deterministic
+/// (zero attempts and wall time), so an interrupted run and its resume
+/// agree on the report line.
+fn failed_embed_outcome(
+    spec: &EmbedJobSpec,
+    base_seed: u64,
+    failure: &JobFailure,
+) -> EmbedOutcome {
+    EmbedOutcome {
+        report: JobReport {
+            job_id: spec.job_id.clone(),
+            watermark_hex: spec.watermark_hex.clone().unwrap_or_default(),
+            seed: spec.effective_seed(base_seed),
+            status: job_failure_status(failure),
+            attempts: 0,
+            wall_ms: 0,
+        },
+        marked: None,
+    }
+}
+
+fn job_failure_status(failure: &JobFailure) -> JobStatus {
+    match failure {
+        JobFailure::Panic(panic) => JobStatus::Failed(panic.to_string()),
+        JobFailure::TimedOut { .. } => JobStatus::TimedOut,
+    }
+}
+
+/// Recognizes every copy on the pool, in job order. Equivalent to
+/// [`recognize_batch_with`] with default options and no callback.
 pub fn recognize_batch(
     jobs: &[RecognizeJob],
     session: &Recognizer,
     pool: &WorkerPool,
 ) -> Vec<RecognizeOutcome> {
+    recognize_batch_with(jobs, session, pool, &BatchOptions::default(), |_| {})
+}
+
+/// Recognizes every copy with retries, deadlines, and fault injection
+/// per `options`, streaming each settled outcome to `on_outcome` (on
+/// the calling thread, in completion order) as well as returning all
+/// outcomes in job order.
+///
+/// Each copy is traced and recognized under its own key (the batch
+/// key's secret input plus the copy's seed). Typed recognition errors —
+/// e.g. a copy that no longer traces after a destructive attack — are
+/// permanent and reported as [`JobStatus::Failed`]; panics and injected
+/// transient faults are retried up to the policy's budget; a job
+/// overrunning the deadline is reported as [`JobStatus::TimedOut`].
+pub fn recognize_batch_with(
+    jobs: &[RecognizeJob],
+    session: &Recognizer,
+    pool: &WorkerPool,
+    options: &BatchOptions,
+    mut on_outcome: impl FnMut(&RecognizeOutcome),
+) -> Vec<RecognizeOutcome> {
     let base = session.clone();
-    let results = pool.run_all(jobs.to_vec(), move |_, job: RecognizeJob| {
-        let started = Instant::now();
-        let job_key = WatermarkKey::new(job.seed, base.key().input.clone());
-        let job_session = base.with_key(job_key);
-        let (status, watermark_hex, recognition) =
-            match job_session.recognize(&job.program) {
-                Err(e) => (
-                    JobStatus::Failed(e.to_string()),
+    let policy = options.retry.clone();
+    let faults = options.faults.clone();
+    let telemetry = pool.telemetry().clone();
+    let run_options = RunOptions {
+        deadline: options.deadline,
+    };
+    let results = pool.run_all_with(
+        jobs.to_vec(),
+        move |index, job: RecognizeJob| {
+            let started = Instant::now();
+            let job_key = WatermarkKey::new(job.seed, base.key().input.clone());
+            let job_session = base.with_key(job_key);
+            let (result, attempts) = run_with_retry(&policy, &telemetry, |attempt| {
+                faults.apply(index, attempt)?;
+                job_session
+                    .recognize(&job.program)
+                    .map_err(|e| AttemptFailure::from_watermark_error(&e))
+            });
+            let (status, watermark_hex, recognition) = match result {
+                Err(failure) => (
+                    JobStatus::Failed(failure.message()),
                     job.expected_hex.clone().unwrap_or_default(),
                     None,
                 ),
@@ -198,34 +364,49 @@ pub fn recognize_batch(
                     (outcome.0, outcome.1, Some(rec))
                 }
             };
-        RecognizeOutcome {
-            report: JobReport {
-                job_id: job.job_id,
-                watermark_hex,
-                seed: job_session.key().seed,
-                status,
-                wall_ms: started.elapsed().as_millis() as u64,
-            },
-            recognition,
-        }
-    });
+            RecognizeOutcome {
+                report: JobReport {
+                    job_id: job.job_id,
+                    watermark_hex,
+                    seed: job_session.key().seed,
+                    status,
+                    attempts,
+                    wall_ms: started.elapsed().as_millis() as u64,
+                },
+                recognition,
+            }
+        },
+        &run_options,
+        |index, result| match result {
+            Ok(outcome) => on_outcome(outcome),
+            Err(failure) => on_outcome(&failed_recognize_outcome(&jobs[index], failure)),
+        },
+    );
 
     results
         .into_iter()
         .zip(jobs)
         .map(|(result, job)| {
-            result.unwrap_or_else(|panic| RecognizeOutcome {
-                report: JobReport {
-                    job_id: job.job_id.clone(),
-                    watermark_hex: job.expected_hex.clone().unwrap_or_default(),
-                    seed: job.seed,
-                    status: JobStatus::Failed(panic.to_string()),
-                    wall_ms: 0,
-                },
-                recognition: None,
-            })
+            result.unwrap_or_else(|failure| failed_recognize_outcome(job, &failure))
         })
         .collect()
+}
+
+/// Synthesizes the outcome of a recognize job that never produced one
+/// (panic past the retry layer, or deadline overrun). Deterministic for
+/// the resume byte-identity guarantee.
+fn failed_recognize_outcome(job: &RecognizeJob, failure: &JobFailure) -> RecognizeOutcome {
+    RecognizeOutcome {
+        report: JobReport {
+            job_id: job.job_id.clone(),
+            watermark_hex: job.expected_hex.clone().unwrap_or_default(),
+            seed: job.seed,
+            status: job_failure_status(failure),
+            attempts: 0,
+            wall_ms: 0,
+        },
+        recognition: None,
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +458,7 @@ mod tests {
         let outcomes = embed_batch(&host_program(), &embedder(), &jobs, &pool, &cache).unwrap();
         assert_eq!(outcomes.len(), 6);
         assert!(outcomes.iter().all(|o| o.report.status.is_ok()));
+        assert!(outcomes.iter().all(|o| o.report.attempts == 1));
         assert_eq!(cache.stats().misses, 1, "one trace for the whole batch");
 
         // Each copy carries its own watermark and program bytes.
@@ -286,7 +468,10 @@ mod tests {
         hexes.dedup();
         assert_eq!(hexes.len(), 6, "all watermarks distinct");
 
-        let rec_jobs: Vec<RecognizeJob> = outcomes.iter().map(RecognizeJob::from).collect();
+        let rec_jobs: Vec<RecognizeJob> = outcomes
+            .iter()
+            .map(|o| RecognizeJob::try_from(o).unwrap())
+            .collect();
         let recognized = recognize_batch(&rec_jobs, &recognizer(), &pool);
         assert!(recognized.iter().all(|o| o.report.status.is_ok()));
         assert!(recognized
@@ -317,6 +502,25 @@ mod tests {
     }
 
     #[test]
+    fn failed_embed_outcome_does_not_convert_to_recognize_job() {
+        let failed = EmbedOutcome {
+            report: JobReport {
+                job_id: "broken".to_string(),
+                watermark_hex: String::new(),
+                seed: 7,
+                status: JobStatus::Failed("bad hex".to_string()),
+                attempts: 1,
+                wall_ms: 0,
+            },
+            marked: None,
+        };
+        let err = RecognizeJob::try_from(&failed).unwrap_err();
+        assert_eq!(err.job_id, "broken");
+        assert!(err.to_string().contains("broken"), "{err}");
+        assert!(err.to_string().contains("bad hex"), "{err}");
+    }
+
+    #[test]
     fn swapped_copies_report_mismatch() {
         let pool = WorkerPool::new(2);
         let cache = TraceCache::new();
@@ -337,5 +541,42 @@ mod tests {
             "swapped copy must not verify: {:?}",
             recognized[0].report
         );
+    }
+
+    #[test]
+    fn outcomes_stream_in_completion_order_and_return_in_manifest_order() {
+        use crate::retry::RetryPolicy;
+
+        let pool = WorkerPool::new(2);
+        let cache = TraceCache::new();
+        let jobs: Vec<EmbedJobSpec> = (0..4)
+            .map(|i| EmbedJobSpec::new(format!("copy-{i}")))
+            .collect();
+        let options = BatchOptions {
+            retry: RetryPolicy::none(),
+            deadline: None,
+            faults: FaultPlan::none(),
+        };
+        let mut streamed = Vec::new();
+        let outcomes = embed_batch_with(
+            &host_program(),
+            &embedder(),
+            &jobs,
+            &pool,
+            &cache,
+            &options,
+            |o| streamed.push(o.report.job_id.clone()),
+        )
+        .unwrap();
+        assert_eq!(streamed.len(), 4, "every outcome streamed exactly once");
+        let ordered: Vec<String> = outcomes.iter().map(|o| o.report.job_id.clone()).collect();
+        assert_eq!(
+            ordered,
+            jobs.iter().map(|j| j.job_id.clone()).collect::<Vec<_>>(),
+            "returned outcomes follow manifest order"
+        );
+        let mut sorted = streamed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ordered.to_vec());
     }
 }

@@ -10,9 +10,15 @@
 //! The cache key is what the trace actually depends on: the program
 //! bytes, the key's secret *input* sequence (the numeric secret steers
 //! primes and ciphers, not execution), the tracing budget, and the
-//! [`TraceConfig`] flags.
+//! [`TraceConfig`] flags. Program identity is the *full codec byte
+//! string*, not just its 64-bit FNV-1a digest: an early version keyed
+//! on the bare digest, so two distinct programs whose bytes collide
+//! under FNV-1a would silently share one trace — and the second program
+//! would be watermarked against the first one's execution. The digest
+//! is kept only to make hashing cheap; equality always compares bytes.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -23,16 +29,38 @@ use pathmark_telemetry::{Counter, Stage, Telemetry};
 use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheKey {
-    /// FNV-1a hash of the program's codec bytes.
-    program: u64,
+    /// FNV-1a digest of `program_bytes` — a cheap pre-hash, never
+    /// trusted for identity.
+    program_fnv: u64,
+    /// The program's full codec bytes. `Eq` compares them, so two
+    /// programs colliding under FNV-1a occupy two distinct entries
+    /// (same bucket, different keys) instead of sharing one trace.
+    program_bytes: Arc<Vec<u8>>,
     input: Vec<i64>,
     budget: u64,
     blocks: bool,
     branches: bool,
     snapshots: bool,
     snapshot_limit: u32,
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // `program_bytes` is deliberately not hashed: `program_fnv` is
+        // its digest, and re-hashing kilobytes of codec bytes on every
+        // lookup would defeat the point of pre-hashing. The `Eq` byte
+        // comparison (which `HashMap` runs on every bucket candidate)
+        // is what keeps colliding programs apart.
+        self.program_fnv.hash(state);
+        self.input.hash(state);
+        self.budget.hash(state);
+        self.blocks.hash(state);
+        self.branches.hash(state);
+        self.snapshots.hash(state);
+        self.snapshot_limit.hash(state);
+    }
 }
 
 /// Hit/miss counters of a [`TraceCache`].
@@ -85,8 +113,10 @@ impl TraceCache {
         config: &JavaConfig,
         what: TraceConfig,
     ) -> Result<Arc<Trace>, WatermarkError> {
+        let program_bytes = stackvm::codec::encode_program(program);
         let cache_key = CacheKey {
-            program: fnv1a(&stackvm::codec::encode_program(program)),
+            program_fnv: fnv1a(&program_bytes),
+            program_bytes: Arc::new(program_bytes),
             input: key.input.clone(),
             budget: config.trace_budget,
             blocks: what.blocks,
@@ -244,5 +274,44 @@ mod tests {
             .unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn fnv_collision_keeps_programs_in_distinct_entries() {
+        // Crafting two byte strings that genuinely collide under 64-bit
+        // FNV-1a is infeasible, so this regression test exercises the
+        // map the way a collision would: two keys with identical
+        // `program_fnv` (same Hash) but different bytes (different Eq).
+        // Under the old bare-digest key these were ONE entry, and the
+        // second program would have been handed the first one's trace.
+        let base = CacheKey {
+            program_fnv: 0xDEAD_BEEF_CAFE_F00D,
+            program_bytes: Arc::new(vec![1, 2, 3]),
+            input: vec![],
+            budget: 1000,
+            blocks: true,
+            branches: true,
+            snapshots: false,
+            snapshot_limit: 0,
+        };
+        let colliding = CacheKey {
+            program_bytes: Arc::new(vec![4, 5, 6]),
+            ..base.clone()
+        };
+        // Same hash …
+        let hash_of = |key: &CacheKey| {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            key.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash_of(&base), hash_of(&colliding), "digests collide");
+        // … but distinct identities, hence distinct map entries.
+        assert_ne!(base, colliding);
+        let mut map: HashMap<CacheKey, u32> = HashMap::new();
+        map.insert(base.clone(), 1);
+        map.insert(colliding.clone(), 2);
+        assert_eq!(map.len(), 2, "colliding programs do not share an entry");
+        assert_eq!(map[&base], 1);
+        assert_eq!(map[&colliding], 2);
     }
 }

@@ -1,0 +1,150 @@
+//! Deterministic fault injection, so every recovery path in the fleet
+//! (retry, permanent-failure reporting, deadline expiry, resume) is
+//! exercised by ordinary tier-1 tests instead of waiting for production
+//! to produce the failure.
+//!
+//! A [`FaultPlan`] maps **job indexes** to faults; the batch engine
+//! consults it at the top of every attempt. Faults are a pure function
+//! of (job index, attempt number), so an injected run is exactly
+//! reproducible — the resume tests depend on that.
+//!
+//! Production code always passes [`FaultPlan::none`] (what
+//! [`Default`] returns, and what every public batch entry point that
+//! doesn't take options uses). The injecting constructor,
+//! [`FaultPlan::for_tests`], is test-only by convention and by name: it
+//! exists so integration tests can build hostile batches, and nothing
+//! in the CLI or library constructs one.
+
+use std::time::Duration;
+
+use crate::retry::{AttemptFailure, FailureClass};
+
+/// A fault to inject into one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic on the first `attempts` attempts of the job; later
+    /// attempts run clean (models a heal-on-retry crash).
+    Panic {
+        /// How many leading attempts panic.
+        attempts: u32,
+    },
+    /// Fail with an injected *transient* error on the first `attempts`
+    /// attempts; later attempts run clean.
+    TransientError {
+        /// How many leading attempts fail.
+        attempts: u32,
+    },
+    /// Fail with an injected *permanent* error on every attempt.
+    PermanentError,
+    /// Sleep this long at the start of every attempt (models a
+    /// pathological trace that wedges its worker).
+    Delay(Duration),
+}
+
+/// A deterministic schedule of faults, keyed by job index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<(usize, Fault)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing. This is the only
+    /// constructor production code uses.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// **Test-only.** An empty plan to chain [`FaultPlan::with_fault`]
+    /// onto. Kept out of production paths by convention: the CLI and
+    /// the no-options batch entry points never build one.
+    pub fn for_tests() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds `fault` for the job at `index`. A job may carry several
+    /// faults (e.g. a delay *and* a panic); they apply in insertion
+    /// order, delays first being the convention tests use.
+    pub fn with_fault(mut self, index: usize, fault: Fault) -> FaultPlan {
+        self.rules.push((index, fault));
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Applies the plan to attempt `attempt` (1-based) of job `index`:
+    /// sleeps through any delay, then panics or returns the injected
+    /// failure if one is scheduled.
+    pub(crate) fn apply(&self, index: usize, attempt: u32) -> Result<(), AttemptFailure> {
+        for (_, fault) in self.rules.iter().filter(|(i, _)| *i == index) {
+            match fault {
+                Fault::Delay(pause) => std::thread::sleep(*pause),
+                Fault::Panic { attempts } => {
+                    if attempt <= *attempts {
+                        panic!("injected panic (job {index}, attempt {attempt})");
+                    }
+                }
+                Fault::TransientError { attempts } => {
+                    if attempt <= *attempts {
+                        return Err(AttemptFailure::Error {
+                            message: format!(
+                                "injected transient fault (job {index}, attempt {attempt})"
+                            ),
+                            class: FailureClass::Transient,
+                        });
+                    }
+                }
+                Fault::PermanentError => {
+                    return Err(AttemptFailure::Error {
+                        message: format!("injected permanent fault (job {index})"),
+                        class: FailureClass::Permanent,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        for index in 0..8 {
+            assert!(plan.apply(index, 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn transient_error_clears_after_its_budget() {
+        let plan = FaultPlan::for_tests().with_fault(2, Fault::TransientError { attempts: 2 });
+        assert!(plan.apply(1, 1).is_ok(), "other jobs untouched");
+        let failure = plan.apply(2, 1).unwrap_err();
+        assert_eq!(failure.class(), FailureClass::Transient);
+        assert!(plan.apply(2, 2).is_err());
+        assert!(plan.apply(2, 3).is_ok(), "third attempt runs clean");
+    }
+
+    #[test]
+    fn permanent_error_never_clears() {
+        let plan = FaultPlan::for_tests().with_fault(0, Fault::PermanentError);
+        for attempt in 1..=5 {
+            let failure = plan.apply(0, attempt).unwrap_err();
+            assert_eq!(failure.class(), FailureClass::Permanent);
+        }
+    }
+
+    #[test]
+    fn injected_panic_panics_on_scheduled_attempts_only() {
+        let plan = FaultPlan::for_tests().with_fault(1, Fault::Panic { attempts: 1 });
+        let result = std::panic::catch_unwind(|| plan.apply(1, 1));
+        assert!(result.is_err(), "attempt 1 panics");
+        assert!(plan.apply(1, 2).is_ok(), "attempt 2 runs clean");
+    }
+}

@@ -21,10 +21,21 @@
 //!   recombination, producing output bit-identical to the serial
 //!   recognizer.
 //! * [`manifest`] — the JSONL batch manifest/report format
-//!   (`job_id`, `watermark_hex`, `seed`, `status`, `wall_ms`), written
-//!   with the workspace's hand-rolled codec idioms ([`json`]).
+//!   (`job_id`, `watermark_hex`, `seed`, `status`, `attempts`,
+//!   `wall_ms`), written with the workspace's hand-rolled codec idioms
+//!   ([`json`]), plus the crash-safe [`manifest::ReportWriter`] that
+//!   streams outcome lines to a `.partial` sidecar and atomically
+//!   renames the finalized report into place — the storage half of
+//!   `--resume`.
+//! * [`retry`] — bounded retries with exponential backoff and the
+//!   transient/permanent failure taxonomy that decides what is worth
+//!   re-running.
+//! * [`faults`] — deterministic fault injection (panics, transient and
+//!   permanent errors, delays, keyed by job index) so every recovery
+//!   path is exercised by ordinary tests.
 //! * [`batch`] — the engine tying the above together: batch embed and
-//!   batch recognize over a manifest.
+//!   batch recognize over a manifest, with per-job retries, deadlines,
+//!   and streaming outcome callbacks via [`batch::BatchOptions`].
 //!
 //! The batch engine consumes the session objects of
 //! [`pathmark_core::java`] ([`pathmark_core::java::Embedder`] /
@@ -77,7 +88,12 @@
 //!
 //! // Recognize every copy and check it recovers its own W_i.
 //! let recognizer = Recognizer::builder(key, config).build()?;
-//! let rec_jobs: Vec<RecognizeJob> = embedded.iter().map(RecognizeJob::from).collect();
+//! // A failed embed leaves no program behind, so the conversion is
+//! // fallible; keep only the copies that actually embedded.
+//! let rec_jobs: Vec<RecognizeJob> = embedded
+//!     .iter()
+//!     .filter_map(|o| RecognizeJob::try_from(o).ok())
+//!     .collect();
 //! let recognized = recognize_batch(&rec_jobs, &recognizer, &pool);
 //! assert!(recognized.iter().all(|o| o.report.status.is_ok()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -85,7 +101,9 @@
 
 pub mod batch;
 pub mod cache;
+pub mod faults;
 pub mod json;
 pub mod manifest;
 pub mod pool;
+pub mod retry;
 pub mod shard;

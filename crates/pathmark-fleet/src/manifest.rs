@@ -24,6 +24,8 @@
 //! be fed back in as the manifest of a recognition run.
 
 use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 use pathmark_core::java::JavaConfig;
 use pathmark_core::key::{Watermark, WatermarkKey};
@@ -103,6 +105,9 @@ pub enum JobStatus {
     NotFound,
     /// Recognition recovered a watermark, but not the expected one.
     Mismatch,
+    /// The job overran its deadline and was abandoned; its worker was
+    /// replaced so the rest of the batch kept running.
+    TimedOut,
 }
 
 impl JobStatus {
@@ -117,6 +122,7 @@ impl JobStatus {
             JobStatus::Failed(why) => format!("failed: {why}"),
             JobStatus::NotFound => "not-found".to_string(),
             JobStatus::Mismatch => "mismatch".to_string(),
+            JobStatus::TimedOut => "timed-out".to_string(),
         }
     }
 
@@ -125,6 +131,7 @@ impl JobStatus {
             "ok" => JobStatus::Ok,
             "not-found" => JobStatus::NotFound,
             "mismatch" => JobStatus::Mismatch,
+            "timed-out" => JobStatus::TimedOut,
             other => JobStatus::Failed(
                 other
                     .strip_prefix("failed: ")
@@ -152,6 +159,9 @@ pub struct JobReport {
     pub seed: u64,
     /// Terminal state.
     pub status: JobStatus,
+    /// Attempts the job consumed (1 without retries; 0 means the job
+    /// was abandoned — timed out — before completing any attempt).
+    pub attempts: u32,
     /// Wall-clock duration of the job in milliseconds.
     pub wall_ms: u64,
 }
@@ -164,6 +174,7 @@ impl JobReport {
             ("watermark_hex", Scalar::Str(self.watermark_hex.clone())),
             ("seed", Scalar::Num(self.seed)),
             ("status", Scalar::Str(self.status.render())),
+            ("attempts", Scalar::Num(self.attempts as u64)),
             ("wall_ms", Scalar::Num(self.wall_ms)),
         ])
     }
@@ -239,15 +250,173 @@ pub fn parse_report(text: &str) -> Result<Vec<JobReport>, String> {
                 .and_then(|v| v.as_u64())
                 .ok_or_else(|| format!("line {}: missing integer `{name}`", number + 1))
         };
+        // `attempts` is optional so reports written before the retry
+        // layer existed still parse (defaulting to one attempt).
+        let attempts = match fields.get("attempts") {
+            None => 1,
+            Some(v) => v.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(
+                || format!("line {}: `attempts` must be a small integer", number + 1),
+            )?,
+        };
         reports.push(JobReport {
             job_id: str_field("job_id")?,
             watermark_hex: str_field("watermark_hex")?,
             seed: num_field("seed")?,
             status: JobStatus::parse(&str_field("status")?),
+            attempts,
             wall_ms: num_field("wall_ms")?,
         });
     }
     Ok(reports)
+}
+
+/// Crash-safe, resumable report output.
+///
+/// Outcome lines stream to a `<path>.partial` sidecar as jobs complete
+/// (unbuffered, one `write` per line, so a crash loses at most the line
+/// being written); [`ReportWriter::finalize`] then writes the full
+/// ordered report to a temp file and atomically renames it onto the
+/// target path. A reader therefore only ever sees either the previous
+/// complete report or the new complete report — never a torn one.
+///
+/// [`ReportWriter::resume`] reopens the sidecar after a crash and
+/// returns the outcomes already on disk (dropping a torn trailing
+/// line), so a resumed run skips exactly the jobs that finished.
+#[derive(Debug)]
+pub struct ReportWriter {
+    file: std::fs::File,
+    partial: PathBuf,
+    target: PathBuf,
+}
+
+impl ReportWriter {
+    /// Starts a fresh report targeting `path`, truncating any leftover
+    /// partial sidecar from an earlier crashed run.
+    ///
+    /// # Errors
+    ///
+    /// Whatever creating the sidecar reports.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<ReportWriter> {
+        let target = path.into();
+        let partial = partial_path(&target);
+        let file = std::fs::File::create(&partial)?;
+        Ok(ReportWriter {
+            file,
+            partial,
+            target,
+        })
+    }
+
+    /// Resumes a crashed run targeting `path`: returns the writer plus
+    /// every outcome already recorded — the valid prefix of the partial
+    /// sidecar if one exists (a torn trailing line is discarded and
+    /// truncated away), else the finalized report if the previous run
+    /// completed, else nothing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or rewriting the sidecar.
+    pub fn resume(path: impl Into<PathBuf>) -> std::io::Result<(ReportWriter, Vec<JobReport>)> {
+        let target = path.into();
+        let partial = partial_path(&target);
+        let recorded = if partial.exists() {
+            valid_prefix(&std::fs::read_to_string(&partial)?)
+        } else if target.exists() {
+            valid_prefix(&std::fs::read_to_string(&target)?)
+        } else {
+            Vec::new()
+        };
+        // Rewrite the sidecar from the parsed reports: this drops a torn
+        // trailing line and carries finalized outcomes forward, so the
+        // sidecar is always exactly "what is done so far".
+        let mut text = String::new();
+        for report in &recorded {
+            text.push_str(&report.to_line());
+            text.push('\n');
+        }
+        std::fs::write(&partial, &text)?;
+        let file = std::fs::OpenOptions::new().append(true).open(&partial)?;
+        Ok((
+            ReportWriter {
+                file,
+                partial,
+                target,
+            },
+            recorded,
+        ))
+    }
+
+    /// Appends one outcome line and pushes it to the OS immediately.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying write reports.
+    pub fn append(&mut self, report: &JobReport) -> std::io::Result<()> {
+        let mut line = report.to_line();
+        line.push('\n');
+        // The file is unbuffered: one write_all per line IS the
+        // per-line flush.
+        self.file.write_all(line.as_bytes())
+    }
+
+    /// Writes `ordered` (the complete report, in manifest order) to a
+    /// temp file, fsyncs it, atomically renames it onto the target
+    /// path, and removes the partial sidecar.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing, syncing, or renaming.
+    pub fn finalize(self, ordered: &[JobReport]) -> std::io::Result<()> {
+        let mut text = String::new();
+        for report in ordered {
+            text.push_str(&report.to_line());
+            text.push('\n');
+        }
+        let tmp = self.target.with_extension("jsonl.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.target)?;
+        // Losing the sidecar cleanup is harmless: the next create or
+        // resume rewrites it.
+        let _ = std::fs::remove_file(&self.partial);
+        Ok(())
+    }
+
+    /// Where outcome lines stream before finalization.
+    pub fn partial_path(&self) -> &Path {
+        &self.partial
+    }
+
+    /// Where the finalized report lands.
+    pub fn target_path(&self) -> &Path {
+        &self.target
+    }
+}
+
+fn partial_path(target: &Path) -> PathBuf {
+    let mut name = target.file_name().unwrap_or_default().to_os_string();
+    name.push(".partial");
+    target.with_file_name(name)
+}
+
+/// Parses the longest valid prefix of a report file, dropping a torn
+/// trailing line (the crash case) and anything after it.
+fn valid_prefix(text: &str) -> Vec<JobReport> {
+    let mut reports = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_report(trimmed) {
+            Ok(mut parsed) => reports.append(&mut parsed),
+            Err(_) => break,
+        }
+    }
+    reports
 }
 
 /// Formats a watermark value as lowercase hex (the manifest encoding).
@@ -305,6 +474,7 @@ mod tests {
             watermark_hex: "8f3a".to_string(),
             seed: 1234,
             status: JobStatus::Failed("trace budget exceeded".to_string()),
+            attempts: 2,
             wall_ms: 17,
         };
         let line = report.to_line();
@@ -323,12 +493,23 @@ mod tests {
             JobStatus::Ok,
             JobStatus::NotFound,
             JobStatus::Mismatch,
+            JobStatus::TimedOut,
             JobStatus::Failed("why: because".to_string()),
         ] {
             assert_eq!(JobStatus::parse(&status.render()), status);
         }
         assert!(JobStatus::Ok.is_ok());
         assert!(!JobStatus::NotFound.is_ok());
+        assert!(!JobStatus::TimedOut.is_ok());
+    }
+
+    #[test]
+    fn reports_without_attempts_parse_with_default_one() {
+        // A line written before the retry layer existed.
+        let line = "{\"job_id\":\"old\",\"watermark_hex\":\"ff\",\"seed\":3,\
+                    \"status\":\"ok\",\"wall_ms\":5}";
+        let parsed = parse_report(line).unwrap();
+        assert_eq!(parsed[0].attempts, 1);
     }
 
     #[test]
@@ -377,5 +558,95 @@ mod tests {
             assert_eq!(to_hex(&parse_hex(text).unwrap()), text);
         }
         assert!(parse_hex("").is_err());
+    }
+
+    fn sample_report(n: u32) -> JobReport {
+        JobReport {
+            job_id: format!("copy-{n:03}"),
+            watermark_hex: format!("{n:x}"),
+            seed: u64::from(n) * 7,
+            status: JobStatus::Ok,
+            attempts: 1,
+            wall_ms: 0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pathmark-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn report_writer_streams_finalizes_and_cleans_up() {
+        let dir = temp_dir("finalize");
+        let target = dir.join("report.jsonl");
+        let reports: Vec<JobReport> = (0..3).map(sample_report).collect();
+
+        let mut writer = ReportWriter::create(&target).unwrap();
+        // Lines stream out of order (completion order) …
+        writer.append(&reports[2]).unwrap();
+        writer.append(&reports[0]).unwrap();
+        writer.append(&reports[1]).unwrap();
+        let partial = writer.partial_path().to_path_buf();
+        assert!(partial.exists());
+        assert!(!target.exists(), "nothing at the target until finalize");
+
+        // … but the finalized report is in manifest order.
+        writer.finalize(&reports).unwrap();
+        assert!(target.exists());
+        assert!(!partial.exists(), "sidecar removed after finalize");
+        let parsed = parse_report(&std::fs::read_to_string(&target).unwrap()).unwrap();
+        assert_eq!(parsed, reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_recovers_the_valid_prefix_and_drops_a_torn_line() {
+        let dir = temp_dir("resume");
+        let target = dir.join("report.jsonl");
+        let reports: Vec<JobReport> = (0..3).map(sample_report).collect();
+
+        // Simulate a crash: two full lines plus a torn third.
+        let mut text = String::new();
+        text.push_str(&reports[0].to_line());
+        text.push('\n');
+        text.push_str(&reports[1].to_line());
+        text.push('\n');
+        text.push_str(&reports[2].to_line()[..10]);
+        std::fs::write(dir.join("report.jsonl.partial"), &text).unwrap();
+
+        let (mut writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert_eq!(recorded, reports[..2], "torn line dropped");
+        writer.append(&reports[2]).unwrap();
+        let on_disk =
+            parse_report(&std::fs::read_to_string(writer.partial_path()).unwrap()).unwrap();
+        assert_eq!(on_disk, reports, "sidecar rewritten clean, then appended");
+        writer.finalize(&reports).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_finalize_reads_the_finalized_report() {
+        let dir = temp_dir("resume-done");
+        let target = dir.join("report.jsonl");
+        let reports: Vec<JobReport> = (0..2).map(sample_report).collect();
+
+        let writer = ReportWriter::create(&target).unwrap();
+        writer.finalize(&reports).unwrap();
+
+        let (_writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert_eq!(recorded, reports, "a completed run resumes as fully done");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_no_prior_state_starts_empty() {
+        let dir = temp_dir("resume-fresh");
+        let target = dir.join("report.jsonl");
+        let (_writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert!(recorded.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,27 +1,39 @@
 //! A hand-rolled worker pool: `std::thread` workers pulling boxed jobs
 //! from a `Mutex`/`Condvar` queue.
 //!
-//! Two properties the batch engine depends on:
+//! Three properties the batch engine depends on:
 //!
 //! * **panic isolation** — every job runs under
 //!   [`std::panic::catch_unwind`]; a poisoned job reports a
 //!   [`JobPanic`] and the worker moves on to the next job, so one bad
 //!   copy never kills the batch;
+//! * **deadline enforcement** — [`WorkerPool::run_all_with`] takes an
+//!   optional per-job deadline; a job that overruns it is reported as
+//!   [`JobFailure::TimedOut`], its worker is *abandoned* (detached and
+//!   told to exit once the wedged job finally returns), and a fresh
+//!   worker is spawned in its place, so one pathological trace cannot
+//!   wedge a batch or permanently shrink the pool;
 //! * **graceful shutdown** — dropping the pool flags the queue, wakes
 //!   every worker, and joins them; already-queued jobs finish first.
+//!   Abandoned workers are detached and never joined (by definition
+//!   they may be wedged forever).
 //!
 //! A pool built with [`WorkerPool::with_telemetry`] additionally
 //! reports, per job, the time spent waiting in the queue
 //! ([`Stage::QueueWait`]) and running ([`Stage::JobRun`]), plus a
-//! [`Counter::PoolPanic`] increment per escaped panic. The default
-//! pool carries a disabled handle and never reads the clock.
+//! [`Counter::PoolPanic`] increment per escaped panic, a
+//! [`Counter::JobTimeout`] per expired deadline, and a
+//! [`Counter::WorkerRespawn`] per replaced worker. The default pool
+//! carries a disabled handle and never reads the clock.
 
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pathmark_telemetry::{Counter, Stage, Telemetry};
 
@@ -40,6 +52,42 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
+/// Why a job submitted through [`WorkerPool::run_all_with`] produced no
+/// result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job panicked; the panic was contained to this job.
+    Panic(JobPanic),
+    /// The job overran its deadline and was abandoned along with its
+    /// worker; a replacement worker took over the rest of the queue.
+    TimedOut {
+        /// The deadline the job overran.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Panic(p) => p.fmt(f),
+            JobFailure::TimedOut { deadline } => {
+                write!(f, "job exceeded its {} ms deadline", deadline.as_millis())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+/// Options for one [`WorkerPool::run_all_with`] call.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Wall-clock budget for one job's run (queue wait excluded). A job
+    /// that overruns it is reported as [`JobFailure::TimedOut`] and its
+    /// worker replaced. `None` disables deadline supervision entirely.
+    pub deadline: Option<Duration>,
+}
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Queue {
@@ -47,16 +95,31 @@ struct Queue {
     shutdown: bool,
 }
 
+/// Worker-thread bookkeeping: live handles plus the set of workers told
+/// to retire because their current job overran its deadline.
+struct Roster {
+    handles: Vec<(u64, JoinHandle<()>)>,
+    abandoned: HashSet<u64>,
+}
+
 struct Shared {
     queue: Mutex<Queue>,
     ready: Condvar,
+    roster: Mutex<Roster>,
+    next_worker_id: AtomicU64,
     telemetry: Telemetry,
+}
+
+thread_local! {
+    /// The id of the pool worker running on this thread, if any.
+    static WORKER_ID: Cell<u64> = const { Cell::new(u64::MAX) };
 }
 
 /// A fixed-size pool of worker threads.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The size the pool maintains (a respawn replaces, never grows).
+    size: usize,
 }
 
 impl WorkerPool {
@@ -67,7 +130,7 @@ impl WorkerPool {
     }
 
     /// Spawns a pool whose jobs report queue-wait and run-time spans
-    /// (and panic counts) into `telemetry`.
+    /// (and panic/timeout/respawn counts) into `telemetry`.
     pub fn with_telemetry(workers: usize, telemetry: Telemetry) -> WorkerPool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
@@ -75,23 +138,23 @@ impl WorkerPool {
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            roster: Mutex::new(Roster {
+                handles: Vec::new(),
+                abandoned: HashSet::new(),
+            }),
+            next_worker_id: AtomicU64::new(0),
             telemetry,
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pathmark-fleet-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { shared, workers }
+        let size = workers.max(1);
+        for _ in 0..size {
+            spawn_worker(&shared);
+        }
+        WorkerPool { shared, size }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool maintains.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.size
     }
 
     /// The pool's telemetry handle.
@@ -128,14 +191,58 @@ impl WorkerPool {
         R: Send + 'static,
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
+        self.run_all_with(inputs, f, &RunOptions::default(), |_, _| {})
+            .into_iter()
+            .map(|slot| {
+                slot.map_err(|failure| match failure {
+                    JobFailure::Panic(p) => p,
+                    // No deadline was set, so no job can time out.
+                    JobFailure::TimedOut { .. } => unreachable!("timeout without a deadline"),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs `f` over every input, enforcing `options.deadline` per job,
+    /// and returns the results in input order. `on_done` fires on the
+    /// *calling* thread as each job settles (completion order), with the
+    /// job's input index — the hook the crash-safe manifest writer hangs
+    /// off of.
+    ///
+    /// A job that overruns the deadline settles as
+    /// [`JobFailure::TimedOut`]: its worker is abandoned (detached, told
+    /// to retire when the wedged job eventually returns) and a fresh
+    /// worker is spawned so pool capacity is preserved. A result arriving
+    /// after its job already timed out is discarded.
+    pub fn run_all_with<T, R, F>(
+        &self,
+        inputs: Vec<T>,
+        f: F,
+        options: &RunOptions,
+        mut on_done: impl FnMut(usize, &Result<R, JobFailure>),
+    ) -> Vec<Result<R, JobFailure>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
         let n = inputs.len();
         let f = Arc::new(f);
         let (tx, rx) = mpsc::channel::<(usize, Result<R, JobPanic>)>();
+        // Which jobs are on a worker right now: index → (worker, start).
+        // The supervisor scans this to expire overrunning jobs.
+        let running: Arc<Mutex<HashMap<usize, (u64, Instant)>>> = Arc::default();
         for (index, input) in inputs.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let tx = tx.clone();
+            let running = Arc::clone(&running);
             let telemetry = self.shared.telemetry.clone();
             self.execute(move || {
+                let worker = WORKER_ID.get();
+                running
+                    .lock()
+                    .expect("running lock")
+                    .insert(index, (worker, Instant::now()));
                 let result = catch_unwind(AssertUnwindSafe(|| f(index, input)))
                     .map_err(|payload| {
                         // Counted here, not in the worker loop: the
@@ -145,20 +252,78 @@ impl WorkerPool {
                             message: panic_message(&*payload),
                         }
                     });
+                running.lock().expect("running lock").remove(&index);
                 // The receiver hanging up just means the caller stopped
                 // listening; nothing useful to do with the error.
                 let _ = tx.send((index, result));
             });
         }
         drop(tx);
-        let mut results: Vec<Option<Result<R, JobPanic>>> = (0..n).map(|_| None).collect();
-        for (index, result) in rx.iter().take(n) {
-            results[index] = Some(result);
+
+        let mut results: Vec<Option<Result<R, JobFailure>>> = (0..n).map(|_| None).collect();
+        let mut done = 0usize;
+        while done < n {
+            let received = match options.deadline {
+                None => rx.recv().ok(),
+                Some(deadline) => {
+                    // Poll granularity: fine enough to expire promptly,
+                    // coarse enough not to spin.
+                    let tick = (deadline / 8)
+                        .clamp(Duration::from_millis(1), Duration::from_millis(50));
+                    match rx.recv_timeout(tick) {
+                        Ok(message) => Some(message),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            match received {
+                Some((index, result)) => {
+                    // A slot already settled by timeout ignores its
+                    // worker's late result.
+                    if results[index].is_none() {
+                        let settled = result.map_err(JobFailure::Panic);
+                        on_done(index, &settled);
+                        results[index] = Some(settled);
+                        done += 1;
+                    }
+                }
+                None => {
+                    let deadline = options.deadline.expect("ticking implies a deadline");
+                    for (index, worker) in expired_jobs(&running, deadline) {
+                        if results[index].is_some() {
+                            continue;
+                        }
+                        self.shared.telemetry.count(Counter::JobTimeout, 1);
+                        self.abandon_and_respawn(worker);
+                        let settled = Err(JobFailure::TimedOut { deadline });
+                        on_done(index, &settled);
+                        results[index] = Some(settled);
+                        done += 1;
+                        running.lock().expect("running lock").remove(&index);
+                    }
+                }
+            }
         }
         results
             .into_iter()
-            .map(|slot| slot.expect("every job reported"))
+            .map(|slot| slot.expect("every job settled"))
             .collect()
+    }
+
+    /// Detaches the worker running a timed-out job, flags it to retire
+    /// once the wedged job returns, and spawns a replacement so the pool
+    /// keeps its configured capacity.
+    fn abandon_and_respawn(&self, worker: u64) {
+        {
+            let mut roster = self.shared.roster.lock().expect("roster lock");
+            roster.abandoned.insert(worker);
+            // Dropping the JoinHandle detaches the thread: a wedged job
+            // must not block shutdown.
+            roster.handles.retain(|(id, _)| *id != worker);
+        }
+        self.shared.telemetry.count(Counter::WorkerRespawn, 1);
+        spawn_worker(&self.shared);
     }
 }
 
@@ -169,14 +334,50 @@ impl Drop for WorkerPool {
             queue.shutdown = true;
         }
         self.shared.ready.notify_all();
-        for handle in self.workers.drain(..) {
+        let handles: Vec<(u64, JoinHandle<()>)> = {
+            let mut roster = self.shared.roster.lock().expect("roster lock");
+            roster.handles.drain(..).collect()
+        };
+        for (_, handle) in handles {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>) {
+    let id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let worker_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("pathmark-fleet-{id}"))
+        .spawn(move || worker_loop(&worker_shared, id))
+        .expect("spawn worker thread");
+    shared
+        .roster
+        .lock()
+        .expect("roster lock")
+        .handles
+        .push((id, handle));
+}
+
+fn worker_loop(shared: &Arc<Shared>, id: u64) {
+    WORKER_ID.set(id);
+    // If this thread dies abnormally (a panic that escapes the
+    // catch_unwind below, e.g. a panicking panic-payload Drop), the
+    // guard respawns a replacement so the pool never silently shrinks.
+    // On a normal return it is a no-op.
+    let _guard = RespawnGuard { shared, id };
     loop {
+        // An abandoned worker retires as soon as its wedged job lets go
+        // of the thread; its replacement is already running.
+        if shared
+            .roster
+            .lock()
+            .expect("roster lock")
+            .abandoned
+            .remove(&id)
+        {
+            return;
+        }
         let job = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
@@ -189,16 +390,55 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.ready.wait(queue).expect("queue lock");
             }
         };
-        // Belt and braces: `run_all` already catches panics inside the
-        // job closure, but a raw `execute` job must not kill the worker
-        // either.
+        // Belt and braces: `run_all_with` already catches panics inside
+        // the job closure, but a raw `execute` job must not kill the
+        // worker either.
         if catch_unwind(AssertUnwindSafe(job)).is_err() {
             shared.telemetry.count(Counter::PoolPanic, 1);
         }
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Respawns a replacement worker if the worker thread unwinds.
+struct RespawnGuard<'a> {
+    shared: &'a Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for RespawnGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let shutdown = self.shared.queue.lock().expect("queue lock").shutdown;
+        {
+            let mut roster = self.shared.roster.lock().expect("roster lock");
+            roster.handles.retain(|(id, _)| *id != self.id);
+            roster.abandoned.remove(&self.id);
+        }
+        if !shutdown {
+            self.shared.telemetry.count(Counter::WorkerRespawn, 1);
+            spawn_worker(self.shared);
+        }
+    }
+}
+
+/// Jobs whose run time exceeds `deadline`: (input index, worker id).
+fn expired_jobs(
+    running: &Arc<Mutex<HashMap<usize, (u64, Instant)>>>,
+    deadline: Duration,
+) -> Vec<(usize, u64)> {
+    let now = Instant::now();
+    running
+        .lock()
+        .expect("running lock")
+        .iter()
+        .filter(|(_, (_, started))| now.duration_since(*started) >= deadline)
+        .map(|(&index, &(worker, _))| (index, worker))
+        .collect()
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -300,5 +540,82 @@ mod tests {
             });
         }
         assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn timed_out_job_is_reported_and_siblings_complete() {
+        use pathmark_telemetry::MemorySink;
+
+        let sink = Arc::new(MemorySink::new());
+        let pool = WorkerPool::with_telemetry(2, Telemetry::new(sink.clone()));
+        let options = RunOptions {
+            deadline: Some(Duration::from_millis(100)),
+        };
+        let mut settled_order = Vec::new();
+        let results = pool.run_all_with(
+            (0..6).collect::<Vec<usize>>(),
+            |_, v| {
+                if v == 2 {
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                v * 10
+            },
+            &options,
+            |index, _| settled_order.push(index),
+        );
+        for (i, result) in results.iter().enumerate() {
+            if i == 2 {
+                assert!(
+                    matches!(result, Err(JobFailure::TimedOut { .. })),
+                    "{result:?}"
+                );
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), i * 10, "sibling {i} unaffected");
+            }
+        }
+        assert_eq!(settled_order.len(), 6, "every job settled exactly once");
+        assert_eq!(sink.counter(Counter::JobTimeout), 1);
+        assert_eq!(sink.counter(Counter::WorkerRespawn), 1);
+
+        // The respawned worker keeps the pool at full strength: a second
+        // batch with no faults completes normally.
+        let results = pool.run_all((0..8).collect(), |_, v: i32| v + 1);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn no_deadline_means_no_timeouts() {
+        let pool = WorkerPool::new(2);
+        let results = pool.run_all_with(
+            (0..4).collect::<Vec<u64>>(),
+            |_, v| {
+                std::thread::sleep(Duration::from_millis(20));
+                v
+            },
+            &RunOptions::default(),
+            |_, _| {},
+        );
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn on_done_fires_in_completion_order_on_the_calling_thread() {
+        let pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        let mut seen = Vec::new();
+        let results = pool.run_all_with(
+            (0..10).collect::<Vec<usize>>(),
+            |_, v| v,
+            &RunOptions::default(),
+            |index, result| {
+                assert_eq!(std::thread::current().id(), caller);
+                assert!(result.is_ok());
+                seen.push(index);
+            },
+        );
+        assert_eq!(results.len(), 10);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
     }
 }

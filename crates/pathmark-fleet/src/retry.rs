@@ -1,0 +1,272 @@
+//! Bounded retries with exponential backoff, and the failure taxonomy
+//! that decides *which* failures are worth retrying.
+//!
+//! The recognizer is run repeatedly over large populations of possibly
+//! broken copies (see the tamper-proofing evaluations of arXiv:1001.1974
+//! and WaterRPG, arXiv:1403.6658), so partial failure is the common
+//! case. The taxonomy is deliberately conservative:
+//!
+//! * **Permanent** — every typed [`WatermarkError`] and every manifest
+//!   spec error. The pipeline is deterministic: the same program, key,
+//!   and config produce the same typed failure on every attempt, so
+//!   re-running wastes the worker's time.
+//! * **Transient** — panics (the one failure mode with an environmental
+//!   component: resource exhaustion, a bug tickled by thread timing) and
+//!   faults injected as transient by [`crate::faults::FaultPlan`].
+//!
+//! [`run_with_retry`] drives the loop: attempt, classify, back off
+//! (recorded as [`Stage::Backoff`], counted as [`Counter::Retry`]),
+//! re-attempt, up to [`RetryPolicy::max_attempts`] total attempts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use pathmark_core::WatermarkError;
+use pathmark_telemetry::{Counter, Stage, Telemetry};
+
+use crate::pool::JobPanic;
+
+/// Whether a failed attempt is worth re-running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Might succeed on a re-run (panics, injected transient faults).
+    Transient,
+    /// Deterministic: every re-run reproduces it (typed errors).
+    Permanent,
+}
+
+/// One failed attempt of a batch job.
+#[derive(Debug, Clone)]
+pub enum AttemptFailure {
+    /// A typed or injected error, pre-classified at creation (where the
+    /// typed error was still in hand).
+    Error {
+        /// Human-readable description, recorded in the job report.
+        message: String,
+        /// Transient vs. permanent, decided by [`classify`] (or by the
+        /// fault plan, for injected errors).
+        class: FailureClass,
+    },
+    /// The attempt panicked. Always transient.
+    Panic(JobPanic),
+}
+
+impl AttemptFailure {
+    /// Builds a (permanent) failure from a typed pipeline error.
+    pub fn from_watermark_error(error: &WatermarkError) -> AttemptFailure {
+        AttemptFailure::Error {
+            message: error.to_string(),
+            class: classify(error),
+        }
+    }
+
+    /// Builds a permanent failure from a manifest spec error.
+    pub fn from_spec_error(message: String) -> AttemptFailure {
+        AttemptFailure::Error {
+            message,
+            class: FailureClass::Permanent,
+        }
+    }
+
+    /// The failure's class in the retry taxonomy.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            AttemptFailure::Error { class, .. } => *class,
+            AttemptFailure::Panic(_) => FailureClass::Transient,
+        }
+    }
+
+    /// The message recorded in the job report.
+    pub fn message(&self) -> String {
+        match self {
+            AttemptFailure::Error { message, .. } => message.clone(),
+            AttemptFailure::Panic(panic) => panic.to_string(),
+        }
+    }
+}
+
+/// Classifies a typed pipeline error. Every current variant is
+/// deterministic in (program, key, config), hence permanent; the
+/// function exists as the single seam to widen if a future error
+/// variant gains an environmental cause.
+pub fn classify(_error: &WatermarkError) -> FailureClass {
+    FailureClass::Permanent
+}
+
+/// Bounded retries with exponential backoff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, report whatever it produced.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `retries` re-runs after the first attempt, starting at a
+    /// 10 ms backoff and doubling up to 1 s.
+    pub fn with_retries(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides the backoff schedule (tests use microsecond backoffs).
+    pub fn backoff(mut self, base: Duration, max: Duration) -> RetryPolicy {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+
+    /// The sleep before attempt `attempt` (2-based: the first attempt
+    /// never sleeps): `base · 2^(attempt-2)`, capped at `max_backoff`.
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        // 31 doublings already exceeds any sane max_backoff; clamping
+        // keeps the shift in range for absurd attempt numbers.
+        let doublings = attempt.saturating_sub(2).min(31);
+        self.base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+    }
+
+    /// Whether a failure on attempt `attempt` (1-based) warrants another
+    /// run: budget left and the failure is transient.
+    pub fn should_retry(&self, failure: &AttemptFailure, attempt: u32) -> bool {
+        attempt < self.max_attempts && failure.class() == FailureClass::Transient
+    }
+}
+
+/// Runs `attempt_fn` under `policy`, catching panics per attempt, and
+/// returns the final result plus the number of attempts made.
+///
+/// Each re-run is preceded by the policy's exponential backoff (a
+/// [`Stage::Backoff`] span) and counted as one [`Counter::Retry`].
+pub fn run_with_retry<R>(
+    policy: &RetryPolicy,
+    telemetry: &Telemetry,
+    mut attempt_fn: impl FnMut(u32) -> Result<R, AttemptFailure>,
+) -> (Result<R, AttemptFailure>, u32) {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| attempt_fn(attempt)))
+            .unwrap_or_else(|payload| {
+                Err(AttemptFailure::Panic(JobPanic {
+                    message: crate::pool::panic_message(&*payload),
+                }))
+            });
+        match result {
+            Ok(value) => return (Ok(value), attempt),
+            Err(failure) => {
+                if !policy.should_retry(&failure, attempt) {
+                    return (Err(failure), attempt);
+                }
+                telemetry.count(Counter::Retry, 1);
+                let pause = policy.backoff_before(attempt + 1);
+                if pause.is_zero() {
+                    continue;
+                }
+                telemetry.time(Stage::Backoff, || std::thread::sleep(pause));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(retries: u32) -> RetryPolicy {
+        RetryPolicy::with_retries(retries)
+            .backoff(Duration::from_micros(10), Duration::from_micros(100))
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        let policy = RetryPolicy::with_retries(10)
+            .backoff(Duration::from_millis(10), Duration::from_millis(35));
+        assert_eq!(policy.backoff_before(1), Duration::ZERO);
+        assert_eq!(policy.backoff_before(2), Duration::from_millis(10));
+        assert_eq!(policy.backoff_before(3), Duration::from_millis(20));
+        assert_eq!(policy.backoff_before(4), Duration::from_millis(35), "capped");
+        assert_eq!(policy.backoff_before(60), Duration::from_millis(35));
+        assert_eq!(RetryPolicy::none().backoff_before(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn transient_failure_recovers_within_budget() {
+        let telemetry = Telemetry::null();
+        let (result, attempts) = run_with_retry(&fast(3), &telemetry, |attempt| {
+            if attempt < 3 {
+                Err(AttemptFailure::Error {
+                    message: "flaky".into(),
+                    class: FailureClass::Transient,
+                })
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn permanent_failure_is_not_retried() {
+        let telemetry = Telemetry::null();
+        let (result, attempts) = run_with_retry(&fast(5), &telemetry, |_| {
+            Err::<(), _>(AttemptFailure::from_spec_error("bad spec".into()))
+        });
+        assert_eq!(result.unwrap_err().message(), "bad spec");
+        assert_eq!(attempts, 1, "permanent failures fail fast");
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_the_budget() {
+        use pathmark_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::new(sink.clone());
+        let (result, attempts) =
+            run_with_retry(&fast(2), &telemetry, |_| -> Result<(), AttemptFailure> {
+                panic!("always broken")
+            });
+        let failure = result.unwrap_err();
+        assert_eq!(failure.class(), FailureClass::Transient);
+        assert!(failure.message().contains("always broken"));
+        assert_eq!(attempts, 3, "1 attempt + 2 retries");
+        assert_eq!(sink.counter(Counter::Retry), 2);
+        assert_eq!(sink.stage(Stage::Backoff).count, 2);
+    }
+
+    #[test]
+    fn typed_errors_classify_permanent() {
+        let error = WatermarkError::NoInsertionPoint;
+        assert_eq!(classify(&error), FailureClass::Permanent);
+        let failure = AttemptFailure::from_watermark_error(&error);
+        assert_eq!(failure.class(), FailureClass::Permanent);
+        assert!(failure.message().contains("insertion point"));
+    }
+}

@@ -704,6 +704,9 @@ impl Add<&BigInt> for &BigInt {
 impl Sub<&BigInt> for &BigInt {
     type Output = BigInt;
 
+    // Subtraction is delegated to sign-magnitude addition of the
+    // negated operand, so `+` here is intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: &BigInt) -> BigInt {
         self + &rhs.neg()
     }

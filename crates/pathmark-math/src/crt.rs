@@ -253,7 +253,7 @@ mod tests {
         assert!(s_a.agrees_with(&s_c, &primes));
         // disjoint prime pairs never "agree mod a prime".
         let primes4 = [2u64, 3, 5, 7];
-        let s_d = Statement { i: 2, j: 3, x: 17 % 35 };
+        let s_d = Statement { i: 2, j: 3, x: 17 };
         assert!(!s_a.agrees_with(&s_d, &primes4));
         assert!(!s_a.inconsistent_with(&s_d, &primes4));
     }

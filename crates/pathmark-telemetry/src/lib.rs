@@ -78,11 +78,13 @@ pub enum Stage {
     QueueWait,
     /// Wall-clock time of one fleet job on its worker.
     JobRun,
+    /// Exponential-backoff sleep between retry attempts of a fleet job.
+    Backoff,
 }
 
 impl Stage {
     /// Every stage, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Trace,
         Stage::Split,
         Stage::Encrypt,
@@ -95,6 +97,7 @@ impl Stage {
         Stage::Merge,
         Stage::QueueWait,
         Stage::JobRun,
+        Stage::Backoff,
     ];
 
     /// The stage's wire name (used in JSONL records and summaries).
@@ -112,6 +115,7 @@ impl Stage {
             Stage::Merge => "merge",
             Stage::QueueWait => "queue_wait",
             Stage::JobRun => "job_run",
+            Stage::Backoff => "backoff",
         }
     }
 
@@ -142,17 +146,27 @@ pub enum Counter {
     CandidatesDecoded,
     /// Watermark pieces inserted by the embedder.
     PiecesEmbedded,
+    /// Fleet job attempts re-run after a transient failure.
+    Retry,
+    /// Fleet jobs that exceeded their deadline and were abandoned.
+    JobTimeout,
+    /// Pool workers replaced after a timeout abandoned (or a panic
+    /// killed) their thread.
+    WorkerRespawn,
 }
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 9] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
         Counter::WindowsScanned,
         Counter::CandidatesDecoded,
         Counter::PiecesEmbedded,
+        Counter::Retry,
+        Counter::JobTimeout,
+        Counter::WorkerRespawn,
     ];
 
     /// The counter's wire name.
@@ -164,6 +178,9 @@ impl Counter {
             Counter::WindowsScanned => "windows_scanned",
             Counter::CandidatesDecoded => "candidates_decoded",
             Counter::PiecesEmbedded => "pieces_embedded",
+            Counter::Retry => "retry",
+            Counter::JobTimeout => "job_timeout",
+            Counter::WorkerRespawn => "worker_respawn",
         }
     }
 

@@ -84,11 +84,7 @@ impl StageSummary {
 
     /// Mean span duration in nanoseconds (0 when empty).
     pub fn mean_nanos(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.total_nanos / self.count
-        }
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
     }
 }
 

@@ -348,7 +348,7 @@ fn build_rule(name: &str, ops: usize, rng: &mut Prng) -> stackvm::Function {
                 f.load(1).push(c).sub().store(1);
             }
             4 => {
-                f.load(1).push(c | 1).bin(BinOp::Or).push(0xFFFF_FF).bin(BinOp::And).store(1);
+                f.load(1).push(c | 1).bin(BinOp::Or).push(0x00FF_FFFF).bin(BinOp::And).store(1);
             }
             _ => {
                 // if (t < c) t += c' — a cold data-dependent branch.

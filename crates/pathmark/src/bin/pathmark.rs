@@ -21,22 +21,32 @@
 //! queue-wait, …) from the run; without the flag the pipeline runs with
 //! the zero-cost disabled handle.
 //!
+//! Both `fleet` subcommands take fault-tolerance flags: `--retries N`
+//! re-runs a job up to N extra times after a transient failure (panic),
+//! `--job-timeout MS` abandons a job that overruns its deadline
+//! (reported as `timed-out`, its worker replaced), and `--resume` skips
+//! jobs whose outcome lines already exist in the (crash-safe, partially
+//! written) report from an interrupted run. `fleet recognize` persists
+//! its report via `--report FILE`, which `--resume` requires.
+//!
 //! Exit codes: `0` success, `1` usage or processing error, `2`
 //! recognition ran but did not recover the expected watermark (see
 //! [`pathmark::cli::ExitStatus`]).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pathmark::attacks::java as attacks;
 use pathmark::cli::ExitStatus;
 use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
-use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark::fleet::batch::{embed_batch_with, recognize_batch_with, BatchOptions, RecognizeJob};
 use pathmark::fleet::cache::TraceCache;
-use pathmark::fleet::manifest::{parse_manifest, to_hex};
+use pathmark::fleet::manifest::{parse_manifest, to_hex, EmbedJobSpec, JobReport, ReportWriter};
 use pathmark::fleet::pool::WorkerPool;
+use pathmark::fleet::retry::RetryPolicy;
 use pathmark::math::bigint::BigUint;
 use pathmark::telemetry::{JsonlSink, MemorySink, Telemetry};
 use pathmark::vm::interp::Vm;
@@ -112,9 +122,19 @@ commands:
                   fingerprint one copy per manifest line (JSONL); writes
                   DIR/<job_id>.pmvm per copy plus DIR/report.jsonl
   fleet recognize --dir DIR --manifest FILE --seed N --input A,B,…
-                  --bits N [--pieces N] [--workers K]
+                  --bits N [--pieces N] [--workers K] [--report FILE]
                   recognize every copy against its manifest entry; the
                   embed report doubles as the manifest
+
+fault tolerance (fleet embed, fleet recognize):
+  --retries N                    re-run a job up to N extra times after
+                                 a transient failure (default 0)
+  --job-timeout MS               abandon a job overrunning MS ms; it is
+                                 reported `timed-out`, its worker
+                                 replaced, and the batch continues
+  --resume                       skip jobs whose outcome lines survive
+                                 from an interrupted run (fleet
+                                 recognize: needs --report FILE)
 
 telemetry (embed, recognize, fleet embed, fleet recognize):
   --metrics FILE                 capture stage-level spans and counters
@@ -126,6 +146,10 @@ exit codes:
   1  usage or processing error
   2  recognition did not recover the (expected) watermark";
 
+/// Options that are flags: present or absent, never followed by a
+/// value.
+const BOOLEAN_FLAGS: &[&str] = &["resume"];
+
 fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
     let mut it = args.iter();
@@ -133,6 +157,10 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected an option, found `{key}`"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            opts.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("option --{name} needs a value"))?;
@@ -408,19 +436,93 @@ fn parse_workers(opts: &HashMap<String, String>) -> Result<usize, String> {
     parse_usize_or(opts, "workers", default)
 }
 
+/// The `--retries N` / `--job-timeout MS` fault-tolerance knobs shared
+/// by both fleet subcommands. Fault injection is never exposed here.
+fn batch_options(opts: &HashMap<String, String>) -> Result<BatchOptions, String> {
+    let retries: u32 = match opts.get("retries") {
+        None => 0,
+        Some(v) => v.parse().map_err(|e| format!("--retries: {e}"))?,
+    };
+    let deadline = match opts.get("job-timeout") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(
+            v.parse().map_err(|e| format!("--job-timeout: {e}"))?,
+        )),
+    };
+    Ok(BatchOptions {
+        retry: if retries == 0 {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::with_retries(retries)
+        },
+        deadline,
+        ..BatchOptions::default()
+    })
+}
+
+/// Resume bookkeeping needs job ids to be unique: an outcome line is
+/// matched back to its manifest line by id alone.
+fn ensure_unique_job_ids(specs: &[EmbedJobSpec]) -> Result<(), String> {
+    let mut seen = HashSet::new();
+    for spec in specs {
+        if !seen.insert(spec.job_id.as_str()) {
+            return Err(format!("duplicate job_id `{}` in manifest", spec.job_id));
+        }
+    }
+    Ok(())
+}
+
+/// Reassembles the full report in manifest order from resumed lines
+/// plus freshly settled ones.
+fn ordered_reports(
+    specs: &[EmbedJobSpec],
+    recorded: Vec<JobReport>,
+    fresh: impl IntoIterator<Item = JobReport>,
+) -> Result<Vec<JobReport>, String> {
+    let mut by_id: HashMap<String, JobReport> = HashMap::new();
+    for report in recorded.into_iter().chain(fresh) {
+        by_id.insert(report.job_id.clone(), report);
+    }
+    specs
+        .iter()
+        .map(|spec| {
+            by_id
+                .remove(&spec.job_id)
+                .ok_or_else(|| format!("no outcome recorded for job `{}`", spec.job_id))
+        })
+        .collect()
+}
+
 fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let program = load_program(required(opts, "program")?)?;
     let manifest_path = required(opts, "manifest")?;
     let out_dir = required(opts, "out-dir")?;
     let workers = parse_workers(opts)?;
     let (key, config) = key_and_config(opts)?;
+    let options = batch_options(opts)?;
     let text = std::fs::read_to_string(manifest_path)
         .map_err(|e| format!("{manifest_path}: {e}"))?;
     let jobs = parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
     if jobs.is_empty() {
         return Err(CliError::Usage(format!("{manifest_path}: no jobs")));
     }
+    ensure_unique_job_ids(&jobs)?;
     std::fs::create_dir_all(out_dir).map_err(|e| format!("{out_dir}: {e}"))?;
+
+    let report_path = format!("{out_dir}/report.jsonl");
+    let (mut writer, recorded) = if opts.contains_key("resume") {
+        ReportWriter::resume(&report_path).map_err(|e| format!("{report_path}: {e}"))?
+    } else {
+        let writer =
+            ReportWriter::create(&report_path).map_err(|e| format!("{report_path}: {e}"))?;
+        (writer, Vec::new())
+    };
+    let done: HashSet<&str> = recorded.iter().map(|r| r.job_id.as_str()).collect();
+    let pending: Vec<EmbedJobSpec> = jobs
+        .iter()
+        .filter(|j| !done.contains(j.job_id.as_str()))
+        .cloned()
+        .collect();
 
     let metrics = Metrics::from_options(opts)?;
     let session = Embedder::builder(key, config)
@@ -430,26 +532,55 @@ fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let pool = WorkerPool::with_telemetry(workers, metrics.telemetry.clone());
     let cache = TraceCache::with_telemetry(metrics.telemetry.clone());
     let started = std::time::Instant::now();
-    let outcomes = embed_batch(&program, &session, &jobs, &pool, &cache)
-        .map_err(|e| e.to_string())?;
 
-    let mut report = String::new();
-    let mut failed = 0usize;
-    for outcome in &outcomes {
-        if let Some(marked) = &outcome.marked {
-            save_program(&format!("{out_dir}/{}.pmvm", outcome.report.job_id), marked)?;
-        } else {
-            failed += 1;
-        }
-        report.push_str(&outcome.report.to_line());
-        report.push('\n');
+    // Each outcome streams to disk the moment it settles: the marked
+    // copy first, then its report line — so an outcome line on disk
+    // guarantees its `.pmvm` is on disk too, which is what lets
+    // `--resume` skip the job wholesale.
+    let mut stream_error: Option<String> = None;
+    let outcomes = if pending.is_empty() {
+        Vec::new()
+    } else {
+        embed_batch_with(
+            &program,
+            &session,
+            &pending,
+            &pool,
+            &cache,
+            &options,
+            |outcome| {
+                if stream_error.is_some() {
+                    return;
+                }
+                if let Some(marked) = &outcome.marked {
+                    let path = format!("{out_dir}/{}.pmvm", outcome.report.job_id);
+                    if let Err(e) = save_program(&path, marked) {
+                        stream_error = Some(e);
+                        return;
+                    }
+                }
+                if let Err(e) = writer.append(&outcome.report) {
+                    stream_error = Some(format!("{report_path}: {e}"));
+                }
+            },
+        )
+        .map_err(|e| e.to_string())?
+    };
+    if let Some(error) = stream_error {
+        return Err(error.into());
     }
-    let report_path = format!("{out_dir}/report.jsonl");
-    std::fs::write(&report_path, &report).map_err(|e| format!("{report_path}: {e}"))?;
+
+    let resumed = recorded.len();
+    let ordered = ordered_reports(&jobs, recorded, outcomes.into_iter().map(|o| o.report))?;
+    let failed = ordered.iter().filter(|r| !r.status.is_ok()).count();
+    writer
+        .finalize(&ordered)
+        .map_err(|e| format!("{report_path}: {e}"))?;
     eprintln!(
-        "embedded {}/{} copies in {} ms with {workers} workers; report: {report_path}",
-        outcomes.len() - failed,
-        outcomes.len(),
+        "embedded {}/{} copies ({resumed} resumed) in {} ms with {workers} workers; \
+         report: {report_path}",
+        ordered.len() - failed,
+        ordered.len(),
         started.elapsed().as_millis(),
     );
     // Joining the pool first guarantees every queued span has reached
@@ -459,7 +590,7 @@ fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if failed > 0 {
         return Err(CliError::Usage(format!(
             "{failed} of {} embed jobs failed (see {report_path})",
-            outcomes.len()
+            ordered.len()
         )));
     }
     Ok(())
@@ -470,6 +601,7 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let manifest_path = required(opts, "manifest")?;
     let workers = parse_workers(opts)?;
     let (key, config) = key_and_config(opts)?;
+    let options = batch_options(opts)?;
     let metrics = Metrics::from_options(opts)?;
     let session = Recognizer::builder(key, config)
         .telemetry(metrics.telemetry.clone())
@@ -481,9 +613,36 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     if specs.is_empty() {
         return Err(CliError::Usage(format!("{manifest_path}: no jobs")));
     }
+    ensure_unique_job_ids(&specs)?;
+
+    // Recognition prints its report to stdout; `--report FILE`
+    // additionally persists it crash-safely, and is what `--resume`
+    // resumes from.
+    let resume = opts.contains_key("resume");
+    if resume && !opts.contains_key("report") {
+        return Err(CliError::Usage(
+            "--resume requires --report FILE (the file to resume from)".into(),
+        ));
+    }
+    let (mut writer, recorded) = match opts.get("report") {
+        None => (None, Vec::new()),
+        Some(path) => {
+            let (writer, recorded) = if resume {
+                ReportWriter::resume(path).map_err(|e| format!("{path}: {e}"))?
+            } else {
+                let writer = ReportWriter::create(path).map_err(|e| format!("{path}: {e}"))?;
+                (writer, Vec::new())
+            };
+            (Some(writer), recorded)
+        }
+    };
+    let done: HashSet<&str> = recorded.iter().map(|r| r.job_id.as_str()).collect();
 
     let mut jobs = Vec::new();
     for spec in &specs {
+        if done.contains(spec.job_id.as_str()) {
+            continue;
+        }
         let program = load_program(&format!("{dir}/{}.pmvm", spec.job_id))?;
         // The expected watermark is resolved exactly as `fleet embed`
         // resolved it, so a plain manifest works as well as a report.
@@ -501,22 +660,46 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
 
     let pool = WorkerPool::with_telemetry(workers, metrics.telemetry.clone());
     let started = std::time::Instant::now();
-    let outcomes = recognize_batch(&jobs, &session, &pool);
+    let mut stream_error: Option<String> = None;
+    let outcomes = if jobs.is_empty() {
+        Vec::new()
+    } else {
+        recognize_batch_with(&jobs, &session, &pool, &options, |outcome| {
+            if let Some(writer) = &mut writer {
+                if stream_error.is_none() {
+                    if let Err(e) = writer.append(&outcome.report) {
+                        stream_error = Some(format!("report: {e}"));
+                    }
+                }
+            }
+        })
+    };
+    if let Some(error) = stream_error {
+        return Err(error.into());
+    }
+
+    let resumed = recorded.len();
+    let ordered = ordered_reports(&specs, recorded, outcomes.into_iter().map(|o| o.report))?;
     let mut recovered = 0usize;
-    for outcome in &outcomes {
-        println!("{}", outcome.report.to_line());
-        if outcome.report.status.is_ok() {
+    for report in &ordered {
+        println!("{}", report.to_line());
+        if report.status.is_ok() {
             recovered += 1;
         }
     }
+    if let Some(writer) = writer {
+        writer
+            .finalize(&ordered)
+            .map_err(|e| format!("report: {e}"))?;
+    }
     eprintln!(
-        "recognized {recovered}/{} copies in {} ms with {workers} workers",
-        outcomes.len(),
+        "recognized {recovered}/{} copies ({resumed} resumed) in {} ms with {workers} workers",
+        ordered.len(),
         started.elapsed().as_millis(),
     );
     drop(pool);
     metrics.finish()?;
-    match ExitStatus::for_recognition(recovered, outcomes.len()) {
+    match ExitStatus::for_recognition(recovered, ordered.len()) {
         ExitStatus::Success => Ok(()),
         _ => Err(CliError::NotFound),
     }

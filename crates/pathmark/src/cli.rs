@@ -33,9 +33,14 @@ impl ExitStatus {
 
     /// The verdict for a recognition run that recovered `recovered` of
     /// `total` expected watermarks: [`ExitStatus::Success`] only when
-    /// all were recovered.
+    /// all were recovered — and there was at least one to recover. An
+    /// empty job set is a [`ExitStatus::Failure`]: a run that verified
+    /// nothing must not exit 0, or a typo'd manifest path in a
+    /// verification script reads as "all copies verified".
     pub fn for_recognition(recovered: usize, total: usize) -> ExitStatus {
-        if recovered >= total {
+        if total == 0 {
+            ExitStatus::Failure
+        } else if recovered >= total {
             ExitStatus::Success
         } else {
             ExitStatus::NotRecovered
@@ -64,8 +69,15 @@ mod tests {
     fn recognition_verdicts() {
         assert_eq!(ExitStatus::for_recognition(1, 1), ExitStatus::Success);
         assert_eq!(ExitStatus::for_recognition(16, 16), ExitStatus::Success);
-        assert_eq!(ExitStatus::for_recognition(0, 0), ExitStatus::Success);
         assert_eq!(ExitStatus::for_recognition(15, 16), ExitStatus::NotRecovered);
         assert_eq!(ExitStatus::for_recognition(0, 1), ExitStatus::NotRecovered);
+    }
+
+    #[test]
+    fn empty_recognition_run_is_a_failure_not_a_success() {
+        // Regression: `recovered >= total` used to make a zero-job run
+        // exit 0, so a verification script pointed at an empty (or
+        // mistyped) manifest would report every copy verified.
+        assert_eq!(ExitStatus::for_recognition(0, 0), ExitStatus::Failure);
     }
 }

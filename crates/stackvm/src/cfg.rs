@@ -60,9 +60,7 @@ impl Cfg {
         let mut blocks = Vec::with_capacity(starts.len());
         for (b, &start) in starts.iter().enumerate() {
             let end = starts.get(b + 1).copied().unwrap_or(n);
-            for pc in start..end {
-                block_of[pc] = b;
-            }
+            block_of[start..end].fill(b);
             blocks.push(Block {
                 start,
                 end,
@@ -70,8 +68,8 @@ impl Cfg {
             });
         }
         // Successors from each block's final instruction.
-        for b in 0..blocks.len() {
-            let last_pc = blocks[b].end - 1;
+        for block in &mut blocks {
+            let last_pc = block.end - 1;
             let insn = &func.code[last_pc];
             let mut succs = Vec::new();
             match insn {
@@ -97,7 +95,7 @@ impl Cfg {
             }
             succs.sort_unstable();
             succs.dedup();
-            blocks[b].succs = succs;
+            block.succs = succs;
         }
         Cfg {
             blocks,

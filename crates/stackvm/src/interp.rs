@@ -412,12 +412,12 @@ impl<'p> Vm<'p> {
     }
 }
 
-fn array<'h>(
-    heap: &'h [Vec<i64>],
+fn array(
+    heap: &[Vec<i64>],
     handle: i64,
     func: FuncId,
     pc: usize,
-) -> Result<&'h Vec<i64>, VmError> {
+) -> Result<&Vec<i64>, VmError> {
     usize::try_from(handle)
         .ok()
         .and_then(|h| heap.get(h))
@@ -428,12 +428,12 @@ fn array<'h>(
         })
 }
 
-fn array_mut<'h>(
-    heap: &'h mut [Vec<i64>],
+fn array_mut(
+    heap: &mut [Vec<i64>],
     handle: i64,
     func: FuncId,
     pc: usize,
-) -> Result<&'h mut Vec<i64>, VmError> {
+) -> Result<&mut Vec<i64>, VmError> {
     usize::try_from(handle)
         .ok()
         .and_then(|h| heap.get_mut(h))

@@ -77,29 +77,25 @@ pub fn verify_function(program: &Program, func: &Function) -> Result<(), VmError
             }
         }
         match insn {
-            Insn::Load(l) | Insn::Store(l) | Insn::Iinc(l, _) => {
-                if *l >= func.num_locals {
+            Insn::Load(l) | Insn::Store(l) | Insn::Iinc(l, _)
+                if *l >= func.num_locals => {
                     return Err(fail(Some(pc), format!("local {l} out of range")));
                 }
-            }
-            Insn::GetStatic(s) | Insn::PutStatic(s) => {
-                if *s as usize >= program.statics.len() {
+            Insn::GetStatic(s) | Insn::PutStatic(s)
+                if *s as usize >= program.statics.len() => {
                     return Err(fail(Some(pc), format!("static {s} out of range")));
                 }
-            }
-            Insn::Call(f) => {
-                if *f as usize >= program.functions.len() {
+            Insn::Call(f)
+                if *f as usize >= program.functions.len() => {
                     return Err(fail(Some(pc), format!("call target fn#{f} out of range")));
                 }
-            }
-            Insn::Return(with_value) => {
-                if *with_value != func.returns_value {
+            Insn::Return(with_value)
+                if *with_value != func.returns_value => {
                     return Err(fail(
                         Some(pc),
                         "return arity disagrees with function signature".into(),
                     ));
                 }
-            }
             _ => {}
         }
     }

@@ -15,6 +15,9 @@ use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
 
+/// An attack that produces a transformed copy of the marked program.
+type BoxedAttack = Box<dyn Fn(&Program) -> Program>;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = WatermarkKey::new(0xA77AC4, vec![40]);
     let config = JavaConfig::for_watermark_bits(256).with_pieces(80);
@@ -26,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:<28} {:>9} {:>10}", "attack", "runs?", "mark?");
     println!("{}", "-".repeat(50));
 
-    let mut gauntlet: Vec<(&str, Box<dyn Fn(&Program) -> Program>)> = Vec::new();
+    let mut gauntlet: Vec<(&str, BoxedAttack)> = Vec::new();
     gauntlet.push((
         "no-op insertion (500)",
         Box::new(|p: &Program| {

@@ -17,7 +17,7 @@ use pathmark::vm::interp::Vm;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let product = pathmark::workloads::java::caffeinemark();
-    let key = WatermarkKey::new(0x5EC2E7_1D, vec![10]);
+    let key = WatermarkKey::new(0x5EC2_E71D, vec![10]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
 
     // Stamp three licensees.

@@ -25,7 +25,7 @@ const BUDGET: u64 = 100_000_000;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = pathmark::workloads::native::by_name("parser").expect("parser exists");
-    let key = WatermarkKey::new(0x7A3B_11, vec![60]);
+    let key = WatermarkKey::new(0x007A_3B11, vec![60]);
     let config = NativeConfig {
         training_inputs: vec![workload.reference_input.clone()],
         ..NativeConfig::default()

@@ -11,11 +11,14 @@ ROOT=$(pwd)
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> warnings gate: pathmark-telemetry is warning-free"
-RUSTFLAGS="-D warnings" cargo build -q -p pathmark-telemetry
+echo "==> warnings gate: clippy is clean across the workspace"
+cargo clippy --all-targets -- -D warnings
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> fault-injection gate: deterministic fault/retry/resume tests"
+cargo test -q --test fleet_pipeline fault_
 
 echo "==> fleet smoke: 16-copy embed/recognize round trip with metrics"
 BIN=target/release/pathmark
@@ -32,10 +35,22 @@ done > "$SMOKE/manifest.jsonl"
 "$BIN" fleet embed --program "$SMOKE/demo.pmvm" \
     --manifest "$SMOKE/manifest.jsonl" --out-dir "$SMOKE/copies" \
     --workers 4 --seed 7 --input 12 --bits 128 \
+    --retries 2 --job-timeout 60000 \
     --metrics "$SMOKE/embed-metrics.jsonl" --metrics-format jsonl
 
 count=$(ls "$SMOKE/copies"/*.pmvm | wc -l)
 [ "$count" -eq 16 ] || { echo "expected 16 copies, got $count" >&2; exit 1; }
+grep -q '"attempts":1' "$SMOKE/copies/report.jsonl" \
+    || { echo "embed report missing attempts field" >&2; exit 1; }
+[ ! -e "$SMOKE/copies/report.jsonl.partial" ] \
+    || { echo "finalized report left a .partial sidecar behind" >&2; exit 1; }
+
+echo "==> fleet resume: a second run settles instantly and changes nothing"
+"$BIN" fleet embed --program "$SMOKE/demo.pmvm" \
+    --manifest "$SMOKE/manifest.jsonl" --out-dir "$SMOKE/copies" \
+    --workers 4 --seed 7 --input 12 --bits 128 --resume 2>&1 \
+    | grep -q "16 resumed" \
+    || { echo "resume run did not skip the settled jobs" >&2; exit 1; }
 
 for stage in trace encrypt codegen queue_wait job_run; do
     grep -q "\"stage\":\"$stage\"" "$SMOKE/embed-metrics.jsonl" \

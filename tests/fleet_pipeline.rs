@@ -2,16 +2,24 @@
 //! across runs and worker counts, sharded-vs-serial recognizer
 //! equivalence on the pipeline fixtures, and failure isolation.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use pathmark::core::bitstring::BitString;
 use pathmark::core::java::{
     embed, recognize_bits, trace_program, Embedder, JavaConfig, Recognition, Recognizer,
 };
 use pathmark::core::key::{Watermark, WatermarkKey};
-use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark::fleet::batch::{
+    embed_batch, embed_batch_with, recognize_batch, BatchOptions, RecognizeJob,
+};
 use pathmark::fleet::cache::TraceCache;
-use pathmark::fleet::manifest::EmbedJobSpec;
+use pathmark::fleet::faults::{Fault, FaultPlan};
+use pathmark::fleet::manifest::{parse_report, EmbedJobSpec, JobReport, JobStatus, ReportWriter};
 use pathmark::fleet::pool::WorkerPool;
+use pathmark::fleet::retry::RetryPolicy;
 use pathmark::fleet::shard::recognize_sharded;
+use pathmark::telemetry::{Counter, MemorySink, Telemetry};
 use pathmark::vm::builder::{FunctionBuilder, ProgramBuilder};
 use pathmark::vm::codec::encode_program;
 use pathmark::vm::insn::Cond;
@@ -38,7 +46,7 @@ fn host_program() -> Program {
 }
 
 fn batch_key() -> WatermarkKey {
-    WatermarkKey::new(0xF1EE7_CAFE, vec![3, 1, 4])
+    WatermarkKey::new(0x000F_1EE7_CAFE, vec![3, 1, 4])
 }
 
 fn batch_config() -> JavaConfig {
@@ -91,7 +99,10 @@ fn sixty_four_copies_each_recognize_to_their_own_watermark() {
 
     // Every copy recognizes back to exactly its own W_i; the report
     // line converts straight into a recognize job.
-    let rec_jobs: Vec<RecognizeJob> = outcomes.iter().map(RecognizeJob::from).collect();
+    let rec_jobs: Vec<RecognizeJob> = outcomes
+        .iter()
+        .map(|o| RecognizeJob::try_from(o).expect("every embed succeeded"))
+        .collect();
     let recognized = recognize_batch(&rec_jobs, &batch_recognizer(), &pool);
     for (outcome, job) in recognized.iter().zip(&rec_jobs) {
         assert!(
@@ -214,4 +225,302 @@ fn a_panicking_job_is_contained_by_the_pool() {
             assert_eq!(*result.as_ref().unwrap(), i * i);
         }
     }
+}
+
+/// A retry policy with microsecond backoffs, so fault tests stay fast.
+fn fast_retries(retries: u32) -> RetryPolicy {
+    RetryPolicy::with_retries(retries)
+        .backoff(Duration::from_micros(10), Duration::from_micros(100))
+}
+
+fn marked_bytes(outcomes: &[pathmark::fleet::batch::EmbedOutcome]) -> Vec<Option<Vec<u8>>> {
+    outcomes
+        .iter()
+        .map(|o| o.marked.as_ref().map(encode_program))
+        .collect()
+}
+
+#[test]
+fn fault_transient_panic_is_recovered_by_retry() {
+    let sink = Arc::new(MemorySink::new());
+    let pool = WorkerPool::with_telemetry(3, Telemetry::new(sink.clone()));
+    let cache = TraceCache::new();
+    let jobs = manifest(6);
+    let options = BatchOptions {
+        retry: fast_retries(2),
+        deadline: None,
+        faults: FaultPlan::for_tests().with_fault(1, Fault::Panic { attempts: 1 }),
+    };
+    let outcomes = embed_batch_with(
+        &host_program(),
+        &batch_embedder(),
+        &jobs,
+        &pool,
+        &cache,
+        &options,
+        |_| {},
+    )
+    .unwrap();
+    assert!(
+        outcomes.iter().all(|o| o.report.status.is_ok()),
+        "the injected panic heals on retry: {:?}",
+        outcomes.iter().map(|o| &o.report).collect::<Vec<_>>()
+    );
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let expected = if i == 1 { 2 } else { 1 };
+        assert_eq!(outcome.report.attempts, expected, "job {i}");
+    }
+    assert_eq!(sink.counter(Counter::Retry), 1);
+
+    // A recovered batch is bit-identical to one that never faulted.
+    let clean_pool = WorkerPool::new(3);
+    let clean_cache = TraceCache::new();
+    let clean =
+        embed_batch(&host_program(), &batch_embedder(), &jobs, &clean_pool, &clean_cache).unwrap();
+    assert_eq!(marked_bytes(&outcomes), marked_bytes(&clean));
+}
+
+#[test]
+fn fault_permanent_failure_is_reported_without_retrying() {
+    let sink = Arc::new(MemorySink::new());
+    let pool = WorkerPool::with_telemetry(2, Telemetry::new(sink.clone()));
+    let cache = TraceCache::new();
+    let jobs = manifest(4);
+    let options = BatchOptions {
+        retry: fast_retries(5),
+        deadline: None,
+        faults: FaultPlan::for_tests().with_fault(0, Fault::PermanentError),
+    };
+    let outcomes = embed_batch_with(
+        &host_program(),
+        &batch_embedder(),
+        &jobs,
+        &pool,
+        &cache,
+        &options,
+        |_| {},
+    )
+    .unwrap();
+    match &outcomes[0].report.status {
+        JobStatus::Failed(why) => assert!(why.contains("injected permanent fault"), "{why}"),
+        other => panic!("expected Failed, got {other}"),
+    }
+    assert_eq!(
+        outcomes[0].report.attempts, 1,
+        "a permanent failure burns no retry budget"
+    );
+    assert!(outcomes[0].marked.is_none());
+    assert!(outcomes[1..].iter().all(|o| o.report.status.is_ok()));
+    assert_eq!(sink.counter(Counter::Retry), 0);
+}
+
+#[test]
+fn fault_persistent_panic_exhausts_the_retry_budget() {
+    let sink = Arc::new(MemorySink::new());
+    let pool = WorkerPool::with_telemetry(2, Telemetry::new(sink.clone()));
+    let cache = TraceCache::new();
+    let jobs = manifest(3);
+    let options = BatchOptions {
+        retry: fast_retries(2),
+        deadline: None,
+        faults: FaultPlan::for_tests().with_fault(2, Fault::Panic { attempts: 10 }),
+    };
+    let outcomes = embed_batch_with(
+        &host_program(),
+        &batch_embedder(),
+        &jobs,
+        &pool,
+        &cache,
+        &options,
+        |_| {},
+    )
+    .unwrap();
+    match &outcomes[2].report.status {
+        JobStatus::Failed(why) => assert!(why.contains("injected panic"), "{why}"),
+        other => panic!("expected Failed, got {other}"),
+    }
+    assert_eq!(outcomes[2].report.attempts, 3, "1 attempt + 2 retries");
+    assert_eq!(sink.counter(Counter::Retry), 2);
+    assert!(outcomes[..2].iter().all(|o| o.report.status.is_ok()));
+}
+
+#[test]
+fn fault_timeout_reports_timed_out_without_stalling_siblings() {
+    let sink = Arc::new(MemorySink::new());
+    let pool = WorkerPool::with_telemetry(2, Telemetry::new(sink.clone()));
+    let cache = TraceCache::new();
+    let jobs = manifest(6);
+    let options = BatchOptions {
+        retry: RetryPolicy::none(),
+        deadline: Some(Duration::from_millis(200)),
+        faults: FaultPlan::for_tests().with_fault(1, Fault::Delay(Duration::from_secs(8))),
+    };
+    let outcomes = embed_batch_with(
+        &host_program(),
+        &batch_embedder(),
+        &jobs,
+        &pool,
+        &cache,
+        &options,
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(outcomes[1].report.status, JobStatus::TimedOut);
+    assert_eq!(outcomes[1].report.attempts, 0, "never completed an attempt");
+    assert_eq!(outcomes[1].report.wall_ms, 0, "deterministic synthetic line");
+    assert!(outcomes[1].marked.is_none());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i != 1 {
+            assert!(outcome.report.status.is_ok(), "sibling {i}: {:?}", outcome.report);
+        }
+    }
+    assert_eq!(sink.counter(Counter::JobTimeout), 1);
+    assert!(sink.counter(Counter::WorkerRespawn) >= 1);
+
+    // The replacement worker leaves the pool at full strength.
+    let again = embed_batch(&host_program(), &batch_embedder(), &manifest(4), &pool, &cache)
+        .unwrap();
+    assert!(again.iter().all(|o| o.report.status.is_ok()));
+}
+
+#[test]
+fn fault_injection_disabled_is_bit_identical_to_the_plain_batch() {
+    let pool = WorkerPool::new(3);
+    let cache = TraceCache::new();
+    let jobs = manifest(8);
+    let plain = embed_batch(&host_program(), &batch_embedder(), &jobs, &pool, &cache).unwrap();
+    let with_options = embed_batch_with(
+        &host_program(),
+        &batch_embedder(),
+        &jobs,
+        &pool,
+        &cache,
+        &BatchOptions {
+            retry: fast_retries(3),
+            deadline: Some(Duration::from_secs(60)),
+            faults: FaultPlan::none(),
+        },
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(marked_bytes(&plain), marked_bytes(&with_options));
+    for (a, b) in plain.iter().zip(&with_options) {
+        assert_eq!(a.report.job_id, b.report.job_id);
+        assert_eq!(a.report.watermark_hex, b.report.watermark_hex);
+        assert_eq!(a.report.seed, b.report.seed);
+        assert_eq!(a.report.status, b.report.status);
+        assert_eq!(a.report.attempts, b.report.attempts);
+    }
+}
+
+/// Renders reports with `wall_ms` zeroed: the one nondeterministic
+/// field, irrelevant to resume correctness.
+fn normalized_lines(reports: &[JobReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.wall_ms = 0;
+            r.to_line()
+        })
+        .collect()
+}
+
+#[test]
+fn fault_kill_and_resume_reproduces_the_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("pathmark-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = manifest(8);
+
+    // The reference: one uninterrupted run, streamed and finalized.
+    let full_path = dir.join("full.jsonl");
+    {
+        let pool = WorkerPool::new(3);
+        let cache = TraceCache::new();
+        let mut writer = ReportWriter::create(&full_path).unwrap();
+        let outcomes = embed_batch_with(
+            &host_program(),
+            &batch_embedder(),
+            &jobs,
+            &pool,
+            &cache,
+            &BatchOptions::default(),
+            |o| writer.append(&o.report).unwrap(),
+        )
+        .unwrap();
+        let ordered: Vec<JobReport> = outcomes.iter().map(|o| o.report.clone()).collect();
+        writer.finalize(&ordered).unwrap();
+    }
+
+    // The interrupted run: the first three jobs settle, then the
+    // process "dies" (writer dropped, never finalized) mid-writing a
+    // fourth, torn line.
+    let resumed_path = dir.join("resumed.jsonl");
+    {
+        let pool = WorkerPool::new(3);
+        let cache = TraceCache::new();
+        let mut writer = ReportWriter::create(&resumed_path).unwrap();
+        let outcomes = embed_batch_with(
+            &host_program(),
+            &batch_embedder(),
+            &jobs[..3],
+            &pool,
+            &cache,
+            &BatchOptions::default(),
+            |o| writer.append(&o.report).unwrap(),
+        )
+        .unwrap();
+        use std::io::Write;
+        let torn = &outcomes[0].report.to_line()[..14];
+        let mut partial = std::fs::OpenOptions::new()
+            .append(true)
+            .open(writer.partial_path())
+            .unwrap();
+        partial.write_all(torn.as_bytes()).unwrap();
+        // No finalize: the crash leaves only the partial sidecar.
+    }
+
+    // The resumed run: picks up the three settled jobs from the
+    // sidecar, runs only the remaining five, finalizes the full report.
+    {
+        let pool = WorkerPool::new(3);
+        let cache = TraceCache::new();
+        let (mut writer, recorded) = ReportWriter::resume(&resumed_path).unwrap();
+        assert_eq!(recorded.len(), 3, "three settled jobs survive the crash");
+        let done: Vec<&str> = recorded.iter().map(|r| r.job_id.as_str()).collect();
+        let pending: Vec<EmbedJobSpec> = jobs
+            .iter()
+            .filter(|j| !done.contains(&j.job_id.as_str()))
+            .cloned()
+            .collect();
+        assert_eq!(pending.len(), 5);
+        let outcomes = embed_batch_with(
+            &host_program(),
+            &batch_embedder(),
+            &pending,
+            &pool,
+            &cache,
+            &BatchOptions::default(),
+            |o| writer.append(&o.report).unwrap(),
+        )
+        .unwrap();
+        let mut by_id: std::collections::HashMap<String, JobReport> = recorded
+            .into_iter()
+            .chain(outcomes.into_iter().map(|o| o.report))
+            .map(|r| (r.job_id.clone(), r))
+            .collect();
+        let ordered: Vec<JobReport> = jobs
+            .iter()
+            .map(|j| by_id.remove(&j.job_id).expect("every job settled"))
+            .collect();
+        writer.finalize(&ordered).unwrap();
+    }
+
+    // Modulo wall_ms (the one nondeterministic field), the resumed
+    // report is line-for-line identical to the uninterrupted one.
+    let full = parse_report(&std::fs::read_to_string(&full_path).unwrap()).unwrap();
+    let resumed = parse_report(&std::fs::read_to_string(&resumed_path).unwrap()).unwrap();
+    assert_eq!(normalized_lines(&full), normalized_lines(&resumed));
+    let _ = std::fs::remove_dir_all(&dir);
 }

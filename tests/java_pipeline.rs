@@ -9,6 +9,9 @@ use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
 use pathmark::workloads::java as workloads;
 
+/// A named in-place program transformation from the attack suite.
+type BoxedAttack = Box<dyn Fn(&mut Program)>;
+
 fn key_for(input: Vec<i64>) -> WatermarkKey {
     WatermarkKey::new(0x0123_4567_89AB, input)
 }
@@ -57,7 +60,7 @@ fn watermark_survives_the_distortive_suite() {
     let marked = embed(&workload, &watermark, &key, &config).unwrap();
     let expected = output_of(&workload, &[40]);
 
-    let suite: Vec<(&str, Box<dyn Fn(&mut Program)>)> = vec![
+    let suite: Vec<(&str, BoxedAttack)> = vec![
         ("nops", Box::new(|p: &mut Program| attacks::insert_nops(p, 400, 1))),
         (
             "inversion",

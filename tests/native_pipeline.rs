@@ -148,7 +148,7 @@ fn attack_double_watermarking_breaks_marked_binaries() {
     // Section 5.2.2 attack 3: re-watermarking moves text addresses.
     let s = setup("vpr", 32, 3);
     let attacker_key = WatermarkKey::new(
-        0xE711_1D,
+        0x00E7_111D,
         s.workload
             .training_input
             .iter()
