@@ -64,7 +64,7 @@ pub fn vote_ablation(quick: bool) -> Vec<VoteAblation> {
         .expect("runs")
         .trace;
     // Real trace bits followed by a long random tail.
-    let mut bits: Vec<bool> = BitString::from_trace(&trace).bits().to_vec();
+    let mut bits: Vec<bool> = BitString::from_trace(&trace).to_bools();
     let mut rng = Prng::from_seed(0xAB1);
     let noise = if quick { 400_000 } else { 4_000_000 };
     bits.extend((0..noise).map(|_| rng.chance(0.5)));

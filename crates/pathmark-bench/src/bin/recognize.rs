@@ -1,0 +1,26 @@
+//! Regenerates the recognition-engine stage table and the
+//! machine-readable `BENCH_recognize.json` next to the current
+//! directory.
+//! `cargo run --release -p pathmark-bench --bin recognize [-- --quick]`
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bench = pathmark_bench::recognize::bench(quick);
+    print!("{}", pathmark_bench::recognize::render(&bench));
+
+    let generated_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = pathmark_bench::recognize::to_json(&bench, generated_unix);
+    let path = "BENCH_recognize.json";
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,12 +16,14 @@
 //! | [`fig9`] | Fig. 9(a,b) — native size and time cost per SPEC-like program |
 //! | [`tables`] | Sec. 5.1.2 / 5.2.2 attack matrices |
 //! | [`fleet`] | batch fingerprinting throughput (Section 2's deployment model) |
+//! | [`recognize`] | recognition-engine stage costs (Section 3.3's scan, packed) |
 
 pub mod ablations;
 pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod recognize;
 pub mod tables;
 
 /// Standard secret inputs used across experiments (kept here so every

@@ -1,4 +1,4 @@
-//! The trace bit-string of Section 3.1.
+//! The trace bit-string of Section 3.1, stored packed.
 //!
 //! > "For each conditional branch instruction *i* that occurs in the
 //! > trace, we find its first occurrence, and find the block *j* that
@@ -12,23 +12,117 @@
 //! inversion, and insertion/deletion of non-branch instructions; adding
 //! or removing branches has only local effect — the properties the
 //! paper's resilience argument rests on.
+//!
+//! # Packed layout
+//!
+//! Bits are stored in `u64` words, bit `i` at `words[i / 64]`, position
+//! `i % 64` (LSB-first). Unused high bits of the last word are always
+//! zero. Recognition's hot loop (Section 3.3 decrypts *every* sliding
+//! 64-bit window) reads this layout directly:
+//!
+//! * [`BitString::window_u64`] is a constant-time two-word extract, so
+//!   the scan no longer gathers 64 `bool`s per offset;
+//! * [`BitString::windows`] rolls the window one bit per offset;
+//! * [`BitString::next_set_bit`] / [`BitString::next_clear_bit`] find
+//!   run boundaries a word at a time, letting the scan skip constant
+//!   all-zero/all-one stretches without touching the cipher.
+//!
+//! The words live behind an `Arc`, so cloning a `BitString` — e.g. to
+//! hand shards of one trace to a worker pool — shares the storage
+//! instead of copying the whole string.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use stackvm::trace::{Site, Trace};
 
-/// The decoded bit-string of a trace.
+use crate::hash::FxBuildHasher;
+
+/// The decoded bit-string of a trace, packed 64 bits to a word.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BitString {
-    bits: Vec<bool>,
+    /// Bit `i` lives at `words[i / 64] >> (i % 64) & 1`; bits past
+    /// `len` in the last word are zero.
+    words: Arc<[u64]>,
+    len: usize,
+}
+
+/// Incremental builder: packs bits into words as they are appended, so
+/// decoding a trace never materializes a `Vec<bool>`.
+#[derive(Debug, Clone, Default)]
+pub struct BitStringBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitStringBuilder {
+    /// An empty builder.
+    pub fn new() -> BitStringBuilder {
+        BitStringBuilder::default()
+    }
+
+    /// A builder expecting about `bits` bits.
+    pub fn with_capacity(bits: usize) -> BitStringBuilder {
+        BitStringBuilder {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if bit {
+            *self.words.last_mut().expect("just ensured a word") |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freezes the builder into an immutable, sharable [`BitString`].
+    pub fn finish(self) -> BitString {
+        BitString {
+            words: self.words.into(),
+            len: self.len,
+        }
+    }
+}
+
+impl Extend<bool> for BitStringBuilder {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> BitString {
+        let mut b = BitStringBuilder::new();
+        b.extend(iter);
+        b.finish()
+    }
 }
 
 impl BitString {
     /// Decodes a trace (its dynamic conditional-branch sequence) into
     /// bits by the first-followed-by rule.
     pub fn from_trace(trace: &Trace) -> BitString {
-        let mut first_follow: HashMap<Site, usize> = HashMap::new();
-        let mut bits = Vec::new();
+        // One lookup per dynamic branch — the FxHash state keeps this
+        // linear pass from being dominated by SipHash (see [`crate::hash`]).
+        let mut first_follow: HashMap<Site, usize, FxBuildHasher> = HashMap::default();
+        let mut bits = BitStringBuilder::new();
         for (site, next) in trace.branch_sequence() {
             match first_follow.get(&site) {
                 None => {
@@ -38,55 +132,156 @@ impl BitString {
                 Some(&reference) => bits.push(next != reference),
             }
         }
-        BitString { bits }
+        bits.finish()
     }
 
     /// Builds a bit-string directly from bits (tests and experiments).
     pub fn from_bits(bits: Vec<bool>) -> BitString {
-        BitString { bits }
+        bits.into_iter().collect()
     }
 
-    /// The bits, in trace order.
-    pub fn bits(&self) -> &[bool] {
-        &self.bits
+    /// The bit at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The bits unpacked into a `Vec<bool>`, in trace order (tests and
+    /// experiments that perturb individual bits).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.bit(i)).collect()
+    }
+
+    /// The packed words, bit `i` at `words[i / 64]`, LSB-first; unused
+    /// high bits of the last word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Number of bits.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.len
     }
 
     /// Whether the string is empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.len == 0
+    }
+
+    /// Number of sliding 64-bit windows, `max(len - 63, 0)`.
+    pub fn num_windows(&self) -> usize {
+        self.len.saturating_sub(63)
     }
 
     /// The 64-bit word starting at `offset`, first bit least
-    /// significant; `None` past the end.
+    /// significant; `None` past the end. Constant-time: one or two word
+    /// reads, never a per-bit gather.
     pub fn window_u64(&self, offset: usize) -> Option<u64> {
-        if offset + 64 > self.bits.len() {
+        if offset + 64 > self.len {
             return None;
         }
-        let mut w = 0u64;
-        for (k, &b) in self.bits[offset..offset + 64].iter().enumerate() {
-            if b {
-                w |= 1u64 << k;
-            }
+        let (w, s) = (offset / 64, (offset % 64) as u32);
+        let lo = self.words[w] >> s;
+        // When the window is word-aligned (s == 0) the high word may not
+        // exist (offset + 64 == len at a word boundary) and contributes
+        // nothing; otherwise offset + 64 > 64·(w + 1) guarantees it does.
+        let hi = if s == 0 { 0 } else { self.words[w + 1] << (64 - s) };
+        Some(lo | hi)
+    }
+
+    /// Index of the first **1** bit at or after `from`, if any.
+    ///
+    /// Scans a word at a time over the packed storage, so skipping a
+    /// megabit all-zero run costs a few thousand word reads, not a
+    /// million bit reads.
+    pub fn next_set_bit(&self, from: usize) -> Option<usize> {
+        self.next_matching_bit(from, |w| w)
+    }
+
+    /// Index of the first **0** bit at or after `from`, if any.
+    pub fn next_clear_bit(&self, from: usize) -> Option<usize> {
+        self.next_matching_bit(from, |w| !w)
+    }
+
+    /// Shared word-at-a-time search: `lens` maps a raw word so that the
+    /// sought bit value reads as 1.
+    fn next_matching_bit(&self, from: usize, lens: impl Fn(u64) -> u64) -> Option<usize> {
+        if from >= self.len {
+            return None;
         }
-        Some(w)
+        let mut w = from / 64;
+        // Mask off bits before `from` in the first word.
+        let mut word = lens(self.words[w]) & (u64::MAX << (from % 64));
+        loop {
+            if word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                // `lens = !w` turns the zero padding past `len` into
+                // phantom set bits; reject hits beyond the string.
+                return (i < self.len).then_some(i);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = lens(self.words[w]);
+        }
     }
 
     /// Iterates over every sliding 64-bit window `B_0 = b_0…b_63`,
-    /// `B_1 = b_1…b_64`, … (Section 3.3, step one of recognition).
-    pub fn windows(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.bits.len().saturating_sub(63)).filter_map(|off| self.window_u64(off))
+    /// `B_1 = b_1…b_64`, … (Section 3.3, step one of recognition) by
+    /// rolling: each step shifts the previous window right one bit and
+    /// inserts the next bit at the top.
+    pub fn windows(&self) -> Windows<'_> {
+        Windows {
+            bits: self,
+            offset: 0,
+            window: self.window_u64(0).unwrap_or(0),
+        }
     }
 }
 
+/// Rolling iterator over sliding 64-bit windows; see
+/// [`BitString::windows`].
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    bits: &'a BitString,
+    offset: usize,
+    window: u64,
+}
+
+impl Iterator for Windows<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.offset >= self.bits.num_windows() {
+            return None;
+        }
+        let current = self.window;
+        let incoming = self.offset + 64;
+        if incoming < self.bits.len {
+            let bit = (self.bits.words[incoming / 64] >> (incoming % 64)) & 1;
+            self.window = (current >> 1) | (bit << 63);
+        }
+        self.offset += 1;
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.bits.num_windows() - self.offset.min(self.bits.num_windows());
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Windows<'_> {}
+
 impl std::fmt::Display for BitString {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for &b in &self.bits {
-            f.write_str(if b { "1" } else { "0" })?;
+        for i in 0..self.len {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
         }
         Ok(())
     }
@@ -114,7 +309,7 @@ mod tests {
             events: vec![branch(0, 5, 10)],
         };
         let bs = BitString::from_trace(&t);
-        assert_eq!(bs.bits(), &[false]);
+        assert_eq!(bs.to_bools(), &[false]);
     }
 
     #[test]
@@ -183,11 +378,93 @@ mod tests {
         assert_eq!(bs.windows().count(), 0);
         assert!(!bs.is_empty());
         assert_eq!(bs.len(), 63);
+        assert_eq!(bs.num_windows(), 0);
     }
 
     #[test]
     fn display_renders_bits() {
         let bs = BitString::from_bits(vec![false, true, true, false]);
         assert_eq!(bs.to_string(), "0110");
+    }
+
+    /// Reference implementation of `window_u64` over unpacked bools.
+    fn naive_window(bits: &[bool], offset: usize) -> Option<u64> {
+        if offset + 64 > bits.len() {
+            return None;
+        }
+        let mut w = 0u64;
+        for (k, &b) in bits[offset..offset + 64].iter().enumerate() {
+            if b {
+                w |= 1u64 << k;
+            }
+        }
+        Some(w)
+    }
+
+    #[test]
+    fn packed_windows_match_naive_reference() {
+        use pathmark_crypto::Prng;
+        let mut rng = Prng::from_seed(0xB17);
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 129, 1000] {
+            let bools: Vec<bool> = (0..len).map(|_| rng.chance(0.5)).collect();
+            let bs = BitString::from_bits(bools.clone());
+            assert_eq!(bs.len(), len);
+            for off in 0..=len {
+                assert_eq!(bs.window_u64(off), naive_window(&bools, off), "len {len} off {off}");
+            }
+            let rolled: Vec<u64> = bs.windows().collect();
+            let naive: Vec<u64> = (0..len.saturating_sub(63))
+                .map(|off| naive_window(&bools, off).unwrap())
+                .collect();
+            assert_eq!(rolled, naive, "len {len}");
+            assert_eq!(bs.to_bools(), bools);
+        }
+    }
+
+    #[test]
+    fn next_set_and_clear_bit_find_run_boundaries() {
+        let mut bools = vec![false; 300];
+        bools[0] = true;
+        bools[130] = true;
+        bools[131] = true;
+        let bs = BitString::from_bits(bools);
+        assert_eq!(bs.next_set_bit(0), Some(0));
+        assert_eq!(bs.next_set_bit(1), Some(130));
+        assert_eq!(bs.next_set_bit(131), Some(131));
+        assert_eq!(bs.next_set_bit(132), None);
+        assert_eq!(bs.next_set_bit(10_000), None);
+        assert_eq!(bs.next_clear_bit(0), Some(1));
+        assert_eq!(bs.next_clear_bit(130), Some(132));
+
+        let ones = BitString::from_bits(vec![true; 70]);
+        assert_eq!(ones.next_clear_bit(0), None, "padding is not a phantom 0");
+        assert_eq!(ones.next_set_bit(69), Some(69));
+        assert_eq!(BitString::default().next_set_bit(0), None);
+    }
+
+    #[test]
+    fn builder_matches_from_bits_and_clones_share_storage() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let mut builder = BitStringBuilder::with_capacity(200);
+        builder.extend(bools.iter().copied());
+        assert_eq!(builder.len(), 200);
+        assert!(!builder.is_empty());
+        let a = builder.finish();
+        let b = BitString::from_bits(bools);
+        assert_eq!(a, b);
+
+        let clone = a.clone();
+        assert!(
+            Arc::ptr_eq(&a.words, &clone.words),
+            "clone shares the packed words"
+        );
+    }
+
+    #[test]
+    fn trailing_word_bits_are_zero() {
+        // Eq relies on padding being deterministic.
+        let bs = BitString::from_bits(vec![true; 65]);
+        assert_eq!(bs.words().len(), 2);
+        assert_eq!(bs.words()[1], 1, "only bit 64 set in the second word");
     }
 }

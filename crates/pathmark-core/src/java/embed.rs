@@ -24,7 +24,6 @@
 
 use pathmark_crypto::Prng;
 use pathmark_math::crt::Statement;
-use pathmark_math::enumeration::PairEnumeration;
 use pathmark_telemetry::{Counter, Stage};
 use stackvm::edit::{insert_snippet, reserve_locals};
 use stackvm::insn::{BinOp, Cond, Insn};
@@ -159,8 +158,8 @@ impl Embedder {
         trace: &Trace,
     ) -> Result<MarkedProgram, WatermarkError> {
         let (key, config) = (&self.key, &self.config);
-        let primes = config.primes(key);
-        let enumeration = PairEnumeration::new(&primes)?;
+        let crypto = self.crypto()?;
+        let (enumeration, cipher) = (&crypto.enumeration, &crypto.cipher);
         let bound = enumeration.watermark_bound();
         if watermark.value() >= &bound {
             return Err(WatermarkError::WatermarkTooLarge {
@@ -168,7 +167,6 @@ impl Embedder {
                 max_bits: bound.bits() - 1,
             });
         }
-        let cipher = key.cipher();
         let mut rng = key.prng();
 
         // Step A: split into all distinct statements, shuffled; cycle to
@@ -512,7 +510,7 @@ mod tests {
         // guard's single 0.
         let window = bits.window_u64(1).expect("at least 65 bits");
         assert_eq!(window, block);
-        assert!(!bits.bits()[0], "primer bit is 0");
+        assert!(!bits.bit(0), "primer bit is 0");
     }
 
     #[test]

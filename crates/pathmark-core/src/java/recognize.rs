@@ -22,7 +22,6 @@ use std::collections::HashMap;
 
 use pathmark_math::bigint::BigUint;
 use pathmark_math::crt::{combine_statements, Statement};
-use pathmark_math::enumeration::PairEnumeration;
 use pathmark_telemetry::{Counter, Stage};
 use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
@@ -158,13 +157,158 @@ impl Recognizer {
         self.recognize_from_candidates(counts)
     }
 
-    /// The sliding-window candidate scan (see the [`window_candidates`]
-    /// free function for the sharding contract).
+    /// Phase one of the window scan: collect the *surviving window
+    /// values* of offsets `[start, end)` as a sorted `(value,
+    /// multiplicity)` run-length list, without touching the cipher.
     ///
-    /// Telemetry: one [`Stage::Scan`] span for the whole range, plus
-    /// [`Counter::WindowsScanned`] (windows examined) and
-    /// [`Counter::CandidatesDecoded`] (windows that decrypted and
-    /// decoded into a plausible statement).
+    /// The scan *rolls*: the 64-bit window is shifted one bit per
+    /// offset out of the packed words instead of being rebuilt, and
+    /// degenerate all-zero/all-one stretches are skipped in bulk by
+    /// jumping to the next run boundary
+    /// ([`BitString::next_set_bit`]/[`BitString::next_clear_bit`]). A
+    /// constant window is skipped — not merely cheaply rejected —
+    /// because a constant 64-bit run cannot be watermark ciphertext
+    /// except with probability `2^-63`, yet arises constantly from
+    /// monotone branches.
+    ///
+    /// The survivors are deduplicated (sort + run-length): trace
+    /// bit-strings are periodic wherever the program loops, so the same
+    /// 64-bit value recurs at many offsets, and downstream decryption
+    /// ([`Recognizer::candidates_from_survivors`]) only needs to see
+    /// each distinct value once.
+    ///
+    /// Telemetry: one [`Stage::Scan`] span, plus
+    /// [`Counter::WindowsScanned`] (windows examined, skipped ones
+    /// included) and [`Counter::WindowsSkipped`] (windows bypassed by
+    /// the constant-run pre-reject).
+    pub fn window_survivors(&self, bits: &BitString, start: usize, end: usize) -> Vec<(u64, u64)> {
+        let end = end.min(bits.num_windows());
+        let start = start.min(end);
+        let mut skipped = 0u64;
+        let runs = self.telemetry.time(Stage::Scan, || {
+            let words = bits.words();
+            // Upper bound: every window survives. Avoids doubling-copy
+            // churn on big traces (survivor counts are trace-sized).
+            let mut survivors: Vec<u64> = Vec::with_capacity(end - start);
+            let mut offset = start;
+            let mut window = match bits.window_u64(offset) {
+                Some(w) => w,
+                None => return Vec::new(), // start == end: empty range
+            };
+            while offset < end {
+                if window == 0 || window == u64::MAX {
+                    // Constant run: every window up to (just past) the
+                    // next flipped bit is equally constant. Jump there.
+                    let flip = if window == 0 {
+                        bits.next_set_bit(offset + 64)
+                    } else {
+                        bits.next_clear_bit(offset + 64)
+                    };
+                    // The first offset whose window contains the flip.
+                    let next = flip.map_or(end, |q| (q - 63).min(end)).max(offset + 1);
+                    skipped += (next - offset) as u64;
+                    offset = next;
+                    if offset < end {
+                        window = bits.window_u64(offset).expect("offset < num_windows");
+                    }
+                    continue;
+                }
+                survivors.push(window);
+                // Roll: shift the leaving bit out, the incoming bit in.
+                offset += 1;
+                if offset < end {
+                    let incoming = offset + 63;
+                    let bit = (words[incoming / 64] >> (incoming % 64)) & 1;
+                    window = (window >> 1) | (bit << 63);
+                }
+            }
+            // Run-length encode the sorted survivors.
+            survivors.sort_unstable();
+            let mut runs: Vec<(u64, u64)> = Vec::new();
+            for value in survivors {
+                match runs.last_mut() {
+                    Some((v, count)) if *v == value => *count += 1,
+                    _ => runs.push((value, 1)),
+                }
+            }
+            runs
+        });
+        self.telemetry
+            .count(Counter::WindowsScanned, (end - start) as u64);
+        self.telemetry.count(Counter::WindowsSkipped, skipped);
+        runs
+    }
+
+    /// Phase two of the window scan: decrypt each distinct surviving
+    /// window value once and decode it into a candidate statement,
+    /// summing the value's multiplicity into the statement's count —
+    /// exactly the multiset a decrypt-per-offset scan produces.
+    ///
+    /// `survivors` is a `(value, multiplicity)` list as produced by
+    /// [`Recognizer::window_survivors`] (or a concatenation of several
+    /// shards' lists — values may repeat across entries; repeats sum
+    /// into the same statement and hit the decode cache, not XTEA).
+    ///
+    /// A value's decode is a pure function of the session key, so the
+    /// session memoizes it (see `SessionCrypto::decode_cache`): a warm
+    /// session recognizing many copies of one host program pays XTEA
+    /// once per distinct value per *key*, not per copy — the host's own
+    /// loop windows repeat across fingerprinted copies.
+    ///
+    /// Telemetry: one [`Stage::Scan`] span (the scan's decryption half),
+    /// plus [`Counter::WindowsDecrypted`] (window values that actually
+    /// reached the cipher — cache hits are excluded, so a warm session
+    /// shows the memoization) and [`Counter::CandidatesDecoded`]
+    /// (candidate decodings, with multiplicity).
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::Math`] for prime-configuration errors.
+    pub fn candidates_from_survivors(
+        &self,
+        survivors: &[(u64, u64)],
+    ) -> Result<HashMap<Statement, u64>, WatermarkError> {
+        let crypto = self.crypto()?;
+        let (enumeration, cipher) = (&crypto.enumeration, &crypto.cipher);
+        let mut decrypted = 0u64;
+        let counts = self.telemetry.time(Stage::Scan, || {
+            let mut counts: HashMap<Statement, u64> = HashMap::new();
+            let mut cache = crypto
+                .decode_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.reserve(survivors.len());
+            for &(value, multiplicity) in survivors {
+                let decoded = if cache.len() < super::session::DECODE_CACHE_CAP {
+                    *cache.entry(value).or_insert_with(|| {
+                        decrypted += 1;
+                        enumeration.decode(cipher.decrypt(value)).ok()
+                    })
+                } else {
+                    match cache.get(&value) {
+                        Some(&decoded) => decoded,
+                        None => {
+                            decrypted += 1;
+                            enumeration.decode(cipher.decrypt(value)).ok()
+                        }
+                    }
+                };
+                if let Some(statement) = decoded {
+                    *counts.entry(statement).or_insert(0) += multiplicity;
+                }
+            }
+            counts
+        });
+        self.telemetry.count(Counter::WindowsDecrypted, decrypted);
+        self.telemetry
+            .count(Counter::CandidatesDecoded, counts.values().sum());
+        Ok(counts)
+    }
+
+    /// The sliding-window candidate scan (see the [`window_candidates`]
+    /// free function for the sharding contract): both phases —
+    /// [`Recognizer::window_survivors`] then
+    /// [`Recognizer::candidates_from_survivors`] — over one range.
     ///
     /// # Errors
     ///
@@ -175,32 +319,8 @@ impl Recognizer {
         start: usize,
         end: usize,
     ) -> Result<HashMap<Statement, u64>, WatermarkError> {
-        let primes = self.config.primes(&self.key);
-        let enumeration = PairEnumeration::new(&primes)?;
-        let cipher = self.key.cipher();
-
-        let num_windows = bits.len().saturating_sub(63);
-        let end = end.min(num_windows);
-        let start = start.min(end);
-        let counts = self.telemetry.time(Stage::Scan, || {
-            let mut counts: HashMap<Statement, u64> = HashMap::new();
-            for offset in start..end {
-                let window = bits.window_u64(offset).expect("offset < num_windows");
-                if window == 0 || window == u64::MAX {
-                    continue;
-                }
-                let decrypted = cipher.decrypt(window);
-                if let Ok(statement) = enumeration.decode(decrypted) {
-                    *counts.entry(statement).or_insert(0) += 1;
-                }
-            }
-            counts
-        });
-        self.telemetry
-            .count(Counter::WindowsScanned, (end - start) as u64);
-        self.telemetry
-            .count(Counter::CandidatesDecoded, counts.values().sum());
-        Ok(counts)
+        let survivors = self.window_survivors(bits, start, end);
+        self.candidates_from_survivors(&survivors)
     }
 }
 
@@ -236,47 +356,55 @@ impl Recognizer {
         &self,
         counts: HashMap<Statement, u64>,
     ) -> Result<Recognition, WatermarkError> {
-        let (key, config) = (&self.key, &self.config);
-        let primes = config.primes(key);
+        let config = &self.config;
+        let crypto = self.crypto()?;
+        let primes = &crypto.primes;
         let candidates = counts.len();
 
         // --- Vote on W mod p_i for each prime (clear winner = more than
-        // twice the second place). Skipped entirely when the
+        // twice the second place). One pass over the candidates tallies
+        // both of each statement's residues at once, instead of one
+        // full candidate pass per prime. Skipped entirely when the
         // configuration disables the prefilter (ablation studies).
         let mut filtered: Vec<(Statement, u64)> = self.telemetry.time(Stage::Vote, || {
             let mut winners: Vec<Option<u64>> = vec![None; primes.len()];
-            for (idx, &p) in primes.iter().enumerate().filter(|_| config.vote_prefilter) {
-                let mut tally: HashMap<u64, u64> = HashMap::new();
+            if config.vote_prefilter {
+                let mut tallies: Vec<HashMap<u64, u64>> = vec![HashMap::new(); primes.len()];
                 for (s, &c) in &counts {
-                    if let Some(r) = s.residue_mod_prime(idx, &primes) {
-                        *tally.entry(r).or_insert(0) += c.min(MAX_VOTE_WEIGHT);
+                    let weight = c.min(MAX_VOTE_WEIGHT);
+                    for idx in [s.i, s.j] {
+                        *tallies[idx].entry(s.x % primes[idx]).or_insert(0) += weight;
                     }
                 }
-                let mut best: Option<(u64, u64)> = None;
-                let mut second = 0u64;
-                for (&r, &c) in &tally {
-                    match best {
-                        None => best = Some((r, c)),
-                        Some((_, bc)) if c > bc => {
-                            second = bc;
-                            best = Some((r, c));
+                for (idx, tally) in tallies.iter().enumerate() {
+                    // Winner selection is order-independent: a residue
+                    // wins only with strictly more than twice the
+                    // runner-up's votes, and ties at the top never win.
+                    let mut best: Option<(u64, u64)> = None;
+                    let mut second = 0u64;
+                    for (&r, &c) in tally {
+                        match best {
+                            None => best = Some((r, c)),
+                            Some((_, bc)) if c > bc => {
+                                second = bc;
+                                best = Some((r, c));
+                            }
+                            Some(_) => second = second.max(c),
                         }
-                        Some(_) => second = second.max(c),
+                    }
+                    if let Some((r, c)) = best {
+                        if c > 2 * second {
+                            winners[idx] = Some(r);
+                        }
                     }
                 }
-                if let Some((r, c)) = best {
-                    if c > 2 * second {
-                        winners[idx] = Some(r);
-                    }
-                }
-                let _ = p;
             }
             counts
                 .into_iter()
                 .filter(|(s, _)| {
                     [s.i, s.j].iter().all(|&idx| match winners[idx] {
                         Some(w) => s
-                            .residue_mod_prime(idx, &primes)
+                            .residue_mod_prime(idx, primes)
                             .expect("statement mentions idx")
                             == w,
                         None => true,
@@ -295,28 +423,66 @@ impl Recognizer {
 
             let statements: Vec<Statement> = filtered.iter().map(|&(s, _)| s).collect();
             let n = statements.len();
+
+            // Pair generation is bucketed by prime: only statements
+            // sharing a prime can be G- or H-adjacent (disjoint pairs
+            // have no shared residue to compare), so instead of testing
+            // all n² pairs we test pairs within each prime's bucket. A
+            // pair sharing *both* primes appears in two buckets; it is
+            // processed only in the bucket of its smaller shared prime.
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); primes.len()];
+            for (v, s) in statements.iter().enumerate() {
+                buckets[s.i].push(v);
+                buckets[s.j].push(v);
+            }
             let mut g: Vec<Vec<usize>> = vec![Vec::new(); n];
             let mut h_degree: Vec<usize> = vec![0; n];
-            for a in 0..n {
-                for b in (a + 1)..n {
-                    if statements[a].inconsistent_with(&statements[b], &primes) {
-                        g[a].push(b);
-                        g[b].push(a);
-                    } else if statements[a].agrees_with(&statements[b], &primes) {
-                        h_degree[a] += 1;
-                        h_degree[b] += 1;
+            for (k, bucket) in buckets.iter().enumerate() {
+                for (pos, &a) in bucket.iter().enumerate() {
+                    let (sa, sb_range) = (statements[a], &bucket[pos + 1..]);
+                    for &b in sb_range {
+                        let sb = statements[b];
+                        let min_shared = [sa.i, sa.j]
+                            .iter()
+                            .filter(|&&p| p == sb.i || p == sb.j)
+                            .min()
+                            .copied()
+                            .expect("bucket mates share prime k");
+                        if min_shared != k {
+                            continue; // handled in the other bucket
+                        }
+                        if sa.inconsistent_with(&sb, primes) {
+                            g[a].push(b);
+                            g[b].push(a);
+                        } else if sa.agrees_with(&sb, primes) {
+                            h_degree[a] += 1;
+                            h_degree[b] += 1;
+                        }
                     }
                 }
             }
+            // The pre-bucketing implementation emitted adjacency lists
+            // in ascending vertex order; restore that so the degenerate
+            // edge-pick below stays bit-identical.
+            let mut live_edges = 0usize;
+            for adj in &mut g {
+                adj.sort_unstable();
+                live_edges += adj.len();
+            }
+            live_edges /= 2;
+
+            // Peeling loop, with the edge count maintained
+            // incrementally: killing a vertex subtracts its live degree
+            // instead of rescanning the whole graph per iteration.
             let mut alive = vec![true; n];
             let mut in_u = vec![false; n];
-            let g_has_edges = |alive: &[bool], g: &[Vec<usize>]| {
-                alive
-                    .iter()
-                    .enumerate()
-                    .any(|(v, &a)| a && g[v].iter().any(|&w| alive[w]))
+            let kill = |w: usize, alive: &mut [bool], live_edges: &mut usize| {
+                if alive[w] {
+                    alive[w] = false;
+                    *live_edges -= g[w].iter().filter(|&&u| alive[u]).count();
+                }
             };
-            while g_has_edges(&alive, &g) {
+            while live_edges > 0 {
                 // Highest H-degree vertex not yet processed.
                 let pick = (0..n)
                     .filter(|&v| alive[v] && !in_u[v])
@@ -325,7 +491,7 @@ impl Recognizer {
                     Some(v) => {
                         in_u[v] = true;
                         for &w in &g[v] {
-                            alive[w] = false;
+                            kill(w, &mut alive, &mut live_edges);
                         }
                     }
                     None => {
@@ -343,9 +509,9 @@ impl Recognizer {
                                     .map(move |&w| (v, w))
                             })
                             .next()
-                            .expect("g_has_edges implies an edge exists");
+                            .expect("live_edges > 0 implies an edge exists");
                         let drop = if h_degree[a] <= h_degree[b] { a } else { b };
-                        alive[drop] = false;
+                        kill(drop, &mut alive, &mut live_edges);
                     }
                 }
             }
@@ -360,7 +526,7 @@ impl Recognizer {
             if survivors.is_empty() || primes.len() < 2 {
                 Ok((BigUint::zero(), BigUint::one()))
             } else {
-                combine_statements(&survivors, &primes)
+                combine_statements(&survivors, primes)
             }
         })?;
         let covered: Vec<bool> = (0..primes.len())
@@ -479,7 +645,7 @@ mod tests {
             TraceConfig::branches_only(),
         )
         .unwrap();
-        let mut bits: Vec<bool> = BitString::from_trace(&trace).bits().to_vec();
+        let mut bits: Vec<bool> = BitString::from_trace(&trace).to_bools();
         // Flip 2% of bits pseudo-randomly.
         let mut rng = Prng::from_seed(77);
         let flips = bits.len() / 50;

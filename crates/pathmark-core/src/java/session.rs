@@ -47,13 +47,74 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pathmark_crypto::Xtea;
+use pathmark_math::crt::Statement;
+use pathmark_math::enumeration::PairEnumeration;
 use pathmark_telemetry::Telemetry;
 
 use super::JavaConfig;
+use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
-use crate::ConfigError;
+use crate::{ConfigError, WatermarkError};
 
-/// An embedding session: one key + validated config + telemetry handle.
+/// Ceiling on memoized window decodes (~24 MB of table at the cap).
+/// Once full the cache stops admitting new values but keeps serving
+/// hits; recognition stays correct, merely uncached for the overflow.
+pub(crate) const DECODE_CACHE_CAP: usize = 1 << 20;
+
+/// Key-derived state every embed/recognize call needs: the prime set,
+/// the statement enumeration over it, and the block cipher.
+///
+/// Deriving these is not free — prime generation runs Miller–Rabin over
+/// candidate streams, and the enumeration validates pairwise
+/// coprimality — and before sessions cached them, *every*
+/// `window_candidates` call re-derived all three (once per shard per
+/// copy on the sharded path). Sessions now derive them once at
+/// [`Embedder::builder`]-`build()` / [`Recognizer::with_key`] time and
+/// share them via `Arc`.
+#[derive(Debug)]
+pub(crate) struct SessionCrypto {
+    /// The prime set `p_1, …, p_r` for the session key.
+    pub(crate) primes: Vec<u64>,
+    /// The statement ↔ integer bijection over `primes`.
+    pub(crate) enumeration: PairEnumeration,
+    /// The key's block cipher.
+    pub(crate) cipher: Xtea,
+    /// Memoized window decodes: window value → what it decrypts and
+    /// decodes to under this key (`None` = garbage). The mapping is a
+    /// pure function of the key, so it is shared by every copy a warm
+    /// session recognizes — and fingerprinted copies of one host
+    /// program repeat most of their trace windows (the host's own loop
+    /// structure is identical across copies), so batch recognition
+    /// pays XTEA once per *distinct value per key*, not per copy.
+    /// Bounded by [`DECODE_CACHE_CAP`].
+    pub(crate) decode_cache: Mutex<HashMap<u64, Option<Statement>, FxBuildHasher>>,
+}
+
+impl SessionCrypto {
+    /// Derives the cached state for a key under a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::Math`] if the prime configuration does not
+    /// admit an enumeration (cannot happen for a validated config).
+    pub(crate) fn derive(key: &WatermarkKey, config: &JavaConfig) -> Result<Self, WatermarkError> {
+        let primes = config.primes(key);
+        let enumeration = PairEnumeration::new(&primes)?;
+        Ok(SessionCrypto {
+            primes,
+            enumeration,
+            cipher: key.cipher(),
+            decode_cache: Mutex::new(HashMap::default()),
+        })
+    }
+}
+
+/// An embedding session: one key + validated config + telemetry handle,
+/// plus the cached key-derived crypto state ([`SessionCrypto`]).
 ///
 /// Cheap to clone and `Send + Sync`, so a batch engine can derive one
 /// per-copy session per job (see [`Embedder::with_key`]) while all of
@@ -63,6 +124,7 @@ pub struct Embedder {
     pub(crate) key: WatermarkKey,
     pub(crate) config: JavaConfig,
     pub(crate) telemetry: Telemetry,
+    pub(crate) crypto: Option<Arc<SessionCrypto>>,
 }
 
 /// A recognition session: the mirror image of [`Embedder`].
@@ -71,6 +133,7 @@ pub struct Recognizer {
     pub(crate) key: WatermarkKey,
     pub(crate) config: JavaConfig,
     pub(crate) telemetry: Telemetry,
+    pub(crate) crypto: Option<Arc<SessionCrypto>>,
 }
 
 /// Shared validation for both session builders.
@@ -95,12 +158,27 @@ macro_rules! session_impl {
 
             /// An unvalidated session with no telemetry — the legacy
             /// free functions route through this so their (lenient)
-            /// behavior is unchanged.
+            /// behavior is unchanged. Crypto derivation failures are
+            /// deferred: they surface from the first call that needs
+            /// the primes, exactly as before sessions cached them.
             pub(crate) fn unchecked(key: WatermarkKey, config: JavaConfig) -> $session {
+                let crypto = SessionCrypto::derive(&key, &config).ok().map(Arc::new);
                 $session {
                     key,
                     config,
                     telemetry: Telemetry::null(),
+                    crypto,
+                }
+            }
+
+            /// The cached key-derived state, or a fresh derivation when
+            /// construction deferred a failure (only possible on the
+            /// unvalidated legacy path — the fresh attempt then yields
+            /// the error the caller expects).
+            pub(crate) fn crypto(&self) -> Result<Arc<SessionCrypto>, WatermarkError> {
+                match &self.crypto {
+                    Some(crypto) => Ok(Arc::clone(crypto)),
+                    None => SessionCrypto::derive(&self.key, &self.config).map(Arc::new),
                 }
             }
 
@@ -123,12 +201,16 @@ macro_rules! session_impl {
             /// and telemetry sink) — the fleet uses this for per-copy
             /// keys. No re-validation of the input: batch engines derive
             /// per-copy keys from an already-validated base key and
-            /// never change the input sequence.
+            /// never change the input sequence. The crypto cache is
+            /// re-derived for the new key (primes and cipher are
+            /// key-dependent), once, here — not per call downstream.
             pub fn with_key(&self, key: WatermarkKey) -> $session {
+                let crypto = SessionCrypto::derive(&key, &self.config).ok().map(Arc::new);
                 $session {
                     key,
                     config: self.config.clone(),
                     telemetry: self.telemetry.clone(),
+                    crypto,
                 }
             }
         }
@@ -156,10 +238,15 @@ macro_rules! session_impl {
             /// configuration defect [`JavaConfig::validate`] rejects.
             pub fn build(self) -> Result<$session, ConfigError> {
                 validate_session(&self.key, &self.config)?;
+                // A validated config always admits an enumeration
+                // (validate() bounds the pair-product sum), so this
+                // derivation cannot fail; `.ok()` is for type shape.
+                let crypto = SessionCrypto::derive(&self.key, &self.config).ok().map(Arc::new);
                 Ok($session {
                     key: self.key,
                     config: self.config,
                     telemetry: self.telemetry,
+                    crypto,
                 })
             }
         }
@@ -214,6 +301,22 @@ mod tests {
         assert_eq!(derived.key().seed, 99);
         assert_eq!(derived.config(), &config);
         assert!(derived.telemetry().enabled());
+    }
+
+    #[test]
+    fn sessions_cache_key_derived_crypto() {
+        let config = JavaConfig::for_watermark_bits(64);
+        let session = Recognizer::builder(key(), config.clone()).build().unwrap();
+        let a = session.crypto().unwrap();
+        let b = session.crypto().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat calls share one derivation");
+        assert_eq!(a.primes, config.primes(&key()));
+        assert_eq!(a.enumeration.primes(), a.primes.as_slice());
+        assert_eq!(a.cipher, key().cipher());
+
+        let derived = session.with_key(WatermarkKey::new(99, vec![1, 2]));
+        let c = derived.crypto().unwrap();
+        assert_ne!(c.primes, a.primes, "a new key re-derives its primes");
     }
 
     #[test]

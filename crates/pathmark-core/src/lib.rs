@@ -67,6 +67,7 @@
 
 pub mod baseline;
 pub mod bitstring;
+pub mod hash;
 pub mod java;
 pub mod key;
 pub mod native;

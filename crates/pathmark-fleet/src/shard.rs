@@ -5,26 +5,44 @@
 //! of the window scan (voting, the consistency graphs, Generalized CRT)
 //! consumes an *unordered multiset* of candidate statements. So the scan
 //! parallelizes embarrassingly: partition the window **start offsets**
-//! into disjoint contiguous ranges, run
-//! [`Recognizer::window_candidates`] on each range on the worker pool,
-//! and merge the returned multiplicity maps by summing (reported to
-//! telemetry as [`Stage::Merge`] on a telemetry-carrying session). The
-//! merged map equals a serial scan of the full range, making
-//! [`recognize_sharded`] bit-identical to
+//! into disjoint contiguous ranges and run
+//! [`Recognizer::window_survivors`] on each range on the worker pool.
+//! The shards return sorted `(window value, multiplicity)` run-length
+//! lists — *before* any cryptography — which are concatenated (reported
+//! to telemetry as [`Stage::Merge`] on a telemetry-carrying session)
+//! and handed to one [`Recognizer::candidates_from_survivors`] pass.
+//! That pass sums multiplicities per decoded statement and memoizes
+//! decodes in the session's cache, so a value repeated across shards
+//! contributes the same count as in a serial scan and still reaches
+//! XTEA only once. The resulting candidate map equals a serial scan of
+//! the full range, making [`recognize_sharded`] bit-identical to
 //! [`Recognizer::recognize_bits`] by construction — a property the
 //! integration tests assert on every pipeline fixture.
-
-use std::collections::HashMap;
-use std::sync::Arc;
 
 use pathmark_core::bitstring::BitString;
 use pathmark_core::java::{Recognition, Recognizer};
 use pathmark_core::WatermarkError;
-use pathmark_math::crt::Statement;
 use pathmark_telemetry::Stage;
 use stackvm::Program;
 
 use crate::pool::WorkerPool;
+
+/// Concatenates the shards' `(value, multiplicity)` run-length lists.
+///
+/// No value-level merge is needed: `candidates_from_survivors` sums
+/// multiplicities per decoded statement, so a value that appears in
+/// several shards contributes the same total either way, and the
+/// session decode cache guarantees it still reaches XTEA only once.
+/// Concatenation keeps the merge stage O(total entries) with no
+/// comparisons at all.
+fn merge_runs(lists: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    let total = lists.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for list in lists {
+        merged.extend(list);
+    }
+    merged
+}
 
 /// Recognition over an already-decoded bit-string, with the window scan
 /// split into `shards` parallel chunks. Output is bit-identical to
@@ -52,24 +70,27 @@ pub fn recognize_sharded(
         .filter(|&(start, end)| start < end)
         .collect();
 
-    let bits = Arc::new(bits.clone());
+    // `BitString` clones share their packed word storage (`Arc<[u64]>`
+    // internally), so handing every shard its own handle is O(1) — no
+    // O(trace) copy of the bit-string per recognition.
+    let bits = bits.clone();
     let shard_session = session.clone();
     let scanned = pool.run_all(ranges, move |_, (start, end)| {
-        shard_session.window_candidates(&bits, start, end)
+        shard_session.window_survivors(&bits, start, end)
     });
 
     let merged = session.telemetry().time(Stage::Merge, || {
-        let mut merged: HashMap<Statement, u64> = HashMap::new();
-        for result in scanned {
-            let counts = result
-                .unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))?;
-            for (statement, count) in counts {
-                *merged.entry(statement).or_insert(0) += count;
-            }
-        }
-        Ok::<_, WatermarkError>(merged)
-    })?;
-    session.recognize_from_candidates(merged)
+        merge_runs(
+            scanned
+                .into_iter()
+                .map(|result| {
+                    result.unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))
+                })
+                .collect(),
+        )
+    });
+    let candidates = session.candidates_from_survivors(&merged)?;
+    session.recognize_from_candidates(candidates)
 }
 
 /// Traces a (possibly attacked) program on the secret input and runs
@@ -138,6 +159,20 @@ mod tests {
         let via_program =
             recognize_program_sharded(&marked.program, &session, 4, &pool).unwrap();
         assert_eq!(via_program, serial);
+    }
+
+    #[test]
+    fn merge_runs_concatenates_in_shard_order() {
+        assert_eq!(merge_runs(vec![]), vec![]);
+        assert_eq!(merge_runs(vec![vec![(5, 2)]]), vec![(5, 2)]);
+        let merged = merge_runs(vec![
+            vec![(1, 1), (4, 2)],
+            vec![],
+            vec![(4, 3), (7, 1)],
+        ]);
+        // Values repeating across shards stay separate entries; the
+        // decrypt pass sums their multiplicities per statement.
+        assert_eq!(merged, vec![(1, 1), (4, 2), (4, 3), (7, 1)]);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct PairEnumeration {
     /// `offsets[k]` = sum of pair products strictly before pair `k`;
     /// `offsets[pairs.len()]` = total range.
     offsets: Vec<u64>,
+    /// `offsets[pairs.len()]`, denormalized: [`PairEnumeration::decode`]
+    /// rejects almost every decrypted garbage window on this one
+    /// compare, so the recognition scan wants it in a register, not
+    /// behind a bounds-checked `last()`.
+    range: u64,
 }
 
 impl PairEnumeration {
@@ -87,6 +92,7 @@ impl PairEnumeration {
             primes: primes.to_vec(),
             pairs,
             offsets,
+            range: total,
         })
     }
 
@@ -107,7 +113,7 @@ impl PairEnumeration {
     /// valid statement is `range() / 2^64`; recognition relies on this
     /// being comfortably below 1.
     pub fn range(&self) -> u64 {
-        *self.offsets.last().expect("offsets is never empty")
+        self.range
     }
 
     /// Encodes a statement as a single integer (step B of Figure 3).

@@ -142,6 +142,11 @@ pub enum Counter {
     PoolPanic,
     /// Sliding windows examined by the candidate scan.
     WindowsScanned,
+    /// Windows bypassed by the constant-run pre-reject (all-zero or
+    /// all-one windows skipped in bulk without decrypting).
+    WindowsSkipped,
+    /// Windows that survived the pre-reject and reached the cipher.
+    WindowsDecrypted,
     /// Windows that decoded into a candidate statement.
     CandidatesDecoded,
     /// Watermark pieces inserted by the embedder.
@@ -157,11 +162,13 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 11] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
         Counter::WindowsScanned,
+        Counter::WindowsSkipped,
+        Counter::WindowsDecrypted,
         Counter::CandidatesDecoded,
         Counter::PiecesEmbedded,
         Counter::Retry,
@@ -176,6 +183,8 @@ impl Counter {
             Counter::CacheMiss => "cache_miss",
             Counter::PoolPanic => "pool_panic",
             Counter::WindowsScanned => "windows_scanned",
+            Counter::WindowsSkipped => "windows_skipped",
+            Counter::WindowsDecrypted => "windows_decrypted",
             Counter::CandidatesDecoded => "candidates_decoded",
             Counter::PiecesEmbedded => "pieces_embedded",
             Counter::Retry => "retry",

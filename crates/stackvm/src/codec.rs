@@ -10,7 +10,7 @@ use std::fmt;
 
 use crate::insn::{BinOp, Cond, Insn};
 use crate::program::{FuncId, Function, Program};
-use crate::trace::{Site, Trace, TraceEvent};
+use crate::trace::{Site, SnapshotData, Trace, TraceEvent};
 
 const MAGIC: &[u8; 4] = b"PMVM";
 const TRACE_MAGIC: &[u8; 4] = b"PMTR";
@@ -121,19 +121,15 @@ pub fn encode_trace(trace: &Trace) -> Vec<u8> {
                 encode_site(site, &mut out);
                 write_u32(&mut out, *next as u32);
             }
-            TraceEvent::Snapshot {
-                site,
-                locals,
-                statics,
-            } => {
+            TraceEvent::Snapshot { site, data } => {
                 out.push(2);
                 encode_site(site, &mut out);
-                write_u32(&mut out, locals.len() as u32);
-                for &v in locals {
+                write_u32(&mut out, data.locals.len() as u32);
+                for &v in &data.locals {
                     write_u64(&mut out, v as u64);
                 }
-                write_u32(&mut out, statics.len() as u32);
-                for &v in statics {
+                write_u32(&mut out, data.statics.len() as u32);
+                for &v in &data.statics {
                     write_u64(&mut out, v as u64);
                 }
             }
@@ -179,8 +175,7 @@ pub fn decode_trace(bytes: &[u8]) -> Result<Trace, DecodeError> {
                 }
                 TraceEvent::Snapshot {
                     site,
-                    locals,
-                    statics,
+                    data: Box::new(SnapshotData { locals, statics }),
                 }
             }
             _ => return Err(r.err("bad trace event tag")),
@@ -560,8 +555,10 @@ mod tests {
                 },
                 TraceEvent::Snapshot {
                     site: site(1, 7),
-                    locals: vec![i64::MIN, -1, 0, i64::MAX],
-                    statics: vec![42],
+                    data: Box::new(SnapshotData {
+                        locals: vec![i64::MIN, -1, 0, i64::MAX],
+                        statics: vec![42],
+                    }),
                 },
             ],
         };

@@ -8,7 +8,7 @@
 use crate::cfg::Cfg;
 use crate::insn::{BinOp, Insn};
 use crate::program::{FuncId, Program};
-use crate::trace::{Site, Trace, TraceConfig, TraceEvent};
+use crate::trace::{Site, SnapshotData, Trace, TraceConfig, TraceEvent};
 use crate::VmError;
 
 /// Default instruction budget (generous; guards against runaway loops in
@@ -120,6 +120,9 @@ impl<'p> Vm<'p> {
             std::collections::HashMap::new();
         let mut input_pos = 0usize;
         let mut executed: u64 = 0;
+        // Hoisted: under `branches_only` (the recognition-phase config)
+        // the per-instruction leader lookup is dead work.
+        let record_leaders = self.trace_config.blocks || self.trace_config.snapshots;
 
         let entry_fn = self.program.function(self.program.entry);
         let mut frames = vec![Frame {
@@ -146,7 +149,7 @@ impl<'p> Vm<'p> {
                     budget: self.budget,
                 });
             }
-            if self.trace_config.any() && cfg.is_leader[pc] {
+            if record_leaders && cfg.is_leader[pc] {
                 let site = Site {
                     func: frame.func,
                     pc,
@@ -162,8 +165,10 @@ impl<'p> Vm<'p> {
                         *seen += 1;
                         trace.events.push(TraceEvent::Snapshot {
                             site,
-                            locals: frame.locals.clone(),
-                            statics: statics.clone(),
+                            data: Box::new(SnapshotData {
+                                locals: frame.locals.clone(),
+                                statics: statics.clone(),
+                            }),
                         });
                     }
                 }

@@ -21,6 +21,12 @@ pub struct Site {
 }
 
 /// One trace record.
+///
+/// The snapshot payload is boxed so the enum stays pointer-sized-small:
+/// recognition traces are almost entirely `Branch` events, and every
+/// event in the trace vector occupies the size of the *largest* variant
+/// — inline snapshot vectors would triple the memory traffic of the
+/// branch-recording hot path for data that recognition never records.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A basic block (identified by its leader) began executing.
@@ -41,11 +47,18 @@ pub enum TraceEvent {
     Snapshot {
         /// The block's leader.
         site: Site,
-        /// Local-variable values, index-aligned with the function frame.
-        locals: Vec<i64>,
-        /// Static-field values, index-aligned with `Program::statics`.
-        statics: Vec<i64>,
+        /// The observed values.
+        data: Box<SnapshotData>,
     },
+}
+
+/// The payload of a [`TraceEvent::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotData {
+    /// Local-variable values, index-aligned with the function frame.
+    pub locals: Vec<i64>,
+    /// Static-field values, index-aligned with `Program::statics`.
+    pub statics: Vec<i64>,
 }
 
 /// What the interpreter records while running.
@@ -150,11 +163,9 @@ impl Trace {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Snapshot {
-                    site: s,
-                    locals,
-                    statics,
-                } if *s == site => Some((locals.as_slice(), statics.as_slice())),
+                TraceEvent::Snapshot { site: s, data } if *s == site => {
+                    Some((data.locals.as_slice(), data.statics.as_slice()))
+                }
                 _ => None,
             })
             .collect()
@@ -231,18 +242,24 @@ mod tests {
             events: vec![
                 TraceEvent::Snapshot {
                     site: site(0, 0),
-                    locals: vec![1, 2],
-                    statics: vec![9],
+                    data: Box::new(SnapshotData {
+                        locals: vec![1, 2],
+                        statics: vec![9],
+                    }),
                 },
                 TraceEvent::Snapshot {
                     site: site(0, 5),
-                    locals: vec![3],
-                    statics: vec![9],
+                    data: Box::new(SnapshotData {
+                        locals: vec![3],
+                        statics: vec![9],
+                    }),
                 },
                 TraceEvent::Snapshot {
                     site: site(0, 0),
-                    locals: vec![4, 5],
-                    statics: vec![8],
+                    data: Box::new(SnapshotData {
+                        locals: vec![4, 5],
+                        statics: vec![8],
+                    }),
                 },
             ],
         };
@@ -251,6 +268,13 @@ mod tests {
         assert_eq!(snaps[0].0, &[1, 2]);
         assert_eq!(snaps[1].0, &[4, 5]);
         assert_eq!(snaps[1].1, &[8]);
+    }
+
+    #[test]
+    fn trace_event_stays_small() {
+        // Branch events dominate recognition traces; the snapshot
+        // payload is boxed precisely so they stay this size.
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
     }
 
     #[test]

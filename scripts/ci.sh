@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # CI gate: the tier-1 build/test pass plus a fleet smoke run through the
 # CLI (16 copies embedded and recognized end to end, with stage-level
-# metrics captured) and a quick fleet bench emitting BENCH_fleet.json.
+# metrics captured), a quick fleet bench emitting BENCH_fleet.json, the
+# packed-scan equivalence gate, and a quick recognition bench emitting
+# BENCH_recognize.json.
 # Offline-safe: the workspace has no external dependencies.
 set -eu
 
@@ -79,6 +81,23 @@ for want in '"bench":"fleet"' '"quick":true' '"generated_unix":' \
     '"embed":[{"mode":"serial"' '"recognize":[{"mode":"serial"'; do
     grep -qF "$want" "$SMOKE/BENCH_fleet.json" \
         || { echo "BENCH_fleet.json missing $want" >&2; exit 1; }
+done
+
+echo "==> scan equivalence gate: packed scan == reference, serial == sharded"
+# The packed rolling-window scan must stay bit-identical to the naive
+# bit-at-a-time reference, and the sharded scan to the serial one, for
+# every shard count and on degenerate inputs.
+cargo test -q -p pathmark-core --lib packed_windows_match_naive_reference
+cargo test -q -p pathmark-fleet --lib sharded_matches_serial_for_all_shard_counts
+cargo test -q -p pathmark-fleet --lib degenerate_bitstrings_are_handled
+
+echo "==> recognition bench: quick mode emits well-formed BENCH_recognize.json"
+( cd "$SMOKE" && "$ROOT/target/release/recognize" --quick > /dev/null )
+for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
+    '"mode":"serial"' '"mode":"sharded"' '"stages":{"trace":' \
+    '"windows":{"scanned":'; do
+    grep -qF "$want" "$SMOKE/BENCH_recognize.json" \
+        || { echo "BENCH_recognize.json missing $want" >&2; exit 1; }
 done
 
 echo "==> ci.sh: all green"
