@@ -87,6 +87,18 @@ impl Memory {
         }
     }
 
+    /// Offset of `addr` inside the text section, if it maps there (the
+    /// decode cache of [`Machine::step`] is indexed by this).
+    fn text_offset(&self, addr: u32) -> Option<usize> {
+        if addr >= self.text_base {
+            let off = (addr - self.text_base) as usize;
+            if off < self.text.len() {
+                return Some(off);
+            }
+        }
+        None
+    }
+
     fn locate(&self, addr: u32) -> Result<(Seg, usize), SimError> {
         if addr >= self.text_base {
             let off = (addr - self.text_base) as usize;
@@ -127,6 +139,21 @@ impl Memory {
     ///
     /// [`SimError::MemFault`] on unmapped addresses.
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
+        // Fast path: the whole word lives in one segment (the
+        // overwhelmingly common case for stack and data traffic), so one
+        // locate and one 4-byte slice read replace four byte reads.
+        let (seg, off) = self.locate(addr)?;
+        let seg_bytes = match seg {
+            Seg::Text => &self.text,
+            Seg::Data => &self.data,
+            Seg::Stack => &self.stack,
+        };
+        if let Some(word) = seg_bytes.get(off..off + 4) {
+            return Ok(u32::from_le_bytes(word.try_into().expect("4-byte slice")));
+        }
+        // Segment boundary: fall back to byte-at-a-time, which preserves
+        // the semantics of words straddling adjacently-mapped segments
+        // (and of partial faults).
         let mut bytes = [0u8; 4];
         for (i, b) in bytes.iter_mut().enumerate() {
             *b = self.read_u8(addr.wrapping_add(i as u32))?;
@@ -156,6 +183,19 @@ impl Memory {
     ///
     /// As for [`Memory::write_u8`].
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        // Fast path mirror of `read_u32`: one locate, one 4-byte copy.
+        let (seg, off) = self.locate(addr)?;
+        let seg_bytes = match seg {
+            Seg::Text => return Err(SimError::TextWrite { addr }),
+            Seg::Data => &mut self.data,
+            Seg::Stack => &mut self.stack,
+        };
+        if let Some(word) = seg_bytes.get_mut(off..off + 4) {
+            word.copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
+        // Segment boundary: byte-at-a-time keeps the partial-write
+        // semantics (bytes before the faulting one land).
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.write_u8(addr.wrapping_add(i as u32), b)?;
         }
@@ -221,6 +261,12 @@ pub struct Machine {
     input_pos: usize,
     /// Accumulated `out` values.
     pub output: Vec<u32>,
+    /// Per-image predecode table over the text section, indexed by text
+    /// offset: each pc decodes at most once per load. Sound because the
+    /// text section is read-only at runtime ([`SimError::TextWrite`]), so
+    /// a cached decode can never go stale. Decode *errors* are not
+    /// cached — they propagate, and a faulted machine is dead anyway.
+    decoded: Vec<Option<(Insn, u8)>>,
 }
 
 impl Machine {
@@ -235,6 +281,7 @@ impl Machine {
             input: Vec::new(),
             input_pos: 0,
             output: Vec::new(),
+            decoded: vec![None; image.text.len()],
         };
         m.regs[Reg::Esp as usize] = STACK_TOP - 16;
         m
@@ -324,8 +371,7 @@ impl Machine {
     /// "the program broke").
     pub fn step(&mut self) -> Result<Step, SimError> {
         let pc = self.eip;
-        let window = self.mem.fetch_slice(pc, 16)?;
-        let (insn, len) = decode(window, pc)?;
+        let (insn, len) = self.fetch_decode(pc)?;
         let fall = pc.wrapping_add(len as u32);
         let mut next = fall;
         let mut halted = false;
@@ -470,6 +516,25 @@ impl Machine {
             next_pc: next,
             halted,
         })
+    }
+
+    /// Fetches and decodes the instruction at `pc`, consulting the text
+    /// predecode cache first: on the run/single-step hot path each text
+    /// pc reaches [`decode`] exactly once per [`Machine::load`]. A pc
+    /// outside text (executing from data or the stack is legal here)
+    /// decodes live every time.
+    fn fetch_decode(&mut self, pc: u32) -> Result<(Insn, usize), SimError> {
+        if let Some(off) = self.mem.text_offset(pc) {
+            if let Some((insn, len)) = self.decoded[off] {
+                return Ok((insn, len as usize));
+            }
+            let window = self.mem.fetch_slice(pc, 16)?;
+            let (insn, len) = decode(window, pc)?;
+            self.decoded[off] = Some((insn, len as u8));
+            return Ok((insn, len));
+        }
+        let window = self.mem.fetch_slice(pc, 16)?;
+        decode(window, pc)
     }
 
     /// Runs until `halt` or the instruction budget is exhausted.
@@ -688,6 +753,62 @@ mod tests {
         a.halt();
         let img = b.finish().unwrap();
         assert_eq!(run_image(&img, vec![]).output, vec![1]);
+    }
+
+    #[test]
+    fn word_access_at_segment_boundary_matches_byte_semantics() {
+        let mut b = ImageBuilder::new();
+        let c0 = b.data_u32(0x0403_0201);
+        let c1 = b.data_u32(0x0807_0605);
+        let a = b.text();
+        a.halt();
+        let img = b.finish().unwrap();
+        let mut m = Machine::load(&img);
+
+        // Aligned and misaligned in-segment reads take the fast path.
+        assert_eq!(m.mem.read_u32(c0).unwrap(), 0x0403_0201);
+        assert_eq!(m.mem.read_u32(c0 + 2).unwrap(), 0x0605_0403);
+
+        // A word straddling the end of data falls back to byte-at-a-time
+        // and faults on the first unmapped byte, as before.
+        assert_eq!(
+            m.mem.read_u32(c1 + 2).unwrap_err(),
+            SimError::MemFault { addr: c1 + 4 }
+        );
+        assert_eq!(
+            m.mem.write_u32(c1 + 2, 0x0403_0201).unwrap_err(),
+            SimError::MemFault { addr: c1 + 4 }
+        );
+        // ... with the in-bounds prefix of the write landed (the
+        // byte-loop partial-write semantics).
+        assert_eq!(m.mem.read_u8(c1 + 2).unwrap(), 0x01);
+        assert_eq!(m.mem.read_u8(c1 + 3).unwrap(), 0x02);
+
+        // In-segment word write round-trips through the fast path.
+        m.mem.write_u32(c0, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.mem.read_u32(c0).unwrap(), 0xDEAD_BEEF);
+
+        // Text stays write-protected on the word fast path.
+        assert!(matches!(
+            m.mem.write_u32(img.text_base, 0),
+            Err(SimError::TextWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn executes_from_writable_memory_via_live_decode() {
+        // `halt` encodes as a single 0x01 byte; plant it in the data
+        // segment and jump there. Non-text pcs bypass the predecode
+        // cache (which only spans the text section) and decode live.
+        let mut b = ImageBuilder::new();
+        let cell = b.data_u32(u32::from(crate::insn::opcode::HALT));
+        let a = b.text();
+        a.out(Imm(1));
+        a.jmp_ind(Operand::Imm(cell as i32));
+        let img = b.finish().unwrap();
+        let out = run_image(&img, vec![]);
+        assert_eq!(out.output, vec![1]);
+        assert_eq!(out.instructions, 3, "out, jmp, then the planted halt");
     }
 
     #[test]

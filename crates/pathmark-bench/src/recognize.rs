@@ -14,9 +14,12 @@
 //!   worker counts via [`recognize_program_sharded`].
 //!
 //! Every row carries the per-stage wall times (trace / scan / vote /
-//! graph / crt, plus merge on the sharded path) from a [`MemorySink`],
-//! and the scan counters (windows scanned / skipped by the constant-run
-//! pre-reject / actually decrypted), so a regression in any one stage is
+//! graph / crt, plus merge, queue-wait, and job-run on the sharded
+//! path) from a [`MemorySink`] shared by the session *and* the worker
+//! pool, the scan counters (windows scanned / skipped by the
+//! constant-run pre-reject / actually decrypted), and the pool
+//! counters (jobs run / merge passes), so a regression in any one
+//! stage — including pool contention at high worker counts — is
 //! visible in `BENCH_recognize.json` rather than smeared into a single
 //! number.
 
@@ -35,14 +38,21 @@ use stackvm::Program;
 
 use crate::setup;
 
-/// The stages a recognition row reports, in display order.
-const STAGES: [Stage; 6] = [
+/// The stages a recognition row reports, in display order. The last
+/// two are pool-side: `queue_wait` is how long shard jobs sat in the
+/// pool queue before a worker picked them up, `job_run` is the wall
+/// time workers spent inside shard closures. Comparing `queue_wait`
+/// across worker counts is how the sharded-8-slower-than-sharded-4
+/// cliff shows up as contention rather than as a mystery.
+const STAGES: [Stage; 8] = [
     Stage::Trace,
     Stage::Scan,
     Stage::Vote,
     Stage::Graph,
     Stage::Crt,
     Stage::Merge,
+    Stage::QueueWait,
+    Stage::JobRun,
 ];
 
 /// One row of the recognition-throughput table.
@@ -64,6 +74,10 @@ pub struct RecognizeRow {
     /// Scan counters: (windows scanned, skipped by the constant-run
     /// pre-reject, actually decrypted).
     pub windows: (u64, u64, u64),
+    /// Pool counters: (jobs run on the worker pool, shard-merge
+    /// passes). Both zero on the serial row, which never touches the
+    /// pool.
+    pub pool: (u64, u64),
 }
 
 /// A complete recognition bench run.
@@ -119,6 +133,10 @@ fn row(
             sink.counter(Counter::WindowsScanned),
             sink.counter(Counter::WindowsSkipped),
             sink.counter(Counter::WindowsDecrypted),
+        ),
+        pool: (
+            sink.stage(Stage::JobRun).count,
+            sink.stage(Stage::Merge).count,
         ),
     }
 }
@@ -179,7 +197,11 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
                     .telemetry(Telemetry::new(sink.clone()))
                     .build()
                     .expect("bench key/config are sound");
-                (session, WorkerPool::new(workers))
+                // The pool shares the row's sink so queue-wait and
+                // job-run spans land in the same row as the scan
+                // stages they explain.
+                let pool = WorkerPool::with_telemetry(workers, Telemetry::new(sink.clone()));
+                (session, pool)
             });
             let mut rep_wall = std::time::Duration::ZERO;
             for (c, program) in programs.iter().enumerate() {
@@ -257,7 +279,11 @@ pub fn render(bench: &RecognizeBench) -> String {
     for stage in STAGES {
         let _ = write!(out, " {:>9}", stage.as_str());
     }
-    let _ = writeln!(out, " {:>11} {:>11}", "skipped", "decrypted");
+    let _ = writeln!(
+        out,
+        " {:>11} {:>11} {:>7} {:>7}",
+        "skipped", "decrypted", "jobs", "merges"
+    );
     for r in &bench.rows {
         let _ = write!(
             out,
@@ -275,11 +301,14 @@ pub fn render(bench: &RecognizeBench) -> String {
                 100.0 * part as f64 / scanned as f64
             }
         };
+        let (jobs, merges) = r.pool;
         let _ = writeln!(
             out,
-            " {:>9.1}% {:>9.1}%",
+            " {:>9.1}% {:>9.1}% {:>7} {:>7}",
             pct(skipped),
-            pct(decrypted)
+            pct(decrypted),
+            jobs,
+            merges
         );
     }
     out
@@ -298,9 +327,11 @@ pub fn to_json(bench: &RecognizeBench, generated_unix: u64) -> String {
                 .map(|(stage, ms)| format!("\"{}\":{:.3}", stage.as_str(), ms))
                 .collect();
             let (scanned, skipped, decrypted) = r.windows;
+            let (jobs, merges) = r.pool;
             format!(
                 "{{\"mode\":\"{}\",\"workers\":{},\"wall_ms\":{:.3},\"copies_per_sec\":{:.3},\
-                 \"stages\":{{{}}},\"windows\":{{\"scanned\":{},\"skipped\":{},\"decrypted\":{}}}}}",
+                 \"stages\":{{{}}},\"windows\":{{\"scanned\":{},\"skipped\":{},\"decrypted\":{}}},\
+                 \"pool\":{{\"jobs\":{},\"merges\":{}}}}}",
                 r.mode,
                 r.workers,
                 r.millis,
@@ -308,7 +339,9 @@ pub fn to_json(bench: &RecognizeBench, generated_unix: u64) -> String {
                 stages.join(","),
                 scanned,
                 skipped,
-                decrypted
+                decrypted,
+                jobs,
+                merges
             )
         })
         .collect();
@@ -340,8 +373,9 @@ mod tests {
                 workers: 1,
                 millis: 20.5,
                 copies_per_sec: 390.2,
-                stage_ms: [8.0, 4.0, 0.5, 0.25, 0.125, 0.0],
+                stage_ms: [8.0, 4.0, 0.5, 0.25, 0.125, 0.0, 1.5, 3.25],
                 windows: (100_000, 90_000, 10_000),
+                pool: (32, 4),
             }],
         };
         let json = to_json(&bench, 1_700_000_000);
@@ -352,9 +386,14 @@ mod tests {
             "{json}"
         );
         assert!(
+            json.contains("\"queue_wait\":1.500,\"job_run\":3.250"),
+            "{json}"
+        );
+        assert!(
             json.contains("\"windows\":{\"scanned\":100000,\"skipped\":90000,\"decrypted\":10000}"),
             "{json}"
         );
+        assert!(json.contains("\"pool\":{\"jobs\":32,\"merges\":4}"), "{json}");
         assert!(json.ends_with("}\n"), "one newline-terminated object");
     }
 
@@ -374,6 +413,10 @@ mod tests {
             assert!(r.copies_per_sec > 0.0);
             assert!(r.windows.0 > 0, "windows must be scanned");
         }
+        assert_eq!(rows[0].pool, (0, 0), "serial rows never touch the pool");
+        let (jobs, merges) = rows[1].pool;
+        assert!(jobs > 0, "sharded rows must run pool jobs");
+        assert!(merges > 0, "sharded rows must merge shard results");
         let table = render(&RecognizeBench {
             quick: true,
             copies: 2,

@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use stackvm::trace::{Site, Trace};
+use stackvm::trace::{Site, Trace, TraceSink};
 
 use crate::hash::FxBuildHasher;
 
@@ -52,6 +52,9 @@ pub struct BitString {
 #[derive(Debug, Clone, Default)]
 pub struct BitStringBuilder {
     words: Vec<u64>,
+    /// Accumulator for the word in progress; flushed to `words` every
+    /// 64th push so the hot path never touches the vector.
+    cur: u64,
     len: usize,
 }
 
@@ -65,19 +68,20 @@ impl BitStringBuilder {
     pub fn with_capacity(bits: usize) -> BitStringBuilder {
         BitStringBuilder {
             words: Vec::with_capacity(bits.div_ceil(64)),
+            cur: 0,
             len: 0,
         }
     }
 
     /// Appends one bit.
+    #[inline]
     pub fn push(&mut self, bit: bool) {
-        if self.len.is_multiple_of(64) {
-            self.words.push(0);
-        }
-        if bit {
-            *self.words.last_mut().expect("just ensured a word") |= 1u64 << (self.len % 64);
-        }
+        self.cur |= (bit as u64) << (self.len % 64);
         self.len += 1;
+        if self.len.is_multiple_of(64) {
+            self.words.push(self.cur);
+            self.cur = 0;
+        }
     }
 
     /// Number of bits appended so far.
@@ -91,7 +95,10 @@ impl BitStringBuilder {
     }
 
     /// Freezes the builder into an immutable, sharable [`BitString`].
-    pub fn finish(self) -> BitString {
+    pub fn finish(mut self) -> BitString {
+        if !self.len.is_multiple_of(64) {
+            self.words.push(self.cur);
+        }
         BitString {
             words: self.words.into(),
             len: self.len,
@@ -105,6 +112,97 @@ impl Extend<bool> for BitStringBuilder {
             self.push(bit);
         }
     }
+}
+
+/// A [`TraceSink`] that folds the first-followed-by rule inline: every
+/// dynamic branch becomes a packed bit the moment the interpreter reports
+/// it, so the recognize path never materializes a `Vec<TraceEvent>`
+/// (32 bytes/event) only to re-walk it through [`BitString::from_trace`].
+///
+/// Must observe the same branch sequence [`BitString::from_trace`] would
+/// read from a collected trace — the `packed_sink_matches_from_trace`
+/// property tests (here and in `java::recognize`) gate that equivalence
+/// in CI.
+#[derive(Debug, Clone, Default)]
+pub struct PackedTraceSink {
+    /// Dense first-follow table, present when the sink was built
+    /// [`for_program`](PackedTraceSink::for_program): branch site
+    /// `(func, pc)` maps to slot `offsets[func] + pc`, whose value is
+    /// the recorded reference follower plus one (`0` = site unseen).
+    /// A site's state lives in exactly one place — the dense table if
+    /// it is in range, the spill map otherwise — so mixing lookups
+    /// never double-records a site.
+    offsets: Vec<usize>,
+    dense: Vec<u32>,
+    first_follow: HashMap<Site, usize, FxBuildHasher>,
+    bits: BitStringBuilder,
+}
+
+impl PackedTraceSink {
+    /// An empty sink; every branch site goes through the hash map.
+    pub fn new() -> PackedTraceSink {
+        PackedTraceSink::default()
+    }
+
+    /// A sink with a dense first-follow table sized for `program`:
+    /// branch sites index a flat array instead of hashing, which is
+    /// most of the sink's per-event cost on the recognition hot path.
+    /// Sites outside the program's shape (or follower indices too big
+    /// for the table) spill to the hash map, so the observable
+    /// bit-sequence is identical to [`PackedTraceSink::new`].
+    pub fn for_program(program: &stackvm::Program) -> PackedTraceSink {
+        let mut offsets = Vec::with_capacity(program.functions.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for f in &program.functions {
+            total += f.code.len();
+            offsets.push(total);
+        }
+        PackedTraceSink {
+            offsets,
+            dense: vec![0; total],
+            ..PackedTraceSink::default()
+        }
+    }
+
+    /// Freezes the accumulated bits into a [`BitString`].
+    pub fn finish(self) -> BitString {
+        self.bits.finish()
+    }
+}
+
+impl TraceSink for PackedTraceSink {
+    fn enter_block(&mut self, _site: Site) {}
+
+    #[inline]
+    fn branch(&mut self, site: Site, next: usize) {
+        // Mirror of the from_trace loop body: first occurrence fixes the
+        // reference follower and reads as 0, deviations read as 1.
+        let f = site.func.0 as usize;
+        if f + 1 < self.offsets.len() && next < u32::MAX as usize {
+            let (base, end) = (self.offsets[f], self.offsets[f + 1]);
+            if site.pc < end - base {
+                let slot = &mut self.dense[base + site.pc];
+                let follower = next as u32 + 1;
+                if *slot == 0 {
+                    *slot = follower;
+                    self.bits.push(false);
+                } else {
+                    self.bits.push(*slot != follower);
+                }
+                return;
+            }
+        }
+        match self.first_follow.get(&site) {
+            None => {
+                self.first_follow.insert(site, next);
+                self.bits.push(false);
+            }
+            Some(&reference) => self.bits.push(next != reference),
+        }
+    }
+
+    fn snapshot(&mut self, _site: Site, _locals: &[i64], _statics: &[i64]) {}
 }
 
 impl FromIterator<bool> for BitString {
@@ -419,6 +517,48 @@ mod tests {
             assert_eq!(rolled, naive, "len {len}");
             assert_eq!(bs.to_bools(), bools);
         }
+    }
+
+    #[test]
+    fn packed_sink_matches_from_trace_reference() {
+        use pathmark_crypto::Prng;
+        use stackvm::trace::TraceSink;
+        let mut rng = Prng::from_seed(0x51CC);
+        for round in 0..50 {
+            // A handful of sites, revisited often enough that both the
+            // first-occurrence and the deviation arms get exercised.
+            let events: Vec<TraceEvent> = (0..rng.range(400))
+                .map(|_| {
+                    branch(rng.range(3) as u32, rng.index(5), rng.index(4))
+                })
+                .collect();
+            let trace = Trace { events };
+            let mut sink = PackedTraceSink::new();
+            // A dense-table sink whose program shape covers only part
+            // of the random site space (func 0 pcs 0..4, func 1 pcs
+            // 0..2 of funcs 0..3 × pcs 0..5), so every event stream
+            // exercises both the flat-array path and the spill map.
+            let mut dense = PackedTraceSink::for_program(&tiny_program());
+            for (site, next) in trace.branch_sequence() {
+                sink.branch(site, next);
+                dense.branch(site, next);
+            }
+            let reference = BitString::from_trace(&trace);
+            assert_eq!(sink.finish(), reference, "round {round}");
+            assert_eq!(dense.finish(), reference, "dense, round {round}");
+        }
+    }
+
+    fn tiny_program() -> stackvm::Program {
+        use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+        let mut pb = ProgramBuilder::new();
+        let mut f0 = FunctionBuilder::new("f0", 0, 1);
+        f0.push(1).store(0).load(0).pop().ret_void(); // pcs 0..=4
+        let mut f1 = FunctionBuilder::new("f1", 0, 0);
+        f1.push(0).pop().ret_void(); // pcs 0..=2
+        let main = pb.add_function(f0.finish().unwrap());
+        pb.add_function(f1.finish().unwrap());
+        pb.finish_unverified(main)
     }
 
     #[test]

@@ -32,6 +32,7 @@ use stackvm::interp::Vm;
 use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
+use crate::bitstring::{BitString, PackedTraceSink};
 use crate::key::WatermarkKey;
 use crate::{ConfigError, WatermarkError};
 
@@ -256,6 +257,30 @@ pub fn trace_program(
         .with_trace(what)
         .run()?;
     Ok(outcome.trace)
+}
+
+/// Runs the tracing phase straight to a packed bit-string: branch events
+/// stream through a [`PackedTraceSink`] as the interpreter produces them,
+/// so no `Vec<TraceEvent>` is ever allocated. Bit-identical to
+/// [`trace_program`] + [`BitString::from_trace`] (property-gated in CI);
+/// this is what [`Recognizer`] runs per suspect copy.
+///
+/// # Errors
+///
+/// [`WatermarkError::TraceFailed`] if the program faults or exceeds the
+/// budget.
+pub fn trace_program_bits(
+    program: &Program,
+    key: &WatermarkKey,
+    config: &JavaConfig,
+) -> Result<BitString, WatermarkError> {
+    let mut sink = PackedTraceSink::for_program(program);
+    Vm::new(program)
+        .with_input(key.input.clone())
+        .with_budget(config.trace_budget)
+        .with_trace(TraceConfig::branches_only())
+        .run_with_sink(&mut sink)?;
+    Ok(sink.finish())
 }
 
 #[cfg(test)]

@@ -136,14 +136,30 @@ impl Recognizer {
         })
     }
 
+    /// Runs the tracing phase straight to the packed bit-string via the
+    /// streaming sink (see [`super::trace_program_bits`]): no
+    /// `Vec<TraceEvent>` is materialized and no separate decode pass
+    /// runs. Bit-identical to [`Recognizer::trace`] +
+    /// [`BitString::from_trace`]. Reported to telemetry as
+    /// [`Stage::Trace`].
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
+    /// the budget.
+    pub fn trace_bits(&self, program: &Program) -> Result<BitString, WatermarkError> {
+        self.telemetry.time(Stage::Trace, || {
+            super::trace_program_bits(program, &self.key, &self.config)
+        })
+    }
+
     /// Runs recognition on a (possibly attacked) program.
     ///
     /// # Errors
     ///
     /// As the [`recognize`] free function.
     pub fn recognize(&self, program: &Program) -> Result<Recognition, WatermarkError> {
-        let trace = self.trace(program)?;
-        let bits = BitString::from_trace(&trace);
+        let bits = self.trace_bits(program)?;
         self.recognize_bits(&bits)
     }
 
@@ -655,6 +671,39 @@ mod tests {
         }
         let rec = recognize_bits(&BitString::from_bits(bits), &key(), &config).unwrap();
         assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+    }
+
+    #[test]
+    fn packed_sink_traces_match_vec_collector_on_random_keys() {
+        // The CI equivalence gate for the streaming recognize path:
+        // trace_program_bits (interpreter → PackedTraceSink, no event
+        // vector) must be bit-identical to the legacy collector pipeline
+        // (trace_program → BitString::from_trace) on real marked
+        // programs over randomized keys and piece counts.
+        let mut rng = Prng::from_seed(0x9AC4ED);
+        for round in 0..8 {
+            let k = WatermarkKey::new(
+                rng.next_u64(),
+                (0..3).map(|_| rng.range(16) as i64).collect(),
+            );
+            let config =
+                JavaConfig::for_watermark_bits(64).with_pieces(8 + rng.index(16));
+            let watermark = Watermark::random_for(&config, &k);
+            let marked = embed(&host_program(), &watermark, &k, &config).unwrap();
+            for program in [&host_program(), &marked.program] {
+                let trace = super::super::trace_program(
+                    program,
+                    &k,
+                    &config,
+                    TraceConfig::branches_only(),
+                )
+                .unwrap();
+                let reference = BitString::from_trace(&trace);
+                let packed =
+                    super::super::trace_program_bits(program, &k, &config).unwrap();
+                assert_eq!(packed, reference, "round {round}");
+            }
+        }
     }
 
     #[test]

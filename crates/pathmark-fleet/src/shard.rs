@@ -108,8 +108,9 @@ pub fn recognize_program_sharded(
     shards: usize,
     pool: &WorkerPool,
 ) -> Result<Recognition, WatermarkError> {
-    let trace = session.trace(program)?;
-    let bits = BitString::from_trace(&trace);
+    // Streaming trace: branch events fold into packed bits inside the
+    // interpreter, so no event vector or decode pass precedes the scan.
+    let bits = session.trace_bits(program)?;
     recognize_sharded(&bits, session, shards, pool)
 }
 

@@ -38,6 +38,7 @@ impl Cond {
     }
 
     /// Evaluates the condition on two operands.
+    #[inline]
     pub fn eval(self, a: i64, b: i64) -> bool {
         match self {
             Cond::Eq => a == b,

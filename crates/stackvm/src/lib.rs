@@ -60,6 +60,7 @@ pub mod codec;
 pub mod edit;
 pub mod insn;
 pub mod interp;
+pub mod predecode;
 pub mod pretty;
 pub mod program;
 pub mod trace;

@@ -186,6 +186,83 @@ impl Trace {
     }
 }
 
+/// Streaming consumer of trace events.
+///
+/// The interpreter hot loop hands each event to a sink the moment it
+/// happens instead of materializing a `Vec<TraceEvent>`. Recognition only
+/// ever needs one bit per dynamic branch, so a streaming sink lets it
+/// skip the event vector entirely (the packed-bits sink lives in
+/// `pathmark-core`, next to its `BitString` builder); embedding keeps the
+/// full event record by sinking into a [`Trace`].
+///
+/// The interpreter consults its [`TraceConfig`] *before* calling a sink
+/// method: a sink only ever receives event kinds that recording was
+/// enabled for, so implementations do not re-filter.
+pub trait TraceSink {
+    /// A basic block (identified by its leader) began executing.
+    fn enter_block(&mut self, site: Site);
+    /// A conditional branch executed; `next` is the leader of the block
+    /// control went to (target or fall-through).
+    fn branch(&mut self, site: Site, next: usize);
+    /// Variable values observed at a block entry.
+    fn snapshot(&mut self, site: Site, locals: &[i64], statics: &[i64]);
+}
+
+/// The compatibility sink: collects events into the [`Trace`] vector,
+/// exactly as the pre-streaming interpreter recorded them.
+impl TraceSink for Trace {
+    fn enter_block(&mut self, site: Site) {
+        self.events.push(TraceEvent::EnterBlock { site });
+    }
+
+    fn branch(&mut self, site: Site, next: usize) {
+        self.events.push(TraceEvent::Branch { site, next });
+    }
+
+    fn snapshot(&mut self, site: Site, locals: &[i64], statics: &[i64]) {
+        self.events.push(TraceEvent::Snapshot {
+            site,
+            data: Box::new(SnapshotData {
+                locals: locals.to_vec(),
+                statics: statics.to_vec(),
+            }),
+        });
+    }
+}
+
+/// A null sink that only counts events — for callers that want dynamic
+/// branch/block totals (cost experiments) without storing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of block entries observed.
+    pub blocks: u64,
+    /// Number of dynamic conditional branches observed.
+    pub branches: u64,
+    /// Number of snapshots observed.
+    pub snapshots: u64,
+}
+
+impl CountingSink {
+    /// A fresh sink with all counts at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn enter_block(&mut self, _site: Site) {
+        self.blocks += 1;
+    }
+
+    fn branch(&mut self, _site: Site, _next: usize) {
+        self.branches += 1;
+    }
+
+    fn snapshot(&mut self, _site: Site, _locals: &[i64], _statics: &[i64]) {
+        self.snapshots += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +352,48 @@ mod tests {
         // Branch events dominate recognition traces; the snapshot
         // payload is boxed precisely so they stay this size.
         assert!(std::mem::size_of::<TraceEvent>() <= 32);
+    }
+
+    #[test]
+    fn trace_sink_collects_the_same_events_as_direct_pushes() {
+        let mut collected = Trace::new();
+        collected.enter_block(site(0, 0));
+        collected.branch(site(0, 2), 3);
+        collected.snapshot(site(0, 3), &[1, 2], &[9]);
+        let expected = Trace {
+            events: vec![
+                TraceEvent::EnterBlock { site: site(0, 0) },
+                TraceEvent::Branch {
+                    site: site(0, 2),
+                    next: 3,
+                },
+                TraceEvent::Snapshot {
+                    site: site(0, 3),
+                    data: Box::new(SnapshotData {
+                        locals: vec![1, 2],
+                        statics: vec![9],
+                    }),
+                },
+            ],
+        };
+        assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn counting_sink_counts_without_storing() {
+        let mut c = CountingSink::new();
+        c.enter_block(site(0, 0));
+        c.branch(site(0, 1), 2);
+        c.branch(site(0, 1), 4);
+        c.snapshot(site(0, 0), &[], &[]);
+        assert_eq!(
+            c,
+            CountingSink {
+                blocks: 1,
+                branches: 2,
+                snapshots: 1,
+            }
+        );
     }
 
     #[test]

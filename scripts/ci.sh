@@ -2,8 +2,9 @@
 # CI gate: the tier-1 build/test pass plus a fleet smoke run through the
 # CLI (16 copies embedded and recognized end to end, with stage-level
 # metrics captured), a quick fleet bench emitting BENCH_fleet.json, the
-# packed-scan equivalence gate, and a quick recognition bench emitting
-# BENCH_recognize.json.
+# trace/scan equivalence gate, and a quick recognition bench emitting
+# BENCH_recognize.json. Both bench payloads are copied back to the repo
+# root so the checked-in snapshots never go stale relative to the code.
 # Offline-safe: the workspace has no external dependencies.
 set -eu
 
@@ -82,11 +83,19 @@ for want in '"bench":"fleet"' '"quick":true' '"generated_unix":' \
     grep -qF "$want" "$SMOKE/BENCH_fleet.json" \
         || { echo "BENCH_fleet.json missing $want" >&2; exit 1; }
 done
+cp "$SMOKE/BENCH_fleet.json" "$ROOT/BENCH_fleet.json"
 
-echo "==> scan equivalence gate: packed scan == reference, serial == sharded"
-# The packed rolling-window scan must stay bit-identical to the naive
-# bit-at-a-time reference, and the sharded scan to the serial one, for
+echo "==> trace/scan equivalence gate: fast paths == references, serial == sharded"
+# Every fast path must stay bit-identical to its naive reference: the
+# predecoded interpreter to the enum-walking one over randomized
+# programs, the packed streaming trace sink to Vec<TraceEvent> +
+# BitString::from_trace over randomized event streams and end-to-end
+# embed/recognize runs, the packed rolling-window scan to the
+# bit-at-a-time reference, and the sharded scan to the serial one for
 # every shard count and on degenerate inputs.
+cargo test -q -p stackvm --lib predecoded_engine_matches_reference
+cargo test -q -p pathmark-core --lib packed_sink_matches_from_trace_reference
+cargo test -q -p pathmark-core --lib packed_sink_traces_match_vec_collector_on_random_keys
 cargo test -q -p pathmark-core --lib packed_windows_match_naive_reference
 cargo test -q -p pathmark-fleet --lib sharded_matches_serial_for_all_shard_counts
 cargo test -q -p pathmark-fleet --lib degenerate_bitstrings_are_handled
@@ -95,9 +104,10 @@ echo "==> recognition bench: quick mode emits well-formed BENCH_recognize.json"
 ( cd "$SMOKE" && "$ROOT/target/release/recognize" --quick > /dev/null )
 for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
     '"mode":"serial"' '"mode":"sharded"' '"stages":{"trace":' \
-    '"windows":{"scanned":'; do
+    '"queue_wait":' '"windows":{"scanned":' '"pool":{"jobs":'; do
     grep -qF "$want" "$SMOKE/BENCH_recognize.json" \
         || { echo "BENCH_recognize.json missing $want" >&2; exit 1; }
 done
+cp "$SMOKE/BENCH_recognize.json" "$ROOT/BENCH_recognize.json"
 
 echo "==> ci.sh: all green"
