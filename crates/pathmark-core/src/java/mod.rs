@@ -25,7 +25,9 @@ pub use opaque::OpaquePredicate;
 pub use recognize::{
     recognize, recognize_bits, recognize_from_candidates, window_candidates, Recognition,
 };
-pub use session::{Embedder, EmbedderBuilder, Recognizer, RecognizerBuilder};
+pub use session::{
+    Embedder, EmbedderBuilder, Recognizer, RecognizerBuilder, DEFAULT_DECODE_CACHE_CAP,
+};
 
 use pathmark_math::primes::primes_needed;
 use stackvm::interp::Vm;

@@ -286,27 +286,37 @@ impl Recognizer {
     ) -> Result<HashMap<Statement, u64>, WatermarkError> {
         let crypto = self.crypto()?;
         let (enumeration, cipher) = (&crypto.enumeration, &crypto.cipher);
+        let cap = crypto.cache_cap;
         let mut decrypted = 0u64;
+        let mut evicted = 0u64;
         let counts = self.telemetry.time(Stage::Scan, || {
             let mut counts: HashMap<Statement, u64> = HashMap::new();
             let mut cache = crypto
                 .decode_cache
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            cache.reserve(survivors.len());
+            let headroom = cap.saturating_sub(cache.len());
+            cache.reserve(survivors.len().min(headroom));
             for &(value, multiplicity) in survivors {
-                let decoded = if cache.len() < super::session::DECODE_CACHE_CAP {
-                    *cache.entry(value).or_insert_with(|| {
+                let decoded = match cache.get(&value) {
+                    Some(&decoded) => decoded,
+                    None => {
                         decrypted += 1;
-                        enumeration.decode(cipher.decrypt(value)).ok()
-                    })
-                } else {
-                    match cache.get(&value) {
-                        Some(&decoded) => decoded,
-                        None => {
-                            decrypted += 1;
-                            enumeration.decode(cipher.decrypt(value)).ok()
+                        let decoded = enumeration.decode(cipher.decrypt(value)).ok();
+                        if cap > 0 {
+                            if cache.len() >= cap {
+                                // At the cap: evict an arbitrary
+                                // resident entry so the newcomer (likely
+                                // the hotter value — it just occurred)
+                                // is admitted and memory stays bounded.
+                                if let Some(&victim) = cache.keys().next() {
+                                    cache.remove(&victim);
+                                    evicted += 1;
+                                }
+                            }
+                            cache.insert(value, decoded);
                         }
+                        decoded
                     }
                 };
                 if let Some(statement) = decoded {
@@ -316,6 +326,7 @@ impl Recognizer {
             counts
         });
         self.telemetry.count(Counter::WindowsDecrypted, decrypted);
+        self.telemetry.count(Counter::DecodeCacheEvict, evicted);
         self.telemetry
             .count(Counter::CandidatesDecoded, counts.values().sum());
         Ok(counts)
@@ -624,6 +635,59 @@ mod tests {
             let rec = recognize(&marked.program, &key(), &config).unwrap();
             assert_eq!(rec.watermark.as_ref(), Some(watermark.value()), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn tiny_decode_cache_evicts_but_stays_correct() {
+        use pathmark_telemetry::{Counter, Telemetry};
+        use std::sync::Arc;
+
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        // Many distinct window values, far more than the capped cache
+        // admits at once.
+        let mut rng = Prng::from_seed(4242);
+        let survivors: Vec<(u64, u64)> = (0..512)
+            .map(|_| (rng.next_u64(), 1 + rng.next_u64() % 3))
+            .collect();
+
+        let sink = Arc::new(pathmark_telemetry::MemorySink::new());
+        let capped = Recognizer::builder(key(), config.clone())
+            .telemetry(Telemetry::new(sink.clone()))
+            .decode_cache_cap(16)
+            .build()
+            .unwrap();
+        let uncapped = Recognizer::builder(key(), config.clone()).build().unwrap();
+        let disabled = Recognizer::builder(key(), config)
+            .decode_cache_cap(0)
+            .build()
+            .unwrap();
+
+        let a = capped.candidates_from_survivors(&survivors).unwrap();
+        let b = uncapped.candidates_from_survivors(&survivors).unwrap();
+        let c = disabled.candidates_from_survivors(&survivors).unwrap();
+        assert_eq!(a, b, "a capped cache never changes the candidate multiset");
+        assert_eq!(a, c, "cap 0 (no memoization) is equally correct");
+
+        assert!(
+            sink.counter(Counter::DecodeCacheEvict) > 0,
+            "overflowing a 16-entry cache with 512 distinct values must evict"
+        );
+        let cache_len = capped
+            .crypto()
+            .unwrap()
+            .decode_cache
+            .lock()
+            .unwrap()
+            .len();
+        assert!(cache_len <= 16, "cache bounded by its cap, got {cache_len}");
+        // Repeats of a resident value still hit: re-running the tail of
+        // the survivor list decrypts fewer values than it has entries.
+        let before = sink.counter(Counter::WindowsDecrypted);
+        capped
+            .candidates_from_survivors(&survivors[survivors.len() - 8..])
+            .unwrap();
+        let after = sink.counter(Counter::WindowsDecrypted);
+        assert!(after - before <= 8);
     }
 
     #[test]

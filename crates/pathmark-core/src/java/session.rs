@@ -60,10 +60,13 @@ use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
 use crate::{ConfigError, WatermarkError};
 
-/// Ceiling on memoized window decodes (~24 MB of table at the cap).
-/// Once full the cache stops admitting new values but keeps serving
-/// hits; recognition stays correct, merely uncached for the overflow.
-pub(crate) const DECODE_CACHE_CAP: usize = 1 << 20;
+/// Default ceiling on memoized window decodes (~24 MB of table at the
+/// cap). Once full, admitting a new value evicts an arbitrary resident
+/// entry (counted as [`pathmark_telemetry::Counter::DecodeCacheEvict`]);
+/// recognition stays correct either way — the cache only trades XTEA
+/// calls for memory. Long-lived daemons tune the cap per session via
+/// the builders' `decode_cache_cap`.
+pub const DEFAULT_DECODE_CACHE_CAP: usize = 1 << 20;
 
 /// Key-derived state every embed/recognize call needs: the prime set,
 /// the statement enumeration over it, and the block cipher.
@@ -90,18 +93,26 @@ pub(crate) struct SessionCrypto {
     /// program repeat most of their trace windows (the host's own loop
     /// structure is identical across copies), so batch recognition
     /// pays XTEA once per *distinct value per key*, not per copy.
-    /// Bounded by [`DECODE_CACHE_CAP`].
+    /// Bounded by `cache_cap`.
     pub(crate) decode_cache: Mutex<HashMap<u64, Option<Statement>, FxBuildHasher>>,
+    /// Ceiling on `decode_cache` entries; admitting past it evicts an
+    /// arbitrary resident entry. Zero disables memoization entirely.
+    pub(crate) cache_cap: usize,
 }
 
 impl SessionCrypto {
-    /// Derives the cached state for a key under a configuration.
+    /// Derives the cached state for a key under a configuration, with a
+    /// decode-cache ceiling of `cache_cap` entries.
     ///
     /// # Errors
     ///
     /// [`WatermarkError::Math`] if the prime configuration does not
     /// admit an enumeration (cannot happen for a validated config).
-    pub(crate) fn derive(key: &WatermarkKey, config: &JavaConfig) -> Result<Self, WatermarkError> {
+    pub(crate) fn derive(
+        key: &WatermarkKey,
+        config: &JavaConfig,
+        cache_cap: usize,
+    ) -> Result<Self, WatermarkError> {
         let primes = config.primes(key);
         let enumeration = PairEnumeration::new(&primes)?;
         Ok(SessionCrypto {
@@ -109,6 +120,7 @@ impl SessionCrypto {
             enumeration,
             cipher: key.cipher(),
             decode_cache: Mutex::new(HashMap::default()),
+            cache_cap,
         })
     }
 }
@@ -125,6 +137,7 @@ pub struct Embedder {
     pub(crate) config: JavaConfig,
     pub(crate) telemetry: Telemetry,
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
+    pub(crate) decode_cache_cap: usize,
 }
 
 /// A recognition session: the mirror image of [`Embedder`].
@@ -134,6 +147,7 @@ pub struct Recognizer {
     pub(crate) config: JavaConfig,
     pub(crate) telemetry: Telemetry,
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
+    pub(crate) decode_cache_cap: usize,
 }
 
 /// Shared validation for both session builders.
@@ -153,6 +167,7 @@ macro_rules! session_impl {
                     key,
                     config,
                     telemetry: Telemetry::null(),
+                    decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
                 }
             }
 
@@ -162,12 +177,14 @@ macro_rules! session_impl {
             /// deferred: they surface from the first call that needs
             /// the primes, exactly as before sessions cached them.
             pub(crate) fn unchecked(key: WatermarkKey, config: JavaConfig) -> $session {
-                let crypto = SessionCrypto::derive(&key, &config).ok().map(Arc::new);
+                let crypto =
+                    SessionCrypto::derive(&key, &config, DEFAULT_DECODE_CACHE_CAP).ok().map(Arc::new);
                 $session {
                     key,
                     config,
                     telemetry: Telemetry::null(),
                     crypto,
+                    decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
                 }
             }
 
@@ -178,8 +195,16 @@ macro_rules! session_impl {
             pub(crate) fn crypto(&self) -> Result<Arc<SessionCrypto>, WatermarkError> {
                 match &self.crypto {
                     Some(crypto) => Ok(Arc::clone(crypto)),
-                    None => SessionCrypto::derive(&self.key, &self.config).map(Arc::new),
+                    None => {
+                        SessionCrypto::derive(&self.key, &self.config, self.decode_cache_cap)
+                            .map(Arc::new)
+                    }
                 }
+            }
+
+            /// The session's decode-cache ceiling, in entries.
+            pub fn decode_cache_cap(&self) -> usize {
+                self.decode_cache_cap
             }
 
             /// The session's key.
@@ -204,13 +229,25 @@ macro_rules! session_impl {
             /// never change the input sequence. The crypto cache is
             /// re-derived for the new key (primes and cipher are
             /// key-dependent), once, here — not per call downstream.
+            /// Asking for the key the session already holds shares the
+            /// existing crypto state instead (the decode cache is a pure
+            /// function of the key), so a warm per-copy session keeps
+            /// its memoized decodes across calls — what makes resident
+            /// daemon sessions genuinely warm.
             pub fn with_key(&self, key: WatermarkKey) -> $session {
-                let crypto = SessionCrypto::derive(&key, &self.config).ok().map(Arc::new);
+                let crypto = if self.crypto.is_some() && key == self.key {
+                    self.crypto.clone()
+                } else {
+                    SessionCrypto::derive(&key, &self.config, self.decode_cache_cap)
+                        .ok()
+                        .map(Arc::new)
+                };
                 $session {
                     key,
                     config: self.config.clone(),
                     telemetry: self.telemetry.clone(),
                     crypto,
+                    decode_cache_cap: self.decode_cache_cap,
                 }
             }
         }
@@ -221,12 +258,25 @@ macro_rules! session_impl {
             key: WatermarkKey,
             config: JavaConfig,
             telemetry: Telemetry,
+            decode_cache_cap: usize,
         }
 
         impl $builder {
             /// Attaches a telemetry handle (default: disabled).
             pub fn telemetry(mut self, telemetry: Telemetry) -> $builder {
                 self.telemetry = telemetry;
+                self
+            }
+
+            /// Overrides the decode-cache ceiling (default
+            /// [`DEFAULT_DECODE_CACHE_CAP`] entries, ~24 MB). A resident
+            /// daemon holding many warm sessions tunes this down to
+            /// bound memory; admissions past the cap evict arbitrary
+            /// resident entries and bump
+            /// [`pathmark_telemetry::Counter::DecodeCacheEvict`]. Zero
+            /// disables decode memoization entirely.
+            pub fn decode_cache_cap(mut self, cap: usize) -> $builder {
+                self.decode_cache_cap = cap;
                 self
             }
 
@@ -241,12 +291,16 @@ macro_rules! session_impl {
                 // A validated config always admits an enumeration
                 // (validate() bounds the pair-product sum), so this
                 // derivation cannot fail; `.ok()` is for type shape.
-                let crypto = SessionCrypto::derive(&self.key, &self.config).ok().map(Arc::new);
+                let crypto =
+                    SessionCrypto::derive(&self.key, &self.config, self.decode_cache_cap)
+                        .ok()
+                        .map(Arc::new);
                 Ok($session {
                     key: self.key,
                     config: self.config,
                     telemetry: self.telemetry,
                     crypto,
+                    decode_cache_cap: self.decode_cache_cap,
                 })
             }
         }
@@ -317,6 +371,32 @@ mod tests {
         let derived = session.with_key(WatermarkKey::new(99, vec![1, 2]));
         let c = derived.crypto().unwrap();
         assert_ne!(c.primes, a.primes, "a new key re-derives its primes");
+
+        // Re-deriving the session's own key shares the crypto state —
+        // the decode cache stays warm across `with_key` round trips.
+        let same = session.with_key(key());
+        assert!(
+            Arc::ptr_eq(&a, &same.crypto().unwrap()),
+            "same key shares the existing derivation"
+        );
+    }
+
+    #[test]
+    fn decode_cache_cap_is_configurable_and_inherited_by_with_key() {
+        let config = JavaConfig::for_watermark_bits(64);
+        let session = Recognizer::builder(key(), config.clone())
+            .decode_cache_cap(128)
+            .build()
+            .unwrap();
+        assert_eq!(session.decode_cache_cap(), 128);
+        assert_eq!(session.crypto().unwrap().cache_cap, 128);
+        // Per-copy sessions keep the base session's cap.
+        let derived = session.with_key(WatermarkKey::new(99, vec![1, 2]));
+        assert_eq!(derived.decode_cache_cap(), 128);
+        assert_eq!(derived.crypto().unwrap().cache_cap, 128);
+        // The default is the documented constant.
+        let default = Embedder::builder(key(), config).build().unwrap();
+        assert_eq!(default.decode_cache_cap(), DEFAULT_DECODE_CACHE_CAP);
     }
 
     #[test]

@@ -156,6 +156,73 @@ pub fn embed_batch(
     )
 }
 
+/// Runs exactly one embed job against a warm session and an
+/// already-shared trace, producing the same report line the batch
+/// engine would: the per-copy key and watermark are resolved with the
+/// manifest rules ([`EmbedJobSpec::effective_key`] /
+/// [`EmbedJobSpec::watermark`]), transient failures are retried under
+/// `retry`, and typed errors are permanent. This is the single-job
+/// kernel both [`embed_batch_with`] and the resident serve daemon call,
+/// so a job's outcome is identical whichever engine ran it.
+pub fn embed_one(
+    session: &Embedder,
+    host: &Arc<Program>,
+    trace: &Arc<stackvm::trace::Trace>,
+    spec: &EmbedJobSpec,
+    retry: &RetryPolicy,
+    telemetry: &pathmark_telemetry::Telemetry,
+) -> EmbedOutcome {
+    embed_one_faulted(session, host, trace, spec, retry, telemetry, &FaultPlan::none(), 0)
+}
+
+/// [`embed_one`] plus deterministic fault injection (tests only):
+/// `faults` is consulted with this job's batch `index`.
+#[allow(clippy::too_many_arguments)]
+fn embed_one_faulted(
+    base: &Embedder,
+    host: &Arc<Program>,
+    trace: &Arc<stackvm::trace::Trace>,
+    spec: &EmbedJobSpec,
+    policy: &RetryPolicy,
+    telemetry: &pathmark_telemetry::Telemetry,
+    faults: &FaultPlan,
+    index: usize,
+) -> EmbedOutcome {
+    let started = Instant::now();
+    let job_key = spec.effective_key(base.key());
+    let job_session = base.with_key(job_key);
+    // The watermark is resolved once, outside the retry loop: a
+    // bad hex value is a manifest error, permanent by nature.
+    let (status, watermark_hex, marked, attempts) =
+        match spec.watermark(base.key(), base.config()) {
+            Err(why) => (JobStatus::Failed(why), String::new(), None, 1),
+            Ok(watermark) => {
+                let hex = to_hex(watermark.value());
+                let (result, attempts) = run_with_retry(policy, telemetry, |attempt| {
+                    faults.apply(index, attempt)?;
+                    job_session
+                        .embed_with_trace(host, &watermark, trace)
+                        .map_err(|e| AttemptFailure::from_watermark_error(&e))
+                });
+                match result {
+                    Ok(m) => (JobStatus::Ok, hex, Some(m.program), attempts),
+                    Err(f) => (JobStatus::Failed(f.message()), hex, None, attempts),
+                }
+            }
+        };
+    EmbedOutcome {
+        report: JobReport {
+            job_id: spec.job_id.clone(),
+            watermark_hex,
+            seed: job_session.key().seed,
+            status,
+            attempts,
+            wall_ms: started.elapsed().as_millis() as u64,
+        },
+        marked,
+    }
+}
+
 /// Embeds every manifest job with retries, deadlines, and fault
 /// injection per `options`, streaming each settled outcome to
 /// `on_outcome` (on the calling thread, in completion order) as well as
@@ -206,40 +273,7 @@ pub fn embed_batch_with(
     let results = pool.run_all_with(
         jobs.to_vec(),
         move |index, spec: EmbedJobSpec| {
-            let started = Instant::now();
-            let job_key = spec.effective_key(base.key());
-            let job_session = base.with_key(job_key);
-            // The watermark is resolved once, outside the retry loop: a
-            // bad hex value is a manifest error, permanent by nature.
-            let (status, watermark_hex, marked, attempts) =
-                match spec.watermark(base.key(), base.config()) {
-                    Err(why) => (JobStatus::Failed(why), String::new(), None, 1),
-                    Ok(watermark) => {
-                        let hex = to_hex(watermark.value());
-                        let (result, attempts) =
-                            run_with_retry(&policy, &telemetry, |attempt| {
-                                faults.apply(index, attempt)?;
-                                job_session
-                                    .embed_with_trace(&host, &watermark, &trace)
-                                    .map_err(|e| AttemptFailure::from_watermark_error(&e))
-                            });
-                        match result {
-                            Ok(m) => (JobStatus::Ok, hex, Some(m.program), attempts),
-                            Err(f) => (JobStatus::Failed(f.message()), hex, None, attempts),
-                        }
-                    }
-                };
-            EmbedOutcome {
-                report: JobReport {
-                    job_id: spec.job_id,
-                    watermark_hex,
-                    seed: job_session.key().seed,
-                    status,
-                    attempts,
-                    wall_ms: started.elapsed().as_millis() as u64,
-                },
-                marked,
-            }
+            embed_one_faulted(&base, &host, &trace, &spec, &policy, &telemetry, &faults, index)
         },
         &run_options,
         |index, result| match result {
@@ -292,6 +326,79 @@ fn job_failure_status(failure: &JobFailure) -> JobStatus {
     }
 }
 
+/// Runs exactly one recognize job against a warm session, producing
+/// the same report line the batch engine would: the copy is recognized
+/// under its own key (the base key's secret input plus the copy's
+/// seed), transient failures are retried under `retry`, and the
+/// recovered value is checked against `expected_hex` when one is
+/// claimed. The single-job kernel shared by [`recognize_batch_with`]
+/// and the resident serve daemon.
+pub fn recognize_one(
+    session: &Recognizer,
+    job: &RecognizeJob,
+    retry: &RetryPolicy,
+    telemetry: &pathmark_telemetry::Telemetry,
+) -> RecognizeOutcome {
+    recognize_one_faulted(session, job, retry, telemetry, &FaultPlan::none(), 0)
+}
+
+/// [`recognize_one`] plus deterministic fault injection (tests only):
+/// `faults` is consulted with this job's batch `index`.
+fn recognize_one_faulted(
+    base: &Recognizer,
+    job: &RecognizeJob,
+    policy: &RetryPolicy,
+    telemetry: &pathmark_telemetry::Telemetry,
+    faults: &FaultPlan,
+    index: usize,
+) -> RecognizeOutcome {
+    let started = Instant::now();
+    let job_key = WatermarkKey::new(job.seed, base.key().input.clone());
+    let job_session = base.with_key(job_key);
+    let (result, attempts) = run_with_retry(policy, telemetry, |attempt| {
+        faults.apply(index, attempt)?;
+        job_session
+            .recognize(&job.program)
+            .map_err(|e| AttemptFailure::from_watermark_error(&e))
+    });
+    let (status, watermark_hex, recognition) = match result {
+        Err(failure) => (
+            JobStatus::Failed(failure.message()),
+            job.expected_hex.clone().unwrap_or_default(),
+            None,
+        ),
+        Ok(rec) => {
+            let outcome = match (&rec.watermark, &job.expected_hex) {
+                (None, _) => (
+                    JobStatus::NotFound,
+                    job.expected_hex.clone().unwrap_or_default(),
+                ),
+                (Some(w), None) => (JobStatus::Ok, to_hex(w)),
+                (Some(w), Some(expected)) => {
+                    let hex = to_hex(w);
+                    if &hex == expected {
+                        (JobStatus::Ok, hex)
+                    } else {
+                        (JobStatus::Mismatch, hex)
+                    }
+                }
+            };
+            (outcome.0, outcome.1, Some(rec))
+        }
+    };
+    RecognizeOutcome {
+        report: JobReport {
+            job_id: job.job_id.clone(),
+            watermark_hex,
+            seed: job_session.key().seed,
+            status,
+            attempts,
+            wall_ms: started.elapsed().as_millis() as u64,
+        },
+        recognition,
+    }
+}
+
 /// Recognizes every copy on the pool, in job order. Equivalent to
 /// [`recognize_batch_with`] with default options and no callback.
 pub fn recognize_batch(
@@ -330,51 +437,7 @@ pub fn recognize_batch_with(
     let results = pool.run_all_with(
         jobs.to_vec(),
         move |index, job: RecognizeJob| {
-            let started = Instant::now();
-            let job_key = WatermarkKey::new(job.seed, base.key().input.clone());
-            let job_session = base.with_key(job_key);
-            let (result, attempts) = run_with_retry(&policy, &telemetry, |attempt| {
-                faults.apply(index, attempt)?;
-                job_session
-                    .recognize(&job.program)
-                    .map_err(|e| AttemptFailure::from_watermark_error(&e))
-            });
-            let (status, watermark_hex, recognition) = match result {
-                Err(failure) => (
-                    JobStatus::Failed(failure.message()),
-                    job.expected_hex.clone().unwrap_or_default(),
-                    None,
-                ),
-                Ok(rec) => {
-                    let outcome = match (&rec.watermark, &job.expected_hex) {
-                        (None, _) => (
-                            JobStatus::NotFound,
-                            job.expected_hex.clone().unwrap_or_default(),
-                        ),
-                        (Some(w), None) => (JobStatus::Ok, to_hex(w)),
-                        (Some(w), Some(expected)) => {
-                            let hex = to_hex(w);
-                            if &hex == expected {
-                                (JobStatus::Ok, hex)
-                            } else {
-                                (JobStatus::Mismatch, hex)
-                            }
-                        }
-                    };
-                    (outcome.0, outcome.1, Some(rec))
-                }
-            };
-            RecognizeOutcome {
-                report: JobReport {
-                    job_id: job.job_id,
-                    watermark_hex,
-                    seed: job_session.key().seed,
-                    status,
-                    attempts,
-                    wall_ms: started.elapsed().as_millis() as u64,
-                },
-                recognition,
-            }
+            recognize_one_faulted(&base, &job, &policy, &telemetry, &faults, index)
         },
         &run_options,
         |index, result| match result {

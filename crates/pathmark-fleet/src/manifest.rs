@@ -649,4 +649,49 @@ mod tests {
         assert!(recorded.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // The zero-complete-lines edge cases: a crash so early that the
+    // sidecar holds no full outcome line must resume as an *empty*
+    // report — usable, not an error — and the next run must stream and
+    // finalize normally.
+
+    #[test]
+    fn resume_with_an_empty_sidecar_is_an_empty_report() {
+        let dir = temp_dir("resume-empty");
+        let target = dir.join("report.jsonl");
+        // A crash between sidecar creation and the first append.
+        std::fs::write(dir.join("report.jsonl.partial"), "").unwrap();
+
+        let (mut writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert!(recorded.is_empty(), "zero complete lines resume as empty");
+        let reports: Vec<JobReport> = (0..2).map(sample_report).collect();
+        writer.append(&reports[0]).unwrap();
+        writer.append(&reports[1]).unwrap();
+        writer.finalize(&reports).unwrap();
+        let parsed = parse_report(&std::fs::read_to_string(&target).unwrap()).unwrap();
+        assert_eq!(parsed, reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_only_a_torn_line_is_an_empty_report() {
+        let dir = temp_dir("resume-torn-only");
+        let target = dir.join("report.jsonl");
+        // A crash mid-way through the very first outcome line.
+        let torn = &sample_report(0).to_line()[..10];
+        std::fs::write(dir.join("report.jsonl.partial"), torn).unwrap();
+
+        let (mut writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert!(recorded.is_empty(), "a lone torn line resumes as empty");
+        let sidecar = std::fs::read_to_string(writer.partial_path()).unwrap();
+        assert!(sidecar.is_empty(), "sidecar rewritten clean of the torn tail");
+
+        let reports: Vec<JobReport> = (0..2).map(sample_report).collect();
+        writer.append(&reports[0]).unwrap();
+        writer.append(&reports[1]).unwrap();
+        writer.finalize(&reports).unwrap();
+        let parsed = parse_report(&std::fs::read_to_string(&target).unwrap()).unwrap();
+        assert_eq!(parsed, reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -162,6 +162,14 @@ impl WorkerPool {
         &self.shared.telemetry
     }
 
+    /// Jobs currently waiting in the queue (excludes jobs already on a
+    /// worker). A point-in-time snapshot — by the time the caller acts
+    /// on it the depth may have changed — but good enough for the
+    /// admission-control check the serve daemon runs before enqueueing.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").jobs.len()
+    }
+
     /// Enqueues one fire-and-forget job. On a telemetry-enabled pool the
     /// job is wrapped to report its queue wait (enqueue → dequeue) and
     /// its run time as separate spans.

@@ -1,0 +1,164 @@
+//! Admission control over the fleet worker pool: a bounded in-flight
+//! budget with load-shed, the backpressure half of the daemon.
+//!
+//! The pool's queue is unbounded by design (a batch run enqueues its
+//! whole manifest at once); a resident daemon cannot afford that — an
+//! aggressive client would grow the queue without bound and every
+//! accepted job is a durability promise in the journal. The gate caps
+//! *accepted-but-unsettled* jobs: past the cap, [`AdmissionGate::try_admit`]
+//! refuses and the server answers with the distinct `shed` status
+//! instead of queueing. Each admission is a [`Permit`] whose `Drop`
+//! releases the slot, so a panicking job cannot leak capacity.
+//!
+//! Admissions and refusals are counted
+//! ([`Counter::JobAccepted`] / [`Counter::JobShed`]) next to the pool's
+//! own queue-wait spans, so saturation is visible in `--metrics` output.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use pathmark_telemetry::{Counter, Telemetry};
+
+#[derive(Debug)]
+struct GateState {
+    inflight: Mutex<usize>,
+    changed: Condvar,
+}
+
+/// The daemon's bounded in-flight budget.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_inflight: usize,
+    state: Arc<GateState>,
+    telemetry: Telemetry,
+}
+
+/// One admitted job's slot; dropping it (success, failure, or panic
+/// unwind) releases the slot and wakes waiters.
+#[derive(Debug)]
+pub struct Permit {
+    state: Arc<GateState>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut inflight = self.state.inflight.lock().expect("gate lock");
+        *inflight = inflight.saturating_sub(1);
+        drop(inflight);
+        self.state.changed.notify_all();
+    }
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_inflight` unsettled jobs (at least
+    /// one).
+    pub fn new(max_inflight: usize, telemetry: Telemetry) -> AdmissionGate {
+        AdmissionGate {
+            max_inflight: max_inflight.max(1),
+            state: Arc::new(GateState {
+                inflight: Mutex::new(0),
+                changed: Condvar::new(),
+            }),
+            telemetry,
+        }
+    }
+
+    /// The configured in-flight ceiling.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Jobs admitted and not yet settled.
+    pub fn inflight(&self) -> usize {
+        *self.state.inflight.lock().expect("gate lock")
+    }
+
+    /// Admits a job if the budget allows, else sheds it. Counts
+    /// [`Counter::JobAccepted`] or [`Counter::JobShed`] accordingly.
+    pub fn try_admit(&self) -> Option<Permit> {
+        let mut inflight = self.state.inflight.lock().expect("gate lock");
+        if *inflight >= self.max_inflight {
+            drop(inflight);
+            self.telemetry.count(Counter::JobShed, 1);
+            return None;
+        }
+        *inflight += 1;
+        drop(inflight);
+        self.telemetry.count(Counter::JobAccepted, 1);
+        Some(Permit {
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Admits a job, blocking until the budget allows it — the replay
+    /// path, where shedding is not an option (the intent is already a
+    /// journal promise).
+    pub fn admit(&self) -> Permit {
+        let mut inflight = self.state.inflight.lock().expect("gate lock");
+        while *inflight >= self.max_inflight {
+            inflight = self.state.changed.wait(inflight).expect("gate lock");
+        }
+        *inflight += 1;
+        drop(inflight);
+        self.telemetry.count(Counter::JobAccepted, 1);
+        Permit {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Blocks until every admitted job has settled — the graceful-drain
+    /// half of shutdown (and of connection teardown, so responses are
+    /// flushed before the stream closes).
+    pub fn drain(&self) {
+        let mut inflight = self.state.inflight.lock().expect("gate lock");
+        while *inflight > 0 {
+            inflight = self.state.changed.wait(inflight).expect("gate lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathmark_telemetry::MemorySink;
+    use std::time::Duration;
+
+    #[test]
+    fn sheds_past_the_cap_and_recovers_on_release() {
+        let sink = Arc::new(MemorySink::new());
+        let gate = AdmissionGate::new(2, Telemetry::new(sink.clone()));
+        let a = gate.try_admit().unwrap();
+        let _b = gate.try_admit().unwrap();
+        assert!(gate.try_admit().is_none(), "third admit sheds");
+        assert_eq!(gate.inflight(), 2);
+        drop(a);
+        assert!(gate.try_admit().is_some(), "released slot readmits");
+        assert_eq!(sink.counter(Counter::JobAccepted), 3);
+        assert_eq!(sink.counter(Counter::JobShed), 1);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let gate = AdmissionGate::new(0, Telemetry::null());
+        assert_eq!(gate.max_inflight(), 1);
+        let _p = gate.try_admit().unwrap();
+        assert!(gate.try_admit().is_none());
+    }
+
+    #[test]
+    fn drain_waits_for_permits_and_blocking_admit_wakes() {
+        let gate = Arc::new(AdmissionGate::new(1, Telemetry::null()));
+        let permit = gate.try_admit().unwrap();
+        let blocked = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                // Blocks until the main thread's permit drops.
+                let _p = gate.admit();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(permit);
+        blocked.join().unwrap();
+        gate.drain();
+        assert_eq!(gate.inflight(), 0);
+    }
+}

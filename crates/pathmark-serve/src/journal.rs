@@ -1,0 +1,460 @@
+//! The daemon's write-ahead journal: crash-safe exactly-once job
+//! execution built from two existing fleet primitives.
+//!
+//! * An **intents file** (`PREFIX.intents.jsonl`) records every
+//!   *accepted* request line — `open` lines and job lines, verbatim,
+//!   unbuffered — *before* the job is enqueued. After a crash, the
+//!   intents file says what the daemon had promised to do.
+//! * Two [`ReportWriter`]s (`PREFIX.embed.jsonl`,
+//!   `PREFIX.recognize.jsonl`) double as the outcome log: settled jobs
+//!   stream to the `.partial` sidecars exactly as the batch CLI streams
+//!   them, and graceful shutdown finalizes both reports with the same
+//!   fsync-then-atomic-rename discipline.
+//!
+//! Resume intersects the two: outcomes already on disk are *done*
+//! (duplicate submissions are answered from the journal), intents with
+//! no outcome are *pending* and re-run. A torn trailing line in either
+//! file — the kill -9 case — is dropped and rewritten away, so the
+//! journal a resumed daemon sees is always exactly "what was accepted"
+//! and "what finished". Client resubmission after a crash is
+//! at-least-once; journal dedup makes execution exactly-once.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pathmark_fleet::json::parse_object;
+use pathmark_fleet::manifest::{JobReport, ReportWriter};
+
+use crate::protocol::Op;
+
+/// The write-ahead journal behind one daemon instance.
+#[derive(Debug)]
+pub struct Journal {
+    intents: std::fs::File,
+    embed: ReportWriter,
+    recognize: ReportWriter,
+    /// Outcomes on disk, keyed by (op, job_id) — the dedup map.
+    completed: HashMap<(Op, String), JobReport>,
+    /// Every job intent ever recorded (completed or pending), mapped to
+    /// the tenant that submitted it. Job ids are daemon-unique per op:
+    /// the server rejects a second tenant reusing one, so a journaled
+    /// outcome is never answered across tenants.
+    accepted: HashMap<(Op, String), String>,
+    /// Job acceptance order; finalized reports are written in this
+    /// order, which is manifest order when a client submits a manifest
+    /// top to bottom — the batch bit-identity convention.
+    order: Vec<(Op, String)>,
+}
+
+fn intents_path(prefix: &Path) -> PathBuf {
+    with_suffix(prefix, ".intents.jsonl")
+}
+
+fn report_path(prefix: &Path, op: Op) -> PathBuf {
+    with_suffix(prefix, &format!(".{}.jsonl", op.as_str()))
+}
+
+fn with_suffix(prefix: &Path, suffix: &str) -> PathBuf {
+    let mut name = prefix.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    prefix.with_file_name(name)
+}
+
+impl Journal {
+    /// Starts a fresh journal at `PREFIX.{intents,embed,recognize}.jsonl`,
+    /// truncating leftovers from an earlier run.
+    ///
+    /// # Errors
+    ///
+    /// Whatever creating the three files reports.
+    pub fn create(prefix: &Path) -> std::io::Result<Journal> {
+        if let Some(parent) = prefix.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Journal {
+            intents: std::fs::File::create(intents_path(prefix))?,
+            embed: ReportWriter::create(report_path(prefix, Op::Embed))?,
+            recognize: ReportWriter::create(report_path(prefix, Op::Recognize))?,
+            completed: HashMap::new(),
+            accepted: HashMap::new(),
+            order: Vec::new(),
+        })
+    }
+
+    /// Resumes the journal of a crashed daemon. Returns the journal
+    /// (recorded outcomes loaded into the dedup map) plus the raw
+    /// accepted request lines in acceptance order — `open` lines and job
+    /// lines alike — for the server to replay. A torn trailing line in
+    /// the intents file or either outcome sidecar is discarded and
+    /// truncated away.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading or rewriting any journal file.
+    pub fn resume(prefix: &Path) -> std::io::Result<(Journal, Vec<String>)> {
+        if let Some(parent) = prefix.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let (embed, embed_done) = ReportWriter::resume(report_path(prefix, Op::Embed))?;
+        let (recognize, recognize_done) =
+            ReportWriter::resume(report_path(prefix, Op::Recognize))?;
+        let mut completed = HashMap::new();
+        for report in embed_done {
+            completed.insert((Op::Embed, report.job_id.clone()), report);
+        }
+        for report in recognize_done {
+            completed.insert((Op::Recognize, report.job_id.clone()), report);
+        }
+
+        let path = intents_path(prefix);
+        let text = if path.exists() {
+            std::fs::read_to_string(&path)?
+        } else {
+            String::new()
+        };
+        // The valid prefix: stop at the first line that does not parse
+        // (a write torn by the crash). Everything after it was never
+        // acknowledged, so dropping it is safe.
+        let mut replay = Vec::new();
+        let mut accepted = HashMap::new();
+        let mut order = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(fields) = parse_object(line) else {
+                break;
+            };
+            let op = match fields.get("op").and_then(|v| v.as_str()) {
+                Some("embed") => Some(Op::Embed),
+                Some("recognize") => Some(Op::Recognize),
+                _ => None,
+            };
+            if let (Some(op), Some(job_id)) =
+                (op, fields.get("job_id").and_then(|v| v.as_str()))
+            {
+                let tenant = fields
+                    .get("tenant")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default();
+                let key = (op, job_id.to_string());
+                if !accepted.contains_key(&key) {
+                    accepted.insert(key.clone(), tenant.to_string());
+                    order.push(key);
+                }
+            }
+            replay.push(line.to_string());
+        }
+        // Rewrite the intents file from the valid prefix, dropping the
+        // torn tail, then reopen for appending.
+        let mut clean = replay.join("\n");
+        if !clean.is_empty() {
+            clean.push('\n');
+        }
+        std::fs::write(&path, &clean)?;
+        let intents = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok((
+            Journal {
+                intents,
+                embed,
+                recognize,
+                completed,
+                accepted,
+                order,
+            },
+            replay,
+        ))
+    }
+
+    /// Records an accepted `open` line so a resumed daemon can rebuild
+    /// the tenant before re-running its pending jobs.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the append reports.
+    pub fn record_open_intent(&mut self, line: &str) -> std::io::Result<()> {
+        self.append_intent(line)
+    }
+
+    /// Records an accepted job line — the promise that this job will
+    /// run. Must be called before the job is enqueued.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the append reports.
+    pub fn record_job_intent(
+        &mut self,
+        op: Op,
+        tenant: &str,
+        job_id: &str,
+        line: &str,
+    ) -> std::io::Result<()> {
+        self.append_intent(line)?;
+        let key = (op, job_id.to_string());
+        if !self.accepted.contains_key(&key) {
+            self.accepted.insert(key.clone(), tenant.to_string());
+            self.order.push(key);
+        }
+        Ok(())
+    }
+
+    fn append_intent(&mut self, line: &str) -> std::io::Result<()> {
+        let mut owned = line.trim().to_string();
+        owned.push('\n');
+        // Unbuffered, like the report sidecars: one write per line, so
+        // a crash tears at most the line being written.
+        self.intents.write_all(owned.as_bytes())
+    }
+
+    /// Whether a job intent was ever recorded (settled or still
+    /// pending).
+    pub fn is_accepted(&self, op: Op, job_id: &str) -> bool {
+        self.accepted.contains_key(&(op, job_id.to_string()))
+    }
+
+    /// The tenant that submitted a recorded job intent, if any. The
+    /// server uses this to refuse a different tenant reusing the id —
+    /// the journaled outcome would otherwise leak across tenants.
+    pub fn owner(&self, op: Op, job_id: &str) -> Option<&str> {
+        self.accepted
+            .get(&(op, job_id.to_string()))
+            .map(String::as_str)
+    }
+
+    /// The journaled outcome of a settled job, if it settled.
+    pub fn completed(&self, op: Op, job_id: &str) -> Option<&JobReport> {
+        self.completed.get(&(op, job_id.to_string()))
+    }
+
+    /// Number of settled jobs on record.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Streams a settled job's outcome to the op's report sidecar and
+    /// adds it to the dedup map.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the sidecar append reports.
+    pub fn record_outcome(&mut self, op: Op, report: &JobReport) -> std::io::Result<()> {
+        match op {
+            Op::Embed => self.embed.append(report)?,
+            Op::Recognize => self.recognize.append(report)?,
+        }
+        self.completed
+            .insert((op, report.job_id.clone()), report.clone());
+        Ok(())
+    }
+
+    /// Finalizes both reports (acceptance order, fsync, atomic rename)
+    /// and retires the intents file — every promise it held is now
+    /// durable in a finalized report. Returns the (embed, recognize)
+    /// report line counts.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors finalizing either report.
+    pub fn finalize(self) -> std::io::Result<(usize, usize)> {
+        let mut embed_ordered = Vec::new();
+        let mut recognize_ordered = Vec::new();
+        for key in &self.order {
+            let Some(report) = self.completed.get(key) else {
+                continue;
+            };
+            match key.0 {
+                Op::Embed => embed_ordered.push(report.clone()),
+                Op::Recognize => recognize_ordered.push(report.clone()),
+            }
+        }
+        let intents = self.intents_file_path();
+        self.embed.finalize(&embed_ordered)?;
+        self.recognize.finalize(&recognize_ordered)?;
+        if let Some(path) = intents {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok((embed_ordered.len(), recognize_ordered.len()))
+    }
+
+    /// Reconstructs the intents path from the embed report target (the
+    /// journal does not store the prefix separately).
+    fn intents_file_path(&self) -> Option<PathBuf> {
+        let target = self.embed.target_path();
+        let name = target.file_name()?.to_str()?;
+        let prefix = name.strip_suffix(".embed.jsonl")?;
+        Some(target.with_file_name(format!("{prefix}.intents.jsonl")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathmark_fleet::manifest::{parse_report, JobStatus};
+
+    fn report(op: &str, n: u32) -> JobReport {
+        JobReport {
+            job_id: format!("{op}-{n:03}"),
+            watermark_hex: format!("{n:x}"),
+            seed: u64::from(n),
+            status: JobStatus::Ok,
+            attempts: 1,
+            wall_ms: 9,
+        }
+    }
+
+    fn temp_prefix(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pathmark-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("serve")
+    }
+
+    fn cleanup(prefix: &Path) {
+        let _ = std::fs::remove_dir_all(prefix.parent().unwrap());
+    }
+
+    #[test]
+    fn intents_then_outcomes_then_finalize() {
+        let prefix = temp_prefix("basic");
+        let mut journal = Journal::create(&prefix).unwrap();
+        journal.record_open_intent("{\"op\":\"open\",\"tenant\":\"t\"}").unwrap();
+        let a = report("embed", 0);
+        let b = report("recognize", 0);
+        journal
+            .record_job_intent(
+                Op::Embed,
+                "t",
+                &a.job_id,
+                "{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-000\"}",
+            )
+            .unwrap();
+        journal
+            .record_job_intent(
+                Op::Recognize,
+                "t",
+                &b.job_id,
+                "{\"op\":\"recognize\",\"tenant\":\"t\",\"job_id\":\"recognize-000\"}",
+            )
+            .unwrap();
+        assert!(journal.is_accepted(Op::Embed, "embed-000"));
+        assert!(!journal.is_accepted(Op::Embed, "recognize-000"), "keyed per op");
+        assert_eq!(journal.owner(Op::Embed, "embed-000"), Some("t"));
+        assert_eq!(journal.owner(Op::Embed, "missing"), None);
+        assert!(journal.completed(Op::Embed, "embed-000").is_none());
+
+        journal.record_outcome(Op::Embed, &a).unwrap();
+        journal.record_outcome(Op::Recognize, &b).unwrap();
+        assert_eq!(journal.completed(Op::Embed, "embed-000"), Some(&a));
+        assert_eq!(journal.completed_count(), 2);
+
+        let (embeds, recognizes) = journal.finalize().unwrap();
+        assert_eq!((embeds, recognizes), (1, 1));
+        let embed_text =
+            std::fs::read_to_string(with_suffix(&prefix, ".embed.jsonl")).unwrap();
+        assert_eq!(parse_report(&embed_text).unwrap(), vec![a]);
+        assert!(
+            !intents_path(&prefix).exists(),
+            "finalize retires the intents file"
+        );
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn resume_splits_done_from_pending_and_drops_torn_tails() {
+        let prefix = temp_prefix("resume");
+        {
+            let mut journal = Journal::create(&prefix).unwrap();
+            journal.record_open_intent("{\"op\":\"open\",\"tenant\":\"t\"}").unwrap();
+            for n in 0..3 {
+                let r = report("embed", n);
+                journal
+                    .record_job_intent(
+                        Op::Embed,
+                        "t",
+                        &r.job_id,
+                        &format!("{{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-{n:03}\"}}"),
+                    )
+                    .unwrap();
+            }
+            // Only job 0 settled before the "crash".
+            journal.record_outcome(Op::Embed, &report("embed", 0)).unwrap();
+            // Crash: journal dropped without finalize; sidecars stay.
+        }
+        // Tear the trailing intent line and the outcome sidecar, as a
+        // kill -9 mid-write would.
+        let intents = intents_path(&prefix);
+        let mut text = std::fs::read_to_string(&intents).unwrap();
+        text.push_str("{\"op\":\"embed\",\"job_id\":\"embed-9");
+        std::fs::write(&intents, &text).unwrap();
+        let sidecar = with_suffix(&prefix, ".embed.jsonl.partial");
+        let mut text = std::fs::read_to_string(&sidecar).unwrap();
+        text.push_str("{\"job_id\":\"embed-0");
+        std::fs::write(&sidecar, &text).unwrap();
+
+        let (journal, replay) = Journal::resume(&prefix).unwrap();
+        assert_eq!(replay.len(), 4, "open + three accepted jobs; torn tail dropped");
+        assert!(replay[0].contains("\"open\""));
+        assert!(journal.completed(Op::Embed, "embed-000").is_some());
+        assert!(journal.completed(Op::Embed, "embed-001").is_none());
+        assert!(journal.is_accepted(Op::Embed, "embed-002"));
+        assert!(
+            !journal.is_accepted(Op::Embed, "embed-9"),
+            "the torn intent was never accepted"
+        );
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn resumed_journal_finalizes_in_original_acceptance_order() {
+        let prefix = temp_prefix("order");
+        {
+            let mut journal = Journal::create(&prefix).unwrap();
+            for n in 0..3 {
+                let r = report("embed", n);
+                journal
+                    .record_job_intent(
+                        Op::Embed,
+                        "t",
+                        &r.job_id,
+                        &format!("{{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-{n:03}\"}}"),
+                    )
+                    .unwrap();
+            }
+            // Outcomes land out of order (completion order) and only
+            // partially (jobs 2 and 0) before the crash.
+            journal.record_outcome(Op::Embed, &report("embed", 2)).unwrap();
+            journal.record_outcome(Op::Embed, &report("embed", 0)).unwrap();
+        }
+        let (mut journal, _replay) = Journal::resume(&prefix).unwrap();
+        journal.record_outcome(Op::Embed, &report("embed", 1)).unwrap();
+        journal.finalize().unwrap();
+        let text = std::fs::read_to_string(with_suffix(&prefix, ".embed.jsonl")).unwrap();
+        let ids: Vec<String> = parse_report(&text)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.job_id)
+            .collect();
+        assert_eq!(
+            ids,
+            vec!["embed-000", "embed-001", "embed-002"],
+            "acceptance order, not completion order"
+        );
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn resume_with_no_prior_state_is_a_fresh_journal() {
+        let prefix = temp_prefix("fresh");
+        let (journal, replay) = Journal::resume(&prefix).unwrap();
+        assert!(replay.is_empty());
+        assert_eq!(journal.completed_count(), 0);
+        cleanup(&prefix);
+    }
+}

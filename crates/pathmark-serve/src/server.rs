@@ -1,0 +1,579 @@
+//! The resident daemon: dispatch loop, transports, and lifecycle.
+//!
+//! One [`Server`] owns the warm [`Registry`], the fleet [`WorkerPool`]
+//! and [`TraceCache`], the [`AdmissionGate`], and the write-ahead
+//! [`Journal`]. Request lines arrive from a transport —
+//! [`Server::serve_stdio`] or [`Server::serve_unix`] — and dispatch on
+//! the transport thread; accepted jobs run on the pool and stream their
+//! responses back in completion order (responses carry `job_id`, so
+//! clients correlate). The per-job execution kernels are the *same*
+//! functions the batch engine runs ([`embed_one`] / [`recognize_one`]),
+//! which is what makes a serve report bit-identical (modulo `wall_ms`)
+//! to the batch report for the same manifest.
+//!
+//! Lifecycle:
+//!
+//! * **accept** — journal the intent, admit past the gate (or shed),
+//!   enqueue; the journal entry precedes the enqueue, so a crash never
+//!   loses an acknowledged job.
+//! * **crash** (`kill -9`) — the journal's intents + outcome sidecars
+//!   survive; restarting with `resume: true` replays `open` intents,
+//!   re-runs pending jobs, and answers duplicate submissions from the
+//!   recorded outcomes ([`Counter::JobResumed`]).
+//! * **graceful shutdown** (`{"op":"shutdown"}` or stdio EOF) — drain
+//!   the gate, finalize both reports (acceptance order, fsync, atomic
+//!   rename), acknowledge, exit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pathmark_core::java::Recognizer;
+use pathmark_fleet::batch::{embed_one, recognize_one, RecognizeJob};
+use pathmark_fleet::cache::TraceCache;
+use pathmark_fleet::manifest::{to_hex, EmbedJobSpec, JobReport, JobStatus};
+use pathmark_fleet::pool::WorkerPool;
+use pathmark_fleet::retry::RetryPolicy;
+use pathmark_telemetry::{Counter, Telemetry};
+use stackvm::trace::TraceConfig;
+use stackvm::Program;
+
+use crate::admission::{AdmissionGate, Permit};
+use crate::journal::Journal;
+use crate::protocol::{
+    error_line, job_line, opened_line, pong_line, shed_line, shutdown_line, stats_line,
+    Disposition, EmbedRequest, Op, RecognizeRequest, Request, StatsSnapshot,
+};
+use crate::registry::{Registry, Tenant};
+
+/// Where responses go: a line-oriented writer shared between the
+/// dispatch thread and the pool workers.
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Wraps a writer for concurrent response emission.
+pub fn shared_writer(writer: Box<dyn Write + Send>) -> SharedWriter {
+    Arc::new(Mutex::new(writer))
+}
+
+/// Writes one response line. Write errors are swallowed: a client that
+/// hung up loses its responses, never the daemon (outcomes are already
+/// journaled).
+fn respond(out: &SharedWriter, line: &str) {
+    let mut writer = out.lock().expect("response writer lock");
+    let _ = writer.write_all(line.as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Journal path prefix; the daemon owns
+    /// `PREFIX.{intents,embed,recognize}.jsonl`.
+    pub journal_prefix: PathBuf,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission ceiling: accepted-but-unsettled jobs past this are
+    /// shed.
+    pub max_inflight: usize,
+    /// Resume a crashed daemon's journal instead of truncating it.
+    pub resume: bool,
+    /// Per-job retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Telemetry sink shared by sessions, pool, cache, and gate.
+    pub telemetry: Telemetry,
+}
+
+impl ServeOptions {
+    /// Defaults: one worker per core, 64 in-flight jobs, fresh journal,
+    /// no retries, telemetry disabled.
+    pub fn new(journal_prefix: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            journal_prefix: journal_prefix.into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_inflight: 64,
+            resume: false,
+            retry: RetryPolicy::none(),
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LifetimeCounters {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    resumed: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// Whether a line is being served live or replayed from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// A client is on the other end: journal new intents, shed on
+    /// overload.
+    Live,
+    /// Startup replay of journaled intents: never re-journal, never
+    /// shed (the intent is already a promise — block for a slot).
+    Replay,
+}
+
+/// A resident recognition/embedding daemon.
+pub struct Server {
+    registry: Registry,
+    pool: WorkerPool,
+    cache: Arc<TraceCache>,
+    gate: Arc<AdmissionGate>,
+    journal: Arc<Mutex<Option<Journal>>>,
+    counters: Arc<LifetimeCounters>,
+    retry: RetryPolicy,
+    telemetry: Telemetry,
+}
+
+impl Server {
+    /// Builds the daemon: opens (or resumes) the journal and, when
+    /// resuming, replays journaled intents — tenants are rebuilt,
+    /// pending jobs re-run to completion, settled jobs counted as
+    /// resumed — before the first transport line is read.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failures, rendered as strings.
+    pub fn new(options: ServeOptions) -> Result<Server, String> {
+        let prefix = &options.journal_prefix;
+        let (journal, replay) = if options.resume {
+            Journal::resume(prefix).map_err(|e| format!("{}: {e}", prefix.display()))?
+        } else {
+            let journal =
+                Journal::create(prefix).map_err(|e| format!("{}: {e}", prefix.display()))?;
+            (journal, Vec::new())
+        };
+        let server = Server {
+            registry: Registry::new(options.telemetry.clone()),
+            pool: WorkerPool::with_telemetry(options.workers, options.telemetry.clone()),
+            cache: Arc::new(TraceCache::with_telemetry(options.telemetry.clone())),
+            gate: Arc::new(AdmissionGate::new(
+                options.max_inflight,
+                options.telemetry.clone(),
+            )),
+            journal: Arc::new(Mutex::new(Some(journal))),
+            counters: Arc::new(LifetimeCounters::default()),
+            retry: options.retry,
+            telemetry: options.telemetry,
+        };
+        // Replay responses go nowhere: the clients they belonged to are
+        // gone. Duplicate *re-submissions* after restart get journaled
+        // answers on their own connections instead.
+        let sink = shared_writer(Box::new(std::io::sink()));
+        for line in &replay {
+            server.dispatch(line, &sink, Mode::Replay);
+        }
+        // Settle every replayed job before serving: a resumed daemon
+        // that answers its first client has already kept yesterday's
+        // promises.
+        server.gate.drain();
+        Ok(server)
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            resumed: self.counters.resumed.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            inflight: self.gate.inflight() as u64,
+            queue_depth: self.pool.queue_depth() as u64,
+            tenants: self.registry.count() as u64,
+        }
+    }
+
+    /// Serves request lines from `reader` until EOF or a `shutdown`
+    /// request. Returns whether shutdown was requested (the journal is
+    /// then finalized and the daemon should exit). On plain EOF the
+    /// gate is drained first, so every accepted job's response reaches
+    /// the writer before the transport is torn down.
+    ///
+    /// # Errors
+    ///
+    /// Transport read errors only — protocol defects become `error`
+    /// responses.
+    pub fn serve_lines<R: BufRead>(&self, reader: R, out: &SharedWriter) -> std::io::Result<bool> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.dispatch(&line, out, Mode::Live) {
+                self.shutdown(out);
+                return Ok(true);
+            }
+        }
+        self.gate.drain();
+        Ok(false)
+    }
+
+    /// Serves stdin/stdout: the single-client transport. EOF without a
+    /// `shutdown` request still drains and finalizes — closing the pipe
+    /// *is* the client's goodbye.
+    ///
+    /// # Errors
+    ///
+    /// Transport read errors.
+    pub fn serve_stdio(&self) -> std::io::Result<()> {
+        let out = shared_writer(Box::new(std::io::stdout()));
+        let shutdown = self.serve_lines(std::io::stdin().lock(), &out)?;
+        if !shutdown {
+            self.finish();
+        }
+        Ok(())
+    }
+
+    /// Serves a unix-domain socket: clients connect, stream requests,
+    /// and disconnect; the daemon persists across connections (that is
+    /// the point — sessions stay warm). Connections are served one at a
+    /// time. A `shutdown` request finalizes the journal, removes the
+    /// socket file, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/accept errors; per-connection errors are logged to
+    /// stderr and the daemon keeps accepting.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, socket: &Path) -> std::io::Result<()> {
+        // A previous daemon killed with SIGKILL leaves its socket file
+        // behind; binding over it needs the stale file gone.
+        let _ = std::fs::remove_file(socket);
+        let listener = std::os::unix::net::UnixListener::bind(socket)?;
+        loop {
+            let (stream, _) = listener.accept()?;
+            let reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(e) => {
+                    eprintln!("serve: connection setup failed: {e}");
+                    continue;
+                }
+            });
+            let out = shared_writer(Box::new(stream));
+            match self.serve_lines(reader, &out) {
+                Ok(true) => break,
+                Ok(false) => continue,
+                Err(e) => eprintln!("serve: connection failed: {e}"),
+            }
+        }
+        let _ = std::fs::remove_file(socket);
+        Ok(())
+    }
+
+    /// Drains in-flight jobs and finalizes the journal without a client
+    /// acknowledgement — the EOF/idempotent half of shutdown.
+    pub fn finish(&self) {
+        self.gate.drain();
+        let journal = self.journal.lock().expect("journal lock").take();
+        if let Some(journal) = journal {
+            if let Err(e) = journal.finalize() {
+                eprintln!("serve: journal finalize failed: {e}");
+            }
+        }
+    }
+
+    /// The `shutdown`-request path: drain, finalize, acknowledge.
+    fn shutdown(&self, out: &SharedWriter) {
+        self.finish();
+        respond(out, &shutdown_line(self.counters.completed.load(Ordering::Relaxed)));
+    }
+
+    /// Handles one request line. Returns whether shutdown was requested.
+    fn dispatch(&self, line: &str, out: &SharedWriter, mode: Mode) -> bool {
+        let request = match Request::parse(line) {
+            Ok(request) => request,
+            Err(why) => {
+                respond(out, &error_line(&why));
+                return false;
+            }
+        };
+        match request {
+            Request::Ping => respond(out, &pong_line()),
+            Request::Stats => respond(out, &stats_line(&self.stats())),
+            Request::Shutdown => return true,
+            Request::Open(open) => match self.registry.open(&open) {
+                Err(why) => respond(out, &error_line(&why)),
+                Ok((_, warm)) => {
+                    // Journal only builds: a warm hit changes nothing a
+                    // resumed daemon would need to redo.
+                    if mode == Mode::Live && !warm {
+                        self.record_open_intent(line, out);
+                    }
+                    respond(out, &opened_line(&open.tenant, warm));
+                }
+            },
+            Request::Embed(EmbedRequest {
+                tenant,
+                spec,
+                host,
+                out_dir,
+            }) => self.handle_job(Op::Embed, &tenant, spec, JobInput::Embed { host, out_dir }, line, out, mode),
+            Request::Recognize(RecognizeRequest {
+                tenant,
+                spec,
+                program,
+            }) => self.handle_job(
+                Op::Recognize,
+                &tenant,
+                spec,
+                JobInput::Recognize { program },
+                line,
+                out,
+                mode,
+            ),
+        }
+        false
+    }
+
+    fn record_open_intent(&self, line: &str, out: &SharedWriter) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        if let Some(journal) = journal.as_mut() {
+            if let Err(e) = journal.record_open_intent(line) {
+                respond(out, &error_line(&format!("journal: {e}")));
+            }
+        }
+    }
+
+    /// The accept path shared by both job ops: dedup against the
+    /// journal, admit past the gate, journal the intent, enqueue.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_job(
+        &self,
+        op: Op,
+        tenant_name: &str,
+        spec: EmbedJobSpec,
+        input: JobInput,
+        line: &str,
+        out: &SharedWriter,
+        mode: Mode,
+    ) {
+        let Some(tenant) = self.registry.get(tenant_name) else {
+            respond(
+                out,
+                &error_line(&format!("unknown tenant `{tenant_name}` (open it first)")),
+            );
+            return;
+        };
+        {
+            let journal = self.journal.lock().expect("journal lock");
+            let Some(journal) = journal.as_ref() else {
+                respond(out, &error_line("daemon is shutting down"));
+                return;
+            };
+            // Job ids are daemon-unique per op: answering tenant B from
+            // tenant A's journaled outcome would leak across tenants.
+            if let Some(owner) = journal.owner(op, &spec.job_id) {
+                if owner != tenant_name {
+                    respond(
+                        out,
+                        &error_line(&format!(
+                            "{} job `{}` belongs to tenant `{owner}`",
+                            op.as_str(),
+                            spec.job_id
+                        )),
+                    );
+                    return;
+                }
+            }
+            if let Some(report) = journal.completed(op, &spec.job_id) {
+                // The exactly-once half of at-least-once resubmission:
+                // answer from the journal, never re-run.
+                self.counters.resumed.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.count(Counter::JobResumed, 1);
+                respond(
+                    out,
+                    &job_line(op, tenant_name, report, Disposition::Resumed),
+                );
+                return;
+            }
+            if mode == Mode::Live && journal.is_accepted(op, &spec.job_id) {
+                respond(
+                    out,
+                    &error_line(&format!(
+                        "{} job `{}` is already in flight",
+                        op.as_str(),
+                        spec.job_id
+                    )),
+                );
+                return;
+            }
+        }
+        let permit = match mode {
+            Mode::Live => match self.gate.try_admit() {
+                Some(permit) => permit,
+                None => {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    respond(out, &shed_line(op, tenant_name, &spec.job_id));
+                    return;
+                }
+            },
+            Mode::Replay => self.gate.admit(),
+        };
+        if mode == Mode::Live {
+            let mut journal = self.journal.lock().expect("journal lock");
+            match journal.as_mut() {
+                None => {
+                    respond(out, &error_line("daemon is shutting down"));
+                    return;
+                }
+                Some(journal) => {
+                    if let Err(e) = journal.record_job_intent(op, tenant_name, &spec.job_id, line) {
+                        respond(out, &error_line(&format!("journal: {e}")));
+                        return;
+                    }
+                }
+            }
+        }
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(op, tenant, spec, input, out.clone(), permit);
+    }
+
+    /// Runs one accepted job on the pool; its report is journaled and
+    /// answered in completion order.
+    fn enqueue(
+        &self,
+        op: Op,
+        tenant: Arc<Tenant>,
+        spec: EmbedJobSpec,
+        input: JobInput,
+        out: SharedWriter,
+        permit: Permit,
+    ) {
+        let journal = Arc::clone(&self.journal);
+        let counters = Arc::clone(&self.counters);
+        let cache = Arc::clone(&self.cache);
+        let retry = self.retry.clone();
+        let telemetry = self.telemetry.clone();
+        self.pool.execute(move || {
+            let report = match &input {
+                JobInput::Embed { host, out_dir } => {
+                    run_embed_job(&tenant, &cache, &spec, host, out_dir, &retry, &telemetry)
+                }
+                JobInput::Recognize { program } => {
+                    run_recognize_job(&tenant, &spec, program, &retry, &telemetry)
+                }
+            };
+            {
+                let mut journal = journal.lock().expect("journal lock");
+                if let Some(journal) = journal.as_mut() {
+                    if let Err(e) = journal.record_outcome(op, &report) {
+                        eprintln!("serve: journal write failed for `{}`: {e}", report.job_id);
+                    }
+                }
+            }
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            respond(&out, &job_line(op, &tenant.name, &report, Disposition::Fresh));
+            drop(permit);
+        });
+    }
+}
+
+/// The op-specific payload of a job request.
+enum JobInput {
+    Embed { host: String, out_dir: String },
+    Recognize { program: String },
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = stackvm::codec::decode_program(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    stackvm::verify::verify(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn save_program(path: &str, program: &Program) -> Result<(), String> {
+    std::fs::write(path, stackvm::codec::encode_program(program)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// A deterministic failure report (zero wall time, one attempt), so an
+/// interrupted run and its resume agree on failed lines too.
+fn failed_report(spec: &EmbedJobSpec, seed: u64, why: String) -> JobReport {
+    JobReport {
+        job_id: spec.job_id.clone(),
+        watermark_hex: spec.watermark_hex.clone().unwrap_or_default(),
+        seed,
+        status: JobStatus::Failed(why),
+        attempts: 1,
+        wall_ms: 0,
+    }
+}
+
+/// One embed job end to end: load the host, share its trace through the
+/// cache, run the batch engine's single-job kernel, persist the marked
+/// copy *before* the report line (the order `--resume` relies on).
+fn run_embed_job(
+    tenant: &Tenant,
+    cache: &TraceCache,
+    spec: &EmbedJobSpec,
+    host_path: &str,
+    out_dir: &str,
+    retry: &RetryPolicy,
+    telemetry: &Telemetry,
+) -> JobReport {
+    let base = &tenant.embedder;
+    let seed = spec.effective_seed(base.key().seed);
+    let program = match load_program(host_path) {
+        Ok(program) => program,
+        Err(why) => return failed_report(spec, seed, why),
+    };
+    let trace = match cache.get_or_trace(&program, base.key(), base.config(), TraceConfig::full())
+    {
+        Ok(trace) => trace,
+        Err(e) => return failed_report(spec, seed, e.to_string()),
+    };
+    let host = Arc::new(program);
+    let outcome = embed_one(base, &host, &trace, spec, retry, telemetry);
+    if let Some(marked) = &outcome.marked {
+        let result = std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("{out_dir}: {e}"))
+            .and_then(|()| save_program(&format!("{out_dir}/{}.pmvm", spec.job_id), marked));
+        if let Err(why) = result {
+            return JobReport {
+                status: JobStatus::Failed(why),
+                ..outcome.report
+            };
+        }
+    }
+    outcome.report
+}
+
+/// One recognize job end to end: resolve the expected watermark with
+/// the manifest rules, load the copy, and run the batch engine's
+/// single-job kernel against the tenant's *warm* per-copy session.
+fn run_recognize_job(
+    tenant: &Tenant,
+    spec: &EmbedJobSpec,
+    program_path: &str,
+    retry: &RetryPolicy,
+    telemetry: &Telemetry,
+) -> JobReport {
+    let base: &Recognizer = &tenant.recognizer;
+    let seed = spec.effective_seed(base.key().seed);
+    let expected = match &spec.watermark_hex {
+        Some(hex) => hex.clone(),
+        None => match spec.watermark(base.key(), base.config()) {
+            Ok(watermark) => to_hex(watermark.value()),
+            Err(why) => return failed_report(spec, seed, why),
+        },
+    };
+    let program = match load_program(program_path) {
+        Ok(program) => program,
+        Err(why) => return failed_report(spec, seed, why),
+    };
+    let job = RecognizeJob {
+        job_id: spec.job_id.clone(),
+        program,
+        expected_hex: Some(expected),
+        seed,
+    };
+    let warm = tenant.recognizer_for(seed);
+    recognize_one(&warm, &job, retry, telemetry).report
+}

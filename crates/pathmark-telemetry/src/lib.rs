@@ -158,11 +158,24 @@ pub enum Counter {
     /// Pool workers replaced after a timeout abandoned (or a panic
     /// killed) their thread.
     WorkerRespawn,
+    /// Session decode-cache entries evicted to stay under the cap.
+    DecodeCacheEvict,
+    /// Serve requests admitted past the admission gate.
+    JobAccepted,
+    /// Serve requests rejected by the admission gate (load shed).
+    JobShed,
+    /// Serve jobs served from the journal or replayed on restart
+    /// instead of being executed fresh.
+    JobResumed,
+    /// Serve session-registry lookups served from a warm session.
+    SessionHit,
+    /// Serve session-registry lookups that had to build a session.
+    SessionMiss,
 }
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 17] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
@@ -174,6 +187,12 @@ impl Counter {
         Counter::Retry,
         Counter::JobTimeout,
         Counter::WorkerRespawn,
+        Counter::DecodeCacheEvict,
+        Counter::JobAccepted,
+        Counter::JobShed,
+        Counter::JobResumed,
+        Counter::SessionHit,
+        Counter::SessionMiss,
     ];
 
     /// The counter's wire name.
@@ -190,6 +209,12 @@ impl Counter {
             Counter::Retry => "retry",
             Counter::JobTimeout => "job_timeout",
             Counter::WorkerRespawn => "worker_respawn",
+            Counter::DecodeCacheEvict => "decode_cache_evict",
+            Counter::JobAccepted => "accepted",
+            Counter::JobShed => "shed",
+            Counter::JobResumed => "resumed",
+            Counter::SessionHit => "session_hit",
+            Counter::SessionMiss => "session_miss",
         }
     }
 

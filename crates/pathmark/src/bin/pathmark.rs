@@ -13,7 +13,14 @@
 //! pathmark disasm --program P            disassembly listing
 //! pathmark fleet embed --program P --manifest M --out-dir D --workers K --seed S --input I --bits B
 //! pathmark fleet recognize --dir D --manifest M --workers K --seed S --input I --bits B
+//! pathmark serve --journal PREFIX [--socket PATH] [--max-inflight N] [--resume]
+//! pathmark connect --socket PATH
 //! ```
+//!
+//! `serve` runs the resident daemon: warm embed/recognize sessions per
+//! tenant behind a line-oriented JSONL protocol (see `DESIGN.md` §11),
+//! with admission control and a crash-safe write-ahead journal;
+//! `connect` is its scripting client.
 //!
 //! `embed`, `recognize` and both `fleet` subcommands additionally take
 //! `--metrics FILE [--metrics-format jsonl|summary]` to capture
@@ -101,6 +108,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "run" => cmd_run(&opts).map_err(CliError::from),
         "attack" => cmd_attack(&opts).map_err(CliError::from),
         "disasm" => cmd_disasm(&opts).map_err(CliError::from),
+        "serve" => cmd_serve(&opts).map_err(CliError::from),
+        "connect" => cmd_connect(&opts).map_err(CliError::from),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -125,6 +134,16 @@ commands:
                   --bits N [--pieces N] [--workers K] [--report FILE]
                   recognize every copy against its manifest entry; the
                   embed report doubles as the manifest
+  serve     --journal PREFIX [--socket PATH] [--workers K]
+            [--max-inflight N] [--retries N] [--resume]
+            run the resident daemon: long-lived embed/recognize sessions
+            behind a JSONL request protocol (stdin/stdout without
+            --socket, a unix-domain socket with it); --max-inflight caps
+            accepted-but-unsettled jobs (excess is shed, default 64);
+            --resume replays a crashed daemon's journal before serving
+  connect   --socket PATH
+            pipe stdin to a running daemon's socket and its responses
+            to stdout (the scripting client for `serve --socket`)
 
 fault tolerance (fleet embed, fleet recognize):
   --retries N                    re-run a job up to N extra times after
@@ -136,7 +155,7 @@ fault tolerance (fleet embed, fleet recognize):
                                  from an interrupted run (fleet
                                  recognize: needs --report FILE)
 
-telemetry (embed, recognize, fleet embed, fleet recognize):
+telemetry (embed, recognize, fleet embed, fleet recognize, serve):
   --metrics FILE                 capture stage-level spans and counters
   --metrics-format jsonl|summary one JSON line per event (default), or
                                  one aggregated JSON summary object
@@ -412,6 +431,57 @@ fn cmd_attack(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_disasm(opts: &HashMap<String, String>) -> Result<(), String> {
     let program = load_program(required(opts, "program")?)?;
     print!("{}", pathmark::vm::pretty::disassemble(&program));
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let journal = required(opts, "journal")?;
+    let metrics = Metrics::from_options(opts)?;
+    let retries: u32 = match opts.get("retries") {
+        None => 0,
+        Some(v) => v.parse().map_err(|e| format!("--retries: {e}"))?,
+    };
+    let mut options = pathmark::serve::ServeOptions::new(journal);
+    options.workers = parse_workers(opts)?;
+    options.max_inflight = parse_usize_or(opts, "max-inflight", options.max_inflight)?;
+    options.resume = opts.contains_key("resume");
+    options.retry = if retries == 0 {
+        RetryPolicy::none()
+    } else {
+        RetryPolicy::with_retries(retries)
+    };
+    options.telemetry = metrics.telemetry.clone();
+    let server = pathmark::serve::Server::new(options)?;
+    match opts.get("socket") {
+        Some(path) => server
+            .serve_unix(std::path::Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?,
+        None => server.serve_stdio().map_err(|e| format!("stdin: {e}"))?,
+    }
+    // The server (and its pool) must be gone before the metrics file is
+    // finalized, so every queued span has reached the sink.
+    drop(server);
+    metrics.finish()
+}
+
+fn cmd_connect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(opts, "socket")?;
+    let stream = std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut responses = stream.try_clone().map_err(|e| format!("{path}: {e}"))?;
+    // Responses stream to stdout as they arrive; a second thread keeps
+    // them flowing while this one forwards stdin.
+    let reader = std::thread::spawn(move || {
+        let _ = std::io::copy(&mut responses, &mut std::io::stdout());
+    });
+    let mut requests = stream;
+    std::io::copy(&mut std::io::stdin().lock(), &mut requests)
+        .map_err(|e| format!("{path}: {e}"))?;
+    // Half-close: tells the daemon this client is done sending, while
+    // the response side stays open until the daemon drains our jobs.
+    requests
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| format!("{path}: {e}"))?;
+    reader.join().map_err(|_| "response reader panicked".to_string())?;
     Ok(())
 }
 

@@ -20,6 +20,7 @@
 //! | [`attacks`] | the distortive / rewriting attack suite (Section 5) |
 //! | [`workloads`] | CaffeineMark-, Jess- and SPECint-like programs |
 //! | [`fleet`] | parallel batch fingerprinting & recognition engine |
+//! | [`serve`] | resident recognition daemon: warm sessions, admission control, crash-safe resume |
 //! | [`telemetry`] | stage-level tracing and metrics (spans, counters, sinks) |
 //! | [`cli`] | shared command-line conventions (exit-code protocol) |
 //!
@@ -48,6 +49,7 @@ pub use pathmark_core as core;
 pub use pathmark_crypto as crypto;
 pub use pathmark_fleet as fleet;
 pub use pathmark_math as math;
+pub use pathmark_serve as serve;
 pub use pathmark_telemetry as telemetry;
 pub use pathmark_workloads as workloads;
 

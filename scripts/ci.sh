@@ -110,4 +110,107 @@ for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
 done
 cp "$SMOKE/BENCH_recognize.json" "$ROOT/BENCH_recognize.json"
 
+echo "==> serve smoke: daemon on a unix socket survives kill -9 and resumes bit-identically"
+# The daemon fingerprints the same 16 copies as the fleet smoke above,
+# through `pathmark connect` over a unix socket. Halfway through we
+# kill -9 it, restart with --resume, resubmit everything, and require
+# the finalized journal reports to match the batch reports byte for
+# byte once wall_ms is normalized — and the marked copies to match
+# byte for byte, full stop.
+SOCK="$SMOKE/serve.sock"
+JOURNAL="$SMOKE/serve/journal"
+mkdir -p "$SMOKE/serve"
+
+serve_wait_socket() {
+    n=0
+    while [ ! -S "$SOCK" ]; do
+        n=$((n + 1))
+        [ "$n" -lt 300 ] || { echo "serve daemon never opened $SOCK" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+serve_embed_lines() {
+    # $1..$2 inclusive job indices
+    j="$1"
+    while [ "$j" -le "$2" ]; do
+        printf '{"op":"embed","tenant":"ci","job_id":"copy-%03d","host":"%s","out_dir":"%s"}\n' \
+            "$j" "$SMOKE/demo.pmvm" "$SMOKE/serve/copies"
+        j=$((j + 1))
+    done
+}
+
+OPEN_LINE='{"op":"open","tenant":"ci","seed":7,"input":"12","bits":128}'
+
+"$BIN" serve --journal "$JOURNAL" --socket "$SOCK" --workers 4 --max-inflight 64 &
+SERVE_PID=$!
+serve_wait_socket
+
+{ printf '%s\n' "$OPEN_LINE"; serve_embed_lines 0 7; } \
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-first.jsonl"
+fresh=$(grep -c '"disposition":"fresh"' "$SMOKE/serve-first.jsonl")
+[ "$fresh" -eq 8 ] || { echo "expected 8 fresh serve embeds, got $fresh" >&2; exit 1; }
+
+# Feed the second half and kill -9 the daemon mid-stream.
+serve_embed_lines 8 15 \
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-cut.jsonl" 2>/dev/null &
+CUT_PID=$!
+sleep 0.2
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$CUT_PID" 2>/dev/null || true
+[ -e "$JOURNAL.intents.jsonl" ] \
+    || { echo "crashed daemon left no intents journal to resume from" >&2; exit 1; }
+
+rm -f "$SOCK"
+"$BIN" serve --journal "$JOURNAL" --socket "$SOCK" --workers 4 --max-inflight 64 \
+    --resume --metrics "$SMOKE/serve-metrics.jsonl" --metrics-format jsonl &
+SERVE_PID=$!
+serve_wait_socket
+
+# Resubmit every embed; connect returns once all of them have settled,
+# so the recognize stream below never races an in-flight embed.
+{ printf '%s\n' "$OPEN_LINE"; serve_embed_lines 0 15; } \
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-resume.jsonl"
+
+# Recognize all 16 copies on the warm daemon, then drain and finalize.
+{
+    j=0
+    while [ "$j" -lt 16 ]; do
+        printf '{"op":"recognize","tenant":"ci","job_id":"copy-%03d","program":"%s/copy-%03d.pmvm"}\n' \
+            "$j" "$SMOKE/serve/copies" "$j"
+        j=$((j + 1))
+    done
+    printf '{"op":"stats"}\n{"op":"shutdown"}\n'
+} | "$BIN" connect --socket "$SOCK" >> "$SMOKE/serve-resume.jsonl"
+wait "$SERVE_PID"
+
+resumed=$(grep -c '"disposition":"resumed"' "$SMOKE/serve-resume.jsonl")
+[ "$resumed" -ge 8 ] || { echo "expected >= 8 resumed answers, got $resumed" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-resume.jsonl" | grep -q '"shed":0' \
+    || { echo "stats response missing or reported shed jobs" >&2; exit 1; }
+grep '"op":"shutdown"' "$SMOKE/serve-resume.jsonl" | grep -q '"status":"ok"' \
+    || { echo "shutdown was not acknowledged cleanly" >&2; exit 1; }
+[ ! -e "$JOURNAL.intents.jsonl" ] \
+    || { echo "finalized journal left the intents file behind" >&2; exit 1; }
+grep -q '"counter":"resumed"' "$SMOKE/serve-metrics.jsonl" \
+    || { echo "serve metrics missing the resumed counter" >&2; exit 1; }
+
+norm='s/"wall_ms":[0-9]*/"wall_ms":0/'
+sed "$norm" "$SMOKE/copies/report.jsonl" > "$SMOKE/batch-embed.norm"
+sed "$norm" "$JOURNAL.embed.jsonl" > "$SMOKE/serve-embed.norm"
+cmp -s "$SMOKE/batch-embed.norm" "$SMOKE/serve-embed.norm" \
+    || { echo "serve embed report differs from batch (modulo wall_ms)" >&2; exit 1; }
+sed "$norm" "$SMOKE/recognized.jsonl" > "$SMOKE/batch-rec.norm"
+sed "$norm" "$JOURNAL.recognize.jsonl" > "$SMOKE/serve-rec.norm"
+cmp -s "$SMOKE/batch-rec.norm" "$SMOKE/serve-rec.norm" \
+    || { echo "serve recognize report differs from batch (modulo wall_ms)" >&2; exit 1; }
+j=0
+while [ "$j" -lt 16 ]; do
+    copy=$(printf 'copy-%03d.pmvm' "$j")
+    cmp -s "$SMOKE/copies/$copy" "$SMOKE/serve/copies/$copy" \
+        || { echo "marked copy $copy differs between serve and batch" >&2; exit 1; }
+    j=$((j + 1))
+done
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,528 @@
+//! End-to-end tests for the resident daemon: protocol robustness,
+//! serve-vs-batch bit-identity, multi-tenant decode-cache isolation,
+//! admission-control shedding, and crash-safe resume.
+//!
+//! Everything runs in-process against [`Server`] with an in-memory
+//! response writer; the kill -9 crash state is constructed on disk the
+//! way a dead daemon leaves it (intents + `.partial` sidecars, torn
+//! trailing lines included). The real-process kill -9 path is exercised
+//! by the CI smoke gate in `scripts/ci.sh`.
+
+use std::io::{Cursor, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
+use pathmark::core::key::WatermarkKey;
+use pathmark::fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
+use pathmark::fleet::cache::TraceCache;
+use pathmark::fleet::json::parse_object;
+use pathmark::fleet::manifest::{parse_report, EmbedJobSpec, JobReport};
+use pathmark::fleet::pool::WorkerPool;
+use pathmark::serve::protocol::{EmbedRequest, OpenRequest, RecognizeRequest};
+use pathmark::serve::{shared_writer, ServeOptions, Server};
+use pathmark::telemetry::{Counter, MemorySink, Telemetry};
+use pathmark::vm::builder::{FunctionBuilder, ProgramBuilder};
+use pathmark::vm::codec::encode_program;
+use pathmark::vm::insn::Cond;
+use pathmark::vm::Program;
+
+const SEED: u64 = 0xF1E7_CAFE;
+
+/// The same small looped host the fleet pipeline tests use.
+fn host_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = FunctionBuilder::new("main", 0, 2);
+    let head = f.new_label();
+    let out = f.new_label();
+    f.push(0).store(0);
+    f.bind(head);
+    f.load(0).push(12).if_cmp(Cond::Ge, out);
+    f.load(0).load(1).add().store(1);
+    f.iinc(0, 1).goto(head);
+    f.bind(out);
+    f.load(1).print().ret_void();
+    let main = pb.add_function(f.finish().unwrap());
+    pb.finish(main).unwrap()
+}
+
+fn serve_key() -> WatermarkKey {
+    WatermarkKey::new(SEED, vec![3, 1, 4])
+}
+
+fn serve_config() -> JavaConfig {
+    JavaConfig::for_watermark_bits(64).with_pieces(12)
+}
+
+fn open_line(tenant: &str) -> String {
+    OpenRequest {
+        tenant: tenant.to_string(),
+        seed: SEED,
+        input: vec![3, 1, 4],
+        bits: 64,
+        pieces: Some(12),
+        cache_cap: None,
+    }
+    .to_line()
+}
+
+fn embed_line(tenant: &str, job_id: &str, host: &str, out_dir: &str) -> String {
+    EmbedRequest {
+        tenant: tenant.to_string(),
+        spec: EmbedJobSpec::new(job_id),
+        host: host.to_string(),
+        out_dir: out_dir.to_string(),
+    }
+    .to_line()
+}
+
+fn recognize_line(tenant: &str, spec: EmbedJobSpec, program: &str) -> String {
+    RecognizeRequest {
+        tenant: tenant.to_string(),
+        spec,
+        program: program.to_string(),
+    }
+    .to_line()
+}
+
+/// An in-memory response writer the test can read back as lines.
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Capture {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn field(line: &str, name: &str) -> String {
+        let fields = parse_object(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        match fields.get(name) {
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .or_else(|| v.as_u64().map(|n| n.to_string()))
+                .unwrap(),
+            None => panic!("no `{name}` in {line}"),
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pathmark-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_host(dir: &std::path::Path) -> String {
+    let path = dir.join("host.pmvm");
+    std::fs::write(&path, encode_program(&host_program())).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// Feeds request lines to the server, returning the responses produced
+/// by this batch (EOF drains the gate, so every accepted job answers).
+fn drive(server: &Server, capture: &Capture, lines: &[String]) -> Vec<String> {
+    let before = capture.lines().len();
+    let input = lines.join("\n");
+    let out = shared_writer(Box::new(capture.clone()));
+    server
+        .serve_lines(Cursor::new(input.into_bytes()), &out)
+        .unwrap();
+    capture.lines()[before..].to_vec()
+}
+
+/// Report lines with `wall_ms` zeroed — the one nondeterministic field.
+fn normalized_lines(reports: &[JobReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.wall_ms = 0;
+            r.to_line()
+        })
+        .collect()
+}
+
+#[test]
+fn malformed_lines_get_structured_errors_and_the_daemon_survives() {
+    let dir = temp_dir("robust");
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let capture = Capture::default();
+    let responses = drive(
+        &server,
+        &capture,
+        &[
+            "this is not json".to_string(),
+            "{\"op\":\"teleport\"}".to_string(),
+            "{\"op\":\"embed\"}".to_string(),
+            recognize_line("ghost", EmbedJobSpec::new("j"), "nowhere.pmvm"),
+            "{\"op\":\"ping\"}".to_string(),
+            "{\"op\":\"shutdown\"}".to_string(),
+        ],
+    );
+    assert_eq!(responses.len(), 6, "one response per line: {responses:?}");
+    for bad in &responses[..4] {
+        assert_eq!(Capture::field(bad, "op"), "error", "{bad}");
+        assert!(
+            Capture::field(bad, "status").starts_with("failed: "),
+            "{bad}"
+        );
+    }
+    // The daemon outlived every defect: the probe and the clean
+    // shutdown both answer.
+    assert_eq!(Capture::field(&responses[4], "op"), "ping");
+    assert_eq!(Capture::field(&responses[4], "status"), "ok");
+    assert_eq!(Capture::field(&responses[5], "op"), "shutdown");
+    assert_eq!(Capture::field(&responses[5], "status"), "ok");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_reports_and_copies_are_bit_identical_to_batch() {
+    let dir = temp_dir("bitident");
+    let host_path = write_host(&dir);
+    let jobs: Vec<EmbedJobSpec> = (0..5)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect();
+
+    // The reference: the batch engine over the same manifest.
+    let embedder = Embedder::builder(serve_key(), serve_config()).build().unwrap();
+    let recognizer = Recognizer::builder(serve_key(), serve_config()).build().unwrap();
+    let pool = WorkerPool::new(4);
+    let cache = TraceCache::new();
+    let batch_embeds = embed_batch(&host_program(), &embedder, &jobs, &pool, &cache).unwrap();
+    let rec_jobs: Vec<RecognizeJob> = batch_embeds
+        .iter()
+        .map(|o| RecognizeJob::try_from(o).unwrap())
+        .collect();
+    let batch_recs = recognize_batch(&rec_jobs, &recognizer, &pool);
+
+    // The daemon, fed the manifest over the wire.
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let capture = Capture::default();
+    let embeds: Vec<String> = jobs
+        .iter()
+        .map(|j| embed_line("acme", &j.job_id, &host_path, &marked_dir))
+        .collect();
+    let mut batch1 = vec![open_line("acme")];
+    batch1.extend(embeds);
+    drive(&server, &capture, &batch1);
+    // The EOF drain settled every embed, so the marked copies are on
+    // disk and recognizable.
+    let mut batch2: Vec<String> = jobs
+        .iter()
+        .map(|j| {
+            recognize_line(
+                "acme",
+                j.clone(),
+                &format!("{marked_dir}/{}.pmvm", j.job_id),
+            )
+        })
+        .collect();
+    batch2.push("{\"op\":\"shutdown\"}".to_string());
+    drive(&server, &capture, &batch2);
+
+    // Finalized serve reports equal batch reports, modulo wall_ms.
+    let prefix = dir.join("journal/serve");
+    let serve_embeds = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    let serve_recs = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.recognize.jsonl")).unwrap(),
+    )
+    .unwrap();
+    let batch_embed_reports: Vec<JobReport> =
+        batch_embeds.iter().map(|o| o.report.clone()).collect();
+    let batch_rec_reports: Vec<JobReport> = batch_recs.iter().map(|o| o.report.clone()).collect();
+    assert_eq!(normalized_lines(&serve_embeds), normalized_lines(&batch_embed_reports));
+    assert_eq!(normalized_lines(&serve_recs), normalized_lines(&batch_rec_reports));
+    assert!(serve_recs.iter().all(|r| r.status.is_ok()));
+
+    // And the marked programs themselves are byte-identical.
+    for (job, outcome) in jobs.iter().zip(&batch_embeds) {
+        let served = std::fs::read(format!("{marked_dir}/{}.pmvm", job.job_id)).unwrap();
+        assert_eq!(
+            served,
+            encode_program(outcome.marked.as_ref().unwrap()),
+            "{}",
+            job.job_id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenants_never_share_decode_cache_entries() {
+    let dir = temp_dir("isolation");
+    let host_path = write_host(&dir);
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let sink = Arc::new(MemorySink::new());
+    let mut options = ServeOptions::new(dir.join("journal/serve"));
+    options.telemetry = Telemetry::new(sink.clone());
+    let server = Server::new(options).unwrap();
+    let capture = Capture::default();
+
+    // Tenant A embeds one copy, then recognizes it: the scan decrypts
+    // windows and fills A's decode cache.
+    let copy = format!("{marked_dir}/copy-000.pmvm");
+    drive(
+        &server,
+        &capture,
+        &[
+            open_line("tenant-a"),
+            embed_line("tenant-a", "copy-000", &host_path, &marked_dir),
+        ],
+    );
+    drive(
+        &server,
+        &capture,
+        &[recognize_line("tenant-a", EmbedJobSpec::new("copy-000"), &copy)],
+    );
+    let after_first = sink.counter(Counter::WindowsDecrypted);
+    assert!(after_first > 0, "the first scan decrypts windows");
+
+    // The same copy again under A (fresh job_id, same per-copy seed):
+    // the warm per-copy session answers every window from its decode
+    // cache — zero new decrypts.
+    let warm_spec = EmbedJobSpec {
+        job_id: "copy-000-again".to_string(),
+        watermark_hex: None,
+        seed: Some(EmbedJobSpec::new("copy-000").effective_seed(SEED)),
+    };
+    let responses = drive(
+        &server,
+        &capture,
+        &[recognize_line("tenant-a", warm_spec, &copy)],
+    );
+    assert_eq!(Capture::field(&responses[0], "status"), "ok");
+    assert_eq!(
+        sink.counter(Counter::WindowsDecrypted),
+        after_first,
+        "a warm tenant re-scan decrypts nothing"
+    );
+    assert!(sink.counter(Counter::SessionHit) >= 1, "the warm session was reused");
+
+    // Tenant B opens the *same key material* under its own handle.
+    // Reusing A's job_id is refused outright — answering B from A's
+    // journaled outcome would leak results across tenants.
+    let responses = drive(
+        &server,
+        &capture,
+        &[
+            open_line("tenant-b"),
+            recognize_line("tenant-b", EmbedJobSpec::new("copy-000"), &copy),
+        ],
+    );
+    assert_eq!(Capture::field(&responses[1], "op"), "error");
+    assert!(
+        Capture::field(&responses[1], "status").contains("belongs to tenant `tenant-a`"),
+        "{}",
+        responses[1]
+    );
+
+    // B scans the same copy under its own job id: if tenants shared
+    // decode-cache entries this would decrypt nothing — isolation means
+    // B pays full price even for identical key material.
+    let b_spec = EmbedJobSpec {
+        job_id: "b-scan".to_string(),
+        watermark_hex: None,
+        seed: Some(EmbedJobSpec::new("copy-000").effective_seed(SEED)),
+    };
+    let responses = drive(
+        &server,
+        &capture,
+        &[recognize_line("tenant-b", b_spec, &copy)],
+    );
+    assert_eq!(Capture::field(&responses[0], "status"), "ok");
+    assert!(
+        sink.counter(Counter::WindowsDecrypted) > after_first,
+        "tenant B's scan does its own decode work: no cross-tenant sharing"
+    );
+    server.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_shed_with_a_distinct_status_and_resubmission_completes() {
+    let dir = temp_dir("shed");
+    let host_path = write_host(&dir);
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let mut options = ServeOptions::new(dir.join("journal/serve"));
+    options.workers = 1;
+    options.max_inflight = 1;
+    let server = Server::new(options).unwrap();
+    let capture = Capture::default();
+
+    let jobs: Vec<String> = (0..6)
+        .map(|i| embed_line("acme", &format!("copy-{i:03}"), &host_path, &marked_dir))
+        .collect();
+    let mut batch = vec![open_line("acme")];
+    batch.extend(jobs.clone());
+    let responses = drive(&server, &capture, &batch);
+    let shed: Vec<&String> = responses[1..]
+        .iter()
+        .filter(|r| Capture::field(r, "status") == "shed")
+        .collect();
+    let fresh = responses[1..]
+        .iter()
+        .filter(|r| parse_object(r).unwrap().contains_key("disposition"))
+        .count();
+    assert_eq!(shed.len() + fresh, 6, "every job answered: {responses:?}");
+    assert!(!shed.is_empty(), "a 1-deep gate sheds a 6-job burst");
+    assert!(fresh >= 1, "the admitted job completes");
+    for line in &shed {
+        assert!(
+            parse_object(line).unwrap().contains_key("job_id"),
+            "shed responses name the job so clients can resubmit: {line}"
+        );
+    }
+
+    // Shed means *not accepted*: backing off and resubmitting the same
+    // lines runs the shed jobs and answers the settled ones from the
+    // journal. A resubmitted burst can shed again, so clients loop.
+    let mut total_shed = shed.len();
+    loop {
+        let responses = drive(&server, &capture, &jobs);
+        let sheds = responses
+            .iter()
+            .filter(|r| Capture::field(r, "status") == "shed")
+            .count();
+        total_shed += sheds;
+        if sheds == 0 {
+            break;
+        }
+    }
+    let responses = drive(
+        &server,
+        &capture,
+        &["{\"op\":\"stats\"}".to_string(), "{\"op\":\"shutdown\"}".to_string()],
+    );
+    let stats = responses
+        .iter()
+        .find(|r| Capture::field(r, "op") == "stats")
+        .unwrap();
+    assert_eq!(
+        Capture::field(stats, "shed").parse::<usize>().unwrap(),
+        total_shed
+    );
+    assert!(Capture::field(stats, "resumed").parse::<u64>().unwrap() >= 1);
+
+    let report = parse_report(
+        &std::fs::read_to_string(dir.join("journal/serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(report.len(), 6, "all six jobs eventually settled");
+    assert!(report.iter().all(|r| r.status.is_ok()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crashed_daemon_resumes_to_a_bit_identical_report() {
+    let dir = temp_dir("crash");
+    let host_path = write_host(&dir);
+    let jobs: Vec<EmbedJobSpec> = (0..4)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect();
+
+    // The reference: one uninterrupted daemon runs all four jobs.
+    let ref_dir = dir.join("marked-ref").to_str().unwrap().to_string();
+    {
+        let server = Server::new(ServeOptions::new(dir.join("ref/serve"))).unwrap();
+        let capture = Capture::default();
+        let mut batch = vec![open_line("acme")];
+        batch.extend(jobs.iter().map(|j| embed_line("acme", &j.job_id, &host_path, &ref_dir)));
+        batch.push("{\"op\":\"shutdown\"}".to_string());
+        drive(&server, &capture, &batch);
+    }
+    let reference = parse_report(
+        &std::fs::read_to_string(dir.join("ref/serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(reference.len(), 4);
+
+    // The crash: a daemon accepts and settles three jobs, then dies
+    // without finalizing (dropped mid-service). The fourth job was
+    // accepted — its intent is journaled — but never ran, and the kill
+    // tears a trailing line in both the intents file and the outcome
+    // sidecar.
+    let crash_dir = dir.join("marked-crash").to_str().unwrap().to_string();
+    let prefix = dir.join("crash/serve");
+    {
+        let server = Server::new(ServeOptions::new(&prefix)).unwrap();
+        let capture = Capture::default();
+        let mut batch = vec![open_line("acme")];
+        batch.extend(
+            jobs[..3]
+                .iter()
+                .map(|j| embed_line("acme", &j.job_id, &host_path, &crash_dir)),
+        );
+        drive(&server, &capture, &batch);
+        // No shutdown, no finish: dropping the server is the crash.
+    }
+    let intents = prefix.with_file_name("serve.intents.jsonl");
+    let mut text = std::fs::read_to_string(&intents).unwrap();
+    text.push_str(&embed_line("acme", "copy-003", &host_path, &crash_dir));
+    text.push('\n');
+    text.push_str("{\"op\":\"embed\",\"tenant\":\"acme\",\"job_id\":\"to");
+    std::fs::write(&intents, &text).unwrap();
+    let sidecar = prefix.with_file_name("serve.embed.jsonl.partial");
+    let mut text = std::fs::read_to_string(&sidecar).unwrap();
+    text.push_str("{\"job_id\":\"copy-0");
+    std::fs::write(&sidecar, &text).unwrap();
+
+    // Restart with --resume: the journal replay rebuilds the tenant and
+    // runs the pending fourth job before the first client line; the
+    // client then resubmits everything (at-least-once) and every answer
+    // comes from the journal.
+    let mut options = ServeOptions::new(&prefix);
+    options.resume = true;
+    let server = Server::new(options).unwrap();
+    let capture = Capture::default();
+    let mut batch = vec![open_line("acme")];
+    batch.extend(jobs.iter().map(|j| embed_line("acme", &j.job_id, &host_path, &crash_dir)));
+    batch.push("{\"op\":\"shutdown\"}".to_string());
+    let responses = drive(&server, &capture, &batch);
+    for line in &responses[1..5] {
+        assert_eq!(
+            Capture::field(line, "disposition"),
+            "resumed",
+            "a resubmitted settled job is answered from the journal: {line}"
+        );
+    }
+
+    // The resumed daemon's finalized report is line-for-line the
+    // uninterrupted daemon's report, and the marked copies match bytes.
+    let resumed = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(normalized_lines(&resumed), normalized_lines(&reference));
+    assert!(
+        !intents.exists(),
+        "finalize retires the intents file on the resumed run too"
+    );
+    for job in &jobs {
+        let reference = std::fs::read(format!("{ref_dir}/{}.pmvm", job.job_id)).unwrap();
+        let crashed = std::fs::read(format!("{crash_dir}/{}.pmvm", job.job_id)).unwrap();
+        assert_eq!(reference, crashed, "{}", job.job_id);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
