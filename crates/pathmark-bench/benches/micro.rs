@@ -10,7 +10,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use pathmark_core::bitstring::BitString;
-use pathmark_core::java::{embed, recognize, JavaConfig};
+use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark_core::key::{Watermark, WatermarkKey};
 use pathmark_core::native::{embed_native, extract, ExtractionSpec, NativeConfig, TracerKind};
 use pathmark_crypto::{DisplacementHash, Prng, Xtea};
@@ -112,12 +112,14 @@ fn bench_java() {
     let key = WatermarkKey::new(3, vec![1]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(20);
     let watermark = Watermark::random_for(&config, &key);
+    let embedder = Embedder::builder(key.clone(), config.clone()).build().unwrap();
+    let recognizer = Recognizer::builder(key, config).build().unwrap();
     bench("java_embed_128bit_20pieces", || {
-        embed(black_box(&program), &watermark, &key, &config).unwrap()
+        embedder.embed(black_box(&program), &watermark).unwrap()
     });
-    let marked = embed(&program, &watermark, &key, &config).unwrap().program;
+    let marked = embedder.embed(&program, &watermark).unwrap().program;
     bench("java_recognize_128bit", || {
-        recognize(black_box(&marked), &key, &config).unwrap()
+        recognizer.recognize(black_box(&marked)).unwrap()
     });
     bench("trace_and_decode_bitstring", || {
         let outcome = Vm::new(&marked)

@@ -16,7 +16,7 @@
 //!    size/branch-count trade.
 
 use pathmark_attacks::native as nattacks;
-use pathmark_core::java::{embed, recognize, CodegenPolicy, JavaConfig};
+use pathmark_core::java::{CodegenPolicy, Embedder, JavaConfig, Recognizer};
 use pathmark_core::key::{Watermark, WatermarkKey};
 use pathmark_core::native::{embed_native, NativeConfig};
 use pathmark_crypto::Prng;
@@ -46,7 +46,6 @@ pub struct VoteAblation {
 /// for).
 pub fn vote_ablation(quick: bool) -> Vec<VoteAblation> {
     use pathmark_core::bitstring::BitString;
-    use pathmark_core::java::recognize_bits;
     use stackvm::trace::TraceConfig;
 
     let input = vec![500];
@@ -54,7 +53,10 @@ pub fn vote_ablation(quick: bool) -> Vec<VoteAblation> {
     let base_config = JavaConfig::for_watermark_bits(256).with_pieces(80);
     let watermark = Watermark::random_for(&base_config, &key);
     let program = jworkloads::jess_like();
-    let marked = embed(&program, &watermark, &key, &base_config)
+    let marked = Embedder::builder(key.clone(), base_config.clone())
+        .build()
+        .expect("builds")
+        .embed(&program, &watermark)
         .expect("embeds")
         .program;
     let trace = stackvm::interp::Vm::new(&marked)
@@ -76,8 +78,11 @@ pub fn vote_ablation(quick: bool) -> Vec<VoteAblation> {
             vote_prefilter: vote,
             ..base_config.clone()
         };
+        let recognizer = Recognizer::builder(key.clone(), config)
+            .build()
+            .expect("builds");
         let start = Instant::now();
-        let rec = recognize_bits(&noisy, &key, &config).expect("recognition runs");
+        let rec = recognizer.recognize_bits(&noisy).expect("recognition runs");
         let millis = start.elapsed().as_secs_f64() * 1e3;
         out.push(VoteAblation {
             vote,
@@ -175,8 +180,14 @@ pub fn codegen_ablation(quick: bool) -> Vec<CodegenAblation> {
             .with_pieces(40)
             .with_codegen(policy);
         let watermark = Watermark::random_for(&config, &key);
-        let marked = embed(&program, &watermark, &key, &config).expect("embeds");
-        let rec = recognize(&marked.program, &key, &config).expect("recognizes");
+        let embedder = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .expect("builds");
+        let recognizer = Recognizer::builder(key.clone(), config)
+            .build()
+            .expect("builds");
+        let marked = embedder.embed(&program, &watermark).expect("embeds");
+        let rec = recognizer.recognize(&marked.program).expect("recognizes");
         out.push(CodegenAblation {
             policy,
             bytes_added: marked.program.byte_size() - base_bytes,

@@ -12,7 +12,7 @@
 //! stands in for the paper's wall-clock — see `DESIGN.md`).
 
 use pathmark_attacks::java as attacks;
-use pathmark_core::java::{embed, recognize, CodegenPolicy, JavaConfig};
+use pathmark_core::java::{CodegenPolicy, Embedder, JavaConfig, Recognizer};
 use pathmark_core::key::Watermark;
 use pathmark_workloads::java as workloads;
 use stackvm::interp::Vm;
@@ -83,7 +83,11 @@ pub fn cost_sweep(quick: bool) -> Vec<(&'static str, Vec<CostPoint>)> {
                 .with_pieces(pieces)
                 .with_codegen(CodegenPolicy::LoopOnly);
             let watermark = Watermark::random_for(&config, &key);
-            let marked = embed(&w.program, &watermark, &key, &config).expect("embeds");
+            let marked = Embedder::builder(key.clone(), config)
+                .build()
+                .expect("builds")
+                .embed(&w.program, &watermark)
+                .expect("embeds");
             let cost = instructions_of(&marked.program, &w.input);
             points.push(CostPoint {
                 pieces,
@@ -132,7 +136,13 @@ pub fn survival_sweep(quick: bool) -> Vec<SurvivalPoint> {
         for &pieces in &piece_counts {
             let config = JavaConfig::for_watermark_bits(bits).with_pieces(pieces);
             let watermark = Watermark::random_for(&config, &key);
-            let marked = embed(&program, &watermark, &key, &config).expect("embeds");
+            let embedder = Embedder::builder(key.clone(), config.clone())
+                .build()
+                .expect("builds");
+            let recognizer = Recognizer::builder(key.clone(), config)
+                .build()
+                .expect("builds");
+            let marked = embedder.embed(&program, &watermark).expect("embeds");
             let branches = marked.program.conditional_branch_count();
             let mut survivable = 0.0;
             for &rate in &rates {
@@ -142,7 +152,8 @@ pub fn survival_sweep(quick: bool) -> Vec<SurvivalPoint> {
                     (branches as f64 * rate) as usize,
                     0xA77 ^ bits as u64 ^ pieces as u64,
                 );
-                let survived = recognize(&attacked, &key, &config)
+                let survived = recognizer
+                    .recognize(&attacked)
                     .map(|r| r.watermark.as_ref() == Some(watermark.value()))
                     .unwrap_or(false);
                 if survived {

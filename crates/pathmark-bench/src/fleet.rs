@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pathmark_core::java::{embed, recognize, Embedder, JavaConfig, Recognizer};
+use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark_fleet::batch::{embed_batch, recognize_batch, RecognizeJob};
 use pathmark_fleet::cache::TraceCache;
 use pathmark_fleet::manifest::EmbedJobSpec;
@@ -67,14 +67,17 @@ pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<
         .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
         .collect();
 
-    // --- Embedding: serial loop (one trace per copy, legacy free fn) …
+    // --- Embedding: serial loop (one trace per copy, one session each) …
     let mut embed_rows = Vec::new();
     let started = Instant::now();
     let mut serial_marked = Vec::with_capacity(copies);
     for spec in &jobs {
         let job_key = spec.effective_key(&key);
         let watermark = spec.watermark(&key, &config).expect("derived watermark");
-        let marked = embed(&program, &watermark, &job_key, &config).expect("embeds");
+        let marked = embedder
+            .with_key(job_key)
+            .embed(&program, &watermark)
+            .expect("embeds");
         serial_marked.push(marked.program);
     }
     embed_rows.push(row("serial", 1, copies, started.elapsed()));
@@ -105,7 +108,10 @@ pub fn measure(copies: usize, worker_counts: &[usize]) -> (Vec<Throughput>, Vec<
     let started = Instant::now();
     for job in &rec_jobs {
         let job_key = pathmark_core::key::WatermarkKey::new(job.seed, key.input.clone());
-        let rec = recognize(&job.program, &job_key, &config).expect("recognizes");
+        let rec = recognizer
+            .with_key(job_key)
+            .recognize(&job.program)
+            .expect("recognizes");
         assert!(rec.watermark.is_some());
     }
     rec_rows.push(row("serial", 1, copies, started.elapsed()));

@@ -80,6 +80,25 @@ pub struct RecognizeRow {
     pub pool: (u64, u64),
 }
 
+impl RecognizeRow {
+    /// Fraction of scanned windows the pre-reject skipped (0 when no
+    /// windows were scanned).
+    pub fn skip_rate(&self) -> f64 {
+        let (scanned, skipped, _) = self.windows;
+        if scanned == 0 {
+            0.0
+        } else {
+            skipped as f64 / scanned as f64
+        }
+    }
+
+    /// Windows that actually reached the cipher, per recognized copy.
+    pub fn decrypts_per_copy(&self, copies: usize) -> f64 {
+        let (_, _, decrypted) = self.windows;
+        decrypted as f64 / copies.max(1) as f64
+    }
+}
+
 /// A complete recognition bench run.
 #[derive(Debug, Clone)]
 pub struct RecognizeBench {
@@ -330,12 +349,15 @@ pub fn to_json(bench: &RecognizeBench, generated_unix: u64) -> String {
             let (jobs, merges) = r.pool;
             format!(
                 "{{\"mode\":\"{}\",\"workers\":{},\"wall_ms\":{:.3},\"copies_per_sec\":{:.3},\
+                 \"skip_rate\":{:.4},\"decrypts_per_copy\":{:.1},\
                  \"stages\":{{{}}},\"windows\":{{\"scanned\":{},\"skipped\":{},\"decrypted\":{}}},\
                  \"pool\":{{\"jobs\":{},\"merges\":{}}}}}",
                 r.mode,
                 r.workers,
                 r.millis,
                 r.copies_per_sec,
+                r.skip_rate(),
+                r.decrypts_per_copy(bench.copies),
                 stages.join(","),
                 scanned,
                 skipped,
@@ -381,6 +403,10 @@ mod tests {
         let json = to_json(&bench, 1_700_000_000);
         assert!(json.starts_with("{\"bench\":\"recognize\",\"quick\":true,\"copies\":8,"));
         assert!(json.contains("\"generated_unix\":1700000000"), "{json}");
+        assert!(
+            json.contains("\"skip_rate\":0.9000,\"decrypts_per_copy\":1250.0"),
+            "{json}"
+        );
         assert!(
             json.contains("\"stages\":{\"trace\":8.000,\"scan\":4.000,\"vote\":0.500,"),
             "{json}"

@@ -2,7 +2,7 @@
 //! paper reports these in prose; we render them as tables).
 
 use pathmark_attacks::{java as jattacks, native as nattacks};
-use pathmark_core::java::{recognize, JavaConfig};
+use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark_core::key::{Watermark, WatermarkKey};
 use pathmark_core::native::{
     embed_native, extract, ExtractionSpec, NativeConfig, TracerKind,
@@ -39,7 +39,13 @@ pub fn java_matrix(quick: bool) -> Vec<JavaRow> {
     let config = JavaConfig::for_watermark_bits(256).with_pieces(80);
     let watermark = Watermark::random_for(&config, &key);
     let program = jworkloads::jess_like();
-    let marked = pathmark_core::java::embed(&program, &watermark, &key, &config)
+    let recognizer = Recognizer::builder(key.clone(), config.clone())
+        .build()
+        .expect("builds");
+    let marked = Embedder::builder(key.clone(), config.clone())
+        .build()
+        .expect("builds")
+        .embed(&program, &watermark)
         .expect("embeds")
         .program;
     let expected = Vm::new(&program)
@@ -109,7 +115,8 @@ pub fn java_matrix(quick: bool) -> Vec<JavaRow> {
             .run()
             .map(|o| o.output == expected)
             .unwrap_or(false);
-        let mark_survives = recognize(&attacked, &key, &config)
+        let mark_survives = recognizer
+            .recognize(&attacked)
             .map(|r| r.watermark.as_ref() == Some(watermark.value()))
             .unwrap_or(false);
         rows.push(JavaRow {
@@ -126,7 +133,8 @@ pub fn java_matrix(quick: bool) -> Vec<JavaRow> {
             .run(input.clone())
             .map(|o| o.output == expected)
             .unwrap_or(false),
-        mark_survives: recognize(encrypted.stub(), &key, &config)
+        mark_survives: recognizer
+            .recognize(encrypted.stub())
             .map(|r| r.watermark.as_ref() == Some(watermark.value()))
             .unwrap_or(false),
     });
@@ -135,7 +143,7 @@ pub fn java_matrix(quick: bool) -> Vec<JavaRow> {
         program_runs: true,
         mark_survives: encrypted
             .decrypt_for_runtime_tracing()
-            .and_then(|p| recognize(&p, &key, &config).ok())
+            .and_then(|p| recognizer.recognize(&p).ok())
             .map(|r| r.watermark.as_ref() == Some(watermark.value()))
             .unwrap_or(false),
     });
@@ -271,7 +279,13 @@ pub fn comparison_matrix(quick: bool) -> Vec<ComparisonRow> {
     let original = jworkloads::jess_like();
 
     // Embed all three schemes into the same subject.
-    let mut marked = pathmark_core::java::embed(&original, &watermark, &key, &config)
+    let recognizer = Recognizer::builder(key.clone(), config.clone())
+        .build()
+        .expect("builds");
+    let mut marked = Embedder::builder(key.clone(), config)
+        .build()
+        .expect("builds")
+        .embed(&original, &watermark)
         .expect("path-based embeds")
         .program;
     // DM gets the block-richest non-entry function (the Stern chips go
@@ -336,7 +350,8 @@ pub fn comparison_matrix(quick: bool) -> Vec<ComparisonRow> {
     for (name, attack) in attacks {
         let mut attacked = marked.clone();
         attack(&mut attacked);
-        let path_based = recognize(&attacked, &key, &config)
+        let path_based = recognizer
+            .recognize(&attacked)
             .map(|r| r.watermark.as_ref() == Some(watermark.value()))
             .unwrap_or(false);
         let davidson_myhrvold =

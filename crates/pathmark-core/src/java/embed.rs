@@ -75,6 +75,9 @@ pub struct MarkedProgram {
 /// * [`WatermarkError::NoInsertionPoint`] if the trace visited no
 ///   blocks;
 /// * [`WatermarkError::Math`] for prime-configuration errors.
+#[deprecated(
+    note = "build an embedding session instead: `Embedder::builder(key, config).build()?.embed(program, watermark)`"
+)]
 pub fn embed(
     program: &Program,
     watermark: &Watermark,
@@ -99,6 +102,9 @@ pub fn embed(
 ///
 /// Same as [`embed`], minus the tracing failure (the caller already
 /// traced).
+#[deprecated(
+    note = "build an embedding session instead: `Embedder::builder(key, config).build()?.embed_with_trace(program, watermark, trace)`"
+)]
 pub fn embed_with_trace(
     program: &Program,
     watermark: &Watermark,
@@ -540,7 +546,11 @@ mod tests {
         let program = looping_program();
         let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
         let watermark = Watermark::random_for(&config, &key());
-        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        let marked = Embedder::builder(key(), config)
+            .build()
+            .unwrap()
+            .embed(&program, &watermark)
+            .unwrap();
         assert_eq!(marked.report.pieces.len(), 12);
         assert!(marked.report.bytes_after > marked.report.bytes_before);
         let orig = Vm::new(&program).with_input(key().input).run().unwrap();
@@ -567,8 +577,9 @@ mod tests {
             &pathmark_math::bigint::BigUint::one() << 300,
             300,
         );
+        let session = Embedder::builder(key(), config).build().unwrap();
         assert!(matches!(
-            embed(&program, &wide, &key(), &config),
+            session.embed(&program, &wide),
             Err(WatermarkError::WatermarkTooLarge { .. })
         ));
     }
@@ -580,7 +591,11 @@ mod tests {
             .with_pieces(20)
             .with_codegen(CodegenPolicy::PreferCondition);
         let watermark = Watermark::random_for(&config, &key());
-        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        let marked = Embedder::builder(key(), config)
+            .build()
+            .unwrap()
+            .embed(&program, &watermark)
+            .unwrap();
         assert!(
             marked
                 .report
@@ -603,7 +618,11 @@ mod tests {
         let program = looping_program();
         let config = JavaConfig::for_watermark_bits(64).with_pieces(0);
         let watermark = Watermark::random_for(&config, &key());
-        let marked = embed(&program, &watermark, &key(), &config).unwrap();
+        let marked = Embedder::builder(key(), config)
+            .build()
+            .unwrap()
+            .embed(&program, &watermark)
+            .unwrap();
         assert_eq!(marked.program, program);
     }
 }

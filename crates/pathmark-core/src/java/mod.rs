@@ -6,11 +6,11 @@
 //! 1. **Tracing** ([`trace_program`]) — run the program on the secret
 //!    input, recording executed blocks, dynamic branches, and variable
 //!    snapshots.
-//! 2. **Embedding** ([`embed`]) — split the watermark into redundant
+//! 2. **Embedding** ([`Embedder`]) — split the watermark into redundant
 //!    CRT statements, encrypt each into a 64-bit block, and insert
 //!    branch code (loop or condition generated) that spells the block
 //!    into the trace bit-string at trace-frequency-weighted cold spots.
-//! 3. **Recognition** ([`recognize`]) — re-trace, decode the bit-string,
+//! 3. **Recognition** ([`Recognizer`]) — re-trace, decode the bit-string,
 //!    decrypt every sliding 64-bit window, and recombine a consistent
 //!    statement subset by vote filtering, the G/H consistency graphs, and
 //!    the Generalized Chinese Remainder Theorem.
@@ -20,14 +20,20 @@ mod opaque;
 mod recognize;
 mod session;
 
-pub use embed::{embed, embed_with_trace, EmbedReport, MarkedProgram};
+pub use embed::{EmbedReport, MarkedProgram};
 pub use opaque::OpaquePredicate;
-pub use recognize::{
-    recognize, recognize_bits, recognize_from_candidates, window_candidates, Recognition,
-};
+pub use recognize::Recognition;
 pub use session::{
-    Embedder, EmbedderBuilder, Recognizer, RecognizerBuilder, DEFAULT_DECODE_CACHE_CAP,
+    DecodeCacheStats, Embedder, EmbedderBuilder, Recognizer, RecognizerBuilder,
+    DEFAULT_DECODE_CACHE_CAP,
 };
+
+// The retired free-function entry points, kept as deprecated shims for
+// one release; every in-tree caller goes through the sessions.
+#[allow(deprecated)]
+pub use embed::{embed, embed_with_trace};
+#[allow(deprecated)]
+pub use recognize::{recognize, recognize_bits, recognize_from_candidates, window_candidates};
 
 use pathmark_math::primes::primes_needed;
 use stackvm::interp::Vm;

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use pathmark_crypto::BATCH_LANES;
 use pathmark_math::bigint::BigUint;
 use pathmark_math::crt::{combine_statements, Statement};
 use pathmark_telemetry::{Counter, Stage};
@@ -28,12 +29,37 @@ use stackvm::Program;
 
 use super::{trace_program, JavaConfig, Recognizer};
 use crate::bitstring::BitString;
+use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
+use crate::scan::Survivors;
 use crate::WatermarkError;
 
 /// Cap on distinct candidate statements fed to the quadratic graph
 /// stage; candidates are kept by descending multiplicity.
 const MAX_GRAPH_VERTICES: usize = 3000;
+
+/// Largest repeat distance the periodic pre-reject votes on. Trace
+/// bit-strings repeat at the host program's loop-body period (around a
+/// thousand bits on the bench corpus); distances past a few thousand
+/// bits buy nothing and bloat the vote table.
+const MAX_PERIOD: usize = 4096;
+
+/// How many candidate periods the detector probes concurrently.
+const PERIOD_CANDIDATES: usize = 4;
+
+/// Votes a repeat distance needs before it can contend for a candidate
+/// seat.
+const PERIOD_PROMOTE_VOTES: u32 = 4;
+
+/// Candidate periods are probed every this many pushes; a probe is one
+/// O(1) window comparison per candidate.
+const PERIOD_PROBE_STRIDE: usize = 4;
+
+/// Direct-mapped last-seen slots (a power of two). The detector runs
+/// once per surviving window, so it must cost nanoseconds: a fixed
+/// 64 KiB table that collisions simply overwrite beats a growable map
+/// by an order of magnitude, and a lost slot only costs one vote.
+const PERIOD_TABLE_SLOTS: usize = 4096;
 
 /// Cap on one statement's weight in the `W mod p_i` vote. Long runs of
 /// identical trace bits (e.g. a hot never-taken attack branch emitting
@@ -41,6 +67,98 @@ const MAX_GRAPH_VERTICES: usize = 3000;
 /// — at enormous multiplicity; uncapped, that single decoding could
 /// out-vote the true residue.
 const MAX_VOTE_WEIGHT: u64 = 8;
+
+/// Online repeat-distance detector behind the periodic-run pre-reject.
+///
+/// Every surviving window votes on the distance to the previous
+/// occurrence of the same value; the top-voted distances become
+/// candidate periods. A candidate is *probed* with one O(1) window
+/// comparison (`window(o - p) == window(o)`); a probe hit is then
+/// extended with [`BitString::next_period_mismatch`] and, if the
+/// periodic run covers meaningfully more than one window, the whole
+/// run is bulk-accounted without rolling through it (see
+/// [`Recognizer::window_survivors`]).
+struct PeriodDetector {
+    /// Direct-mapped `(window value, offset + 1)` slots; a zero stamp
+    /// marks a vacant slot, and hash collisions simply overwrite.
+    last_seen: Vec<(u64, u64)>,
+    /// `votes[d]`: votes for repeat distance `d` (index 0 unused, so a
+    /// vacant candidate seat reads zero votes without a branch).
+    votes: Vec<u32>,
+    /// Candidate periods probed against the scan head; 0 = vacant seat.
+    candidates: [usize; PERIOD_CANDIDATES],
+    /// Windows pushed so far (bulk-accounted windows excluded).
+    pushes: usize,
+}
+
+impl PeriodDetector {
+    fn new() -> PeriodDetector {
+        PeriodDetector {
+            last_seen: vec![(0, 0); PERIOD_TABLE_SLOTS],
+            votes: vec![0; MAX_PERIOD + 1],
+            candidates: [0; PERIOD_CANDIDATES],
+            pushes: 0,
+        }
+    }
+
+    /// Records a surviving window pushed at `offset`, voting on the
+    /// distance to the value's previous occurrence.
+    fn push(&mut self, window: u64, offset: usize) {
+        self.pushes += 1;
+        let slot = (window.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize
+            & (PERIOD_TABLE_SLOTS - 1);
+        let (value, stamp) = self.last_seen[slot];
+        self.last_seen[slot] = (window, offset as u64 + 1);
+        if stamp == 0 || value != window {
+            return;
+        }
+        let distance = offset - (stamp - 1) as usize;
+        if distance <= MAX_PERIOD {
+            self.votes[distance] += 1;
+            if self.votes[distance] >= PERIOD_PROMOTE_VOTES {
+                self.consider(distance);
+            }
+        }
+    }
+
+    /// Seats `distance` if it out-votes the weakest current candidate
+    /// (vacant seats hold period 0, which always reads zero votes).
+    /// Re-seating on every promoted vote is what lets the dominant
+    /// loop-body period displace small noise distances that happened to
+    /// reach the threshold earlier.
+    fn consider(&mut self, distance: usize) {
+        if self.candidates.contains(&distance) {
+            return;
+        }
+        let weakest = (0..PERIOD_CANDIDATES)
+            .min_by_key(|&i| self.votes[self.candidates[i]])
+            .expect("PERIOD_CANDIDATES > 0");
+        if self.votes[distance] > self.votes[self.candidates[weakest]] {
+            self.candidates[weakest] = distance;
+        }
+    }
+
+    /// Returns a candidate period `p` verified at the scan head —
+    /// `window(offset - p)` exists and equals `window` — or `None`.
+    ///
+    /// The `hot` period (the one the scan last bulk-skipped on) is
+    /// probed on *every* push: a long periodic run interrupted by one
+    /// flipped bit re-engages immediately instead of rolling up to
+    /// [`PERIOD_PROBE_STRIDE`] more windows. The full candidate set is
+    /// only probed every stride-th push.
+    fn probe(&self, bits: &BitString, offset: usize, window: u64, hot: usize) -> Option<usize> {
+        if hot != 0 && offset >= hot && bits.window_u64(offset - hot) == Some(window) {
+            return Some(hot);
+        }
+        if !self.pushes.is_multiple_of(PERIOD_PROBE_STRIDE) {
+            return None;
+        }
+        self.candidates
+            .iter()
+            .copied()
+            .find(|&p| p != 0 && p != hot && offset >= p && bits.window_u64(offset - p) == Some(window))
+    }
+}
 
 /// The outcome of recognition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +189,9 @@ pub struct Recognition {
 /// * [`WatermarkError::TraceFailed`] if the program faults on the secret
 ///   input (e.g. after a destructive attack);
 /// * [`WatermarkError::Math`] for prime-configuration errors.
+#[deprecated(
+    note = "build a recognition session instead: `Recognizer::builder(key, config).build()?.recognize(program)`"
+)]
 pub fn recognize(
     program: &Program,
     key: &WatermarkKey,
@@ -85,6 +206,9 @@ pub fn recognize(
 /// # Errors
 ///
 /// [`WatermarkError::Math`] for prime-configuration errors.
+#[deprecated(
+    note = "build a recognition session instead: `Recognizer::builder(key, config).build()?.recognize_bits(bits)`"
+)]
 pub fn recognize_bits(
     bits: &BitString,
     key: &WatermarkKey,
@@ -111,6 +235,9 @@ pub fn recognize_bits(
 /// # Errors
 ///
 /// [`WatermarkError::Math`] for prime-configuration errors.
+#[deprecated(
+    note = "build a recognition session instead: `Recognizer::builder(key, config).build()?.window_candidates(bits, start, end)`"
+)]
 pub fn window_candidates(
     bits: &BitString,
     key: &WatermarkKey,
@@ -174,54 +301,65 @@ impl Recognizer {
     }
 
     /// Phase one of the window scan: collect the *surviving window
-    /// values* of offsets `[start, end)` as a sorted `(value,
-    /// multiplicity)` run-length list, without touching the cipher.
+    /// values* of offsets `[start, end)` as a columnar [`Survivors`]
+    /// table, without touching the cipher.
     ///
     /// The scan *rolls*: the 64-bit window is shifted one bit per
-    /// offset out of the packed words instead of being rebuilt, and
-    /// degenerate all-zero/all-one stretches are skipped in bulk by
-    /// jumping to the next run boundary
-    /// ([`BitString::next_set_bit`]/[`BitString::next_clear_bit`]). A
-    /// constant window is skipped — not merely cheaply rejected —
-    /// because a constant 64-bit run cannot be watermark ciphertext
-    /// except with probability `2^-63`, yet arises constantly from
-    /// monotone branches.
+    /// offset out of the packed words instead of being rebuilt, and two
+    /// pre-rejects account whole stretches of offsets without rolling
+    /// through them — both built on the word-parallel
+    /// [`BitString::next_period_mismatch`], which classifies four
+    /// packed words per step:
     ///
-    /// The survivors are deduplicated (sort + run-length): trace
-    /// bit-strings are periodic wherever the program loops, so the same
-    /// 64-bit value recurs at many offsets, and downstream decryption
-    /// ([`Recognizer::candidates_from_survivors`]) only needs to see
-    /// each distinct value once.
+    /// * **constant runs** (the period-1 case): an all-zero/all-one
+    ///   window is *skipped* — not merely cheaply rejected — because a
+    ///   constant 64-bit run cannot be watermark ciphertext except with
+    ///   probability `2^-63`, yet arises constantly from monotone
+    ///   branches; the scan jumps past the whole run at once.
+    /// * **periodic runs**: trace bit-strings repeat at the host's
+    ///   loop-body period, so most windows are exact copies of the
+    ///   window one period earlier. A [`PeriodDetector`] votes on
+    ///   repeat distances; when a probed candidate period extends into
+    ///   a long periodic run, every window of the run is *bulk
+    ///   accounted* to its representative one period back —
+    ///   `window(o) = window(r)` for `r ≡ o (mod p)` in the period
+    ///   before the run — with exact multiplicity and first offset, so
+    ///   the resulting table is bit-identical to rolling through the
+    ///   run one offset at a time (CI property-gates this).
     ///
     /// Telemetry: one [`Stage::Scan`] span, plus
-    /// [`Counter::WindowsScanned`] (windows examined, skipped ones
-    /// included) and [`Counter::WindowsSkipped`] (windows bypassed by
-    /// the constant-run pre-reject).
-    pub fn window_survivors(&self, bits: &BitString, start: usize, end: usize) -> Vec<(u64, u64)> {
+    /// [`Counter::WindowsScanned`] (windows the range covers, skipped
+    /// ones included) and [`Counter::WindowsSkipped`] (windows the
+    /// pre-rejects accounted without rolling).
+    pub fn window_survivors(&self, bits: &BitString, start: usize, end: usize) -> Survivors {
         let end = end.min(bits.num_windows());
         let start = start.min(end);
         let mut skipped = 0u64;
-        let runs = self.telemetry.time(Stage::Scan, || {
+        let table = self.telemetry.time(Stage::Scan, || {
             let words = bits.words();
-            // Upper bound: every window survives. Avoids doubling-copy
-            // churn on big traces (survivor counts are trace-sized).
-            let mut survivors: Vec<u64> = Vec::with_capacity(end - start);
+            // Upper bound: every window survives distinctly. Avoids
+            // doubling-copy churn on big traces.
+            let mut entries: Vec<(u64, u64, u64)> = Vec::with_capacity(end - start);
+            let mut detector = PeriodDetector::new();
+            // The period the scan last bulk-skipped on; probed eagerly.
+            let mut hot = 0usize;
             let mut offset = start;
             let mut window = match bits.window_u64(offset) {
                 Some(w) => w,
-                None => return Vec::new(), // start == end: empty range
+                None => return Survivors::new(), // start == end: empty range
             };
             while offset < end {
                 if window == 0 || window == u64::MAX {
                     // Constant run: every window up to (just past) the
                     // next flipped bit is equally constant. Jump there.
-                    let flip = if window == 0 {
-                        bits.next_set_bit(offset + 64)
+                    let flip = bits.next_period_mismatch(offset + 64, 1);
+                    let next = if flip >= bits.len() {
+                        end
                     } else {
-                        bits.next_clear_bit(offset + 64)
-                    };
-                    // The first offset whose window contains the flip.
-                    let next = flip.map_or(end, |q| (q - 63).min(end)).max(offset + 1);
+                        // The first offset whose window sees the flip.
+                        (flip - 63).min(end)
+                    }
+                    .max(offset + 1);
                     skipped += (next - offset) as u64;
                     offset = next;
                     if offset < end {
@@ -229,7 +367,44 @@ impl Recognizer {
                     }
                     continue;
                 }
-                survivors.push(window);
+                if let Some(period) = detector.probe(bits, offset, window, hot) {
+                    // The probe verified window(offset) == window(offset
+                    // - period); extend: bits agree with their
+                    // period-shifted selves up to `mismatch`, so every
+                    // window at [offset, mismatch - 64] is periodic.
+                    let mismatch = bits.next_period_mismatch(offset + 64, period);
+                    // Engage only when the run covers meaningfully more
+                    // than the verified window (half a period beyond).
+                    if mismatch >= offset + 64 + period / 2 {
+                        let stop = (mismatch - 64).min(end - 1);
+                        // Bulk-account [offset, stop]: each window there
+                        // equals its representative r one-to-few periods
+                        // back. Representatives at [offset - period,
+                        // offset) were already scanned normally; their
+                        // in-run copies sit at r + period, r + 2·period,
+                        // … ≤ stop. Constant representatives are dropped
+                        // — their copies are equally constant.
+                        for r in offset - period..offset {
+                            let value = bits.window_u64(r).expect("r < offset < num_windows");
+                            if value == 0 || value == u64::MAX {
+                                continue;
+                            }
+                            let count = ((stop - r) / period) as u64;
+                            if count > 0 {
+                                entries.push((value, count, (r + period) as u64));
+                            }
+                        }
+                        skipped += (stop - offset + 1) as u64;
+                        hot = period;
+                        offset = stop + 1;
+                        if offset < end {
+                            window = bits.window_u64(offset).expect("offset < num_windows");
+                        }
+                        continue;
+                    }
+                }
+                detector.push(window, offset);
+                entries.push((window, 1, offset as u64));
                 // Roll: shift the leaving bit out, the incoming bit in.
                 offset += 1;
                 if offset < end {
@@ -238,21 +413,12 @@ impl Recognizer {
                     window = (window >> 1) | (bit << 63);
                 }
             }
-            // Run-length encode the sorted survivors.
-            survivors.sort_unstable();
-            let mut runs: Vec<(u64, u64)> = Vec::new();
-            for value in survivors {
-                match runs.last_mut() {
-                    Some((v, count)) if *v == value => *count += 1,
-                    _ => runs.push((value, 1)),
-                }
-            }
-            runs
+            Survivors::from_entries(entries)
         });
         self.telemetry
             .count(Counter::WindowsScanned, (end - start) as u64);
         self.telemetry.count(Counter::WindowsSkipped, skipped);
-        runs
+        table
     }
 
     /// Phase two of the window scan: decrypt each distinct surviving
@@ -260,10 +426,12 @@ impl Recognizer {
     /// summing the value's multiplicity into the statement's count —
     /// exactly the multiset a decrypt-per-offset scan produces.
     ///
-    /// `survivors` is a `(value, multiplicity)` list as produced by
-    /// [`Recognizer::window_survivors`] (or a concatenation of several
-    /// shards' lists — values may repeat across entries; repeats sum
-    /// into the same statement and hit the decode cache, not XTEA).
+    /// `survivors` is the columnar table [`Recognizer::window_survivors`]
+    /// produced (or a [`Survivors::merge`] of several shards' tables).
+    /// Its rows are distinct by construction, so cache misses stream
+    /// straight into [`BATCH_LANES`]-wide lanes and through
+    /// [`pathmark_crypto::Xtea::decrypt_batch`] — the 32-round loop
+    /// runs once per lane batch instead of once per value.
     ///
     /// A value's decode is a pure function of the session key, so the
     /// session memoizes it (see `SessionCrypto::decode_cache`): a warm
@@ -273,8 +441,10 @@ impl Recognizer {
     ///
     /// Telemetry: one [`Stage::Scan`] span (the scan's decryption half),
     /// plus [`Counter::WindowsDecrypted`] (window values that actually
-    /// reached the cipher — cache hits are excluded, so a warm session
-    /// shows the memoization) and [`Counter::CandidatesDecoded`]
+    /// reached the cipher), [`Counter::DecodeCacheHit`] /
+    /// [`Counter::DecodeCacheMiss`] / [`Counter::DecodeCacheEvict`]
+    /// (cache behavior, also folded into the session's
+    /// [`super::DecodeCacheStats`]), and [`Counter::CandidatesDecoded`]
     /// (candidate decodings, with multiplicity).
     ///
     /// # Errors
@@ -282,13 +452,15 @@ impl Recognizer {
     /// [`WatermarkError::Math`] for prime-configuration errors.
     pub fn candidates_from_survivors(
         &self,
-        survivors: &[(u64, u64)],
+        survivors: &Survivors,
     ) -> Result<HashMap<Statement, u64>, WatermarkError> {
         let crypto = self.crypto()?;
         let (enumeration, cipher) = (&crypto.enumeration, &crypto.cipher);
         let cap = crypto.cache_cap;
         let mut decrypted = 0u64;
         let mut evicted = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         let counts = self.telemetry.time(Stage::Scan, || {
             let mut counts: HashMap<Statement, u64> = HashMap::new();
             let mut cache = crypto
@@ -297,38 +469,84 @@ impl Recognizer {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             let headroom = cap.saturating_sub(cache.len());
             cache.reserve(survivors.len().min(headroom));
-            for &(value, multiplicity) in survivors {
-                let decoded = match cache.get(&value) {
-                    Some(&decoded) => decoded,
-                    None => {
-                        decrypted += 1;
-                        let decoded = enumeration.decode(cipher.decrypt(value)).ok();
-                        if cap > 0 {
-                            if cache.len() >= cap {
-                                // At the cap: evict an arbitrary
-                                // resident entry so the newcomer (likely
-                                // the hotter value — it just occurred)
-                                // is admitted and memory stays bounded.
-                                if let Some(&victim) = cache.keys().next() {
-                                    cache.remove(&victim);
-                                    evicted += 1;
-                                }
+            // Cache misses accumulate into cipher lanes; table rows are
+            // distinct, so a batch never holds the same value twice.
+            let mut lane_values = [0u64; BATCH_LANES];
+            let mut lane_mults = [0u64; BATCH_LANES];
+            let mut lanes = 0usize;
+            let flush = |values: &[u64],
+                             mults: &[u64],
+                             cache: &mut HashMap<u64, Option<Statement>, FxBuildHasher>,
+                             counts: &mut HashMap<Statement, u64>,
+                             decrypted: &mut u64,
+                             evicted: &mut u64| {
+                let mut blocks = [0u64; BATCH_LANES];
+                blocks[..values.len()].copy_from_slice(values);
+                cipher.decrypt_batch(&mut blocks[..values.len()]);
+                *decrypted += values.len() as u64;
+                for (lane, &value) in values.iter().enumerate() {
+                    let decoded = enumeration.decode(blocks[lane]).ok();
+                    if cap > 0 {
+                        if cache.len() >= cap {
+                            // At the cap: evict an arbitrary resident
+                            // entry so the newcomer (likely the hotter
+                            // value — it just occurred) is admitted and
+                            // memory stays bounded.
+                            if let Some(&victim) = cache.keys().next() {
+                                cache.remove(&victim);
+                                *evicted += 1;
                             }
-                            cache.insert(value, decoded);
                         }
-                        decoded
+                        cache.insert(value, decoded);
                     }
-                };
-                if let Some(statement) = decoded {
-                    *counts.entry(statement).or_insert(0) += multiplicity;
+                    if let Some(statement) = decoded {
+                        *counts.entry(statement).or_insert(0) += mults[lane];
+                    }
                 }
+            };
+            for (value, multiplicity, _first_offset) in survivors.iter() {
+                if let Some(&decoded) = cache.get(&value) {
+                    hits += 1;
+                    if let Some(statement) = decoded {
+                        *counts.entry(statement).or_insert(0) += multiplicity;
+                    }
+                    continue;
+                }
+                misses += 1;
+                lane_values[lanes] = value;
+                lane_mults[lanes] = multiplicity;
+                lanes += 1;
+                if lanes == BATCH_LANES {
+                    flush(
+                        &lane_values,
+                        &lane_mults,
+                        &mut cache,
+                        &mut counts,
+                        &mut decrypted,
+                        &mut evicted,
+                    );
+                    lanes = 0;
+                }
+            }
+            if lanes > 0 {
+                flush(
+                    &lane_values[..lanes],
+                    &lane_mults[..lanes],
+                    &mut cache,
+                    &mut counts,
+                    &mut decrypted,
+                    &mut evicted,
+                );
             }
             counts
         });
         self.telemetry.count(Counter::WindowsDecrypted, decrypted);
+        self.telemetry.count(Counter::DecodeCacheHit, hits);
+        self.telemetry.count(Counter::DecodeCacheMiss, misses);
         self.telemetry.count(Counter::DecodeCacheEvict, evicted);
         self.telemetry
             .count(Counter::CandidatesDecoded, counts.values().sum());
+        crypto.record_cache_activity(hits, misses, evicted);
         Ok(counts)
     }
 
@@ -360,6 +578,9 @@ impl Recognizer {
 /// # Errors
 ///
 /// [`WatermarkError::Math`] for prime-configuration errors.
+#[deprecated(
+    note = "build a recognition session instead: `Recognizer::builder(key, config).build()?.recognize_from_candidates(counts)`"
+)]
 pub fn recognize_from_candidates(
     counts: HashMap<Statement, u64>,
     key: &WatermarkKey,
@@ -578,7 +799,7 @@ impl Recognizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::java::{embed, CodegenPolicy};
+    use crate::java::{CodegenPolicy, Embedder};
     use crate::key::Watermark;
     use pathmark_crypto::Prng;
     use stackvm::builder::{FunctionBuilder, ProgramBuilder};
@@ -604,19 +825,122 @@ mod tests {
         WatermarkKey::new(0x5EC2E7, vec![3, 1, 4])
     }
 
+    fn embedder(config: &JavaConfig) -> Embedder {
+        Embedder::builder(key(), config.clone()).build().unwrap()
+    }
+
+    fn recognizer(config: &JavaConfig) -> Recognizer {
+        Recognizer::builder(key(), config.clone()).build().unwrap()
+    }
+
+    /// The scan `window_survivors` must match: roll a window over every
+    /// offset of `[start, end)`, drop constants, tally multiplicities
+    /// and first offsets. No pre-reject, no skipping — the oracle the
+    /// periodic bulk-accounting is gated against.
+    fn reference_survivors(bits: &BitString, start: usize, end: usize) -> Survivors {
+        let end = end.min(bits.num_windows());
+        let start = start.min(end);
+        let mut entries = Vec::new();
+        for offset in start..end {
+            let window = bits.window_u64(offset).unwrap();
+            if window != 0 && window != u64::MAX {
+                entries.push((window, 1, offset as u64));
+            }
+        }
+        Survivors::from_entries(entries)
+    }
+
     #[test]
     fn embed_then_recognize_round_trip() {
         for (bits, pieces) in [(64usize, 10usize), (128, 30), (256, 60)] {
             let config = JavaConfig::for_watermark_bits(bits).with_pieces(pieces);
             let watermark = Watermark::random_for(&config, &key());
-            let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
-            let rec = recognize(&marked.program, &key(), &config).unwrap();
+            let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
+            let rec = recognizer(&config).recognize(&marked.program).unwrap();
             assert_eq!(
                 rec.watermark.as_ref(),
                 Some(watermark.value()),
                 "{bits}-bit watermark with {pieces} pieces"
             );
             assert_eq!(rec.primes_covered, rec.primes_total);
+        }
+    }
+
+    #[test]
+    fn deprecated_free_functions_still_round_trip() {
+        // The retired wrappers stay behaviorally intact until removal.
+        #![allow(deprecated)]
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        let watermark = Watermark::random_for(&config, &key());
+        let marked = crate::java::embed(&host_program(), &watermark, &key(), &config).unwrap();
+        let rec = crate::java::recognize(&marked.program, &key(), &config).unwrap();
+        assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
+    }
+
+    #[test]
+    fn periodic_prereject_matches_reference_scan_on_marked_traces() {
+        // CI equivalence gate: the production scan (constant-run and
+        // periodic-run pre-rejects engaged) must produce the exact
+        // survivor table of the naive roll-every-offset reference, on
+        // real marked traces — the near-periodic inputs the pre-reject
+        // actually fires on.
+        for pieces in [10usize, 30] {
+            let config = JavaConfig::for_watermark_bits(128).with_pieces(pieces);
+            let watermark = Watermark::random_for(&config, &key());
+            let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
+            let session = recognizer(&config);
+            let bits = session.trace_bits(&marked.program).unwrap();
+            let scanned = session.window_survivors(&bits, 0, usize::MAX);
+            let reference = reference_survivors(&bits, 0, usize::MAX);
+            assert_eq!(scanned, reference, "{pieces} pieces");
+        }
+    }
+
+    #[test]
+    fn periodic_prereject_matches_reference_scan_on_adversarial_bitstrings() {
+        // Random strings (pre-reject mostly idle), all-constant runs,
+        // and exactly-periodic strings at awkward periods (the
+        // pre-reject engages constantly) — plus random shard splits,
+        // whose merged tables must equal the full-range table.
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(10);
+        let session = recognizer(&config);
+        let mut rng = Prng::from_seed(0xADE5A1);
+        let mut cases: Vec<Vec<bool>> = Vec::new();
+        // Pure random.
+        cases.push((0..4000).map(|_| rng.chance(0.5)).collect());
+        // Long constant runs stitched with noise bursts.
+        let mut runs = Vec::new();
+        for _ in 0..12 {
+            let constant = rng.chance(0.5);
+            runs.extend(std::iter::repeat_n(constant, 100 + rng.index(300)));
+            runs.extend((0..rng.index(40)).map(|_| rng.chance(0.5)));
+        }
+        cases.push(runs);
+        // Exactly periodic at awkward periods (word-straddling), with a
+        // few planted flips.
+        for period in [1usize, 7, 63, 64, 65, 127, 911, 1041] {
+            let tile: Vec<bool> = (0..period).map(|_| rng.chance(0.5)).collect();
+            let mut tiled: Vec<bool> = (0..6000).map(|i| tile[i % period]).collect();
+            for _ in 0..3 {
+                let i = rng.index(tiled.len());
+                tiled[i] = !tiled[i];
+            }
+            cases.push(tiled);
+        }
+        for (case, bools) in cases.into_iter().enumerate() {
+            let bits = BitString::from_bits(bools);
+            let full = session.window_survivors(&bits, 0, usize::MAX);
+            let reference = reference_survivors(&bits, 0, usize::MAX);
+            assert_eq!(full, reference, "case {case}");
+            // Shard-split: disjoint ranges merge to the full table.
+            let n = bits.num_windows();
+            for shards in [2usize, 3, 5] {
+                let chunk = n.div_ceil(shards).max(1);
+                let parts: Vec<Survivors> = (0..shards)
+                    .map(|s| session.window_survivors(&bits, s * chunk, ((s + 1) * chunk).min(n)))
+                    .collect();
+                assert_eq!(Survivors::merge(parts), reference, "case {case}, {shards} shards");
+            }
         }
     }
 
@@ -631,8 +955,8 @@ mod tests {
                 .with_pieces(15)
                 .with_codegen(policy);
             let watermark = Watermark::random_for(&config, &key());
-            let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
-            let rec = recognize(&marked.program, &key(), &config).unwrap();
+            let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
+            let rec = recognizer(&config).recognize(&marked.program).unwrap();
             assert_eq!(rec.watermark.as_ref(), Some(watermark.value()), "{policy:?}");
         }
     }
@@ -646,9 +970,11 @@ mod tests {
         // Many distinct window values, far more than the capped cache
         // admits at once.
         let mut rng = Prng::from_seed(4242);
-        let survivors: Vec<(u64, u64)> = (0..512)
-            .map(|_| (rng.next_u64(), 1 + rng.next_u64() % 3))
-            .collect();
+        let survivors = Survivors::from_entries(
+            (0..512)
+                .map(|i| (rng.next_u64(), 1 + rng.next_u64() % 3, i))
+                .collect(),
+        );
 
         let sink = Arc::new(pathmark_telemetry::MemorySink::new());
         let capped = Recognizer::builder(key(), config.clone())
@@ -680,12 +1006,21 @@ mod tests {
             .unwrap()
             .len();
         assert!(cache_len <= 16, "cache bounded by its cap, got {cache_len}");
+        // The session's cache statistics agree with the sink: 512
+        // distinct values through an empty cache all miss.
+        let stats = capped.decode_cache_stats();
+        assert_eq!(stats.misses, 512);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, sink.counter(Counter::DecodeCacheEvict));
+        assert_eq!(stats.entries, cache_len as u64);
+        assert_eq!(sink.counter(Counter::DecodeCacheMiss), 512);
+        assert_eq!(sink.counter(Counter::DecodeCacheHit), 0);
         // Repeats of a resident value still hit: re-running the tail of
-        // the survivor list decrypts fewer values than it has entries.
+        // the survivor table decrypts no more values than it has rows.
+        let tail =
+            Survivors::from_entries(survivors.iter().skip(survivors.len() - 8).collect());
         let before = sink.counter(Counter::WindowsDecrypted);
-        capped
-            .candidates_from_survivors(&survivors[survivors.len() - 8..])
-            .unwrap();
+        capped.candidates_from_survivors(&tail).unwrap();
         let after = sink.counter(Counter::WindowsDecrypted);
         assert!(after - before <= 8);
     }
@@ -693,7 +1028,7 @@ mod tests {
     #[test]
     fn unmarked_program_recognizes_nothing() {
         let config = JavaConfig::for_watermark_bits(64);
-        let rec = recognize(&host_program(), &key(), &config).unwrap();
+        let rec = recognizer(&config).recognize(&host_program()).unwrap();
         assert_eq!(rec.watermark, None);
         assert_eq!(rec.survivors, 0);
     }
@@ -702,11 +1037,15 @@ mod tests {
     fn wrong_key_recognizes_nothing() {
         let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
         let watermark = Watermark::random_for(&config, &key());
-        let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+        let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
         // Different numeric secret: different primes, cipher, and trace
         // input.
         let wrong = WatermarkKey::new(0xBAD_5EED, vec![3, 1, 4]);
-        let rec = recognize(&marked.program, &wrong, &config).unwrap();
+        let rec = Recognizer::builder(wrong, config)
+            .build()
+            .unwrap()
+            .recognize(&marked.program)
+            .unwrap();
         assert_eq!(rec.watermark, None, "wrong key must not recover the mark");
     }
 
@@ -717,7 +1056,7 @@ mod tests {
         // attack's effect directly at the bit level.
         let config = JavaConfig::for_watermark_bits(64).with_pieces(24);
         let watermark = Watermark::random_for(&config, &key());
-        let marked = embed(&host_program(), &watermark, &key(), &config).unwrap();
+        let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
         let trace = super::super::trace_program(
             &marked.program,
             &key(),
@@ -733,7 +1072,9 @@ mod tests {
             let i = rng.index(bits.len());
             bits[i] = !bits[i];
         }
-        let rec = recognize_bits(&BitString::from_bits(bits), &key(), &config).unwrap();
+        let rec = recognizer(&config)
+            .recognize_bits(&BitString::from_bits(bits))
+            .unwrap();
         assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
     }
 
@@ -753,7 +1094,11 @@ mod tests {
             let config =
                 JavaConfig::for_watermark_bits(64).with_pieces(8 + rng.index(16));
             let watermark = Watermark::random_for(&config, &k);
-            let marked = embed(&host_program(), &watermark, &k, &config).unwrap();
+            let marked = Embedder::builder(k.clone(), config.clone())
+                .build()
+                .unwrap()
+                .embed(&host_program(), &watermark)
+                .unwrap();
             for program in [&host_program(), &marked.program] {
                 let trace = super::super::trace_program(
                     program,
@@ -773,7 +1118,9 @@ mod tests {
     #[test]
     fn empty_bitstring_yields_empty_recognition() {
         let config = JavaConfig::for_watermark_bits(64);
-        let rec = recognize_bits(&BitString::from_bits(vec![]), &key(), &config).unwrap();
+        let rec = recognizer(&config)
+            .recognize_bits(&BitString::from_bits(vec![]))
+            .unwrap();
         assert_eq!(rec.candidates, 0);
         assert_eq!(rec.watermark, None);
         assert_eq!(rec.modulus, BigUint::one());

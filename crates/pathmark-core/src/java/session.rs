@@ -48,6 +48,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pathmark_crypto::Xtea;
@@ -98,6 +99,31 @@ pub(crate) struct SessionCrypto {
     /// Ceiling on `decode_cache` entries; admitting past it evicts an
     /// arbitrary resident entry. Zero disables memoization entirely.
     pub(crate) cache_cap: usize,
+    /// Lifetime decode-cache hits, kept on the shared crypto state (not
+    /// the telemetry sink) so cache behavior is observable — e.g. from
+    /// a daemon's stats endpoint — regardless of how a session was
+    /// built. Relaxed atomics: these are statistics, not
+    /// synchronization.
+    pub(crate) cache_hits: AtomicU64,
+    /// Lifetime decode-cache misses (each one paid a cipher call).
+    pub(crate) cache_misses: AtomicU64,
+    /// Lifetime decode-cache evictions under the cap.
+    pub(crate) cache_evictions: AtomicU64,
+}
+
+/// Point-in-time decode-cache statistics of one session's shared crypto
+/// state (see [`SessionCrypto`]); sessions created via `with_key` with
+/// the same key share one state and therefore one set of numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served from the cache (no cipher call).
+    pub hits: u64,
+    /// Lookups that missed and decrypted.
+    pub misses: u64,
+    /// Entries evicted to stay under the cap.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
 }
 
 impl SessionCrypto {
@@ -121,7 +147,33 @@ impl SessionCrypto {
             cipher: key.cipher(),
             decode_cache: Mutex::new(HashMap::default()),
             cache_cap,
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
         })
+    }
+
+    /// A point-in-time snapshot of the decode-cache statistics.
+    pub(crate) fn decode_cache_stats(&self) -> DecodeCacheStats {
+        let entries = self
+            .decode_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len() as u64;
+        DecodeCacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Folds one scan's hit/miss/eviction deltas into the lifetime
+    /// statistics.
+    pub(crate) fn record_cache_activity(&self, hits: u64, misses: u64, evictions: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 }
 
@@ -205,6 +257,19 @@ macro_rules! session_impl {
             /// The session's decode-cache ceiling, in entries.
             pub fn decode_cache_cap(&self) -> usize {
                 self.decode_cache_cap
+            }
+
+            /// Decode-cache statistics of the session's shared crypto
+            /// state. Sessions derived for the same key (see
+            /// [`Self::with_key`]) share one state, so a warm daemon
+            /// session's numbers accumulate across every copy it
+            /// recognizes. Zeros when crypto derivation was deferred
+            /// (only possible on the unvalidated legacy path).
+            pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+                match &self.crypto {
+                    Some(crypto) => crypto.decode_cache_stats(),
+                    None => DecodeCacheStats::default(),
+                }
             }
 
             /// The session's key.

@@ -35,7 +35,7 @@
 //! # Quick start (bytecode)
 //!
 //! ```
-//! use pathmark_core::java::{embed, recognize, JavaConfig};
+//! use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
 //! use pathmark_core::key::{Watermark, WatermarkKey};
 //! use stackvm::builder::{FunctionBuilder, ProgramBuilder};
 //! use stackvm::insn::Cond;
@@ -59,8 +59,10 @@
 //! let config = JavaConfig::for_watermark_bits(64).with_pieces(20);
 //! let watermark = Watermark::random_for(&config, &key);
 //!
-//! let marked = embed(&program, &watermark, &key, &config)?;
-//! let found = recognize(&marked.program, &key, &config)?;
+//! let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
+//! let recognizer = Recognizer::builder(key, config).build()?;
+//! let marked = embedder.embed(&program, &watermark)?;
+//! let found = recognizer.recognize(&marked.program)?;
 //! assert_eq!(found.watermark.as_ref(), Some(watermark.value()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -71,7 +73,9 @@ pub mod hash;
 pub mod java;
 pub mod key;
 pub mod native;
+pub mod scan;
 
 mod error;
 
 pub use error::{ConfigError, WatermarkError};
+pub use scan::Survivors;

@@ -1,0 +1,210 @@
+//! Columnar survivor tables for the two-phase window scan.
+//!
+//! Phase one of recognition (`Recognizer::window_survivors`) reduces a
+//! trace bit-string to the *distinct* surviving 64-bit window values of
+//! a scan range; phase two decrypts each value once. [`Survivors`] is
+//! the currency between the phases: a sorted columnar table with one
+//! row per distinct value and three parallel columns —
+//!
+//! * **values** — the distinct window values, strictly ascending;
+//! * **multiplicities** — how many scan offsets produced each value
+//!   (exact, including offsets the pre-reject bulk-accounted without
+//!   rolling through them);
+//! * **first offsets** — the lowest scan offset at which each value was
+//!   observed in the range.
+//!
+//! The layout is deliberately struct-of-arrays rather than a vector of
+//! per-window structs: phase two streams the `values` column through
+//! the batched cipher ([`pathmark_crypto::Xtea::decrypt_batch`]) in
+//! contiguous lanes, and the sorted order makes shard merging a linear
+//! column merge. The discipline mirrors the sorted columnar execution
+//! tables of trace-based proof systems, and is the layout a GPU/offload
+//! backend would consume unchanged.
+//!
+//! Tables are **concatenable across shards**: disjoint scan ranges of
+//! one bit-string each produce a table, and [`Survivors::merge`] folds
+//! them into the table a single full-range scan would have produced
+//! (multiplicities sum, first offsets take the minimum) — the
+//! serial/sharded bit-identity the fleet's shard merge relies on.
+
+/// A sorted columnar table of distinct surviving window values; see the
+/// module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Survivors {
+    values: Vec<u64>,
+    multiplicities: Vec<u64>,
+    first_offsets: Vec<u64>,
+}
+
+impl Survivors {
+    /// An empty table.
+    pub fn new() -> Survivors {
+        Survivors::default()
+    }
+
+    /// Builds a table from unsorted `(value, multiplicity, first
+    /// offset)` entries: sorts by value and folds duplicate values
+    /// together (multiplicities sum, first offsets take the minimum).
+    ///
+    /// Surviving window values are close to uniform (they are 64 bits
+    /// of branch history dense enough to escape the constant-run
+    /// reject), so the sort first scatters entries into 256 buckets by
+    /// top byte and comparison-sorts each small bucket — near-linear on
+    /// real traces, and merely a full sort in the adversarial
+    /// one-bucket case.
+    pub fn from_entries(entries: Vec<(u64, u64, u64)>) -> Survivors {
+        let mut counts = [0usize; 256];
+        for &(value, _, _) in &entries {
+            counts[(value >> 56) as usize] += 1;
+        }
+        let mut starts = [0usize; 256];
+        let mut total = 0usize;
+        for (bucket, &count) in counts.iter().enumerate() {
+            starts[bucket] = total;
+            total += count;
+        }
+        let mut sorted: Vec<(u64, u64, u64)> = vec![(0, 0, 0); entries.len()];
+        let mut cursor = starts;
+        for entry in entries {
+            let bucket = (entry.0 >> 56) as usize;
+            sorted[cursor[bucket]] = entry;
+            cursor[bucket] += 1;
+        }
+        for (bucket, &start) in starts.iter().enumerate() {
+            sorted[start..start + counts[bucket]].sort_unstable();
+        }
+        let entries = sorted;
+        let mut table = Survivors {
+            values: Vec::with_capacity(entries.len()),
+            multiplicities: Vec::with_capacity(entries.len()),
+            first_offsets: Vec::with_capacity(entries.len()),
+        };
+        for (value, multiplicity, first_offset) in entries {
+            match table.values.last() {
+                Some(&v) if v == value => {
+                    let last = table.values.len() - 1;
+                    table.multiplicities[last] += multiplicity;
+                    table.first_offsets[last] = table.first_offsets[last].min(first_offset);
+                }
+                _ => {
+                    table.values.push(value);
+                    table.multiplicities.push(multiplicity);
+                    table.first_offsets.push(first_offset);
+                }
+            }
+        }
+        table
+    }
+
+    /// Folds shard tables (from disjoint scan ranges) into the table a
+    /// single full-range scan would produce: values from all shards,
+    /// multiplicities summed, first offsets minimized.
+    pub fn merge(shards: impl IntoIterator<Item = Survivors>) -> Survivors {
+        let mut entries: Vec<(u64, u64, u64)> = Vec::new();
+        for shard in shards {
+            entries.reserve(shard.len());
+            for i in 0..shard.len() {
+                entries.push((
+                    shard.values[i],
+                    shard.multiplicities[i],
+                    shard.first_offsets[i],
+                ));
+            }
+        }
+        Survivors::from_entries(entries)
+    }
+
+    /// Number of distinct surviving values (table rows).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The distinct window values, strictly ascending.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Per-value occurrence counts, parallel to [`Survivors::values`].
+    pub fn multiplicities(&self) -> &[u64] {
+        &self.multiplicities
+    }
+
+    /// Per-value lowest scan offset, parallel to [`Survivors::values`].
+    pub fn first_offsets(&self) -> &[u64] {
+        &self.first_offsets
+    }
+
+    /// Total windows accounted, `sum(multiplicities)`.
+    pub fn total_windows(&self) -> u64 {
+        self.multiplicities.iter().sum()
+    }
+
+    /// Iterates rows as `(value, multiplicity, first offset)`, in
+    /// ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.values
+            .iter()
+            .zip(&self.multiplicities)
+            .zip(&self.first_offsets)
+            .map(|((&v, &m), &f)| (v, m, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts_and_folds_duplicates() {
+        let table = Survivors::from_entries(vec![
+            (30, 2, 700),
+            (10, 1, 500),
+            (30, 5, 40),
+            (20, 3, 600),
+            (10, 4, 90),
+        ]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.values(), &[10, 20, 30]);
+        assert_eq!(table.multiplicities(), &[5, 3, 7]);
+        assert_eq!(table.first_offsets(), &[90, 600, 40]);
+        assert_eq!(table.total_windows(), 15);
+        assert_eq!(
+            table.iter().collect::<Vec<_>>(),
+            vec![(10, 5, 90), (20, 3, 600), (30, 7, 40)]
+        );
+    }
+
+    #[test]
+    fn merge_equals_single_table_of_all_entries() {
+        use pathmark_crypto::Prng;
+        let mut rng = Prng::from_seed(0x5CA2);
+        let entries: Vec<(u64, u64, u64)> = (0..400)
+            .map(|_| (rng.range(50), 1 + rng.range(4), rng.range(10_000)))
+            .collect();
+        let whole = Survivors::from_entries(entries.clone());
+        // Split into shards at random points; each shard builds its own
+        // table; merging must reproduce the whole-range table exactly.
+        for shards in [1usize, 2, 3, 7] {
+            let chunk = entries.len().div_ceil(shards);
+            let parts: Vec<Survivors> = entries
+                .chunks(chunk)
+                .map(|c| Survivors::from_entries(c.to_vec()))
+                .collect();
+            assert_eq!(Survivors::merge(parts), whole, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_tables_merge_to_empty() {
+        let merged = Survivors::merge(vec![Survivors::new(), Survivors::default()]);
+        assert!(merged.is_empty());
+        assert_eq!(merged.len(), 0);
+        assert_eq!(merged.total_windows(), 0);
+        assert_eq!(merged, Survivors::from_entries(Vec::new()));
+    }
+}

@@ -26,4 +26,4 @@ pub mod xtea;
 
 pub use phf::DisplacementHash;
 pub use prng::Prng;
-pub use xtea::Xtea;
+pub use xtea::{Xtea, BATCH_LANES};

@@ -7,42 +7,24 @@
 //! parallelizes embarrassingly: partition the window **start offsets**
 //! into disjoint contiguous ranges and run
 //! [`Recognizer::window_survivors`] on each range on the worker pool.
-//! The shards return sorted `(window value, multiplicity)` run-length
-//! lists — *before* any cryptography — which are concatenated (reported
-//! to telemetry as [`Stage::Merge`] on a telemetry-carrying session)
-//! and handed to one [`Recognizer::candidates_from_survivors`] pass.
-//! That pass sums multiplicities per decoded statement and memoizes
-//! decodes in the session's cache, so a value repeated across shards
-//! contributes the same count as in a serial scan and still reaches
-//! XTEA only once. The resulting candidate map equals a serial scan of
-//! the full range, making [`recognize_sharded`] bit-identical to
-//! [`Recognizer::recognize_bits`] by construction — a property the
-//! integration tests assert on every pipeline fixture.
+//! The shards return columnar [`Survivors`] tables — *before* any
+//! cryptography — which [`Survivors::merge`] folds into the table a
+//! single full-range scan would have produced (reported to telemetry as
+//! [`Stage::Merge`] on a telemetry-carrying session) and hands to one
+//! [`Recognizer::candidates_from_survivors`] pass. The merged table's
+//! rows are distinct, so every value reaches the batched cipher (or the
+//! session decode cache) exactly once, and the resulting candidate map
+//! equals a serial scan of the full range — making [`recognize_sharded`]
+//! bit-identical to [`Recognizer::recognize_bits`] by construction, a
+//! property the integration tests assert on every pipeline fixture.
 
 use pathmark_core::bitstring::BitString;
 use pathmark_core::java::{Recognition, Recognizer};
-use pathmark_core::WatermarkError;
+use pathmark_core::{Survivors, WatermarkError};
 use pathmark_telemetry::Stage;
 use stackvm::Program;
 
 use crate::pool::WorkerPool;
-
-/// Concatenates the shards' `(value, multiplicity)` run-length lists.
-///
-/// No value-level merge is needed: `candidates_from_survivors` sums
-/// multiplicities per decoded statement, so a value that appears in
-/// several shards contributes the same total either way, and the
-/// session decode cache guarantees it still reaches XTEA only once.
-/// Concatenation keeps the merge stage O(total entries) with no
-/// comparisons at all.
-fn merge_runs(lists: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
-    let total = lists.iter().map(Vec::len).sum();
-    let mut merged = Vec::with_capacity(total);
-    for list in lists {
-        merged.extend(list);
-    }
-    merged
-}
 
 /// Recognition over an already-decoded bit-string, with the window scan
 /// split into `shards` parallel chunks. Output is bit-identical to
@@ -80,14 +62,9 @@ pub fn recognize_sharded(
     });
 
     let merged = session.telemetry().time(Stage::Merge, || {
-        merge_runs(
-            scanned
-                .into_iter()
-                .map(|result| {
-                    result.unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))
-                })
-                .collect(),
-        )
+        Survivors::merge(scanned.into_iter().map(|result| {
+            result.unwrap_or_else(|p| panic!("recognition shard panicked: {}", p.message))
+        }))
     });
     let candidates = session.candidates_from_survivors(&merged)?;
     session.recognize_from_candidates(candidates)
@@ -117,11 +94,10 @@ pub fn recognize_program_sharded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pathmark_core::java::{embed, recognize_bits, trace_program, JavaConfig};
+    use pathmark_core::java::{Embedder, JavaConfig};
     use pathmark_core::key::{Watermark, WatermarkKey};
     use stackvm::builder::{FunctionBuilder, ProgramBuilder};
     use stackvm::insn::Cond;
-    use stackvm::trace::TraceConfig;
 
     fn host_program() -> Program {
         let mut pb = ProgramBuilder::new();
@@ -144,14 +120,16 @@ mod tests {
         let key = WatermarkKey::new(0x5EC2E7, vec![3, 1, 4]);
         let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
         let watermark = Watermark::random_for(&config, &key);
-        let marked = embed(&host_program(), &watermark, &key, &config).unwrap();
-        let trace =
-            trace_program(&marked.program, &key, &config, TraceConfig::branches_only()).unwrap();
-        let bits = BitString::from_trace(&trace);
-        let serial = recognize_bits(&bits, &key, &config).unwrap();
+        let marked = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .embed(&host_program(), &watermark)
+            .unwrap();
+        let session = Recognizer::builder(key, config).build().unwrap();
+        let bits = session.trace_bits(&marked.program).unwrap();
+        let serial = session.recognize_bits(&bits).unwrap();
         assert_eq!(serial.watermark.as_ref(), Some(watermark.value()));
 
-        let session = Recognizer::builder(key, config).build().unwrap();
         let pool = WorkerPool::new(4);
         for shards in [1usize, 2, 3, 7, 64, 10_000] {
             let sharded = recognize_sharded(&bits, &session, shards, &pool).unwrap();
@@ -163,28 +141,41 @@ mod tests {
     }
 
     #[test]
-    fn merge_runs_concatenates_in_shard_order() {
-        assert_eq!(merge_runs(vec![]), vec![]);
-        assert_eq!(merge_runs(vec![vec![(5, 2)]]), vec![(5, 2)]);
-        let merged = merge_runs(vec![
-            vec![(1, 1), (4, 2)],
-            vec![],
-            vec![(4, 3), (7, 1)],
-        ]);
-        // Values repeating across shards stay separate entries; the
-        // decrypt pass sums their multiplicities per statement.
-        assert_eq!(merged, vec![(1, 1), (4, 2), (4, 3), (7, 1)]);
+    fn shard_tables_merge_to_the_full_range_table() {
+        // Disjoint shard scans of one bit-string must merge into the
+        // exact table a single full-range scan produces — values,
+        // multiplicities, and first offsets alike.
+        let key = WatermarkKey::new(0x5EC2E7, vec![3, 1, 4]);
+        let config = JavaConfig::for_watermark_bits(64).with_pieces(12);
+        let watermark = Watermark::random_for(&config, &key);
+        let marked = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .embed(&host_program(), &watermark)
+            .unwrap();
+        let session = Recognizer::builder(key, config).build().unwrap();
+        let bits = session.trace_bits(&marked.program).unwrap();
+        let n = bits.len().saturating_sub(63);
+        let whole = session.window_survivors(&bits, 0, n);
+        for shards in [1usize, 2, 3, 7, 64] {
+            let chunk = n.div_ceil(shards).max(1);
+            let parts: Vec<Survivors> = (0..shards)
+                .map(|s| session.window_survivors(&bits, s * chunk, ((s + 1) * chunk).min(n)))
+                .collect();
+            assert_eq!(Survivors::merge(parts), whole, "{shards} shards");
+        }
+        assert_eq!(Survivors::merge(Vec::new()), Survivors::new());
     }
 
     #[test]
     fn degenerate_bitstrings_are_handled() {
         let key = WatermarkKey::new(9, vec![1]);
         let config = JavaConfig::for_watermark_bits(64);
-        let session = Recognizer::builder(key.clone(), config.clone()).build().unwrap();
+        let session = Recognizer::builder(key, config).build().unwrap();
         let pool = WorkerPool::new(2);
         for len in [0usize, 10, 63, 64, 65] {
             let bits = BitString::from_bits(vec![true; len]);
-            let serial = recognize_bits(&bits, &key, &config).unwrap();
+            let serial = session.recognize_bits(&bits).unwrap();
             let sharded = recognize_sharded(&bits, &session, 8, &pool).unwrap();
             assert_eq!(sharded, serial, "length {len}");
         }

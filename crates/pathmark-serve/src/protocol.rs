@@ -367,6 +367,15 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Open tenants.
     pub tenants: u64,
+    /// Decode-cache lookups served without a cipher call, summed over
+    /// every resident recognize session.
+    pub decode_cache_hits: u64,
+    /// Decode-cache lookups that missed and decrypted.
+    pub decode_cache_misses: u64,
+    /// Decode-cache entries evicted to stay under the caps.
+    pub decode_cache_evictions: u64,
+    /// Decode-cache entries currently resident across sessions.
+    pub decode_cache_entries: u64,
 }
 
 /// Renders the `stats` response.
@@ -381,6 +390,10 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
         ("inflight", Scalar::Num(s.inflight)),
         ("queue_depth", Scalar::Num(s.queue_depth)),
         ("tenants", Scalar::Num(s.tenants)),
+        ("decode_cache_hits", Scalar::Num(s.decode_cache_hits)),
+        ("decode_cache_misses", Scalar::Num(s.decode_cache_misses)),
+        ("decode_cache_evictions", Scalar::Num(s.decode_cache_evictions)),
+        ("decode_cache_entries", Scalar::Num(s.decode_cache_entries)),
     ])
 }
 

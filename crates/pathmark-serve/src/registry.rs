@@ -19,7 +19,9 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use pathmark_core::java::{Embedder, JavaConfig, Recognizer, DEFAULT_DECODE_CACHE_CAP};
+use pathmark_core::java::{
+    DecodeCacheStats, Embedder, JavaConfig, Recognizer, DEFAULT_DECODE_CACHE_CAP,
+};
 use pathmark_core::key::WatermarkKey;
 use pathmark_telemetry::{Counter, Telemetry};
 
@@ -73,6 +75,27 @@ impl Tenant {
     /// Warm per-copy sessions currently resident.
     pub fn warm_copies(&self) -> usize {
         self.copies.lock().expect("tenant copies lock").len()
+    }
+
+    /// Aggregated decode-cache statistics over the tenant's resident
+    /// recognize sessions: the base session plus every warm per-copy
+    /// session. A per-copy session holding the *base* key shares the
+    /// base session's crypto state (the `with_key` same-key fast path)
+    /// and is skipped so its numbers are not double-counted.
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        let mut total = self.recognizer.decode_cache_stats();
+        let copies = self.copies.lock().expect("tenant copies lock");
+        for session in copies.values() {
+            if session.key() == self.recognizer.key() {
+                continue;
+            }
+            let s = session.decode_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
     }
 }
 
@@ -152,6 +175,27 @@ impl Registry {
     /// Open tenants.
     pub fn count(&self) -> usize {
         self.tenants.lock().expect("registry lock").len()
+    }
+
+    /// Decode-cache statistics summed over every open tenant (tenants
+    /// never share crypto state, so a plain sum never double-counts).
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        let tenants: Vec<Arc<Tenant>> = self
+            .tenants
+            .lock()
+            .expect("registry lock")
+            .values()
+            .cloned()
+            .collect();
+        let mut total = DecodeCacheStats::default();
+        for tenant in tenants {
+            let s = tenant.decode_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+        }
+        total
     }
 }
 

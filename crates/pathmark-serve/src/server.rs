@@ -178,8 +178,11 @@ impl Server {
         Ok(server)
     }
 
-    /// A point-in-time counter snapshot.
+    /// A point-in-time counter snapshot, including the decode-cache
+    /// statistics aggregated over every resident recognize session —
+    /// the observable payoff of keeping sessions warm.
     pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.registry.decode_cache_stats();
         StatsSnapshot {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
@@ -188,6 +191,10 @@ impl Server {
             inflight: self.gate.inflight() as u64,
             queue_depth: self.pool.queue_depth() as u64,
             tenants: self.registry.count() as u64,
+            decode_cache_hits: cache.hits,
+            decode_cache_misses: cache.misses,
+            decode_cache_evictions: cache.evictions,
+            decode_cache_entries: cache.entries,
         }
     }
 

@@ -142,8 +142,9 @@ pub enum Counter {
     PoolPanic,
     /// Sliding windows examined by the candidate scan.
     WindowsScanned,
-    /// Windows bypassed by the constant-run pre-reject (all-zero or
-    /// all-one windows skipped in bulk without decrypting).
+    /// Windows bypassed by the periodic-run pre-reject: offsets inside
+    /// constant (period-1) or longer-period stretches that were
+    /// bulk-accounted without being rolled through individually.
     WindowsSkipped,
     /// Windows that survived the pre-reject and reached the cipher.
     WindowsDecrypted,
@@ -158,6 +159,11 @@ pub enum Counter {
     /// Pool workers replaced after a timeout abandoned (or a panic
     /// killed) their thread.
     WorkerRespawn,
+    /// Session decode-cache lookups served from the cache (the window
+    /// value's decode was memoized; no cipher call).
+    DecodeCacheHit,
+    /// Session decode-cache lookups that missed and decrypted.
+    DecodeCacheMiss,
     /// Session decode-cache entries evicted to stay under the cap.
     DecodeCacheEvict,
     /// Serve requests admitted past the admission gate.
@@ -175,7 +181,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
@@ -187,6 +193,8 @@ impl Counter {
         Counter::Retry,
         Counter::JobTimeout,
         Counter::WorkerRespawn,
+        Counter::DecodeCacheHit,
+        Counter::DecodeCacheMiss,
         Counter::DecodeCacheEvict,
         Counter::JobAccepted,
         Counter::JobShed,
@@ -209,6 +217,8 @@ impl Counter {
             Counter::Retry => "retry",
             Counter::JobTimeout => "job_timeout",
             Counter::WorkerRespawn => "worker_respawn",
+            Counter::DecodeCacheHit => "decode_cache_hit",
+            Counter::DecodeCacheMiss => "decode_cache_miss",
             Counter::DecodeCacheEvict => "decode_cache_evict",
             Counter::JobAccepted => "accepted",
             Counter::JobShed => "shed",

@@ -457,13 +457,16 @@ mod tests {
 
     #[test]
     fn workloads_accept_watermarks() {
-        use pathmark_core::java::{embed, JavaConfig};
+        use pathmark_core::java::{Embedder, JavaConfig};
         use pathmark_core::key::{Watermark, WatermarkKey};
         for w in all() {
             let key = WatermarkKey::new(0x1234, w.secret_input.clone());
             let config = JavaConfig::for_watermark_bits(128).with_pieces(10);
             let watermark = Watermark::random_for(&config, &key);
-            let marked = embed(&w.program, &watermark, &key, &config)
+            let marked = Embedder::builder(key.clone(), config)
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                .embed(&w.program, &watermark)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let orig = Vm::new(&w.program)
                 .with_input(w.secret_input.clone())

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example attack_gauntlet`
 
 use pathmark::attacks::java as attacks;
-use pathmark::core::java::{recognize, JavaConfig};
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = JavaConfig::for_watermark_bits(256).with_pieces(80);
     let watermark = Watermark::random_for(&config, &key);
     let product = pathmark::workloads::java::jess_like();
-    let marked = pathmark::core::java::embed(&product, &watermark, &key, &config)?.program;
+    let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
+    let recognizer = Recognizer::builder(key, config).build()?;
+    let marked = embedder.embed(&product, &watermark)?.program;
     let expected = Vm::new(&product).with_input(vec![40]).run()?.output;
 
     println!("{:<28} {:>9} {:>10}", "attack", "runs?", "mark?");
@@ -105,7 +107,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run()
             .map(|o| o.output == expected)
             .unwrap_or(false);
-        let survives = recognize(&attacked, &key, &config)
+        let survives = recognizer
+            .recognize(&attacked)
             .map(|r| r.watermark.as_ref() == Some(watermark.value()))
             .unwrap_or(false);
         println!(
@@ -123,7 +126,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(vec![40])
         .map(|o| o.output == expected)
         .unwrap_or(false);
-    let via_stub = recognize(encrypted.stub(), &key, &config)
+    let via_stub = recognizer
+        .recognize(encrypted.stub())
         .map(|r| r.watermark.is_some())
         .unwrap_or(false);
     println!(
@@ -135,7 +139,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let via_runtime = encrypted
         .decrypt_for_runtime_tracing()
         .map(|p| {
-            recognize(&p, &key, &config)
+            recognizer
+                .recognize(&p)
                 .map(|r| r.watermark.as_ref() == Some(watermark.value()))
                 .unwrap_or(false)
         })

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example fingerprinting`
 
 use pathmark::attacks::java as attacks;
-use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::crypto::Prng;
 use pathmark::vm::interp::Vm;
@@ -19,6 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let product = pathmark::workloads::java::caffeinemark();
     let key = WatermarkKey::new(0x5EC2_E71D, vec![10]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
+    let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
+    let recognizer = Recognizer::builder(key, config).build()?;
 
     // Stamp three licensees.
     let licensees = ["alice", "bob", "carol"];
@@ -27,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Stamping {} copies ==", licensees.len());
     for name in licensees {
         let fingerprint = Watermark::random(128, &mut rng);
-        let marked = embed(&product, &fingerprint, &key, &config)?;
+        let marked = embedder.embed(&product, &fingerprint)?;
         println!(
             "  {name}: W = {:x}  (+{} bytes, {} pieces)",
             fingerprint.value(),
@@ -57,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  attacked copy still works (semantics-preserving attacks)");
 
     // Recognition traces the leak.
-    let found = recognize(&pirated, &key, &config)?;
+    let found = recognizer.recognize(&pirated)?;
     match &found.watermark {
         Some(value) => {
             let culprit = copies

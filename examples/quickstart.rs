@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use pathmark::core::bitstring::BitString;
-use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::math::bigint::BigUint;
 use pathmark::math::crt::combine_statements;
@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.output
     );
 
-    let marked = embed(&program, &watermark, &key, &config)?;
+    let embedder = Embedder::builder(key.clone(), config.clone()).build()?;
+    let recognizer = Recognizer::builder(key.clone(), config.clone()).build()?;
+    let marked = embedder.embed(&program, &watermark)?;
     let after = Vm::new(&marked.program)
         .with_input(key.input.clone())
         .with_trace(TraceConfig::branches_only())
@@ -71,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(baseline.output, after.output, "semantics preserved");
 
-    let found = recognize(&marked.program, &key, &config)?;
+    let found = recognizer.recognize(&marked.program)?;
     println!(
         "  recognition: {} candidate statements, {} after voting, {} survivors",
         found.candidates, found.after_vote, found.survivors
@@ -84,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A recognizer with the wrong key sees nothing.
     let wrong_key = WatermarkKey::new(0xBAD_5EED, vec![252, 105]);
-    let nothing = recognize(&marked.program, &wrong_key, &config)?;
+    let nothing = recognizer.with_key(wrong_key).recognize(&marked.program)?;
     println!(
         "  wrong key: recovered = {:?} (as it should be)",
         nothing.watermark.as_ref().map(|v| format!("{v:x}"))

@@ -99,15 +99,38 @@ cargo test -q -p pathmark-core --lib packed_sink_traces_match_vec_collector_on_r
 cargo test -q -p pathmark-core --lib packed_windows_match_naive_reference
 cargo test -q -p pathmark-fleet --lib sharded_matches_serial_for_all_shard_counts
 cargo test -q -p pathmark-fleet --lib degenerate_bitstrings_are_handled
+# The batched decrypt lanes against the serial cipher oracle, and the
+# periodic pre-reject against the push-every-window reference scan
+# (marked traces plus adversarial all-runs bitstrings).
+cargo test -q -p pathmark-crypto --lib batch_decrypt_matches_serial_oracle
+cargo test -q -p pathmark-core --lib periodic_prereject_matches_reference_scan
 
 echo "==> recognition bench: quick mode emits well-formed BENCH_recognize.json"
 ( cd "$SMOKE" && "$ROOT/target/release/recognize" --quick > /dev/null )
 for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
     '"mode":"serial"' '"mode":"sharded"' '"stages":{"trace":' \
+    '"skip_rate":' '"decrypts_per_copy":' \
     '"queue_wait":' '"windows":{"scanned":' '"pool":{"jobs":'; do
     grep -qF "$want" "$SMOKE/BENCH_recognize.json" \
         || { echo "BENCH_recognize.json missing $want" >&2; exit 1; }
 done
+
+echo "==> skip-rate gate: pre-reject must not regress below the checked-in baseline"
+json_skip_rate() {
+    # First (= serial) row's skip rate; payloads predating the
+    # skip_rate field fall back to the windows counters.
+    rate=$(grep -o '"skip_rate":[0-9.]*' "$1" | head -1 | cut -d: -f2)
+    if [ -z "$rate" ]; then
+        scanned=$(grep -o '"scanned":[0-9]*' "$1" | head -1 | cut -d: -f2)
+        skipped=$(grep -o '"skipped":[0-9]*' "$1" | head -1 | cut -d: -f2)
+        rate=$(awk "BEGIN { printf \"%.4f\", $skipped / $scanned }")
+    fi
+    printf '%s\n' "$rate"
+}
+base_rate=$(json_skip_rate "$ROOT/BENCH_recognize.json")
+new_rate=$(json_skip_rate "$SMOKE/BENCH_recognize.json")
+awk "BEGIN { exit !($new_rate >= $base_rate - 0.005) }" \
+    || { echo "serial skip rate regressed: $new_rate < baseline $base_rate" >&2; exit 1; }
 cp "$SMOKE/BENCH_recognize.json" "$ROOT/BENCH_recognize.json"
 
 echo "==> serve smoke: daemon on a unix socket survives kill -9 and resumes bit-identically"
@@ -189,6 +212,8 @@ resumed=$(grep -c '"disposition":"resumed"' "$SMOKE/serve-resume.jsonl")
 [ "$resumed" -ge 8 ] || { echo "expected >= 8 resumed answers, got $resumed" >&2; exit 1; }
 grep '"op":"stats"' "$SMOKE/serve-resume.jsonl" | grep -q '"shed":0' \
     || { echo "stats response missing or reported shed jobs" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-resume.jsonl" | grep -q '"decode_cache_hits":' \
+    || { echo "stats response missing decode-cache fields" >&2; exit 1; }
 grep '"op":"shutdown"' "$SMOKE/serve-resume.jsonl" | grep -q '"status":"ok"' \
     || { echo "shutdown was not acknowledged cleanly" >&2; exit 1; }
 [ ! -e "$JOURNAL.intents.jsonl" ] \

@@ -4,7 +4,7 @@
 
 use pathmark::attacks::java as jattacks;
 use pathmark::core::baseline::davidson_myhrvold as dm;
-use pathmark::core::java::{embed, recognize, JavaConfig};
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::core::native::{embed_native, extract_auto, NativeConfig};
 use pathmark::crypto::Prng;
@@ -87,7 +87,11 @@ fn diversified_population_still_fingerprints() {
         let mut diversified = product.clone();
         jattacks::diversify(&mut diversified, seed);
         let fingerprint = Watermark::random(128, &mut rng);
-        let marked = embed(&diversified, &fingerprint, &key, &config).unwrap();
+        let marked = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .embed(&diversified, &fingerprint)
+            .unwrap();
         copies.push((fingerprint, marked.program));
     }
     let expected = Vm::new(&product).with_input(vec![9]).run().unwrap().output;
@@ -96,7 +100,11 @@ fn diversified_population_still_fingerprints() {
             Vm::new(program).with_input(vec![9]).run().unwrap().output,
             expected
         );
-        let rec = recognize(program, &key, &config).unwrap();
+        let rec = Recognizer::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .recognize(program)
+            .unwrap();
         assert_eq!(rec.watermark.as_ref(), Some(fingerprint.value()));
     }
     assert!(
@@ -111,7 +119,11 @@ fn method_level_attacks_do_not_kill_the_path_mark() {
     let key = WatermarkKey::new(0x3E26E, vec![300]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&product, &watermark, &key, &config).unwrap();
+    let marked = Embedder::builder(key.clone(), config.clone())
+        .build()
+        .unwrap()
+        .embed(&product, &watermark)
+        .unwrap();
     let expected = Vm::new(&product).with_input(vec![300]).run().unwrap().output;
 
     let mut attacked = marked.program.clone();
@@ -122,7 +134,11 @@ fn method_level_attacks_do_not_kill_the_path_mark() {
         Vm::new(&attacked).with_input(vec![300]).run().unwrap().output,
         expected
     );
-    let rec = recognize(&attacked, &key, &config).unwrap();
+    let rec = Recognizer::builder(key, config)
+        .build()
+        .unwrap()
+        .recognize(&attacked)
+        .unwrap();
     assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
 }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use pathmark::core::bitstring::BitString;
 use pathmark::core::java::{
-    embed, recognize_bits, trace_program, Embedder, JavaConfig, Recognition, Recognizer,
+    trace_program, Embedder, JavaConfig, Recognition, Recognizer,
 };
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::fleet::batch::{
@@ -144,7 +144,7 @@ fn batches_are_byte_identical_across_runs_and_worker_counts() {
 
 #[test]
 fn batch_copies_match_the_serial_embedder_exactly() {
-    // A fleet copy must be byte-identical to what a lone `embed` call
+    // A fleet copy must be byte-identical to what a lone serial embed
     // with the same key and watermark would have produced.
     let pool = WorkerPool::new(4);
     let cache = TraceCache::new();
@@ -153,7 +153,10 @@ fn batch_copies_match_the_serial_embedder_exactly() {
     for (outcome, spec) in outcomes.iter().zip(&jobs) {
         let job_key = spec.effective_key(&batch_key());
         let watermark = spec.watermark(&batch_key(), &batch_config()).unwrap();
-        let serial = embed(&host_program(), &watermark, &job_key, &batch_config()).unwrap();
+        let serial = batch_embedder()
+            .with_key(job_key)
+            .embed(&host_program(), &watermark)
+            .unwrap();
         assert_eq!(
             encode_program(outcome.marked.as_ref().unwrap()),
             encode_program(&serial.program),
@@ -170,13 +173,17 @@ fn sharded_recognition_is_bit_identical_on_every_pipeline_fixture() {
         let key = WatermarkKey::new(0x0123_4567_89AB, workload.secret_input.clone());
         let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
         let watermark = Watermark::random_for(&config, &key);
-        let marked = embed(&workload.program, &watermark, &key, &config).unwrap();
+        let marked = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .embed(&workload.program, &watermark)
+            .unwrap();
         let session = Recognizer::builder(key.clone(), config.clone()).build().unwrap();
         for program in [&workload.program, &marked.program] {
             let trace =
                 trace_program(program, &key, &config, TraceConfig::branches_only()).unwrap();
             let bits = BitString::from_trace(&trace);
-            let serial: Recognition = recognize_bits(&bits, &key, &config).unwrap();
+            let serial: Recognition = session.recognize_bits(&bits).unwrap();
             for shards in [1usize, 5, 16] {
                 let sharded = recognize_sharded(&bits, &session, shards, &pool).unwrap();
                 assert_eq!(

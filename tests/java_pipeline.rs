@@ -3,7 +3,7 @@
 //! `pathmark-workloads`, `pathmark-attacks`, and `stackvm`.
 
 use pathmark::attacks::java as attacks;
-use pathmark::core::java::{embed, recognize, CodegenPolicy, JavaConfig};
+use pathmark::core::java::{CodegenPolicy, Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::vm::interp::Vm;
 use pathmark::vm::Program;
@@ -14,6 +14,18 @@ type BoxedAttack = Box<dyn Fn(&mut Program)>;
 
 fn key_for(input: Vec<i64>) -> WatermarkKey {
     WatermarkKey::new(0x0123_4567_89AB, input)
+}
+
+fn embedder(key: &WatermarkKey, config: &JavaConfig) -> Embedder {
+    Embedder::builder(key.clone(), config.clone())
+        .build()
+        .expect("test key/config are sound")
+}
+
+fn recognizer(key: &WatermarkKey, config: &JavaConfig) -> Recognizer {
+    Recognizer::builder(key.clone(), config.clone())
+        .build()
+        .expect("test key/config are sound")
 }
 
 fn output_of(program: &Program, input: &[i64]) -> Vec<i64> {
@@ -32,7 +44,7 @@ fn paper_watermark_sizes_round_trip_on_both_workloads() {
             let key = key_for(workload.secret_input.clone());
             let config = JavaConfig::for_watermark_bits(bits).with_pieces(80);
             let watermark = Watermark::random_for(&config, &key);
-            let marked = embed(&workload.program, &watermark, &key, &config)
+            let marked = embedder(&key, &config).embed(&workload.program, &watermark)
                 .unwrap_or_else(|e| panic!("{} {bits}: {e}", workload.name));
             assert_eq!(
                 output_of(&workload.program, &workload.secret_input),
@@ -40,7 +52,7 @@ fn paper_watermark_sizes_round_trip_on_both_workloads() {
                 "{} {bits}: semantics",
                 workload.name
             );
-            let rec = recognize(&marked.program, &key, &config).expect("recognizes");
+            let rec = recognizer(&key, &config).recognize(&marked.program).expect("recognizes");
             assert_eq!(
                 rec.watermark.as_ref(),
                 Some(watermark.value()),
@@ -57,7 +69,7 @@ fn watermark_survives_the_distortive_suite() {
     let key = key_for(vec![40]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(60);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload, &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
     let expected = output_of(&workload, &[40]);
 
     let suite: Vec<(&str, BoxedAttack)> = vec![
@@ -83,7 +95,7 @@ fn watermark_survives_the_distortive_suite() {
         let mut attacked = marked.program.clone();
         attack(&mut attacked);
         assert_eq!(output_of(&attacked, &[40]), expected, "{name}: semantics");
-        let rec = recognize(&attacked, &key, &config).expect("recognizes");
+        let rec = recognizer(&key, &config).recognize(&attacked).expect("recognizes");
         assert_eq!(
             rec.watermark.as_ref(),
             Some(watermark.value()),
@@ -101,11 +113,11 @@ fn massive_branch_insertion_eventually_destroys_the_mark() {
     let key = key_for(vec![6]);
     let config = JavaConfig::for_watermark_bits(512).with_pieces(4);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload, &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
     let mut attacked = marked.program.clone();
     let branches = attacked.conditional_branch_count();
     attacks::insert_random_branches(&mut attacked, branches * 12, 9);
-    let rec = recognize(&attacked, &key, &config).expect("recognition still runs");
+    let rec = recognizer(&key, &config).recognize(&attacked).expect("recognition still runs");
     assert_ne!(
         rec.watermark.as_ref(),
         Some(watermark.value()),
@@ -116,15 +128,16 @@ fn massive_branch_insertion_eventually_destroys_the_mark() {
 #[test]
 fn redundancy_beats_the_same_flood() {
     // Same flood as above, but with heavy piece redundancy: Figure 8(c)
-    // says survivable insertion grows with the piece count.
+    // says survivable insertion grows with the piece count. 128 pieces
+    // is the most `validate()` allows for a 128-bit mark.
+    let config = JavaConfig::for_watermark_bits(128).with_pieces(128);
     let workload = workloads::jess_like();
     let key = key_for(vec![40]);
-    let config = JavaConfig::for_watermark_bits(128).with_pieces(150);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload, &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
     let mut attacked = marked.program.clone();
     attacks::insert_random_branches(&mut attacked, 60, 9);
-    let rec = recognize(&attacked, &key, &config).expect("recognizes");
+    let rec = recognizer(&key, &config).recognize(&attacked).expect("recognizes");
     assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
 }
 
@@ -134,7 +147,7 @@ fn class_encryption_denies_static_recognition_but_not_runtime_tracing() {
     let key = key_for(vec![6]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(30);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload, &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
 
     let encrypted = attacks::EncryptedProgram::encrypt(&marked.program, 0x1CE);
     // Semantics preserved.
@@ -143,11 +156,11 @@ fn class_encryption_denies_static_recognition_but_not_runtime_tracing() {
         output_of(&workload, &[6])
     );
     // Static instrumentation sees only the stub: no mark.
-    let stub_rec = recognize(encrypted.stub(), &key, &config).unwrap();
+    let stub_rec = recognizer(&key, &config).recognize(encrypted.stub()).unwrap();
     assert_eq!(stub_rec.watermark, None);
     // Runtime-level tracing sees the decrypted bytecode: mark intact.
     let runtime = encrypted.decrypt_for_runtime_tracing().unwrap();
-    let rec = recognize(&runtime, &key, &config).unwrap();
+    let rec = recognizer(&key, &config).recognize(&runtime).unwrap();
     assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
 }
 
@@ -160,7 +173,7 @@ fn cold_spot_insertion_prefers_infrequent_blocks() {
     let key = key_for(vec![40]);
     let config = JavaConfig::for_watermark_bits(128).with_pieces(60);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload, &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
     let trace = Vm::new(&workload)
         .with_input(vec![40])
         .with_trace(TraceConfig::full())
@@ -191,7 +204,7 @@ fn marked_program_works_on_unrelated_inputs() {
     let key = key_for(vec![6]);
     let config = JavaConfig::for_watermark_bits(256).with_pieces(50);
     let watermark = Watermark::random_for(&config, &key);
-    let marked = embed(&workload.clone(), &watermark, &key, &config).unwrap();
+    let marked = embedder(&key, &config).embed(&workload.clone(), &watermark).unwrap();
     for input in [vec![], vec![1], vec![9], vec![17]] {
         assert_eq!(
             output_of(&workload, &input),
@@ -210,8 +223,8 @@ fn loop_only_and_condition_codegen_both_round_trip_on_workloads() {
             .with_pieces(40)
             .with_codegen(policy);
         let watermark = Watermark::random_for(&config, &key);
-        let marked = embed(&workload, &watermark, &key, &config).unwrap();
-        let rec = recognize(&marked.program, &key, &config).unwrap();
+        let marked = embedder(&key, &config).embed(&workload, &watermark).unwrap();
+        let rec = recognizer(&key, &config).recognize(&marked.program).unwrap();
         assert_eq!(
             rec.watermark.as_ref(),
             Some(watermark.value()),
@@ -232,10 +245,10 @@ fn double_java_watermarking_keeps_the_first_mark_readable() {
     let config = JavaConfig::for_watermark_bits(128).with_pieces(40);
     let w1 = Watermark::random_for(&config, &key1);
     let w2 = Watermark::random_for(&config, &key2);
-    let once = embed(&workload, &w1, &key1, &config).unwrap();
-    let twice = embed(&once.program, &w2, &key2, &config).unwrap();
-    let rec1 = recognize(&twice.program, &key1, &config).unwrap();
-    let rec2 = recognize(&twice.program, &key2, &config).unwrap();
+    let once = embedder(&key1, &config).embed(&workload, &w1).unwrap();
+    let twice = embedder(&key2, &config).embed(&once.program, &w2).unwrap();
+    let rec1 = recognizer(&key1, &config).recognize(&twice.program).unwrap();
+    let rec2 = recognizer(&key2, &config).recognize(&twice.program).unwrap();
     assert_eq!(rec1.watermark.as_ref(), Some(w1.value()));
     assert_eq!(rec2.watermark.as_ref(), Some(w2.value()));
 }

@@ -4,7 +4,7 @@
 //! deterministic case set (no external property-testing crates).
 
 use pathmark::core::bitstring::BitString;
-use pathmark::core::java::{embed, recognize_bits, JavaConfig};
+use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
 use pathmark::crypto::{DisplacementHash, Prng, Xtea};
 use pathmark::math::bigint::{ext_gcd, BigInt, BigUint};
@@ -152,11 +152,17 @@ fn recognition_never_hallucinates_from_noise() {
         // Pure random bit-strings must not produce a full recovery.
         let seed = rng.next_u64();
         let len = 100 + rng.index(3900);
-        let key = WatermarkKey::new(seed, vec![]);
+        // The secret input is unused when recognizing raw bits, but the
+        // session builder insists on a well-formed key.
+        let key = WatermarkKey::new(seed, vec![0]);
         let config = JavaConfig::for_watermark_bits(128);
         let mut bit_rng = Prng::from_seed(seed ^ 1);
         let bits: Vec<bool> = (0..len).map(|_| bit_rng.chance(0.5)).collect();
-        let rec = recognize_bits(&BitString::from_bits(bits), &key, &config).unwrap();
+        let rec = Recognizer::builder(key, config)
+            .build()
+            .unwrap()
+            .recognize_bits(&BitString::from_bits(bits))
+            .unwrap();
         assert!(rec.watermark.is_none(), "recovered from pure noise");
     }
 }
@@ -191,13 +197,21 @@ fn embed_recognize_round_trip_random_keys() {
         let key = WatermarkKey::new(seed, vec![1, 2, 3]);
         let config = JavaConfig::for_watermark_bits(64).with_pieces(pieces);
         let watermark = Watermark::random_for(&config, &key);
-        let marked = embed(&program, &watermark, &key, &config).unwrap();
+        let marked = Embedder::builder(key.clone(), config.clone())
+            .build()
+            .unwrap()
+            .embed(&program, &watermark)
+            .unwrap();
         // Semantics.
         let orig = Vm::new(&program).with_input(vec![1, 2, 3]).run().unwrap();
         let new = Vm::new(&marked.program).with_input(vec![1, 2, 3]).run().unwrap();
         assert_eq!(orig.output, new.output);
         // Recognition.
-        let rec = pathmark::core::java::recognize(&marked.program, &key, &config).unwrap();
+        let rec = Recognizer::builder(key, config)
+            .build()
+            .unwrap()
+            .recognize(&marked.program)
+            .unwrap();
         assert_eq!(rec.watermark.as_ref(), Some(watermark.value()));
     }
 }

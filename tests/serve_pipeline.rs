@@ -361,6 +361,79 @@ fn tenants_never_share_decode_cache_entries() {
 }
 
 #[test]
+fn stats_surface_decode_cache_behavior() {
+    let dir = temp_dir("cachestats");
+    let host_path = write_host(&dir);
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let capture = Capture::default();
+    let copy = format!("{marked_dir}/copy-000.pmvm");
+
+    let stat = |responses: &[String]| -> Vec<u64> {
+        let line = responses
+            .iter()
+            .find(|r| Capture::field(r, "op") == "stats")
+            .unwrap();
+        [
+            "decode_cache_hits",
+            "decode_cache_misses",
+            "decode_cache_evictions",
+            "decode_cache_entries",
+        ]
+        .iter()
+        .map(|f| Capture::field(line, f).parse::<u64>().unwrap())
+        .collect()
+    };
+
+    // Before any scan: every decode-cache number is zero.
+    let responses = drive(
+        &server,
+        &capture,
+        &[
+            open_line("acme"),
+            "{\"op\":\"stats\"}".to_string(),
+            embed_line("acme", "copy-000", &host_path, &marked_dir),
+        ],
+    );
+    assert_eq!(stat(&responses), vec![0, 0, 0, 0]);
+
+    // One recognize fills the warm session's cache: misses and resident
+    // entries appear in the stats response. Stats are requested on a
+    // separate connection — within one batch the daemon answers `stats`
+    // before queued scans settle.
+    drive(
+        &server,
+        &capture,
+        &[recognize_line("acme", EmbedJobSpec::new("copy-000"), &copy)],
+    );
+    let responses = drive(&server, &capture, &["{\"op\":\"stats\"}".to_string()]);
+    let after_first = stat(&responses);
+    assert!(after_first[1] > 0, "first scan misses: {after_first:?}");
+    assert!(after_first[3] > 0, "decodes stay resident: {after_first:?}");
+
+    // Re-scanning the same copy under the warm session hits the cache;
+    // misses stay flat.
+    let warm_spec = EmbedJobSpec {
+        job_id: "copy-000-again".to_string(),
+        watermark_hex: None,
+        seed: Some(EmbedJobSpec::new("copy-000").effective_seed(SEED)),
+    };
+    drive(&server, &capture, &[recognize_line("acme", warm_spec, &copy)]);
+    let responses = drive(&server, &capture, &["{\"op\":\"stats\"}".to_string()]);
+    let after_second = stat(&responses);
+    assert!(
+        after_second[0] > after_first[0],
+        "warm re-scan hits the cache: {after_second:?}"
+    );
+    assert_eq!(
+        after_second[1], after_first[1],
+        "warm re-scan adds no misses: {after_second:?}"
+    );
+    server.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn overload_is_shed_with_a_distinct_status_and_resubmission_completes() {
     let dir = temp_dir("shed");
     let host_path = write_host(&dir);
