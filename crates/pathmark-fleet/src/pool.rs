@@ -525,15 +525,23 @@ mod tests {
             v
         });
         assert_eq!(results.iter().filter(|r| r.is_err()).count(), 1);
-        // Every job (panicking or not) waited in the queue and ran.
-        assert_eq!(sink.stage(Stage::QueueWait).count, 10);
-        assert_eq!(sink.stage(Stage::JobRun).count, 10);
+        // Panics are counted inside the job closure before its result
+        // message is sent, so the count is visible as soon as `run_all`
+        // returns.
         assert_eq!(sink.counter(Counter::PoolPanic), 1);
 
         // Raw execute panics are counted too (by the worker loop).
         pool.execute(|| panic!("raw"));
+        // Span counts settle only once the workers are joined: a worker
+        // records its JobRun span *after* the job's result is sent, so
+        // asserting right after `run_all` races the last record.
         drop(pool);
         assert_eq!(sink.counter(Counter::PoolPanic), 2);
+        // Every job (panicking or not) waited in the queue. The ten
+        // `run_all` jobs contain their panic and record a run span; the
+        // raw panic unwinds out of its JobRun span before it is recorded.
+        assert_eq!(sink.stage(Stage::QueueWait).count, 11);
+        assert_eq!(sink.stage(Stage::JobRun).count, 10);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Admission control over the fleet worker pool: a bounded in-flight
-//! budget with load-shed, the backpressure half of the daemon.
+//! budget with load-shed and per-tenant fairness, the backpressure half
+//! of the daemon.
 //!
 //! The pool's queue is unbounded by design (a batch run enqueues its
 //! whole manifest at once); a resident daemon cannot afford that — an
@@ -10,21 +11,106 @@
 //! instead of queueing. Each admission is a [`Permit`] whose `Drop`
 //! releases the slot, so a panicking job cannot leak capacity.
 //!
-//! Admissions and refusals are counted
-//! ([`Counter::JobAccepted`] / [`Counter::JobShed`]) next to the pool's
-//! own queue-wait spans, so saturation is visible in `--metrics` output.
+//! Two refusal causes are distinguished:
+//!
+//! * [`ShedCause::Capacity`] — the global budget is exhausted
+//!   ([`Counter::JobShed`]). With a single tenant this is the only
+//!   possible refusal, exactly as before fairness existed.
+//! * [`ShedCause::Tenant`] — the gate had room, but the requesting
+//!   tenant already holds its fair share: `max(1, max_inflight /
+//!   active_tenants)` slots, where a tenant is *active* while it has
+//!   jobs in flight ([`Counter::TenantShed`]). One tenant flooding the
+//!   daemon therefore cannot starve another: the moment a second tenant
+//!   holds a job, the flooder's budget halves and its surplus is shed.
+//!
+//! Every permit is also tagged with the *connection* that admitted it
+//! (a [`ConnectionInflight`] scope), so a connection's EOF/teardown can
+//! drain exactly its own jobs without waiting on other clients' work.
+//!
+//! All mutexes here recover from poisoning
+//! (`unwrap_or_else(PoisonError::into_inner)`): the guarded state is
+//! counter-shaped, so a panic mid-update leaves it usable — at worst a
+//! slot leaks until its permit drops, never the whole daemon.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use pathmark_telemetry::{Counter, Telemetry};
 
-#[derive(Debug)]
-struct GateState {
-    inflight: Mutex<usize>,
+fn recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why [`AdmissionGate::try_admit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The global in-flight budget is exhausted.
+    Capacity,
+    /// The tenant is at its per-tenant fairness sub-budget while the
+    /// gate still has room for other tenants.
+    Tenant,
+}
+
+/// One connection's in-flight job count: a scope the server creates per
+/// transport connection so teardown can drain *that connection's* jobs
+/// instead of the whole gate.
+#[derive(Debug, Default)]
+pub struct ConnectionInflight {
+    count: Mutex<usize>,
     changed: Condvar,
 }
 
-/// The daemon's bounded in-flight budget.
+impl ConnectionInflight {
+    /// A fresh scope with nothing in flight.
+    pub fn new() -> Arc<ConnectionInflight> {
+        Arc::new(ConnectionInflight::default())
+    }
+
+    /// Jobs admitted through this connection and not yet settled.
+    pub fn inflight(&self) -> usize {
+        *recover(&self.count)
+    }
+
+    /// Blocks until every job admitted through this connection has
+    /// settled — the per-connection half of graceful teardown.
+    pub fn drain(&self) {
+        let mut count = recover(&self.count);
+        while *count > 0 {
+            count = self
+                .changed
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn acquire(&self) {
+        *recover(&self.count) += 1;
+    }
+
+    fn release(&self) {
+        let mut count = recover(&self.count);
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.changed.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Budget {
+    /// Total admitted-but-unsettled jobs.
+    inflight: usize,
+    /// Per-tenant in-flight counts; entries are removed at zero, so
+    /// `tenants.len()` is the number of *active* tenants.
+    tenants: HashMap<String, usize>,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    budget: Mutex<Budget>,
+    changed: Condvar,
+}
+
+/// The daemon's bounded in-flight budget with per-tenant fairness.
 #[derive(Debug)]
 pub struct AdmissionGate {
     max_inflight: usize,
@@ -33,18 +119,33 @@ pub struct AdmissionGate {
 }
 
 /// One admitted job's slot; dropping it (success, failure, or panic
-/// unwind) releases the slot and wakes waiters.
+/// unwind) releases the global slot, the tenant's share, and the
+/// connection's in-flight count, and wakes waiters on all three.
 #[derive(Debug)]
 pub struct Permit {
     state: Arc<GateState>,
+    /// `None` for replay permits: replay happens before any live
+    /// traffic, so it is exempt from tenant bookkeeping.
+    tenant: Option<String>,
+    conn: Arc<ConnectionInflight>,
 }
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut inflight = self.state.inflight.lock().expect("gate lock");
-        *inflight = inflight.saturating_sub(1);
-        drop(inflight);
+        {
+            let mut budget = recover(&self.state.budget);
+            budget.inflight = budget.inflight.saturating_sub(1);
+            if let Some(tenant) = &self.tenant {
+                if let Some(count) = budget.tenants.get_mut(tenant) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        budget.tenants.remove(tenant);
+                    }
+                }
+            }
+        }
         self.state.changed.notify_all();
+        self.conn.release();
     }
 }
 
@@ -54,10 +155,7 @@ impl AdmissionGate {
     pub fn new(max_inflight: usize, telemetry: Telemetry) -> AdmissionGate {
         AdmissionGate {
             max_inflight: max_inflight.max(1),
-            state: Arc::new(GateState {
-                inflight: Mutex::new(0),
-                changed: Condvar::new(),
-            }),
+            state: Arc::new(GateState::default()),
             telemetry,
         }
     }
@@ -69,49 +167,103 @@ impl AdmissionGate {
 
     /// Jobs admitted and not yet settled.
     pub fn inflight(&self) -> usize {
-        *self.state.inflight.lock().expect("gate lock")
+        recover(&self.state.budget).inflight
     }
 
-    /// Admits a job if the budget allows, else sheds it. Counts
-    /// [`Counter::JobAccepted`] or [`Counter::JobShed`] accordingly.
-    pub fn try_admit(&self) -> Option<Permit> {
-        let mut inflight = self.state.inflight.lock().expect("gate lock");
-        if *inflight >= self.max_inflight {
-            drop(inflight);
-            self.telemetry.count(Counter::JobShed, 1);
-            return None;
+    /// Tenants with at least one job in flight.
+    pub fn active_tenants(&self) -> usize {
+        recover(&self.state.budget).tenants.len()
+    }
+
+    /// The fairness sub-budget a tenant would get right now: an equal
+    /// split of the gate across active tenants (counting the requester
+    /// whether or not it is active yet), floored at one slot.
+    fn tenant_budget(&self, budget: &Budget, tenant: &str) -> usize {
+        let mut active = budget.tenants.len();
+        if !budget.tenants.contains_key(tenant) {
+            active += 1;
         }
-        *inflight += 1;
-        drop(inflight);
+        (self.max_inflight / active.max(1)).max(1)
+    }
+
+    /// Admits a job for `tenant` through `conn` if both the global
+    /// budget and the tenant's fair share allow it, else sheds it with
+    /// the cause. Counts [`Counter::JobAccepted`], [`Counter::JobShed`],
+    /// or [`Counter::TenantShed`] accordingly.
+    ///
+    /// The global check runs first: a full gate is always
+    /// [`ShedCause::Capacity`], so single-tenant behavior is exactly
+    /// the pre-fairness gate (one tenant's share *is* the whole gate).
+    ///
+    /// # Errors
+    ///
+    /// The [`ShedCause`] when the job is refused.
+    pub fn try_admit(
+        &self,
+        tenant: &str,
+        conn: &Arc<ConnectionInflight>,
+    ) -> Result<Permit, ShedCause> {
+        let mut budget = recover(&self.state.budget);
+        if budget.inflight >= self.max_inflight {
+            drop(budget);
+            self.telemetry.count(Counter::JobShed, 1);
+            return Err(ShedCause::Capacity);
+        }
+        let share = self.tenant_budget(&budget, tenant);
+        let held = budget.tenants.get(tenant).copied().unwrap_or(0);
+        if held >= share {
+            drop(budget);
+            self.telemetry.count(Counter::TenantShed, 1);
+            return Err(ShedCause::Tenant);
+        }
+        budget.inflight += 1;
+        *budget.tenants.entry(tenant.to_string()).or_insert(0) += 1;
+        drop(budget);
         self.telemetry.count(Counter::JobAccepted, 1);
-        Some(Permit {
+        conn.acquire();
+        Ok(Permit {
             state: Arc::clone(&self.state),
+            tenant: Some(tenant.to_string()),
+            conn: Arc::clone(conn),
         })
     }
 
-    /// Admits a job, blocking until the budget allows it — the replay
-    /// path, where shedding is not an option (the intent is already a
-    /// journal promise).
-    pub fn admit(&self) -> Permit {
-        let mut inflight = self.state.inflight.lock().expect("gate lock");
-        while *inflight >= self.max_inflight {
-            inflight = self.state.changed.wait(inflight).expect("gate lock");
+    /// Admits a job, blocking until the global budget allows it — the
+    /// replay path, where shedding is not an option (the intent is
+    /// already a journal promise). Replay runs before any live client,
+    /// so it is exempt from tenant fairness.
+    pub fn admit(&self, conn: &Arc<ConnectionInflight>) -> Permit {
+        let mut budget = recover(&self.state.budget);
+        while budget.inflight >= self.max_inflight {
+            budget = self
+                .state
+                .changed
+                .wait(budget)
+                .unwrap_or_else(PoisonError::into_inner);
         }
-        *inflight += 1;
-        drop(inflight);
+        budget.inflight += 1;
+        drop(budget);
         self.telemetry.count(Counter::JobAccepted, 1);
+        conn.acquire();
         Permit {
             state: Arc::clone(&self.state),
+            tenant: None,
+            conn: Arc::clone(conn),
         }
     }
 
     /// Blocks until every admitted job has settled — the graceful-drain
-    /// half of shutdown (and of connection teardown, so responses are
-    /// flushed before the stream closes).
+    /// half of shutdown, where *all* connections' responses must be
+    /// flushed and journaled before the reports finalize. Connection
+    /// teardown drains its own [`ConnectionInflight`] scope instead.
     pub fn drain(&self) {
-        let mut inflight = self.state.inflight.lock().expect("gate lock");
-        while *inflight > 0 {
-            inflight = self.state.changed.wait(inflight).expect("gate lock");
+        let mut budget = recover(&self.state.budget);
+        while budget.inflight > 0 {
+            budget = self
+                .state
+                .changed
+                .wait(budget)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -126,33 +278,97 @@ mod tests {
     fn sheds_past_the_cap_and_recovers_on_release() {
         let sink = Arc::new(MemorySink::new());
         let gate = AdmissionGate::new(2, Telemetry::new(sink.clone()));
-        let a = gate.try_admit().unwrap();
-        let _b = gate.try_admit().unwrap();
-        assert!(gate.try_admit().is_none(), "third admit sheds");
+        let conn = ConnectionInflight::new();
+        let a = gate.try_admit("t", &conn).unwrap();
+        let _b = gate.try_admit("t", &conn).unwrap();
+        assert_eq!(
+            gate.try_admit("t", &conn).unwrap_err(),
+            ShedCause::Capacity,
+            "third admit sheds on capacity"
+        );
         assert_eq!(gate.inflight(), 2);
         drop(a);
-        assert!(gate.try_admit().is_some(), "released slot readmits");
+        assert!(gate.try_admit("t", &conn).is_ok(), "released slot readmits");
         assert_eq!(sink.counter(Counter::JobAccepted), 3);
         assert_eq!(sink.counter(Counter::JobShed), 1);
+        assert_eq!(sink.counter(Counter::TenantShed), 0);
+    }
+
+    #[test]
+    fn a_single_tenant_owns_the_whole_gate() {
+        // Fairness must not change single-tenant semantics: the only
+        // possible refusal is global capacity.
+        let gate = AdmissionGate::new(4, Telemetry::null());
+        let conn = ConnectionInflight::new();
+        let permits: Vec<Permit> = (0..4).map(|_| gate.try_admit("solo", &conn).unwrap()).collect();
+        assert_eq!(gate.try_admit("solo", &conn).unwrap_err(), ShedCause::Capacity);
+        drop(permits);
+        assert_eq!(gate.inflight(), 0);
+        assert_eq!(gate.active_tenants(), 0);
+    }
+
+    #[test]
+    fn a_flooding_tenant_is_shed_at_its_fair_share() {
+        let sink = Arc::new(MemorySink::new());
+        let gate = AdmissionGate::new(4, Telemetry::new(sink.clone()));
+        let conn = ConnectionInflight::new();
+        // Tenant A takes two slots, tenant B one: both are active, so
+        // each tenant's share is 4 / 2 = 2.
+        let _a1 = gate.try_admit("a", &conn).unwrap();
+        let _a2 = gate.try_admit("a", &conn).unwrap();
+        let _b1 = gate.try_admit("b", &conn).unwrap();
+        assert_eq!(gate.active_tenants(), 2);
+        // A is at its share while the gate still has a slot: tenant
+        // shed, not capacity shed.
+        assert_eq!(gate.try_admit("a", &conn).unwrap_err(), ShedCause::Tenant);
+        assert_eq!(sink.counter(Counter::TenantShed), 1);
+        assert_eq!(sink.counter(Counter::JobShed), 0);
+        // B is under its share and the gate has room: admitted.
+        let _b2 = gate.try_admit("b", &conn).unwrap();
+        assert_eq!(gate.inflight(), 4);
+    }
+
+    #[test]
+    fn tenant_budget_floors_at_one_slot() {
+        // Three active tenants on a 2-slot gate: the split rounds to
+        // zero, but every tenant is still allowed one slot (capacity
+        // shedding takes over from there).
+        let gate = AdmissionGate::new(2, Telemetry::null());
+        let conn = ConnectionInflight::new();
+        let _a = gate.try_admit("a", &conn).unwrap();
+        let _b = gate.try_admit("b", &conn).unwrap();
+        assert_eq!(
+            gate.try_admit("c", &conn).unwrap_err(),
+            ShedCause::Capacity,
+            "the floor admits c past fairness; only capacity refuses it"
+        );
+        drop(_a);
+        let _c = gate.try_admit("c", &conn).unwrap();
+        // b + c fill the gate again; on a gate this small the global
+        // ceiling always fires before fairness can.
+        assert_eq!(gate.try_admit("c", &conn).unwrap_err(), ShedCause::Capacity);
     }
 
     #[test]
     fn zero_cap_is_clamped_to_one() {
         let gate = AdmissionGate::new(0, Telemetry::null());
+        let conn = ConnectionInflight::new();
         assert_eq!(gate.max_inflight(), 1);
-        let _p = gate.try_admit().unwrap();
-        assert!(gate.try_admit().is_none());
+        let _p = gate.try_admit("t", &conn).unwrap();
+        assert!(gate.try_admit("t", &conn).is_err());
     }
 
     #[test]
     fn drain_waits_for_permits_and_blocking_admit_wakes() {
         let gate = Arc::new(AdmissionGate::new(1, Telemetry::null()));
-        let permit = gate.try_admit().unwrap();
+        let conn = ConnectionInflight::new();
+        let permit = gate.try_admit("t", &conn).unwrap();
         let blocked = {
             let gate = Arc::clone(&gate);
+            let conn = Arc::clone(&conn);
             std::thread::spawn(move || {
                 // Blocks until the main thread's permit drops.
-                let _p = gate.admit();
+                let _p = gate.admit(&conn);
             })
         };
         std::thread::sleep(Duration::from_millis(20));
@@ -160,5 +376,49 @@ mod tests {
         blocked.join().unwrap();
         gate.drain();
         assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn connection_scopes_drain_independently() {
+        let gate = AdmissionGate::new(8, Telemetry::null());
+        let conn_a = ConnectionInflight::new();
+        let conn_b = ConnectionInflight::new();
+        let a = gate.try_admit("t", &conn_a).unwrap();
+        let b = gate.try_admit("t", &conn_b).unwrap();
+        assert_eq!(conn_a.inflight(), 1);
+        assert_eq!(conn_b.inflight(), 1);
+        drop(a);
+        // A's scope is empty even though B's job is still in flight:
+        // draining A must not wait on B.
+        conn_a.drain();
+        assert_eq!(gate.inflight(), 1);
+        drop(b);
+        conn_b.drain();
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn permits_release_even_after_a_lock_was_poisoned() {
+        let gate = Arc::new(AdmissionGate::new(2, Telemetry::null()));
+        let conn = ConnectionInflight::new();
+        let _p = gate.try_admit("t", &conn).unwrap();
+        // Poison the budget mutex by panicking while holding it.
+        let poisoner = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _guard = gate.state.budget.lock().unwrap();
+                panic!("poison the gate");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // The gate still admits, sheds, and drains: counters are
+        // self-consistent state, so the poisoned guard is recovered.
+        let q = gate.try_admit("t", &conn).unwrap();
+        assert_eq!(gate.inflight(), 2);
+        assert_eq!(gate.try_admit("t", &conn).unwrap_err(), ShedCause::Capacity);
+        drop(q);
+        drop(_p);
+        gate.drain();
+        conn.drain();
     }
 }

@@ -1,5 +1,6 @@
 //! The daemon's write-ahead journal: crash-safe exactly-once job
-//! execution built from two existing fleet primitives.
+//! execution built from two existing fleet primitives, with rotation so
+//! a long-running daemon's intents stay bounded.
 //!
 //! * An **intents file** (`PREFIX.intents.jsonl`) records every
 //!   *accepted* request line — `open` lines and job lines, verbatim,
@@ -10,27 +11,42 @@
 //!   stream to the `.partial` sidecars exactly as the batch CLI streams
 //!   them, and graceful shutdown finalizes both reports with the same
 //!   fsync-then-atomic-rename discipline.
+//! * A **compacted segment** (`PREFIX.intents.compact.jsonl`) appears
+//!   once the live intents file crosses the rotation threshold
+//!   ([`Journal::rotate`]): `open` lines and still-pending job lines
+//!   are carried over verbatim, settled jobs are folded to small
+//!   `{"op":…,"tenant":…,"job_id":…,"compact":"settled"}` markers (their
+//!   full outcomes already live in the report sidecars), and the live
+//!   file is truncated. The segment is written to a temp file and
+//!   atomically renamed, so rotation can never lose a promise. Resume
+//!   reads the segments in order — compact first, then live — and
+//!   rebuilds the same acceptance order and tenant ownership an
+//!   unrotated journal would.
 //!
-//! Resume intersects the two: outcomes already on disk are *done*
-//! (duplicate submissions are answered from the journal), intents with
-//! no outcome are *pending* and re-run. A torn trailing line in either
-//! file — the kill -9 case — is dropped and rewritten away, so the
-//! journal a resumed daemon sees is always exactly "what was accepted"
-//! and "what finished". Client resubmission after a crash is
-//! at-least-once; journal dedup makes execution exactly-once.
+//! Resume intersects intents with outcomes: outcomes already on disk
+//! are *done* (duplicate submissions are answered from the journal),
+//! intents with no outcome are *pending* and re-run. A torn trailing
+//! line in the live intents file or either sidecar — the kill -9 case —
+//! is dropped and rewritten away (the compact segment is rename-atomic
+//! and never torn), so the journal a resumed daemon sees is always
+//! exactly "what was accepted" and "what finished". Client resubmission
+//! after a crash is at-least-once; journal dedup makes execution
+//! exactly-once.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use pathmark_fleet::json::parse_object;
+use pathmark_fleet::json::{parse_object, write_object, Scalar};
 use pathmark_fleet::manifest::{JobReport, ReportWriter};
+use pathmark_telemetry::{Counter, Telemetry};
 
 use crate::protocol::Op;
 
 /// The write-ahead journal behind one daemon instance.
 #[derive(Debug)]
 pub struct Journal {
+    prefix: PathBuf,
     intents: std::fs::File,
     embed: ReportWriter,
     recognize: ReportWriter,
@@ -45,10 +61,29 @@ pub struct Journal {
     /// order, which is manifest order when a client submits a manifest
     /// top to bottom — the batch bit-identity convention.
     order: Vec<(Op, String)>,
+    /// Accepted `open` lines in first-seen order, deduplicated —
+    /// carried verbatim into every compacted segment (a resumed daemon
+    /// must rebuild tenants before re-running their jobs).
+    opens: Vec<String>,
+    open_seen: HashSet<String>,
+    /// Verbatim request lines of jobs not yet settled: what rotation
+    /// must carry over in full (a settled job only needs its marker).
+    pending_lines: HashMap<(Op, String), String>,
+    /// Rotate once the live intents file exceeds this many bytes;
+    /// `None` never rotates (the pre-rotation behavior).
+    max_bytes: Option<u64>,
+    /// Bytes appended to the live intents file since the last rotation.
+    live_bytes: u64,
+    rotations: u64,
+    telemetry: Telemetry,
 }
 
 fn intents_path(prefix: &Path) -> PathBuf {
     with_suffix(prefix, ".intents.jsonl")
+}
+
+fn compact_path(prefix: &Path) -> PathBuf {
+    with_suffix(prefix, ".intents.compact.jsonl")
 }
 
 fn report_path(prefix: &Path, op: Op) -> PathBuf {
@@ -61,35 +96,77 @@ fn with_suffix(prefix: &Path, suffix: &str) -> PathBuf {
     prefix.with_file_name(name)
 }
 
+/// The `"compact":"settled"` marker a rotation writes in place of a
+/// settled job's full request line.
+fn settled_marker(op: Op, tenant: &str, job_id: &str) -> String {
+    write_object(&[
+        ("op", Scalar::Str(op.as_str().into())),
+        ("tenant", Scalar::Str(tenant.into())),
+        ("job_id", Scalar::Str(job_id.into())),
+        ("compact", Scalar::Str("settled".into())),
+    ])
+}
+
 impl Journal {
     /// Starts a fresh journal at `PREFIX.{intents,embed,recognize}.jsonl`,
-    /// truncating leftovers from an earlier run.
+    /// truncating leftovers from an earlier run (including a leftover
+    /// compacted segment).
     ///
     /// # Errors
     ///
-    /// Whatever creating the three files reports.
+    /// Whatever creating the files reports.
     pub fn create(prefix: &Path) -> std::io::Result<Journal> {
         if let Some(parent) = prefix.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let _ = std::fs::remove_file(compact_path(prefix));
         Ok(Journal {
+            prefix: prefix.to_path_buf(),
             intents: std::fs::File::create(intents_path(prefix))?,
             embed: ReportWriter::create(report_path(prefix, Op::Embed))?,
             recognize: ReportWriter::create(report_path(prefix, Op::Recognize))?,
             completed: HashMap::new(),
             accepted: HashMap::new(),
             order: Vec::new(),
+            opens: Vec::new(),
+            open_seen: HashSet::new(),
+            pending_lines: HashMap::new(),
+            max_bytes: None,
+            live_bytes: 0,
+            rotations: 0,
+            telemetry: Telemetry::null(),
         })
     }
 
+    /// Sets the rotation threshold: once the live intents file exceeds
+    /// `max_bytes`, settled intents are folded into the compacted
+    /// segment and the live file truncated.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Journal {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Reports rotations into `telemetry`
+    /// ([`Counter::JournalRotation`]).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Journal {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Resumes the journal of a crashed daemon. Returns the journal
-    /// (recorded outcomes loaded into the dedup map) plus the raw
-    /// accepted request lines in acceptance order — `open` lines and job
-    /// lines alike — for the server to replay. A torn trailing line in
-    /// the intents file or either outcome sidecar is discarded and
-    /// truncated away.
+    /// (recorded outcomes loaded into the dedup map) plus the request
+    /// lines the server must replay: every accepted `open` line first,
+    /// then the still-*pending* job lines in acceptance order. Settled
+    /// jobs are not replayed — their outcomes are already in the dedup
+    /// map, so resubmissions are answered from the journal. A torn
+    /// trailing line in the live intents file or either outcome sidecar
+    /// is discarded and truncated away; the compacted segment, being
+    /// rename-atomic, is read in full (before the live file, preserving
+    /// acceptance order across rotations).
     ///
     /// # Errors
     ///
@@ -111,62 +188,75 @@ impl Journal {
             completed.insert((Op::Recognize, report.job_id.clone()), report);
         }
 
+        let mut scan = IntentScan::default();
+        let compact = compact_path(prefix);
+        if compact.exists() {
+            // Rename-atomic: never torn, so a bad line is a real error —
+            // but stop-at-first-bad keeps resume forgiving either way.
+            scan.take_lines(&std::fs::read_to_string(&compact)?);
+        }
         let path = intents_path(prefix);
-        let text = if path.exists() {
+        let live_text = if path.exists() {
             std::fs::read_to_string(&path)?
         } else {
             String::new()
         };
-        // The valid prefix: stop at the first line that does not parse
-        // (a write torn by the crash). Everything after it was never
-        // acknowledged, so dropping it is safe.
-        let mut replay = Vec::new();
-        let mut accepted = HashMap::new();
-        let mut order = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let Ok(fields) = parse_object(line) else {
-                break;
-            };
-            let op = match fields.get("op").and_then(|v| v.as_str()) {
-                Some("embed") => Some(Op::Embed),
-                Some("recognize") => Some(Op::Recognize),
-                _ => None,
-            };
-            if let (Some(op), Some(job_id)) =
-                (op, fields.get("job_id").and_then(|v| v.as_str()))
-            {
-                let tenant = fields
-                    .get("tenant")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or_default();
-                let key = (op, job_id.to_string());
-                if !accepted.contains_key(&key) {
-                    accepted.insert(key.clone(), tenant.to_string());
-                    order.push(key);
-                }
-            }
-            replay.push(line.to_string());
-        }
-        // Rewrite the intents file from the valid prefix, dropping the
-        // torn tail, then reopen for appending.
-        let mut clean = replay.join("\n");
+        // The valid prefix of the live file: stop at the first line
+        // that does not parse (a write torn by the crash). Everything
+        // after it was never acknowledged, so dropping it is safe.
+        let live_kept = scan.take_lines(&live_text);
+
+        // Rewrite the live intents file from its valid prefix, dropping
+        // the torn tail, then reopen for appending.
+        let mut clean = live_kept.join("\n");
         if !clean.is_empty() {
             clean.push('\n');
         }
         std::fs::write(&path, &clean)?;
         let intents = std::fs::OpenOptions::new().append(true).open(&path)?;
+
+        // Pending = accepted with no outcome; those lines must survive
+        // future rotations verbatim, and they are what the server
+        // replays (after the opens that built their tenants).
+        let mut pending_lines = HashMap::new();
+        let mut replay: Vec<String> = scan.opens.clone();
+        for key in &scan.order {
+            if completed.contains_key(key) {
+                continue;
+            }
+            let Some(line) = scan.job_lines.get(key) else {
+                // A settled marker whose outcome line was torn away: the
+                // request line is gone, so the job cannot be re-run. It
+                // keeps its acceptance slot (finalize skips report-less
+                // keys) but is surfaced, not silently dropped.
+                eprintln!(
+                    "serve: journal: {} job `{}` was compacted as settled but has no \
+                     recorded outcome; it cannot be replayed",
+                    key.0.as_str(),
+                    key.1
+                );
+                continue;
+            };
+            pending_lines.insert(key.clone(), line.clone());
+            replay.push(line.clone());
+        }
+
         Ok((
             Journal {
+                prefix: prefix.to_path_buf(),
                 intents,
                 embed,
                 recognize,
                 completed,
-                accepted,
-                order,
+                accepted: scan.accepted,
+                order: scan.order,
+                opens: scan.opens,
+                open_seen: scan.open_seen,
+                pending_lines,
+                max_bytes: None,
+                live_bytes: clean.len() as u64,
+                rotations: 0,
+                telemetry: Telemetry::null(),
             },
             replay,
         ))
@@ -179,7 +269,12 @@ impl Journal {
     ///
     /// Whatever the append reports.
     pub fn record_open_intent(&mut self, line: &str) -> std::io::Result<()> {
-        self.append_intent(line)
+        self.append_intent(line)?;
+        let line = line.trim();
+        if self.open_seen.insert(line.to_string()) {
+            self.opens.push(line.to_string());
+        }
+        self.maybe_rotate()
     }
 
     /// Records an accepted job line — the promise that this job will
@@ -199,9 +294,12 @@ impl Journal {
         let key = (op, job_id.to_string());
         if !self.accepted.contains_key(&key) {
             self.accepted.insert(key.clone(), tenant.to_string());
-            self.order.push(key);
+            self.order.push(key.clone());
         }
-        Ok(())
+        self.pending_lines
+            .entry(key)
+            .or_insert_with(|| line.trim().to_string());
+        self.maybe_rotate()
     }
 
     fn append_intent(&mut self, line: &str) -> std::io::Result<()> {
@@ -209,7 +307,9 @@ impl Journal {
         owned.push('\n');
         // Unbuffered, like the report sidecars: one write per line, so
         // a crash tears at most the line being written.
-        self.intents.write_all(owned.as_bytes())
+        self.intents.write_all(owned.as_bytes())?;
+        self.live_bytes += owned.len() as u64;
+        Ok(())
     }
 
     /// Whether a job intent was ever recorded (settled or still
@@ -237,8 +337,19 @@ impl Journal {
         self.completed.len()
     }
 
+    /// Rotations performed over this journal's lifetime.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Bytes currently in the live intents file.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
     /// Streams a settled job's outcome to the op's report sidecar and
-    /// adds it to the dedup map.
+    /// adds it to the dedup map. Settling is what makes rotation
+    /// worthwhile, so the threshold is re-checked here too.
     ///
     /// # Errors
     ///
@@ -248,15 +359,82 @@ impl Journal {
             Op::Embed => self.embed.append(report)?,
             Op::Recognize => self.recognize.append(report)?,
         }
-        self.completed
-            .insert((op, report.job_id.clone()), report.clone());
+        let key = (op, report.job_id.clone());
+        self.pending_lines.remove(&key);
+        self.completed.insert(key, report.clone());
+        self.maybe_rotate()
+    }
+
+    /// Rotates immediately if the live file is already over the cap.
+    /// The threshold is otherwise only re-checked on appends, so a
+    /// resumed daemon calls this once at startup: an inherited file
+    /// whose jobs all settled before the crash would never trigger an
+    /// append again.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Journal::rotate`] reports.
+    pub fn compact_if_oversized(&mut self) -> std::io::Result<()> {
+        self.maybe_rotate()
+    }
+
+    fn maybe_rotate(&mut self) -> std::io::Result<()> {
+        match self.max_bytes {
+            Some(max) if self.live_bytes > max => self.rotate(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Folds the journal's full state into the compacted segment —
+    /// opens, then per accepted job (in acceptance order) either its
+    /// verbatim pending line or a small settled marker — and truncates
+    /// the live intents file. Written to a temp file, fsynced, and
+    /// renamed into place, so a crash mid-rotation leaves the previous
+    /// segment intact; only *after* the rename is the live file
+    /// truncated. The sidecar outcome line of every marked job landed
+    /// before its marker is written (markers come only from
+    /// `record_outcome`'s completed map), so a marker always has a
+    /// durable outcome behind it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the segment or truncating the live file.
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        let mut segment = String::new();
+        for line in &self.opens {
+            segment.push_str(line);
+            segment.push('\n');
+        }
+        for key in &self.order {
+            if let Some(line) = self.pending_lines.get(key) {
+                segment.push_str(line);
+            } else {
+                let tenant = self.accepted.get(key).map(String::as_str).unwrap_or("");
+                segment.push_str(&settled_marker(key.0, tenant, &key.1));
+            }
+            segment.push('\n');
+        }
+        let target = compact_path(&self.prefix);
+        let tmp = with_suffix(&self.prefix, ".intents.compact.jsonl.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(segment.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &target)?;
+        // Everything the live file held is now in the segment: truncate
+        // and start appending fresh.
+        self.intents = std::fs::File::create(intents_path(&self.prefix))?;
+        self.live_bytes = 0;
+        self.rotations += 1;
+        self.telemetry.count(Counter::JournalRotation, 1);
         Ok(())
     }
 
     /// Finalizes both reports (acceptance order, fsync, atomic rename)
-    /// and retires the intents file — every promise it held is now
-    /// durable in a finalized report. Returns the (embed, recognize)
-    /// report line counts.
+    /// and retires the intents files — live and compacted segment
+    /// alike; every promise they held is now durable in a finalized
+    /// report. Returns the (embed, recognize) report line counts.
     ///
     /// # Errors
     ///
@@ -273,22 +451,72 @@ impl Journal {
                 Op::Recognize => recognize_ordered.push(report.clone()),
             }
         }
-        let intents = self.intents_file_path();
         self.embed.finalize(&embed_ordered)?;
         self.recognize.finalize(&recognize_ordered)?;
-        if let Some(path) = intents {
-            let _ = std::fs::remove_file(path);
-        }
+        let _ = std::fs::remove_file(intents_path(&self.prefix));
+        let _ = std::fs::remove_file(compact_path(&self.prefix));
         Ok((embed_ordered.len(), recognize_ordered.len()))
     }
+}
 
-    /// Reconstructs the intents path from the embed report target (the
-    /// journal does not store the prefix separately).
-    fn intents_file_path(&self) -> Option<PathBuf> {
-        let target = self.embed.target_path();
-        let name = target.file_name()?.to_str()?;
-        let prefix = name.strip_suffix(".embed.jsonl")?;
-        Some(target.with_file_name(format!("{prefix}.intents.jsonl")))
+/// Accumulates intent lines across journal segments (compact first,
+/// then live), rebuilding acceptance order, tenant ownership, opens,
+/// and the verbatim lines of jobs that were pending at rotation time.
+#[derive(Debug, Default)]
+struct IntentScan {
+    accepted: HashMap<(Op, String), String>,
+    order: Vec<(Op, String)>,
+    opens: Vec<String>,
+    open_seen: HashSet<String>,
+    /// Full request lines seen for a job key — absent for jobs folded
+    /// to settled markers.
+    job_lines: HashMap<(Op, String), String>,
+}
+
+impl IntentScan {
+    /// Scans one segment's text, stopping at the first unparseable line
+    /// (the torn tail of a live file). Returns the lines kept.
+    fn take_lines(&mut self, text: &str) -> Vec<String> {
+        let mut kept = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(fields) = parse_object(line) else {
+                break;
+            };
+            kept.push(line.to_string());
+            let op = match fields.get("op").and_then(|v| v.as_str()) {
+                Some("embed") => Some(Op::Embed),
+                Some("recognize") => Some(Op::Recognize),
+                Some("open") => {
+                    if self.open_seen.insert(line.to_string()) {
+                        self.opens.push(line.to_string());
+                    }
+                    None
+                }
+                _ => None,
+            };
+            let (Some(op), Some(job_id)) = (op, fields.get("job_id").and_then(|v| v.as_str()))
+            else {
+                continue;
+            };
+            let tenant = fields
+                .get("tenant")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default();
+            let key = (op, job_id.to_string());
+            if !self.accepted.contains_key(&key) {
+                self.accepted.insert(key.clone(), tenant.to_string());
+                self.order.push(key.clone());
+            }
+            let is_marker = fields.get("compact").and_then(|v| v.as_str()) == Some("settled");
+            if !is_marker {
+                self.job_lines.entry(key).or_insert_with(|| line.to_string());
+            }
+        }
+        kept
     }
 }
 
@@ -306,6 +534,10 @@ mod tests {
             attempts: 1,
             wall_ms: 9,
         }
+    }
+
+    fn job_line(n: u32) -> String {
+        format!("{{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-{n:03}\"}}")
     }
 
     fn temp_prefix(tag: &str) -> PathBuf {
@@ -375,12 +607,7 @@ mod tests {
             for n in 0..3 {
                 let r = report("embed", n);
                 journal
-                    .record_job_intent(
-                        Op::Embed,
-                        "t",
-                        &r.job_id,
-                        &format!("{{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-{n:03}\"}}"),
-                    )
+                    .record_job_intent(Op::Embed, "t", &r.job_id, &job_line(n))
                     .unwrap();
             }
             // Only job 0 settled before the "crash".
@@ -399,10 +626,17 @@ mod tests {
         std::fs::write(&sidecar, &text).unwrap();
 
         let (journal, replay) = Journal::resume(&prefix).unwrap();
-        assert_eq!(replay.len(), 4, "open + three accepted jobs; torn tail dropped");
+        assert_eq!(
+            replay.len(),
+            3,
+            "open + the two pending jobs; the settled job and torn tail are not replayed"
+        );
         assert!(replay[0].contains("\"open\""));
+        assert!(replay[1].contains("embed-001"));
+        assert!(replay[2].contains("embed-002"));
         assert!(journal.completed(Op::Embed, "embed-000").is_some());
         assert!(journal.completed(Op::Embed, "embed-001").is_none());
+        assert!(journal.is_accepted(Op::Embed, "embed-000"), "settled jobs keep their slot");
         assert!(journal.is_accepted(Op::Embed, "embed-002"));
         assert!(
             !journal.is_accepted(Op::Embed, "embed-9"),
@@ -419,12 +653,7 @@ mod tests {
             for n in 0..3 {
                 let r = report("embed", n);
                 journal
-                    .record_job_intent(
-                        Op::Embed,
-                        "t",
-                        &r.job_id,
-                        &format!("{{\"op\":\"embed\",\"tenant\":\"t\",\"job_id\":\"embed-{n:03}\"}}"),
-                    )
+                    .record_job_intent(Op::Embed, "t", &r.job_id, &job_line(n))
                     .unwrap();
             }
             // Outcomes land out of order (completion order) and only
@@ -455,6 +684,162 @@ mod tests {
         let (journal, replay) = Journal::resume(&prefix).unwrap();
         assert!(replay.is_empty());
         assert_eq!(journal.completed_count(), 0);
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn rotation_folds_settled_intents_and_bounds_the_live_file() {
+        let prefix = temp_prefix("rotate");
+        // A threshold small enough that every settled job triggers a
+        // rotation.
+        let mut journal = Journal::create(&prefix).unwrap().with_max_bytes(Some(64));
+        journal.record_open_intent("{\"op\":\"open\",\"tenant\":\"t\"}").unwrap();
+        for n in 0..6 {
+            journal
+                .record_job_intent(Op::Embed, "t", &format!("embed-{n:03}"), &job_line(n))
+                .unwrap();
+            if n < 4 {
+                journal.record_outcome(Op::Embed, &report("embed", n)).unwrap();
+            }
+        }
+        assert!(journal.rotations() >= 1, "the byte cap forced rotations");
+        assert!(
+            journal.live_bytes() <= 64 + job_line(0).len() as u64 + 1,
+            "the live file never grows much past the cap: {}",
+            journal.live_bytes()
+        );
+        let segment = std::fs::read_to_string(compact_path(&prefix)).unwrap();
+        assert!(
+            segment.contains("\"compact\":\"settled\""),
+            "settled jobs folded to markers: {segment}"
+        );
+        assert!(segment.starts_with("{\"op\":\"open\""), "opens lead the segment");
+
+        // Resume reads segments in order: settled jobs are answered
+        // from the journal, pending jobs 4 and 5 replay with their full
+        // lines, acceptance order survives end to end.
+        drop(journal);
+        let (mut journal, replay) = Journal::resume(&prefix).unwrap();
+        assert!(replay[0].contains("\"open\""));
+        let replayed: Vec<&String> = replay.iter().filter(|l| l.contains("job_id")).collect();
+        assert_eq!(replayed.len(), 2, "only the pending jobs replay: {replay:?}");
+        assert!(replayed[0].contains("embed-004") && replayed[1].contains("embed-005"));
+        for n in 0..4 {
+            assert!(journal.completed(Op::Embed, &format!("embed-{n:03}")).is_some());
+        }
+        journal.record_outcome(Op::Embed, &report("embed", 4)).unwrap();
+        journal.record_outcome(Op::Embed, &report("embed", 5)).unwrap();
+        journal.finalize().unwrap();
+        let ids: Vec<String> = parse_report(
+            &std::fs::read_to_string(with_suffix(&prefix, ".embed.jsonl")).unwrap(),
+        )
+        .unwrap()
+        .into_iter()
+        .map(|r| r.job_id)
+        .collect();
+        let want: Vec<String> = (0..6).map(|n| format!("embed-{n:03}")).collect();
+        assert_eq!(ids, want, "acceptance order survives rotation + resume");
+        assert!(!compact_path(&prefix).exists(), "finalize retires the segment");
+        assert!(!intents_path(&prefix).exists());
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn rotation_counts_into_telemetry_and_repeated_rotations_converge() {
+        use pathmark_telemetry::MemorySink;
+        use std::sync::Arc;
+        let prefix = temp_prefix("rotate-telemetry");
+        let sink = Arc::new(MemorySink::new());
+        let mut journal = Journal::create(&prefix)
+            .unwrap()
+            .with_max_bytes(Some(32))
+            .with_telemetry(Telemetry::new(sink.clone()));
+        for n in 0..4 {
+            journal
+                .record_job_intent(Op::Embed, "t", &format!("embed-{n:03}"), &job_line(n))
+                .unwrap();
+            journal.record_outcome(Op::Embed, &report("embed", n)).unwrap();
+        }
+        assert_eq!(sink.counter(Counter::JournalRotation), journal.rotations());
+        assert!(journal.rotations() >= 2);
+        // Rotations trigger on intent appends, so the last accepted job
+        // is still a full pending line in the segment; an explicit
+        // rotation after it settles folds everything.
+        journal.rotate().unwrap();
+        assert_eq!(sink.counter(Counter::JournalRotation), journal.rotations());
+        // Each rotation rewrites the whole segment: with everything
+        // settled it is opens + one marker per job, nothing else.
+        let segment = std::fs::read_to_string(compact_path(&prefix)).unwrap();
+        assert_eq!(segment.lines().count(), 4);
+        assert!(segment.lines().all(|l| l.contains("\"compact\":\"settled\"")));
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn a_crash_between_rotations_loses_nothing() {
+        let prefix = temp_prefix("rotate-crash");
+        {
+            let mut journal = Journal::create(&prefix).unwrap().with_max_bytes(Some(48));
+            journal.record_open_intent("{\"op\":\"open\",\"tenant\":\"t\"}").unwrap();
+            // Two jobs settle (forcing at least one rotation), a third
+            // is accepted into the post-rotation live file, then the
+            // daemon "dies" with a torn live tail.
+            for n in 0..2 {
+                journal
+                    .record_job_intent(Op::Embed, "t", &format!("embed-{n:03}"), &job_line(n))
+                    .unwrap();
+                journal.record_outcome(Op::Embed, &report("embed", n)).unwrap();
+            }
+            assert!(journal.rotations() >= 1);
+            journal
+                .record_job_intent(Op::Embed, "t", "embed-002", &job_line(2))
+                .unwrap();
+        }
+        let live = intents_path(&prefix);
+        let mut text = std::fs::read_to_string(&live).unwrap();
+        text.push_str("{\"op\":\"embed\",\"job_id\":\"to");
+        std::fs::write(&live, &text).unwrap();
+
+        let (journal, replay) = Journal::resume(&prefix).unwrap();
+        assert!(journal.completed(Op::Embed, "embed-000").is_some());
+        assert!(journal.completed(Op::Embed, "embed-001").is_some());
+        assert!(journal.is_accepted(Op::Embed, "embed-002"));
+        let pending: Vec<&String> = replay.iter().filter(|l| l.contains("job_id")).collect();
+        assert_eq!(pending.len(), 1);
+        assert!(pending[0].contains("embed-002"));
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn an_oversized_inherited_live_file_compacts_at_startup() {
+        let prefix = temp_prefix("rotate-startup");
+        // An uncapped daemon accepts and settles three jobs, then
+        // crashes: everything sits in the live file.
+        {
+            let mut journal = Journal::create(&prefix).unwrap();
+            journal.record_open_intent("{\"op\":\"open\",\"tenant\":\"t\"}").unwrap();
+            for n in 0..3 {
+                journal
+                    .record_job_intent(Op::Embed, "t", &format!("embed-{n:03}"), &job_line(n))
+                    .unwrap();
+                journal.record_outcome(Op::Embed, &report("embed", n)).unwrap();
+            }
+        }
+        // The successor resumes with a cap the inherited file already
+        // exceeds. Every job settled, so no append will ever re-check
+        // the threshold — the startup compaction has to do it.
+        let (journal, replay) = Journal::resume(&prefix).unwrap();
+        assert_eq!(replay.len(), 1, "only the open replays");
+        let mut journal = journal.with_max_bytes(Some(48));
+        journal.compact_if_oversized().unwrap();
+        assert_eq!(journal.rotations(), 1);
+        assert_eq!(journal.live_bytes(), 0);
+        let segment = std::fs::read_to_string(compact_path(&prefix)).unwrap();
+        assert_eq!(
+            segment.lines().filter(|l| l.contains("\"compact\":\"settled\"")).count(),
+            3,
+            "the settled jobs fold to markers: {segment}"
+        );
         cleanup(&prefix);
     }
 }

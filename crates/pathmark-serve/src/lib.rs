@@ -5,17 +5,27 @@
 //! and throw the warm state away at exit. This crate keeps that state
 //! resident: a [`server::Server`] hosts long-lived embed/recognize
 //! sessions behind a line-oriented JSONL protocol ([`protocol`]) over
-//! stdin/stdout or a unix-domain socket, with
+//! stdin/stdout, a unix-domain socket, or (behind the `tcp` feature)
+//! a TCP listener, with
 //!
 //! * a warm session [`registry`] keyed per tenant watermark key, with
 //!   per-key isolation and warm per-copy recognize sessions;
+//! * concurrent connections — one thread per client under a connection
+//!   cap, each with its own response writer and in-flight scope, so a
+//!   slow or stalled client never blocks another client's requests or
+//!   goodbye;
 //! * [`admission`] control — a bounded in-flight budget that sheds
-//!   excess load with a distinct status instead of queueing unboundedly;
+//!   excess load with a distinct status instead of queueing unboundedly,
+//!   split fairly across active tenants so one flooding tenant cannot
+//!   monopolize the daemon;
 //! * a crash-safe write-ahead [`journal`] built on the fleet's
 //!   `ReportWriter`, so a daemon killed mid-stream resumes its in-flight
 //!   jobs on restart and finalizes reports bit-identical to an
-//!   uninterrupted run;
-//! * graceful shutdown that drains the queue and finalizes the journal.
+//!   uninterrupted run — with size-triggered rotation folding settled
+//!   intents into a compacted segment, so a daemon serving for days
+//!   keeps its journal bounded;
+//! * graceful shutdown that stops admissions, drains the queue,
+//!   finalizes the journal, and severs lingering connections.
 //!
 //! Per-job execution reuses the batch engine's single-job kernels, so a
 //! report produced by the daemon matches the batch report for the same
@@ -27,7 +37,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use admission::AdmissionGate;
+pub use admission::{AdmissionGate, ConnectionInflight, Permit, ShedCause};
 pub use journal::Journal;
 pub use protocol::{Op, Request};
 pub use registry::Registry;

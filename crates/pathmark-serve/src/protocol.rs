@@ -24,7 +24,9 @@
 //! daemon just ran, `resumed` for one answered from the journal). A
 //! malformed line yields `{"op":"error","status":"failed: …"}` — never a
 //! daemon exit. An admission-controlled rejection yields the distinct
-//! `"status":"shed"` so clients can back off and resubmit.
+//! `"status":"shed"` so clients can back off and resubmit; its `scope`
+//! field says whether the whole daemon was at capacity (`"capacity"`)
+//! or the submitting tenant exceeded its fair share (`"tenant"`).
 
 use std::collections::HashMap;
 
@@ -322,14 +324,17 @@ pub fn job_line(op: Op, tenant: &str, report: &JobReport, disposition: Dispositi
     ])
 }
 
-/// Renders the load-shed rejection: the queue is full, the job was NOT
-/// accepted, and the client should back off and resubmit.
-pub fn shed_line(op: Op, tenant: &str, job_id: &str) -> String {
+/// Renders the load-shed rejection: the job was NOT accepted and the
+/// client should back off and resubmit. `scope` is `"capacity"` (the
+/// daemon-wide in-flight ceiling) or `"tenant"` (the submitting
+/// tenant's fair-share sub-budget — other tenants still have room).
+pub fn shed_line(op: Op, tenant: &str, job_id: &str, scope: &str) -> String {
     write_object(&[
         ("op", Scalar::Str(op.as_str().into())),
         ("tenant", Scalar::Str(tenant.into())),
         ("job_id", Scalar::Str(job_id.into())),
         ("status", Scalar::Str("shed".into())),
+        ("scope", Scalar::Str(scope.into())),
     ])
 }
 
@@ -355,8 +360,12 @@ pub fn pong_line() -> String {
 pub struct StatsSnapshot {
     /// Jobs admitted past the gate over the daemon's lifetime.
     pub accepted: u64,
-    /// Jobs rejected by admission control.
+    /// Jobs rejected because the daemon-wide in-flight ceiling was
+    /// reached.
     pub shed: u64,
+    /// Jobs rejected by per-tenant fairness while the daemon still had
+    /// room.
+    pub tenant_shed: u64,
     /// Duplicate submissions answered from the journal.
     pub resumed: u64,
     /// Jobs that settled and were journaled.
@@ -367,6 +376,11 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Open tenants.
     pub tenants: u64,
+    /// Connections currently being served.
+    pub connections: u64,
+    /// Journal rotations performed (settled intents folded into the
+    /// compacted segment).
+    pub journal_rotations: u64,
     /// Decode-cache lookups served without a cipher call, summed over
     /// every resident recognize session.
     pub decode_cache_hits: u64,
@@ -385,11 +399,14 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
         ("status", Scalar::Str("ok".into())),
         ("accepted", Scalar::Num(s.accepted)),
         ("shed", Scalar::Num(s.shed)),
+        ("tenant_shed", Scalar::Num(s.tenant_shed)),
         ("resumed", Scalar::Num(s.resumed)),
         ("completed", Scalar::Num(s.completed)),
         ("inflight", Scalar::Num(s.inflight)),
         ("queue_depth", Scalar::Num(s.queue_depth)),
         ("tenants", Scalar::Num(s.tenants)),
+        ("connections", Scalar::Num(s.connections)),
+        ("journal_rotations", Scalar::Num(s.journal_rotations)),
         ("decode_cache_hits", Scalar::Num(s.decode_cache_hits)),
         ("decode_cache_misses", Scalar::Num(s.decode_cache_misses)),
         ("decode_cache_evictions", Scalar::Num(s.decode_cache_evictions)),
@@ -500,7 +517,7 @@ mod tests {
             opened_line("t", true),
             job_line(Op::Embed, "t", &report, Disposition::Fresh),
             job_line(Op::Recognize, "t", &report, Disposition::Resumed),
-            shed_line(Op::Embed, "t", "copy-0"),
+            shed_line(Op::Embed, "t", "copy-0", "capacity"),
             error_line("json error at byte 0: expected `{`"),
             pong_line(),
             stats_line(&StatsSnapshot::default()),
@@ -509,8 +526,9 @@ mod tests {
             let fields = parse_object(&line).unwrap();
             assert!(fields.contains_key("op"), "{line}");
         }
-        let fields = parse_object(&shed_line(Op::Embed, "t", "j")).unwrap();
+        let fields = parse_object(&shed_line(Op::Embed, "t", "j", "tenant")).unwrap();
         assert_eq!(fields["status"].as_str(), Some("shed"));
+        assert_eq!(fields["scope"].as_str(), Some("tenant"));
         let fields =
             parse_object(&job_line(Op::Recognize, "t", &report, Disposition::Resumed)).unwrap();
         assert_eq!(fields["disposition"].as_str(), Some("resumed"));

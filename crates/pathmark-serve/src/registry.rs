@@ -17,7 +17,7 @@
 //! tenant, keyed by copy seed.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pathmark_core::java::{
     DecodeCacheStats, Embedder, JavaConfig, Recognizer, DEFAULT_DECODE_CACHE_CAP,
@@ -31,6 +31,13 @@ use crate::protocol::OpenRequest;
 /// arbitrary resident session is evicted (its decode cache goes with
 /// it); correctness is unaffected, the next use just re-derives.
 const MAX_WARM_COPIES: usize = 256;
+
+/// Locks a registry mutex, recovering from poisoning: the guarded maps
+/// hold complete entries only (inserts happen after sessions are fully
+/// built), so a panicking worker can't leave them half-written.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One tenant's resident state.
 #[derive(Debug)]
@@ -55,7 +62,7 @@ impl Tenant {
     /// same-key fast path and shares the warm decode cache.
     pub fn recognizer_for(&self, seed: u64) -> Recognizer {
         let telemetry = self.recognizer.telemetry().clone();
-        let mut copies = self.copies.lock().expect("tenant copies lock");
+        let mut copies = lock(&self.copies);
         if let Some(session) = copies.get(&seed) {
             telemetry.count(Counter::SessionHit, 1);
             return session.clone();
@@ -74,7 +81,7 @@ impl Tenant {
 
     /// Warm per-copy sessions currently resident.
     pub fn warm_copies(&self) -> usize {
-        self.copies.lock().expect("tenant copies lock").len()
+        lock(&self.copies).len()
     }
 
     /// Aggregated decode-cache statistics over the tenant's resident
@@ -84,7 +91,7 @@ impl Tenant {
     /// and is skipped so its numbers are not double-counted.
     pub fn decode_cache_stats(&self) -> DecodeCacheStats {
         let mut total = self.recognizer.decode_cache_stats();
-        let copies = self.copies.lock().expect("tenant copies lock");
+        let copies = lock(&self.copies);
         for session in copies.values() {
             if session.key() == self.recognizer.key() {
                 continue;
@@ -132,7 +139,7 @@ impl Registry {
         let config = base.with_pieces(pieces);
         let cap = request.cache_cap.unwrap_or(DEFAULT_DECODE_CACHE_CAP);
 
-        let mut tenants = self.tenants.lock().expect("registry lock");
+        let mut tenants = lock(&self.tenants);
         if let Some(tenant) = tenants.get(&request.tenant) {
             if tenant.embedder.key() == &key
                 && tenant.embedder.config() == &config
@@ -165,28 +172,18 @@ impl Registry {
 
     /// The tenant behind a handle, if open.
     pub fn get(&self, tenant: &str) -> Option<Arc<Tenant>> {
-        self.tenants
-            .lock()
-            .expect("registry lock")
-            .get(tenant)
-            .cloned()
+        lock(&self.tenants).get(tenant).cloned()
     }
 
     /// Open tenants.
     pub fn count(&self) -> usize {
-        self.tenants.lock().expect("registry lock").len()
+        lock(&self.tenants).len()
     }
 
     /// Decode-cache statistics summed over every open tenant (tenants
     /// never share crypto state, so a plain sum never double-counts).
     pub fn decode_cache_stats(&self) -> DecodeCacheStats {
-        let tenants: Vec<Arc<Tenant>> = self
-            .tenants
-            .lock()
-            .expect("registry lock")
-            .values()
-            .cloned()
-            .collect();
+        let tenants: Vec<Arc<Tenant>> = lock(&self.tenants).values().cloned().collect();
         let mut total = DecodeCacheStats::default();
         for tenant in tenants {
             let s = tenant.decode_cache_stats();

@@ -170,6 +170,9 @@ pub enum Counter {
     JobAccepted,
     /// Serve requests rejected by the admission gate (load shed).
     JobShed,
+    /// Serve requests rejected by per-tenant fairness: the gate had
+    /// room, but the tenant was already at its in-flight sub-budget.
+    TenantShed,
     /// Serve jobs served from the journal or replayed on restart
     /// instead of being executed fresh.
     JobResumed,
@@ -177,11 +180,14 @@ pub enum Counter {
     SessionHit,
     /// Serve session-registry lookups that had to build a session.
     SessionMiss,
+    /// Serve journal rotations: settled intents folded into the
+    /// compacted segment and the live intents file truncated.
+    JournalRotation,
 }
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
@@ -198,9 +204,11 @@ impl Counter {
         Counter::DecodeCacheEvict,
         Counter::JobAccepted,
         Counter::JobShed,
+        Counter::TenantShed,
         Counter::JobResumed,
         Counter::SessionHit,
         Counter::SessionMiss,
+        Counter::JournalRotation,
     ];
 
     /// The counter's wire name.
@@ -222,9 +230,11 @@ impl Counter {
             Counter::DecodeCacheEvict => "decode_cache_evict",
             Counter::JobAccepted => "accepted",
             Counter::JobShed => "shed",
+            Counter::TenantShed => "tenant_shed",
             Counter::JobResumed => "resumed",
             Counter::SessionHit => "session_hit",
             Counter::SessionMiss => "session_miss",
+            Counter::JournalRotation => "journal_rotation",
         }
     }
 

@@ -134,16 +134,23 @@ commands:
                   --bits N [--pieces N] [--workers K] [--report FILE]
                   recognize every copy against its manifest entry; the
                   embed report doubles as the manifest
-  serve     --journal PREFIX [--socket PATH] [--workers K]
-            [--max-inflight N] [--retries N] [--resume]
+  serve     --journal PREFIX [--socket PATH | --tcp ADDR] [--workers K]
+            [--max-inflight N] [--max-connections N] [--retries N]
+            [--journal-max-bytes N] [--resume]
             run the resident daemon: long-lived embed/recognize sessions
             behind a JSONL request protocol (stdin/stdout without
-            --socket, a unix-domain socket with it); --max-inflight caps
-            accepted-but-unsettled jobs (excess is shed, default 64);
+            --socket/--tcp; a unix-domain socket or — in builds with the
+            `tcp` feature — a TCP listener with them). Socket transports
+            serve up to --max-connections clients concurrently (default
+            32); startup refuses a socket path a live daemon still
+            answers on and only removes stale files. --max-inflight caps
+            accepted-but-unsettled jobs (excess is shed, default 64),
+            split fairly across active tenants; --journal-max-bytes
+            rotates the journal's live intents file past N bytes;
             --resume replays a crashed daemon's journal before serving
-  connect   --socket PATH
-            pipe stdin to a running daemon's socket and its responses
-            to stdout (the scripting client for `serve --socket`)
+  connect   --socket PATH | --tcp ADDR
+            pipe stdin to a running daemon and its responses to stdout
+            (the scripting client for `serve --socket`/`serve --tcp`)
 
 fault tolerance (fleet embed, fleet recognize):
   --retries N                    re-run a job up to N extra times after
@@ -444,6 +451,11 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let mut options = pathmark::serve::ServeOptions::new(journal);
     options.workers = parse_workers(opts)?;
     options.max_inflight = parse_usize_or(opts, "max-inflight", options.max_inflight)?;
+    options.max_connections = parse_usize_or(opts, "max-connections", options.max_connections)?;
+    options.journal_max_bytes = match opts.get("journal-max-bytes") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("--journal-max-bytes: {e}"))?),
+    };
     options.resume = opts.contains_key("resume");
     options.retry = if retries == 0 {
         RetryPolicy::none()
@@ -452,11 +464,13 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     options.telemetry = metrics.telemetry.clone();
     let server = pathmark::serve::Server::new(options)?;
-    match opts.get("socket") {
-        Some(path) => server
+    match (opts.get("socket"), opts.get("tcp")) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
+        (Some(path), None) => server
             .serve_unix(std::path::Path::new(path))
             .map_err(|e| format!("{path}: {e}"))?,
-        None => server.serve_stdio().map_err(|e| format!("stdin: {e}"))?,
+        (None, Some(addr)) => serve_tcp(&server, addr)?,
+        (None, None) => server.serve_stdio().map_err(|e| format!("stdin: {e}"))?,
     }
     // The server (and its pool) must be gone before the metrics file is
     // finalized, so every queued span has reached the sink.
@@ -464,25 +478,79 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     metrics.finish()
 }
 
-fn cmd_connect(opts: &HashMap<String, String>) -> Result<(), String> {
-    let path = required(opts, "socket")?;
-    let stream = std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut responses = stream.try_clone().map_err(|e| format!("{path}: {e}"))?;
+#[cfg(feature = "tcp")]
+fn serve_tcp(server: &pathmark::serve::Server, addr: &str) -> Result<(), String> {
+    server.serve_tcp(addr).map_err(|e| format!("{addr}: {e}"))
+}
+
+#[cfg(not(feature = "tcp"))]
+fn serve_tcp(_server: &pathmark::serve::Server, addr: &str) -> Result<(), String> {
+    Err(format!(
+        "--tcp {addr}: this build lacks the `tcp` feature (rebuild with `--features tcp`)"
+    ))
+}
+
+/// The shared half of `pathmark connect`: forward stdin to the daemon,
+/// stream its responses to stdout, and half-close the request side so
+/// the daemon sees EOF while responses keep flowing until drained.
+fn relay_stdio<S>(
+    requests: S,
+    mut responses: S,
+    half_close: fn(&S) -> std::io::Result<()>,
+    label: &str,
+) -> Result<(), String>
+where
+    S: std::io::Read + std::io::Write + Send + 'static,
+{
     // Responses stream to stdout as they arrive; a second thread keeps
     // them flowing while this one forwards stdin.
     let reader = std::thread::spawn(move || {
         let _ = std::io::copy(&mut responses, &mut std::io::stdout());
     });
-    let mut requests = stream;
+    let mut requests = requests;
     std::io::copy(&mut std::io::stdin().lock(), &mut requests)
-        .map_err(|e| format!("{path}: {e}"))?;
-    // Half-close: tells the daemon this client is done sending, while
-    // the response side stays open until the daemon drains our jobs.
-    requests
-        .shutdown(std::net::Shutdown::Write)
-        .map_err(|e| format!("{path}: {e}"))?;
+        .map_err(|e| format!("{label}: {e}"))?;
+    half_close(&requests).map_err(|e| format!("{label}: {e}"))?;
     reader.join().map_err(|_| "response reader panicked".to_string())?;
     Ok(())
+}
+
+fn cmd_connect(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(addr) = opts.get("tcp") {
+        if opts.contains_key("socket") {
+            return Err("--socket and --tcp are mutually exclusive".into());
+        }
+        return connect_tcp(addr);
+    }
+    let path = required(opts, "socket")?;
+    let stream =
+        std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
+    let responses = stream.try_clone().map_err(|e| format!("{path}: {e}"))?;
+    relay_stdio(
+        stream,
+        responses,
+        |s| s.shutdown(std::net::Shutdown::Write),
+        path,
+    )
+}
+
+#[cfg(feature = "tcp")]
+fn connect_tcp(addr: &str) -> Result<(), String> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let responses = stream.try_clone().map_err(|e| format!("{addr}: {e}"))?;
+    relay_stdio(
+        stream,
+        responses,
+        |s| s.shutdown(std::net::Shutdown::Write),
+        addr,
+    )
+}
+
+#[cfg(not(feature = "tcp"))]
+fn connect_tcp(addr: &str) -> Result<(), String> {
+    Err(format!(
+        "--tcp {addr}: this build lacks the `tcp` feature (rebuild with `--features tcp`)"
+    ))
 }
 
 fn cmd_fleet(args: &[String]) -> Result<(), CliError> {

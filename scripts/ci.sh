@@ -136,19 +136,27 @@ cp "$SMOKE/BENCH_recognize.json" "$ROOT/BENCH_recognize.json"
 echo "==> serve smoke: daemon on a unix socket survives kill -9 and resumes bit-identically"
 # The daemon fingerprints the same 16 copies as the fleet smoke above,
 # through `pathmark connect` over a unix socket. Halfway through we
-# kill -9 it, restart with --resume, resubmit everything, and require
-# the finalized journal reports to match the batch reports byte for
-# byte once wall_ms is normalized — and the marked copies to match
-# byte for byte, full stop.
+# kill -9 it, restart with --resume and a byte-capped journal, resubmit
+# over TWO CONCURRENT connections, kill -9 again (now with a compacted
+# segment on disk), resume once more, and require the finalized journal
+# reports to match the batch reports byte for byte once wall_ms is
+# normalized — and the marked copies to match byte for byte, full stop.
+# Along the way: a control ping on its own connection must round-trip
+# while the recognize batch is in flight, and the restarts reclaim the
+# dead daemon's stale socket file themselves.
 SOCK="$SMOKE/serve.sock"
 JOURNAL="$SMOKE/serve/journal"
 mkdir -p "$SMOKE/serve"
 
-serve_wait_socket() {
+# Wait until the daemon answers a ping. Checking for the socket file is
+# not enough: a kill -9 leaves the previous daemon's stale file behind,
+# and the restart reclaims it only once it is actually up.
+serve_wait_ready() {
     n=0
-    while [ ! -S "$SOCK" ]; do
+    until printf '{"op":"ping"}\n' | "$BIN" connect --socket "$SOCK" 2>/dev/null \
+        | grep -q '"op":"ping"'; do
         n=$((n + 1))
-        [ "$n" -lt 300 ] || { echo "serve daemon never opened $SOCK" >&2; exit 1; }
+        [ "$n" -lt 300 ] || { echo "serve daemon never answered on $SOCK" >&2; exit 1; }
         sleep 0.1
     done
 }
@@ -167,7 +175,7 @@ OPEN_LINE='{"op":"open","tenant":"ci","seed":7,"input":"12","bits":128}'
 
 "$BIN" serve --journal "$JOURNAL" --socket "$SOCK" --workers 4 --max-inflight 64 &
 SERVE_PID=$!
-serve_wait_socket
+serve_wait_ready
 
 { printf '%s\n' "$OPEN_LINE"; serve_embed_lines 0 7; } \
     | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-first.jsonl"
@@ -185,18 +193,54 @@ wait "$CUT_PID" 2>/dev/null || true
 [ -e "$JOURNAL.intents.jsonl" ] \
     || { echo "crashed daemon left no intents journal to resume from" >&2; exit 1; }
 
-rm -f "$SOCK"
+# No `rm -f "$SOCK"`: the kill -9 left a stale socket file behind, and
+# reclaiming it (after probing that no daemon answers) is the restart's
+# own job now. A byte cap small enough that the first half's intents
+# already exceed it forces journal rotation on this run.
 "$BIN" serve --journal "$JOURNAL" --socket "$SOCK" --workers 4 --max-inflight 64 \
-    --resume --metrics "$SMOKE/serve-metrics.jsonl" --metrics-format jsonl &
+    --resume --journal-max-bytes 1024 &
 SERVE_PID=$!
-serve_wait_socket
+serve_wait_ready
 
-# Resubmit every embed; connect returns once all of them have settled,
-# so the recognize stream below never races an in-flight embed.
+# Resubmit every embed over two concurrent connections — the daemon is
+# no longer one-client-at-a-time. Each connect returns once its own
+# jobs have settled.
+{ printf '%s\n' "$OPEN_LINE"; serve_embed_lines 0 7; } \
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-resume-a.jsonl" &
+RESUB_A=$!
+{ printf '%s\n' "$OPEN_LINE"; serve_embed_lines 8 15; } \
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-resume-b.jsonl" &
+RESUB_B=$!
+wait "$RESUB_A"
+wait "$RESUB_B"
+cat "$SMOKE/serve-resume-a.jsonl" "$SMOKE/serve-resume-b.jsonl" > "$SMOKE/serve-resume.jsonl"
+resumed=$(grep -c '"disposition":"resumed"' "$SMOKE/serve-resume.jsonl")
+[ "$resumed" -ge 8 ] || { echo "expected >= 8 resumed answers, got $resumed" >&2; exit 1; }
+
+# Kill -9 again. Everything has settled, so the rotation above folded
+# the whole journal into the compacted segment — the next resume reads
+# the segment first, then the live tail.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+[ -e "$JOURNAL.intents.compact.jsonl" ] \
+    || { echo "byte-capped journal never rotated a compacted segment" >&2; exit 1; }
+
+"$BIN" serve --journal "$JOURNAL" --socket "$SOCK" --workers 4 --max-inflight 64 \
+    --resume --journal-max-bytes 1024 \
+    --metrics "$SMOKE/serve-metrics.jsonl" --metrics-format jsonl &
+SERVE_PID=$!
+serve_wait_ready
+
+# Every answer on this daemon comes out of the rotated journal.
 { printf '%s\n' "$OPEN_LINE"; serve_embed_lines 0 15; } \
-    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-resume.jsonl"
+    | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-compact.jsonl"
+resumed=$(grep -c '"disposition":"resumed"' "$SMOKE/serve-compact.jsonl")
+[ "$resumed" -eq 16 ] \
+    || { echo "expected 16 resumed answers from the compacted journal, got $resumed" >&2; exit 1; }
 
-# Recognize all 16 copies on the warm daemon, then drain and finalize.
+# Recognize all 16 copies on the warm daemon; while that batch is in
+# flight, a control ping on a second connection must round-trip within
+# a deadline instead of waiting for the batch's connection to close.
 {
     j=0
     while [ "$j" -lt 16 ]; do
@@ -204,20 +248,38 @@ serve_wait_socket
             "$j" "$SMOKE/serve/copies" "$j"
         j=$((j + 1))
     done
-    printf '{"op":"stats"}\n{"op":"shutdown"}\n'
-} | "$BIN" connect --socket "$SOCK" >> "$SMOKE/serve-resume.jsonl"
+} | "$BIN" connect --socket "$SOCK" >> "$SMOKE/serve-compact.jsonl" &
+REC_PID=$!
+PING_T0=$(date +%s)
+printf '{"op":"ping"}\n' | "$BIN" connect --socket "$SOCK" > "$SMOKE/serve-ping.jsonl"
+PING_T1=$(date +%s)
+[ $((PING_T1 - PING_T0)) -le 10 ] \
+    || { echo "control ping took $((PING_T1 - PING_T0))s with a batch in flight" >&2; exit 1; }
+grep '"op":"ping"' "$SMOKE/serve-ping.jsonl" | grep -q '"status":"ok"' \
+    || { echo "control ping was not answered" >&2; exit 1; }
+wait "$REC_PID"
+
+# Drain and finalize.
+printf '{"op":"stats"}\n{"op":"shutdown"}\n' \
+    | "$BIN" connect --socket "$SOCK" >> "$SMOKE/serve-compact.jsonl"
 wait "$SERVE_PID"
 
-resumed=$(grep -c '"disposition":"resumed"' "$SMOKE/serve-resume.jsonl")
-[ "$resumed" -ge 8 ] || { echo "expected >= 8 resumed answers, got $resumed" >&2; exit 1; }
-grep '"op":"stats"' "$SMOKE/serve-resume.jsonl" | grep -q '"shed":0' \
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"shed":0' \
     || { echo "stats response missing or reported shed jobs" >&2; exit 1; }
-grep '"op":"stats"' "$SMOKE/serve-resume.jsonl" | grep -q '"decode_cache_hits":' \
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"tenant_shed":0' \
+    || { echo "stats response missing or reported tenant-fairness sheds" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"connections":' \
+    || { echo "stats response missing the connections gauge" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"journal_rotations":' \
+    || { echo "stats response missing the rotation counter" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"decode_cache_hits":' \
     || { echo "stats response missing decode-cache fields" >&2; exit 1; }
-grep '"op":"shutdown"' "$SMOKE/serve-resume.jsonl" | grep -q '"status":"ok"' \
+grep '"op":"shutdown"' "$SMOKE/serve-compact.jsonl" | grep -q '"status":"ok"' \
     || { echo "shutdown was not acknowledged cleanly" >&2; exit 1; }
 [ ! -e "$JOURNAL.intents.jsonl" ] \
     || { echo "finalized journal left the intents file behind" >&2; exit 1; }
+[ ! -e "$JOURNAL.intents.compact.jsonl" ] \
+    || { echo "finalized journal left the compacted segment behind" >&2; exit 1; }
 grep -q '"counter":"resumed"' "$SMOKE/serve-metrics.jsonl" \
     || { echo "serve metrics missing the resumed counter" >&2; exit 1; }
 

@@ -1,16 +1,22 @@
 //! End-to-end tests for the resident daemon: protocol robustness,
 //! serve-vs-batch bit-identity, multi-tenant decode-cache isolation,
-//! admission-control shedding, and crash-safe resume.
+//! admission-control shedding (capacity and per-tenant fairness),
+//! concurrent connections, journal rotation, and crash-safe resume.
 //!
-//! Everything runs in-process against [`Server`] with an in-memory
-//! response writer; the kill -9 crash state is constructed on disk the
-//! way a dead daemon leaves it (intents + `.partial` sidecars, torn
-//! trailing lines included). The real-process kill -9 path is exercised
-//! by the CI smoke gate in `scripts/ci.sh`.
+//! Most tests run in-process against [`Server`] with an in-memory
+//! response writer — concurrent connections are scoped threads calling
+//! `serve_lines`, which is exactly what the socket accept loop runs per
+//! connection; the kill -9 crash state is constructed on disk the way a
+//! dead daemon leaves it (intents + `.partial` sidecars, torn trailing
+//! lines included). The stalled-client and stale-socket tests drive a
+//! real `serve_unix` daemon over a socket; the real-process kill -9
+//! path (including two live connections at kill time) is exercised by
+//! the CI smoke gate in `scripts/ci.sh`.
 
-use std::io::{Cursor, Write};
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::WatermarkKey;
@@ -157,6 +163,29 @@ fn normalized_lines(reports: &[JobReport]) -> Vec<String> {
             r.to_line()
         })
         .collect()
+}
+
+/// Normalized report lines, sorted: acceptance order is nondeterministic
+/// when two connections submit concurrently, so bit-identity across
+/// concurrent runs is asserted on the sorted line sets.
+fn sorted_normalized(reports: &[JobReport]) -> Vec<String> {
+    let mut lines = normalized_lines(reports);
+    lines.sort();
+    lines
+}
+
+/// Polls until the daemon answers on `sock`, returning the connected
+/// client. A fresh or stale-but-unreclaimed socket refuses the connect,
+/// so retrying covers daemon startup.
+#[cfg(unix)]
+fn connect_when_up(sock: &std::path::Path) -> std::os::unix::net::UnixStream {
+    for _ in 0..500 {
+        if let Ok(stream) = std::os::unix::net::UnixStream::connect(sock) {
+            return stream;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up on {}", sock.display());
 }
 
 #[test]
@@ -597,5 +626,484 @@ fn a_crashed_daemon_resumes_to_a_bit_identical_report() {
         let crashed = std::fs::read(format!("{crash_dir}/{}.pmvm", job.job_id)).unwrap();
         assert_eq!(reference, crashed, "{}", job.job_id);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_concurrent_clients_interleave_and_match_batch_bit_identically() {
+    let dir = temp_dir("twoclient");
+    let host_path = write_host(&dir);
+    let jobs: Vec<EmbedJobSpec> = (0..6)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect();
+
+    // The reference: the batch engine over the same six jobs.
+    let embedder = Embedder::builder(serve_key(), serve_config()).build().unwrap();
+    let recognizer = Recognizer::builder(serve_key(), serve_config()).build().unwrap();
+    let pool = WorkerPool::new(4);
+    let cache = TraceCache::new();
+    let batch_embeds = embed_batch(&host_program(), &embedder, &jobs, &pool, &cache).unwrap();
+    let rec_jobs: Vec<RecognizeJob> = batch_embeds
+        .iter()
+        .map(|o| RecognizeJob::try_from(o).unwrap())
+        .collect();
+    let batch_recs = recognize_batch(&rec_jobs, &recognizer, &pool);
+
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let control = Capture::default();
+    drive(&server, &control, &[open_line("acme")]);
+
+    // Two clients embed disjoint halves concurrently — each scoped
+    // thread runs `serve_lines`, exactly what the accept loop runs per
+    // socket connection, with its own response writer.
+    let half_a: Vec<&EmbedJobSpec> = jobs.iter().step_by(2).collect();
+    let half_b: Vec<&EmbedJobSpec> = jobs.iter().skip(1).step_by(2).collect();
+    let embed_lines = |half: &[&EmbedJobSpec]| -> Vec<String> {
+        half.iter()
+            .map(|j| embed_line("acme", &j.job_id, &host_path, &marked_dir))
+            .collect()
+    };
+    let expect_ids = |half: &[&EmbedJobSpec]| -> Vec<String> {
+        let mut ids: Vec<String> = half.iter().map(|j| j.job_id.clone()).collect();
+        ids.sort();
+        ids
+    };
+    // Each connection's responses carry exactly its own job_ids — that
+    // is how clients correlate answers on a shared daemon.
+    let answered_ids = |capture: &Capture, op: &str| -> Vec<String> {
+        let mut ids: Vec<String> = capture
+            .lines()
+            .iter()
+            .map(|l| {
+                assert_eq!(Capture::field(l, "op"), op, "{l}");
+                assert_eq!(Capture::field(l, "status"), "ok", "{l}");
+                assert_eq!(Capture::field(l, "disposition"), "fresh", "{l}");
+                Capture::field(l, "job_id")
+            })
+            .collect();
+        ids.sort();
+        ids
+    };
+    let (lines_a, lines_b) = (embed_lines(&half_a), embed_lines(&half_b));
+    let (capture_a, capture_b) = (Capture::default(), Capture::default());
+    std::thread::scope(|scope| {
+        scope.spawn(|| drive(&server, &capture_a, &lines_a));
+        scope.spawn(|| drive(&server, &capture_b, &lines_b));
+    });
+    assert_eq!(answered_ids(&capture_a, "embed"), expect_ids(&half_a));
+    assert_eq!(answered_ids(&capture_b, "embed"), expect_ids(&half_b));
+
+    // Both EOF drains settled, so the copies are on disk: the clients
+    // now recognize concurrently, each scanning the *other's* copies.
+    let rec_lines = |half: &[&EmbedJobSpec]| -> Vec<String> {
+        half.iter()
+            .map(|j| {
+                recognize_line(
+                    "acme",
+                    (*j).clone(),
+                    &format!("{marked_dir}/{}.pmvm", j.job_id),
+                )
+            })
+            .collect()
+    };
+    let (lines_a, lines_b) = (rec_lines(&half_b), rec_lines(&half_a));
+    let (capture_a, capture_b) = (Capture::default(), Capture::default());
+    std::thread::scope(|scope| {
+        scope.spawn(|| drive(&server, &capture_a, &lines_a));
+        scope.spawn(|| drive(&server, &capture_b, &lines_b));
+    });
+    assert_eq!(answered_ids(&capture_a, "recognize"), expect_ids(&half_b));
+    assert_eq!(answered_ids(&capture_b, "recognize"), expect_ids(&half_a));
+    drive(&server, &control, &["{\"op\":\"shutdown\"}".to_string()]);
+
+    // Finalized reports equal the batch engine's, modulo wall_ms and
+    // acceptance order; the marked programs match byte for byte.
+    let prefix = dir.join("journal/serve");
+    let serve_embeds = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    let serve_recs = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.recognize.jsonl")).unwrap(),
+    )
+    .unwrap();
+    let batch_embed_reports: Vec<JobReport> =
+        batch_embeds.iter().map(|o| o.report.clone()).collect();
+    let batch_rec_reports: Vec<JobReport> = batch_recs.iter().map(|o| o.report.clone()).collect();
+    assert_eq!(sorted_normalized(&serve_embeds), sorted_normalized(&batch_embed_reports));
+    assert_eq!(sorted_normalized(&serve_recs), sorted_normalized(&batch_rec_reports));
+    for (job, outcome) in jobs.iter().zip(&batch_embeds) {
+        let served = std::fs::read(format!("{marked_dir}/{}.pmvm", job.job_id)).unwrap();
+        assert_eq!(
+            served,
+            encode_program(outcome.marked.as_ref().unwrap()),
+            "{}",
+            job.job_id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn a_stalled_client_does_not_block_another_clients_ping() {
+    let dir = temp_dir("stall");
+    let sock = dir.join("daemon.sock");
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_unix(&sock));
+        // Client 1 stalls mid-line: the daemon's reader for this
+        // connection blocks inside its line read and stays there.
+        let mut stalled = connect_when_up(&sock);
+        stalled.write_all(b"{\"op\":\"ping\"").unwrap();
+        stalled.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Client 2's ping round-trips while client 1 is mid-read. The
+        // read timeout bounds the test; a one-client-at-a-time accept
+        // loop would never even accept this connection.
+        let ping = connect_when_up(&sock);
+        ping.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut requests = ping.try_clone().unwrap();
+        let mut responses = BufReader::new(ping);
+        requests.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        responses.read_line(&mut line).unwrap();
+        assert_eq!(Capture::field(line.trim(), "op"), "ping");
+        assert_eq!(Capture::field(line.trim(), "status"), "ok");
+
+        // Shutdown over client 2: the daemon severs the stalled
+        // connection instead of waiting forever for its line to finish.
+        requests.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        responses.read_line(&mut line).unwrap();
+        assert_eq!(Capture::field(line.trim(), "op"), "shutdown");
+        stalled
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let severed = stalled.read(&mut buf);
+        assert!(
+            matches!(severed, Ok(0) | Err(_)),
+            "the stalled connection is severed on shutdown: {severed:?}"
+        );
+        daemon.join().unwrap().unwrap();
+    });
+    assert!(!sock.exists(), "a clean exit removes the socket file");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_flooding_tenant_is_shed_on_fairness_while_its_peer_keeps_its_slot() {
+    let dir = temp_dir("fairness");
+    let host_path = write_host(&dir);
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let sink = Arc::new(MemorySink::new());
+    let mut options = ServeOptions::new(dir.join("journal/serve"));
+    options.workers = 1;
+    options.max_inflight = 4;
+    options.telemetry = Telemetry::new(sink.clone());
+    let server = Server::new(options).unwrap();
+    let capture = Capture::default();
+
+    // Warm-up: tenant B embeds one copy (settled by the EOF drain), so
+    // the flood batch has something for B to scan.
+    drive(
+        &server,
+        &capture,
+        &[
+            open_line("tenant-b"),
+            open_line("tenant-a"),
+            embed_line("tenant-b", "warm-b", &host_path, &marked_dir),
+        ],
+    );
+
+    // The flood: B submits one scan, then A bursts eight embeds. With
+    // four slots and two active tenants, A's fair share is two — the
+    // burst sheds with scope `tenant` while the gate still has global
+    // room, and B's slot is never at risk. (The single worker keeps
+    // B's scan in flight across the whole dispatch burst, so the
+    // outcome is deterministic.)
+    let b_scan = EmbedJobSpec {
+        job_id: "b-scan".to_string(),
+        watermark_hex: None,
+        seed: Some(EmbedJobSpec::new("warm-b").effective_seed(SEED)),
+    };
+    let a_jobs: Vec<String> = (0..8)
+        .map(|i| embed_line("tenant-a", &format!("a-{i:03}"), &host_path, &marked_dir))
+        .collect();
+    let mut flood = vec![recognize_line(
+        "tenant-b",
+        b_scan,
+        &format!("{marked_dir}/warm-b.pmvm"),
+    )];
+    flood.extend(a_jobs.clone());
+    let responses = drive(&server, &capture, &flood);
+    let scopes: Vec<String> = responses
+        .iter()
+        .filter(|r| Capture::field(r, "status") == "shed")
+        .map(|r| Capture::field(r, "scope"))
+        .collect();
+    assert!(
+        !scopes.is_empty(),
+        "the burst overruns A's fair share: {responses:?}"
+    );
+    assert!(
+        scopes.iter().all(|s| s == "tenant"),
+        "fairness fires with global room to spare — no capacity sheds: {responses:?}"
+    );
+    let b_response = responses
+        .iter()
+        .find(|r| Capture::field(r, "job_id") == "b-scan")
+        .unwrap();
+    assert_eq!(
+        Capture::field(b_response, "status"),
+        "ok",
+        "B's scan is untouched by A's flood"
+    );
+    let tenant_shed = scopes.len() as u64;
+    assert_eq!(sink.counter(Counter::TenantShed), tenant_shed);
+    let responses = drive(&server, &capture, &["{\"op\":\"stats\"}".to_string()]);
+    assert_eq!(
+        Capture::field(&responses[0], "tenant_shed").parse::<u64>().unwrap(),
+        tenant_shed
+    );
+    assert_eq!(
+        Capture::field(&responses[0], "shed"),
+        "0",
+        "the flood never hit the global ceiling"
+    );
+
+    // Shed means not-accepted: A backs off and resubmits what was shed
+    // until everything settles (solo resubmission can legitimately hit
+    // the global ceiling now that A is the only active tenant).
+    let mut pending = a_jobs;
+    loop {
+        let responses = drive(&server, &capture, &pending);
+        let shed_ids: Vec<String> = responses
+            .iter()
+            .filter(|r| Capture::field(r, "status") == "shed")
+            .map(|r| Capture::field(r, "job_id"))
+            .collect();
+        if shed_ids.is_empty() {
+            break;
+        }
+        pending.retain(|line| {
+            shed_ids
+                .iter()
+                .any(|id| line.contains(&format!("\"job_id\":\"{id}\"")))
+        });
+    }
+    drive(&server, &capture, &["{\"op\":\"shutdown\"}".to_string()]);
+    let embeds = parse_report(
+        &std::fs::read_to_string(dir.join("journal/serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(embeds.len(), 9, "warm-b plus all eight a-jobs settled");
+    assert!(embeds.iter().all(|r| r.status.is_ok()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crash_with_two_writers_and_a_rotated_journal_resumes_bit_identically() {
+    let dir = temp_dir("crash2");
+    let host_path = write_host(&dir);
+    let jobs: Vec<EmbedJobSpec> = (0..7)
+        .map(|i| EmbedJobSpec::new(format!("copy-{i:03}")))
+        .collect();
+
+    // The reference: the batch engine over the same seven jobs.
+    let embedder = Embedder::builder(serve_key(), serve_config()).build().unwrap();
+    let pool = WorkerPool::new(4);
+    let cache = TraceCache::new();
+    let batch_embeds = embed_batch(&host_program(), &embedder, &jobs, &pool, &cache).unwrap();
+    let batch_reports: Vec<JobReport> = batch_embeds.iter().map(|o| o.report.clone()).collect();
+
+    // The crash run: a byte-capped journal rotates under two concurrent
+    // writer connections; jobs 0-5 settle, then the daemon dies with
+    // job 6 accepted (intent journaled) but never run, plus a torn
+    // trailing line from the kill.
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let prefix = dir.join("crash/serve");
+    {
+        let mut options = ServeOptions::new(&prefix);
+        options.journal_max_bytes = Some(256);
+        let server = Server::new(options).unwrap();
+        let control = Capture::default();
+        drive(&server, &control, &[open_line("acme")]);
+        let embed_lines = |half: &[EmbedJobSpec]| -> Vec<String> {
+            half.iter()
+                .map(|j| embed_line("acme", &j.job_id, &host_path, &marked_dir))
+                .collect()
+        };
+        let (lines_a, lines_b) = (embed_lines(&jobs[..3]), embed_lines(&jobs[3..6]));
+        let (capture_a, capture_b) = (Capture::default(), Capture::default());
+        std::thread::scope(|scope| {
+            scope.spawn(|| drive(&server, &capture_a, &lines_a));
+            scope.spawn(|| drive(&server, &capture_b, &lines_b));
+        });
+        let responses = drive(&server, &control, &["{\"op\":\"stats\"}".to_string()]);
+        assert!(
+            Capture::field(&responses[0], "journal_rotations")
+                .parse::<u64>()
+                .unwrap()
+                >= 1,
+            "the byte cap forced rotation while both writers were live"
+        );
+        // No shutdown, no finish: dropping the server is the crash.
+    }
+    let compact = prefix.with_file_name("serve.intents.compact.jsonl");
+    assert!(compact.exists(), "rotation left a compacted segment behind");
+    let intents = prefix.with_file_name("serve.intents.jsonl");
+    let mut text = std::fs::read_to_string(&intents).unwrap();
+    text.push_str(&embed_line("acme", "copy-006", &host_path, &marked_dir));
+    text.push('\n');
+    text.push_str("{\"op\":\"embed\",\"tenant\":\"acme\",\"job_id\":\"to");
+    std::fs::write(&intents, &text).unwrap();
+
+    // Restart with --resume: replay reads the compacted segment, then
+    // the live tail — the six settled jobs answer from the journal, the
+    // pending seventh runs before the first client line, and the torn
+    // tail is dropped.
+    let mut options = ServeOptions::new(&prefix);
+    options.resume = true;
+    let server = Server::new(options).unwrap();
+    let capture = Capture::default();
+    let mut batch = vec![open_line("acme")];
+    batch.extend(jobs.iter().map(|j| embed_line("acme", &j.job_id, &host_path, &marked_dir)));
+    batch.push("{\"op\":\"shutdown\"}".to_string());
+    let responses = drive(&server, &capture, &batch);
+    for line in &responses[1..8] {
+        assert_eq!(
+            Capture::field(line, "disposition"),
+            "resumed",
+            "a resubmitted settled job is answered from the journal: {line}"
+        );
+    }
+
+    let resumed = parse_report(
+        &std::fs::read_to_string(prefix.with_file_name("serve.embed.jsonl")).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(resumed.len(), 7);
+    assert_eq!(sorted_normalized(&resumed), sorted_normalized(&batch_reports));
+    assert!(
+        !intents.exists() && !compact.exists(),
+        "finalize retires every journal segment"
+    );
+    for (job, outcome) in jobs.iter().zip(&batch_embeds) {
+        let served = std::fs::read(format!("{marked_dir}/{}.pmvm", job.job_id)).unwrap();
+        assert_eq!(
+            served,
+            encode_program(outcome.marked.as_ref().unwrap()),
+            "{}",
+            job.job_id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn startup_reclaims_stale_sockets_but_refuses_live_daemons() {
+    let dir = temp_dir("stale");
+    let sock = dir.join("daemon.sock");
+    // A stale socket: a daemon that died without cleanup leaves the
+    // path bound to nothing. Startup probes it, gets no answer, and
+    // reclaims it.
+    drop(std::os::unix::net::UnixListener::bind(&sock).unwrap());
+    assert!(sock.exists(), "the dead listener's socket file lingers");
+    let server = Server::new(ServeOptions::new(dir.join("first/serve"))).unwrap();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_unix(&sock));
+        drop(connect_when_up(&sock));
+        // A live daemon on the path: a second daemon must refuse to
+        // start instead of stealing the socket out from under it.
+        let second = Server::new(ServeOptions::new(dir.join("second/serve"))).unwrap();
+        let err = second.serve_unix(&sock).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+        second.finish();
+
+        let shutdown = connect_when_up(&sock);
+        shutdown
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut requests = shutdown.try_clone().unwrap();
+        requests.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(shutdown).read_line(&mut line).unwrap();
+        assert_eq!(Capture::field(line.trim(), "op"), "shutdown");
+        daemon.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_poisoned_response_writer_is_recovered_not_fatal() {
+    let dir = temp_dir("poison");
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let capture = Capture::default();
+    let out = shared_writer(Box::new(capture.clone()));
+    // Poison the writer lock the way a panicking worker would: die
+    // while holding it.
+    {
+        let out = out.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = out.lock();
+            panic!("die holding the response lock");
+        })
+        .join();
+    }
+    assert!(out.lock().is_err(), "the lock is poisoned");
+    let input = "{\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\n";
+    server
+        .serve_lines(Cursor::new(input.as_bytes().to_vec()), &out)
+        .unwrap();
+    let lines = capture.lines();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert_eq!(Capture::field(&lines[0], "op"), "ping");
+    assert_eq!(Capture::field(&lines[0], "status"), "ok");
+    assert_eq!(Capture::field(&lines[1], "op"), "shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "tcp")]
+#[test]
+fn tcp_transport_round_trips_and_shuts_down() {
+    let dir = temp_dir("tcp");
+    let host_path = write_host(&dir);
+    let marked_dir = dir.join("marked").to_str().unwrap().to_string();
+    let server = Server::new(ServeOptions::new(dir.join("journal/serve"))).unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve_tcp_listener(listener));
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut requests = client.try_clone().unwrap();
+        let mut responses = BufReader::new(client);
+        for request in [
+            open_line("acme"),
+            embed_line("acme", "copy-000", &host_path, &marked_dir),
+        ] {
+            requests.write_all(request.as_bytes()).unwrap();
+            requests.write_all(b"\n").unwrap();
+        }
+        let mut line = String::new();
+        for _ in 0..2 {
+            line.clear();
+            responses.read_line(&mut line).unwrap();
+            assert_eq!(Capture::field(line.trim(), "status"), "ok", "{line}");
+        }
+        requests.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        responses.read_line(&mut line).unwrap();
+        assert_eq!(Capture::field(line.trim(), "op"), "shutdown");
+        daemon.join().unwrap().unwrap();
+    });
+    assert!(dir.join("marked/copy-000.pmvm").exists());
     let _ = std::fs::remove_dir_all(&dir);
 }
