@@ -34,7 +34,7 @@ use pathmark_fleet::pool::WorkerPool;
 use pathmark_fleet::shard::recognize_program_sharded;
 use pathmark_telemetry::{Counter, MemorySink, Stage, Telemetry};
 use pathmark_workloads::java as workloads;
-use stackvm::Program;
+use stackvm::{ExecTier, Program};
 
 use crate::setup;
 
@@ -44,6 +44,13 @@ use crate::setup;
 /// time workers spent inside shard closures. Comparing `queue_wait`
 /// across worker counts is how the sharded-8-slower-than-sharded-4
 /// cliff shows up as contention rather than as a mystery.
+/// The serial tier ladder, slowest engine first.
+const TIERS: [ExecTier; 3] = [
+    ExecTier::Reference,
+    ExecTier::Predecoded,
+    ExecTier::Compiled,
+];
+
 const STAGES: [Stage; 8] = [
     Stage::Trace,
     Stage::Scan,
@@ -60,6 +67,9 @@ const STAGES: [Stage; 8] = [
 pub struct RecognizeRow {
     /// `serial` or `sharded`.
     pub mode: &'static str,
+    /// Execution tier the row's tracer ran (`reference` / `predecoded`
+    /// / `compiled`). Sharded rows run the default (compiled) tier.
+    pub tier: &'static str,
     /// Worker threads (1 for the serial baseline).
     pub workers: usize,
     /// Wall-clock time for the whole corpus, in milliseconds: the sum
@@ -133,6 +143,7 @@ fn corpus(copies: usize, key_input: Vec<i64>, config: &JavaConfig) -> Vec<Progra
 
 fn row(
     mode: &'static str,
+    tier: ExecTier,
     workers: usize,
     copies: usize,
     elapsed: std::time::Duration,
@@ -144,6 +155,7 @@ fn row(
     }
     RecognizeRow {
         mode,
+        tier: tier.as_str(),
         workers,
         millis: elapsed.as_secs_f64() * 1e3,
         copies_per_sec: copies as f64 / elapsed.as_secs_f64(),
@@ -160,8 +172,9 @@ fn row(
     }
 }
 
-/// Measures recognition throughput over the corpus; serial baseline
-/// first, then one sharded row per worker count.
+/// Measures recognition throughput over the corpus; one serial
+/// baseline per execution tier (reference, predecoded, compiled —
+/// slowest engine first), then one sharded row per worker count.
 ///
 /// Each copy is timed individually, the sweep repeats `reps` times with
 /// the rows **interleaved** (serial, sharded×N, serial, sharded×N, …),
@@ -177,25 +190,50 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
     let config = JavaConfig::for_watermark_bits(128).with_pieces(30);
     let programs = corpus(copies, key.input.clone(), &config);
 
-    // Warm-up pass: fault in the whole corpus and both code paths
-    // before any timing starts.
+    // Warm-up pass: fault in the whole corpus and every code path
+    // before any timing starts — and hold the tiers to the paper's
+    // contract: all three engines recognize every copy identically.
     {
         let session = Recognizer::builder(key.clone(), config.clone())
             .build()
             .expect("bench key/config are sound");
         let pool = WorkerPool::new(2);
+        let tiers: Vec<Recognizer> = TIERS
+            .iter()
+            .map(|&tier| {
+                Recognizer::builder(key.clone(), config.clone())
+                    .exec_tier(tier)
+                    .build()
+                    .expect("bench key/config are sound")
+            })
+            .collect();
         for program in &programs {
             let rec = session.recognize(program).expect("recognizes");
             assert!(rec.watermark.is_some(), "corpus must carry its marks");
             let sharded =
                 recognize_program_sharded(program, &session, 2, &pool).expect("recognizes");
             assert_eq!(sharded, rec, "sharded scan must stay bit-identical");
+            for tiered in &tiers {
+                let got = tiered.recognize(program).expect("recognizes");
+                assert_eq!(
+                    got,
+                    rec,
+                    "tier {} must stay bit-identical",
+                    tiered.exec_tier()
+                );
+            }
         }
     }
 
-    // (mode, workers): serial baseline first, then the sharded grid.
-    let mut specs: Vec<(&'static str, usize)> = vec![("serial", 1)];
-    specs.extend(worker_counts.iter().map(|&w| ("sharded", w)));
+    // (mode, tier, workers): the serial tier ladder first, then the
+    // sharded grid on the default (compiled) tier.
+    let mut specs: Vec<(&'static str, ExecTier, usize)> =
+        TIERS.iter().map(|&tier| ("serial", tier, 1)).collect();
+    specs.extend(
+        worker_counts
+            .iter()
+            .map(|&w| ("sharded", ExecTier::default(), w)),
+    );
 
     // best_copy[slot][c]: fastest observed time for copy `c` in mode
     // `slot`. best_rep[slot]: (rep wall, sink) of the fastest whole rep
@@ -204,7 +242,7 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
     let mut best_rep: Vec<Option<(std::time::Duration, Arc<MemorySink>)>> =
         vec![None; specs.len()];
     for _ in 0..reps.max(1) {
-        for (slot, &(mode, workers)) in specs.iter().enumerate() {
+        for (slot, &(mode, tier, workers)) in specs.iter().enumerate() {
             let sink = Arc::new(MemorySink::new());
             // Session/pool setup is untimed for the sharded rows — the
             // whole point of a warm session is that it is built once.
@@ -214,6 +252,7 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
             let warm = (mode != "serial").then(|| {
                 let session = Recognizer::builder(key.clone(), config.clone())
                     .telemetry(Telemetry::new(sink.clone()))
+                    .exec_tier(tier)
                     .build()
                     .expect("bench key/config are sound");
                 // The pool shares the row's sink so queue-wait and
@@ -228,6 +267,7 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
                 let rec = match &warm {
                     None => Recognizer::builder(key.clone(), config.clone())
                         .telemetry(Telemetry::new(sink.clone()))
+                        .exec_tier(tier)
                         .build()
                         .expect("bench key/config are sound")
                         .recognize(program)
@@ -254,10 +294,10 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
     specs
         .iter()
         .enumerate()
-        .map(|(slot, &(mode, workers))| {
+        .map(|(slot, &(mode, tier, workers))| {
             let wall = best_copy[slot].iter().sum();
             let (_, sink) = best_rep[slot].take().expect("reps >= 1 fills every slot");
-            row(mode, workers, copies, wall, &sink)
+            row(mode, tier, workers, copies, wall, &sink)
         })
         .collect()
 }
@@ -292,8 +332,8 @@ pub fn render(bench: &RecognizeBench) -> String {
     );
     let _ = write!(
         out,
-        "\n{:<8} {:>8} {:>10} {:>10}",
-        "mode", "workers", "wall ms", "copies/s"
+        "\n{:<8} {:<10} {:>8} {:>10} {:>10}",
+        "mode", "tier", "workers", "wall ms", "copies/s"
     );
     for stage in STAGES {
         let _ = write!(out, " {:>9}", stage.as_str());
@@ -306,8 +346,8 @@ pub fn render(bench: &RecognizeBench) -> String {
     for r in &bench.rows {
         let _ = write!(
             out,
-            "{:<8} {:>8} {:>10.1} {:>10.1}",
-            r.mode, r.workers, r.millis, r.copies_per_sec
+            "{:<8} {:<10} {:>8} {:>10.1} {:>10.1}",
+            r.mode, r.tier, r.workers, r.millis, r.copies_per_sec
         );
         for ms in r.stage_ms {
             let _ = write!(out, " {:>9.2}", ms);
@@ -348,11 +388,13 @@ pub fn to_json(bench: &RecognizeBench, generated_unix: u64) -> String {
             let (scanned, skipped, decrypted) = r.windows;
             let (jobs, merges) = r.pool;
             format!(
-                "{{\"mode\":\"{}\",\"workers\":{},\"wall_ms\":{:.3},\"copies_per_sec\":{:.3},\
+                "{{\"mode\":\"{}\",\"tier\":\"{}\",\"workers\":{},\"wall_ms\":{:.3},\
+                 \"copies_per_sec\":{:.3},\
                  \"skip_rate\":{:.4},\"decrypts_per_copy\":{:.1},\
                  \"stages\":{{{}}},\"windows\":{{\"scanned\":{},\"skipped\":{},\"decrypted\":{}}},\
                  \"pool\":{{\"jobs\":{},\"merges\":{}}}}}",
                 r.mode,
+                r.tier,
                 r.workers,
                 r.millis,
                 r.copies_per_sec,
@@ -392,6 +434,7 @@ mod tests {
             copies: 8,
             rows: vec![RecognizeRow {
                 mode: "serial",
+                tier: "compiled",
                 workers: 1,
                 millis: 20.5,
                 copies_per_sec: 390.2,
@@ -402,6 +445,10 @@ mod tests {
         };
         let json = to_json(&bench, 1_700_000_000);
         assert!(json.starts_with("{\"bench\":\"recognize\",\"quick\":true,\"copies\":8,"));
+        assert!(
+            json.contains("\"mode\":\"serial\",\"tier\":\"compiled\",\"workers\":1"),
+            "{json}"
+        );
         assert!(json.contains("\"generated_unix\":1700000000"), "{json}");
         assert!(
             json.contains("\"skip_rate\":0.9000,\"decrypts_per_copy\":1250.0"),
@@ -430,17 +477,21 @@ mod tests {
         // the same code path (corpus embed, warm-up equivalence
         // asserts, per-copy timing, row construction).
         let rows = measure(2, &[2], 1);
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 4, "three serial tiers plus one sharded row");
         assert_eq!(rows[0].mode, "serial");
-        assert_eq!(rows[1].mode, "sharded");
-        assert_eq!(rows[1].workers, 2);
+        assert_eq!(rows[0].tier, "reference");
+        assert_eq!(rows[1].tier, "predecoded");
+        assert_eq!(rows[2].tier, "compiled");
+        assert_eq!(rows[3].mode, "sharded");
+        assert_eq!(rows[3].tier, "compiled");
+        assert_eq!(rows[3].workers, 2);
         for r in &rows {
             assert!(r.millis > 0.0);
             assert!(r.copies_per_sec > 0.0);
             assert!(r.windows.0 > 0, "windows must be scanned");
         }
         assert_eq!(rows[0].pool, (0, 0), "serial rows never touch the pool");
-        let (jobs, merges) = rows[1].pool;
+        let (jobs, merges) = rows[3].pool;
         assert!(jobs > 0, "sharded rows must run pool jobs");
         assert!(merges > 0, "sharded rows must merge shard results");
         let table = render(&RecognizeBench {

@@ -30,7 +30,7 @@ use stackvm::insn::{BinOp, Cond, Insn};
 use stackvm::trace::{Site, Trace, TraceConfig};
 use stackvm::Program;
 
-use super::{trace_program, CodegenPolicy, Embedder, JavaConfig};
+use super::{CodegenPolicy, Embedder, JavaConfig};
 use crate::key::{Watermark, WatermarkKey};
 use crate::WatermarkError;
 
@@ -93,7 +93,8 @@ pub fn embed(
 /// This is the batch-fingerprinting entry point: tracing is the only
 /// embedding step that executes the program, so a fleet embedding N
 /// distinct watermarks into the same program can run
-/// [`trace_program`] once (with [`TraceConfig::full`]) and share the
+/// [`trace_program`](super::trace_program) once (with
+/// [`TraceConfig::full`]) and share the
 /// immutable trace across all N jobs. `embed` is exactly
 /// `embed_with_trace(program, …, &trace_program(program, …)?)`, so the
 /// two paths produce byte-identical marked programs.
@@ -125,8 +126,17 @@ impl Embedder {
     /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
     /// the budget.
     pub fn trace(&self, program: &Program) -> Result<Trace, WatermarkError> {
+        // Full recording needs the leader bitmap, so a compiled-tier
+        // session runs the predecoded engine here by design (no
+        // fallback counter — nothing was declined).
         self.telemetry.time(Stage::Trace, || {
-            trace_program(program, &self.key, &self.config, TraceConfig::full())
+            super::trace_program_tiered(
+                program,
+                &self.key,
+                &self.config,
+                TraceConfig::full(),
+                self.exec_tier,
+            )
         })
     }
 

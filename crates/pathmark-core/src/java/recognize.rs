@@ -27,8 +27,11 @@ use pathmark_telemetry::{Counter, Stage};
 use stackvm::trace::{Trace, TraceConfig};
 use stackvm::Program;
 
-use super::{trace_program, JavaConfig, Recognizer};
-use crate::bitstring::BitString;
+use stackvm::interp::Vm;
+use stackvm::ExecTier;
+
+use super::{trace_program_tiered, JavaConfig, Recognizer};
+use crate::bitstring::{BitString, PackedTraceSink};
 use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
 use crate::scan::Survivors;
@@ -259,7 +262,13 @@ impl Recognizer {
     /// the budget.
     pub fn trace(&self, program: &Program) -> Result<Trace, WatermarkError> {
         self.telemetry.time(Stage::Trace, || {
-            trace_program(program, &self.key, &self.config, TraceConfig::branches_only())
+            trace_program_tiered(
+                program,
+                &self.key,
+                &self.config,
+                TraceConfig::branches_only(),
+                self.exec_tier,
+            )
         })
     }
 
@@ -267,16 +276,32 @@ impl Recognizer {
     /// streaming sink (see [`super::trace_program_bits`]): no
     /// `Vec<TraceEvent>` is materialized and no separate decode pass
     /// runs. Bit-identical to [`Recognizer::trace`] +
-    /// [`BitString::from_trace`]. Reported to telemetry as
-    /// [`Stage::Trace`].
+    /// [`BitString::from_trace`].
+    ///
+    /// Runs on the session's [`ExecTier`] (default compiled). The
+    /// compile step is reported to telemetry as [`Stage::Compile`] and
+    /// the execution as [`Stage::Trace`]; a compiled-tier session whose
+    /// program exceeds the compile budget silently runs the predecoded
+    /// engine and bumps [`Counter::CompileFallback`].
     ///
     /// # Errors
     ///
     /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
     /// the budget.
     pub fn trace_bits(&self, program: &Program) -> Result<BitString, WatermarkError> {
+        let vm = Vm::new(program)
+            .with_input(self.key.input.clone())
+            .with_budget(self.config.trace_budget)
+            .with_trace(TraceConfig::branches_only())
+            .with_exec_tier(self.exec_tier);
+        let compiled_active = self.telemetry.time(Stage::Compile, || vm.prepare());
+        if self.exec_tier == ExecTier::Compiled && !compiled_active {
+            self.telemetry.count(Counter::CompileFallback, 1);
+        }
         self.telemetry.time(Stage::Trace, || {
-            super::trace_program_bits(program, &self.key, &self.config)
+            let mut sink = PackedTraceSink::for_program(program);
+            vm.run_with_sink(&mut sink)?;
+            Ok(sink.finish())
         })
     }
 

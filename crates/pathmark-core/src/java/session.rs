@@ -55,6 +55,7 @@ use pathmark_crypto::Xtea;
 use pathmark_math::crt::Statement;
 use pathmark_math::enumeration::PairEnumeration;
 use pathmark_telemetry::Telemetry;
+use stackvm::ExecTier;
 
 use super::JavaConfig;
 use crate::hash::FxBuildHasher;
@@ -190,6 +191,7 @@ pub struct Embedder {
     pub(crate) telemetry: Telemetry,
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
     pub(crate) decode_cache_cap: usize,
+    pub(crate) exec_tier: ExecTier,
 }
 
 /// A recognition session: the mirror image of [`Embedder`].
@@ -200,6 +202,7 @@ pub struct Recognizer {
     pub(crate) telemetry: Telemetry,
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
     pub(crate) decode_cache_cap: usize,
+    pub(crate) exec_tier: ExecTier,
 }
 
 /// Shared validation for both session builders.
@@ -220,6 +223,7 @@ macro_rules! session_impl {
                     config,
                     telemetry: Telemetry::null(),
                     decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
+                    exec_tier: ExecTier::default(),
                 }
             }
 
@@ -237,6 +241,7 @@ macro_rules! session_impl {
                     telemetry: Telemetry::null(),
                     crypto,
                     decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
+                    exec_tier: ExecTier::default(),
                 }
             }
 
@@ -257,6 +262,11 @@ macro_rules! session_impl {
             /// The session's decode-cache ceiling, in entries.
             pub fn decode_cache_cap(&self) -> usize {
                 self.decode_cache_cap
+            }
+
+            /// The execution tier the session's tracing runs on.
+            pub fn exec_tier(&self) -> ExecTier {
+                self.exec_tier
             }
 
             /// Decode-cache statistics of the session's shared crypto
@@ -313,6 +323,7 @@ macro_rules! session_impl {
                     telemetry: self.telemetry.clone(),
                     crypto,
                     decode_cache_cap: self.decode_cache_cap,
+                    exec_tier: self.exec_tier,
                 }
             }
         }
@@ -324,6 +335,7 @@ macro_rules! session_impl {
             config: JavaConfig,
             telemetry: Telemetry,
             decode_cache_cap: usize,
+            exec_tier: ExecTier,
         }
 
         impl $builder {
@@ -342,6 +354,15 @@ macro_rules! session_impl {
             /// disables decode memoization entirely.
             pub fn decode_cache_cap(mut self, cap: usize) -> $builder {
                 self.decode_cache_cap = cap;
+                self
+            }
+
+            /// Selects the execution tier tracing runs on (default
+            /// [`ExecTier::Compiled`], which silently falls back to the
+            /// predecoded engine when the configuration or program
+            /// demands it — see [`stackvm::interp::Vm::prepare`]).
+            pub fn exec_tier(mut self, tier: ExecTier) -> $builder {
+                self.exec_tier = tier;
                 self
             }
 
@@ -366,6 +387,7 @@ macro_rules! session_impl {
                     telemetry: self.telemetry,
                     crypto,
                     decode_cache_cap: self.decode_cache_cap,
+                    exec_tier: self.exec_tier,
                 })
             }
         }
@@ -462,6 +484,31 @@ mod tests {
         // The default is the documented constant.
         let default = Embedder::builder(key(), config).build().unwrap();
         assert_eq!(default.decode_cache_cap(), DEFAULT_DECODE_CACHE_CAP);
+    }
+
+    #[test]
+    fn exec_tier_is_configurable_and_inherited_by_with_key() {
+        use stackvm::ExecTier;
+
+        let config = JavaConfig::for_watermark_bits(64);
+        // The compile tier is the default for new sessions.
+        let session = Recognizer::builder(key(), config.clone()).build().unwrap();
+        assert_eq!(session.exec_tier(), ExecTier::Compiled);
+
+        let reference = Recognizer::builder(key(), config.clone())
+            .exec_tier(ExecTier::Reference)
+            .build()
+            .unwrap();
+        assert_eq!(reference.exec_tier(), ExecTier::Reference);
+        // Per-copy sessions keep the base session's tier.
+        let derived = reference.with_key(WatermarkKey::new(99, vec![1, 2]));
+        assert_eq!(derived.exec_tier(), ExecTier::Reference);
+
+        let embedder = Embedder::builder(key(), config)
+            .exec_tier(ExecTier::Predecoded)
+            .build()
+            .unwrap();
+        assert_eq!(embedder.exec_tier(), ExecTier::Predecoded);
     }
 
     #[test]

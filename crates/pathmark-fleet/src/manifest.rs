@@ -282,11 +282,21 @@ pub fn parse_report(text: &str) -> Result<Vec<JobReport>, String> {
 /// [`ReportWriter::resume`] reopens the sidecar after a crash and
 /// returns the outcomes already on disk (dropping a torn trailing
 /// line), so a resumed run skips exactly the jobs that finished.
+///
+/// Long-lived writers (the serve daemon) can cap the sidecar with
+/// [`ReportWriter::compact`]: settled outcomes are folded into a
+/// rename-atomic `<path>.compact` segment and the `.partial` file
+/// truncated, bounding its growth the same way the daemon's intents
+/// journal is bounded. `resume` reads the segment before the sidecar,
+/// so a compacted history survives a crash intact.
 #[derive(Debug)]
 pub struct ReportWriter {
     file: std::fs::File,
     partial: PathBuf,
     target: PathBuf,
+    /// Bytes appended to the partial sidecar since the last
+    /// compaction (or since create/resume).
+    partial_bytes: u64,
 }
 
 impl ReportWriter {
@@ -299,19 +309,23 @@ impl ReportWriter {
     pub fn create(path: impl Into<PathBuf>) -> std::io::Result<ReportWriter> {
         let target = path.into();
         let partial = partial_path(&target);
+        let _ = std::fs::remove_file(compact_path(&target));
         let file = std::fs::File::create(&partial)?;
         Ok(ReportWriter {
             file,
             partial,
             target,
+            partial_bytes: 0,
         })
     }
 
     /// Resumes a crashed run targeting `path`: returns the writer plus
-    /// every outcome already recorded — the valid prefix of the partial
-    /// sidecar if one exists (a torn trailing line is discarded and
-    /// truncated away), else the finalized report if the previous run
-    /// completed, else nothing.
+    /// every outcome already recorded — the compacted segment (if one
+    /// exists) followed by the valid prefix of the partial sidecar (a
+    /// torn trailing line is discarded and truncated away), else the
+    /// finalized report if the previous run completed, else nothing.
+    /// The segment is folded back into the rewritten sidecar and
+    /// removed, so a resumed writer starts from one clean file.
     ///
     /// # Errors
     ///
@@ -319,28 +333,46 @@ impl ReportWriter {
     pub fn resume(path: impl Into<PathBuf>) -> std::io::Result<(ReportWriter, Vec<JobReport>)> {
         let target = path.into();
         let partial = partial_path(&target);
-        let recorded = if partial.exists() {
-            valid_prefix(&std::fs::read_to_string(&partial)?)
+        let compact = compact_path(&target);
+        let recorded = if compact.exists() || partial.exists() {
+            // Segment first (it holds the older outcomes), then the
+            // live sidecar; a crash between the segment rename and the
+            // sidecar truncation can duplicate a job across the two, so
+            // dedup by job id, first occurrence wins.
+            let mut reports = if compact.exists() {
+                valid_prefix(&std::fs::read_to_string(&compact)?)
+            } else {
+                Vec::new()
+            };
+            if partial.exists() {
+                reports.extend(valid_prefix(&std::fs::read_to_string(&partial)?));
+            }
+            let mut seen = std::collections::HashSet::new();
+            reports.retain(|r| seen.insert(r.job_id.clone()));
+            reports
         } else if target.exists() {
             valid_prefix(&std::fs::read_to_string(&target)?)
         } else {
             Vec::new()
         };
         // Rewrite the sidecar from the parsed reports: this drops a torn
-        // trailing line and carries finalized outcomes forward, so the
-        // sidecar is always exactly "what is done so far".
+        // trailing line, folds the compacted segment back in, and
+        // carries finalized outcomes forward, so the sidecar is always
+        // exactly "what is done so far".
         let mut text = String::new();
         for report in &recorded {
             text.push_str(&report.to_line());
             text.push('\n');
         }
         std::fs::write(&partial, &text)?;
+        let _ = std::fs::remove_file(&compact);
         let file = std::fs::OpenOptions::new().append(true).open(&partial)?;
         Ok((
             ReportWriter {
                 file,
                 partial,
                 target,
+                partial_bytes: text.len() as u64,
             },
             recorded,
         ))
@@ -356,7 +388,49 @@ impl ReportWriter {
         line.push('\n');
         // The file is unbuffered: one write_all per line IS the
         // per-line flush.
-        self.file.write_all(line.as_bytes())
+        self.file.write_all(line.as_bytes())?;
+        self.partial_bytes += line.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes currently in the partial sidecar.
+    pub fn partial_bytes(&self) -> u64 {
+        self.partial_bytes
+    }
+
+    /// Folds `settled` (every outcome recorded so far, in the caller's
+    /// canonical order) into the rename-atomic `<path>.compact` segment
+    /// and truncates the partial sidecar, resetting the byte counter.
+    /// A crash mid-compaction leaves the previous segment intact; a
+    /// crash between the rename and the truncation at worst duplicates
+    /// outcomes across segment and sidecar, which `resume` dedups.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the segment or truncating the sidecar.
+    pub fn compact(&mut self, settled: &[JobReport]) -> std::io::Result<()> {
+        let mut text = String::new();
+        for report in settled {
+            text.push_str(&report.to_line());
+            text.push('\n');
+        }
+        let compact = compact_path(&self.target);
+        let tmp = {
+            let mut name = compact.file_name().unwrap_or_default().to_os_string();
+            name.push(".tmp");
+            compact.with_file_name(name)
+        };
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &compact)?;
+        // Everything the sidecar held is durable in the segment:
+        // truncate and start appending fresh.
+        self.file = std::fs::File::create(&self.partial)?;
+        self.partial_bytes = 0;
+        Ok(())
     }
 
     /// Writes `ordered` (the complete report, in manifest order) to a
@@ -382,6 +456,7 @@ impl ReportWriter {
         // Losing the sidecar cleanup is harmless: the next create or
         // resume rewrites it.
         let _ = std::fs::remove_file(&self.partial);
+        let _ = std::fs::remove_file(compact_path(&self.target));
         Ok(())
     }
 
@@ -399,6 +474,12 @@ impl ReportWriter {
 fn partial_path(target: &Path) -> PathBuf {
     let mut name = target.file_name().unwrap_or_default().to_os_string();
     name.push(".partial");
+    target.with_file_name(name)
+}
+
+fn compact_path(target: &Path) -> PathBuf {
+    let mut name = target.file_name().unwrap_or_default().to_os_string();
+    name.push(".compact");
     target.with_file_name(name)
 }
 
@@ -624,6 +705,75 @@ mod tests {
             parse_report(&std::fs::read_to_string(writer.partial_path()).unwrap()).unwrap();
         assert_eq!(on_disk, reports, "sidecar rewritten clean, then appended");
         writer.finalize(&reports).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_bounds_the_sidecar_and_survives_resume() {
+        let dir = temp_dir("compact");
+        let target = dir.join("report.jsonl");
+        let reports: Vec<JobReport> = (0..4).map(sample_report).collect();
+
+        let mut writer = ReportWriter::create(&target).unwrap();
+        writer.append(&reports[0]).unwrap();
+        writer.append(&reports[1]).unwrap();
+        let before = writer.partial_bytes();
+        assert!(before > 0, "appends are counted");
+
+        // Fold the settled outcomes into the segment; the sidecar
+        // shrinks to zero and keeps accepting appends.
+        writer.compact(&reports[..2]).unwrap();
+        assert_eq!(writer.partial_bytes(), 0);
+        assert!(std::fs::read_to_string(writer.partial_path())
+            .unwrap()
+            .is_empty());
+        assert!(dir.join("report.jsonl.compact").exists());
+        writer.append(&reports[2]).unwrap();
+        assert!(writer.partial_bytes() < before);
+        drop(writer);
+
+        // A crashed (dropped) writer resumes with the segment's history
+        // folded back in front of the live sidecar, as one clean file.
+        let (mut writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert_eq!(recorded, reports[..3]);
+        assert!(
+            !dir.join("report.jsonl.compact").exists(),
+            "the segment is folded back into the sidecar on resume"
+        );
+        writer.append(&reports[3]).unwrap();
+
+        // Finalize cleans up segment and sidecar alike.
+        writer.finalize(&reports).unwrap();
+        assert!(!dir.join("report.jsonl.partial").exists());
+        assert!(!dir.join("report.jsonl.compact").exists());
+        let parsed = parse_report(&std::fs::read_to_string(&target).unwrap()).unwrap();
+        assert_eq!(parsed, reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_dedups_outcomes_duplicated_across_segment_and_sidecar() {
+        let dir = temp_dir("compact-dup");
+        let target = dir.join("report.jsonl");
+        let reports: Vec<JobReport> = (0..3).map(sample_report).collect();
+
+        // Simulate a crash between the segment rename and the sidecar
+        // truncation: both files hold copy-001.
+        let mut segment = String::new();
+        segment.push_str(&reports[0].to_line());
+        segment.push('\n');
+        segment.push_str(&reports[1].to_line());
+        segment.push('\n');
+        std::fs::write(dir.join("report.jsonl.compact"), &segment).unwrap();
+        let mut sidecar = String::new();
+        sidecar.push_str(&reports[1].to_line());
+        sidecar.push('\n');
+        sidecar.push_str(&reports[2].to_line());
+        sidecar.push('\n');
+        std::fs::write(dir.join("report.jsonl.partial"), &sidecar).unwrap();
+
+        let (_writer, recorded) = ReportWriter::resume(&target).unwrap();
+        assert_eq!(recorded, reports, "segment first, duplicates dropped");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -75,6 +75,8 @@ pub struct Journal {
     /// Bytes appended to the live intents file since the last rotation.
     live_bytes: u64,
     rotations: u64,
+    /// Report-sidecar compactions performed (either op).
+    report_rotations: u64,
     telemetry: Telemetry,
 }
 
@@ -136,6 +138,7 @@ impl Journal {
             max_bytes: None,
             live_bytes: 0,
             rotations: 0,
+            report_rotations: 0,
             telemetry: Telemetry::null(),
         })
     }
@@ -256,6 +259,7 @@ impl Journal {
                 max_bytes: None,
                 live_bytes: clean.len() as u64,
                 rotations: 0,
+                report_rotations: 0,
                 telemetry: Telemetry::null(),
             },
             replay,
@@ -342,6 +346,12 @@ impl Journal {
         self.rotations
     }
 
+    /// Report-sidecar compactions performed over this journal's
+    /// lifetime (both ops combined).
+    pub fn report_rotations(&self) -> u64 {
+        self.report_rotations
+    }
+
     /// Bytes currently in the live intents file.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes
@@ -362,6 +372,7 @@ impl Journal {
         let key = (op, report.job_id.clone());
         self.pending_lines.remove(&key);
         self.completed.insert(key, report.clone());
+        self.maybe_compact_reports(op)?;
         self.maybe_rotate()
     }
 
@@ -375,7 +386,40 @@ impl Journal {
     ///
     /// Whatever [`Journal::rotate`] reports.
     pub fn compact_if_oversized(&mut self) -> std::io::Result<()> {
+        self.maybe_compact_reports(Op::Embed)?;
+        self.maybe_compact_reports(Op::Recognize)?;
         self.maybe_rotate()
+    }
+
+    /// Folds one op's settled outcomes into its report's compacted
+    /// segment once the live `.partial` sidecar exceeds the same byte
+    /// cap that bounds the intents file. The segment is written in
+    /// acceptance order — the order `finalize` will use — so folding
+    /// changes nothing about the finalized report.
+    fn maybe_compact_reports(&mut self, op: Op) -> std::io::Result<()> {
+        let Some(max) = self.max_bytes else {
+            return Ok(());
+        };
+        let writer = match op {
+            Op::Embed => &mut self.embed,
+            Op::Recognize => &mut self.recognize,
+        };
+        if writer.partial_bytes() <= max {
+            return Ok(());
+        }
+        let mut settled = Vec::new();
+        for key in &self.order {
+            if key.0 != op {
+                continue;
+            }
+            if let Some(report) = self.completed.get(key) {
+                settled.push(report.clone());
+            }
+        }
+        writer.compact(&settled)?;
+        self.report_rotations += 1;
+        self.telemetry.count(Counter::ReportRotation, 1);
+        Ok(())
     }
 
     fn maybe_rotate(&mut self) -> std::io::Result<()> {
@@ -772,6 +816,62 @@ mod tests {
         let segment = std::fs::read_to_string(compact_path(&prefix)).unwrap();
         assert_eq!(segment.lines().count(), 4);
         assert!(segment.lines().all(|l| l.contains("\"compact\":\"settled\"")));
+        cleanup(&prefix);
+    }
+
+    #[test]
+    fn report_sidecars_compact_under_the_byte_cap_and_survive_resume() {
+        use pathmark_telemetry::MemorySink;
+        use std::sync::Arc;
+        let prefix = temp_prefix("report-rotate");
+        let sink = Arc::new(MemorySink::new());
+        let mut journal = Journal::create(&prefix)
+            .unwrap()
+            .with_max_bytes(Some(96))
+            .with_telemetry(Telemetry::new(sink.clone()));
+        for n in 0..8 {
+            journal
+                .record_job_intent(Op::Embed, "t", &format!("embed-{n:03}"), &job_line(n))
+                .unwrap();
+            journal.record_outcome(Op::Embed, &report("embed", n)).unwrap();
+        }
+        assert!(
+            journal.report_rotations() >= 1,
+            "the byte cap forced report compactions"
+        );
+        assert_eq!(
+            sink.counter(Counter::ReportRotation),
+            journal.report_rotations()
+        );
+        // The live sidecar never grows much past the cap; the folded
+        // outcomes live in the rename-atomic `.compact` segment.
+        let partial = with_suffix(&prefix, ".embed.jsonl.partial");
+        let outcome_line = report("embed", 0).to_line().len() as u64 + 1;
+        assert!(
+            std::fs::metadata(&partial).unwrap().len() <= 96 + outcome_line,
+            "sidecar bounded near the cap"
+        );
+        assert!(with_suffix(&prefix, ".embed.jsonl.compact").exists());
+
+        // A crashed daemon resumes with every outcome intact and
+        // finalizes the full report in acceptance order.
+        drop(journal);
+        let (journal, _replay) = Journal::resume(&prefix).unwrap();
+        assert_eq!(journal.completed_count(), 8);
+        journal.finalize().unwrap();
+        let ids: Vec<String> = parse_report(
+            &std::fs::read_to_string(with_suffix(&prefix, ".embed.jsonl")).unwrap(),
+        )
+        .unwrap()
+        .into_iter()
+        .map(|r| r.job_id)
+        .collect();
+        let want: Vec<String> = (0..8).map(|n| format!("embed-{n:03}")).collect();
+        assert_eq!(ids, want, "acceptance order survives report compaction");
+        assert!(
+            !with_suffix(&prefix, ".embed.jsonl.compact").exists(),
+            "finalize retires the report segment"
+        );
         cleanup(&prefix);
     }
 

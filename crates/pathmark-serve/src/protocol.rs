@@ -32,6 +32,7 @@ use std::collections::HashMap;
 
 use pathmark_fleet::json::{parse_object, write_object, Scalar};
 use pathmark_fleet::manifest::{EmbedJobSpec, JobReport};
+use stackvm::ExecTier;
 
 /// Which journal/report stream a job belongs to. Part of the journal
 /// dedup key: one `job_id` may legally appear once per op (embed a copy,
@@ -70,6 +71,10 @@ pub struct OpenRequest {
     /// Decode-cache ceiling for the tenant's sessions; `None` takes
     /// [`pathmark_core::java::DEFAULT_DECODE_CACHE_CAP`].
     pub cache_cap: Option<usize>,
+    /// Execution tier for the tenant's tracer (`"reference"` /
+    /// `"predecoded"` / `"compiled"`); `None` takes the stackvm default
+    /// (compiled).
+    pub tier: Option<ExecTier>,
 }
 
 /// `{"op":"embed", …}` — fingerprint one copy of a host program.
@@ -198,6 +203,13 @@ impl Request {
                 bits: req_u64(&fields, "bits")? as usize,
                 pieces: opt_u64(&fields, "pieces")?.map(|n| n as usize),
                 cache_cap: opt_u64(&fields, "cache_cap")?.map(|n| n as usize),
+                tier: match opt_str(&fields, "tier")? {
+                    None => None,
+                    Some(name) => Some(
+                        ExecTier::parse(&name)
+                            .ok_or_else(|| format!("unknown `tier` `{name}`"))?,
+                    ),
+                },
             })),
             "embed" => Ok(Request::Embed(EmbedRequest {
                 tenant: req_str(&fields, "tenant")?,
@@ -233,6 +245,9 @@ impl OpenRequest {
         }
         if let Some(cap) = self.cache_cap {
             fields.push(("cache_cap", Scalar::Num(cap as u64)));
+        }
+        if let Some(tier) = self.tier {
+            fields.push(("tier", Scalar::Str(tier.as_str().into())));
         }
         write_object(&fields)
     }
@@ -381,6 +396,9 @@ pub struct StatsSnapshot {
     /// Journal rotations performed (settled intents folded into the
     /// compacted segment).
     pub journal_rotations: u64,
+    /// Report-sidecar compactions performed (settled outcomes folded
+    /// into the per-op `.compact` segments).
+    pub report_rotations: u64,
     /// Decode-cache lookups served without a cipher call, summed over
     /// every resident recognize session.
     pub decode_cache_hits: u64,
@@ -407,6 +425,7 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
         ("tenants", Scalar::Num(s.tenants)),
         ("connections", Scalar::Num(s.connections)),
         ("journal_rotations", Scalar::Num(s.journal_rotations)),
+        ("report_rotations", Scalar::Num(s.report_rotations)),
         ("decode_cache_hits", Scalar::Num(s.decode_cache_hits)),
         ("decode_cache_misses", Scalar::Num(s.decode_cache_misses)),
         ("decode_cache_evictions", Scalar::Num(s.decode_cache_evictions)),
@@ -438,6 +457,7 @@ mod tests {
             bits: 64,
             pieces: Some(12),
             cache_cap: Some(4096),
+            tier: Some(ExecTier::Predecoded),
         };
         assert_eq!(Request::parse(&req.to_line()), Ok(Request::Open(req)));
         // Optional fields stay optional.
@@ -447,9 +467,14 @@ mod tests {
                 assert_eq!(req.input, vec![5]);
                 assert_eq!(req.pieces, None);
                 assert_eq!(req.cache_cap, None);
+                assert_eq!(req.tier, None);
             }
             other => panic!("{other:?}"),
         }
+        // A bogus tier is a parse error, not a silent default.
+        let line =
+            "{\"op\":\"open\",\"tenant\":\"t\",\"seed\":1,\"input\":\"5\",\"bits\":64,\"tier\":\"jit\"}";
+        assert!(Request::parse(line).unwrap_err().contains("tier"));
     }
 
     #[test]

@@ -138,12 +138,14 @@ impl Registry {
         let pieces = request.pieces.unwrap_or(base.num_pieces);
         let config = base.with_pieces(pieces);
         let cap = request.cache_cap.unwrap_or(DEFAULT_DECODE_CACHE_CAP);
+        let tier = request.tier.unwrap_or_default();
 
         let mut tenants = lock(&self.tenants);
         if let Some(tenant) = tenants.get(&request.tenant) {
             if tenant.embedder.key() == &key
                 && tenant.embedder.config() == &config
                 && tenant.embedder.decode_cache_cap() == cap
+                && tenant.embedder.exec_tier() == tier
             {
                 self.telemetry.count(Counter::SessionHit, 1);
                 return Ok((Arc::clone(tenant), true));
@@ -153,11 +155,13 @@ impl Registry {
         let embedder = Embedder::builder(key.clone(), config.clone())
             .telemetry(self.telemetry.clone())
             .decode_cache_cap(cap)
+            .exec_tier(tier)
             .build()
             .map_err(|e| e.to_string())?;
         let recognizer = Recognizer::builder(key, config)
             .telemetry(self.telemetry.clone())
             .decode_cache_cap(cap)
+            .exec_tier(tier)
             .build()
             .map_err(|e| e.to_string())?;
         let tenant = Arc::new(Tenant {
@@ -200,6 +204,7 @@ impl Registry {
 mod tests {
     use super::*;
     use pathmark_telemetry::MemorySink;
+    use stackvm::ExecTier;
 
     fn open_request(tenant: &str, seed: u64) -> OpenRequest {
         OpenRequest {
@@ -209,6 +214,7 @@ mod tests {
             bits: 64,
             pieces: Some(12),
             cache_cap: None,
+            tier: None,
         }
     }
 
@@ -227,6 +233,21 @@ mod tests {
         assert!(!warm, "a re-keyed tenant rebuilds");
         assert!(!Arc::ptr_eq(&first, &third));
         assert_eq!(registry.count(), 1, "replaced, not duplicated");
+
+        // The execution tier is part of the warm-hit identity: the
+        // default request resolved to the compiled tier, so asking for
+        // the predecoded engine rebuilds the sessions.
+        let mut retier = open_request("acme", 8);
+        retier.tier = Some(ExecTier::Predecoded);
+        let (fourth, warm) = registry.open(&retier).unwrap();
+        assert!(!warm, "a re-tiered tenant rebuilds");
+        assert!(!Arc::ptr_eq(&third, &fourth));
+        assert_eq!(fourth.recognizer.exec_tier(), ExecTier::Predecoded);
+        // Per-copy sessions inherit the tenant's tier via `with_key`.
+        assert_eq!(
+            fourth.recognizer_for(42).exec_tier(),
+            ExecTier::Predecoded
+        );
     }
 
     #[test]

@@ -242,7 +242,13 @@ impl Server {
     /// the observable payoff of keeping sessions warm.
     pub fn stats(&self) -> StatsSnapshot {
         let cache = self.registry.decode_cache_stats();
-        let journal_rotations = lock(&self.journal).as_ref().map_or(0, Journal::rotations);
+        let (journal_rotations, report_rotations) = {
+            let journal = lock(&self.journal);
+            (
+                journal.as_ref().map_or(0, Journal::rotations),
+                journal.as_ref().map_or(0, Journal::report_rotations),
+            )
+        };
         StatsSnapshot {
             accepted: self.counters.accepted.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
@@ -254,6 +260,7 @@ impl Server {
             tenants: self.registry.count() as u64,
             connections: self.counters.connections.load(Ordering::Relaxed),
             journal_rotations,
+            report_rotations,
             decode_cache_hits: cache.hits,
             decode_cache_misses: cache.misses,
             decode_cache_evictions: cache.evictions,

@@ -80,11 +80,14 @@ pub enum Stage {
     JobRun,
     /// Exponential-backoff sleep between retry attempts of a fleet job.
     Backoff,
+    /// Translating a program into the compiled execution tier's
+    /// flattened threaded-code form (once per session program).
+    Compile,
 }
 
 impl Stage {
     /// Every stage, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Trace,
         Stage::Split,
         Stage::Encrypt,
@@ -98,6 +101,7 @@ impl Stage {
         Stage::QueueWait,
         Stage::JobRun,
         Stage::Backoff,
+        Stage::Compile,
     ];
 
     /// The stage's wire name (used in JSONL records and summaries).
@@ -116,6 +120,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::JobRun => "job_run",
             Stage::Backoff => "backoff",
+            Stage::Compile => "compile",
         }
     }
 
@@ -183,11 +188,19 @@ pub enum Counter {
     /// Serve journal rotations: settled intents folded into the
     /// compacted segment and the live intents file truncated.
     JournalRotation,
+    /// Serve report-sidecar rotations: settled outcome lines folded
+    /// into the compacted report segment and the `.partial` sidecar
+    /// truncated.
+    ReportRotation,
+    /// Runs where the compiled execution tier was selected but the
+    /// predecoded engine ran instead (program over the compile budget,
+    /// or the trace configuration needs block/snapshot recording).
+    CompileFallback,
 }
 
 impl Counter {
     /// Every counter, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::PoolPanic,
@@ -209,6 +222,8 @@ impl Counter {
         Counter::SessionHit,
         Counter::SessionMiss,
         Counter::JournalRotation,
+        Counter::ReportRotation,
+        Counter::CompileFallback,
     ];
 
     /// The counter's wire name.
@@ -235,6 +250,8 @@ impl Counter {
             Counter::SessionHit => "session_hit",
             Counter::SessionMiss => "session_miss",
             Counter::JournalRotation => "journal_rotation",
+            Counter::ReportRotation => "report_rotation",
+            Counter::CompileFallback => "compile_fallback",
         }
     }
 

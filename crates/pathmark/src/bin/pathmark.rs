@@ -57,7 +57,7 @@ use pathmark::fleet::retry::RetryPolicy;
 use pathmark::math::bigint::BigUint;
 use pathmark::telemetry::{JsonlSink, MemorySink, Telemetry};
 use pathmark::vm::interp::Vm;
-use pathmark::vm::Program;
+use pathmark::vm::{ExecTier, Program};
 
 /// Why the CLI failed — split so recognition misses get their own exit
 /// code, distinguishable from bad invocations in scripts.
@@ -122,6 +122,8 @@ commands:
   embed     --program FILE --out FILE --seed N --input A,B,… --bits N
             [--pieces N] [--watermark HEX]  embed a fingerprint
   recognize --program FILE --seed N --input A,B,… --bits N [--pieces N]
+            (both take --tier reference|predecoded|compiled to pick the
+            tracer engine; default compiled)
   run       --program FILE [--input A,B,…]  execute, print output
   attack    --program FILE --out FILE --kind KIND [--count N] [--seed N]
             KIND: branches | nops | invert | reorder | split | diversify
@@ -162,6 +164,12 @@ fault tolerance (fleet embed, fleet recognize):
                                  from an interrupted run (fleet
                                  recognize: needs --report FILE)
 
+execution tier (embed, recognize, fleet embed, fleet recognize):
+  --tier NAME                    tracer engine: reference (oracle),
+                                 predecoded, or compiled (default; falls
+                                 back to predecoded past the compile
+                                 budget or for full-trace recording)
+
 telemetry (embed, recognize, fleet embed, fleet recognize, serve):
   --metrics FILE                 capture stage-level spans and counters
   --metrics-format jsonl|summary one JSON line per event (default), or
@@ -199,6 +207,16 @@ fn required<'o>(opts: &'o HashMap<String, String>, name: &str) -> Result<&'o str
     opts.get(name)
         .map(String::as_str)
         .ok_or_else(|| format!("missing --{name}"))
+}
+
+/// Parses `--tier` (default: the stackvm default, the compiled tier).
+fn parse_tier(opts: &HashMap<String, String>) -> Result<ExecTier, String> {
+    match opts.get("tier") {
+        None => Ok(ExecTier::default()),
+        Some(name) => ExecTier::parse(name).ok_or_else(|| {
+            format!("--tier: unknown tier `{name}` (expected reference, predecoded, or compiled)")
+        }),
+    }
 }
 
 fn parse_u64(opts: &HashMap<String, String>, name: &str) -> Result<u64, String> {
@@ -342,6 +360,7 @@ fn cmd_embed(opts: &HashMap<String, String>) -> Result<(), String> {
     let metrics = Metrics::from_options(opts)?;
     let session = Embedder::builder(key, config)
         .telemetry(metrics.telemetry.clone())
+        .exec_tier(parse_tier(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let watermark = match opts.get("watermark") {
@@ -367,6 +386,7 @@ fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let metrics = Metrics::from_options(opts)?;
     let session = Recognizer::builder(key, config)
         .telemetry(metrics.telemetry.clone())
+        .exec_tier(parse_tier(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let rec = session.recognize(&program).map_err(|e| e.to_string())?;
@@ -665,6 +685,7 @@ fn cmd_fleet_embed(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let metrics = Metrics::from_options(opts)?;
     let session = Embedder::builder(key, config)
         .telemetry(metrics.telemetry.clone())
+        .exec_tier(parse_tier(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let pool = WorkerPool::with_telemetry(workers, metrics.telemetry.clone());
@@ -743,6 +764,7 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let metrics = Metrics::from_options(opts)?;
     let session = Recognizer::builder(key, config)
         .telemetry(metrics.telemetry.clone())
+        .exec_tier(parse_tier(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(manifest_path)

@@ -15,11 +15,13 @@
 //!   the dense engine against.
 
 use crate::cfg::Cfg;
+use crate::compile::{run_compiled, Compiled, DEFAULT_COMPILE_BUDGET};
 use crate::insn::{BinOp, Insn};
 use crate::predecode::{Op, Predecoded};
 use crate::program::{FuncId, Program};
 use crate::trace::{Site, SnapshotData, Trace, TraceConfig, TraceEvent, TraceSink};
 use crate::VmError;
+use std::sync::OnceLock;
 
 /// Default instruction budget (generous; guards against runaway loops in
 /// attacked programs).
@@ -27,6 +29,58 @@ pub const DEFAULT_BUDGET: u64 = 200_000_000;
 
 /// Maximum call-stack depth.
 pub const MAX_CALL_DEPTH: usize = 10_000;
+
+/// Which execution engine a [`Vm`] dispatches to. All three share one
+/// semantics — the cross-tier property test holds them to bit-identical
+/// outcomes, traces, and faults — and differ only in speed:
+///
+/// * [`ExecTier::Reference`] — the original enum-walk interpreter, the
+///   semantic oracle. Slowest; exists to be compared against.
+/// * [`ExecTier::Predecoded`] — the dense 16-byte superinstruction
+///   dispatch loop. Handles every trace configuration.
+/// * [`ExecTier::Compiled`] — the flattened threaded-code backend
+///   ([`crate::compile`]), the default. Covers the recognition-phase
+///   configurations (`off` / `branches_only`); block or snapshot
+///   recording, and programs exceeding the compile budget, silently
+///   fall back to [`ExecTier::Predecoded`] ([`Vm::prepare`] reports
+///   which engine will actually run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// The enum-walk oracle interpreter.
+    Reference,
+    /// The dense predecoded dispatch loop.
+    Predecoded,
+    /// The flattened threaded-code tier (with automatic fallback).
+    #[default]
+    Compiled,
+}
+
+impl ExecTier {
+    /// Stable wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecTier::Reference => "reference",
+            ExecTier::Predecoded => "predecoded",
+            ExecTier::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a wire/CLI name (the inverse of [`ExecTier::as_str`]).
+    pub fn parse(s: &str) -> Option<ExecTier> {
+        match s {
+            "reference" => Some(ExecTier::Reference),
+            "predecoded" => Some(ExecTier::Predecoded),
+            "compiled" => Some(ExecTier::Compiled),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Result of a completed execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +138,11 @@ pub struct Vm<'p> {
     input: Vec<i64>,
     budget: u64,
     trace_config: TraceConfig,
+    tier: ExecTier,
+    compile_budget: usize,
+    /// Lazily-built compiled form (`None` inside = the program exceeded
+    /// the compile budget and the predecoded engine runs instead).
+    compiled: OnceLock<Option<Compiled>>,
 }
 
 /// A suspended caller in the dense engine: base offsets into the shared
@@ -115,6 +174,9 @@ impl<'p> Vm<'p> {
             input: Vec::new(),
             budget: DEFAULT_BUDGET,
             trace_config: TraceConfig::off(),
+            tier: ExecTier::default(),
+            compile_budget: DEFAULT_COMPILE_BUDGET,
+            compiled: OnceLock::new(),
         }
     }
 
@@ -137,6 +199,43 @@ impl<'p> Vm<'p> {
         self
     }
 
+    /// Selects the execution engine (default [`ExecTier::Compiled`]).
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Overrides the compile-tier size budget (flattened slots) past
+    /// which [`ExecTier::Compiled`] falls back to the predecoded engine.
+    pub fn with_compile_budget(mut self, slots: usize) -> Self {
+        self.compile_budget = slots;
+        self
+    }
+
+    /// The selected execution tier.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Forces the compile step (normally lazy) and reports whether the
+    /// compiled engine will actually execute under the current tier and
+    /// trace configuration — `false` means a fallback to the predecoded
+    /// engine (tier not [`ExecTier::Compiled`], block/snapshot recording
+    /// requested, or the program exceeded the compile budget). Sessions
+    /// call this under a telemetry span so compile time and fallbacks
+    /// are observable.
+    pub fn prepare(&self) -> bool {
+        self.tier == ExecTier::Compiled
+            && self.trace_config.compiled_compatible()
+            && self.compiled().is_some()
+    }
+
+    fn compiled(&self) -> Option<&Compiled> {
+        self.compiled
+            .get_or_init(|| Compiled::build(&self.predecoded, self.compile_budget))
+            .as_ref()
+    }
+
     /// Runs the program's entry function to completion, collecting the
     /// trace into a vector (streaming into a [`Trace`] sink).
     ///
@@ -147,6 +246,9 @@ impl<'p> Vm<'p> {
     /// or call-stack overflow. (Attacked programs routinely fault — the
     /// resilience experiments rely on observing this.)
     pub fn run(&self) -> Result<Outcome, VmError> {
+        if self.tier == ExecTier::Reference {
+            return self.run_reference();
+        }
         let mut trace = Trace::new();
         let r = self.run_with_sink(&mut trace)?;
         Ok(Outcome {
@@ -162,15 +264,70 @@ impl<'p> Vm<'p> {
     /// the recognition hot path: with a packed-bits sink the whole
     /// trace-to-bitstring pipeline allocates nothing per event.
     ///
-    /// Dispatches over the dense [`Predecoded`] form: ops are 16 bytes,
-    /// call arities are pre-resolved, per-function state (code, leader
-    /// flags) is re-hoisted only when the frame changes, and all frames
-    /// share one operand stack and one locals arena.
+    /// Dispatches to the selected [`ExecTier`]. The default compiled
+    /// tier runs the flattened threaded-code form ([`crate::compile`])
+    /// when the configuration allows it (no block/snapshot recording,
+    /// program within the compile budget) and otherwise falls back to
+    /// the predecoded engine; [`ExecTier::Reference`] runs the oracle
+    /// and replays its collected trace into `sink` afterwards (on a
+    /// fault, events recorded before the fault are not replayed —
+    /// streaming engines deliver those as they happen).
     ///
     /// # Errors
     ///
     /// As for [`Vm::run`].
     pub fn run_with_sink<S: TraceSink>(&self, sink: &mut S) -> Result<RunResult, VmError> {
+        match self.tier {
+            ExecTier::Reference => {
+                let out = self.run_reference()?;
+                for event in &out.trace.events {
+                    match event {
+                        TraceEvent::EnterBlock { site } => sink.enter_block(*site),
+                        TraceEvent::Branch { site, next } => sink.branch(*site, *next),
+                        TraceEvent::Snapshot { site, data } => {
+                            sink.snapshot(*site, &data.locals, &data.statics)
+                        }
+                    }
+                }
+                Ok(RunResult {
+                    output: out.output,
+                    instructions: out.instructions,
+                    statics: out.statics,
+                })
+            }
+            ExecTier::Predecoded => self.run_predecoded(sink),
+            ExecTier::Compiled => {
+                if !self.trace_config.compiled_compatible() {
+                    return self.run_predecoded(sink);
+                }
+                match self.compiled() {
+                    Some(compiled) if self.trace_config.branches => run_compiled::<S, true>(
+                        compiled,
+                        self.program,
+                        &self.input,
+                        self.budget,
+                        sink,
+                    ),
+                    Some(compiled) => run_compiled::<S, false>(
+                        compiled,
+                        self.program,
+                        &self.input,
+                        self.budget,
+                        sink,
+                    ),
+                    None => self.run_predecoded(sink),
+                }
+            }
+        }
+    }
+
+    /// The dense predecoded dispatch loop: ops are 16 bytes, call
+    /// arities are pre-resolved, per-function state (code, leader flags)
+    /// is re-hoisted only when the frame changes, and all frames share
+    /// one operand stack and one locals arena. Handles every trace
+    /// configuration — the compiled tier's fallback as well as its
+    /// equivalence baseline.
+    fn run_predecoded<S: TraceSink>(&self, sink: &mut S) -> Result<RunResult, VmError> {
         let pre = &self.predecoded;
         let mut statics = vec![0i64; self.program.statics.len()];
         let mut heap: Vec<Vec<i64>> = Vec::new();
@@ -1535,10 +1692,16 @@ mod tests {
         }
     }
 
+    /// The cross-tier equivalence property: over randomized programs
+    /// (faults included), all three execution tiers produce identical
+    /// outcomes — output, instruction counts, trace events, final
+    /// statics — and identical `VmError`s with identical error offsets,
+    /// including mid-trace faults under every configuration.
     #[test]
-    fn predecoded_engine_matches_reference() {
+    fn execution_tiers_match_reference() {
         let mut rng = XorShift(0x5EED_CAFE_F00D_0001);
         let mut completed = 0u32;
+        let mut compiled_active = 0u32;
         for _ in 0..150 {
             let p = random_program(&mut rng);
             let input: Vec<i64> = (0..4).map(|_| rng.next() as i64 % 50).collect();
@@ -1547,24 +1710,58 @@ mod tests {
                 TraceConfig::branches_only(),
                 TraceConfig::full(),
             ] {
-                let dense = Vm::new(&p)
-                    .with_input(input.clone())
-                    .with_budget(50_000)
-                    .with_trace(config)
-                    .run();
-                let reference = Vm::new(&p)
-                    .with_input(input.clone())
-                    .with_budget(50_000)
-                    .with_trace(config)
-                    .run_reference();
-                assert_eq!(dense, reference, "engines diverged on {p:?}");
-                if dense.is_ok() {
+                let vm = |tier: ExecTier| {
+                    Vm::new(&p)
+                        .with_input(input.clone())
+                        .with_budget(50_000)
+                        .with_trace(config)
+                        .with_exec_tier(tier)
+                };
+                let reference = vm(ExecTier::Reference).run();
+                let dense = vm(ExecTier::Predecoded).run();
+                let compiled_vm = vm(ExecTier::Compiled);
+                if compiled_vm.prepare() {
+                    compiled_active += 1;
+                }
+                let compiled = compiled_vm.run();
+                assert_eq!(dense, reference, "predecoded diverged on {p:?}");
+                assert_eq!(compiled, reference, "compiled diverged on {p:?}");
+                if reference.is_ok() {
                     completed += 1;
                 }
             }
         }
         // The generator must exercise the success path too, not just
-        // agree on faults.
+        // agree on faults — and the compiled engine must actually have
+        // run (not silently fallen back everywhere).
         assert!(completed > 50, "only {completed} runs completed");
+        assert!(
+            compiled_active > 100,
+            "compiled tier only active {compiled_active} times"
+        );
+    }
+
+    #[test]
+    fn compiled_tier_falls_back_over_the_compile_budget() {
+        let p = gcd_program();
+        let vm = Vm::new(&p)
+            .with_trace(TraceConfig::branches_only())
+            .with_compile_budget(2);
+        assert!(!vm.prepare(), "a 2-slot budget cannot hold gcd");
+        let fallback = vm.run().unwrap();
+        let reference = Vm::new(&p)
+            .with_trace(TraceConfig::branches_only())
+            .with_exec_tier(ExecTier::Reference)
+            .run()
+            .unwrap();
+        assert_eq!(fallback, reference, "fallback stays bit-identical");
+
+        // Under block/snapshot recording the compiled tier declines too.
+        let full = Vm::new(&p).with_trace(TraceConfig::full());
+        assert!(!full.prepare());
+        // But within budget and branches-only, it engages.
+        let fast = Vm::new(&p).with_trace(TraceConfig::branches_only());
+        assert!(fast.prepare());
+        assert_eq!(fast.run().unwrap(), reference);
     }
 }

@@ -57,6 +57,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod codec;
+pub mod compile;
 pub mod edit;
 pub mod insn;
 pub mod interp;
@@ -69,4 +70,5 @@ pub mod verify;
 mod error;
 
 pub use error::VmError;
+pub use interp::ExecTier;
 pub use program::{FuncId, Function, Program, StaticId};

@@ -116,6 +116,34 @@ pub(crate) enum Op {
     LoadConstBinStore(u16, BinOp, u16, i64),
 }
 
+/// Number of original instruction slots a dense op occupies: 1 for a
+/// plain op, 2/3/4 for fused superinstructions. Stepping a function's
+/// code by these widths visits exactly the reachable op heads (consumed
+/// slots are never leaders, so no control flow lands between a head and
+/// the next) — the compile tier's translator walks heads this way.
+pub(crate) fn op_width(op: Op) -> usize {
+    match op {
+        Op::Load2(..)
+        | Op::LoadConst(..)
+        | Op::StoreLoad(..)
+        | Op::StoreGoto(..)
+        | Op::LoadIf(..)
+        | Op::LoadIfCmp(..)
+        | Op::ConstIfCmp(..)
+        | Op::IincGoto(..)
+        | Op::ConstBin(..)
+        | Op::LoadBin(..)
+        | Op::BinConst(..)
+        | Op::Bin2(..)
+        | Op::BinStore(..)
+        | Op::StoreIinc(..)
+        | Op::IincLoad(..) => 2,
+        Op::Load2IfCmp(..) | Op::LoadConstIfCmp(..) | Op::Load2Bin(..) | Op::LoadConstBin(..) => 3,
+        Op::Load2BinStore(..) | Op::LoadConstBinStore(..) => 4,
+        _ => 1,
+    }
+}
+
 /// One switch's out-of-line dispatch table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct SwitchTable {

@@ -87,13 +87,15 @@ cp "$SMOKE/BENCH_fleet.json" "$ROOT/BENCH_fleet.json"
 
 echo "==> trace/scan equivalence gate: fast paths == references, serial == sharded"
 # Every fast path must stay bit-identical to its naive reference: the
-# predecoded interpreter to the enum-walking one over randomized
-# programs, the packed streaming trace sink to Vec<TraceEvent> +
+# predecoded AND compiled interpreters to the enum-walking one over
+# randomized programs (plus the compile-budget fallback contract), the
+# packed streaming trace sink to Vec<TraceEvent> +
 # BitString::from_trace over randomized event streams and end-to-end
 # embed/recognize runs, the packed rolling-window scan to the
 # bit-at-a-time reference, and the sharded scan to the serial one for
 # every shard count and on degenerate inputs.
-cargo test -q -p stackvm --lib predecoded_engine_matches_reference
+cargo test -q -p stackvm --lib execution_tiers_match_reference
+cargo test -q -p stackvm --lib compiled_tier_falls_back_over_the_compile_budget
 cargo test -q -p pathmark-core --lib packed_sink_matches_from_trace_reference
 cargo test -q -p pathmark-core --lib packed_sink_traces_match_vec_collector_on_random_keys
 cargo test -q -p pathmark-core --lib packed_windows_match_naive_reference
@@ -109,11 +111,31 @@ echo "==> recognition bench: quick mode emits well-formed BENCH_recognize.json"
 ( cd "$SMOKE" && "$ROOT/target/release/recognize" --quick > /dev/null )
 for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
     '"mode":"serial"' '"mode":"sharded"' '"stages":{"trace":' \
+    '"tier":"reference"' '"tier":"predecoded"' '"tier":"compiled"' \
     '"skip_rate":' '"decrypts_per_copy":' \
     '"queue_wait":' '"windows":{"scanned":' '"pool":{"jobs":'; do
     grep -qF "$want" "$SMOKE/BENCH_recognize.json" \
         || { echo "BENCH_recognize.json missing $want" >&2; exit 1; }
 done
+
+echo "==> trace-tier gate: the compiled tracer must beat predecoded, run and baseline alike"
+trace_ms() {
+    # Serial-row trace-stage ms for tier $2 in payload $1; payloads
+    # predating the tier column fall back to their first serial row
+    # (which ran the predecoded engine).
+    row=$(grep -o "\"mode\":\"serial\",\"tier\":\"$2\"[^}]*" "$1" | head -1)
+    if [ -z "$row" ]; then
+        row=$(grep -o '"mode":"serial"[^}]*' "$1" | head -1)
+    fi
+    printf '%s\n' "$row" | grep -o '"trace":[0-9.]*' | cut -d: -f2
+}
+run_compiled=$(trace_ms "$SMOKE/BENCH_recognize.json" compiled)
+run_predecoded=$(trace_ms "$SMOKE/BENCH_recognize.json" predecoded)
+base_predecoded=$(trace_ms "$ROOT/BENCH_recognize.json" predecoded)
+awk "BEGIN { exit !($run_compiled < $run_predecoded) }" \
+    || { echo "compiled trace ms $run_compiled not below predecoded $run_predecoded" >&2; exit 1; }
+awk "BEGIN { exit !($run_compiled < $base_predecoded) }" \
+    || { echo "compiled trace ms $run_compiled not below checked-in predecoded baseline $base_predecoded" >&2; exit 1; }
 
 echo "==> skip-rate gate: pre-reject must not regress below the checked-in baseline"
 json_skip_rate() {
@@ -272,6 +294,8 @@ grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"connections":' \
     || { echo "stats response missing the connections gauge" >&2; exit 1; }
 grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"journal_rotations":' \
     || { echo "stats response missing the rotation counter" >&2; exit 1; }
+grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"report_rotations":' \
+    || { echo "stats response missing the report-rotation counter" >&2; exit 1; }
 grep '"op":"stats"' "$SMOKE/serve-compact.jsonl" | grep -q '"decode_cache_hits":' \
     || { echo "stats response missing decode-cache fields" >&2; exit 1; }
 grep '"op":"shutdown"' "$SMOKE/serve-compact.jsonl" | grep -q '"status":"ok"' \

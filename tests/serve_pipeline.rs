@@ -68,6 +68,7 @@ fn open_line(tenant: &str) -> String {
         bits: 64,
         pieces: Some(12),
         cache_cap: None,
+        tier: None,
     }
     .to_line()
 }
