@@ -13,9 +13,9 @@
 //!   whose window scan is split across a [`WorkerPool`] at several
 //!   worker counts via [`recognize_program_sharded`].
 //!
-//! Every row carries the per-stage wall times (trace / scan / vote /
-//! graph / crt, plus merge, queue-wait, and job-run on the sharded
-//! path) from a [`MemorySink`] shared by the session *and* the worker
+//! Every row carries the per-stage wall times (trace / scan_roll /
+//! scan_decrypt / vote / graph / crt, plus merge, queue-wait, and
+//! job-run on the sharded path) from a [`MemorySink`] shared by the session *and* the worker
 //! pool, the scan counters (windows scanned / skipped by the
 //! constant-run pre-reject / actually decrypted), and the pool
 //! counters (jobs run / merge passes), so a regression in any one
@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use pathmark_core::java::{JavaConfig, Recognizer};
 use pathmark_core::key::Watermark;
+use pathmark_core::ScanMode;
 use pathmark_crypto::Prng;
 use pathmark_fleet::pool::WorkerPool;
 use pathmark_fleet::shard::recognize_program_sharded;
@@ -51,9 +52,10 @@ const TIERS: [ExecTier; 3] = [
     ExecTier::Compiled,
 ];
 
-const STAGES: [Stage; 8] = [
+const STAGES: [Stage; 9] = [
     Stage::Trace,
-    Stage::Scan,
+    Stage::ScanRoll,
+    Stage::ScanDecrypt,
     Stage::Vote,
     Stage::Graph,
     Stage::Crt,
@@ -207,12 +209,18 @@ pub fn measure(copies: usize, worker_counts: &[usize], reps: usize) -> Vec<Recog
                     .expect("bench key/config are sound")
             })
             .collect();
+        let two_phase = Recognizer::builder(key.clone(), config.clone())
+            .scan_mode(ScanMode::TwoPhase)
+            .build()
+            .expect("bench key/config are sound");
         for program in &programs {
             let rec = session.recognize(program).expect("recognizes");
             assert!(rec.watermark.is_some(), "corpus must carry its marks");
             let sharded =
                 recognize_program_sharded(program, &session, 2, &pool).expect("recognizes");
             assert_eq!(sharded, rec, "sharded scan must stay bit-identical");
+            let reference = two_phase.recognize(program).expect("recognizes");
+            assert_eq!(reference, rec, "fused scan must stay bit-identical");
             for tiered in &tiers {
                 let got = tiered.recognize(program).expect("recognizes");
                 assert_eq!(
@@ -438,7 +446,7 @@ mod tests {
                 workers: 1,
                 millis: 20.5,
                 copies_per_sec: 390.2,
-                stage_ms: [8.0, 4.0, 0.5, 0.25, 0.125, 0.0, 1.5, 3.25],
+                stage_ms: [8.0, 3.0, 1.0, 0.5, 0.25, 0.125, 0.0, 1.5, 3.25],
                 windows: (100_000, 90_000, 10_000),
                 pool: (32, 4),
             }],
@@ -455,7 +463,9 @@ mod tests {
             "{json}"
         );
         assert!(
-            json.contains("\"stages\":{\"trace\":8.000,\"scan\":4.000,\"vote\":0.500,"),
+            json.contains(
+                "\"stages\":{\"trace\":8.000,\"scan_roll\":3.000,\"scan_decrypt\":1.000,\"vote\":0.500,"
+            ),
             "{json}"
         );
         assert!(

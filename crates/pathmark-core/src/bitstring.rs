@@ -104,6 +104,104 @@ impl BitStringBuilder {
             len: self.len,
         }
     }
+
+    /// The fully packed words so far (the word in progress excluded):
+    /// exactly `len() / 64` words, each one final. The streaming scan
+    /// reads its lookback windows out of these while the trace is still
+    /// being written.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// The 64-bit window starting at bit `offset` of a packed word slice
+/// holding `len` bits (LSB-first, unused high bits of the last word
+/// zero); `None` past the end. The shared kernel behind
+/// [`BitString::window_u64`] and the streaming scanner's lookback reads
+/// over a [`BitStringBuilder`]'s completed words.
+#[inline]
+pub fn window_from_words(words: &[u64], len: usize, offset: usize) -> Option<u64> {
+    if offset + 64 > len {
+        return None;
+    }
+    let (w, s) = (offset / 64, (offset % 64) as u32);
+    let lo = words[w] >> s;
+    // When the window is word-aligned (s == 0) the high word may not
+    // exist (offset + 64 == len at a word boundary) and contributes
+    // nothing; otherwise offset + 64 > 64·(w + 1) guarantees it does.
+    let hi = if s == 0 { 0 } else { words[w + 1] << (64 - s) };
+    Some(lo | hi)
+}
+
+/// The first bit at or after `from` violating `period` in a packed word
+/// slice holding `len` bits: the smallest `q >= max(from, period)` with
+/// `bit(q) != bit(q - period)`, or `len` when the bits are
+/// `period`-periodic to the end. The shared word-parallel kernel behind
+/// [`BitString::next_period_mismatch`] and the streaming scanner's
+/// run extension — each packed word is XORed against the word `period`
+/// bits back (two shifted reads), and the difference words are
+/// classified **four at a time** with a single OR-reduction, so
+/// skipping a megabit periodic stretch costs a few thousand word
+/// operations rather than a million bit reads.
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+pub fn period_mismatch_in_words(words: &[u64], len: usize, from: usize, period: usize) -> usize {
+    assert!(period > 0, "period must be at least 1");
+    let bit = |i: usize| (words[i / 64] >> (i % 64)) & 1;
+    let mut q = from.max(period);
+    // Scalar prologue: advance to a word boundary so the word loop
+    // below never reads a packed word below index 0.
+    while q < len && !q.is_multiple_of(64) {
+        if bit(q) != bit(q - period) {
+            return q;
+        }
+        q += 1;
+    }
+    if q >= len {
+        return len;
+    }
+    let (dw, db) = (period / 64, (period % 64) as u32);
+    // diff(k) = words[k] XOR (the 64 bits starting `period` bits
+    // before word k), nonzero iff word k contains a violation. With
+    // q word-aligned and q >= period, `k > dw` whenever `db > 0`,
+    // so both source words exist.
+    let diff = |k: usize| {
+        let prev = if db == 0 {
+            words[k - dw]
+        } else {
+            (words[k - dw] << db) | (words[k - dw - 1] >> (64 - db))
+        };
+        words[k] ^ prev
+    };
+    let hit = |k: usize, d: u64| k * 64 + d.trailing_zeros() as usize;
+    let mut k = q / 64;
+    // Classify four words (256 bits) per step: one OR-reduction
+    // decides "any violation here?", and only a hit pays for the
+    // per-word inspection.
+    while k + 4 <= words.len() {
+        let (d0, d1, d2, d3) = (diff(k), diff(k + 1), diff(k + 2), diff(k + 3));
+        if d0 | d1 | d2 | d3 != 0 {
+            let (j, d) = [d0, d1, d2, d3]
+                .into_iter()
+                .enumerate()
+                .find(|&(_, d)| d != 0)
+                .expect("the OR-reduction saw a set bit");
+            // Zero padding past `len` in the last word XORs against
+            // real earlier bits; a hit landing there is phantom.
+            return hit(k + j, d).min(len);
+        }
+        k += 4;
+    }
+    while k < words.len() {
+        let d = diff(k);
+        if d != 0 {
+            return hit(k, d).min(len);
+        }
+        k += 1;
+    }
+    len
 }
 
 impl Extend<bool> for BitStringBuilder {
@@ -125,17 +223,81 @@ impl Extend<bool> for BitStringBuilder {
 /// in CI.
 #[derive(Debug, Clone, Default)]
 pub struct PackedTraceSink {
-    /// Dense first-follow table, present when the sink was built
-    /// [`for_program`](PackedTraceSink::for_program): branch site
-    /// `(func, pc)` maps to slot `offsets[func] + pc`, whose value is
-    /// the recorded reference follower plus one (`0` = site unseen).
-    /// A site's state lives in exactly one place — the dense table if
-    /// it is in range, the spill map otherwise — so mixing lookups
-    /// never double-records a site.
+    follow: FirstFollow,
+    bits: BitStringBuilder,
+}
+
+/// The first-followed-by classifier shared by every streaming trace
+/// sink ([`PackedTraceSink`] and the fused
+/// [`crate::scanner::StreamingScanSink`]): per branch site, remembers
+/// the first follower ever observed and classifies each subsequent
+/// occurrence against it.
+///
+/// When built [`for_program`](FirstFollow::for_program), branch site
+/// `(func, pc)` maps to slot `offsets[func] + pc` of a dense table,
+/// whose value is the recorded reference follower plus one (`0` = site
+/// unseen) — a flat-array read instead of a hash, which is most of the
+/// per-event cost on the recognition hot path. Sites outside the
+/// program's shape (or follower indices too big for the table) spill
+/// to the hash map; a site's state lives in exactly one place — the
+/// dense table if it is in range, the spill map otherwise — so mixing
+/// lookups never double-records a site.
+#[derive(Debug, Clone, Default)]
+pub struct FirstFollow {
     offsets: Vec<usize>,
     dense: Vec<u32>,
-    first_follow: HashMap<Site, usize, FxBuildHasher>,
-    bits: BitStringBuilder,
+    spill: HashMap<Site, usize, FxBuildHasher>,
+}
+
+impl FirstFollow {
+    /// An empty classifier; every branch site goes through the hash map.
+    pub fn new() -> FirstFollow {
+        FirstFollow::default()
+    }
+
+    /// A classifier with a dense first-follow table sized for
+    /// `program`'s code layout.
+    pub fn for_program(program: &stackvm::Program) -> FirstFollow {
+        let mut offsets = Vec::with_capacity(program.functions.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for f in &program.functions {
+            total += f.code.len();
+            offsets.push(total);
+        }
+        FirstFollow {
+            offsets,
+            dense: vec![0; total],
+            ..FirstFollow::default()
+        }
+    }
+
+    /// The trace bit of one dynamic branch — the from_trace rule: first
+    /// occurrence fixes the reference follower and reads as `false`,
+    /// deviations read as `true`.
+    #[inline]
+    pub fn classify(&mut self, site: Site, next: usize) -> bool {
+        let f = site.func.0 as usize;
+        if f + 1 < self.offsets.len() && next < u32::MAX as usize {
+            let (base, end) = (self.offsets[f], self.offsets[f + 1]);
+            if site.pc < end - base {
+                let slot = &mut self.dense[base + site.pc];
+                let follower = next as u32 + 1;
+                if *slot == 0 {
+                    *slot = follower;
+                    return false;
+                }
+                return *slot != follower;
+            }
+        }
+        match self.spill.get(&site) {
+            None => {
+                self.spill.insert(site, next);
+                false
+            }
+            Some(&reference) => next != reference,
+        }
+    }
 }
 
 impl PackedTraceSink {
@@ -144,24 +306,13 @@ impl PackedTraceSink {
         PackedTraceSink::default()
     }
 
-    /// A sink with a dense first-follow table sized for `program`:
-    /// branch sites index a flat array instead of hashing, which is
-    /// most of the sink's per-event cost on the recognition hot path.
-    /// Sites outside the program's shape (or follower indices too big
-    /// for the table) spill to the hash map, so the observable
-    /// bit-sequence is identical to [`PackedTraceSink::new`].
+    /// A sink with a dense first-follow table sized for `program` (see
+    /// [`FirstFollow::for_program`]); the observable bit-sequence is
+    /// identical to [`PackedTraceSink::new`].
     pub fn for_program(program: &stackvm::Program) -> PackedTraceSink {
-        let mut offsets = Vec::with_capacity(program.functions.len() + 1);
-        let mut total = 0usize;
-        offsets.push(0);
-        for f in &program.functions {
-            total += f.code.len();
-            offsets.push(total);
-        }
         PackedTraceSink {
-            offsets,
-            dense: vec![0; total],
-            ..PackedTraceSink::default()
+            follow: FirstFollow::for_program(program),
+            bits: BitStringBuilder::new(),
         }
     }
 
@@ -176,30 +327,8 @@ impl TraceSink for PackedTraceSink {
 
     #[inline]
     fn branch(&mut self, site: Site, next: usize) {
-        // Mirror of the from_trace loop body: first occurrence fixes the
-        // reference follower and reads as 0, deviations read as 1.
-        let f = site.func.0 as usize;
-        if f + 1 < self.offsets.len() && next < u32::MAX as usize {
-            let (base, end) = (self.offsets[f], self.offsets[f + 1]);
-            if site.pc < end - base {
-                let slot = &mut self.dense[base + site.pc];
-                let follower = next as u32 + 1;
-                if *slot == 0 {
-                    *slot = follower;
-                    self.bits.push(false);
-                } else {
-                    self.bits.push(*slot != follower);
-                }
-                return;
-            }
-        }
-        match self.first_follow.get(&site) {
-            None => {
-                self.first_follow.insert(site, next);
-                self.bits.push(false);
-            }
-            Some(&reference) => self.bits.push(next != reference),
-        }
+        let bit = self.follow.classify(site, next);
+        self.bits.push(bit);
     }
 
     fn snapshot(&mut self, _site: Site, _locals: &[i64], _statics: &[i64]) {}
@@ -279,16 +408,7 @@ impl BitString {
     /// significant; `None` past the end. Constant-time: one or two word
     /// reads, never a per-bit gather.
     pub fn window_u64(&self, offset: usize) -> Option<u64> {
-        if offset + 64 > self.len {
-            return None;
-        }
-        let (w, s) = (offset / 64, (offset % 64) as u32);
-        let lo = self.words[w] >> s;
-        // When the window is word-aligned (s == 0) the high word may not
-        // exist (offset + 64 == len at a word boundary) and contributes
-        // nothing; otherwise offset + 64 > 64·(w + 1) guarantees it does.
-        let hi = if s == 0 { 0 } else { self.words[w + 1] << (64 - s) };
-        Some(lo | hi)
+        window_from_words(&self.words, self.len, offset)
     }
 
     /// Index of the first **1** bit at or after `from`, if any.
@@ -339,69 +459,17 @@ impl BitString {
     /// `period == 1`): inside a maximal violation-free stretch every
     /// sliding window repeats the window one period earlier, so the
     /// whole stretch can be accounted in bulk without rolling through
-    /// it. The search is word-parallel: each packed word is XORed
-    /// against the word `period` bits back (two shifted reads), and the
-    /// difference words are classified **four at a time** with a single
-    /// OR-reduction, so skipping a megabit periodic stretch costs a few
-    /// thousand word operations rather than a million bit reads.
+    /// it. Delegates to the shared word-parallel
+    /// [`period_mismatch_in_words`] kernel (four words per step), which
+    /// the streaming scanner also runs over a builder's completed
+    /// words — the `period_mismatch_matches_naive_reference` property
+    /// test gates the kernel against the scalar definition.
     ///
     /// # Panics
     ///
     /// Panics if `period == 0`.
     pub fn next_period_mismatch(&self, from: usize, period: usize) -> usize {
-        assert!(period > 0, "period must be at least 1");
-        let mut q = from.max(period);
-        // Scalar prologue: advance to a word boundary so the word loop
-        // below never reads a packed word below index 0.
-        while q < self.len && !q.is_multiple_of(64) {
-            if self.bit(q) != self.bit(q - period) {
-                return q;
-            }
-            q += 1;
-        }
-        if q >= self.len {
-            return self.len;
-        }
-        let (dw, db) = (period / 64, (period % 64) as u32);
-        // diff(k) = words[k] XOR (the 64 bits starting `period` bits
-        // before word k), nonzero iff word k contains a violation. With
-        // q word-aligned and q >= period, `k > dw` whenever `db > 0`,
-        // so both source words exist.
-        let diff = |k: usize| {
-            let prev = if db == 0 {
-                self.words[k - dw]
-            } else {
-                (self.words[k - dw] << db) | (self.words[k - dw - 1] >> (64 - db))
-            };
-            self.words[k] ^ prev
-        };
-        let hit = |k: usize, d: u64| k * 64 + d.trailing_zeros() as usize;
-        let mut k = q / 64;
-        // Classify four words (256 bits) per step: one OR-reduction
-        // decides "any violation here?", and only a hit pays for the
-        // per-word inspection.
-        while k + 4 <= self.words.len() {
-            let (d0, d1, d2, d3) = (diff(k), diff(k + 1), diff(k + 2), diff(k + 3));
-            if d0 | d1 | d2 | d3 != 0 {
-                let (j, d) = [d0, d1, d2, d3]
-                    .into_iter()
-                    .enumerate()
-                    .find(|&(_, d)| d != 0)
-                    .expect("the OR-reduction saw a set bit");
-                // Zero padding past `len` in the last word XORs against
-                // real earlier bits; a hit landing there is phantom.
-                return hit(k + j, d).min(self.len);
-            }
-            k += 4;
-        }
-        while k < self.words.len() {
-            let d = diff(k);
-            if d != 0 {
-                return hit(k, d).min(self.len);
-            }
-            k += 1;
-        }
-        self.len
+        period_mismatch_in_words(&self.words, self.len, from, period)
     }
 
     /// Iterates over every sliding 64-bit window `B_0 = b_0…b_63`,

@@ -30,39 +30,17 @@ use stackvm::Program;
 use stackvm::interp::Vm;
 use stackvm::ExecTier;
 
+use super::session::DecodeCache;
 use super::{trace_program_tiered, JavaConfig, Recognizer};
 use crate::bitstring::{BitString, PackedTraceSink};
-use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
-use crate::scan::Survivors;
+use crate::scan::{ScanMode, Survivors};
+use crate::scanner::{FusedScan, PeriodDetector, StreamingScanSink};
 use crate::WatermarkError;
 
 /// Cap on distinct candidate statements fed to the quadratic graph
 /// stage; candidates are kept by descending multiplicity.
 const MAX_GRAPH_VERTICES: usize = 3000;
-
-/// Largest repeat distance the periodic pre-reject votes on. Trace
-/// bit-strings repeat at the host program's loop-body period (around a
-/// thousand bits on the bench corpus); distances past a few thousand
-/// bits buy nothing and bloat the vote table.
-const MAX_PERIOD: usize = 4096;
-
-/// How many candidate periods the detector probes concurrently.
-const PERIOD_CANDIDATES: usize = 4;
-
-/// Votes a repeat distance needs before it can contend for a candidate
-/// seat.
-const PERIOD_PROMOTE_VOTES: u32 = 4;
-
-/// Candidate periods are probed every this many pushes; a probe is one
-/// O(1) window comparison per candidate.
-const PERIOD_PROBE_STRIDE: usize = 4;
-
-/// Direct-mapped last-seen slots (a power of two). The detector runs
-/// once per surviving window, so it must cost nanoseconds: a fixed
-/// 64 KiB table that collisions simply overwrite beats a growable map
-/// by an order of magnitude, and a lost slot only costs one vote.
-const PERIOD_TABLE_SLOTS: usize = 4096;
 
 /// Cap on one statement's weight in the `W mod p_i` vote. Long runs of
 /// identical trace bits (e.g. a hot never-taken attack branch emitting
@@ -70,98 +48,6 @@ const PERIOD_TABLE_SLOTS: usize = 4096;
 /// — at enormous multiplicity; uncapped, that single decoding could
 /// out-vote the true residue.
 const MAX_VOTE_WEIGHT: u64 = 8;
-
-/// Online repeat-distance detector behind the periodic-run pre-reject.
-///
-/// Every surviving window votes on the distance to the previous
-/// occurrence of the same value; the top-voted distances become
-/// candidate periods. A candidate is *probed* with one O(1) window
-/// comparison (`window(o - p) == window(o)`); a probe hit is then
-/// extended with [`BitString::next_period_mismatch`] and, if the
-/// periodic run covers meaningfully more than one window, the whole
-/// run is bulk-accounted without rolling through it (see
-/// [`Recognizer::window_survivors`]).
-struct PeriodDetector {
-    /// Direct-mapped `(window value, offset + 1)` slots; a zero stamp
-    /// marks a vacant slot, and hash collisions simply overwrite.
-    last_seen: Vec<(u64, u64)>,
-    /// `votes[d]`: votes for repeat distance `d` (index 0 unused, so a
-    /// vacant candidate seat reads zero votes without a branch).
-    votes: Vec<u32>,
-    /// Candidate periods probed against the scan head; 0 = vacant seat.
-    candidates: [usize; PERIOD_CANDIDATES],
-    /// Windows pushed so far (bulk-accounted windows excluded).
-    pushes: usize,
-}
-
-impl PeriodDetector {
-    fn new() -> PeriodDetector {
-        PeriodDetector {
-            last_seen: vec![(0, 0); PERIOD_TABLE_SLOTS],
-            votes: vec![0; MAX_PERIOD + 1],
-            candidates: [0; PERIOD_CANDIDATES],
-            pushes: 0,
-        }
-    }
-
-    /// Records a surviving window pushed at `offset`, voting on the
-    /// distance to the value's previous occurrence.
-    fn push(&mut self, window: u64, offset: usize) {
-        self.pushes += 1;
-        let slot = (window.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize
-            & (PERIOD_TABLE_SLOTS - 1);
-        let (value, stamp) = self.last_seen[slot];
-        self.last_seen[slot] = (window, offset as u64 + 1);
-        if stamp == 0 || value != window {
-            return;
-        }
-        let distance = offset - (stamp - 1) as usize;
-        if distance <= MAX_PERIOD {
-            self.votes[distance] += 1;
-            if self.votes[distance] >= PERIOD_PROMOTE_VOTES {
-                self.consider(distance);
-            }
-        }
-    }
-
-    /// Seats `distance` if it out-votes the weakest current candidate
-    /// (vacant seats hold period 0, which always reads zero votes).
-    /// Re-seating on every promoted vote is what lets the dominant
-    /// loop-body period displace small noise distances that happened to
-    /// reach the threshold earlier.
-    fn consider(&mut self, distance: usize) {
-        if self.candidates.contains(&distance) {
-            return;
-        }
-        let weakest = (0..PERIOD_CANDIDATES)
-            .min_by_key(|&i| self.votes[self.candidates[i]])
-            .expect("PERIOD_CANDIDATES > 0");
-        if self.votes[distance] > self.votes[self.candidates[weakest]] {
-            self.candidates[weakest] = distance;
-        }
-    }
-
-    /// Returns a candidate period `p` verified at the scan head —
-    /// `window(offset - p)` exists and equals `window` — or `None`.
-    ///
-    /// The `hot` period (the one the scan last bulk-skipped on) is
-    /// probed on *every* push: a long periodic run interrupted by one
-    /// flipped bit re-engages immediately instead of rolling up to
-    /// [`PERIOD_PROBE_STRIDE`] more windows. The full candidate set is
-    /// only probed every stride-th push.
-    fn probe(&self, bits: &BitString, offset: usize, window: u64, hot: usize) -> Option<usize> {
-        if hot != 0 && offset >= hot && bits.window_u64(offset - hot) == Some(window) {
-            return Some(hot);
-        }
-        if !self.pushes.is_multiple_of(PERIOD_PROBE_STRIDE) {
-            return None;
-        }
-        self.candidates
-            .iter()
-            .copied()
-            .find(|&p| p != 0 && p != hot && offset >= p && bits.window_u64(offset - p) == Some(window))
-    }
-}
 
 /// The outcome of recognition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -305,14 +191,81 @@ impl Recognizer {
         })
     }
 
-    /// Runs recognition on a (possibly attacked) program.
+    /// Runs recognition on a (possibly attacked) program, on the
+    /// session's [`ScanMode`]:
+    ///
+    /// * [`ScanMode::Fused`] (the default) traces through the streaming
+    ///   scan sink ([`Recognizer::trace_survivors`]), so trace and the
+    ///   window roll are one pass over the program's execution;
+    /// * [`ScanMode::TwoPhase`] materializes the bit-string first
+    ///   ([`Recognizer::trace_bits`]) and scans it afterwards.
+    ///
+    /// The modes are bit-identical (CI property-gates `Survivors` and
+    /// `Recognition` equality across all execution tiers).
     ///
     /// # Errors
     ///
     /// As the [`recognize`] free function.
     pub fn recognize(&self, program: &Program) -> Result<Recognition, WatermarkError> {
-        let bits = self.trace_bits(program)?;
-        self.recognize_bits(&bits)
+        match self.scan_mode {
+            ScanMode::Fused => {
+                let scan = self.trace_survivors(program)?;
+                let counts = self.candidates_from_survivors(&scan.survivors)?;
+                self.recognize_from_candidates(counts)
+            }
+            ScanMode::TwoPhase => {
+                let bits = self.trace_bits(program)?;
+                self.recognize_bits(&bits)
+            }
+        }
+    }
+
+    /// The fused trace→scan pass: traces the program through a
+    /// [`StreamingScanSink`], which maintains the rolling 64-bit window
+    /// and both pre-rejects online over the packed words as the sink
+    /// writes them — the survivor table exists the moment the traced
+    /// program halts, and the bit-string is never re-walked. The
+    /// returned table is bit-identical to
+    /// [`Recognizer::window_survivors`] over the full range of
+    /// [`Recognizer::trace_bits`]' string (see [`crate::scanner`] for
+    /// the equivalence argument).
+    ///
+    /// Runs on the session's [`ExecTier`] like [`Recognizer::trace_bits`]
+    /// (same [`Stage::Compile`] span and [`Counter::CompileFallback`]
+    /// accounting). The fused pass is reported as a [`Stage::Trace`]
+    /// span plus a [`Stage::ScanRoll`] span — the scanner's share is
+    /// measured inside the sink and subtracted from the trace total, so
+    /// the two spans sum to the pass without double counting — plus the
+    /// usual [`Counter::WindowsScanned`] / [`Counter::WindowsSkipped`].
+    ///
+    /// # Errors
+    ///
+    /// [`WatermarkError::TraceFailed`] if the program faults or exceeds
+    /// the budget.
+    pub fn trace_survivors(&self, program: &Program) -> Result<FusedScan, WatermarkError> {
+        let vm = Vm::new(program)
+            .with_input(self.key.input.clone())
+            .with_budget(self.config.trace_budget)
+            .with_trace(TraceConfig::branches_only())
+            .with_exec_tier(self.exec_tier);
+        let compiled_active = self.telemetry.time(Stage::Compile, || vm.prepare());
+        if self.exec_tier == ExecTier::Compiled && !compiled_active {
+            self.telemetry.count(Counter::CompileFallback, 1);
+        }
+        let timed = self.telemetry.enabled();
+        let started = timed.then(std::time::Instant::now);
+        let mut sink = StreamingScanSink::for_program(program, timed);
+        vm.run_with_sink(&mut sink)?;
+        let scan = sink.finish();
+        if let Some(started) = started {
+            let total = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let roll = scan.roll_nanos.min(total);
+            self.telemetry.record(Stage::Trace, total - roll);
+            self.telemetry.record(Stage::ScanRoll, roll);
+        }
+        self.telemetry.count(Counter::WindowsScanned, scan.scanned);
+        self.telemetry.count(Counter::WindowsSkipped, scan.skipped);
+        Ok(scan)
     }
 
     /// Recognition from an already-decoded bit-string.
@@ -343,16 +296,21 @@ impl Recognizer {
     ///   branches; the scan jumps past the whole run at once.
     /// * **periodic runs**: trace bit-strings repeat at the host's
     ///   loop-body period, so most windows are exact copies of the
-    ///   window one period earlier. A [`PeriodDetector`] votes on
-    ///   repeat distances; when a probed candidate period extends into
-    ///   a long periodic run, every window of the run is *bulk
-    ///   accounted* to its representative one period back —
+    ///   window one period earlier. A [`crate::scanner::PeriodDetector`]
+    ///   votes on repeat distances; when a probed candidate period
+    ///   extends into a long periodic run, every window of the run is
+    ///   *bulk accounted* to its representative one period back —
     ///   `window(o) = window(r)` for `r ≡ o (mod p)` in the period
     ///   before the run — with exact multiplicity and first offset, so
     ///   the resulting table is bit-identical to rolling through the
     ///   run one offset at a time (CI property-gates this).
     ///
-    /// Telemetry: one [`Stage::Scan`] span, plus
+    /// This is the [`ScanMode::TwoPhase`] roll (and the only shape
+    /// sharded sub-ranges and pre-traced bit-strings can use); the
+    /// fused [`Recognizer::trace_survivors`] produces the identical
+    /// table without a second pass.
+    ///
+    /// Telemetry: one [`Stage::ScanRoll`] span, plus
     /// [`Counter::WindowsScanned`] (windows the range covers, skipped
     /// ones included) and [`Counter::WindowsSkipped`] (windows the
     /// pre-rejects accounted without rolling).
@@ -360,7 +318,7 @@ impl Recognizer {
         let end = end.min(bits.num_windows());
         let start = start.min(end);
         let mut skipped = 0u64;
-        let table = self.telemetry.time(Stage::Scan, || {
+        let table = self.telemetry.time(Stage::ScanRoll, || {
             let words = bits.words();
             // Upper bound: every window survives distinctly. Avoids
             // doubling-copy churn on big traces.
@@ -392,7 +350,7 @@ impl Recognizer {
                     }
                     continue;
                 }
-                if let Some(period) = detector.probe(bits, offset, window, hot) {
+                if let Some(period) = detector.probe(words, bits.len(), offset, window, hot) {
                     // The probe verified window(offset) == window(offset
                     // - period); extend: bits agree with their
                     // period-shifted selves up to `mismatch`, so every
@@ -464,7 +422,8 @@ impl Recognizer {
     /// once per distinct value per *key*, not per copy — the host's own
     /// loop windows repeat across fingerprinted copies.
     ///
-    /// Telemetry: one [`Stage::Scan`] span (the scan's decryption half),
+    /// Telemetry: one [`Stage::ScanDecrypt`] span (the scan's
+    /// decryption half, identical on both scan modes),
     /// plus [`Counter::WindowsDecrypted`] (window values that actually
     /// reached the cipher), [`Counter::DecodeCacheHit`] /
     /// [`Counter::DecodeCacheMiss`] / [`Counter::DecodeCacheEvict`]
@@ -481,19 +440,16 @@ impl Recognizer {
     ) -> Result<HashMap<Statement, u64>, WatermarkError> {
         let crypto = self.crypto()?;
         let (enumeration, cipher) = (&crypto.enumeration, &crypto.cipher);
-        let cap = crypto.cache_cap;
         let mut decrypted = 0u64;
         let mut evicted = 0u64;
         let mut hits = 0u64;
         let mut misses = 0u64;
-        let counts = self.telemetry.time(Stage::Scan, || {
+        let counts = self.telemetry.time(Stage::ScanDecrypt, || {
             let mut counts: HashMap<Statement, u64> = HashMap::new();
             let mut cache = crypto
                 .decode_cache
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let headroom = cap.saturating_sub(cache.len());
-            cache.reserve(survivors.len().min(headroom));
             // Cache misses accumulate into cipher lanes; table rows are
             // distinct, so a batch never holds the same value twice.
             let mut lane_values = [0u64; BATCH_LANES];
@@ -501,7 +457,7 @@ impl Recognizer {
             let mut lanes = 0usize;
             let flush = |values: &[u64],
                              mults: &[u64],
-                             cache: &mut HashMap<u64, Option<Statement>, FxBuildHasher>,
+                             cache: &mut DecodeCache,
                              counts: &mut HashMap<Statement, u64>,
                              decrypted: &mut u64,
                              evicted: &mut u64| {
@@ -511,18 +467,11 @@ impl Recognizer {
                 *decrypted += values.len() as u64;
                 for (lane, &value) in values.iter().enumerate() {
                     let decoded = enumeration.decode(blocks[lane]).ok();
-                    if cap > 0 {
-                        if cache.len() >= cap {
-                            // At the cap: evict an arbitrary resident
-                            // entry so the newcomer (likely the hotter
-                            // value — it just occurred) is admitted and
-                            // memory stays bounded.
-                            if let Some(&victim) = cache.keys().next() {
-                                cache.remove(&victim);
-                                *evicted += 1;
-                            }
-                        }
-                        cache.insert(value, decoded);
+                    // Below its residency ceiling the memo table is
+                    // exact; at the ceiling a newcomer evicts a
+                    // resident entry and memory stays bounded.
+                    if cache.insert(value, decoded) {
+                        *evicted += 1;
                     }
                     if let Some(statement) = decoded {
                         *counts.entry(statement).or_insert(0) += mults[lane];
@@ -530,7 +479,7 @@ impl Recognizer {
                 }
             };
             for (value, multiplicity, _first_offset) in survivors.iter() {
-                if let Some(&decoded) = cache.get(&value) {
+                if let Some(decoded) = cache.get(value) {
                     hits += 1;
                     if let Some(statement) = decoded {
                         *counts.entry(statement).or_insert(0) += multiplicity;
@@ -918,6 +867,51 @@ mod tests {
             let scanned = session.window_survivors(&bits, 0, usize::MAX);
             let reference = reference_survivors(&bits, 0, usize::MAX);
             assert_eq!(scanned, reference, "{pieces} pieces");
+        }
+    }
+
+    #[test]
+    fn fused_scan_matches_two_phase_on_marked_traces() {
+        // CI equivalence gate: the fused streaming scan must reproduce
+        // the two-phase pipeline bit for bit — the same trace
+        // bit-string, the same survivor table (values, multiplicities,
+        // first offsets), and the same recognition — on real marked
+        // traces, across every execution tier.
+        for (pieces, tier) in [
+            (10usize, ExecTier::Reference),
+            (10, ExecTier::Predecoded),
+            (10, ExecTier::Compiled),
+            (30, ExecTier::Compiled),
+        ] {
+            let config = JavaConfig::for_watermark_bits(128).with_pieces(pieces);
+            let watermark = Watermark::random_for(&config, &key());
+            let marked = embedder(&config).embed(&host_program(), &watermark).unwrap();
+
+            let fused = Recognizer::builder(key(), config.clone())
+                .exec_tier(tier)
+                .build()
+                .unwrap();
+            let two_phase = Recognizer::builder(key(), config.clone())
+                .exec_tier(tier)
+                .scan_mode(ScanMode::TwoPhase)
+                .build()
+                .unwrap();
+
+            let scan = fused.trace_survivors(&marked.program).unwrap();
+            let bits = two_phase.trace_bits(&marked.program).unwrap();
+            assert_eq!(scan.bits, bits, "{pieces} pieces, {tier} tier: trace bits");
+            assert_eq!(
+                scan.survivors,
+                two_phase.window_survivors(&bits, 0, usize::MAX),
+                "{pieces} pieces, {tier} tier: survivor table"
+            );
+            assert_eq!(scan.scanned, bits.num_windows() as u64);
+            assert!(scan.skipped <= scan.scanned);
+
+            let a = fused.recognize(&marked.program).unwrap();
+            let b = two_phase.recognize(&marked.program).unwrap();
+            assert_eq!(a, b, "{pieces} pieces, {tier} tier: recognition");
+            assert_eq!(a.watermark.as_ref(), Some(watermark.value()));
         }
     }
 

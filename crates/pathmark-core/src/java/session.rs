@@ -47,7 +47,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -58,17 +57,177 @@ use pathmark_telemetry::Telemetry;
 use stackvm::ExecTier;
 
 use super::JavaConfig;
-use crate::hash::FxBuildHasher;
 use crate::key::WatermarkKey;
+use crate::scan::ScanMode;
 use crate::{ConfigError, WatermarkError};
 
-/// Default ceiling on memoized window decodes (~24 MB of table at the
-/// cap). Once full, admitting a new value evicts an arbitrary resident
-/// entry (counted as [`pathmark_telemetry::Counter::DecodeCacheEvict`]);
-/// recognition stays correct either way — the cache only trades XTEA
-/// calls for memory. Long-lived daemons tune the cap per session via
-/// the builders' `decode_cache_cap`.
+/// Default ceiling on memoized window decodes. The backing table is a
+/// fixed-size linear-probe array clamped at [`MAX_DECODE_CACHE_SLOTS`]
+/// slots (~2.6 MB) and kept at most half full, so the effective
+/// residency under the default cap is 2^15 entries — several times a
+/// corpus copy's distinct-window count. Below that ceiling the table
+/// is exact (a warm session re-scanning a copy it has seen decrypts
+/// nothing); at the ceiling, admitting a new value evicts a resident
+/// entry (counted as
+/// [`pathmark_telemetry::Counter::DecodeCacheEvict`]). Recognition
+/// stays correct either way — the cache only trades XTEA calls for
+/// memory. Long-lived daemons tune the cap per session via the
+/// builders' `decode_cache_cap`.
 pub const DEFAULT_DECODE_CACHE_CAP: usize = 1 << 20;
+
+/// Hard ceiling on decode-cache *slots* regardless of the entry cap:
+/// 2^16 slots x 40 B = ~2.6 MB per session, enough that a corpus worth
+/// of distinct windows (~5k per copy) stays well under half load,
+/// while a probe still lands in the outer cache levels instead of main
+/// memory. Raising the cap past this bound admits no more entries.
+pub(crate) const MAX_DECODE_CACHE_SLOTS: usize = 1 << 16;
+
+/// Window-decode memo table: open addressing with linear probing over
+/// a fixed power-of-two slot array. A lookup multiplies the window by
+/// a Fibonacci constant to pick a natural slot and walks forward to
+/// the first key match (hit) or empty slot (miss); because residency
+/// is capped at half the slots, chains stay short and a probe is
+/// effectively one predictable memory access — the general-purpose
+/// hash map this replaces spent more per lookup on its dependent
+/// control-word-then-bucket chain than the XTEA batch it was saving.
+///
+/// Below the entry ceiling the table is an exact map (warm re-scans
+/// hit every resident window); at the ceiling a newcomer is admitted
+/// by overwriting an occupied slot, which keeps every probe chain
+/// walkable, or — when its natural slot is free — by vacating the
+/// nearest resident slot, which can orphan a chain tail. An orphaned
+/// entry simply reads as a miss later and is re-decrypted: the only
+/// invariant a memo needs is "correct value or miss", so eviction is
+/// free to be sloppy about reachability.
+/// One decode-cache slot: vacant, or a memoized window with what it
+/// decodes to (`None` = known garbage).
+type DecodeSlot = Option<(u64, Option<Statement>)>;
+
+#[derive(Debug)]
+pub(crate) struct DecodeCache {
+    /// `None` = vacant; `Some((window, decoded))` memoizes one window.
+    slots: Box<[DecodeSlot]>,
+    /// Occupied-slot count (the `entries` statistic).
+    occupied: usize,
+    /// The entry ceiling the table was sized for (the builder's
+    /// `decode_cache_cap`, before clamping). Read by the unit tests
+    /// that check cap inheritance across `with_key`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    cap: usize,
+}
+
+impl DecodeCache {
+    /// A table of the largest power-of-two slot count that respects
+    /// both the entry ceiling and the [`MAX_DECODE_CACHE_SLOTS`]
+    /// clamp (never fewer than 8 slots, so the probe loops always have
+    /// vacancies to terminate on). A zero cap produces an empty table:
+    /// every lookup misses and every insert is a no-op, i.e.
+    /// memoization is disabled.
+    pub(crate) fn with_cap(cap: usize) -> Self {
+        let slots = if cap == 0 {
+            0
+        } else {
+            let want = cap.clamp(8, MAX_DECODE_CACHE_SLOTS);
+            if want.is_power_of_two() {
+                want
+            } else {
+                want.next_power_of_two() >> 1
+            }
+        };
+        DecodeCache {
+            slots: vec![None; slots].into_boxed_slice(),
+            occupied: 0,
+            cap,
+        }
+    }
+
+    /// Entries currently resident.
+    pub(crate) fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// The ceiling this table was sized for.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Residency ceiling: the configured cap, and never more than half
+    /// the slots — the half-load bound is what keeps probe chains
+    /// short and the probe loops terminating.
+    #[inline]
+    fn threshold(&self) -> usize {
+        self.cap.min(self.slots.len() / 2)
+    }
+
+    /// The natural slot `value` maps to. Fibonacci multiply, then the
+    /// top 16 product bits masked down — valid for any table at or
+    /// under the [`MAX_DECODE_CACHE_SLOTS`] clamp.
+    #[inline]
+    fn natural_slot(&self, value: u64) -> usize {
+        (value.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize & (self.slots.len() - 1)
+    }
+
+    /// The memoized decode of `value`, if resident: `Some(None)` means
+    /// "known garbage", `None` means "not cached, decrypt it".
+    #[inline]
+    pub(crate) fn get(&self, value: u64) -> Option<Option<Statement>> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.natural_slot(value);
+        loop {
+            match self.slots[i] {
+                None => return None,
+                Some((resident, decoded)) if resident == value => return Some(decoded),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Memoizes `value -> decoded`, returning `true` if a resident
+    /// entry was evicted to make room.
+    pub(crate) fn insert(&mut self, value: u64, decoded: Option<Statement>) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let natural = self.natural_slot(value);
+        let mut i = natural;
+        let free = loop {
+            match self.slots[i] {
+                None => break i,
+                Some((resident, _)) if resident == value => {
+                    self.slots[i] = Some((value, decoded));
+                    return false;
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        };
+        if self.occupied < self.threshold() {
+            self.slots[free] = Some((value, decoded));
+            self.occupied += 1;
+            return false;
+        }
+        // At the ceiling: admit by eviction (the newcomer just
+        // occurred, so it is the likelier one to recur). Overwriting
+        // the occupied natural slot keeps chains walkable; when the
+        // natural slot is free, vacate the nearest resident instead —
+        // any chain tail that orphans just reads as a miss later.
+        if self.slots[natural].is_some() {
+            self.slots[natural] = Some((value, decoded));
+        } else {
+            let mut j = (natural + 1) & mask;
+            while self.slots[j].is_none() {
+                j = (j + 1) & mask;
+            }
+            self.slots[j] = None;
+            self.slots[natural] = Some((value, decoded));
+        }
+        true
+    }
+}
 
 /// Key-derived state every embed/recognize call needs: the prime set,
 /// the statement enumeration over it, and the block cipher.
@@ -96,10 +255,7 @@ pub(crate) struct SessionCrypto {
     /// structure is identical across copies), so batch recognition
     /// pays XTEA once per *distinct value per key*, not per copy.
     /// Bounded by `cache_cap`.
-    pub(crate) decode_cache: Mutex<HashMap<u64, Option<Statement>, FxBuildHasher>>,
-    /// Ceiling on `decode_cache` entries; admitting past it evicts an
-    /// arbitrary resident entry. Zero disables memoization entirely.
-    pub(crate) cache_cap: usize,
+    pub(crate) decode_cache: Mutex<DecodeCache>,
     /// Lifetime decode-cache hits, kept on the shared crypto state (not
     /// the telemetry sink) so cache behavior is observable — e.g. from
     /// a daemon's stats endpoint — regardless of how a session was
@@ -146,8 +302,7 @@ impl SessionCrypto {
             primes,
             enumeration,
             cipher: key.cipher(),
-            decode_cache: Mutex::new(HashMap::default()),
-            cache_cap,
+            decode_cache: Mutex::new(DecodeCache::with_cap(cache_cap)),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
@@ -192,6 +347,7 @@ pub struct Embedder {
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
     pub(crate) decode_cache_cap: usize,
     pub(crate) exec_tier: ExecTier,
+    pub(crate) scan_mode: ScanMode,
 }
 
 /// A recognition session: the mirror image of [`Embedder`].
@@ -203,6 +359,7 @@ pub struct Recognizer {
     pub(crate) crypto: Option<Arc<SessionCrypto>>,
     pub(crate) decode_cache_cap: usize,
     pub(crate) exec_tier: ExecTier,
+    pub(crate) scan_mode: ScanMode,
 }
 
 /// Shared validation for both session builders.
@@ -224,6 +381,7 @@ macro_rules! session_impl {
                     telemetry: Telemetry::null(),
                     decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
                     exec_tier: ExecTier::default(),
+                    scan_mode: ScanMode::default(),
                 }
             }
 
@@ -242,6 +400,7 @@ macro_rules! session_impl {
                     crypto,
                     decode_cache_cap: DEFAULT_DECODE_CACHE_CAP,
                     exec_tier: ExecTier::default(),
+                    scan_mode: ScanMode::default(),
                 }
             }
 
@@ -267,6 +426,12 @@ macro_rules! session_impl {
             /// The execution tier the session's tracing runs on.
             pub fn exec_tier(&self) -> ExecTier {
                 self.exec_tier
+            }
+
+            /// The scan strategy recognition uses (fused streaming scan
+            /// vs the two-phase trace-then-scan reference).
+            pub fn scan_mode(&self) -> ScanMode {
+                self.scan_mode
             }
 
             /// Decode-cache statistics of the session's shared crypto
@@ -324,6 +489,7 @@ macro_rules! session_impl {
                     crypto,
                     decode_cache_cap: self.decode_cache_cap,
                     exec_tier: self.exec_tier,
+                    scan_mode: self.scan_mode,
                 }
             }
         }
@@ -336,6 +502,7 @@ macro_rules! session_impl {
             telemetry: Telemetry,
             decode_cache_cap: usize,
             exec_tier: ExecTier,
+            scan_mode: ScanMode,
         }
 
         impl $builder {
@@ -346,10 +513,11 @@ macro_rules! session_impl {
             }
 
             /// Overrides the decode-cache ceiling (default
-            /// [`DEFAULT_DECODE_CACHE_CAP`] entries, ~24 MB). A resident
-            /// daemon holding many warm sessions tunes this down to
-            /// bound memory; admissions past the cap evict arbitrary
-            /// resident entries and bump
+            /// [`DEFAULT_DECODE_CACHE_CAP`] entries; the direct-mapped
+            /// table behind it clamps at ~2.5 MB). A resident daemon
+            /// holding many warm sessions tunes this down to bound
+            /// memory; admissions that collide with a resident entry
+            /// evict it and bump
             /// [`pathmark_telemetry::Counter::DecodeCacheEvict`]. Zero
             /// disables decode memoization entirely.
             pub fn decode_cache_cap(mut self, cap: usize) -> $builder {
@@ -363,6 +531,17 @@ macro_rules! session_impl {
             /// demands it — see [`stackvm::interp::Vm::prepare`]).
             pub fn exec_tier(mut self, tier: ExecTier) -> $builder {
                 self.exec_tier = tier;
+                self
+            }
+
+            /// Selects the scan strategy recognition uses (default
+            /// [`ScanMode::Fused`], which folds the survivor scan into
+            /// the trace pass; [`ScanMode::TwoPhase`] materializes the
+            /// full bitstring first and scans it separately — the
+            /// reference the fused path is property-tested against, and
+            /// what the fleet's sharded scan uses internally).
+            pub fn scan_mode(mut self, mode: ScanMode) -> $builder {
+                self.scan_mode = mode;
                 self
             }
 
@@ -388,6 +567,7 @@ macro_rules! session_impl {
                     crypto,
                     decode_cache_cap: self.decode_cache_cap,
                     exec_tier: self.exec_tier,
+                    scan_mode: self.scan_mode,
                 })
             }
         }
@@ -476,11 +656,29 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(session.decode_cache_cap(), 128);
-        assert_eq!(session.crypto().unwrap().cache_cap, 128);
+        assert_eq!(
+            session
+                .crypto()
+                .unwrap()
+                .decode_cache
+                .lock()
+                .unwrap()
+                .cap(),
+            128
+        );
         // Per-copy sessions keep the base session's cap.
         let derived = session.with_key(WatermarkKey::new(99, vec![1, 2]));
         assert_eq!(derived.decode_cache_cap(), 128);
-        assert_eq!(derived.crypto().unwrap().cache_cap, 128);
+        assert_eq!(
+            derived
+                .crypto()
+                .unwrap()
+                .decode_cache
+                .lock()
+                .unwrap()
+                .cap(),
+            128
+        );
         // The default is the documented constant.
         let default = Embedder::builder(key(), config).build().unwrap();
         assert_eq!(default.decode_cache_cap(), DEFAULT_DECODE_CACHE_CAP);
@@ -509,6 +707,29 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(embedder.exec_tier(), ExecTier::Predecoded);
+    }
+
+    #[test]
+    fn scan_mode_is_configurable_and_inherited_by_with_key() {
+        let config = JavaConfig::for_watermark_bits(64);
+        // The fused streaming scan is the default for new sessions.
+        let session = Recognizer::builder(key(), config.clone()).build().unwrap();
+        assert_eq!(session.scan_mode(), ScanMode::Fused);
+
+        let two_phase = Recognizer::builder(key(), config.clone())
+            .scan_mode(ScanMode::TwoPhase)
+            .build()
+            .unwrap();
+        assert_eq!(two_phase.scan_mode(), ScanMode::TwoPhase);
+        // Per-copy sessions keep the base session's scan mode.
+        let derived = two_phase.with_key(WatermarkKey::new(99, vec![1, 2]));
+        assert_eq!(derived.scan_mode(), ScanMode::TwoPhase);
+
+        let embedder = Embedder::builder(key(), config)
+            .scan_mode(ScanMode::TwoPhase)
+            .build()
+            .unwrap();
+        assert_eq!(embedder.scan_mode(), ScanMode::TwoPhase);
     }
 
     #[test]

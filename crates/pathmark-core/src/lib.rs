@@ -74,8 +74,9 @@ pub mod java;
 pub mod key;
 pub mod native;
 pub mod scan;
+pub mod scanner;
 
 mod error;
 
 pub use error::{ConfigError, WatermarkError};
-pub use scan::Survivors;
+pub use scan::{ScanMode, Survivors};

@@ -27,6 +27,55 @@
 //! (multiplicities sum, first offsets take the minimum) — the
 //! serial/sharded bit-identity the fleet's shard merge relies on.
 
+/// How a recognition session turns a traced program into a survivor
+/// table.
+///
+/// * [`ScanMode::Fused`] (the default) streams the window scan *into*
+///   the trace sink: the rolling window, both pre-rejects, and the
+///   survivor accumulation run as branch bits arrive, so the packed
+///   words are never re-walked by a second pass.
+/// * [`ScanMode::TwoPhase`] materializes the full [`crate::bitstring::BitString`]
+///   first and scans it afterwards — the property-tested oracle, and
+///   the only shape that supports sharded window ranges and
+///   pre-traced/attacked bit-strings.
+///
+/// The two modes are bit-identical: same [`Survivors`] table, same
+/// recognition (CI property-gates this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Stream the survivor scan inside the trace sink (one pass).
+    #[default]
+    Fused,
+    /// Trace to a full bit-string, then scan it (the oracle path).
+    TwoPhase,
+}
+
+impl ScanMode {
+    /// The wire name (`"fused"` / `"two-phase"`), as accepted by
+    /// [`ScanMode::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScanMode::Fused => "fused",
+            ScanMode::TwoPhase => "two-phase",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything unknown.
+    pub fn parse(name: &str) -> Option<ScanMode> {
+        match name {
+            "fused" => Some(ScanMode::Fused),
+            "two-phase" => Some(ScanMode::TwoPhase),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A sorted columnar table of distinct surviving window values; see the
 /// module docs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -1,0 +1,172 @@
+//! Randomized-property suite for the fused streaming scan: across 150
+//! generated programs (the same deterministic xorshift generator the
+//! stackvm suite uses — no external property-testing crates) and all
+//! three execution tiers, the fused trace→scan pipeline must reproduce
+//! the two-phase reference **bit for bit**: the same trace bit-string,
+//! the same survivor table (values, multiplicities, first offsets), and
+//! the same recognition. A slice of the programs is watermarked first so
+//! the suite also covers survivor-dense traces where the periodic
+//! pre-reject engages.
+
+use pathmark_core::java::{Embedder, JavaConfig, Recognizer};
+use pathmark_core::key::{Watermark, WatermarkKey};
+use pathmark_core::ScanMode;
+use stackvm::builder::{FunctionBuilder, ProgramBuilder};
+use stackvm::insn::{BinOp, Cond};
+use stackvm::{ExecTier, Program};
+
+/// A small deterministic generator state (verification-friendly: all
+/// branches are forward, so every generated program terminates).
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Generates a random straight-line-with-forward-branches program:
+/// several leaf functions plus a main that calls them.
+fn generate(seed: u64) -> Program {
+    let mut g = Gen::new(seed);
+    let mut pb = ProgramBuilder::new();
+    let statics = (0..1 + g.below(3))
+        .map(|i| pb.add_static(format!("s{i}")))
+        .collect::<Vec<_>>();
+
+    let nfuncs = 1 + g.below(4) as usize;
+    let mut funcs: Vec<(stackvm::FuncId, u16)> = Vec::new();
+    for fi in 0..nfuncs {
+        let params = g.below(3) as u16;
+        let mut f = FunctionBuilder::new(format!("f{fi}"), params, 3);
+        let locals = params + 3;
+        let segments = 2 + g.below(6);
+        for _ in 0..segments {
+            let a = (g.below(locals as u64)) as u16;
+            let b = (g.below(locals as u64)) as u16;
+            let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor];
+            let op = ops[g.below(ops.len() as u64) as usize];
+            f.load(a).load(b).bin(op).store(a);
+            if g.below(3) == 0 {
+                let s = statics[g.below(statics.len() as u64) as usize];
+                f.get_static(s).push(g.next() as i32 as i64).add().put_static(s);
+            }
+            if g.below(2) == 0 {
+                let skip = f.new_label();
+                let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge];
+                let c = conds[g.below(4) as usize];
+                f.load(a).push(g.below(16) as i64).if_cmp(c, skip);
+                f.iinc(b, 1);
+                f.bind(skip);
+            }
+        }
+        f.load((g.below(locals as u64)) as u16).ret();
+        let id = pb.add_function(f.finish().expect("generated function builds"));
+        funcs.push((id, params));
+    }
+    let mut main = FunctionBuilder::new("main", 0, 1);
+    for &(id, params) in &funcs {
+        for p in 0..params {
+            main.push((p as i64 + 1) * (g.below(9) as i64 + 1));
+        }
+        main.call(id).print();
+    }
+    main.ret_void();
+    let main_id = pb.add_function(main.finish().expect("generated main builds"));
+    pb.finish(main_id).expect("generated program verifies")
+}
+
+const CASES: u64 = 150;
+
+#[test]
+fn fused_scan_matches_two_phase_on_generated_programs() {
+    let key = WatermarkKey::new(0x5CA7, vec![2, 1, 3]);
+    let config = JavaConfig::for_watermark_bits(64).with_pieces(10);
+    let embedder = Embedder::builder(key.clone(), config.clone())
+        .build()
+        .unwrap();
+    // One warm session pair per tier, shared across all programs, so
+    // the key-derived crypto is not re-derived 900 times.
+    let tiers = [ExecTier::Reference, ExecTier::Predecoded, ExecTier::Compiled];
+    let sessions: Vec<(Recognizer, Recognizer)> = tiers
+        .iter()
+        .map(|&tier| {
+            let fused = Recognizer::builder(key.clone(), config.clone())
+                .exec_tier(tier)
+                .build()
+                .unwrap();
+            let two_phase = Recognizer::builder(key.clone(), config.clone())
+                .exec_tier(tier)
+                .scan_mode(ScanMode::TwoPhase)
+                .build()
+                .unwrap();
+            assert_eq!(fused.scan_mode(), ScanMode::Fused);
+            assert_eq!(two_phase.scan_mode(), ScanMode::TwoPhase);
+            (fused, two_phase)
+        })
+        .collect();
+
+    let mut marked_cases = 0usize;
+    let mut recognized = 0usize;
+    for case in 0..CASES {
+        let seed = Gen::new(case).next();
+        let mut program = generate(seed);
+        // Watermark every fifth program: marked traces are where the
+        // periodic pre-reject actually engages, so the fused scan's
+        // run-extension machinery gets exercised, not just its
+        // random-window fall-through.
+        let mut expected = None;
+        if case % 5 == 0 {
+            let watermark = Watermark::random_for(&config, &key);
+            let marked = embedder.embed(&program, &watermark).expect("embed");
+            program = marked.program;
+            expected = Some(watermark);
+            marked_cases += 1;
+        }
+
+        for (tier, (fused, two_phase)) in tiers.iter().zip(&sessions) {
+            // The materialized trace and the survivor table must be
+            // bit-identical between the streaming and two-phase scans.
+            let scan = fused.trace_survivors(&program).expect("fused trace");
+            let bits = two_phase.trace_bits(&program).expect("two-phase trace");
+            assert_eq!(scan.bits, bits, "seed {seed}, {tier} tier: trace bits");
+            assert_eq!(
+                scan.survivors,
+                two_phase.window_survivors(&bits, 0, usize::MAX),
+                "seed {seed}, {tier} tier: survivor table"
+            );
+            assert_eq!(scan.scanned, bits.num_windows() as u64, "seed {seed}");
+            assert!(scan.skipped <= scan.scanned, "seed {seed}");
+
+            // And so must the recognition built on top of them.
+            let a = fused.recognize(&program).expect("fused recognize");
+            let b = two_phase.recognize(&program).expect("two-phase recognize");
+            assert_eq!(a, b, "seed {seed}, {tier} tier: recognition");
+            if let Some(watermark) = &expected {
+                assert_eq!(
+                    a.watermark.as_ref(),
+                    Some(watermark.value()),
+                    "seed {seed}, {tier} tier"
+                );
+                recognized += 1;
+            }
+        }
+    }
+    assert_eq!(marked_cases, 30, "every fifth case is watermarked");
+    assert_eq!(recognized, marked_cases * tiers.len());
+}

@@ -16,7 +16,7 @@ const ROUNDS: u32 = 32;
 /// Eight 32-bit lanes fill a 256-bit vector register, and the two lane
 /// arrays of a batch fit comfortably in the register file, so the
 /// compiler can keep the whole working set out of memory.
-pub const BATCH_LANES: usize = 8;
+pub const BATCH_LANES: usize = 16;
 
 /// XTEA cipher instance holding an expanded 128-bit key.
 ///

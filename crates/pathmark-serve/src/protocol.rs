@@ -30,6 +30,7 @@
 
 use std::collections::HashMap;
 
+use pathmark_core::ScanMode;
 use pathmark_fleet::json::{parse_object, write_object, Scalar};
 use pathmark_fleet::manifest::{EmbedJobSpec, JobReport};
 use stackvm::ExecTier;
@@ -75,6 +76,9 @@ pub struct OpenRequest {
     /// `"predecoded"` / `"compiled"`); `None` takes the stackvm default
     /// (compiled).
     pub tier: Option<ExecTier>,
+    /// Scan strategy for the tenant's recognizer (`"fused"` /
+    /// `"two-phase"`); `None` takes the default (fused).
+    pub scan_mode: Option<ScanMode>,
 }
 
 /// `{"op":"embed", …}` — fingerprint one copy of a host program.
@@ -210,6 +214,13 @@ impl Request {
                             .ok_or_else(|| format!("unknown `tier` `{name}`"))?,
                     ),
                 },
+                scan_mode: match opt_str(&fields, "scan_mode")? {
+                    None => None,
+                    Some(name) => Some(
+                        ScanMode::parse(&name)
+                            .ok_or_else(|| format!("unknown `scan_mode` `{name}`"))?,
+                    ),
+                },
             })),
             "embed" => Ok(Request::Embed(EmbedRequest {
                 tenant: req_str(&fields, "tenant")?,
@@ -248,6 +259,9 @@ impl OpenRequest {
         }
         if let Some(tier) = self.tier {
             fields.push(("tier", Scalar::Str(tier.as_str().into())));
+        }
+        if let Some(mode) = self.scan_mode {
+            fields.push(("scan_mode", Scalar::Str(mode.as_str().into())));
         }
         write_object(&fields)
     }
@@ -458,6 +472,7 @@ mod tests {
             pieces: Some(12),
             cache_cap: Some(4096),
             tier: Some(ExecTier::Predecoded),
+            scan_mode: Some(ScanMode::TwoPhase),
         };
         assert_eq!(Request::parse(&req.to_line()), Ok(Request::Open(req)));
         // Optional fields stay optional.
@@ -468,6 +483,7 @@ mod tests {
                 assert_eq!(req.pieces, None);
                 assert_eq!(req.cache_cap, None);
                 assert_eq!(req.tier, None);
+                assert_eq!(req.scan_mode, None);
             }
             other => panic!("{other:?}"),
         }
@@ -475,6 +491,9 @@ mod tests {
         let line =
             "{\"op\":\"open\",\"tenant\":\"t\",\"seed\":1,\"input\":\"5\",\"bits\":64,\"tier\":\"jit\"}";
         assert!(Request::parse(line).unwrap_err().contains("tier"));
+        // Likewise a bogus scan mode.
+        let line = "{\"op\":\"open\",\"tenant\":\"t\",\"seed\":1,\"input\":\"5\",\"bits\":64,\"scan_mode\":\"triple\"}";
+        assert!(Request::parse(line).unwrap_err().contains("scan_mode"));
     }
 
     #[test]

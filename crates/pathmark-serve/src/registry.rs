@@ -139,6 +139,7 @@ impl Registry {
         let config = base.with_pieces(pieces);
         let cap = request.cache_cap.unwrap_or(DEFAULT_DECODE_CACHE_CAP);
         let tier = request.tier.unwrap_or_default();
+        let scan_mode = request.scan_mode.unwrap_or_default();
 
         let mut tenants = lock(&self.tenants);
         if let Some(tenant) = tenants.get(&request.tenant) {
@@ -146,6 +147,7 @@ impl Registry {
                 && tenant.embedder.config() == &config
                 && tenant.embedder.decode_cache_cap() == cap
                 && tenant.embedder.exec_tier() == tier
+                && tenant.recognizer.scan_mode() == scan_mode
             {
                 self.telemetry.count(Counter::SessionHit, 1);
                 return Ok((Arc::clone(tenant), true));
@@ -156,12 +158,14 @@ impl Registry {
             .telemetry(self.telemetry.clone())
             .decode_cache_cap(cap)
             .exec_tier(tier)
+            .scan_mode(scan_mode)
             .build()
             .map_err(|e| e.to_string())?;
         let recognizer = Recognizer::builder(key, config)
             .telemetry(self.telemetry.clone())
             .decode_cache_cap(cap)
             .exec_tier(tier)
+            .scan_mode(scan_mode)
             .build()
             .map_err(|e| e.to_string())?;
         let tenant = Arc::new(Tenant {
@@ -203,6 +207,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathmark_core::ScanMode;
     use pathmark_telemetry::MemorySink;
     use stackvm::ExecTier;
 
@@ -215,6 +220,7 @@ mod tests {
             pieces: Some(12),
             cache_cap: None,
             tier: None,
+            scan_mode: None,
         }
     }
 
@@ -248,6 +254,21 @@ mod tests {
             fourth.recognizer_for(42).exec_tier(),
             ExecTier::Predecoded
         );
+
+        // The scan mode is likewise part of the warm-hit identity: the
+        // default request resolved to the fused scan, so asking for the
+        // two-phase scan rebuilds the sessions — and per-copy sessions
+        // inherit the tenant's mode via `with_key`.
+        let mut remode = retier.clone();
+        remode.scan_mode = Some(ScanMode::TwoPhase);
+        let (fifth, warm) = registry.open(&remode).unwrap();
+        assert!(!warm, "a re-scan-moded tenant rebuilds");
+        assert!(!Arc::ptr_eq(&fourth, &fifth));
+        assert_eq!(fifth.recognizer.scan_mode(), ScanMode::TwoPhase);
+        assert_eq!(fifth.recognizer_for(42).scan_mode(), ScanMode::TwoPhase);
+        let (again, warm) = registry.open(&remode).unwrap();
+        assert!(warm, "an identical re-open is a warm hit");
+        assert!(Arc::ptr_eq(&fifth, &again));
     }
 
     #[test]

@@ -31,11 +31,11 @@
 //! let sink = Arc::new(MemorySink::new());
 //! let telemetry = Telemetry::new(sink.clone());
 //!
-//! let answer = telemetry.time(Stage::Scan, || 6 * 7);
+//! let answer = telemetry.time(Stage::ScanRoll, || 6 * 7);
 //! telemetry.count(Counter::CacheMiss, 1);
 //!
 //! assert_eq!(answer, 42);
-//! assert_eq!(sink.stage(Stage::Scan).count, 1);
+//! assert_eq!(sink.stage(Stage::ScanRoll).count, 1);
 //! assert_eq!(sink.counter(Counter::CacheMiss), 1);
 //! ```
 
@@ -64,8 +64,14 @@ pub enum Stage {
     Codegen,
     /// Splicing the planned snippets in and re-verifying the program.
     Verify,
-    /// Scanning sliding 64-bit windows for candidate statements.
-    Scan,
+    /// The window-roll half of the candidate scan: sliding the 64-bit
+    /// window over the trace bits, running the constant/periodic
+    /// pre-rejects, and accumulating the survivor table. On the fused
+    /// path this is the scan work interleaved into the trace sink.
+    ScanRoll,
+    /// The decryption half of the candidate scan: batched XTEA over the
+    /// distinct surviving window values plus candidate decoding.
+    ScanDecrypt,
     /// The `W mod p_i` vote prefilter.
     Vote,
     /// The G/H consistency graphs.
@@ -87,13 +93,14 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in a fixed order (the [`MemorySink`] slot order).
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 15] = [
         Stage::Trace,
         Stage::Split,
         Stage::Encrypt,
         Stage::Codegen,
         Stage::Verify,
-        Stage::Scan,
+        Stage::ScanRoll,
+        Stage::ScanDecrypt,
         Stage::Vote,
         Stage::Graph,
         Stage::Crt,
@@ -112,7 +119,8 @@ impl Stage {
             Stage::Encrypt => "encrypt",
             Stage::Codegen => "codegen",
             Stage::Verify => "verify",
-            Stage::Scan => "scan",
+            Stage::ScanRoll => "scan_roll",
+            Stage::ScanDecrypt => "scan_decrypt",
             Stage::Vote => "vote",
             Stage::Graph => "graph",
             Stage::Crt => "crt",
@@ -398,7 +406,7 @@ mod tests {
     fn null_handle_runs_the_closure_and_records_nothing() {
         let t = Telemetry::null();
         assert!(!t.enabled());
-        assert_eq!(t.time(Stage::Scan, || 7), 7);
+        assert_eq!(t.time(Stage::ScanRoll, || 7), 7);
         t.count(Counter::CacheHit, 3);
         t.record(Stage::Merge, 1000);
         drop(t.start(Stage::Vote));
@@ -410,13 +418,13 @@ mod tests {
         let sink = Arc::new(MemorySink::new());
         let t = Telemetry::new(sink.clone());
         assert!(t.enabled());
-        assert_eq!(t.time(Stage::Scan, || "x"), "x");
+        assert_eq!(t.time(Stage::ScanDecrypt, || "x"), "x");
         {
             let _guard = t.start(Stage::Vote);
         }
         t.record(Stage::Merge, 2_500);
         t.count(Counter::PoolPanic, 2);
-        assert_eq!(sink.stage(Stage::Scan).count, 1);
+        assert_eq!(sink.stage(Stage::ScanDecrypt).count, 1);
         assert_eq!(sink.stage(Stage::Vote).count, 1);
         assert_eq!(sink.stage(Stage::Merge).count, 1);
         assert_eq!(sink.stage(Stage::Merge).total_nanos, 2_500);

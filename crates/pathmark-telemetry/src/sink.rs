@@ -279,9 +279,9 @@ mod tests {
     fn memory_sink_aggregates() {
         let sink = MemorySink::new();
         for nanos in [100u64, 2_000, 50_000] {
-            sink.record_span(Stage::Scan, nanos);
+            sink.record_span(Stage::ScanRoll, nanos);
         }
-        let s = sink.stage(Stage::Scan);
+        let s = sink.stage(Stage::ScanRoll);
         assert_eq!(s.count, 3);
         assert_eq!(s.total_nanos, 52_100);
         assert_eq!(s.min_nanos, 100);

@@ -49,6 +49,7 @@ use pathmark::attacks::java as attacks;
 use pathmark::cli::ExitStatus;
 use pathmark::core::java::{Embedder, JavaConfig, Recognizer};
 use pathmark::core::key::{Watermark, WatermarkKey};
+use pathmark::core::ScanMode;
 use pathmark::fleet::batch::{embed_batch_with, recognize_batch_with, BatchOptions, RecognizeJob};
 use pathmark::fleet::cache::TraceCache;
 use pathmark::fleet::manifest::{parse_manifest, to_hex, EmbedJobSpec, JobReport, ReportWriter};
@@ -170,6 +171,15 @@ execution tier (embed, recognize, fleet embed, fleet recognize):
                                  back to predecoded past the compile
                                  budget or for full-trace recording)
 
+scan mode (recognize, fleet recognize):
+  --scan-mode NAME               fused (default) recognizes a copy in
+                                 one pass, scanning trace bits as the
+                                 tracer streams them; two-phase
+                                 materializes the full bit-string first
+                                 and scans it separately (the reference
+                                 the fused path is property-tested
+                                 against)
+
 telemetry (embed, recognize, fleet embed, fleet recognize, serve):
   --metrics FILE                 capture stage-level spans and counters
   --metrics-format jsonl|summary one JSON line per event (default), or
@@ -215,6 +225,16 @@ fn parse_tier(opts: &HashMap<String, String>) -> Result<ExecTier, String> {
         None => Ok(ExecTier::default()),
         Some(name) => ExecTier::parse(name).ok_or_else(|| {
             format!("--tier: unknown tier `{name}` (expected reference, predecoded, or compiled)")
+        }),
+    }
+}
+
+/// Parses `--scan-mode` (default: the fused streaming scan).
+fn parse_scan_mode(opts: &HashMap<String, String>) -> Result<ScanMode, String> {
+    match opts.get("scan-mode") {
+        None => Ok(ScanMode::default()),
+        Some(name) => ScanMode::parse(name).ok_or_else(|| {
+            format!("--scan-mode: unknown mode `{name}` (expected fused or two-phase)")
         }),
     }
 }
@@ -387,6 +407,7 @@ fn cmd_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let session = Recognizer::builder(key, config)
         .telemetry(metrics.telemetry.clone())
         .exec_tier(parse_tier(opts)?)
+        .scan_mode(parse_scan_mode(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let rec = session.recognize(&program).map_err(|e| e.to_string())?;
@@ -765,6 +786,7 @@ fn cmd_fleet_recognize(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let session = Recognizer::builder(key, config)
         .telemetry(metrics.telemetry.clone())
         .exec_tier(parse_tier(opts)?)
+        .scan_mode(parse_scan_mode(opts)?)
         .build()
         .map_err(|e| e.to_string())?;
     let text = std::fs::read_to_string(manifest_path)

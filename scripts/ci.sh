@@ -71,7 +71,7 @@ grep -q '"counter":"cache_miss"' "$SMOKE/embed-metrics.jsonl" \
 ok=$(grep -c '"status":"ok"' "$SMOKE/recognized.jsonl")
 [ "$ok" -eq 16 ] || { echo "expected 16 recognized copies, got $ok" >&2; exit 1; }
 
-for stage in scan vote; do
+for stage in scan_roll scan_decrypt vote; do
     grep -q "\"$stage\":{\"count\"" "$SMOKE/rec-metrics.json" \
         || { echo "recognize metrics summary missing $stage" >&2; exit 1; }
 done
@@ -107,10 +107,21 @@ cargo test -q -p pathmark-fleet --lib degenerate_bitstrings_are_handled
 cargo test -q -p pathmark-crypto --lib batch_decrypt_matches_serial_oracle
 cargo test -q -p pathmark-core --lib periodic_prereject_matches_reference_scan
 
+echo "==> fused-equivalence gate: streaming scan == two-phase scan"
+# The fused trace->scan pipeline must produce the same Survivors table
+# and the same Recognition as the two-phase path: on marked traces, and
+# on adversarial hand-built bitstrings against the detector-free
+# reference scan. (The 150-generated-program suite covering all three
+# execution tiers — crates/pathmark-core/tests/fused_scan.rs — already
+# ran under tier-1 `cargo test -q` above.)
+cargo test -q -p pathmark-core --lib fused_scan_matches_two_phase_on_marked_traces
+cargo test -q -p pathmark-core --lib streamed_scan_matches_reference_on_adversarial_bitstrings
+
 echo "==> recognition bench: quick mode emits well-formed BENCH_recognize.json"
 ( cd "$SMOKE" && "$ROOT/target/release/recognize" --quick > /dev/null )
 for want in '"bench":"recognize"' '"quick":true' '"generated_unix":' \
     '"mode":"serial"' '"mode":"sharded"' '"stages":{"trace":' \
+    '"scan_roll":' '"scan_decrypt":' \
     '"tier":"reference"' '"tier":"predecoded"' '"tier":"compiled"' \
     '"skip_rate":' '"decrypts_per_copy":' \
     '"queue_wait":' '"windows":{"scanned":' '"pool":{"jobs":'; do
@@ -153,6 +164,36 @@ base_rate=$(json_skip_rate "$ROOT/BENCH_recognize.json")
 new_rate=$(json_skip_rate "$SMOKE/BENCH_recognize.json")
 awk "BEGIN { exit !($new_rate >= $base_rate - 0.005) }" \
     || { echo "serial skip rate regressed: $new_rate < baseline $base_rate" >&2; exit 1; }
+
+echo "==> trace+scan gate: serial compiled trace+scan must not regress vs the checked-in baseline"
+# The end-to-end per-copy recognition cost that matters is trace + scan
+# (roll + decrypt); it must stay strictly below the checked-in
+# baseline modulo the container's run-to-run jitter (a 5% allowance,
+# in the same spirit as the skip-rate gate's 0.005 — the snapshot is
+# refreshed on every green run, so without the allowance the gate
+# would ratchet itself onto the noise floor). Older payloads report
+# the scan as one '"scan"' stage, newer ones split it into
+# '"scan_roll"' + '"scan_decrypt"' — sum whichever the payload has.
+serial_compiled_stage_ms() {
+    # Stage $2 ms of the serial compiled row in payload $1 (empty if
+    # the payload has no such stage).
+    grep -o '"mode":"serial","tier":"compiled"[^}]*' "$1" | head -1 \
+        | grep -o "\"$2\":[0-9.]*" | cut -d: -f2
+}
+trace_scan_ms() {
+    t=$(serial_compiled_stage_ms "$1" trace)
+    roll=$(serial_compiled_stage_ms "$1" scan_roll)
+    dec=$(serial_compiled_stage_ms "$1" scan_decrypt)
+    if [ -z "$roll" ]; then
+        roll=$(serial_compiled_stage_ms "$1" scan)
+        dec=0
+    fi
+    awk "BEGIN { printf \"%.3f\", $t + $roll + $dec }"
+}
+base_ts=$(trace_scan_ms "$ROOT/BENCH_recognize.json")
+new_ts=$(trace_scan_ms "$SMOKE/BENCH_recognize.json")
+awk "BEGIN { exit !($new_ts < $base_ts * 1.05) }" \
+    || { echo "serial compiled trace+scan ms $new_ts regressed vs checked-in baseline $base_ts" >&2; exit 1; }
 cp "$SMOKE/BENCH_recognize.json" "$ROOT/BENCH_recognize.json"
 
 echo "==> serve smoke: daemon on a unix socket survives kill -9 and resumes bit-identically"

@@ -69,6 +69,7 @@ fn open_line(tenant: &str) -> String {
         pieces: Some(12),
         cache_cap: None,
         tier: None,
+        scan_mode: None,
     }
     .to_line()
 }

@@ -105,7 +105,15 @@ fn pipeline_output_is_bit_identical_under_null_and_jsonl_sinks() {
 
     telemetry.flush();
     let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
-    for stage in ["trace", "encrypt", "codegen", "scan", "vote", "merge"] {
+    for stage in [
+        "trace",
+        "encrypt",
+        "codegen",
+        "scan_roll",
+        "scan_decrypt",
+        "vote",
+        "merge",
+    ] {
         assert!(
             text.contains(&format!("\"stage\":\"{stage}\"")),
             "missing {stage} span in JSONL:\n{text}"
